@@ -1,0 +1,265 @@
+// Benchmark targets mapping one-to-one onto the paper's evaluation
+// artifacts (see DESIGN.md §4). Each BenchmarkFigN/BenchmarkTableN runs
+// the corresponding experiment driver in its quick configuration; the
+// full-size runs are `go run ./cmd/pgbench -exp <name>`.
+//
+// The micro-benchmarks at the bottom expose the hot kernels the paper's
+// performance model rests on (Table IV's per-representation intersection
+// costs and Table V's construction costs).
+package probgraph_test
+
+import (
+	"io"
+	"testing"
+
+	"probgraph"
+	"probgraph/internal/bench"
+	"probgraph/internal/core"
+	"probgraph/internal/mining"
+)
+
+func quickOpts() bench.Opts {
+	return bench.Opts{Quick: true, Runs: 1, Seed: 1, Out: io.Discard}
+}
+
+func BenchmarkFig3EstimatorAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig3(quickOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4TCClustering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig4(quickOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5FourClique(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig5(quickOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6TCBaselines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig6(quickOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7Clustering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig7(quickOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8StrongScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig8Strong(quickOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8WeakScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig8Weak(quickOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9ClusteringScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig9(quickOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4IntersectionKernels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table4(quickOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5Construction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table5(quickOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable6WorkDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table6(quickOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable7TCEstimators(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table7(quickOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistComm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.DistExperiment(quickOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- kernel micro-benchmarks ------------------------------------------------
+
+var benchGraph = probgraph.Kronecker(11, 16, 99)
+
+func BenchmarkKernelExactTC(b *testing.B) {
+	o := benchGraph.Orient(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mining.ExactTC(o, 0)
+	}
+}
+
+func BenchmarkKernelPGTC_BF(b *testing.B)      { benchPGTC(b, core.BF) }
+func BenchmarkKernelPGTC_KHash(b *testing.B)   { benchPGTC(b, core.KHash) }
+func BenchmarkKernelPGTC_OneHash(b *testing.B) { benchPGTC(b, core.OneHash) }
+func BenchmarkKernelPGTC_KMV(b *testing.B)     { benchPGTC(b, core.KMV) }
+
+func benchPGTC(b *testing.B, kind core.Kind) {
+	pg, err := core.Build(benchGraph, core.Config{Kind: kind, Budget: 0.25, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mining.PGTC(benchGraph, pg, 0)
+	}
+}
+
+func BenchmarkKernelBuild_BF(b *testing.B)      { benchBuild(b, core.BF) }
+func BenchmarkKernelBuild_KHash(b *testing.B)   { benchBuild(b, core.KHash) }
+func BenchmarkKernelBuild_OneHash(b *testing.B) { benchBuild(b, core.OneHash) }
+func BenchmarkKernelBuild_KMV(b *testing.B)     { benchBuild(b, core.KMV) }
+
+func benchBuild(b *testing.B, kind core.Kind) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(benchGraph, core.Config{Kind: kind, Budget: 0.25, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelIntCard_BF(b *testing.B) {
+	pg, err := core.Build(benchGraph, core.Config{Kind: core.BF, Budget: 0.25, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += pg.IntCard(0, 1)
+	}
+	_ = sink
+}
+
+func BenchmarkKernelExactIntersect(b *testing.B) {
+	u, v := uint32(0), uint32(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += probgraph.Similarity(benchGraph, u, v, probgraph.CommonNeighbors)
+	}
+	_ = sink
+}
+
+func BenchmarkExpVertexSimilarity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.VertexSim(quickOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExpLinkPrediction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.LinkPred(quickOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExpAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Ablation(quickOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelPGTC_HLL(b *testing.B) { benchPGTC(b, core.HLL) }
+
+func BenchmarkKernelPG4Clique_BF(b *testing.B) {
+	o := benchGraph.Orient(0)
+	pg, err := core.BuildOriented(o, benchGraph.SizeBits(), core.Config{Kind: core.BF, Budget: 0.25, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mining.PG4Clique(o, pg, 0)
+	}
+}
+
+func BenchmarkKernelPG4Clique_MHSampled(b *testing.B) {
+	o := benchGraph.Orient(0)
+	pg, err := core.BuildOriented(o, benchGraph.SizeBits(), core.Config{Kind: core.OneHash, Budget: 0.25, StoreElems: true, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mining.PG4Clique(o, pg, 0)
+	}
+}
+
+func BenchmarkKernelExact4Clique(b *testing.B) {
+	o := benchGraph.Orient(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mining.Exact4Clique(o, 0)
+	}
+}
+
+func BenchmarkKernelCluster_ExactCN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mining.JarvisPatrickExact(benchGraph, mining.CommonNeighbors, 3, 0)
+	}
+}
+
+func BenchmarkKernelCluster_BFCN(b *testing.B) {
+	pg, err := core.Build(benchGraph, core.Config{Kind: core.BF, Budget: 0.25, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mining.JarvisPatrickPG(benchGraph, pg, mining.CommonNeighbors, 3, 0)
+	}
+}

@@ -1,0 +1,99 @@
+// Command pgbench regenerates the evaluation artifacts of the ProbGraph
+// paper: every figure and table of §VIII has a corresponding experiment
+// (see DESIGN.md §4 for the index).
+//
+// Usage:
+//
+//	pgbench -exp fig3            # one experiment
+//	pgbench -exp all -quick      # everything, small configuration
+//	pgbench -list                # show available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"probgraph/internal/bench"
+)
+
+// experiments maps experiment names to their drivers.
+var experiments = map[string]func(bench.Opts) error{
+	"fig3":       func(o bench.Opts) error { _, err := bench.Fig3(o); return err },
+	"fig4":       func(o bench.Opts) error { _, err := bench.Fig4(o); return err },
+	"fig5":       func(o bench.Opts) error { _, err := bench.Fig5(o); return err },
+	"fig6":       func(o bench.Opts) error { _, err := bench.Fig6(o); return err },
+	"fig7":       func(o bench.Opts) error { _, err := bench.Fig7(o); return err },
+	"fig8strong": func(o bench.Opts) error { _, err := bench.Fig8Strong(o); return err },
+	"fig8weak":   func(o bench.Opts) error { _, err := bench.Fig8Weak(o); return err },
+	"fig9":       func(o bench.Opts) error { _, err := bench.Fig9(o); return err },
+	"table4":     func(o bench.Opts) error { _, err := bench.Table4(o); return err },
+	"table5":     func(o bench.Opts) error { _, err := bench.Table5(o); return err },
+	"table6":     func(o bench.Opts) error { _, err := bench.Table6(o); return err },
+	"table7":     func(o bench.Opts) error { _, err := bench.Table7(o); return err },
+	"theory":     bench.TheoryReport,
+	"dist":       func(o bench.Opts) error { _, err := bench.DistExperiment(o); return err },
+	"ablation":   func(o bench.Opts) error { _, err := bench.Ablation(o); return err },
+	"linkpred":   func(o bench.Opts) error { _, err := bench.LinkPred(o); return err },
+	"sim":        func(o bench.Opts) error { _, err := bench.VertexSim(o); return err },
+}
+
+// order fixes the presentation order for -exp all.
+var order = []string{
+	"fig3", "fig4", "fig5", "fig6", "fig7", "fig8strong", "fig8weak", "fig9",
+	"table4", "table5", "table6", "table7", "theory", "dist",
+	"sim", "linkpred", "ablation",
+}
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment to run (see -list)")
+		quick   = flag.Bool("quick", false, "small graphs and few repetitions")
+		runs    = flag.Int("runs", 0, "timed repetitions per measurement (0 = default)")
+		seed    = flag.Uint64("seed", 42, "master random seed")
+		workers = flag.Int("workers", 0, "parallel workers (0 = all cores)")
+		list    = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list {
+		names := make([]string, 0, len(experiments))
+		for n := range experiments {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	opts := bench.Opts{
+		Quick:   *quick,
+		Runs:    *runs,
+		Seed:    *seed,
+		Workers: *workers,
+		Out:     os.Stdout,
+	}
+
+	run := func(name string) {
+		f, ok := experiments[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pgbench: unknown experiment %q (use -list)\n", name)
+			os.Exit(2)
+		}
+		if err := f(opts); err != nil {
+			fmt.Fprintf(os.Stderr, "pgbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	if *exp == "all" {
+		for _, name := range order {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}

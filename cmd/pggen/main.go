@@ -1,0 +1,89 @@
+// Command pggen generates synthetic graphs to edge-list or binary CSR
+// files: the Kronecker/Erdős–Rényi/Barabási–Albert/planted-partition
+// models the evaluation uses, plus the Table VIII dataset stand-ins by
+// name.
+//
+// Examples:
+//
+//	pggen -model kron -scale 14 -ef 16 -o g.el
+//	pggen -dataset bio-CE-PG -o bio.el
+//	pggen -model ba -n 10000 -k 8 -binary -o g.pgb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"probgraph"
+	"probgraph/internal/bench"
+	"probgraph/internal/graph"
+)
+
+func main() {
+	var (
+		model   = flag.String("model", "kron", "generator: kron | er | ba | planted | complete")
+		dataset = flag.String("dataset", "", "generate a Table VIII stand-in by name instead")
+		scale   = flag.Int("scale", 12, "kron: log2 of vertex count")
+		ef      = flag.Int("ef", 16, "kron: edge factor")
+		n       = flag.Int("n", 1000, "er/ba/planted/complete: vertex count")
+		m       = flag.Int("m", 10000, "er: edge count")
+		k       = flag.Int("k", 4, "ba: edges per new vertex")
+		comm    = flag.Int("comm", 4, "planted: community count")
+		pin     = flag.Float64("pin", 0.3, "planted: within-community edge probability")
+		pout    = flag.Float64("pout", 0.01, "planted: cross-community edge probability")
+		seed    = flag.Uint64("seed", 42, "random seed")
+		binary  = flag.Bool("binary", false, "write binary CSR instead of an edge list")
+		out     = flag.String("o", "-", "output file (- for stdout)")
+	)
+	flag.Parse()
+
+	var g *probgraph.Graph
+	if *dataset != "" {
+		spec, err := bench.Find(*dataset)
+		if err != nil {
+			fatal(err)
+		}
+		g = spec.Build(1.0)
+	} else {
+		switch *model {
+		case "kron":
+			g = probgraph.Kronecker(*scale, *ef, *seed)
+		case "er":
+			g = probgraph.ErdosRenyi(*n, *m, *seed)
+		case "ba":
+			g = probgraph.BarabasiAlbert(*n, *k, *seed)
+		case "planted":
+			g = probgraph.PlantedPartition(*n, *comm, *pin, *pout, *seed)
+		case "complete":
+			g = probgraph.Complete(*n)
+		default:
+			fatal(fmt.Errorf("unknown model %q", *model))
+		}
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	var err error
+	if *binary {
+		err = graph.WriteBinary(w, g)
+	} else {
+		err = graph.WriteEdgeList(w, g)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "pggen: wrote graph with n=%d m=%d\n", g.NumVertices(), g.NumEdges())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pggen:", err)
+	os.Exit(1)
+}

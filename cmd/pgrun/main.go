@@ -1,0 +1,232 @@
+// Command pgrun runs one graph-mining problem on one graph with a chosen
+// representation and reports the result, its accuracy against the exact
+// baseline, and the speedup — the single-experiment companion to pgbench.
+//
+// Examples:
+//
+//	pgrun -gen kron -scale 12 -algo tc -repr bf -budget 0.25
+//	pgrun -graph g.el -algo cluster -measure jaccard -tau 0.15 -repr 1h
+//	pgrun -gen ba -n 5000 -algo linkpred -measure cn
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"probgraph"
+)
+
+func main() {
+	var (
+		graphFile = flag.String("graph", "", "edge-list file (overrides -gen)")
+		gen       = flag.String("gen", "kron", "generator: kron | er | ba | planted")
+		scale     = flag.Int("scale", 11, "kron scale")
+		ef        = flag.Int("ef", 16, "kron edge factor")
+		n         = flag.Int("n", 2000, "er/ba/planted vertices")
+		m         = flag.Int("m", 40000, "er edges")
+		kBA       = flag.Int("k", 8, "ba attachment")
+		algo      = flag.String("algo", "tc", "tc | 4clique | cluster | sim | linkpred | cc")
+		repr      = flag.String("repr", "bf", "bf | kh | 1h | kmv")
+		est       = flag.String("est", "auto", "auto | and | l | or | 1hsimple")
+		budget    = flag.Float64("budget", 0.25, "storage budget s")
+		b         = flag.Int("b", 2, "Bloom hash functions")
+		kSketch   = flag.Int("sketchk", 0, "explicit MinHash/KMV k (0 = from budget)")
+		measure   = flag.String("measure", "cn", "jaccard | overlap | cn | tn | aa | ra")
+		tau       = flag.Float64("tau", 3, "clustering threshold")
+		remove    = flag.Float64("remove", 0.1, "linkpred: removed edge fraction")
+		seed      = flag.Uint64("seed", 42, "random seed")
+		workers   = flag.Int("workers", 0, "parallel workers (0 = all cores)")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*graphFile, *gen, *scale, *ef, *n, *m, *kBA, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("graph: n=%d m=%d maxdeg=%d\n", g.NumVertices(), g.NumEdges(), g.MaxDegree())
+
+	cfg := probgraph.Config{
+		Kind:      kindOf(*repr),
+		Est:       estOf(*est),
+		Budget:    *budget,
+		NumHashes: *b,
+		K:         *kSketch,
+		Seed:      *seed,
+	}
+	msr := measureOf(*measure)
+
+	switch *algo {
+	case "tc":
+		runCounting(g, cfg, *workers,
+			func() float64 { return float64(probgraph.ExactTriangleCount(g, *workers)) },
+			func(pg *probgraph.PG) float64 { return probgraph.TriangleCount(g, pg, *workers) })
+	case "4clique":
+		o := probgraph.Orient(g, *workers)
+		exactStart := time.Now()
+		exact := float64(probgraph.ExactFourCliqueCount(g, *workers))
+		exactTime := time.Since(exactStart)
+		pg, err := probgraph.BuildOriented(o, g.SizeBits(), cfg)
+		if err != nil {
+			fatal(err)
+		}
+		approxStart := time.Now()
+		approx := probgraph.FourCliqueCount(o, pg, *workers)
+		approxTime := time.Since(approxStart)
+		report(exact, approx, exactTime, approxTime, pg.RelativeMemory())
+	case "cluster":
+		exactStart := time.Now()
+		exact := probgraph.Cluster(g, msr, *tau, *workers)
+		exactTime := time.Since(exactStart)
+		pg, err := probgraph.Build(g, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		approxStart := time.Now()
+		approx := probgraph.PGCluster(g, pg, msr, *tau, *workers)
+		approxTime := time.Since(approxStart)
+		fmt.Printf("exact:  %d clusters, %d kept edges (%v)\n", exact.NumClusters, len(exact.Kept), exactTime)
+		fmt.Printf("approx: %d clusters, %d kept edges (%v)\n", approx.NumClusters, len(approx.Kept), approxTime)
+		report(float64(exact.NumClusters), float64(approx.NumClusters), exactTime, approxTime, pg.RelativeMemory())
+	case "sim":
+		pg, err := probgraph.Build(g, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		count := 0
+		g.Edges(func(u, v uint32) {
+			if count >= 10 {
+				return
+			}
+			count++
+			fmt.Printf("sim(%d,%d): exact=%.4f approx=%.4f\n",
+				u, v, probgraph.Similarity(g, u, v, msr), probgraph.PGSimilarity(g, pg, u, v, msr))
+		})
+	case "linkpred":
+		exact, err := probgraph.LinkPrediction(g, msr, *remove, *seed, nil, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		approx, err := probgraph.LinkPrediction(g, msr, *remove, *seed, &cfg, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("exact:  recovered %d/%d (efficiency %.3f)\n", exact.Hits, exact.Removed, exact.Efficiency)
+		fmt.Printf("approx: recovered %d/%d (efficiency %.3f)\n", approx.Hits, approx.Removed, approx.Efficiency)
+	case "cc":
+		runCounting(g, cfg, *workers,
+			func() float64 { return probgraph.ClusteringCoefficient(g, *workers) },
+			func(pg *probgraph.PG) float64 { return probgraph.PGClusteringCoefficient(g, pg, *workers) })
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+}
+
+func runCounting(g *probgraph.Graph, cfg probgraph.Config, workers int,
+	exactF func() float64, approxF func(*probgraph.PG) float64) {
+	exactStart := time.Now()
+	exact := exactF()
+	exactTime := time.Since(exactStart)
+	buildStart := time.Now()
+	pg, err := probgraph.Build(g, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	buildTime := time.Since(buildStart)
+	approxStart := time.Now()
+	approx := approxF(pg)
+	approxTime := time.Since(approxStart)
+	fmt.Printf("sketch build: %v (%.1f%% extra memory)\n", buildTime, 100*pg.RelativeMemory())
+	report(exact, approx, exactTime, approxTime, pg.RelativeMemory())
+}
+
+func report(exact, approx float64, exactTime, approxTime time.Duration, relMem float64) {
+	fmt.Printf("exact  = %.0f  (%v)\n", exact, exactTime)
+	fmt.Printf("approx = %.0f  (%v)\n", approx, approxTime)
+	if exact != 0 {
+		fmt.Printf("accuracy: %.2f%% | speedup: %.2fx | extra memory: %.1f%%\n",
+			100*(1-math.Abs(approx-exact)/exact),
+			float64(exactTime)/float64(approxTime),
+			100*relMem)
+	}
+}
+
+func loadGraph(file, gen string, scale, ef, n, m, k int, seed uint64) (*probgraph.Graph, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return probgraph.ReadEdgeList(f)
+	}
+	switch gen {
+	case "kron":
+		return probgraph.Kronecker(scale, ef, seed), nil
+	case "er":
+		return probgraph.ErdosRenyi(n, m, seed), nil
+	case "ba":
+		return probgraph.BarabasiAlbert(n, k, seed), nil
+	case "planted":
+		return probgraph.PlantedPartition(n, 4, 0.3, 0.01, seed), nil
+	}
+	return nil, fmt.Errorf("unknown generator %q", gen)
+}
+
+func kindOf(s string) probgraph.Kind {
+	switch s {
+	case "bf":
+		return probgraph.BF
+	case "kh":
+		return probgraph.KHash
+	case "1h":
+		return probgraph.OneHash
+	case "kmv":
+		return probgraph.KMV
+	}
+	fatal(fmt.Errorf("unknown representation %q", s))
+	return probgraph.BF
+}
+
+func estOf(s string) probgraph.Estimator {
+	switch s {
+	case "auto":
+		return probgraph.EstAuto
+	case "and":
+		return probgraph.EstBFAnd
+	case "l":
+		return probgraph.EstBFL
+	case "or":
+		return probgraph.EstBFOr
+	case "1hsimple":
+		return probgraph.Est1HSimple
+	}
+	fatal(fmt.Errorf("unknown estimator %q", s))
+	return probgraph.EstAuto
+}
+
+func measureOf(s string) probgraph.Measure {
+	switch s {
+	case "jaccard":
+		return probgraph.Jaccard
+	case "overlap":
+		return probgraph.Overlap
+	case "cn":
+		return probgraph.CommonNeighbors
+	case "tn":
+		return probgraph.TotalNeighbors
+	case "aa":
+		return probgraph.AdamicAdar
+	case "ra":
+		return probgraph.ResourceAllocation
+	}
+	fatal(fmt.Errorf("unknown measure %q", s))
+	return probgraph.CommonNeighbors
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pgrun:", err)
+	os.Exit(1)
+}

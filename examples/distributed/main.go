@@ -1,0 +1,52 @@
+// Distributed: the §VIII-F experiment as an application — triangle
+// counting over a simulated multi-node cluster, comparing the bytes on
+// the wire when remote neighborhoods are shipped as raw CSR lists versus
+// as fixed-size ProbGraph sketches.
+package main
+
+import (
+	"fmt"
+
+	"probgraph"
+)
+
+func main() {
+	// A skewed power-law graph: hub neighborhoods make the CSR protocol
+	// expensive, fixed-size sketches do not care.
+	g := probgraph.Kronecker(13, 16, 7)
+	o := probgraph.Orient(g, 0)
+	fmt.Printf("graph: n=%d m=%d maxdeg=%d\n\n", g.NumVertices(), g.NumEdges(), g.MaxDegree())
+
+	pg, err := probgraph.BuildOriented(o, g.SizeBits(), probgraph.Config{
+		Kind: probgraph.BF, Budget: 0.25, NumHashes: 2, Seed: 3,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	exactCount := float64(probgraph.ExactTriangleCount(g, 0))
+	fmt.Printf("%5s %14s %14s %10s %12s\n", "nodes", "CSR bytes", "sketch bytes", "reduction", "sketch err")
+	for _, nodes := range []int{2, 4, 8, 16} {
+		base, err := probgraph.DistributedTC(g, o, nil, nodes, probgraph.ShipNeighborhoods)
+		if err != nil {
+			panic(err)
+		}
+		sk, err := probgraph.DistributedTC(g, o, pg, nodes, probgraph.ShipSketches)
+		if err != nil {
+			panic(err)
+		}
+		relErr := 0.0
+		if exactCount > 0 {
+			relErr = (sk.Count - exactCount) / exactCount
+			if relErr < 0 {
+				relErr = -relErr
+			}
+		}
+		fmt.Printf("%5d %14d %14d %9.2fx %11.1f%%\n",
+			nodes, base.Net.Bytes, sk.Net.Bytes,
+			float64(base.Net.Bytes)/float64(sk.Net.Bytes), 100*relErr)
+	}
+	fmt.Println("\nEvery remote neighborhood fetch ships either the full adjacency")
+	fmt.Println("list (4 B/vertex ID) or one fixed-size sketch — the reduction is")
+	fmt.Println("the §VIII-F communication saving, growing with node count and skew.")
+}

@@ -1,0 +1,48 @@
+// Link prediction: the Listing 5 evaluation harness on a collaboration
+// network — hide 10% of the edges, score candidate pairs with several
+// vertex-similarity measures (Listing 3), and report how many hidden
+// links each measure recovers, exactly and with ProbGraph sketches.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"probgraph"
+)
+
+func main() {
+	// A citation/collaboration-style preferential-attachment network.
+	g := probgraph.BarabasiAlbert(3000, 6, 2024)
+	fmt.Printf("collaboration network: n=%d m=%d\n\n", g.NumVertices(), g.NumEdges())
+
+	measures := []struct {
+		name string
+		m    probgraph.Measure
+	}{
+		{"CommonNeighbors", probgraph.CommonNeighbors},
+		{"Jaccard", probgraph.Jaccard},
+		{"AdamicAdar", probgraph.AdamicAdar},
+		{"ResourceAlloc", probgraph.ResourceAllocation},
+	}
+
+	pgCfg := probgraph.Config{Kind: probgraph.BF, Budget: 0.25, NumHashes: 2, Seed: 5}
+
+	fmt.Printf("%-16s %12s %12s %10s\n", "measure", "exact ef", "PG ef", "PG time")
+	for _, ms := range measures {
+		exact, err := probgraph.LinkPrediction(g, ms.m, 0.10, 7, nil, 0)
+		if err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		approx, err := probgraph.LinkPrediction(g, ms.m, 0.10, 7, &pgCfg, 0)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-16s %11.3f%% %11.3f%% %10v\n",
+			ms.name, 100*exact.Efficiency, 100*approx.Efficiency, time.Since(start))
+	}
+
+	fmt.Println("\nef = fraction of hidden links recovered among the top-scored candidates")
+	fmt.Println("(Listing 5: ef = |E_predict ∩ E_rndm| / |E_rndm|)")
+}

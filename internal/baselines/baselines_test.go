@@ -1,0 +1,158 @@
+package baselines
+
+import (
+	"testing"
+
+	"probgraph/internal/graph"
+	"probgraph/internal/mining"
+	"probgraph/internal/stats"
+)
+
+func exactTC(g *graph.Graph) float64 {
+	return float64(mining.ExactTC(g.Orient(0), 0))
+}
+
+func TestDoulionDegenerateP(t *testing.T) {
+	g := graph.Complete(10)
+	if DoulionTC(g, 0, 1, 2) != 0 {
+		t.Fatal("p=0")
+	}
+	if got := DoulionTC(g, 1, 1, 2); got != 120 {
+		t.Fatalf("p=1 must be exact: %v", got)
+	}
+	if got := DoulionTC(g, 1.5, 1, 2); got != 120 {
+		t.Fatalf("p>1 clamps to exact: %v", got)
+	}
+}
+
+func TestDoulionApproxUnbiased(t *testing.T) {
+	g := graph.Kronecker(9, 12, 7)
+	want := exactTC(g)
+	var ests []float64
+	for seed := uint64(0); seed < 30; seed++ {
+		ests = append(ests, DoulionTC(g, 0.5, seed, 0))
+	}
+	if got := stats.Mean(ests); stats.RelativeError(got, want) > 0.15 {
+		t.Fatalf("Doulion mean estimate %.0f, exact %.0f", got, want)
+	}
+}
+
+func TestColorfulDegenerate(t *testing.T) {
+	g := graph.Complete(10)
+	if got := ColorfulTC(g, 1, 1, 2); got != 120 {
+		t.Fatalf("1 color keeps everything: %v", got)
+	}
+	if got := ColorfulTC(g, 0, 1, 2); got != 120 {
+		t.Fatalf("0 colors treated as exact: %v", got)
+	}
+}
+
+func TestColorfulApproxUnbiased(t *testing.T) {
+	g := graph.Kronecker(9, 12, 7)
+	want := exactTC(g)
+	var ests []float64
+	for seed := uint64(0); seed < 40; seed++ {
+		ests = append(ests, ColorfulTC(g, 2, seed, 0))
+	}
+	if got := stats.Mean(ests); stats.RelativeError(got, want) > 0.2 {
+		t.Fatalf("Colorful mean estimate %.0f, exact %.0f", got, want)
+	}
+}
+
+func TestReducedExecution(t *testing.T) {
+	g := graph.Kronecker(9, 12, 3)
+	o := g.Orient(0)
+	want := exactTC(g)
+	if got := ReducedExecutionTC(o, 1, 1, 0); got != want {
+		t.Fatalf("frac=1 must be exact: %v vs %v", got, want)
+	}
+	if ReducedExecutionTC(o, 0, 1, 0) != 0 {
+		t.Fatal("frac=0")
+	}
+	var ests []float64
+	for seed := uint64(0); seed < 30; seed++ {
+		ests = append(ests, ReducedExecutionTC(o, 0.5, seed, 0))
+	}
+	// Heuristic: mean should be in the ballpark but no guarantee; allow
+	// a generous band, which is the paper's point about heuristics.
+	if got := stats.Mean(ests); stats.RelativeError(got, want) > 0.3 {
+		t.Fatalf("ReducedExecution mean %.0f, exact %.0f", got, want)
+	}
+}
+
+func TestPartialProcessing(t *testing.T) {
+	g := graph.Kronecker(9, 12, 5)
+	o := g.Orient(0)
+	want := exactTC(g)
+	if got := PartialProcessingTC(o, 1, 1, 0); got != want {
+		t.Fatalf("frac=1 must be exact: %v vs %v", got, want)
+	}
+	if PartialProcessingTC(o, 0, 1, 0) != 0 {
+		t.Fatal("frac=0")
+	}
+	var ests []float64
+	for seed := uint64(0); seed < 30; seed++ {
+		ests = append(ests, PartialProcessingTC(o, 0.6, seed, 0))
+	}
+	if got := stats.Mean(ests); stats.RelativeError(got, want) > 0.4 {
+		t.Fatalf("PartialProcessing mean %.0f, exact %.0f", got, want)
+	}
+}
+
+func TestAutoApproxFullFractionExact(t *testing.T) {
+	// With frac=1 both variants process every vertex: exact count.
+	g := graph.Kronecker(8, 10, 9)
+	want := exactTC(g)
+	if got := AutoApprox1TC(g, 1, 1, 0); got != want {
+		t.Fatalf("AutoApprox1 frac=1: %v vs %v", got, want)
+	}
+	if got := AutoApprox2TC(g, 1, 1, 0); got != want {
+		t.Fatalf("AutoApprox2 frac=1: %v vs %v", got, want)
+	}
+	if AutoApprox1TC(g, 0, 1, 0) != 0 || AutoApprox2TC(g, 0, 1, 0) != 0 {
+		t.Fatal("frac=0")
+	}
+}
+
+func TestAutoApproxSampledBallpark(t *testing.T) {
+	g := graph.Kronecker(9, 12, 11)
+	want := exactTC(g)
+	var e1, e2 []float64
+	for seed := uint64(0); seed < 20; seed++ {
+		e1 = append(e1, AutoApprox1TC(g, 0.5, seed, 0))
+		e2 = append(e2, AutoApprox2TC(g, 0.5, seed, 0))
+	}
+	if got := stats.Mean(e1); stats.RelativeError(got, want) > 0.4 {
+		t.Fatalf("AutoApprox1 mean %.0f, exact %.0f", got, want)
+	}
+	if got := stats.Mean(e2); stats.RelativeError(got, want) > 0.4 {
+		t.Fatalf("AutoApprox2 mean %.0f, exact %.0f", got, want)
+	}
+}
+
+func TestEmptyGraphAllBaselines(t *testing.T) {
+	g, err := graph.FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := g.Orient(0)
+	if DoulionTC(g, 0.5, 1, 1) != 0 ||
+		ColorfulTC(g, 4, 1, 1) != 0 ||
+		ReducedExecutionTC(o, 0.5, 1, 1) != 0 ||
+		PartialProcessingTC(o, 0.5, 1, 1) != 0 ||
+		AutoApprox1TC(g, 0.5, 1, 1) != 0 ||
+		AutoApprox2TC(g, 0.5, 1, 1) != 0 {
+		t.Fatal("empty graph must give 0 everywhere")
+	}
+}
+
+func TestTriangleFreeGraphs(t *testing.T) {
+	g := graph.Grid(8, 8)
+	o := g.Orient(0)
+	if DoulionTC(g, 0.7, 1, 1) != 0 ||
+		ColorfulTC(g, 3, 1, 1) != 0 ||
+		ReducedExecutionTC(o, 0.5, 1, 1) != 0 ||
+		AutoApprox1TC(g, 0.5, 1, 1) != 0 {
+		t.Fatal("triangle-free graph must estimate 0")
+	}
+}

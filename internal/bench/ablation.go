@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"fmt"
+
+	"probgraph/internal/bitset"
+	"probgraph/internal/core"
+	"probgraph/internal/graph"
+	"probgraph/internal/mining"
+	"probgraph/internal/sketch"
+	"probgraph/internal/stats"
+)
+
+// AblationRow is one configuration of an ablation sweep.
+type AblationRow struct {
+	Study  string
+	Config string
+	Value  float64 // study-specific metric (error, time ratio, ...)
+	Extra  float64 // secondary metric
+}
+
+// Ablation runs the design-choice sweeps DESIGN.md calls out:
+//
+//  1. adaptive intersection: merge-only vs gallop-only vs adaptive on
+//     skewed pairs (the CSR baseline tuning);
+//  2. BF linear-estimator scaling factor δ (§IV-B's bias–variance
+//     trade-off around δ = 1/b);
+//  3. 1-Hash Jaccard: union-restricted vs the plain /k estimator;
+//  4. 4-clique MH: sampled-C3 path vs min-of-pairwise fallback
+//     (accuracy and speed);
+//  5. BF hash count b at fixed storage (accuracy sweet spot).
+func Ablation(opts Opts) ([]AblationRow, error) {
+	opts = opts.withDefaults()
+	var rows []AblationRow
+
+	r1, err := ablationIntersections(opts)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, r1...)
+	rows = append(rows, ablationDelta(opts)...)
+	r3, err := ablationOneHashVariants(opts)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, r3...)
+	r4, err := ablationSampled4Clique(opts)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, r4...)
+	r5, err := ablationHashCount(opts)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, r5...)
+
+	section(opts.Out, "Ablations: design-choice sweeps")
+	t := NewTable(opts.Out, "study", "config", "metric", "secondary")
+	for _, r := range rows {
+		t.Row(r.Study, r.Config, r.Value, r.Extra)
+	}
+	t.Flush()
+	return rows, nil
+}
+
+// ablationIntersections times the three exact intersection strategies on
+// pairs with skewed size ratios.
+func ablationIntersections(opts Opts) ([]AblationRow, error) {
+	g := graph.Kronecker(11, 16, 17) // skewed degrees: galloping matters
+	type pair struct{ u, v uint32 }
+	var skewed, balanced []pair
+	g.Edges(func(u, v uint32) {
+		du, dv := g.Degree(u), g.Degree(v)
+		if du > 16*dv || dv > 16*du {
+			if len(skewed) < 2000 {
+				skewed = append(skewed, pair{u, v})
+			}
+		} else if len(balanced) < 2000 {
+			balanced = append(balanced, pair{u, v})
+		}
+	})
+	perPair := func(pairs []pair, f func(a, b []uint32) int) float64 {
+		t := Measure(opts.Runs, func() {
+			s := 0
+			for _, p := range pairs {
+				a, b := g.Neighbors(p.u), g.Neighbors(p.v)
+				if len(a) > len(b) { // GallopCount wants the smaller set first
+					a, b = b, a
+				}
+				s += f(a, b)
+			}
+			benchSink = s
+		})
+		return float64(t.Median.Nanoseconds()) / float64(len(pairs))
+	}
+	var rows []AblationRow
+	for _, set := range []struct {
+		name  string
+		pairs []pair
+	}{{"skewed", skewed}, {"balanced", balanced}} {
+		if len(set.pairs) == 0 {
+			continue
+		}
+		rows = append(rows,
+			AblationRow{"intersection/" + set.name, "merge", perPair(set.pairs, graph.MergeCount), 0},
+			AblationRow{"intersection/" + set.name, "gallop", perPair(set.pairs, graph.GallopCount), 0},
+			AblationRow{"intersection/" + set.name, "adaptive", perPair(set.pairs, graph.IntersectCount), 0},
+		)
+	}
+	return rows, nil
+}
+
+var benchSink int
+
+// ablationDelta sweeps the linear BF estimator's scaling factor around
+// the canonical 1/b (§IV-B): measured mean relative error per δ.
+func ablationDelta(opts Opts) []AblationRow {
+	const sizeBits, b, sizeX, sizeY, overlap = 1 << 13, 2, 300, 300, 100
+	xs := make([]uint32, sizeX)
+	for i := range xs {
+		xs[i] = uint32(i)
+	}
+	ys := make([]uint32, sizeY)
+	for i := range ys {
+		ys[i] = uint32(sizeX - overlap + i)
+	}
+	var rows []AblationRow
+	for _, mult := range []float64{0.5, 0.75, 1.0, 1.25, 1.5} {
+		delta := mult / b
+		var errs []float64
+		for seed := uint64(0); seed < 20; seed++ {
+			fx := sketch.NewBloom(sizeBits, b, seed)
+			fy := sketch.NewBloom(sizeBits, b, seed)
+			for _, x := range xs {
+				fx.Add(x)
+			}
+			for _, y := range ys {
+				fy.Add(y)
+			}
+			ones := bitset.AndCount(fx.Bits(), fy.Bits())
+			errs = append(errs, stats.RelativeError(delta*float64(ones), overlap))
+		}
+		rows = append(rows, AblationRow{"bf-delta", fmt.Sprintf("%.2g/b", mult), stats.Mean(errs), delta})
+	}
+	return rows
+}
+
+// ablationOneHashVariants compares the union-restricted 1-Hash Jaccard
+// against the paper's plain /k on a TC workload.
+func ablationOneHashVariants(opts Opts) ([]AblationRow, error) {
+	g := graph.CommunityGraph(2000, 60000, 40, 160, 23)
+	exact := float64(mining.ExactTC(g.Orient(opts.Workers), opts.Workers))
+	var rows []AblationRow
+	for _, v := range []struct {
+		name string
+		est  core.Estimator
+	}{{"union-restricted", core.EstAuto}, {"plain /k", core.Est1HSimple}} {
+		pg, err := core.Build(g, core.Config{Kind: core.OneHash, Est: v.est, Budget: 0.25, Seed: opts.Seed})
+		if err != nil {
+			return nil, err
+		}
+		est := mining.PGTC(g, pg, opts.Workers)
+		rows = append(rows, AblationRow{"1h-jaccard", v.name, stats.RelativeError(est, exact), est})
+	}
+	return rows, nil
+}
+
+// ablationSampled4Clique compares the sampled-C3 MH 4-clique path with
+// the min-of-pairwise fallback, on accuracy and runtime.
+func ablationSampled4Clique(opts Opts) ([]AblationRow, error) {
+	g := graph.CommunityGraph(1200, 50000, 40, 160, 29)
+	o := g.Orient(opts.Workers)
+	exact := float64(mining.Exact4Clique(o, opts.Workers))
+	if exact == 0 {
+		return nil, nil
+	}
+	var rows []AblationRow
+	for _, v := range []struct {
+		name       string
+		storeElems bool
+	}{{"sampled-C3", true}, {"min-pairwise", false}} {
+		pg, err := core.BuildOriented(o, g.SizeBits(), core.Config{
+			Kind: core.OneHash, Budget: 0.25, StoreElems: v.storeElems, Seed: opts.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var est float64
+		tm := Measure(opts.Runs, func() { est = mining.PG4Clique(o, pg, opts.Workers) })
+		rows = append(rows, AblationRow{"mh-4clique", v.name,
+			stats.RelativeError(est, exact), float64(tm.Median.Nanoseconds()) / 1e6})
+	}
+	return rows, nil
+}
+
+// ablationHashCount sweeps b at a fixed storage budget: more hash
+// functions reduce false positives per query but load the filter faster
+// (§VIII-G: b ∈ {1, 2} wins).
+func ablationHashCount(opts Opts) ([]AblationRow, error) {
+	g := graph.CommunityGraph(2000, 70000, 50, 200, 31)
+	exact := float64(mining.ExactTC(g.Orient(opts.Workers), opts.Workers))
+	var rows []AblationRow
+	for _, b := range []int{1, 2, 4, 8} {
+		pg, err := core.Build(g, core.Config{Kind: core.BF, NumHashes: b, Budget: 0.25, Seed: opts.Seed})
+		if err != nil {
+			return nil, err
+		}
+		var est float64
+		tm := Measure(opts.Runs, func() { est = mining.PGTC(g, pg, opts.Workers) })
+		rows = append(rows, AblationRow{"bf-hashcount", fmt.Sprintf("b=%d", b),
+			stats.RelativeError(est, exact), float64(tm.Median.Nanoseconds()) / 1e6})
+	}
+	return rows, nil
+}

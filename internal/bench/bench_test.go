@@ -1,0 +1,312 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// quickOpts runs every experiment in its smallest configuration.
+func quickOpts(buf *bytes.Buffer) Opts {
+	return Opts{Quick: true, Runs: 1, Seed: 1, Out: buf}
+}
+
+func TestCatalogBuildsValidGraphs(t *testing.T) {
+	for _, s := range Catalog {
+		g := s.Build(0.15)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if g.NumVertices() == 0 || g.NumEdges() == 0 {
+			t.Fatalf("%s: degenerate graph", s.Name)
+		}
+	}
+}
+
+func TestCatalogDensityClasses(t *testing.T) {
+	// Dense stand-ins must occupy a large fraction of all vertex pairs
+	// (their originals are near-complete); sparse ones must not.
+	for _, s := range Catalog {
+		g := s.Build(0.3)
+		n := int64(g.NumVertices())
+		frac := float64(g.NumEdges()) / (float64(n*(n-1)) / 2)
+		switch s.Model {
+		case ModelDense:
+			if frac < 0.3 {
+				t.Errorf("%s: dense stand-in fills only %.2f of pairs", s.Name, frac)
+			}
+		case ModelBA:
+			if frac > 0.5 {
+				t.Errorf("%s: BA stand-in fills %.2f of pairs", s.Name, frac)
+			}
+		}
+	}
+}
+
+func TestFindAndNames(t *testing.T) {
+	if _, err := Find("bio-CE-PG"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Find("no-such-graph"); err == nil {
+		t.Fatal("unknown graph must fail")
+	}
+	if len(Names()) != len(Catalog) {
+		t.Fatal("Names length")
+	}
+}
+
+func TestLoadSetErrors(t *testing.T) {
+	if _, err := LoadSet([]string{"nope"}, 0.2); err == nil {
+		t.Fatal("unknown dataset must fail")
+	}
+	set, err := LoadSet([]string{"bio-SC-GT", "econ-beacxc"}, 0.2)
+	if err != nil || len(set) != 2 {
+		t.Fatalf("LoadSet: %v (%d graphs)", err, len(set))
+	}
+}
+
+func TestMeasureAndSpeedup(t *testing.T) {
+	calls := 0
+	tm := Measure(3, func() { calls++ })
+	if calls != 4 { // 1 warmup + 3 timed
+		t.Fatalf("Measure ran f %d times, want 4", calls)
+	}
+	if tm.Samples != 3 || tm.Median < 0 {
+		t.Fatalf("timing: %+v", tm)
+	}
+	if Speedup(Timing{Median: 100}, Timing{Median: 50}) != 2 {
+		t.Fatal("speedup")
+	}
+	if Speedup(Timing{Median: 100}, Timing{}) != 0 {
+		t.Fatal("zero-time speedup guarded")
+	}
+}
+
+func TestFig3Quick(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Fig3(quickOpts(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 configs x 5 graphs x 6 estimators.
+	if want := 4 * 5 * 6; len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.Pairs == 0 {
+			t.Fatalf("%+v: no pairs evaluated", r)
+		}
+		if r.Box.Median < 0 {
+			t.Fatalf("%+v: negative relative difference", r)
+		}
+	}
+	if !strings.Contains(buf.String(), "Fig. 3") {
+		t.Fatal("missing report banner")
+	}
+	// Sanity: at s=33%, BF AND medians should mostly be small (<50%).
+	bad := 0
+	for _, r := range rows {
+		if r.S == 0.33 && r.B == 4 && r.Estimator == "AND" && r.Box.Median > 0.5 {
+			bad++
+		}
+	}
+	if bad > 2 {
+		t.Fatalf("AND estimator median error > 50%% on %d/5 graphs at s=33%%,b=4", bad)
+	}
+}
+
+func TestFig4Fig5Quick(t *testing.T) {
+	var buf bytes.Buffer
+	opts := quickOpts(&buf)
+	rows, err := Fig4(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	seenProblems := map[Problem]bool{}
+	for _, r := range rows {
+		seenProblems[r.Problem] = true
+		if r.Scheme == "Exact" && r.RelCount != 1 {
+			t.Fatalf("exact rel count must be 1: %+v", r)
+		}
+		if r.RelMem > 0.45 {
+			t.Fatalf("memory budget blown: %+v", r)
+		}
+	}
+	if len(seenProblems) != 4 {
+		t.Fatalf("problems covered: %v", seenProblems)
+	}
+	rows5, err := Fig5(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows5) == 0 {
+		t.Fatal("no fig5 rows")
+	}
+}
+
+func TestFig6Fig7Quick(t *testing.T) {
+	var buf bytes.Buffer
+	opts := quickOpts(&buf)
+	rows, err := Fig6(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemes := map[string]bool{}
+	for _, r := range rows {
+		schemes[r.Scheme] = true
+	}
+	for _, want := range []string{"Exact", "PG-BF", "PG-MH", "ReducedExec", "PartialProc", "AutoApprox1", "AutoApprox2", "Doulion", "Colorful"} {
+		if !schemes[want] {
+			t.Fatalf("scheme %s missing from Fig6", want)
+		}
+	}
+	rows7, err := Fig7(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows7) == 0 {
+		t.Fatal("no fig7 rows")
+	}
+	for _, r := range rows7 {
+		if r.RelCount > 10 {
+			t.Fatalf("cutoff not applied: %+v", r)
+		}
+	}
+}
+
+func TestScalingQuick(t *testing.T) {
+	var buf bytes.Buffer
+	opts := quickOpts(&buf)
+	strong, err := Fig8Strong(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strong) == 0 {
+		t.Fatal("no strong-scaling rows")
+	}
+	weak, err := Fig8Weak(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range weak {
+		if r.MN <= 0 {
+			t.Fatalf("weak scaling row missing m/n: %+v", r)
+		}
+	}
+	nine, err := Fig9(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range nine {
+		if r.Problem != ProblemClusterCN {
+			t.Fatalf("fig9 must be CN clustering only: %+v", r)
+		}
+	}
+}
+
+func TestTablesQuick(t *testing.T) {
+	var buf bytes.Buffer
+	opts := quickOpts(&buf)
+	t4, err := Table4(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t4) != 5 {
+		t.Fatalf("table4 rows = %d", len(t4))
+	}
+	t5, err := Table5(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t5) != 7 { // 4 BF b-values + 3 MH/KMV kinds
+		t.Fatalf("table5 rows = %d", len(t5))
+	}
+	t6, err := Table6(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t6) != 6 {
+		t.Fatalf("table6 rows = %d", len(t6))
+	}
+	t7, err := Table7(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t7) != 5 {
+		t.Fatalf("table7 rows = %d", len(t7))
+	}
+	for _, r := range t7 {
+		if r.RelErr > 1.5 {
+			t.Fatalf("TC estimator way off: %+v", r)
+		}
+	}
+	if err := TheoryReport(opts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Theorem VII.1") {
+		t.Fatal("theory report incomplete")
+	}
+}
+
+func TestDistExperimentQuick(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := DistExperiment(quickOpts(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Reduction < 1 {
+			t.Fatalf("sketches must reduce communication at P=%d: %+v", r.Nodes, r)
+		}
+	}
+}
+
+func TestAblationQuick(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Ablation(quickOpts(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	studies := map[string]bool{}
+	for _, r := range rows {
+		studies[r.Study] = true
+	}
+	for _, want := range []string{"bf-delta", "1h-jaccard", "mh-4clique", "bf-hashcount"} {
+		if !studies[want] {
+			t.Errorf("study %s missing", want)
+		}
+	}
+	if !strings.Contains(buf.String(), "Ablations") {
+		t.Fatal("banner missing")
+	}
+}
+
+func TestLinkPredAndSimQuick(t *testing.T) {
+	var buf bytes.Buffer
+	opts := quickOpts(&buf)
+	lp, err := LinkPred(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lp) != 3*3*2 {
+		t.Fatalf("linkpred rows = %d", len(lp))
+	}
+	for _, r := range lp {
+		if r.Efficiency < 0 || r.Efficiency > 1 {
+			t.Fatalf("efficiency out of range: %+v", r)
+		}
+	}
+	sim, err := VertexSim(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sim) != 3*3*4 {
+		t.Fatalf("sim rows = %d", len(sim))
+	}
+}

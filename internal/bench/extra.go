@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"probgraph/internal/core"
+	"probgraph/internal/mining"
+	"probgraph/internal/stats"
+)
+
+// LinkPredRow is one (graph, measure, scheme) cell of the Listing 5
+// link-prediction evaluation.
+type LinkPredRow struct {
+	Graph      string
+	Measure    string
+	Scheme     string
+	Efficiency float64
+	Time       Timing
+}
+
+// linkPredGraphs keeps the quadratic candidate enumeration tractable.
+var linkPredGraphs = []string{"bio-SC-GT", "bio-CE-PG", "econ-beacxc"}
+
+// LinkPred runs the Listing 5 harness on a subset of stand-ins with the
+// local similarity measures, comparing the exact scorer with the PG(BF)
+// scorer — the vertex-similarity application of §III.
+func LinkPred(opts Opts) ([]LinkPredRow, error) {
+	opts = opts.withDefaults()
+	graphs, err := LoadSet(linkPredGraphs, opts.scale()*0.6)
+	if err != nil {
+		return nil, err
+	}
+	measures := []mining.Measure{mining.CommonNeighbors, mining.Jaccard, mining.AdamicAdar}
+	pgCfg := core.Config{Kind: core.BF, Budget: 0.25, NumHashes: 2, Seed: opts.Seed + 61}
+	var rows []LinkPredRow
+	for _, ng := range graphs {
+		for _, m := range measures {
+			var exact *mining.LinkPredResult
+			exactT := Measure(opts.Runs, func() {
+				exact, err = mining.EvaluateLinkPrediction(ng.Graph, m, 0.1, opts.Seed, nil, opts.Workers)
+			})
+			if err != nil {
+				return nil, err
+			}
+			var approx *mining.LinkPredResult
+			approxT := Measure(opts.Runs, func() {
+				approx, err = mining.EvaluateLinkPrediction(ng.Graph, m, 0.1, opts.Seed, &pgCfg, opts.Workers)
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows,
+				LinkPredRow{ng.Name, m.String(), "Exact", exact.Efficiency, exactT},
+				LinkPredRow{ng.Name, m.String(), "PG-BF", approx.Efficiency, approxT},
+			)
+		}
+	}
+	section(opts.Out, "Listing 5: link-prediction effectiveness, exact vs PG")
+	t := NewTable(opts.Out, "graph", "measure", "scheme", "efficiency", "time")
+	for _, r := range rows {
+		t.Row(r.Graph, r.Measure, r.Scheme, r.Efficiency, r.Time.Median)
+	}
+	t.Flush()
+	return rows, nil
+}
+
+// SimRow is one (graph, measure, representation) cell of the
+// vertex-similarity sweep.
+type SimRow struct {
+	Graph   string
+	Measure string
+	Repr    string
+	MeanErr float64 // mean |sim_PG - sim| over adjacent pairs with sim > 0
+	Time    Timing
+}
+
+// simGraphs for the vertex-similarity sweep.
+var simGraphs = []string{"bio-CE-PG", "econ-beacxc", "ch-Si10H16"}
+
+// VertexSim sweeps the Listing 3 similarity measures over all adjacent
+// pairs per representation — the fourth problem of the evaluation
+// ("vertex similarity", §I), reported as mean absolute score error plus
+// the all-pairs runtime.
+func VertexSim(opts Opts) ([]SimRow, error) {
+	opts = opts.withDefaults()
+	graphs, err := LoadSet(simGraphs, opts.scale())
+	if err != nil {
+		return nil, err
+	}
+	measures := []mining.Measure{mining.Jaccard, mining.Overlap, mining.CommonNeighbors, mining.AdamicAdar}
+	kinds := []core.Kind{core.BF, core.KHash, core.OneHash}
+	var rows []SimRow
+	for _, ng := range graphs {
+		g := ng.Graph
+		edges := g.EdgeList()
+		if len(edges) > 20000 {
+			edges = edges[:20000]
+		}
+		for _, kind := range kinds {
+			pg, err := core.Build(g, core.Config{Kind: kind, Budget: 0.25, StoreElems: kind == core.OneHash, Seed: opts.Seed + 62})
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range measures {
+				var errs []float64
+				tm := Measure(opts.Runs, func() {
+					errs = errs[:0]
+					for _, e := range edges {
+						exact := mining.ExactSimilarity(g, e.U, e.V, m)
+						if exact <= 0 {
+							continue
+						}
+						approx := mining.PGSimilarity(g, pg, e.U, e.V, m)
+						errs = append(errs, stats.RelativeError(approx, exact))
+					}
+				})
+				rows = append(rows, SimRow{ng.Name, m.String(), kind.String(), stats.Mean(errs), tm})
+			}
+		}
+	}
+	section(opts.Out, "Vertex similarity: per-measure estimator accuracy")
+	t := NewTable(opts.Out, "graph", "measure", "repr", "mean rel.err", "time")
+	for _, r := range rows {
+		t.Row(r.Graph, r.Measure, r.Repr, r.MeanErr, r.Time.Median)
+	}
+	t.Flush()
+	return rows, nil
+}

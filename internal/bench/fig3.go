@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"probgraph/internal/core"
+	"probgraph/internal/graph"
+	"probgraph/internal/stats"
+)
+
+// Fig3Config is one (storage budget, hash count) cell of Fig. 3.
+type Fig3Config struct {
+	S float64
+	B int
+}
+
+// Fig3Configs are the four panels of Fig. 3.
+var Fig3Configs = []Fig3Config{
+	{S: 0.33, B: 1},
+	{S: 0.33, B: 4},
+	{S: 0.10, B: 4},
+	{S: 0.10, B: 1},
+}
+
+// Fig3Row is the boxplot summary of per-edge relative differences for one
+// (graph, config, estimator) cell.
+type Fig3Row struct {
+	Graph     string
+	S         float64
+	B         int
+	Estimator string
+	Box       stats.Box
+	Pairs     int
+}
+
+// maxFig3Pairs caps the number of adjacent pairs evaluated per graph so
+// dense stand-ins do not dominate runtime.
+const maxFig3Pairs = 20000
+
+// Fig3 reproduces the Fig. 3 analysis: for each graph and each
+// (s, b) configuration, the distribution of relative differences
+// |est − |N_u∩N_v|| / |N_u∩N_v| over adjacent vertex pairs, for the
+// estimators AND, L (Bloom), 1H, kH (MinHash), plus the OR and KMV
+// estimators as extensions. Pairs with an empty exact intersection are
+// skipped (their relative difference is undefined).
+func Fig3(opts Opts) ([]Fig3Row, error) {
+	opts = opts.withDefaults()
+	graphs, err := LoadSet(Fig3Graphs, opts.scale())
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig3Row
+	for _, cfg := range Fig3Configs {
+		for _, ng := range graphs {
+			g := ng.Graph
+			exact := exactPairCards(g)
+			type estCase struct {
+				name string
+				pg   *core.PG
+			}
+			var cases []estCase
+			bf, err := core.Build(g, core.Config{Kind: core.BF, Budget: cfg.S, NumHashes: cfg.B, Seed: opts.Seed + 1})
+			if err != nil {
+				return nil, err
+			}
+			cases = append(cases, estCase{"AND", bf})
+			bfL, err := core.Build(g, core.Config{Kind: core.BF, Est: core.EstBFL, Budget: cfg.S, NumHashes: cfg.B, Seed: opts.Seed + 1})
+			if err != nil {
+				return nil, err
+			}
+			cases = append(cases, estCase{"L", bfL})
+			bfOR, err := core.Build(g, core.Config{Kind: core.BF, Est: core.EstBFOr, Budget: cfg.S, NumHashes: cfg.B, Seed: opts.Seed + 1})
+			if err != nil {
+				return nil, err
+			}
+			cases = append(cases, estCase{"OR", bfOR})
+			oneH, err := core.Build(g, core.Config{Kind: core.OneHash, Budget: cfg.S, Seed: opts.Seed + 2})
+			if err != nil {
+				return nil, err
+			}
+			cases = append(cases, estCase{"1H", oneH})
+			kH, err := core.Build(g, core.Config{Kind: core.KHash, Budget: cfg.S, Seed: opts.Seed + 3})
+			if err != nil {
+				return nil, err
+			}
+			cases = append(cases, estCase{"kH", kH})
+			kmv, err := core.Build(g, core.Config{Kind: core.KMV, Budget: cfg.S, Seed: opts.Seed + 4})
+			if err != nil {
+				return nil, err
+			}
+			cases = append(cases, estCase{"KMV", kmv})
+
+			for _, c := range cases {
+				var diffs []float64
+				for _, pc := range exact {
+					est := c.pg.IntCard(pc.u, pc.v)
+					diffs = append(diffs, math.Abs(est-float64(pc.card))/float64(pc.card))
+				}
+				rows = append(rows, Fig3Row{
+					Graph: ng.Name, S: cfg.S, B: cfg.B, Estimator: c.name,
+					Box: stats.Boxplot(diffs), Pairs: len(diffs),
+				})
+			}
+		}
+	}
+	printFig3(opts, rows)
+	return rows, nil
+}
+
+// pairCard is an adjacent pair with its exact intersection cardinality.
+type pairCard struct {
+	u, v uint32
+	card int
+}
+
+// exactPairCards lists adjacent pairs with nonzero |N_u ∩ N_v|, capped.
+func exactPairCards(g *graph.Graph) []pairCard {
+	var out []pairCard
+	g.Edges(func(u, v uint32) {
+		if len(out) >= maxFig3Pairs {
+			return
+		}
+		c := graph.IntersectCount(g.Neighbors(u), g.Neighbors(v))
+		if c > 0 {
+			out = append(out, pairCard{u, v, c})
+		}
+	})
+	return out
+}
+
+func printFig3(opts Opts, rows []Fig3Row) {
+	section(opts.Out, "Fig. 3: accuracy of |X∩Y| estimators (relative difference boxplots)")
+	t := NewTable(opts.Out, "s", "b", "graph", "estimator", "median", "Q1", "Q3", "max", "outliers", "pairs")
+	for _, r := range rows {
+		t.Row(fmt.Sprintf("%.0f%%", r.S*100), r.B, r.Graph, r.Estimator,
+			r.Box.Median, r.Box.Q1, r.Box.Q3, r.Box.Max, r.Box.Outliers, r.Pairs)
+	}
+	t.Flush()
+}

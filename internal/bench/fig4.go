@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"probgraph/internal/core"
+	"probgraph/internal/graph"
+	"probgraph/internal/mining"
+)
+
+// Problem identifies a Fig. 4/5 graph problem.
+type Problem string
+
+// The four problems of Fig. 4 plus the Fig. 5 problem.
+const (
+	ProblemTC           Problem = "TriangleCounting"
+	ProblemClusterJacc  Problem = "Clustering(Jaccard)"
+	ProblemClusterOver  Problem = "Clustering(Overlap)"
+	ProblemClusterCN    Problem = "Clustering(CommonNeigh)"
+	ProblemFourClique   Problem = "4-CliqueCounting"
+	ProblemVertexSim    Problem = "VertexSimilarity"
+	ProblemLinkPredict  Problem = "LinkPrediction"
+	ProblemLocalCluster Problem = "LocalClusteringCoeff"
+)
+
+// Thresholds used by the clustering problems (τ of Listing 4); chosen so
+// that the exact clusterings are nondegenerate on the stand-ins.
+var clusterTau = map[Problem]float64{
+	ProblemClusterJacc: 0.15,
+	ProblemClusterOver: 0.40,
+	ProblemClusterCN:   3,
+}
+
+// TradeoffRow is one data point of Figs. 4/5: a scheme on a graph with
+// its three evaluation axes (speedup, relative count, relative memory).
+type TradeoffRow struct {
+	Problem  Problem
+	Graph    string
+	Scheme   string // Exact, PG-BF, PG-MH
+	Time     Timing
+	Speedup  float64 // vs exact
+	RelCount float64 // scheme count / exact count (1.0 for exact)
+	RelMem   float64 // additional sketch memory / CSR memory
+}
+
+// fig4Graphs is the real-world subset used for the upper Fig. 4 panel;
+// the lower panel uses KroneckerSeries.
+var fig4Graphs = []string{
+	"bio-CE-PG", "bio-SC-GT", "bio-HS-LC", "econ-beacxc", "econ-mbeacxc",
+	"bn-mouse-brain-1", "dimacs-c500-9", "ch-Si10H16",
+}
+
+// Fig4 reproduces the Fig. 4 tradeoff analysis: TC and three clustering
+// variants, exact vs PG(BF, b=2, AND) vs PG(MH, 1-Hash), on real-world
+// stand-ins and Kronecker graphs, all axes reported per data point.
+func Fig4(opts Opts) ([]TradeoffRow, error) {
+	opts = opts.withDefaults()
+	graphs, err := LoadSet(fig4Graphs, opts.scale())
+	if err != nil {
+		return nil, err
+	}
+	graphs = append(graphs, KroneckerSeries(opts.Quick)...)
+	problems := []Problem{ProblemTC, ProblemClusterJacc, ProblemClusterOver, ProblemClusterCN}
+	var rows []TradeoffRow
+	for _, p := range problems {
+		for _, ng := range graphs {
+			r, err := tradeoffOn(p, ng, opts)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r...)
+		}
+	}
+	printTradeoff(opts, "Fig. 4: TC and Clustering speedup/accuracy/memory", rows)
+	return rows, nil
+}
+
+// tradeoffOn evaluates one problem on one graph for the three schemes.
+func tradeoffOn(p Problem, ng NamedGraph, opts Opts) ([]TradeoffRow, error) {
+	g := ng.Graph
+	bfCfg := core.Config{Kind: core.BF, Budget: 0.25, NumHashes: 2, Seed: opts.Seed + 11}
+	mhCfg := core.Config{Kind: core.OneHash, Budget: 0.25, Seed: opts.Seed + 12}
+	bf, err := core.Build(g, bfCfg)
+	if err != nil {
+		return nil, err
+	}
+	mh, err := core.Build(g, mhCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var exactCount, bfCount, mhCount float64
+	var exactT, bfT, mhT Timing
+	switch p {
+	case ProblemTC:
+		o := g.Orient(opts.Workers)
+		exactT = Measure(opts.Runs, func() { exactCount = float64(mining.ExactTC(o, opts.Workers)) })
+		// PG timings include the orientation-free full-neighborhood pass.
+		bfT = Measure(opts.Runs, func() { bfCount = mining.PGTC(g, bf, opts.Workers) })
+		mhT = Measure(opts.Runs, func() { mhCount = mining.PGTC(g, mh, opts.Workers) })
+	case ProblemClusterJacc, ProblemClusterOver, ProblemClusterCN:
+		m := clusterMeasure(p)
+		tau := clusterTau[p]
+		exactT = Measure(opts.Runs, func() {
+			exactCount = float64(mining.JarvisPatrickExact(g, m, tau, opts.Workers).NumClusters)
+		})
+		bfT = Measure(opts.Runs, func() {
+			bfCount = float64(mining.JarvisPatrickPG(g, bf, m, tau, opts.Workers).NumClusters)
+		})
+		mhT = Measure(opts.Runs, func() {
+			mhCount = float64(mining.JarvisPatrickPG(g, mh, m, tau, opts.Workers).NumClusters)
+		})
+	case ProblemFourClique:
+		o := g.Orient(opts.Workers)
+		obf, err := core.BuildOriented(o, g.SizeBits(), bfCfg)
+		if err != nil {
+			return nil, err
+		}
+		// The sampled MH path needs element IDs in the sketches.
+		mhCfg.StoreElems = true
+		omh, err := core.BuildOriented(o, g.SizeBits(), mhCfg)
+		if err != nil {
+			return nil, err
+		}
+		exactT = Measure(opts.Runs, func() { exactCount = float64(mining.Exact4Clique(o, opts.Workers)) })
+		bfT = Measure(opts.Runs, func() { bfCount = mining.PG4Clique(o, obf, opts.Workers) })
+		mhT = Measure(opts.Runs, func() { mhCount = mining.PG4Clique(o, omh, opts.Workers) })
+		bf, mh = obf, omh // report oriented sketch memory
+	default:
+		exactT = Measure(opts.Runs, func() {
+			exactCount = mining.LocalClusteringCoefficient(g, opts.Workers)
+		})
+		bfT = Measure(opts.Runs, func() {
+			bfCount = mining.PGLocalClusteringCoefficient(g, bf, opts.Workers)
+		})
+		mhT = Measure(opts.Runs, func() {
+			mhCount = mining.PGLocalClusteringCoefficient(g, mh, opts.Workers)
+		})
+	}
+	rel := func(c float64) float64 {
+		if exactCount == 0 {
+			return 0
+		}
+		return c / exactCount
+	}
+	return []TradeoffRow{
+		{Problem: p, Graph: ng.Name, Scheme: "Exact", Time: exactT, Speedup: 1, RelCount: 1, RelMem: 0},
+		{Problem: p, Graph: ng.Name, Scheme: "PG-BF", Time: bfT, Speedup: Speedup(exactT, bfT), RelCount: rel(bfCount), RelMem: bf.RelativeMemory()},
+		{Problem: p, Graph: ng.Name, Scheme: "PG-MH", Time: mhT, Speedup: Speedup(exactT, mhT), RelCount: rel(mhCount), RelMem: mh.RelativeMemory()},
+	}, nil
+}
+
+func clusterMeasure(p Problem) mining.Measure {
+	switch p {
+	case ProblemClusterJacc:
+		return mining.Jaccard
+	case ProblemClusterOver:
+		return mining.Overlap
+	default:
+		return mining.CommonNeighbors
+	}
+}
+
+// fig5Graphs keeps 4-clique counting tractable.
+var fig5Graphs = []string{"bio-SC-GT", "bio-CE-PG", "econ-beacxc", "bn-mouse-brain-1"}
+
+// Fig5 reproduces the 4-clique counting tradeoff (Fig. 5) on real-world
+// and Kronecker stand-ins.
+func Fig5(opts Opts) ([]TradeoffRow, error) {
+	opts = opts.withDefaults()
+	graphs, err := LoadSet(fig5Graphs, opts.scale())
+	if err != nil {
+		return nil, err
+	}
+	kron := KroneckerSeries(true) // small scales: C4 grows fast
+	graphs = append(graphs, kron...)
+	var rows []TradeoffRow
+	for _, ng := range graphs {
+		r, err := tradeoffOn(ProblemFourClique, ng, opts)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r...)
+	}
+	printTradeoff(opts, "Fig. 5: 4-Clique Counting speedup/accuracy/memory", rows)
+	return rows, nil
+}
+
+func printTradeoff(opts Opts, title string, rows []TradeoffRow) {
+	section(opts.Out, "%s", title)
+	t := NewTable(opts.Out, "problem", "graph", "scheme", "time", "speedup", "rel.count", "rel.mem")
+	for _, r := range rows {
+		t.Row(string(r.Problem), r.Graph, r.Scheme, r.Time.Median, r.Speedup, r.RelCount, r.RelMem)
+	}
+	t.Flush()
+}
+
+// Orient is re-exported graph orientation for callers that already hold a
+// NamedGraph (keeps cmd/pgbench free of graph-package imports).
+func Orient(g *graph.Graph, workers int) *graph.Oriented { return g.Orient(workers) }

@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"math"
+
+	"probgraph/internal/baselines"
+	"probgraph/internal/core"
+	"probgraph/internal/mining"
+)
+
+// Fig6Row is one (graph, scheme) bar triple of Fig. 6: speedup over the
+// exact baseline, relative count, and relative additional memory.
+type Fig6Row struct {
+	Graph    string
+	Scheme   string
+	Time     Timing
+	Speedup  float64
+	RelCount float64
+	RelMem   float64
+}
+
+// Heuristic/baseline parameters for Fig. 6, chosen to give every scheme
+// a comparable work reduction (~3-10x less work than exact).
+const (
+	fig6DoulionP    = 0.3
+	fig6Colors      = 2
+	fig6HeuristFrac = 0.3
+)
+
+// Fig6 reproduces the per-graph Triangle Counting comparison of Fig. 6:
+// ProbGraph (BF and MH) against the theoretically grounded samplers
+// (Doulion, Colorful) and the guarantee-free heuristics (Reduced
+// Execution, Partial Graph Processing, AutoApprox 1/2), all relative to
+// the exact tuned node iterator.
+func Fig6(opts Opts) ([]Fig6Row, error) {
+	opts = opts.withDefaults()
+	graphs, err := LoadSet(nil, opts.scale())
+	if err != nil {
+		return nil, err
+	}
+	if opts.Quick {
+		graphs = graphs[:6]
+	}
+	var rows []Fig6Row
+	for _, ng := range graphs {
+		g := ng.Graph
+		o := g.Orient(opts.Workers)
+		var exactCount int64
+		exactT := Measure(opts.Runs, func() { exactCount = mining.ExactTC(o, opts.Workers) })
+		exact := float64(exactCount)
+		rows = append(rows, Fig6Row{Graph: ng.Name, Scheme: "Exact", Time: exactT, Speedup: 1, RelCount: 1})
+
+		bf, err := core.Build(g, core.Config{Kind: core.BF, Budget: 0.25, NumHashes: 2, Seed: opts.Seed + 21})
+		if err != nil {
+			return nil, err
+		}
+		mh, err := core.Build(g, core.Config{Kind: core.OneHash, Budget: 0.25, Seed: opts.Seed + 22})
+		if err != nil {
+			return nil, err
+		}
+
+		add := func(scheme string, relMem float64, f func() float64) {
+			var count float64
+			tm := Measure(opts.Runs, func() { count = f() })
+			rc := 0.0
+			if exact != 0 {
+				rc = count / exact
+			}
+			if math.IsNaN(rc) || math.IsInf(rc, 0) {
+				rc = 0
+			}
+			rows = append(rows, Fig6Row{
+				Graph: ng.Name, Scheme: scheme, Time: tm,
+				Speedup: Speedup(exactT, tm), RelCount: rc, RelMem: relMem,
+			})
+		}
+
+		add("PG-BF", bf.RelativeMemory(), func() float64 { return mining.PGTC(g, bf, opts.Workers) })
+		add("PG-MH", mh.RelativeMemory(), func() float64 { return mining.PGTC(g, mh, opts.Workers) })
+		add("ReducedExec", 0, func() float64 {
+			return baselines.ReducedExecutionTC(o, fig6HeuristFrac, opts.Seed+23, opts.Workers)
+		})
+		add("PartialProc", 0, func() float64 {
+			return baselines.PartialProcessingTC(o, fig6HeuristFrac, opts.Seed+24, opts.Workers)
+		})
+		add("AutoApprox1", 0, func() float64 {
+			return baselines.AutoApprox1TC(g, fig6HeuristFrac, opts.Seed+25, opts.Workers)
+		})
+		add("AutoApprox2", 0, func() float64 {
+			return baselines.AutoApprox2TC(g, fig6HeuristFrac, opts.Seed+26, opts.Workers)
+		})
+		add("Doulion", 0, func() float64 {
+			return baselines.DoulionTC(g, fig6DoulionP, opts.Seed+27, opts.Workers)
+		})
+		add("Colorful", 0, func() float64 {
+			return baselines.ColorfulTC(g, fig6Colors, opts.Seed+28, opts.Workers)
+		})
+	}
+	section(opts.Out, "Fig. 6: Triangle Counting vs baselines and heuristics (per graph)")
+	t := NewTable(opts.Out, "graph", "scheme", "time", "speedup", "rel.count", "rel.mem")
+	for _, r := range rows {
+		t.Row(r.Graph, r.Scheme, r.Time.Median, r.Speedup, r.RelCount, r.RelMem)
+	}
+	t.Flush()
+	return rows, nil
+}
+
+// Fig7Row is one (graph, scheme) bar triple of Fig. 7 (Clustering with
+// the Jaccard similarity); relative cluster counts above the paper's
+// presentation cutoff of 10 are clamped, as in the figure.
+type Fig7Row struct {
+	Graph    string
+	Scheme   string
+	Time     Timing
+	Speedup  float64
+	RelCount float64
+	Clamped  bool
+	RelMem   float64
+}
+
+// Fig7 reproduces the per-graph Clustering (Jaccard vertex similarity)
+// comparison of Fig. 7.
+func Fig7(opts Opts) ([]Fig7Row, error) {
+	opts = opts.withDefaults()
+	graphs, err := LoadSet(nil, opts.scale())
+	if err != nil {
+		return nil, err
+	}
+	if opts.Quick {
+		graphs = graphs[:6]
+	}
+	tau := clusterTau[ProblemClusterJacc]
+	var rows []Fig7Row
+	for _, ng := range graphs {
+		g := ng.Graph
+		var exactClusters int
+		exactT := Measure(opts.Runs, func() {
+			exactClusters = mining.JarvisPatrickExact(g, mining.Jaccard, tau, opts.Workers).NumClusters
+		})
+		rows = append(rows, Fig7Row{Graph: ng.Name, Scheme: "Exact", Time: exactT, Speedup: 1, RelCount: 1})
+
+		for _, sch := range []struct {
+			name string
+			cfg  core.Config
+		}{
+			{"PG-BF", core.Config{Kind: core.BF, Budget: 0.25, NumHashes: 2, Seed: opts.Seed + 31}},
+			{"PG-MH", core.Config{Kind: core.OneHash, Budget: 0.25, Seed: opts.Seed + 32}},
+		} {
+			pg, err := core.Build(g, sch.cfg)
+			if err != nil {
+				return nil, err
+			}
+			var clusters int
+			tm := Measure(opts.Runs, func() {
+				clusters = mining.JarvisPatrickPG(g, pg, mining.Jaccard, tau, opts.Workers).NumClusters
+			})
+			rc := 0.0
+			if exactClusters != 0 {
+				rc = float64(clusters) / float64(exactClusters)
+			}
+			clamped := false
+			if rc > 10 { // the paper's presentation cutoff
+				rc, clamped = 10, true
+			}
+			rows = append(rows, Fig7Row{
+				Graph: ng.Name, Scheme: sch.name, Time: tm,
+				Speedup: Speedup(exactT, tm), RelCount: rc, Clamped: clamped,
+				RelMem: pg.RelativeMemory(),
+			})
+		}
+	}
+	section(opts.Out, "Fig. 7: Clustering (Jaccard) vs exact (per graph, cutoff 10)")
+	t := NewTable(opts.Out, "graph", "scheme", "time", "speedup", "rel.clusters", "rel.mem")
+	for _, r := range rows {
+		mark := ""
+		if r.Clamped {
+			mark = ">=10"
+		}
+		if mark != "" {
+			t.Row(r.Graph, r.Scheme, r.Time.Median, r.Speedup, mark, r.RelMem)
+		} else {
+			t.Row(r.Graph, r.Scheme, r.Time.Median, r.Speedup, r.RelCount, r.RelMem)
+		}
+	}
+	t.Flush()
+	return rows, nil
+}

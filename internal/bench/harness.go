@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"probgraph/internal/stats"
+)
+
+// Opts controls an experiment run.
+type Opts struct {
+	Quick   bool      // shrink graphs and repetition counts
+	Runs    int       // timed repetitions per measurement (default 5, quick 3)
+	Workers int       // parallel workers (<=0: GOMAXPROCS)
+	Seed    uint64    // master seed
+	Out     io.Writer // destination for the printed tables
+}
+
+// withDefaults normalizes options.
+func (o Opts) withDefaults() Opts {
+	if o.Runs <= 0 {
+		if o.Quick {
+			o.Runs = 3
+		} else {
+			o.Runs = 5
+		}
+	}
+	if o.Out == nil {
+		o.Out = io.Discard
+	}
+	return o
+}
+
+// scale returns the dataset scale factor for this run.
+func (o Opts) scale() float64 {
+	if o.Quick {
+		return 0.4
+	}
+	return 1.0
+}
+
+// Timing is a robust runtime measurement: median of repeated runs with a
+// nonparametric 95% CI, after a warmup run is discarded (the paper omits
+// the first 1% of measurements as warmup; with few repetitions that is
+// one run).
+type Timing struct {
+	Median  time.Duration
+	Lo, Hi  time.Duration
+	Samples int
+}
+
+// Measure times f: one discarded warmup run, then `runs` timed runs.
+func Measure(runs int, f func()) Timing {
+	if runs < 1 {
+		runs = 1
+	}
+	f() // warmup, discarded
+	samples := make([]float64, runs)
+	for i := range samples {
+		start := time.Now()
+		f()
+		samples[i] = float64(time.Since(start))
+	}
+	ci := stats.MedianCI(samples, 0.95)
+	return Timing{
+		Median:  time.Duration(ci.Point),
+		Lo:      time.Duration(ci.Lo),
+		Hi:      time.Duration(ci.Hi),
+		Samples: runs,
+	}
+}
+
+// Speedup returns baseline/approx as a ratio (>1 means approx is faster).
+func Speedup(baseline, approx Timing) float64 {
+	if approx.Median <= 0 {
+		return 0
+	}
+	return float64(baseline.Median) / float64(approx.Median)
+}
+
+// Table is a fixed-column text table writer for experiment output.
+type Table struct {
+	w  *tabwriter.Writer
+	nc int
+}
+
+// NewTable starts a table with the given header columns.
+func NewTable(out io.Writer, columns ...string) *Table {
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	t := &Table{w: tw, nc: len(columns)}
+	for i, c := range columns {
+		if i > 0 {
+			fmt.Fprint(tw, "\t")
+		}
+		fmt.Fprint(tw, c)
+	}
+	fmt.Fprintln(tw)
+	return t
+}
+
+// Row appends one row; values are formatted with %v, floats with %.3g.
+func (t *Table) Row(values ...any) {
+	for i, v := range values {
+		if i > 0 {
+			fmt.Fprint(t.w, "\t")
+		}
+		switch x := v.(type) {
+		case float64:
+			fmt.Fprintf(t.w, "%.4g", x)
+		case time.Duration:
+			fmt.Fprintf(t.w, "%.3gms", float64(x)/1e6)
+		default:
+			fmt.Fprintf(t.w, "%v", x)
+		}
+	}
+	fmt.Fprintln(t.w)
+}
+
+// Flush renders the table.
+func (t *Table) Flush() { t.w.Flush() }
+
+// section prints an experiment banner.
+func section(out io.Writer, format string, args ...any) {
+	fmt.Fprintf(out, "\n=== "+format+" ===\n", args...)
+}

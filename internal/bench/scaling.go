@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"runtime"
+
+	"probgraph/internal/baselines"
+	"probgraph/internal/core"
+	"probgraph/internal/graph"
+	"probgraph/internal/mining"
+)
+
+// ScalingRow is one point of a Fig. 8/9 scaling curve.
+type ScalingRow struct {
+	Problem Problem
+	Scheme  string
+	Threads int
+	MN      float64 // m/n of the instance (weak scaling only)
+	Time    Timing
+}
+
+// threadSeries returns the powers of two up to the host's core count
+// (capped at 32, the paper's machine).
+func threadSeries(quick bool) []int {
+	maxT := runtime.GOMAXPROCS(0)
+	if maxT > 32 {
+		maxT = 32
+	}
+	if quick && maxT > 8 {
+		maxT = 8
+	}
+	var ts []int
+	for t := 1; t <= maxT; t *= 2 {
+		ts = append(ts, t)
+	}
+	return ts
+}
+
+// strongGraph builds the fixed instance for strong scaling.
+func strongGraph(quick bool) *graph.Graph {
+	if quick {
+		return graph.Kronecker(11, 12, 801)
+	}
+	return graph.Kronecker(13, 16, 801)
+}
+
+// Fig8Strong reproduces the strong-scaling panels of Fig. 8 (a–d):
+// runtime vs thread count on a fixed Kronecker graph for TC (vs Doulion
+// and Colorful) and for the three clustering variants (PG BF vs 1H, with
+// the exact baseline).
+func Fig8Strong(opts Opts) ([]ScalingRow, error) {
+	opts = opts.withDefaults()
+	g := strongGraph(opts.Quick)
+	o := g.Orient(0)
+	bf, err := core.Build(g, core.Config{Kind: core.BF, Budget: 0.25, NumHashes: 2, Seed: opts.Seed + 41})
+	if err != nil {
+		return nil, err
+	}
+	oneH, err := core.Build(g, core.Config{Kind: core.OneHash, Budget: 0.25, Seed: opts.Seed + 42})
+	if err != nil {
+		return nil, err
+	}
+	var rows []ScalingRow
+	for _, threads := range threadSeries(opts.Quick) {
+		tds := threads
+		add := func(p Problem, scheme string, f func()) {
+			rows = append(rows, ScalingRow{Problem: p, Scheme: scheme, Threads: tds, Time: Measure(opts.Runs, f)})
+		}
+		// Panel (a): TC.
+		add(ProblemTC, "Exact", func() { mining.ExactTC(o, tds) })
+		add(ProblemTC, "Doulion", func() { baselines.DoulionTC(g, fig6DoulionP, opts.Seed, tds) })
+		add(ProblemTC, "Colorful", func() { baselines.ColorfulTC(g, fig6Colors, opts.Seed, tds) })
+		add(ProblemTC, "PG-BF", func() { mining.PGTC(g, bf, tds) })
+		add(ProblemTC, "PG-1H", func() { mining.PGTC(g, oneH, tds) })
+		// Panels (b–d): clustering variants.
+		for _, p := range []Problem{ProblemClusterCN, ProblemClusterJacc, ProblemClusterOver} {
+			m, tau := clusterMeasure(p), clusterTau[p]
+			add(p, "Exact", func() { mining.JarvisPatrickExact(g, m, tau, tds) })
+			add(p, "PG-BF", func() { mining.JarvisPatrickPG(g, bf, m, tau, tds) })
+			add(p, "PG-1H", func() { mining.JarvisPatrickPG(g, oneH, m, tau, tds) })
+		}
+	}
+	printScaling(opts, "Fig. 8 (a-d): strong scaling (fixed Kronecker graph)", rows, false)
+	return rows, nil
+}
+
+// weakStep describes one weak-scaling instance: threads and edge factor.
+type weakStep struct {
+	threads int
+	ef      int
+}
+
+// weakSeries mirrors the paper's setup: edges grow at twice the thread
+// rate, sweeping m/n across orders of magnitude (the paper reaches
+// m/n ≈ 1806 on a 1TB machine; the offline series is scaled down but
+// preserves the geometric progression).
+func weakSeries(quick bool) (scale int, steps []weakStep) {
+	ts := threadSeries(quick)
+	scale = 13
+	if quick {
+		scale = 10
+	}
+	ef := 4
+	for _, t := range ts {
+		steps = append(steps, weakStep{threads: t, ef: ef})
+		ef *= 4 // edge count grows 2x faster than the doubling threads
+	}
+	// Cap the largest edge factor to keep memory in check.
+	maxEF := 256
+	if quick {
+		maxEF = 64
+	}
+	for i := range steps {
+		if steps[i].ef > maxEF {
+			steps[i].ef = maxEF
+		}
+	}
+	return scale, steps
+}
+
+// Fig8Weak reproduces the weak-scaling panels of Fig. 8 (e–h): the
+// vertex count stays fixed while edges grow faster than threads,
+// stressing load balancing exactly as discussed in §VIII-E (hub
+// neighborhoods grow; PG sketches stay fixed-size).
+func Fig8Weak(opts Opts) ([]ScalingRow, error) {
+	opts = opts.withDefaults()
+	scale, steps := weakSeries(opts.Quick)
+	var rows []ScalingRow
+	for _, st := range steps {
+		g := graph.Kronecker(scale, st.ef, opts.Seed+uint64(st.ef))
+		o := g.Orient(0)
+		mn := float64(g.NumEdges()) / float64(g.NumVertices())
+		bf, err := core.Build(g, core.Config{Kind: core.BF, Budget: 0.25, NumHashes: 2, Seed: opts.Seed + 43})
+		if err != nil {
+			return nil, err
+		}
+		oneH, err := core.Build(g, core.Config{Kind: core.OneHash, Budget: 0.25, Seed: opts.Seed + 44})
+		if err != nil {
+			return nil, err
+		}
+		tds := st.threads
+		add := func(p Problem, scheme string, f func()) {
+			rows = append(rows, ScalingRow{Problem: p, Scheme: scheme, Threads: tds, MN: mn, Time: Measure(opts.Runs, f)})
+		}
+		add(ProblemTC, "Exact", func() { mining.ExactTC(o, tds) })
+		add(ProblemTC, "Doulion", func() { baselines.DoulionTC(g, fig6DoulionP, opts.Seed, tds) })
+		add(ProblemTC, "Colorful", func() { baselines.ColorfulTC(g, fig6Colors, opts.Seed, tds) })
+		add(ProblemTC, "PG-BF", func() { mining.PGTC(g, bf, tds) })
+		add(ProblemTC, "PG-1H", func() { mining.PGTC(g, oneH, tds) })
+		for _, p := range []Problem{ProblemClusterCN, ProblemClusterJacc, ProblemClusterOver} {
+			m, tau := clusterMeasure(p), clusterTau[p]
+			add(p, "Exact", func() { mining.JarvisPatrickExact(g, m, tau, tds) })
+			add(p, "PG-BF", func() { mining.JarvisPatrickPG(g, bf, m, tau, tds) })
+			add(p, "PG-1H", func() { mining.JarvisPatrickPG(g, oneH, m, tau, tds) })
+		}
+	}
+	printScaling(opts, "Fig. 8 (e-h): weak scaling (edges grow 2x faster than threads)", rows, true)
+	return rows, nil
+}
+
+// Fig9 isolates the Clustering (Common Neighbors) BF-vs-1H comparison of
+// Fig. 9: both strong and weak scaling series restricted to that problem.
+func Fig9(opts Opts) ([]ScalingRow, error) {
+	opts = opts.withDefaults()
+	strong, err := Fig8Strong(Opts{Quick: opts.Quick, Runs: opts.Runs, Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	weak, err := Fig8Weak(Opts{Quick: opts.Quick, Runs: opts.Runs, Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	var rows []ScalingRow
+	for _, r := range append(strong, weak...) {
+		if r.Problem == ProblemClusterCN && (r.Scheme == "PG-BF" || r.Scheme == "PG-1H") {
+			rows = append(rows, r)
+		}
+	}
+	printScaling(opts, "Fig. 9: Clustering (Common Neighbors), BF vs 1H", rows, true)
+	return rows, nil
+}
+
+func printScaling(opts Opts, title string, rows []ScalingRow, weak bool) {
+	section(opts.Out, "%s", title)
+	if weak {
+		t := NewTable(opts.Out, "problem", "scheme", "threads", "m/n", "time")
+		for _, r := range rows {
+			t.Row(string(r.Problem), r.Scheme, r.Threads, r.MN, r.Time.Median)
+		}
+		t.Flush()
+		return
+	}
+	t := NewTable(opts.Out, "problem", "scheme", "threads", "time")
+	for _, r := range rows {
+		t.Row(string(r.Problem), r.Scheme, r.Threads, r.Time.Median)
+	}
+	t.Flush()
+}

@@ -1,0 +1,349 @@
+package bench
+
+import (
+	"fmt"
+
+	"probgraph/internal/baselines"
+	"probgraph/internal/bitset"
+	"probgraph/internal/core"
+	"probgraph/internal/estimator"
+	"probgraph/internal/graph"
+	"probgraph/internal/mining"
+)
+
+// tableGraph is the shared instance for the table experiments.
+func tableGraph(quick bool) *graph.Graph {
+	if quick {
+		return graph.Kronecker(10, 12, 901)
+	}
+	return graph.Kronecker(12, 16, 901)
+}
+
+// Table4Row is one representation's measured intersection kernel cost
+// next to its theoretical work term (Table IV).
+type Table4Row struct {
+	Repr     string
+	WorkTerm string // the Table IV formula
+	WorkOps  float64
+	NsPerOp  float64
+}
+
+// Table4 measures the per-pair |N_u∩N_v| kernels of Table IV on sampled
+// adjacent pairs: exact merge, exact galloping, adaptive, BF AND, k-Hash
+// agreement, 1-Hash merge, KMV union, and reports the theoretical work
+// term each one realizes.
+func Table4(opts Opts) ([]Table4Row, error) {
+	opts = opts.withDefaults()
+	g := tableGraph(opts.Quick)
+	bf, err := core.Build(g, core.Config{Kind: core.BF, Budget: 0.25, NumHashes: 2, Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	kh, err := core.Build(g, core.Config{Kind: core.KHash, Budget: 0.25, Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	oh, err := core.Build(g, core.Config{Kind: core.OneHash, Budget: 0.25, Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	kmv, err := core.Build(g, core.Config{Kind: core.KMV, Budget: 0.25, Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+
+	// Sample adjacent pairs.
+	type pair struct{ u, v uint32 }
+	var pairs []pair
+	g.Edges(func(u, v uint32) {
+		if len(pairs) < 4096 {
+			pairs = append(pairs, pair{u, v})
+		}
+	})
+	var sumDeg float64
+	for _, p := range pairs {
+		sumDeg += float64(g.Degree(p.u) + g.Degree(p.v))
+	}
+	avgDeg := sumDeg / float64(len(pairs))
+
+	kernel := func(f func(u, v uint32) float64) float64 {
+		var sink float64
+		t := Measure(opts.Runs, func() {
+			for _, p := range pairs {
+				sink += f(p.u, p.v)
+			}
+		})
+		_ = sink
+		return float64(t.Median.Nanoseconds()) / float64(len(pairs))
+	}
+
+	rows := []Table4Row{
+		{"CSR(merge)", "O(du+dv)", avgDeg,
+			kernel(func(u, v uint32) float64 {
+				return float64(graph.IntersectCount(g.Neighbors(u), g.Neighbors(v)))
+			})},
+		{"BF", "O(B/W)", float64(bf.Cfg.BloomBits / bitset.WordBits),
+			kernel(func(u, v uint32) float64 { return bf.IntCard(u, v) })},
+		{"kHash", "O(k)", float64(kh.Cfg.K),
+			kernel(func(u, v uint32) float64 { return kh.IntCard(u, v) })},
+		{"1Hash", "O(k)", float64(oh.Cfg.K),
+			kernel(func(u, v uint32) float64 { return oh.IntCard(u, v) })},
+		{"KMV", "O(k)", float64(kmv.Cfg.K),
+			kernel(func(u, v uint32) float64 { return kmv.IntCard(u, v) })},
+	}
+	section(opts.Out, "Table IV: |N_u∩N_v| kernel cost per representation (n=%d, m=%d, avg du+dv=%.0f)",
+		g.NumVertices(), g.NumEdges(), avgDeg)
+	t := NewTable(opts.Out, "representation", "work term", "work units", "ns/intersection")
+	for _, r := range rows {
+		t.Row(r.Repr, r.WorkTerm, r.WorkOps, r.NsPerOp)
+	}
+	t.Flush()
+	return rows, nil
+}
+
+// Table5Row reports construction cost for one representation (Table V +
+// the §VIII-G construction-cost analysis).
+type Table5Row struct {
+	Repr        string
+	B           int // hash count (BF only)
+	Construct   Timing
+	Algorithm   Timing  // one PG TC pass using the sketch
+	CostFrac    float64 // construction / algorithm runtime
+	SketchBits  int64
+	RelativeMem float64
+}
+
+// Table5 measures parallel sketch construction (Table V) and relates it
+// to one algorithm execution (§VIII-G): construction should stay below
+// ~50% of algorithm runtime except for large b.
+func Table5(opts Opts) ([]Table5Row, error) {
+	opts = opts.withDefaults()
+	g := tableGraph(opts.Quick)
+	var rows []Table5Row
+	addBF := func(b int) error {
+		cfg := core.Config{Kind: core.BF, Budget: 0.25, NumHashes: b, Seed: opts.Seed}
+		var pg *core.PG
+		var err error
+		ct := Measure(opts.Runs, func() { pg, err = core.Build(g, cfg) })
+		if err != nil {
+			return err
+		}
+		at := Measure(opts.Runs, func() { mining.PGTC(g, pg, opts.Workers) })
+		rows = append(rows, Table5Row{
+			Repr: "BF", B: b, Construct: ct, Algorithm: at,
+			CostFrac:   float64(ct.Median) / float64(at.Median),
+			SketchBits: pg.MemoryBits(), RelativeMem: pg.RelativeMemory(),
+		})
+		return nil
+	}
+	for _, b := range []int{1, 2, 4, 8} {
+		if err := addBF(b); err != nil {
+			return nil, err
+		}
+	}
+	for _, kind := range []core.Kind{core.KHash, core.OneHash, core.KMV} {
+		cfg := core.Config{Kind: kind, Budget: 0.25, Seed: opts.Seed}
+		var pg *core.PG
+		var err error
+		ct := Measure(opts.Runs, func() { pg, err = core.Build(g, cfg) })
+		if err != nil {
+			return nil, err
+		}
+		at := Measure(opts.Runs, func() { mining.PGTC(g, pg, opts.Workers) })
+		rows = append(rows, Table5Row{
+			Repr: kind.String(), Construct: ct, Algorithm: at,
+			CostFrac:   float64(ct.Median) / float64(at.Median),
+			SketchBits: pg.MemoryBits(), RelativeMem: pg.RelativeMemory(),
+		})
+	}
+	section(opts.Out, "Table V / §VIII-G: construction cost per representation")
+	t := NewTable(opts.Out, "representation", "b", "construct", "one TC pass", "constr/algo", "rel.mem")
+	for _, r := range rows {
+		t.Row(r.Repr, r.B, r.Construct.Median, r.Algorithm.Median, r.CostFrac, r.RelativeMem)
+	}
+	t.Flush()
+	return rows, nil
+}
+
+// Table6Row compares the theoretical work terms of Table VI, evaluated
+// on the actual graph, with measured runtimes.
+type Table6Row struct {
+	Problem  Problem
+	Scheme   string
+	WorkTerm string
+	WorkOps  float64
+	Time     Timing
+}
+
+// Table6 evaluates the work formulas of Table VI on the benchmark graph
+// and sets measured runtimes next to them: the PG work terms are
+// asymptotically smaller, and the measured times track that.
+func Table6(opts Opts) ([]Table6Row, error) {
+	opts = opts.withDefaults()
+	g := tableGraph(opts.Quick)
+	o := g.Orient(opts.Workers)
+	bf, err := core.Build(g, core.Config{Kind: core.BF, Budget: 0.25, NumHashes: 2, Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	mh, err := core.Build(g, core.Config{Kind: core.OneHash, Budget: 0.25, Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	n := float64(g.NumVertices())
+	m := float64(g.NumEdges())
+	d := float64(g.MaxDegree())
+	BW := float64(bf.Cfg.BloomBits / bitset.WordBits)
+	k := float64(mh.Cfg.K)
+
+	var rows []Table6Row
+	add := func(p Problem, scheme, term string, ops float64, f func()) {
+		rows = append(rows, Table6Row{Problem: p, Scheme: scheme, WorkTerm: term, WorkOps: ops, Time: Measure(opts.Runs, f)})
+	}
+	add(ProblemTC, "CSR", "O(n d^2)", n*d*d, func() { mining.ExactTC(o, opts.Workers) })
+	add(ProblemTC, "PG(BF)", "O(m B/W)", m*BW, func() { mining.PGTC(g, bf, opts.Workers) })
+	add(ProblemTC, "PG(MH)", "O(m k)", m*k, func() { mining.PGTC(g, mh, opts.Workers) })
+	tau := clusterTau[ProblemClusterCN]
+	add(ProblemClusterCN, "CSR", "O(n d^2)", n*d*d, func() {
+		mining.JarvisPatrickExact(g, mining.CommonNeighbors, tau, opts.Workers)
+	})
+	add(ProblemClusterCN, "PG(BF)", "O(m B/W)", m*BW, func() {
+		mining.JarvisPatrickPG(g, bf, mining.CommonNeighbors, tau, opts.Workers)
+	})
+	add(ProblemClusterCN, "PG(MH)", "O(m k)", m*k, func() {
+		mining.JarvisPatrickPG(g, mh, mining.CommonNeighbors, tau, opts.Workers)
+	})
+	section(opts.Out, "Table VI: work terms (evaluated) vs measured runtime")
+	t := NewTable(opts.Out, "problem", "scheme", "work term", "work (ops)", "time")
+	for _, r := range rows {
+		t.Row(string(r.Problem), r.Scheme, r.WorkTerm, r.WorkOps, r.Time.Median)
+	}
+	t.Flush()
+	return rows, nil
+}
+
+// Table7Row compares TC estimators end to end (Table VII's measurable
+// columns: construction time, memory, estimation time, plus accuracy).
+type Table7Row struct {
+	Scheme    string
+	Construct Timing
+	Estimate  Timing
+	MemBits   int64
+	RelErr    float64
+	Bounds    string // the Table VII bound class
+}
+
+// Table7 reproduces the measurable half of Table VII: ProbGraph's three
+// TC estimators against Doulion and Colorful, with construction time,
+// memory, estimation time and achieved accuracy; the bound class column
+// records the theoretical comparison.
+func Table7(opts Opts) ([]Table7Row, error) {
+	opts = opts.withDefaults()
+	g := tableGraph(opts.Quick)
+	o := g.Orient(opts.Workers)
+	exact := float64(mining.ExactTC(o, opts.Workers))
+	var rows []Table7Row
+
+	addPG := func(name string, cfg core.Config, bound string) error {
+		var pg *core.PG
+		var err error
+		ct := Measure(opts.Runs, func() { pg, err = core.Build(g, cfg) })
+		if err != nil {
+			return err
+		}
+		var est float64
+		et := Measure(opts.Runs, func() { est = mining.PGTC(g, pg, opts.Workers) })
+		relErr := 0.0
+		if exact > 0 {
+			relErr = (est - exact) / exact
+			if relErr < 0 {
+				relErr = -relErr
+			}
+		}
+		rows = append(rows, Table7Row{Scheme: name, Construct: ct, Estimate: et,
+			MemBits: pg.MemoryBits(), RelErr: relErr, Bounds: bound})
+		return nil
+	}
+	if err := addPG("PG TC-AND (BF)", core.Config{Kind: core.BF, Budget: 0.25, NumHashes: 2, Seed: opts.Seed}, "polynomial"); err != nil {
+		return nil, err
+	}
+	if err := addPG("PG TC-kH (MH)", core.Config{Kind: core.KHash, Budget: 0.25, Seed: opts.Seed}, "exponential+MLE"); err != nil {
+		return nil, err
+	}
+	if err := addPG("PG TC-1H (MH)", core.Config{Kind: core.OneHash, Budget: 0.25, Seed: opts.Seed}, "exponential"); err != nil {
+		return nil, err
+	}
+	addSampler := func(name string, f func() float64, bound string) {
+		var est float64
+		et := Measure(opts.Runs, func() { est = f() })
+		relErr := 0.0
+		if exact > 0 {
+			relErr = est/exact - 1
+			if relErr < 0 {
+				relErr = -relErr
+			}
+		}
+		rows = append(rows, Table7Row{Scheme: name, Estimate: et, RelErr: relErr, Bounds: bound})
+	}
+	addSampler("Doulion", func() float64 {
+		return baselines.DoulionTC(g, fig6DoulionP, opts.Seed, opts.Workers)
+	}, "none")
+	addSampler("Colorful", func() float64 {
+		return baselines.ColorfulTC(g, fig6Colors, opts.Seed, opts.Workers)
+	}, "polynomial")
+
+	section(opts.Out, "Table VII: TC estimators end to end (exact TC = %.0f)", exact)
+	t := NewTable(opts.Out, "scheme", "construct", "estimate", "mem bits", "rel.err", "bounds")
+	for _, r := range rows {
+		t.Row(r.Scheme, r.Construct.Median, r.Estimate.Median, r.MemBits, r.RelErr, r.Bounds)
+	}
+	t.Flush()
+	return rows, nil
+}
+
+// TheoryReport prints the Table II/III property summaries together with
+// evaluated bound values on a representative configuration — making the
+// theory chapter executable.
+func TheoryReport(opts Opts) error {
+	opts = opts.withDefaults()
+	out := opts.Out
+	section(out, "Tables II/III: estimator properties and bounds (static + evaluated)")
+	t := NewTable(out, "estimator", "class", "AU", "CN", "ML", "IN", "AE", "bound")
+	t.Row("|X|_S (Eq.1)", "BF", "yes", "yes", "no", "no", "no", "polynomial (MSE)")
+	t.Row("|X∩Y|_AND (Eq.2)", "BF", "yes", "yes", "no", "no", "no", "polynomial (MSE)")
+	t.Row("|X∩Y|_L (Eq.4)", "BF", "yes", "yes", "no", "no", "no", "polynomial (MSE)")
+	t.Row("|X∩Y|_kH (Eq.5)", "k-Hash", "yes", "yes", "yes", "yes", "yes", "exponential")
+	t.Row("|X∩Y|_1H (§IV-D)", "1-Hash", "yes", "yes", "no", "no", "no", "exponential")
+	t.Flush()
+
+	fmt.Fprintln(out, "\nEvaluated bounds for |X|=|Y|=200, |X∩Y|=80, B=16384 bits, b=2, k=64:")
+	t2 := NewTable(out, "bound", "value")
+	mse, valid := estimator.BFMSEBound(80, 16384, 2)
+	t2.Row("Prop IV.1 MSE(AND)", mse)
+	t2.Row("  precondition holds", valid)
+	t2.Row("Eq.(3) P(|err|>=10)", estimator.BFTail(80, 16384, 2, 10))
+	t2.Row("Prop IV.2/3 P(|err|>=40)", estimator.MinHashTail(200, 200, 64, 40))
+	t2.Row("MinHash 95% deviation", estimator.MinHashDeviation(200, 200, 64, 0.95))
+	t2.Row("Prop A.2 MSE(delta=1/b)", estimator.BFLinearMSEBound(80, 16384, 2, 0.5))
+	t2.Row("KMV P(|X| err<=40) cover", estimator.KMVCardInterval(320, 64, 40))
+	t2.Flush()
+
+	g := tableGraph(true)
+	degs := make([]int, g.NumVertices())
+	for v := range degs {
+		degs[v] = g.Degree(uint32(v))
+	}
+	gm := estimator.Moments(degs, g.NumEdges())
+	exact := float64(mining.ExactTC(g.Orient(opts.Workers), opts.Workers))
+	fmt.Fprintf(out, "\nTheorem VII.1 on Kronecker graph (n=%d, m=%d, TC=%.0f):\n",
+		g.NumVertices(), g.NumEdges(), exact)
+	t3 := NewTable(out, "bound", "value")
+	tail, valid := estimator.TCBoundBF(gm, 1<<20, 2, exact*0.2)
+	t3.Row("BF P(|TC err| >= 20%)", tail)
+	t3.Row("  precondition holds", valid)
+	t3.Row("MH P(|TC err| >= 20%) (SumDeg2)", estimator.TCBoundMinHash(gm, 64, exact*0.2))
+	t3.Row("MH P(|TC err| >= 20%) (deg-refined)", estimator.TCBoundMinHashDegree(gm, 64, exact*0.2))
+	t3.Row("MH 95% TC deviation", estimator.TCDeviationMinHash(gm, 64, 0.95))
+	t3.Flush()
+	return nil
+}

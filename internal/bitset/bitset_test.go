@@ -1,0 +1,234 @@
+package bitset
+
+import (
+	"math/bits"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRounding(t *testing.T) {
+	cases := []struct{ nbits, words int }{
+		{0, 0}, {-5, 0}, {1, 1}, {63, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3},
+	}
+	for _, c := range cases {
+		if got := New(c.nbits).Words(); got != c.words {
+			t.Errorf("New(%d).Words() = %d, want %d", c.nbits, got, c.words)
+		}
+	}
+}
+
+func TestSetGetClear(t *testing.T) {
+	b := New(200)
+	idx := []int{0, 1, 63, 64, 65, 127, 128, 199}
+	for _, i := range idx {
+		b.Set(i)
+	}
+	for _, i := range idx {
+		if !b.Get(i) {
+			t.Fatalf("bit %d should be set", i)
+		}
+	}
+	if b.Count() != len(idx) {
+		t.Fatalf("Count = %d, want %d", b.Count(), len(idx))
+	}
+	for _, i := range idx {
+		b.Clear(i)
+		if b.Get(i) {
+			t.Fatalf("bit %d should be cleared", i)
+		}
+	}
+	if b.Count() != 0 {
+		t.Fatalf("Count after clears = %d, want 0", b.Count())
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New(130)
+	for i := 0; i < 130; i += 3 {
+		b.Set(i)
+	}
+	b.Reset()
+	if b.Count() != 0 {
+		t.Fatalf("Count after Reset = %d", b.Count())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(100)
+	a.Set(7)
+	c := a.Clone()
+	c.Set(8)
+	if a.Get(8) {
+		t.Fatal("Clone shares storage with original")
+	}
+	if !c.Get(7) {
+		t.Fatal("Clone missing original bit")
+	}
+}
+
+// randomBits returns a vector of w words filled from rng.
+func randomBits(rng *rand.Rand, w int) Bits {
+	b := make(Bits, w)
+	for i := range b {
+		b[i] = rng.Uint64()
+	}
+	return b
+}
+
+func naiveCount(b Bits) int {
+	n := 0
+	for i := 0; i < b.Len(); i++ {
+		if b.Get(i) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestCountMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for w := 0; w <= 9; w++ {
+		b := randomBits(rng, w)
+		if got, want := b.Count(), naiveCount(b); got != want {
+			t.Fatalf("w=%d: Count=%d naive=%d", w, got, want)
+		}
+	}
+}
+
+func TestFusedOpsMatchMaterialized(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for w := 0; w <= 11; w++ {
+		a, b := randomBits(rng, w), randomBits(rng, w)
+		and := make(Bits, w)
+		And(and, a, b)
+		or := make(Bits, w)
+		Or(or, a, b)
+		if AndCount(a, b) != and.Count() {
+			t.Fatalf("w=%d: AndCount mismatch", w)
+		}
+		if OrCount(a, b) != or.Count() {
+			t.Fatalf("w=%d: OrCount mismatch", w)
+		}
+		c := randomBits(rng, w)
+		and3 := make(Bits, w)
+		And(and3, and, c)
+		if And3Count(a, b, c) != and3.Count() {
+			t.Fatalf("w=%d: And3Count mismatch", w)
+		}
+	}
+}
+
+func TestAndAliasing(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	a, b := randomBits(rng, 5), randomBits(rng, 5)
+	want := make(Bits, 5)
+	And(want, a, b)
+	got := a.Clone()
+	And(got, got, b) // dst aliases a
+	if !Equal(got, want) {
+		t.Fatal("And with aliased dst differs")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := New(128)
+	b := New(128)
+	if !Equal(a, b) {
+		t.Fatal("zero vectors should be equal")
+	}
+	b.Set(100)
+	if Equal(a, b) {
+		t.Fatal("differing vectors reported equal")
+	}
+	if Equal(a, New(64)) {
+		t.Fatal("different lengths reported equal")
+	}
+}
+
+func TestOnes(t *testing.T) {
+	b := New(192)
+	want := []int{0, 5, 63, 64, 100, 191}
+	for _, i := range want {
+		b.Set(i)
+	}
+	got := b.Ones(nil)
+	if len(got) != len(want) {
+		t.Fatalf("Ones = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ones = %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: Count(a) + Count(b) == AndCount(a,b) + OrCount(a,b)
+// (inclusion–exclusion at the bit level).
+func TestInclusionExclusionProperty(t *testing.T) {
+	f := func(aw, bw []uint64) bool {
+		n := len(aw)
+		if len(bw) < n {
+			n = len(bw)
+		}
+		a, b := Bits(aw[:n]), Bits(bw[:n])
+		return a.Count()+b.Count() == AndCount(a, b)+OrCount(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AndCount is symmetric and bounded by min(Count(a), Count(b)).
+func TestAndCountBoundsProperty(t *testing.T) {
+	f := func(aw, bw []uint64) bool {
+		n := len(aw)
+		if len(bw) < n {
+			n = len(bw)
+		}
+		a, b := Bits(aw[:n]), Bits(bw[:n])
+		ab := AndCount(a, b)
+		if ab != AndCount(b, a) {
+			return false
+		}
+		ca, cb := a.Count(), b.Count()
+		m := ca
+		if cb < m {
+			m = cb
+		}
+		return ab <= m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: popcount of each word agrees with bits.OnesCount64 summed.
+func TestCountAgainstStdlibProperty(t *testing.T) {
+	f := func(ws []uint64) bool {
+		want := 0
+		for _, w := range ws {
+			want += bits.OnesCount64(w)
+		}
+		return Bits(ws).Count() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAndCount1Kbit(b *testing.B) { benchAndCount(b, 1024) }
+func BenchmarkAndCount8Kbit(b *testing.B) { benchAndCount(b, 8192) }
+
+func benchAndCount(b *testing.B, nbits int) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	x := randomBits(rng, nbits/64)
+	y := randomBits(rng, nbits/64)
+	b.SetBytes(int64(nbits / 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = AndCount(x, y)
+	}
+}
+
+var sink int

@@ -1,0 +1,409 @@
+// Package core implements the ProbGraph representation itself (§V, §VI):
+// one fixed-size probabilistic sketch per vertex neighborhood, stored in
+// flat arrays with a uniform stride, parameterized by the storage budget
+// s, built in parallel, and queried through the estimator dispatch
+// IntCard. The fixed per-vertex size is a deliberate design point — it is
+// what gives ProbGraph its load-balancing advantage over CSR (Fig. 1,
+// panel 5): every intersection costs the same regardless of the degrees
+// involved.
+package core
+
+import (
+	"fmt"
+
+	"probgraph/internal/bitset"
+	"probgraph/internal/graph"
+	"probgraph/internal/hash"
+	"probgraph/internal/par"
+	"probgraph/internal/sketch"
+)
+
+// Kind selects the probabilistic set representation (§II-D, §IX).
+type Kind int
+
+const (
+	// BF represents neighborhoods as Bloom filters.
+	BF Kind = iota
+	// KHash represents neighborhoods as k-Hash MinHash signatures.
+	KHash
+	// OneHash represents neighborhoods as 1-Hash (bottom-k) MinHash sketches.
+	OneHash
+	// KMV represents neighborhoods as K-Minimum-Values sketches.
+	KMV
+	// HLL represents neighborhoods as HyperLogLog registers — the §X
+	// "beyond Bloom filter and MinHash" extension, with intersections by
+	// inclusion–exclusion over the register-max union.
+	HLL
+)
+
+// String returns the representation name as used in the paper's plots.
+func (k Kind) String() string {
+	switch k {
+	case BF:
+		return "BF"
+	case KHash:
+		return "kH"
+	case OneHash:
+		return "1H"
+	case KMV:
+		return "KMV"
+	case HLL:
+		return "HLL"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Estimator selects the |X∩Y| estimator within a representation.
+type Estimator int
+
+const (
+	// EstAuto picks the paper's default for the representation:
+	// AND (Eq. 2) for BF, Eq. 5 for k-Hash, the union-restricted Jaccard
+	// for 1-Hash, inclusion–exclusion for KMV.
+	EstAuto Estimator = iota
+	// EstBFAnd is Eq. (2), |X∩Y|_AND.
+	EstBFAnd
+	// EstBFL is Eq. (4), the limiting estimator ones(AND)/b.
+	EstBFL
+	// EstBFOr is Eq. (29), the Swamidass union-based estimator.
+	EstBFOr
+	// Est1HSimple is the plain |M¹_X∩M¹_Y|/k Jaccard of §IV-D.
+	Est1HSimple
+)
+
+// Config parameterizes Build. The zero value plus a Kind is usable: the
+// storage budget defaults to 25% (the evaluation's typical setting) and
+// sizes are derived from it.
+type Config struct {
+	Kind Kind
+	Est  Estimator
+
+	// Budget is the storage budget s ∈ (0, 1]: the additional memory
+	// allowed for sketches as a fraction of the CSR size (§V-A). Used
+	// when BloomBits / K are zero. Defaults to 0.25.
+	Budget float64
+
+	// BloomBits fixes the per-vertex Bloom filter size B in bits
+	// (rounded up to a multiple of 64). 0 = derive from Budget.
+	BloomBits int
+	// NumHashes is b, the Bloom hash-function count. Defaults to 2, the
+	// evaluation's setting.
+	NumHashes int
+	// K fixes the MinHash/KMV sketch size. 0 = derive from Budget.
+	K int
+
+	// StoreElems makes 1-Hash sketches retain element IDs so weighted
+	// similarity measures can be estimated (Adamic–Adar, Resource Alloc.).
+	StoreElems bool
+
+	// Seed drives every hash family; identical seeds reproduce sketches.
+	Seed uint64
+	// Workers bounds construction parallelism (<=0: GOMAXPROCS).
+	Workers int
+}
+
+// withDefaults fills in derived parameters for a graph with n vertices
+// and CSR size csrBits.
+func (c Config) withDefaults(n int, csrBits int64) (Config, error) {
+	if c.Budget < 0 || c.Budget > 1 {
+		return c, fmt.Errorf("core: budget s=%v outside [0,1]", c.Budget)
+	}
+	if c.Budget == 0 {
+		c.Budget = 0.25
+	}
+	if c.NumHashes <= 0 {
+		c.NumHashes = 2
+	}
+	if n == 0 {
+		return c, nil
+	}
+	budgetBits := int64(c.Budget * float64(csrBits))
+	if c.BloomBits == 0 {
+		bb := budgetBits / int64(n)
+		if bb < bitset.WordBits {
+			bb = bitset.WordBits
+		}
+		c.BloomBits = int(bb)
+	}
+	c.BloomBits = (c.BloomBits + bitset.WordBits - 1) / bitset.WordBits * bitset.WordBits
+	if c.K == 0 {
+		slotBits := int64(64)
+		if c.StoreElems && c.Kind == OneHash {
+			slotBits = 96 // hash value + element ID per slot
+		}
+		k := budgetBits / (slotBits * int64(n))
+		if k < 1 {
+			k = 1
+		}
+		c.K = int(k)
+	}
+	if c.K < 1 {
+		return c, fmt.Errorf("core: k=%d must be positive", c.K)
+	}
+	return c, nil
+}
+
+// PG is a ProbGraph: per-vertex neighborhood sketches with O(1) row
+// access. Build one with Build (full neighborhoods N_v, used by TC,
+// clustering, similarity) or BuildOriented (oriented N+_v, used by
+// clique counting).
+type PG struct {
+	Cfg     Config
+	n       int
+	sizes   []int32 // exact |set| per vertex (degrees); free in graph mining
+	fam     *hash.Family
+	csrBits int64
+
+	// BF storage: n rows of `words` uint64s.
+	words int
+	bits  []uint64
+
+	// k-Hash storage: n rows of K signature slots.
+	sigs []uint64
+
+	// 1-Hash / KMV storage: n rows of up to K sorted hashes; lens[v] is
+	// the used prefix (min(K, d_v) — shorter for low-degree vertices).
+	hashes []uint64
+	lens   []int32
+	elems  []uint32 // aligned with hashes when Cfg.StoreElems
+
+	// HLL storage: n rows of 2^hllP single-byte registers.
+	hllReg []uint8
+	hllP   uint8
+}
+
+// Build constructs the ProbGraph representation of every full
+// neighborhood N_v, in parallel (Table V costs).
+func Build(g *graph.Graph, cfg Config) (*PG, error) {
+	n := g.NumVertices()
+	return build(n, g.SizeBits(), cfg, func(v uint32) []uint32 { return g.Neighbors(v) })
+}
+
+// BuildOriented constructs sketches of the oriented neighborhoods N+_v.
+func BuildOriented(o *graph.Oriented, csrBits int64, cfg Config) (*PG, error) {
+	n := o.NumVertices()
+	return build(n, csrBits, cfg, func(v uint32) []uint32 { return o.NPlus(v) })
+}
+
+func build(n int, csrBits int64, cfg Config, neigh func(uint32) []uint32) (*PG, error) {
+	cfg, err := cfg.withDefaults(n, csrBits)
+	if err != nil {
+		return nil, err
+	}
+	pg := &PG{Cfg: cfg, n: n, csrBits: csrBits}
+	pg.sizes = make([]int32, n)
+	par.For(n, cfg.Workers, func(v int) {
+		pg.sizes[v] = int32(len(neigh(uint32(v))))
+	})
+	switch cfg.Kind {
+	case BF:
+		pg.fam = hash.NewFamily(cfg.Seed, cfg.NumHashes)
+		pg.words = cfg.BloomBits / bitset.WordBits
+		pg.bits = make([]uint64, n*pg.words)
+		par.For(n, cfg.Workers, func(v int) {
+			row := pg.BloomRow(uint32(v))
+			for _, x := range neigh(uint32(v)) {
+				sketch.AddToBits(row, x, pg.fam)
+			}
+		})
+	case KHash:
+		pg.fam = hash.NewFamily(cfg.Seed, cfg.K)
+		pg.sigs = make([]uint64, n*cfg.K)
+		par.For(n, cfg.Workers, func(v int) {
+			sketch.KHashSignature(neigh(uint32(v)), pg.fam, pg.KHashRow(uint32(v)))
+		})
+	case OneHash, KMV:
+		pg.fam = hash.NewFamily(cfg.Seed, 1)
+		pg.hashes = make([]uint64, n*cfg.K)
+		pg.lens = make([]int32, n)
+		if cfg.StoreElems && cfg.Kind == OneHash {
+			pg.elems = make([]uint32, n*cfg.K)
+		}
+		fn := func(x uint32) uint64 { return pg.fam.Hash(0, x) }
+		par.For(n, cfg.Workers, func(v int) {
+			var s sketch.BottomK
+			if cfg.Kind == OneHash {
+				s = sketch.OneHashSketch(neigh(uint32(v)), cfg.K, fn, cfg.StoreElems)
+			} else {
+				s = sketch.BottomK{Hashes: sketch.NewKMV(neigh(uint32(v)), cfg.K, fn).Hashes}
+			}
+			pg.lens[v] = int32(len(s.Hashes))
+			copy(pg.hashes[v*cfg.K:], s.Hashes)
+			if pg.elems != nil && s.Elems != nil {
+				copy(pg.elems[v*cfg.K:], s.Elems)
+			}
+		})
+	case HLL:
+		pg.fam = hash.NewFamily(cfg.Seed, 1)
+		// Match the budget: 2^p bytes per vertex ≈ K 64-bit words.
+		p := uint8(4)
+		for (1<<(p+1)) <= cfg.K*8 && p < 16 {
+			p++
+		}
+		pg.hllP = p
+		pg.hllReg = make([]uint8, n*(1<<p))
+		par.For(n, cfg.Workers, func(v int) {
+			row := sketch.HLL{Reg: pg.HLLRow(uint32(v)), P: p}
+			for _, x := range neigh(uint32(v)) {
+				row.Add(pg.fam.Hash(0, x))
+			}
+		})
+	default:
+		return nil, fmt.Errorf("core: unknown representation kind %d", cfg.Kind)
+	}
+	return pg, nil
+}
+
+// HLLRow returns vertex v's HyperLogLog registers (HLL only).
+func (pg *PG) HLLRow(v uint32) []uint8 {
+	m := 1 << pg.hllP
+	return pg.hllReg[int(v)*m : (int(v)+1)*m]
+}
+
+// NumVertices returns the number of sketched sets.
+func (pg *PG) NumVertices() int { return pg.n }
+
+// SetSize returns the exact size of set v (the degree, §IV's "reasonable
+// assumption for graph algorithms").
+func (pg *PG) SetSize(v uint32) int { return int(pg.sizes[v]) }
+
+// BloomRow returns vertex v's Bloom bit vector (BF only; aliases storage).
+func (pg *PG) BloomRow(v uint32) bitset.Bits {
+	return bitset.Bits(pg.bits[int(v)*pg.words : (int(v)+1)*pg.words])
+}
+
+// KHashRow returns vertex v's k-Hash signature (KHash only).
+func (pg *PG) KHashRow(v uint32) sketch.KHashSig {
+	k := pg.Cfg.K
+	return sketch.KHashSig(pg.sigs[int(v)*k : (int(v)+1)*k])
+}
+
+// BottomKRow returns vertex v's 1-Hash/KMV sketch (aliases storage).
+func (pg *PG) BottomKRow(v uint32) sketch.BottomK {
+	k := pg.Cfg.K
+	l := int(pg.lens[v])
+	s := sketch.BottomK{Hashes: pg.hashes[int(v)*k : int(v)*k+l]}
+	if pg.elems != nil {
+		s.Elems = pg.elems[int(v)*k : int(v)*k+l]
+	}
+	return s
+}
+
+// IntCard estimates |N_u ∩ N_v| with the configured representation and
+// estimator — the operation every PG-enhanced algorithm plugs in for the
+// blue |X∩Y| terms of Listings 1–5.
+func (pg *PG) IntCard(u, v uint32) float64 {
+	switch pg.Cfg.Kind {
+	case BF:
+		a, b := pg.BloomRow(u), pg.BloomRow(v)
+		switch pg.Cfg.Est {
+		case EstBFL:
+			return sketch.InterL(a, b, pg.Cfg.NumHashes)
+		case EstBFOr:
+			return sketch.InterOR(a, b, pg.Cfg.BloomBits, pg.Cfg.NumHashes, pg.SetSize(u), pg.SetSize(v))
+		default:
+			return sketch.InterAND(a, b, pg.Cfg.BloomBits, pg.Cfg.NumHashes)
+		}
+	case KHash:
+		return sketch.KHashInter(pg.KHashRow(u), pg.KHashRow(v), pg.SetSize(u), pg.SetSize(v))
+	case OneHash:
+		a, b := pg.BottomKRow(u), pg.BottomKRow(v)
+		if pg.Cfg.Est == Est1HSimple {
+			return sketch.OneHashInterSimple(a, b, pg.Cfg.K, pg.SetSize(u), pg.SetSize(v))
+		}
+		return sketch.OneHashInter(a, b, pg.Cfg.K, pg.SetSize(u), pg.SetSize(v))
+	case KMV:
+		a := sketch.KMV{Hashes: pg.BottomKRow(u).Hashes}
+		b := sketch.KMV{Hashes: pg.BottomKRow(v).Hashes}
+		return sketch.InterKMV(a, b, pg.Cfg.K, pg.SetSize(u), pg.SetSize(v))
+	case HLL:
+		a := &sketch.HLL{Reg: pg.HLLRow(u), P: pg.hllP}
+		b := &sketch.HLL{Reg: pg.HLLRow(v), P: pg.hllP}
+		return sketch.InterHLL(a, b, pg.SetSize(u), pg.SetSize(v))
+	}
+	return 0
+}
+
+// IntCard3 estimates the triple intersection |N_w ∩ N_u ∩ N_v|, the
+// 4-clique inner kernel. For BF it is a three-way AND (free composition
+// of bit vectors); for the sample-based sketches it falls back to the
+// minimum of pairwise estimates, a documented upper-bound heuristic.
+func (pg *PG) IntCard3(w, u, v uint32) float64 {
+	if pg.Cfg.Kind == BF {
+		est := sketch.InterAND3(pg.BloomRow(w), pg.BloomRow(u), pg.BloomRow(v), pg.Cfg.BloomBits, pg.Cfg.NumHashes)
+		return est
+	}
+	m := pg.IntCard(w, u)
+	if e := pg.IntCard(w, v); e < m {
+		m = e
+	}
+	if e := pg.IntCard(u, v); e < m {
+		m = e
+	}
+	return m
+}
+
+// HasElems reports whether 1-Hash sketches carry element IDs
+// (Config.StoreElems), enabling the sample-based algorithms.
+func (pg *PG) HasElems() bool { return pg.elems != nil }
+
+// Contains answers a membership query "x ∈ N_v" on the sketch: exact
+// semantics for BF (no false negatives); for sample-based sketches it
+// reports membership in the sample only.
+func (pg *PG) Contains(v, x uint32) bool {
+	switch pg.Cfg.Kind {
+	case BF:
+		return sketch.BitsContain(pg.BloomRow(v), x, pg.fam)
+	case KHash:
+		h := pg.fam.Hash(0, x)
+		for _, s := range pg.KHashRow(v) {
+			if s == h {
+				return true
+			}
+		}
+		return false
+	case OneHash, KMV:
+		h := pg.fam.Hash(0, x)
+		row := pg.BottomKRow(v).Hashes
+		for _, s := range row {
+			if s == h {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// Jaccard estimates the Jaccard similarity J(N_u, N_v) from the sketch,
+// using exact degrees for the denominator where the representation
+// estimates the intersection (Listing 6's pattern).
+func (pg *PG) Jaccard(u, v uint32) float64 {
+	inter := pg.IntCard(u, v)
+	union := float64(pg.SetSize(u)+pg.SetSize(v)) - inter
+	if union <= 0 {
+		return 0
+	}
+	return inter / union
+}
+
+// MemoryBits returns the sketch storage in bits — the quantity the
+// "relative memory" axis of Figs. 4–7 reports against the CSR size.
+func (pg *PG) MemoryBits() int64 {
+	var bits int64
+	bits += int64(len(pg.bits)) * 64
+	bits += int64(len(pg.sigs)) * 64
+	bits += int64(len(pg.hashes)) * 64
+	bits += int64(len(pg.elems)) * 32
+	bits += int64(len(pg.lens)) * 32
+	bits += int64(len(pg.hllReg)) * 8
+	return bits
+}
+
+// RelativeMemory returns MemoryBits / CSR bits, the budget actually used.
+func (pg *PG) RelativeMemory() float64 {
+	if pg.csrBits == 0 {
+		return 0
+	}
+	return float64(pg.MemoryBits()) / float64(pg.csrBits)
+}

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"probgraph/internal/graph"
+	"probgraph/internal/stats"
+)
+
+func buildOrFail(t *testing.T, g *graph.Graph, cfg Config) *PG {
+	t.Helper()
+	pg, err := Build(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pg
+}
+
+func TestConfigDefaults(t *testing.T) {
+	g := graph.Kronecker(8, 8, 1)
+	pg := buildOrFail(t, g, Config{Kind: BF})
+	if pg.Cfg.Budget != 0.25 || pg.Cfg.NumHashes != 2 {
+		t.Fatalf("defaults not applied: %+v", pg.Cfg)
+	}
+	if pg.Cfg.BloomBits%64 != 0 || pg.Cfg.BloomBits < 64 {
+		t.Fatalf("BloomBits = %d", pg.Cfg.BloomBits)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := graph.Complete(4)
+	if _, err := Build(g, Config{Kind: BF, Budget: 1.5}); err == nil {
+		t.Fatal("budget > 1 must fail")
+	}
+	if _, err := Build(g, Config{Kind: BF, Budget: -0.1}); err == nil {
+		t.Fatal("negative budget must fail")
+	}
+	if _, err := Build(g, Config{Kind: Kind(99)}); err == nil {
+		t.Fatal("unknown kind must fail")
+	}
+	if _, err := Build(g, Config{Kind: KHash, K: -5}); err == nil {
+		t.Fatal("negative k must fail")
+	}
+}
+
+func TestBudgetRespected(t *testing.T) {
+	g := graph.Kronecker(10, 16, 3)
+	for _, kind := range []Kind{BF, KHash, OneHash, KMV} {
+		for _, s := range []float64{0.1, 0.33} {
+			pg, err := Build(g, Config{Kind: kind, Budget: s, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Fixed-size rows can overshoot slightly on rounding; allow a
+			// small multiple for tiny budgets, but it must stay bounded.
+			if rel := pg.RelativeMemory(); rel > s*1.5+0.02 {
+				t.Errorf("%v s=%v: relative memory %.3f", kind, s, rel)
+			}
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g, _ := graph.FromEdges(0, nil)
+	for _, kind := range []Kind{BF, KHash, OneHash, KMV} {
+		pg, err := Build(g, Config{Kind: kind})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if pg.NumVertices() != 0 || pg.MemoryBits() != 0 {
+			t.Fatalf("%v: empty graph invariants", kind)
+		}
+	}
+}
+
+func TestIsolatedVertices(t *testing.T) {
+	g, _ := graph.FromEdges(5, []graph.Edge{{U: 0, V: 1}})
+	for _, kind := range []Kind{BF, KHash, OneHash, KMV} {
+		pg := buildOrFail(t, g, Config{Kind: kind, Seed: 2})
+		if pg.SetSize(3) != 0 {
+			t.Fatal("isolated degree")
+		}
+		if got := pg.IntCard(2, 3); got != 0 {
+			t.Fatalf("%v: intersection of empty sets = %v", kind, got)
+		}
+		if got := pg.IntCard(0, 3); got != 0 {
+			t.Fatalf("%v: intersection with empty set = %v", kind, got)
+		}
+	}
+}
+
+func TestIntCardAccuracyAllKinds(t *testing.T) {
+	// On K_n every pair of adjacent vertices shares exactly n-2 neighbors.
+	g := graph.Complete(40)
+	want := 38.0
+	for _, kind := range []Kind{BF, KHash, OneHash, KMV} {
+		pg := buildOrFail(t, g, Config{Kind: kind, Budget: 0.33, Seed: 4})
+		var errs []float64
+		g.Edges(func(u, v uint32) {
+			errs = append(errs, stats.RelativeError(pg.IntCard(u, v), want))
+		})
+		if m := stats.Mean(errs); m > 0.35 {
+			t.Errorf("%v: mean relative error on K40 = %.3f", kind, m)
+		}
+	}
+}
+
+func TestIntCardSymmetry(t *testing.T) {
+	g := graph.Kronecker(8, 10, 5)
+	for _, kind := range []Kind{BF, KHash, OneHash, KMV} {
+		pg := buildOrFail(t, g, Config{Kind: kind, Seed: 6})
+		count := 0
+		g.Edges(func(u, v uint32) {
+			if count > 200 {
+				return
+			}
+			count++
+			if a, b := pg.IntCard(u, v), pg.IntCard(v, u); math.Abs(a-b) > 1e-9 {
+				t.Fatalf("%v: IntCard(%d,%d)=%v != IntCard(%d,%d)=%v", kind, u, v, a, v, u, b)
+			}
+		})
+	}
+}
+
+func TestBFEstimatorVariants(t *testing.T) {
+	g := graph.Complete(30)
+	for _, est := range []Estimator{EstAuto, EstBFAnd, EstBFL, EstBFOr} {
+		pg := buildOrFail(t, g, Config{Kind: BF, Est: est, Budget: 0.33, Seed: 7})
+		got := pg.IntCard(0, 1)
+		if stats.RelativeError(got, 28) > 0.5 {
+			t.Errorf("est=%d: IntCard = %v, want ~28", est, got)
+		}
+	}
+	// EstAuto and EstBFAnd must agree exactly.
+	a := buildOrFail(t, g, Config{Kind: BF, Est: EstAuto, Seed: 8})
+	b := buildOrFail(t, g, Config{Kind: BF, Est: EstBFAnd, Seed: 8})
+	if a.IntCard(0, 1) != b.IntCard(0, 1) {
+		t.Fatal("EstAuto should default to AND for BF")
+	}
+}
+
+func TestOneHashVariants(t *testing.T) {
+	g := graph.Complete(30)
+	u := buildOrFail(t, g, Config{Kind: OneHash, Seed: 9})
+	s := buildOrFail(t, g, Config{Kind: OneHash, Est: Est1HSimple, Seed: 9})
+	if u.IntCard(0, 1) <= 0 || s.IntCard(0, 1) <= 0 {
+		t.Fatal("estimates must be positive on overlapping sets")
+	}
+}
+
+func TestSeedReproducibility(t *testing.T) {
+	g := graph.Kronecker(8, 8, 11)
+	for _, kind := range []Kind{BF, KHash, OneHash, KMV} {
+		a := buildOrFail(t, g, Config{Kind: kind, Seed: 42})
+		b := buildOrFail(t, g, Config{Kind: kind, Seed: 42})
+		c := buildOrFail(t, g, Config{Kind: kind, Seed: 43})
+		sameAB, sameAC := true, true
+		g.Edges(func(u, v uint32) {
+			if a.IntCard(u, v) != b.IntCard(u, v) {
+				sameAB = false
+			}
+			if a.IntCard(u, v) != c.IntCard(u, v) {
+				sameAC = false
+			}
+		})
+		if !sameAB {
+			t.Errorf("%v: same seed must reproduce estimates", kind)
+		}
+		if sameAC {
+			t.Errorf("%v: different seeds should perturb estimates", kind)
+		}
+	}
+}
+
+func TestBFContainsNoFalseNegatives(t *testing.T) {
+	g := graph.Kronecker(8, 8, 13)
+	pg := buildOrFail(t, g, Config{Kind: BF, Seed: 1})
+	for v := uint32(0); int(v) < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if !pg.Contains(v, u) {
+				t.Fatalf("false negative: %d in N(%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestSampleContains(t *testing.T) {
+	g := graph.Complete(10)
+	// K large enough to hold every neighborhood: sample == set.
+	pg := buildOrFail(t, g, Config{Kind: OneHash, K: 16, Seed: 1})
+	for _, u := range g.Neighbors(0) {
+		if !pg.Contains(0, u) {
+			t.Fatal("full sample must contain every neighbor")
+		}
+	}
+	kh := buildOrFail(t, g, Config{Kind: KHash, K: 8, Seed: 1})
+	_ = kh.Contains(0, 1) // sample semantics: just must not panic
+}
+
+func TestIntCard3(t *testing.T) {
+	g := graph.Complete(30) // any triple of distinct vertices shares 27 others
+	bf := buildOrFail(t, g, Config{Kind: BF, Budget: 0.33, Seed: 3})
+	if got := bf.IntCard3(0, 1, 2); stats.RelativeError(got, 27) > 0.4 {
+		t.Fatalf("BF IntCard3 = %v, want ~27", got)
+	}
+	oh := buildOrFail(t, g, Config{Kind: OneHash, Budget: 0.33, Seed: 3})
+	got := oh.IntCard3(0, 1, 2)
+	// Fallback is min of pairwise estimates: an upper-bound heuristic;
+	// must be within the pairwise range.
+	if got < 0 || got > 30 {
+		t.Fatalf("1H IntCard3 = %v out of range", got)
+	}
+}
+
+func TestBuildOriented(t *testing.T) {
+	g := graph.Complete(20)
+	o := g.Orient(2)
+	pg, err := BuildOriented(o, g.SizeBits(), Config{Kind: BF, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Out-degrees under a total order on K_n are n-1, n-2, ..., 0.
+	sum := 0
+	for v := 0; v < 20; v++ {
+		sum += pg.SetSize(uint32(v))
+	}
+	if sum != g.NumEdges() {
+		t.Fatalf("sum of oriented set sizes = %d, want m = %d", sum, g.NumEdges())
+	}
+}
+
+func TestExactWhenSketchCoversNeighborhoods(t *testing.T) {
+	// 1-Hash with k >= d gives exact intersections.
+	g := graph.Complete(12)
+	pg := buildOrFail(t, g, Config{Kind: OneHash, K: 32, Seed: 17})
+	g.Edges(func(u, v uint32) {
+		if got := pg.IntCard(u, v); math.Abs(got-10) > 1e-9 {
+			t.Fatalf("k>=d must be exact: IntCard(%d,%d) = %v, want 10", u, v, got)
+		}
+	})
+	// Same for KMV (sizes exact, union enumerated).
+	kmv := buildOrFail(t, g, Config{Kind: KMV, K: 32, Seed: 17})
+	g.Edges(func(u, v uint32) {
+		if got := kmv.IntCard(u, v); math.Abs(got-10) > 1e-9 {
+			t.Fatalf("KMV k>=d must be exact: got %v", got)
+		}
+	})
+}
+
+func TestStoreElems(t *testing.T) {
+	g := graph.Complete(8)
+	pg := buildOrFail(t, g, Config{Kind: OneHash, K: 16, StoreElems: true, Seed: 1})
+	row := pg.BottomKRow(0)
+	if row.Elems == nil || len(row.Elems) != len(row.Hashes) {
+		t.Fatal("StoreElems must align element IDs with hashes")
+	}
+	noElems := buildOrFail(t, g, Config{Kind: OneHash, K: 16, Seed: 1})
+	if noElems.BottomKRow(0).Elems != nil {
+		t.Fatal("Elems must be absent when StoreElems is false")
+	}
+}
+
+func TestJaccardEstimate(t *testing.T) {
+	g := graph.Complete(30) // true J between adjacent vertices: 28/30
+	pg := buildOrFail(t, g, Config{Kind: BF, Budget: 0.33, Seed: 19})
+	j := pg.Jaccard(0, 1)
+	if stats.RelativeError(j, 28.0/30) > 0.3 {
+		t.Fatalf("Jaccard = %v, want ~%v", j, 28.0/30)
+	}
+	empty, _ := graph.FromEdges(2, nil)
+	pge := buildOrFail(t, empty, Config{Kind: BF})
+	if pge.Jaccard(0, 1) != 0 {
+		t.Fatal("Jaccard of empty sets must be 0")
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	g := graph.Kronecker(8, 8, 1)
+	n := int64(g.NumVertices())
+	bf := buildOrFail(t, g, Config{Kind: BF, BloomBits: 256, Seed: 1})
+	if bf.MemoryBits() != n*256 {
+		t.Fatalf("BF memory = %d, want %d", bf.MemoryBits(), n*256)
+	}
+	kh := buildOrFail(t, g, Config{Kind: KHash, K: 8, Seed: 1})
+	if kh.MemoryBits() != n*8*64 {
+		t.Fatalf("kH memory = %d", kh.MemoryBits())
+	}
+	oh := buildOrFail(t, g, Config{Kind: OneHash, K: 8, StoreElems: true, Seed: 1})
+	want := n*8*64 + n*8*32 + n*32
+	if oh.MemoryBits() != want {
+		t.Fatalf("1H memory = %d, want %d", oh.MemoryBits(), want)
+	}
+}
+
+func TestHLLKind(t *testing.T) {
+	g := graph.Complete(40)
+	pg := buildOrFail(t, g, Config{Kind: HLL, K: 32, Seed: 3})
+	if pg.Cfg.Kind.String() != "HLL" {
+		t.Fatal("kind name")
+	}
+	var errs []float64
+	g.Edges(func(u, v uint32) {
+		errs = append(errs, stats.RelativeError(pg.IntCard(u, v), 38))
+	})
+	if m := stats.Mean(errs); m > 0.35 {
+		t.Errorf("HLL mean relative error on K40 = %.3f", m)
+	}
+	if pg.MemoryBits() != int64(g.NumVertices())*int64(len(pg.HLLRow(0)))*8 {
+		t.Fatal("HLL memory accounting")
+	}
+	// Budget-derived sizing stays within the budget.
+	pgB := buildOrFail(t, g, Config{Kind: HLL, Budget: 0.25, Seed: 3})
+	if rel := pgB.RelativeMemory(); rel > 0.3 {
+		t.Errorf("HLL relative memory %.3f", rel)
+	}
+}
+
+func TestHLLEmptyAndIsolated(t *testing.T) {
+	g, _ := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}})
+	pg := buildOrFail(t, g, Config{Kind: HLL, K: 16, Seed: 1})
+	if got := pg.IntCard(2, 3); got != 0 {
+		t.Fatalf("HLL empty intersection = %v", got)
+	}
+	if pg.Contains(0, 1) {
+		t.Fatal("HLL cannot answer membership; Contains must be false")
+	}
+}

@@ -1,0 +1,226 @@
+// Package estimator implements the statistical theory of ProbGraph as
+// executable formulas: the MSE and concentration bounds of §IV (Props.
+// IV.1–IV.3, Eq. 3, 6, 7), the general linear-class BF bound (Prop. A.2),
+// the triangle-count bounds of Theorem VII.1, and the KMV beta-function
+// bounds (Props. A.7–A.9). Each bound is available in two directions:
+// the tail probability at a deviation t, and the inverted form (the
+// deviation guaranteed at a target confidence), which is what callers use
+// to report error bars.
+package estimator
+
+import (
+	"math"
+
+	"probgraph/internal/stats"
+)
+
+// BFMSEBound evaluates the Prop. IV.1 upper bound on the mean squared
+// error of the AND estimator (and of Eq. 1):
+//
+//	(e^{I·b/(B-1)}·B/b² − B/b² − I/b)
+//
+// where I = |X∩Y| and B = B_{X∩Y}. Valid when b·I ≤ 0.499·B·ln B and
+// b = o(√B); Valid reports whether the precondition holds.
+func BFMSEBound(inter, sizeBits, b int) (bound float64, valid bool) {
+	B := float64(sizeBits)
+	bf := float64(b)
+	I := float64(inter)
+	valid = bf*I <= 0.499*B*math.Log(B) && sizeBits > 1
+	bound = math.Exp(I*bf/(B-1))*B/(bf*bf) - B/(bf*bf) - I/bf
+	if bound < 0 {
+		bound = 0
+	}
+	return bound, valid
+}
+
+// BFTail evaluates Eq. (3): the Chebyshev tail bound
+// P(|est − I| ≥ t) ≤ MSE/t², capped at 1.
+func BFTail(inter, sizeBits, b int, t float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	mse, _ := BFMSEBound(inter, sizeBits, b)
+	return math.Min(1, mse/(t*t))
+}
+
+// BFDeviation inverts Eq. (3): the deviation t such that the estimator is
+// within t of the truth with probability at least conf.
+func BFDeviation(inter, sizeBits, b int, conf float64) float64 {
+	mse, _ := BFMSEBound(inter, sizeBits, b)
+	return math.Sqrt(mse / (1 - conf))
+}
+
+// BFLinearMSEBound evaluates Prop. A.2 for the linear estimator class
+// δ·B₁ (which includes the L estimator with δ = 1/b): the bias² + variance
+// bound
+//
+//	[I − δB(1−e^{−Ib/B})]² + δ²B[e^{−Ib/B} − (1 + Ib/B)e^{−2Ib/B}]
+//
+// with I the true cardinality. Unlike Prop. IV.1 it needs no
+// preconditions.
+func BFLinearMSEBound(inter, sizeBits, b int, delta float64) float64 {
+	B := float64(sizeBits)
+	I := float64(inter)
+	lam := I * float64(b) / B
+	bias := I - delta*B*(1-math.Exp(-lam))
+	variance := delta * delta * B * (math.Exp(-lam) - (1+lam)*math.Exp(-2*lam))
+	if variance < 0 {
+		variance = 0
+	}
+	return bias*bias + variance
+}
+
+// BFLinearTail is the Chebyshev tail for the linear estimator class.
+func BFLinearTail(inter, sizeBits, b int, delta, t float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	return math.Min(1, BFLinearMSEBound(inter, sizeBits, b, delta)/(t*t))
+}
+
+// MinHashTail evaluates the exponential bounds of Props. IV.2/IV.3
+// (identical for k-Hash and 1-Hash):
+//
+//	P(|est − |X∩Y|| ≥ t) ≤ 2·exp(−2kt²/(|X|+|Y|)²)
+func MinHashTail(sizeX, sizeY, k int, t float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	s := float64(sizeX + sizeY)
+	if s == 0 {
+		return 0
+	}
+	return math.Min(1, 2*math.Exp(-2*float64(k)*t*t/(s*s)))
+}
+
+// MinHashDeviation inverts Props. IV.2/IV.3: the deviation t guaranteed
+// with probability conf, t = (|X|+|Y|)·sqrt(ln(2/(1−conf))/(2k)).
+func MinHashDeviation(sizeX, sizeY, k int, conf float64) float64 {
+	s := float64(sizeX + sizeY)
+	return s * math.Sqrt(math.Log(2/(1-conf))/(2*float64(k)))
+}
+
+// --- Theorem VII.1: triangle count bounds ----------------------------------
+
+// GraphMoments carries the degree-sequence quantities the TC bounds need.
+type GraphMoments struct {
+	M         int     // number of undirected edges
+	MaxDegree int     // Δ
+	SumDeg2   float64 // Σ_v d(v)²
+	SumDeg3   float64 // Σ_v d(v)³
+}
+
+// TCBoundBF evaluates the Bloom-filter statement of Theorem VII.1:
+//
+//	P(|TC − T̂C_AND| ≥ t) ≤ 2m²·(e^{Δb/(B−1)}·B/b² − B/b² − Δ/b) / (9t²)
+//
+// valid when b·Δ ≤ 0.499·B·ln B.
+func TCBoundBF(gm GraphMoments, sizeBits, b int, t float64) (tail float64, valid bool) {
+	if t <= 0 {
+		return 1, true
+	}
+	mse, valid := BFMSEBound(gm.MaxDegree, sizeBits, b)
+	m := float64(gm.M)
+	return math.Min(1, 2*m*m*mse/(9*t*t)), valid
+}
+
+// TCBoundMinHash evaluates the first MinHash statement of Theorem VII.1:
+//
+//	P(|TC − T̂C| ≥ t) ≤ 2·exp(−18kt²/(Σ_v d(v)²)²)
+func TCBoundMinHash(gm GraphMoments, k int, t float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	s := gm.SumDeg2
+	if s == 0 {
+		return 0
+	}
+	return math.Min(1, 2*math.Exp(-18*float64(k)*t*t/(s*s)))
+}
+
+// TCBoundMinHashDegree evaluates the degree-refined MinHash statement
+// (via Vizing's theorem, Thm. A.6):
+//
+//	P(|TC − T̂C| ≥ t) ≤ 2·exp(−9kt²/(4(Δ+1)·Σ_v d(v)³))
+func TCBoundMinHashDegree(gm GraphMoments, k int, t float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	den := 4 * float64(gm.MaxDegree+1) * gm.SumDeg3
+	if den == 0 {
+		return 0
+	}
+	return math.Min(1, 2*math.Exp(-9*float64(k)*t*t/den))
+}
+
+// TCDeviationMinHash inverts TCBoundMinHash at confidence conf.
+func TCDeviationMinHash(gm GraphMoments, k int, conf float64) float64 {
+	return gm.SumDeg2 * math.Sqrt(math.Log(2/(1-conf))/(18*float64(k)))
+}
+
+// --- KMV bounds (Props. A.7–A.9) -------------------------------------------
+
+// KMVCardInterval evaluates Prop. A.7: the probability that the KMV size
+// estimator lands within t of the true size,
+//
+//	P(||X̂|−|X|| ≤ t) = I_u(k, |X|−k+1) − I_l(k, |X|−k+1)
+//
+// with u = (k−1)/(|X|−t), l = (k−1)/(|X|+t) and I the regularized
+// incomplete beta function.
+func KMVCardInterval(size, k int, t float64) float64 {
+	if size < k || k < 2 {
+		return 1 // sketch enumerates the set exactly
+	}
+	N := float64(size)
+	a := float64(k)
+	bb := N - a + 1
+	u := (a - 1) / (N - t)
+	l := (a - 1) / (N + t)
+	if t >= N {
+		u = 1
+	}
+	hi := stats.RegIncBeta(a, bb, clamp01(u))
+	lo := stats.RegIncBeta(a, bb, clamp01(l))
+	return hi - lo
+}
+
+// KMVInterTail evaluates Prop. A.9: with exact |X| and |Y| the
+// intersection error equals the union-size error, so
+//
+//	P(||X∩Y|̂ − |X∩Y|| ≥ t) = 1 − KMVCardInterval(|X∪Y|, k, t).
+func KMVInterTail(sizeUnion, k int, t float64) float64 {
+	return 1 - KMVCardInterval(sizeUnion, k, t)
+}
+
+// KMVInterTailUnionBound evaluates Prop. A.8: the three-way union bound
+// for the variant that also estimates |X| and |Y|.
+func KMVInterTailUnionBound(sizeX, sizeY, sizeUnion, k int, t float64) float64 {
+	p := (1 - KMVCardInterval(sizeX, k, t/3)) +
+		(1 - KMVCardInterval(sizeY, k, t/3)) +
+		(1 - KMVCardInterval(sizeUnion, k, t/3))
+	return math.Min(1, p)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Moments derives GraphMoments from a degree sequence.
+func Moments(degrees []int, m int) GraphMoments {
+	gm := GraphMoments{M: m}
+	for _, d := range degrees {
+		df := float64(d)
+		gm.SumDeg2 += df * df
+		gm.SumDeg3 += df * df * df
+		if d > gm.MaxDegree {
+			gm.MaxDegree = d
+		}
+	}
+	return gm
+}

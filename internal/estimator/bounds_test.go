@@ -1,0 +1,280 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+
+	"probgraph/internal/hash"
+	"probgraph/internal/sketch"
+	"probgraph/internal/stats"
+)
+
+func TestBFMSEBoundValidity(t *testing.T) {
+	// Small load: precondition holds, bound positive and finite.
+	mse, valid := BFMSEBound(50, 8192, 2)
+	if !valid {
+		t.Fatal("precondition should hold for light load")
+	}
+	if mse <= 0 || math.IsInf(mse, 0) || math.IsNaN(mse) {
+		t.Fatalf("mse = %v", mse)
+	}
+	// Heavy load: precondition violated.
+	if _, valid := BFMSEBound(1_000_000, 256, 4); valid {
+		t.Fatal("precondition must fail for overloaded filter")
+	}
+}
+
+func TestBFMSEBoundGrowsWithLoad(t *testing.T) {
+	a, _ := BFMSEBound(10, 8192, 2)
+	b, _ := BFMSEBound(200, 8192, 2)
+	if b <= a {
+		t.Fatalf("MSE bound should grow with |X∩Y|: %v vs %v", a, b)
+	}
+}
+
+func TestBFTailBehaviour(t *testing.T) {
+	if BFTail(50, 8192, 2, 0) != 1 {
+		t.Fatal("t=0 must give trivial bound 1")
+	}
+	small := BFTail(50, 8192, 2, 10)
+	large := BFTail(50, 8192, 2, 100)
+	if large >= small {
+		t.Fatalf("tail must shrink with t: %v vs %v", small, large)
+	}
+	if small > 1 || large < 0 {
+		t.Fatal("tail out of [0,1]")
+	}
+}
+
+func TestBFDeviationInversion(t *testing.T) {
+	d := BFDeviation(50, 8192, 2, 0.95)
+	// Plugging the deviation back in gives a tail of at most 5%.
+	if tail := BFTail(50, 8192, 2, d); tail > 0.05+1e-9 {
+		t.Fatalf("inversion: tail at returned deviation = %v", tail)
+	}
+}
+
+func TestBFLinearMSEBound(t *testing.T) {
+	// For delta = 1/b, bound is finite and nonnegative everywhere,
+	// including regimes where Prop. IV.1's precondition fails.
+	for _, inter := range []int{0, 10, 1000, 100000} {
+		v := BFLinearMSEBound(inter, 1024, 2, 0.5)
+		if v < 0 || math.IsNaN(v) {
+			t.Fatalf("inter=%d: bound %v", inter, v)
+		}
+	}
+	if BFLinearTail(100, 1024, 2, 0.5, 0) != 1 {
+		t.Fatal("t=0")
+	}
+}
+
+func TestMinHashTailExponential(t *testing.T) {
+	// Doubling k must square the bound ratio (pure exponential in k);
+	// t chosen large enough that neither bound hits the cap at 1.
+	t1 := MinHashTail(100, 100, 32, 40)
+	t2 := MinHashTail(100, 100, 64, 40)
+	if math.Abs(t2-t1*t1/2) > 1e-12 {
+		t.Fatalf("not exponential in k: %v vs %v", t2, t1*t1/2)
+	}
+	if MinHashTail(100, 100, 32, 0) != 1 {
+		t.Fatal("t=0")
+	}
+	if MinHashTail(0, 0, 32, 5) != 0 {
+		t.Fatal("empty sets: estimator is exact")
+	}
+}
+
+func TestMinHashDeviationInversion(t *testing.T) {
+	d := MinHashDeviation(300, 200, 64, 0.9)
+	if tail := MinHashTail(300, 200, 64, d); math.Abs(tail-0.1) > 1e-9 {
+		t.Fatalf("inversion: tail = %v, want 0.10", tail)
+	}
+}
+
+// Empirical validation of Prop. IV.2: the measured deviation of the
+// k-Hash estimator should stay within the 95% bound (the bound is loose,
+// so violations should be very rare).
+func TestMinHashBoundHoldsEmpirically(t *testing.T) {
+	const sizeX, sizeY, overlap, k = 120, 100, 40, 64
+	xs := make([]uint32, sizeX)
+	for i := range xs {
+		xs[i] = uint32(i)
+	}
+	ys := make([]uint32, sizeY)
+	for i := range ys {
+		ys[i] = uint32(sizeX - overlap + i)
+	}
+	bound := MinHashDeviation(sizeX, sizeY, k, 0.95)
+	violations := 0
+	const trials = 200
+	for seed := uint64(0); seed < trials; seed++ {
+		fam := hash.NewFamily(seed, k)
+		a := sketch.KHashSignature(xs, fam, make(sketch.KHashSig, k))
+		b := sketch.KHashSignature(ys, fam, make(sketch.KHashSig, k))
+		est := sketch.KHashInter(a, b, sizeX, sizeY)
+		if math.Abs(est-overlap) > bound {
+			violations++
+		}
+	}
+	if violations > trials/20 {
+		t.Fatalf("bound violated %d/%d times (allowed 5%%)", violations, trials)
+	}
+}
+
+func TestTCBoundBF(t *testing.T) {
+	gm := GraphMoments{M: 1000, MaxDegree: 50, SumDeg2: 4e4, SumDeg3: 1e6}
+	tail, valid := TCBoundBF(gm, 1<<16, 2, 500)
+	if !valid {
+		t.Fatal("precondition should hold")
+	}
+	if tail < 0 || tail > 1 {
+		t.Fatalf("tail = %v", tail)
+	}
+	if tt, _ := TCBoundBF(gm, 1<<16, 2, 0); tt != 1 {
+		t.Fatal("t=0")
+	}
+}
+
+func TestTCBoundMinHashMonotonicity(t *testing.T) {
+	gm := GraphMoments{M: 1000, MaxDegree: 50, SumDeg2: 4e4, SumDeg3: 1e6}
+	if TCBoundMinHash(gm, 64, 2000) >= TCBoundMinHash(gm, 64, 200)+1e-15 &&
+		TCBoundMinHash(gm, 64, 200) < 1 {
+		t.Fatal("tail must shrink with t")
+	}
+	if TCBoundMinHash(gm, 128, 2000) > TCBoundMinHash(gm, 64, 2000) {
+		t.Fatal("tail must shrink with k")
+	}
+	d := TCDeviationMinHash(gm, 64, 0.95)
+	if tail := TCBoundMinHash(gm, 64, d); tail > 0.05+1e-9 {
+		t.Fatalf("inversion: %v", tail)
+	}
+	if TCBoundMinHashDegree(gm, 64, 100) < 0 || TCBoundMinHashDegree(gm, 64, 100) > 1 {
+		t.Fatal("degree-refined bound out of range")
+	}
+	if TCBoundMinHashDegree(gm, 64, 0) != 1 {
+		t.Fatal("t=0")
+	}
+}
+
+func TestKMVCardInterval(t *testing.T) {
+	// Wider tolerance → higher coverage probability; t→∞ → 1.
+	p1 := KMVCardInterval(1000, 64, 50)
+	p2 := KMVCardInterval(1000, 64, 200)
+	if p2 <= p1 {
+		t.Fatalf("coverage must grow with t: %v vs %v", p1, p2)
+	}
+	if p := KMVCardInterval(1000, 64, 1e9); math.Abs(p-1) > 1e-6 {
+		t.Fatalf("huge t coverage = %v", p)
+	}
+	// Small sets are exact.
+	if KMVCardInterval(10, 64, 1) != 1 {
+		t.Fatal("size < k is exact")
+	}
+}
+
+func TestKMVInterTails(t *testing.T) {
+	tail := KMVInterTail(500, 64, 100)
+	if tail < 0 || tail > 1 {
+		t.Fatalf("tail = %v", tail)
+	}
+	ub := KMVInterTailUnionBound(300, 300, 500, 64, 100)
+	if ub < 0 || ub > 1 {
+		t.Fatalf("union bound = %v", ub)
+	}
+	// Prop. A.9 (exact sizes) should be at most the A.8 union bound for
+	// the same total deviation.
+	if tail > ub+1e-9 && ub < 1 {
+		t.Fatalf("exact-size bound %v worse than union bound %v", tail, ub)
+	}
+}
+
+// Empirical validation of Prop. A.9 at 90%: measured KMV union-size error
+// exceeds the inverted bound in at most ~10% of trials.
+func TestKMVBoundHoldsEmpirically(t *testing.T) {
+	const size, k = 800, 64
+	xs := make([]uint32, size)
+	for i := range xs {
+		xs[i] = uint32(i)
+	}
+	// Find t with coverage ~0.9 by bisection.
+	lo, hi := 0.0, float64(size)
+	for it := 0; it < 60; it++ {
+		mid := (lo + hi) / 2
+		if KMVCardInterval(size, k, mid) < 0.9 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	tBound := hi
+	violations := 0
+	const trials = 300
+	for seed := uint64(0); seed < trials; seed++ {
+		fam := hash.NewFamily(seed, 1)
+		s := sketch.NewKMV(xs, k, func(x uint32) uint64 { return fam.Hash(0, x) })
+		if math.Abs(s.Card(k)-size) > tBound {
+			violations++
+		}
+	}
+	if violations > trials*15/100 {
+		t.Fatalf("KMV bound violated %d/%d times at 90%%", violations, trials)
+	}
+}
+
+func TestMoments(t *testing.T) {
+	gm := Moments([]int{1, 2, 3}, 3)
+	if gm.MaxDegree != 3 || gm.SumDeg2 != 14 || gm.SumDeg3 != 36 || gm.M != 3 {
+		t.Fatalf("moments = %+v", gm)
+	}
+	empty := Moments(nil, 0)
+	if empty.MaxDegree != 0 || empty.SumDeg2 != 0 {
+		t.Fatal("empty moments")
+	}
+}
+
+func TestBFMSEBoundHoldsOnDirectFilter(t *testing.T) {
+	// Prop. IV.1/A.1 bounds the estimator applied to a Bloom filter that
+	// actually represents X∩Y. Build that filter directly and measure the
+	// MSE of Eq. (1); the (1+o(1)) factor motivates 2x slack.
+	const sizeBits, b, inter = 1 << 15, 2, 80
+	var se []float64
+	for seed := uint64(0); seed < 80; seed++ {
+		f := sketch.NewBloom(sizeBits, b, seed)
+		for i := 0; i < inter; i++ {
+			f.Add(uint32(i))
+		}
+		d := f.EstimateCard() - inter
+		se = append(se, d*d)
+	}
+	measured := stats.Mean(se)
+	bound, valid := BFMSEBound(inter, sizeBits, b)
+	if !valid {
+		t.Fatal("expected valid regime")
+	}
+	if measured > 2*bound {
+		t.Fatalf("measured MSE %v exceeds bound %v", measured, bound)
+	}
+}
+
+func TestANDApproximationInflatesError(t *testing.T) {
+	// The practical estimator uses B_X AND B_Y ≈ B_{X∩Y} (§IV-B), which
+	// "may somewhat increase the false positive probability": its MSE is
+	// allowed to exceed the direct-filter bound, but must stay in the same
+	// ballpark relative to the truth (the Fig. 3 accuracy story).
+	const sizeBits, b, sizeX, sizeY, overlap = 1 << 15, 2, 200, 200, 80
+	var errs []float64
+	for seed := uint64(0); seed < 40; seed++ {
+		fx := sketch.NewBloom(sizeBits, b, seed)
+		fy := sketch.NewBloom(sizeBits, b, seed)
+		for i := 0; i < sizeX; i++ {
+			fx.Add(uint32(i))
+		}
+		for i := 0; i < sizeY; i++ {
+			fy.Add(uint32(sizeX - overlap + i))
+		}
+		errs = append(errs, stats.RelativeError(fx.InterANDOf(fy), overlap))
+	}
+	if m := stats.Mean(errs); m > 0.10 {
+		t.Fatalf("practical AND estimator mean relative error %.3f", m)
+	}
+}

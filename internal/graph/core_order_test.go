@@ -1,0 +1,115 @@
+package graph
+
+import "testing"
+
+func TestKCoreClosedForms(t *testing.T) {
+	// K_n: every vertex has core number n-1.
+	core, degen := Complete(6).KCore()
+	for v, c := range core {
+		if c != 5 {
+			t.Fatalf("K6 core[%d] = %d, want 5", v, c)
+		}
+	}
+	if degen != 5 {
+		t.Fatalf("K6 degeneracy = %d", degen)
+	}
+	// A tree has degeneracy 1.
+	if _, d := Star(10).KCore(); d != 1 {
+		t.Fatalf("star degeneracy = %d", d)
+	}
+	if _, d := Path(10).KCore(); d != 1 {
+		t.Fatalf("path degeneracy = %d", d)
+	}
+	// A cycle has degeneracy 2.
+	if _, d := Cycle(10).KCore(); d != 2 {
+		t.Fatalf("cycle degeneracy = %d", d)
+	}
+	// Empty graph.
+	g, _ := FromEdges(0, nil)
+	if _, d := g.KCore(); d != 0 {
+		t.Fatal("empty degeneracy")
+	}
+}
+
+func TestKCoreKitePlusTail(t *testing.T) {
+	// K4 with a pendant path: clique vertices have core 3, path core 1.
+	edges := []Edge{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {3, 4}, {4, 5}}
+	g, err := FromEdges(6, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, degen := g.KCore()
+	want := []int32{3, 3, 3, 3, 1, 1}
+	for v := range want {
+		if core[v] != want[v] {
+			t.Fatalf("core = %v, want %v", core, want)
+		}
+	}
+	if degen != 3 {
+		t.Fatalf("degeneracy = %d", degen)
+	}
+}
+
+func TestDegeneracyRankBoundsOutDegree(t *testing.T) {
+	// The defining property: orienting by the degeneracy rank bounds
+	// every out-degree by the degeneracy.
+	for _, g := range []*Graph{
+		Kronecker(9, 12, 3),
+		BarabasiAlbert(400, 5, 7),
+		CommunityGraph(300, 8000, 20, 60, 9),
+	} {
+		_, degen := g.KCore()
+		rank := g.DegeneracyRank()
+		o := g.OrientBy(rank, 0)
+		if got := o.MaxOutDegree(); int32(got) > degen {
+			t.Fatalf("max out-degree %d exceeds degeneracy %d", got, degen)
+		}
+		// Still a valid orientation: every edge exactly once.
+		total := 0
+		for v := 0; v < o.NumVertices(); v++ {
+			total += o.OutDegree(uint32(v))
+		}
+		if total != g.NumEdges() {
+			t.Fatalf("oriented edges %d != m %d", total, g.NumEdges())
+		}
+	}
+}
+
+func TestTriangleCountInvariantUnderOrdering(t *testing.T) {
+	// TC is the same under the degree and degeneracy orientations (it
+	// counts each triangle exactly once either way).
+	g := Kronecker(9, 14, 5)
+	byDegree := g.Orient(0)
+	byCore := g.OrientBy(g.DegeneracyRank(), 0)
+	tcD := countOriented(byDegree)
+	tcC := countOriented(byCore)
+	if tcD != tcC {
+		t.Fatalf("TC differs across orderings: %d vs %d", tcD, tcC)
+	}
+}
+
+func countOriented(o *Oriented) int {
+	total := 0
+	for v := 0; v < o.NumVertices(); v++ {
+		nv := o.NPlus(uint32(v))
+		for _, u := range nv {
+			total += IntersectCount(nv, o.NPlus(u))
+		}
+	}
+	return total
+}
+
+func TestDegeneracyVsDegreeOrderingWidth(t *testing.T) {
+	// On skewed graphs the degeneracy orientation has a much smaller
+	// maximum out-degree than the raw maximum degree.
+	g := Kronecker(11, 16, 1)
+	_, degen := g.KCore()
+	if int(degen)*4 > g.MaxDegree() {
+		t.Skipf("graph not skewed enough: degeneracy %d vs maxdeg %d", degen, g.MaxDegree())
+	}
+	o := g.OrientBy(g.DegeneracyRank(), 0)
+	if o.MaxOutDegree() >= g.MaxDegree() {
+		t.Fatalf("degeneracy orientation did not shrink widths: %d vs %d",
+			o.MaxOutDegree(), g.MaxDegree())
+	}
+}

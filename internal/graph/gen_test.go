@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestHolmeKimValidAndClustered(t *testing.T) {
+	g := HolmeKim(1000, 6, 0.8, 3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() < 6*(1000-7)/2 {
+		t.Fatalf("too few edges: %d", g.NumEdges())
+	}
+	// Triad formation must produce more triangles than plain BA at the
+	// same size (the whole point of the model).
+	ba := BarabasiAlbert(1000, 6, 3)
+	tHK := countTriangles(g)
+	tBA := countTriangles(ba)
+	if tHK <= tBA {
+		t.Fatalf("Holme-Kim triangles %d <= BA %d", tHK, tBA)
+	}
+	// Determinism.
+	g2 := HolmeKim(1000, 6, 0.8, 3)
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatal("same seed must reproduce")
+	}
+	// Degenerate parameters clamp.
+	tiny := HolmeKim(1, 0, 0.5, 1)
+	if err := tiny.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// countTriangles is a local exact reference (avoids importing mining).
+func countTriangles(g *Graph) int {
+	o := g.Orient(0)
+	total := 0
+	for v := 0; v < o.NumVertices(); v++ {
+		nv := o.NPlus(uint32(v))
+		for _, u := range nv {
+			total += IntersectCount(nv, o.NPlus(u))
+		}
+	}
+	return total
+}
+
+func TestCommunityGraphStructure(t *testing.T) {
+	g := CommunityGraph(1000, 30000, 40, 120, 7)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Edge budget approximately met (within 20%).
+	if m := g.NumEdges(); m < 24000 || m > 36000 {
+		t.Fatalf("m = %d, want ~30000", m)
+	}
+	// High clustering: far more triangles than an ER graph of equal size.
+	er := ErdosRenyi(1000, g.NumEdges(), 7)
+	if countTriangles(g) < 3*countTriangles(er) {
+		t.Fatalf("community graph not clustered: %d vs ER %d",
+			countTriangles(g), countTriangles(er))
+	}
+	// Parameter clamps.
+	small := CommunityGraph(50, 100, 0, -1, 1)
+	if err := small.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErdosRenyiDensePath(t *testing.T) {
+	// More than half of all pairs: the complement-sampling path.
+	n := 60
+	maxE := n * (n - 1) / 2
+	for _, m := range []int{maxE * 3 / 4, maxE - 1, maxE} {
+		g := ErdosRenyi(n, m, 9)
+		if g.NumEdges() != m {
+			t.Fatalf("dense ER m=%d, want %d", g.NumEdges(), m)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Exactly complete.
+	full := ErdosRenyi(10, 45, 1)
+	if full.NumEdges() != 45 || full.MaxDegree() != 9 {
+		t.Fatal("complete ER")
+	}
+}
+
+func TestKroneckerABCCustomInitiator(t *testing.T) {
+	// A uniform initiator (0.25 each) behaves like sparse ER: low skew.
+	uni := KroneckerABC(9, 8, 0.25, 0.25, 0.25, 5)
+	skewed := Kronecker(9, 8, 5)
+	if err := uni.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if uni.MaxDegree() >= skewed.MaxDegree() {
+		t.Fatalf("uniform initiator should have lower max degree: %d vs %d",
+			uni.MaxDegree(), skewed.MaxDegree())
+	}
+}

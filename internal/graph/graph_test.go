@@ -1,0 +1,374 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromEdgesBasic(t *testing.T) {
+	g, err := FromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 5 {
+		t.Fatalf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(0) != 3 || g.Degree(3) != 2 {
+		t.Fatalf("degrees wrong: %d %d", g.Degree(0), g.Degree(3))
+	}
+	if !g.HasEdge(0, 2) || g.HasEdge(1, 3) {
+		t.Fatal("HasEdge wrong")
+	}
+}
+
+func TestFromEdgesDedupAndSelfLoops(t *testing.T) {
+	g, err := FromEdges(3, []Edge{{0, 1}, {1, 0}, {0, 1}, {1, 1}, {2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("m=%d, want 1 (dups and loops removed)", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(2) != 0 {
+		t.Fatal("isolated vertex should have degree 0")
+	}
+}
+
+func TestFromEdgesErrors(t *testing.T) {
+	if _, err := FromEdges(-1, nil); err == nil {
+		t.Fatal("negative n must fail")
+	}
+	if _, err := FromEdges(2, []Edge{{0, 5}}); err == nil {
+		t.Fatal("out-of-range edge must fail")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g, err := FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 0 || g.NumEdges() != 0 || g.MaxDegree() != 0 || g.AvgDegree() != 0 {
+		t.Fatal("empty graph invariants")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgesEnumeration(t *testing.T) {
+	g := Complete(5)
+	count := 0
+	g.Edges(func(u, v uint32) {
+		if u >= v {
+			t.Fatalf("edge %d-%d not normalized", u, v)
+		}
+		count++
+	})
+	if count != 10 {
+		t.Fatalf("K5 has %d edges, want 10", count)
+	}
+	if len(g.EdgeList()) != 10 {
+		t.Fatal("EdgeList length")
+	}
+}
+
+func TestDeterministicGenerators(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		n, m int
+	}{
+		{"K6", Complete(6), 6, 15},
+		{"C5", Cycle(5), 5, 5},
+		{"P7", Path(7), 7, 6},
+		{"S9", Star(9), 9, 8},
+		{"G3x4", Grid(3, 4), 12, 17},
+	}
+	for _, c := range cases {
+		if c.g.NumVertices() != c.n || c.g.NumEdges() != c.m {
+			t.Errorf("%s: n=%d m=%d, want %d %d", c.name, c.g.NumVertices(), c.g.NumEdges(), c.n, c.m)
+		}
+		if err := c.g.Validate(); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+	if Star(9).MaxDegree() != 8 {
+		t.Fatal("star center degree")
+	}
+}
+
+func TestRandomGeneratorsValidAndDeterministic(t *testing.T) {
+	k1 := Kronecker(8, 8, 7)
+	k2 := Kronecker(8, 8, 7)
+	k3 := Kronecker(8, 8, 8)
+	if err := k1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if k1.NumEdges() != k2.NumEdges() {
+		t.Fatal("same seed must reproduce the graph")
+	}
+	if k1.NumEdges() == k3.NumEdges() && bytes.Equal(encodeNeigh(k1), encodeNeigh(k3)) {
+		t.Fatal("different seeds should differ")
+	}
+
+	er := ErdosRenyi(100, 300, 1)
+	if er.NumEdges() != 300 {
+		t.Fatalf("ER m=%d, want 300", er.NumEdges())
+	}
+	if err := er.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Requesting more edges than possible clamps.
+	tiny := ErdosRenyi(4, 100, 1)
+	if tiny.NumEdges() != 6 {
+		t.Fatalf("clamped ER m=%d, want 6", tiny.NumEdges())
+	}
+
+	ba := BarabasiAlbert(200, 3, 5)
+	if err := ba.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ba.NumEdges() < 3*(200-4) {
+		t.Fatalf("BA too few edges: %d", ba.NumEdges())
+	}
+
+	pp := PlantedPartition(60, 3, 0.5, 0.02, 11)
+	if err := pp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func encodeNeigh(g *Graph) []byte {
+	var buf bytes.Buffer
+	for _, v := range g.Neigh {
+		buf.WriteByte(byte(v))
+	}
+	return buf.Bytes()
+}
+
+func TestSizeBits(t *testing.T) {
+	g := Complete(4) // n=4, 2m=12 entries, offsets 5
+	if got := g.SizeBits(); got != 64*(12+5) {
+		t.Fatalf("SizeBits = %d", got)
+	}
+}
+
+func TestDegreeRankRespectsDegrees(t *testing.T) {
+	g := Star(6) // center 0 has degree 5, leaves degree 1
+	rank := g.DegreeRank()
+	for v := 1; v < 6; v++ {
+		if rank[v] >= rank[0] {
+			t.Fatalf("leaf %d ranked above center", v)
+		}
+	}
+}
+
+func TestOrientInvariants(t *testing.T) {
+	g := Kronecker(7, 8, 3)
+	o := g.Orient(2)
+	// Every edge appears exactly once across all N+ lists.
+	total := 0
+	for v := 0; v < o.NumVertices(); v++ {
+		np := o.NPlus(uint32(v))
+		total += len(np)
+		for i, u := range np {
+			if o.Rank[v] >= o.Rank[u] {
+				t.Fatalf("N+ of %d contains lower-ranked %d", v, u)
+			}
+			if i > 0 && np[i-1] >= u {
+				t.Fatalf("N+ of %d not sorted", v)
+			}
+		}
+	}
+	if total != g.NumEdges() {
+		t.Fatalf("sum |N+| = %d, want m = %d", total, g.NumEdges())
+	}
+	if o.MaxOutDegree() > g.MaxDegree() {
+		t.Fatal("out degree cannot exceed degree")
+	}
+}
+
+func TestIntersections(t *testing.T) {
+	a := []uint32{1, 3, 5, 7, 9, 11}
+	b := []uint32{2, 3, 4, 7, 10, 11, 12}
+	if got := IntersectCount(a, b); got != 3 {
+		t.Fatalf("IntersectCount = %d, want 3", got)
+	}
+	out := Intersect(a, b, nil)
+	want := []uint32{3, 7, 11}
+	if len(out) != 3 || out[0] != want[0] || out[1] != want[1] || out[2] != want[2] {
+		t.Fatalf("Intersect = %v", out)
+	}
+	if got := UnionCount(a, b); got != 10 {
+		t.Fatalf("UnionCount = %d, want 10", got)
+	}
+	if IntersectCount(nil, b) != 0 || IntersectCount(a, nil) != 0 {
+		t.Fatal("empty intersections")
+	}
+}
+
+func TestGallopMatchesMergeProperty(t *testing.T) {
+	f := func(araw, braw []uint32, skew uint8) bool {
+		a := sortedDedup(araw)
+		b := sortedDedup(braw)
+		// Inflate b to force the galloping path sometimes.
+		if skew%2 == 0 {
+			for i := uint32(0); i < 1000; i++ {
+				b = append(b, 1<<20+i)
+			}
+		}
+		m := MergeCount(a, b)
+		g1 := GallopCount(a, b)
+		ad := IntersectCount(a, b)
+		return m == g1 && m == ad
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortedDedup(xs []uint32) []uint32 {
+	seen := map[uint32]struct{}{}
+	var out []uint32
+	for _, x := range xs {
+		x %= 4096
+		if _, ok := seen[x]; !ok {
+			seen[x] = struct{}{}
+			out = append(out, x)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// Property: sum of degrees equals 2m for random edge lists.
+func TestHandshakeProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.IntN(50) + 2
+		edges := make([]Edge, rng.IntN(200))
+		for i := range edges {
+			edges[i] = Edge{uint32(rng.IntN(n)), uint32(rng.IntN(n))}
+		}
+		g, err := FromEdges(n, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sum := 0
+		for v := 0; v < n; v++ {
+			sum += g.Degree(uint32(v))
+		}
+		if sum != 2*g.NumEdges() {
+			t.Fatalf("handshake: Σd=%d, 2m=%d", sum, 2*g.NumEdges())
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := Kronecker(6, 6, 9)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed graph: %d/%d vs %d/%d",
+			g2.NumVertices(), g2.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	if !bytes.Equal(encodeNeigh(g), encodeNeigh(g2)) {
+		t.Fatal("adjacency changed in round trip")
+	}
+}
+
+func TestReadEdgeListFormats(t *testing.T) {
+	in := "% comment\n# 10 2\n0 1\n\n2 3\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 10 || g.NumEdges() != 2 {
+		t.Fatalf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	// Malformed inputs.
+	for _, bad := range []string{"0\n", "a b\n", "1 x\n"} {
+		if _, err := ReadEdgeList(strings.NewReader(bad)); err == nil {
+			t.Errorf("input %q should fail", bad)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := BarabasiAlbert(150, 4, 2)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeNeigh(g), encodeNeigh(g2)) || g2.NumVertices() != g.NumVertices() {
+		t.Fatal("binary round trip changed graph")
+	}
+	// Corrupt magic.
+	raw := buf.Bytes()
+	var buf2 bytes.Buffer
+	if err := WriteBinary(&buf2, g); err != nil {
+		t.Fatal(err)
+	}
+	b := buf2.Bytes()
+	b[0] ^= 0xff
+	if _, err := ReadBinary(bytes.NewReader(b)); err == nil {
+		t.Fatal("corrupted magic should fail")
+	}
+	// Truncated stream.
+	if _, err := ReadBinary(bytes.NewReader(raw[:10])); err == nil {
+		t.Fatal("truncated stream should fail")
+	}
+}
+
+func BenchmarkIntersectMergeSimilar(b *testing.B) {
+	a := seq(0, 2000, 2)
+	c := seq(1, 2000, 2)
+	for i := 0; i < b.N; i++ {
+		benchSink = IntersectCount(a, c)
+	}
+}
+
+func BenchmarkIntersectGallopSkewed(b *testing.B) {
+	a := seq(0, 64, 1)
+	c := seq(0, 100000, 1)
+	for i := 0; i < b.N; i++ {
+		benchSink = IntersectCount(a, c)
+	}
+}
+
+func seq(start, n, step int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = uint32(start + i*step)
+	}
+	return out
+}
+
+var benchSink int

@@ -1,0 +1,133 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes the graph as a whitespace-separated edge list
+// (one "u v" pair per line, u < v) preceded by a "# n m" header comment.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# %d %d\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	var werr error
+	g.Edges(func(u, v uint32) {
+		if werr != nil {
+			return
+		}
+		_, werr = fmt.Fprintf(bw, "%d %d\n", u, v)
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses a whitespace-separated edge list. Lines starting
+// with '#' or '%' are comments; a comment of the form "# n m" fixes the
+// vertex count, otherwise n is max vertex ID + 1.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	n := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if text[0] == '#' || text[0] == '%' {
+			fields := strings.Fields(strings.TrimLeft(text, "#% "))
+			if len(fields) >= 2 {
+				if hn, err1 := strconv.Atoi(fields[0]); err1 == nil {
+					if _, err2 := strconv.Atoi(fields[1]); err2 == nil && hn > n {
+						n = hn
+					}
+				}
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: expected \"u v\", got %q", line, text)
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex %q: %v", line, fields[0], err)
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex %q: %v", line, fields[1], err)
+		}
+		edges = append(edges, Edge{uint32(u), uint32(v)})
+		if int(u)+1 > n {
+			n = int(u) + 1
+		}
+		if int(v)+1 > n {
+			n = int(v) + 1
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	return FromEdges(n, edges)
+}
+
+// binaryMagic identifies the binary CSR file format.
+const binaryMagic = 0x50474353 // "PGCS"
+
+// WriteBinary writes the CSR arrays in a compact little-endian binary
+// format for fast reloading of large generated graphs.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint64{binaryMagic, uint64(g.NumVertices()), uint64(len(g.Neigh))}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Offsets); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Neigh); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a graph written by WriteBinary and validates it.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var hdr [3]uint64
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("graph: binary header: %w", err)
+		}
+	}
+	if hdr[0] != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x", hdr[0])
+	}
+	n, adjLen := int(hdr[1]), int(hdr[2])
+	g := &Graph{
+		Offsets: make([]int64, n+1),
+		Neigh:   make([]uint32, adjLen),
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.Offsets); err != nil {
+		return nil, fmt.Errorf("graph: binary offsets: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.Neigh); err != nil {
+		return nil, fmt.Errorf("graph: binary adjacency: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// failWriter fails after `allow` bytes — the failure-injection harness
+// for the IO paths.
+type failWriter struct {
+	allow   int
+	written int
+}
+
+var errInjected = errors.New("injected write failure")
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.allow {
+		can := w.allow - w.written
+		if can < 0 {
+			can = 0
+		}
+		w.written += can
+		return can, errInjected
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+func TestWriteEdgeListFailurePaths(t *testing.T) {
+	g := Complete(12)
+	// Fail at several byte offsets: header, mid-body, near the end.
+	for _, allow := range []int{0, 3, 50, 200} {
+		err := WriteEdgeList(&failWriter{allow: allow}, g)
+		if err == nil {
+			t.Fatalf("allow=%d: expected write error", allow)
+		}
+	}
+	// A large enough budget succeeds.
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteBinaryFailurePaths(t *testing.T) {
+	g := Complete(12)
+	for _, allow := range []int{0, 8, 24, 100} {
+		if err := WriteBinary(&failWriter{allow: allow}, g); err == nil {
+			t.Fatalf("allow=%d: expected write error", allow)
+		}
+	}
+}
+
+func TestReadBinaryCorruptions(t *testing.T) {
+	g := Kronecker(6, 4, 1)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Truncations at every structural boundary.
+	for _, cut := range []int{0, 7, 23, 24, 60, len(good) - 1} {
+		if cut >= len(good) {
+			continue
+		}
+		if _, err := ReadBinary(bytes.NewReader(good[:cut])); err == nil {
+			t.Fatalf("cut=%d: expected error", cut)
+		}
+	}
+	// Corrupt the adjacency to break CSR invariants (validated on read).
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-1] ^= 0xff
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupted adjacency must fail validation")
+	}
+}
+
+func TestReadEdgeListHugeLine(t *testing.T) {
+	// Long comment lines must not break the scanner buffer sizing.
+	long := "# " + strings.Repeat("x", 1<<16) + "\n0 1\n"
+	g, err := ReadEdgeList(strings.NewReader(long))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatal("edge after long comment lost")
+	}
+}
+
+func TestValidateDetectsBreakage(t *testing.T) {
+	g := Complete(4)
+	// Break symmetry by hand.
+	g.Neigh[0] = 3 // duplicate entry destroys strict sortedness
+	if err := g.Validate(); err == nil {
+		t.Fatal("validation must detect broken sortedness")
+	}
+	// Out-of-range neighbor.
+	g2 := Complete(4)
+	g2.Neigh[0] = 99
+	if err := g2.Validate(); err == nil {
+		t.Fatal("validation must detect out-of-range neighbor")
+	}
+	// Offset corruption.
+	g3 := Complete(4)
+	g3.Offsets[1] = 100
+	if err := g3.Validate(); err == nil {
+		t.Fatal("validation must detect bad offsets")
+	}
+}

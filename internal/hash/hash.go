@@ -1,0 +1,188 @@
+// Package hash provides the hash machinery behind every ProbGraph sketch:
+// fast seeded integer mixers for vertex IDs, seeded hash families (the b
+// Bloom-filter functions and the k MinHash functions of §II-D), unbiased
+// range mapping, and a full MurmurHash3 x64-128 implementation (the hash
+// the paper uses, §VI-C) for arbitrary byte data.
+package hash
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// Mix64 is the splitmix64 finalizer: a fast, high-quality 64-bit mixer.
+// It is bijective, so distinct inputs never collide.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Murmur64 is the MurmurHash3 64-bit finalizer (fmix64); bijective.
+func Murmur64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// U32 hashes a 32-bit value (e.g., a vertex ID) under a seed.
+func U32(x uint32, seed uint64) uint64 {
+	return Mix64(uint64(x) ^ Murmur64(seed))
+}
+
+// Range maps a 64-bit hash onto [0, n) without modulo bias using the
+// Lemire multiply-shift reduction.
+func Range(h uint64, n int) int {
+	hi, _ := bits.Mul64(h, uint64(n))
+	return int(hi)
+}
+
+// Unit maps a 64-bit hash to (0, 1], the KMV convention (§IX): hashes are
+// treated as uniform draws from the unit interval, never exactly zero.
+func Unit(h uint64) float64 {
+	return (float64(h>>11) + 1) / (1 << 53)
+}
+
+// Family is a family of k seeded hash functions h_1..h_k, assumed
+// independent (the usual MinHash/Bloom assumption, §II-D). The zero value
+// is not useful; construct with NewFamily.
+type Family struct {
+	seeds []uint64
+}
+
+// NewFamily derives k independent-looking hash functions from a master
+// seed. The same (seed, k) always yields the same family, which makes
+// sketches reproducible across runs.
+func NewFamily(seed uint64, k int) *Family {
+	if k < 1 {
+		k = 1
+	}
+	seeds := make([]uint64, k)
+	s := Murmur64(seed ^ 0xa0761d6478bd642f)
+	for i := range seeds {
+		s = Mix64(s + uint64(i)*0x9e3779b97f4a7c15)
+		seeds[i] = s
+	}
+	return &Family{seeds: seeds}
+}
+
+// K returns the number of functions in the family.
+func (f *Family) K() int { return len(f.seeds) }
+
+// Hash evaluates the i-th function on x.
+func (f *Family) Hash(i int, x uint32) uint64 {
+	return U32(x, f.seeds[i])
+}
+
+// Seed returns the internal seed of the i-th function; used by tests and
+// by flat kernels that inline the mixing.
+func (f *Family) Seed(i int) uint64 { return f.seeds[i] }
+
+// --- MurmurHash3 x64-128 -------------------------------------------------
+
+const (
+	c1 = 0x87c37b91114253d5
+	c2 = 0x4cf5ad432745937f
+)
+
+// Murmur3x64_128 computes the 128-bit MurmurHash3 (x64 variant) of data
+// with the given seed, returning the two 64-bit halves. It matches the
+// reference implementation by Appleby, which the paper uses (§VI-C).
+func Murmur3x64_128(data []byte, seed uint32) (uint64, uint64) {
+	h1 := uint64(seed)
+	h2 := uint64(seed)
+	n := len(data)
+	nblocks := n / 16
+
+	for i := 0; i < nblocks; i++ {
+		k1 := binary.LittleEndian.Uint64(data[i*16:])
+		k2 := binary.LittleEndian.Uint64(data[i*16+8:])
+
+		k1 *= c1
+		k1 = bits.RotateLeft64(k1, 31)
+		k1 *= c2
+		h1 ^= k1
+		h1 = bits.RotateLeft64(h1, 27)
+		h1 += h2
+		h1 = h1*5 + 0x52dce729
+
+		k2 *= c2
+		k2 = bits.RotateLeft64(k2, 33)
+		k2 *= c1
+		h2 ^= k2
+		h2 = bits.RotateLeft64(h2, 31)
+		h2 += h1
+		h2 = h2*5 + 0x38495ab5
+	}
+
+	tail := data[nblocks*16:]
+	var k1, k2 uint64
+	switch len(tail) & 15 {
+	case 15:
+		k2 ^= uint64(tail[14]) << 48
+		fallthrough
+	case 14:
+		k2 ^= uint64(tail[13]) << 40
+		fallthrough
+	case 13:
+		k2 ^= uint64(tail[12]) << 32
+		fallthrough
+	case 12:
+		k2 ^= uint64(tail[11]) << 24
+		fallthrough
+	case 11:
+		k2 ^= uint64(tail[10]) << 16
+		fallthrough
+	case 10:
+		k2 ^= uint64(tail[9]) << 8
+		fallthrough
+	case 9:
+		k2 ^= uint64(tail[8])
+		k2 *= c2
+		k2 = bits.RotateLeft64(k2, 33)
+		k2 *= c1
+		h2 ^= k2
+		fallthrough
+	case 8:
+		k1 ^= uint64(tail[7]) << 56
+		fallthrough
+	case 7:
+		k1 ^= uint64(tail[6]) << 48
+		fallthrough
+	case 6:
+		k1 ^= uint64(tail[5]) << 40
+		fallthrough
+	case 5:
+		k1 ^= uint64(tail[4]) << 32
+		fallthrough
+	case 4:
+		k1 ^= uint64(tail[3]) << 24
+		fallthrough
+	case 3:
+		k1 ^= uint64(tail[2]) << 16
+		fallthrough
+	case 2:
+		k1 ^= uint64(tail[1]) << 8
+		fallthrough
+	case 1:
+		k1 ^= uint64(tail[0])
+		k1 *= c1
+		k1 = bits.RotateLeft64(k1, 31)
+		k1 *= c2
+		h1 ^= k1
+	}
+
+	h1 ^= uint64(n)
+	h2 ^= uint64(n)
+	h1 += h2
+	h2 += h1
+	h1 = Murmur64(h1)
+	h2 = Murmur64(h2)
+	h1 += h2
+	h2 += h1
+	return h1, h2
+}

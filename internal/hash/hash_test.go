@@ -1,0 +1,193 @@
+package hash
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMix64Bijective(t *testing.T) {
+	// A bijection has no collisions; spot-check a dense range plus edges.
+	seen := make(map[uint64]uint64)
+	inputs := []uint64{0, 1, 2, 3, math.MaxUint64, math.MaxUint64 - 1}
+	for i := uint64(0); i < 10000; i++ {
+		inputs = append(inputs, i)
+	}
+	for _, x := range inputs {
+		h := Mix64(x)
+		if prev, ok := seen[h]; ok && prev != x {
+			t.Fatalf("collision: Mix64(%d) == Mix64(%d)", x, prev)
+		}
+		seen[h] = x
+	}
+}
+
+func TestMurmur64KnownValues(t *testing.T) {
+	// fmix64 fixed points / reference values computed from the algorithm.
+	if Murmur64(0) != 0 {
+		t.Fatal("fmix64(0) must be 0")
+	}
+	if Murmur64(1) == Murmur64(2) {
+		t.Fatal("unexpected collision")
+	}
+}
+
+func TestU32SeedSensitivity(t *testing.T) {
+	if U32(42, 1) == U32(42, 2) {
+		t.Fatal("different seeds must give different hashes (w.h.p.)")
+	}
+	if U32(42, 1) != U32(42, 1) {
+		t.Fatal("hash must be deterministic")
+	}
+}
+
+func TestRangeWithinBounds(t *testing.T) {
+	f := func(h uint64, n uint16) bool {
+		m := int(n%1000) + 1
+		r := Range(h, m)
+		return r >= 0 && r < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeUniformity(t *testing.T) {
+	// Hash 0..N-1 into 16 buckets; each bucket should get roughly N/16.
+	const n, buckets = 1 << 16, 16
+	counts := make([]int, buckets)
+	for i := uint32(0); i < n; i++ {
+		counts[Range(U32(i, 99), buckets)]++
+	}
+	expect := float64(n) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-expect) > 0.1*expect {
+			t.Fatalf("bucket %d has %d items, expected ~%.0f", b, c, expect)
+		}
+	}
+}
+
+func TestUnitRange(t *testing.T) {
+	f := func(h uint64) bool {
+		u := Unit(h)
+		return u > 0 && u <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if Unit(0) <= 0 {
+		t.Fatal("Unit(0) must be > 0")
+	}
+	if Unit(math.MaxUint64) > 1 {
+		t.Fatal("Unit(max) must be <= 1")
+	}
+}
+
+func TestUnitMeanIsHalf(t *testing.T) {
+	var sum float64
+	const n = 1 << 16
+	for i := uint32(0); i < n; i++ {
+		sum += Unit(U32(i, 7))
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean of Unit hashes = %.4f, want ~0.5", mean)
+	}
+}
+
+func TestFamilyDeterminismAndIndependence(t *testing.T) {
+	f1 := NewFamily(123, 8)
+	f2 := NewFamily(123, 8)
+	f3 := NewFamily(124, 8)
+	if f1.K() != 8 {
+		t.Fatalf("K = %d", f1.K())
+	}
+	for i := 0; i < 8; i++ {
+		if f1.Hash(i, 55) != f2.Hash(i, 55) {
+			t.Fatal("same seed must reproduce the family")
+		}
+		if f1.Hash(i, 55) == f3.Hash(i, 55) {
+			t.Fatal("different master seeds should differ (w.h.p.)")
+		}
+		for j := i + 1; j < 8; j++ {
+			if f1.Seed(i) == f1.Seed(j) {
+				t.Fatal("family seeds must be distinct")
+			}
+		}
+	}
+}
+
+func TestFamilyMinK(t *testing.T) {
+	if NewFamily(1, 0).K() != 1 {
+		t.Fatal("k is clamped to at least 1")
+	}
+	if NewFamily(1, -3).K() != 1 {
+		t.Fatal("negative k is clamped to 1")
+	}
+}
+
+// Reference vectors for MurmurHash3 x64-128, generated with the canonical
+// C++ implementation (smhasher).
+func TestMurmur3ReferenceVectors(t *testing.T) {
+	cases := []struct {
+		in     string
+		seed   uint32
+		h1, h2 uint64
+	}{
+		{"", 0, 0x0000000000000000, 0x0000000000000000},
+		{"", 1, 0x4610abe56eff5cb5, 0x51622daa78f83583},
+		{"hello", 0, 0xcbd8a7b341bd9b02, 0x5b1e906a48ae1d19},
+		{"hello, world", 0, 0x342fac623a5ebc8e, 0x4cdcbc079642414d},
+		// The commonly published hex digest 6c1b07bc7bbc4be3... is the
+		// little-endian byte dump; as native uint64 halves it reads:
+		{"The quick brown fox jumps over the lazy dog", 0, 0xe34bbc7bbc071b6c, 0x7a433ca9c49a9347},
+	}
+	for _, c := range cases {
+		h1, h2 := Murmur3x64_128([]byte(c.in), c.seed)
+		if h1 != c.h1 || h2 != c.h2 {
+			t.Errorf("Murmur3(%q, %d) = (%#x, %#x), want (%#x, %#x)",
+				c.in, c.seed, h1, h2, c.h1, c.h2)
+		}
+	}
+}
+
+func TestMurmur3AllTailLengths(t *testing.T) {
+	// Exercise every tail-switch branch (lengths 0..33) and check
+	// determinism plus length sensitivity.
+	data := make([]byte, 33)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	seen := make(map[[2]uint64]int)
+	for n := 0; n <= len(data); n++ {
+		h1, h2 := Murmur3x64_128(data[:n], 42)
+		g1, g2 := Murmur3x64_128(data[:n], 42)
+		if h1 != g1 || h2 != g2 {
+			t.Fatalf("len %d: nondeterministic", n)
+		}
+		key := [2]uint64{h1, h2}
+		if prev, ok := seen[key]; ok {
+			t.Fatalf("lengths %d and %d collide", prev, n)
+		}
+		seen[key] = n
+	}
+}
+
+func BenchmarkU32(b *testing.B) {
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		s += U32(uint32(i), 12345)
+	}
+	benchSink = s
+}
+
+func BenchmarkMurmur3_64B(b *testing.B) {
+	data := make([]byte, 64)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		h1, _ := Murmur3x64_128(data, 0)
+		benchSink = h1
+	}
+}
+
+var benchSink uint64

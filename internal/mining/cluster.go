@@ -1,0 +1,94 @@
+package mining
+
+import (
+	"probgraph/internal/core"
+	"probgraph/internal/graph"
+	"probgraph/internal/par"
+)
+
+// Clustering is the output of Jarvis–Patrick clustering (Listing 4): the
+// kept edge set C ⊆ E and the connected-component structure it induces,
+// which is how the evaluation counts clusters (Fig. 7).
+type Clustering struct {
+	Kept        []graph.Edge // edges whose similarity exceeded τ
+	NumClusters int          // connected components of (V, Kept), incl. singletons
+	Labels      []int32      // component label per vertex
+}
+
+// scoreFunc scores an edge; exact and PG variants plug in here.
+type scoreFunc func(u, v uint32) float64
+
+// clusterWith runs Listing 4 with the given edge scorer: every edge is
+// scored in parallel, edges above the threshold survive, and the kept
+// graph's components are extracted with union-find.
+func clusterWith(g *graph.Graph, tau float64, workers int, score scoreFunc) *Clustering {
+	edges := g.EdgeList()
+	keep := make([]bool, len(edges))
+	par.For(len(edges), workers, func(i int) {
+		keep[i] = score(edges[i].U, edges[i].V) > tau
+	})
+	var kept []graph.Edge
+	for i, k := range keep {
+		if k {
+			kept = append(kept, edges[i])
+		}
+	}
+	labels, num := components(g.NumVertices(), kept)
+	return &Clustering{Kept: kept, NumClusters: num, Labels: labels}
+}
+
+// JarvisPatrickExact clusters with exact similarities (the CSR baseline).
+func JarvisPatrickExact(g *graph.Graph, m Measure, tau float64, workers int) *Clustering {
+	return clusterWith(g, tau, workers, func(u, v uint32) float64 {
+		return ExactSimilarity(g, u, v, m)
+	})
+}
+
+// JarvisPatrickPG clusters with the PG similarity estimator; pg must hold
+// full-neighborhood sketches.
+func JarvisPatrickPG(g *graph.Graph, pg *core.PG, m Measure, tau float64, workers int) *Clustering {
+	return clusterWith(g, tau, workers, func(u, v uint32) float64 {
+		return PGSimilarity(g, pg, u, v, m)
+	})
+}
+
+// components runs path-halving union-find over the kept edges and
+// returns per-vertex labels plus the component count.
+func components(n int, edges []graph.Edge) ([]int32, int) {
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range edges {
+		ru, rv := find(int32(e.U)), find(int32(e.V))
+		if ru != rv {
+			if ru < rv {
+				parent[rv] = ru
+			} else {
+				parent[ru] = rv
+			}
+		}
+	}
+	labels := make([]int32, n)
+	num := 0
+	seen := make(map[int32]int32, 16)
+	for v := 0; v < n; v++ {
+		r := find(int32(v))
+		lbl, ok := seen[r]
+		if !ok {
+			lbl = int32(num)
+			seen[r] = lbl
+			num++
+		}
+		labels[v] = lbl
+	}
+	return labels, num
+}

@@ -1,0 +1,244 @@
+package mining
+
+import (
+	"math"
+	"testing"
+
+	"probgraph/internal/core"
+	"probgraph/internal/graph"
+	"probgraph/internal/stats"
+)
+
+func TestExactSimilarityClosedForms(t *testing.T) {
+	// K4: adjacent u,v share the other 2 vertices.
+	g := graph.Complete(4)
+	if got := ExactSimilarity(g, 0, 1, CommonNeighbors); got != 2 {
+		t.Fatalf("CN = %v", got)
+	}
+	// |N0 ∪ N1| = 3+3-2 = 4.
+	if got := ExactSimilarity(g, 0, 1, TotalNeighbors); got != 4 {
+		t.Fatalf("TN = %v", got)
+	}
+	if got := ExactSimilarity(g, 0, 1, Jaccard); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Jaccard = %v", got)
+	}
+	if got := ExactSimilarity(g, 0, 1, Overlap); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("Overlap = %v", got)
+	}
+	// Witnesses 2, 3 both have degree 3: AA = 2/ln 3, RA = 2/3.
+	if got := ExactSimilarity(g, 0, 1, AdamicAdar); math.Abs(got-2/math.Log(3)) > 1e-12 {
+		t.Fatalf("AA = %v", got)
+	}
+	if got := ExactSimilarity(g, 0, 1, ResourceAllocation); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("RA = %v", got)
+	}
+}
+
+func TestSimilarityDisjointNeighborhoods(t *testing.T) {
+	g := graph.Path(5) // N(0)={1}, N(4)={3}: disjoint
+	for _, m := range []Measure{Jaccard, Overlap, CommonNeighbors, AdamicAdar, ResourceAllocation} {
+		if got := ExactSimilarity(g, 0, 4, m); got != 0 {
+			t.Errorf("%v on disjoint = %v", m, got)
+		}
+	}
+	if got := ExactSimilarity(g, 0, 4, TotalNeighbors); got != 2 {
+		t.Fatalf("TN disjoint = %v", got)
+	}
+}
+
+func TestAdamicAdarDegreeOneWitness(t *testing.T) {
+	// Path 0-1-2: witness 1 has degree 2 -> AA = 1/ln2. Star witnesses
+	// with degree 1 contribute 0 (guarded divergence).
+	p := graph.Path(3)
+	if got := ExactSimilarity(p, 0, 2, AdamicAdar); math.Abs(got-1/math.Log(2)) > 1e-12 {
+		t.Fatalf("AA path = %v", got)
+	}
+}
+
+func TestPGSimilarityAllKindsReasonable(t *testing.T) {
+	g := graph.Complete(30)
+	for _, kind := range []core.Kind{core.BF, core.KHash, core.OneHash, core.KMV} {
+		pg, err := core.Build(g, core.Config{Kind: kind, Budget: 0.33, Seed: 11, StoreElems: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range []Measure{Jaccard, Overlap, CommonNeighbors, TotalNeighbors} {
+			exact := ExactSimilarity(g, 0, 1, m)
+			got := PGSimilarity(g, pg, 0, 1, m)
+			if exact == 0 {
+				continue
+			}
+			if math.Abs(got-exact)/exact > 0.5 {
+				t.Errorf("%v/%v: PG = %v, exact = %v", kind, m, got, exact)
+			}
+		}
+	}
+}
+
+func TestPGWeightedSimilarity(t *testing.T) {
+	g := graph.Complete(30)
+	exactAA := ExactSimilarity(g, 0, 1, AdamicAdar)
+	// BF path: membership streaming.
+	bf, err := core.Build(g, core.Config{Kind: core.BF, Budget: 0.33, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := PGSimilarity(g, bf, 0, 1, AdamicAdar); math.Abs(got-exactAA)/exactAA > 0.3 {
+		t.Errorf("BF AA = %v, exact %v", got, exactAA)
+	}
+	// 1-Hash with elements: sample rescaling.
+	oh, err := core.Build(g, core.Config{Kind: core.OneHash, Budget: 0.33, Seed: 13, StoreElems: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := PGSimilarity(g, oh, 0, 1, AdamicAdar); math.Abs(got-exactAA)/exactAA > 0.5 {
+		t.Errorf("1H AA = %v, exact %v", got, exactAA)
+	}
+	// KMV: coarse fallback must still be finite and nonnegative.
+	kmv, err := core.Build(g, core.Config{Kind: core.KMV, Budget: 0.33, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := PGSimilarity(g, kmv, 0, 1, ResourceAllocation); got < 0 || math.IsNaN(got) {
+		t.Errorf("KMV RA fallback = %v", got)
+	}
+}
+
+func TestJarvisPatrickTwoCliques(t *testing.T) {
+	// Two K5s joined by a single bridge edge: with CN threshold τ=1 the
+	// bridge (0 common neighbors) is dropped and both cliques survive.
+	var edges []graph.Edge
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			edges = append(edges, graph.Edge{U: uint32(u), V: uint32(v)})
+			edges = append(edges, graph.Edge{U: uint32(u + 5), V: uint32(v + 5)})
+		}
+	}
+	edges = append(edges, graph.Edge{U: 4, V: 5}) // bridge
+	g, err := graph.FromEdges(10, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := JarvisPatrickExact(g, CommonNeighbors, 1, 2)
+	if c.NumClusters != 2 {
+		t.Fatalf("clusters = %d, want 2", c.NumClusters)
+	}
+	if len(c.Kept) != 20 {
+		t.Fatalf("kept %d edges, want 20 (two K5s)", len(c.Kept))
+	}
+	if c.Labels[0] == c.Labels[9] {
+		t.Fatal("the two cliques must get different labels")
+	}
+	if c.Labels[0] != c.Labels[4] || c.Labels[5] != c.Labels[9] {
+		t.Fatal("clique members must share labels")
+	}
+}
+
+func TestJarvisPatrickThresholdExtremes(t *testing.T) {
+	g := graph.Complete(6)
+	all := JarvisPatrickExact(g, CommonNeighbors, -1, 2)
+	if all.NumClusters != 1 || len(all.Kept) != g.NumEdges() {
+		t.Fatal("τ below all scores keeps everything")
+	}
+	none := JarvisPatrickExact(g, CommonNeighbors, 1e9, 2)
+	if none.NumClusters != 6 || len(none.Kept) != 0 {
+		t.Fatal("τ above all scores keeps nothing: every vertex is a singleton cluster")
+	}
+}
+
+func TestJarvisPatrickPGTracksExact(t *testing.T) {
+	// Component counts are hypersensitive to single bridge edges, so the
+	// robust comparison is at the edge level: the PG keep/drop decision
+	// should agree with the exact one on the vast majority of edges.
+	g := graph.PlantedPartition(120, 4, 0.5, 0.01, 21)
+	tau := 3.0
+	exact := JarvisPatrickExact(g, CommonNeighbors, tau, 0)
+	pg, err := core.Build(g, core.Config{Kind: core.BF, Budget: 0.33, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := JarvisPatrickPG(g, pg, CommonNeighbors, tau, 0)
+
+	keptExact := make(map[uint64]bool, len(exact.Kept))
+	for _, e := range exact.Kept {
+		keptExact[pairKey(e.U, e.V)] = true
+	}
+	keptPG := make(map[uint64]bool, len(approx.Kept))
+	for _, e := range approx.Kept {
+		keptPG[pairKey(e.U, e.V)] = true
+	}
+	agree := 0
+	g.Edges(func(u, v uint32) {
+		if keptExact[pairKey(u, v)] == keptPG[pairKey(u, v)] {
+			agree++
+		}
+	})
+	if frac := float64(agree) / float64(g.NumEdges()); frac < 0.85 {
+		t.Fatalf("edge-decision agreement %.3f (PG kept %d, exact kept %d)",
+			frac, len(approx.Kept), len(exact.Kept))
+	}
+}
+
+func TestClusteringKeptSubsetOfEdges(t *testing.T) {
+	g := graph.Kronecker(8, 8, 31)
+	c := JarvisPatrickExact(g, Jaccard, 0.2, 0)
+	for _, e := range c.Kept {
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("kept edge %v not in graph", e)
+		}
+	}
+}
+
+func TestComponentsIsolatedAndEmpty(t *testing.T) {
+	labels, num := components(3, nil)
+	if num != 3 || len(labels) != 3 {
+		t.Fatal("edgeless components")
+	}
+	_, num = components(0, nil)
+	if num != 0 {
+		t.Fatal("empty graph components")
+	}
+}
+
+// Property: vertices joined by kept edges share a label, and every label
+// is in range — on random graphs, thresholds, and measures.
+func TestClusterLabelConsistencyProperty(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		g := graph.Kronecker(7, 4+trial%5, uint64(trial))
+		m := []Measure{CommonNeighbors, Jaccard, Overlap}[trial%3]
+		tau := []float64{0, 0.05, 1, 2}[trial%4]
+		c := JarvisPatrickExact(g, m, tau, 0)
+		if len(c.Labels) != g.NumVertices() {
+			t.Fatal("label array size")
+		}
+		for _, e := range c.Kept {
+			if c.Labels[e.U] != c.Labels[e.V] {
+				t.Fatalf("trial %d: kept edge %v crosses clusters", trial, e)
+			}
+		}
+		for _, l := range c.Labels {
+			if l < 0 || int(l) >= c.NumClusters {
+				t.Fatalf("label %d out of range [0,%d)", l, c.NumClusters)
+			}
+		}
+	}
+}
+
+// Statistical check: exact TC on G(n,m) matches the expectation
+// C(n,3)·p³ with p = m/C(n,2), averaged over seeds.
+func TestExactTCMatchesERExpectation(t *testing.T) {
+	const n, m = 300, 4000
+	pairs := float64(n) * float64(n-1) / 2
+	p := float64(m) / pairs
+	expect := pairs * float64(n-2) / 3 * p * p * p
+	var sum float64
+	const trials = 10
+	for seed := uint64(0); seed < trials; seed++ {
+		g := graph.ErdosRenyi(n, m, seed)
+		sum += float64(ExactTC(g.Orient(0), 0))
+	}
+	got := sum / trials
+	if e := stats.RelativeError(got, expect); e > 0.15 {
+		t.Fatalf("mean TC %.0f vs ER expectation %.0f (err %.3f)", got, expect, e)
+	}
+}

@@ -1,0 +1,95 @@
+package mining
+
+import (
+	"testing"
+
+	"probgraph/internal/core"
+	"probgraph/internal/graph"
+)
+
+func TestLinkPredictionRecoversCliqueEdges(t *testing.T) {
+	// In a dense clique-like graph, removed edges have many common
+	// neighbors and should be ranked at the top.
+	g := graph.Complete(20)
+	res, err := EvaluateLinkPrediction(g, CommonNeighbors, 0.1, 1, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Removed < 1 || res.Predicted > res.Removed {
+		t.Fatalf("bad shape: %+v", res)
+	}
+	// Removed clique edges are the *only* 2-hop non-edges, so recovery
+	// must be perfect.
+	if res.Efficiency != 1 {
+		t.Fatalf("efficiency on K20 = %v, want 1", res.Efficiency)
+	}
+}
+
+func TestLinkPredictionPGVariant(t *testing.T) {
+	g := graph.PlantedPartition(80, 4, 0.6, 0.02, 3)
+	cfg := core.Config{Kind: core.BF, Budget: 0.33, Seed: 5}
+	res, err := EvaluateLinkPrediction(g, CommonNeighbors, 0.1, 7, &cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := EvaluateLinkPrediction(g, CommonNeighbors, 0.1, 7, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Efficiency < 0 || res.Efficiency > 1 {
+		t.Fatalf("efficiency out of range: %v", res.Efficiency)
+	}
+	// PG should be in the neighborhood of the exact predictor on a graph
+	// with strong community signal.
+	if exact.Efficiency > 0.2 && res.Efficiency < exact.Efficiency/4 {
+		t.Fatalf("PG efficiency %v far below exact %v", res.Efficiency, exact.Efficiency)
+	}
+}
+
+func TestLinkPredictionDeterministicSeed(t *testing.T) {
+	g := graph.BarabasiAlbert(100, 3, 9)
+	a, err := EvaluateLinkPrediction(g, Jaccard, 0.15, 42, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EvaluateLinkPrediction(g, Jaccard, 0.15, 42, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hits != b.Hits || a.Removed != b.Removed {
+		t.Fatal("same seed must reproduce the experiment")
+	}
+}
+
+func TestLinkPredictionEdgeCases(t *testing.T) {
+	// Tiny graph: removal fraction clamps to at least one edge.
+	g := graph.Path(3)
+	res, err := EvaluateLinkPrediction(g, CommonNeighbors, 0.0001, 1, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Removed != 1 {
+		t.Fatalf("removed = %d, want 1", res.Removed)
+	}
+	// Full removal leaves nothing to score against: efficiency 0.
+	res, err = EvaluateLinkPrediction(g, CommonNeighbors, 1.0, 1, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Efficiency != 0 {
+		t.Fatalf("full removal efficiency = %v", res.Efficiency)
+	}
+}
+
+func TestTwoHopCandidates(t *testing.T) {
+	// Path 0-1-2: the single 2-hop pair is (0,2).
+	g := graph.Path(3)
+	cands := twoHopCandidates(g)
+	if len(cands) != 1 || cands[0].U != 0 || cands[0].V != 2 {
+		t.Fatalf("candidates = %v", cands)
+	}
+	// Complete graph: no non-adjacent pairs at all.
+	if got := twoHopCandidates(graph.Complete(5)); len(got) != 0 {
+		t.Fatalf("K5 candidates = %v", got)
+	}
+}

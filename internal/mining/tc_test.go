@@ -1,0 +1,263 @@
+package mining
+
+import (
+	"math"
+	"testing"
+
+	"probgraph/internal/core"
+	"probgraph/internal/graph"
+	"probgraph/internal/stats"
+)
+
+func choose3(n int64) int64 { return n * (n - 1) * (n - 2) / 6 }
+func choose4(n int64) int64 { return n * (n - 1) * (n - 2) * (n - 3) / 24 }
+
+func TestExactTCClosedForms(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int64
+	}{
+		{"K10", graph.Complete(10), choose3(10)},
+		{"K3", graph.Complete(3), 1},
+		{"C8 triangle-free", graph.Cycle(8), 0},
+		{"C3 is a triangle", graph.Cycle(3), 1},
+		{"path", graph.Path(10), 0},
+		{"star", graph.Star(10), 0},
+		{"grid", graph.Grid(4, 5), 0},
+		{"empty", mustEmpty(t), 0},
+	}
+	for _, c := range cases {
+		o := c.g.Orient(2)
+		if got := ExactTC(o, 2); got != c.want {
+			t.Errorf("%s: TC = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func mustEmpty(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestExactTCWorkerInvariance(t *testing.T) {
+	g := graph.Kronecker(9, 10, 1)
+	o := g.Orient(0)
+	want := ExactTC(o, 1)
+	for _, w := range []int{2, 4, 8} {
+		if got := ExactTC(o, w); got != want {
+			t.Fatalf("workers=%d: TC=%d, want %d", w, got, want)
+		}
+	}
+}
+
+func TestPGTCAccuracy(t *testing.T) {
+	g := graph.Kronecker(10, 12, 2)
+	exact := float64(ExactTC(g.Orient(0), 0))
+	if exact == 0 {
+		t.Fatal("test graph has no triangles")
+	}
+	for _, kind := range []core.Kind{core.BF, core.KHash, core.OneHash} {
+		pg, err := core.Build(g, core.Config{Kind: kind, Budget: 0.33, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := PGTC(g, pg, 0)
+		if err := stats.RelativeError(est, exact); err > 0.5 {
+			t.Errorf("%v: PGTC = %.0f, exact = %.0f (rel err %.3f)", kind, est, exact, err)
+		}
+	}
+	// KMV (the §IX extension) needs a larger k for the same accuracy: the
+	// (k-1)/max union estimator's clamped errors bias the TC sum upward
+	// at tiny k. Verify it converges at k=64.
+	kmv, err := core.Build(g, core.Config{Kind: core.KMV, K: 64, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.RelativeError(PGTC(g, kmv, 0), exact); got > 0.3 {
+		t.Errorf("KMV k=64: rel err %.3f", got)
+	}
+}
+
+func TestKMVTCConvergence(t *testing.T) {
+	g := graph.Kronecker(9, 10, 2)
+	exact := float64(ExactTC(g.Orient(0), 0))
+	var prev float64 = math.Inf(1)
+	improved := 0
+	for _, k := range []int{8, 32, 128} {
+		pg, err := core.Build(g, core.Config{Kind: core.KMV, K: k, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := stats.RelativeError(PGTC(g, pg, 0), exact)
+		if e < prev {
+			improved++
+		}
+		prev = e
+	}
+	if improved < 2 {
+		t.Fatalf("KMV TC error did not shrink with k (improved %d/3 steps)", improved)
+	}
+}
+
+func TestPGTCExactWhenLossless(t *testing.T) {
+	// 1-Hash with k >= max degree is lossless, so the TC estimator must
+	// return the exact count.
+	g := graph.Complete(12)
+	pg, err := core.Build(g, core.Config{Kind: core.OneHash, K: 16, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := float64(ExactTC(g.Orient(0), 0))
+	if est := PGTC(g, pg, 0); math.Abs(est-exact) > 1e-6 {
+		t.Fatalf("lossless PGTC = %v, want %v", est, exact)
+	}
+}
+
+func TestRoundCount(t *testing.T) {
+	if RoundCount(-3.2) != 0 || RoundCount(2.5) != 3 || RoundCount(2.4) != 2 {
+		t.Fatal("RoundCount")
+	}
+}
+
+func TestLocalClusteringCoefficient(t *testing.T) {
+	// K_n has LCC exactly 1; trees have 0.
+	if got := LocalClusteringCoefficient(graph.Complete(8), 2); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("LCC(K8) = %v", got)
+	}
+	if got := LocalClusteringCoefficient(graph.Star(10), 2); got != 0 {
+		t.Fatalf("LCC(star) = %v", got)
+	}
+	if LocalClusteringCoefficient(mustEmpty(t), 2) != 0 {
+		t.Fatal("LCC(empty)")
+	}
+}
+
+func TestPGLocalClusteringCoefficient(t *testing.T) {
+	g := graph.Complete(20)
+	pg, err := core.Build(g, core.Config{Kind: core.BF, Budget: 0.33, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := PGLocalClusteringCoefficient(g, pg, 2)
+	if stats.RelativeError(got, 1) > 0.25 {
+		t.Fatalf("PG LCC(K20) = %v, want ~1", got)
+	}
+}
+
+func TestCohesion(t *testing.T) {
+	g := graph.Complete(10)
+	if got := Cohesion(g, g.Orient(0), 2); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("cohesion(K10) = %v, want 1", got)
+	}
+	if Cohesion(mustEmpty(t), mustEmpty(t).Orient(0), 2) != 0 {
+		t.Fatal("cohesion(empty)")
+	}
+}
+
+func TestExact4CliqueClosedForms(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int64
+	}{
+		{"K5", graph.Complete(5), choose4(5)},
+		{"K8", graph.Complete(8), choose4(8)},
+		{"K4", graph.Complete(4), 1},
+		{"K3 too small", graph.Complete(3), 0},
+		{"cycle", graph.Cycle(10), 0},
+		{"grid", graph.Grid(5, 5), 0},
+	}
+	for _, c := range cases {
+		o := c.g.Orient(2)
+		if got := Exact4Clique(o, 2); got != c.want {
+			t.Errorf("%s: C4 = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestExactKCliqueMatches(t *testing.T) {
+	g := graph.Kronecker(8, 12, 9)
+	o := g.Orient(0)
+	if got, want := ExactKClique(o, 3, 2), ExactTC(o, 2); got != want {
+		t.Fatalf("3-clique = %d, TC = %d", got, want)
+	}
+	if got, want := ExactKClique(o, 4, 2), Exact4Clique(o, 2); got != want {
+		t.Fatalf("4-clique generic = %d, specialized = %d", got, want)
+	}
+	// K6: C(6,5) = 6 five-cliques.
+	k6 := graph.Complete(6).Orient(0)
+	if got := ExactKClique(k6, 5, 2); got != 6 {
+		t.Fatalf("5-cliques in K6 = %d, want 6", got)
+	}
+	if ExactKClique(o, 2, 2) != 0 {
+		t.Fatal("k<3 returns 0")
+	}
+}
+
+func TestPG4CliqueAccuracy(t *testing.T) {
+	g := graph.Kronecker(9, 14, 4)
+	o := g.Orient(0)
+	exact := float64(Exact4Clique(o, 0))
+	if exact == 0 {
+		t.Fatal("test graph has no 4-cliques")
+	}
+	pg, err := core.BuildOriented(o, g.SizeBits(), core.Config{Kind: core.BF, Budget: 0.33, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := PG4Clique(o, pg, 0)
+	if err := stats.RelativeError(est, exact); err > 0.6 {
+		t.Fatalf("PG4Clique = %.0f, exact = %.0f (rel err %.3f)", est, exact, err)
+	}
+}
+
+func TestLocalTCClosedForms(t *testing.T) {
+	// K5: every vertex is in C(4,2) = 6 triangles.
+	g := graph.Complete(5)
+	for v, c := range LocalTC(g, 0) {
+		if c != 6 {
+			t.Fatalf("K5 localTC[%d] = %d, want 6", v, c)
+		}
+	}
+	// Sum of local counts = 3·TC.
+	k := graph.Kronecker(8, 10, 3)
+	var sum int64
+	for _, c := range LocalTC(k, 0) {
+		sum += c
+	}
+	if want := 3 * ExactTC(k.Orient(0), 0); sum != want {
+		t.Fatalf("Σ local = %d, want 3·TC = %d", sum, want)
+	}
+	// Triangle-free graphs are all zero.
+	for _, c := range LocalTC(graph.Grid(4, 4), 0) {
+		if c != 0 {
+			t.Fatal("grid must have zero local counts")
+		}
+	}
+}
+
+func TestPGLocalTCTracksExact(t *testing.T) {
+	g := graph.CommunityGraph(600, 20000, 40, 120, 5)
+	pg, err := core.Build(g, core.Config{Kind: core.OneHash, Budget: 0.33, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := LocalTC(g, 0)
+	approx := PGLocalTC(g, pg, 0)
+	// Aggregate tracking: total within 25%, and the top-decile vertices
+	// by exact count should mostly be top-decile by estimate (the spam
+	// detection use case needs the ranking, not the exact numbers).
+	var se, sa float64
+	for v := range exact {
+		se += float64(exact[v])
+		sa += approx[v]
+	}
+	if stats.RelativeError(sa, se) > 0.25 {
+		t.Fatalf("total local TC est %v vs exact %v", sa, se)
+	}
+}

@@ -1,0 +1,213 @@
+// Package par provides the parallel building blocks used throughout
+// ProbGraph: a dynamic parallel-for (the Go analogue of the paper's
+// "[in par]" OpenMP loops, §VI-B), parallel sum reductions, and explicit
+// worker-count control so the scaling experiments (Fig. 8/9) can sweep
+// thread counts deterministically.
+//
+// Scheduling is dynamic: workers pull fixed-size chunks from a shared
+// atomic counter. This mirrors OpenMP's schedule(dynamic) and is what
+// gives the exact CSR baselines a fair chance on skewed-degree graphs;
+// ProbGraph's fixed-size sketches then remove the residual imbalance
+// within a chunk (Fig. 1, panel 5).
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the worker count used when a caller passes
+// workers <= 0: the runtime's GOMAXPROCS setting.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Chunk computes a reasonable chunk size for n items across w workers:
+// enough chunks for dynamic balancing (≈8 per worker) without excessive
+// contention on the shared counter.
+func Chunk(n, w int) int {
+	c := n / (w * 8)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// For runs body(i) for every i in [0, n) using the given number of
+// workers (<=0 means DefaultWorkers). Iterations must be independent;
+// body must synchronize any shared writes itself.
+func For(n, workers int, body func(i int)) {
+	ForChunked(n, workers, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForChunked runs body(lo, hi) over disjoint chunks covering [0, n).
+// chunk <= 0 selects an automatic size. Each worker pulls chunks from a
+// shared atomic cursor until the range is exhausted.
+func ForChunked(n, workers, chunk int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		body(0, n)
+		return
+	}
+	if chunk <= 0 {
+		chunk = Chunk(n, workers)
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(cursor.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// SumInt64 computes sum over i in [0,n) of body(i) in parallel, combining
+// per-worker partial sums (no atomics on the hot path).
+func SumInt64(n, workers int, body func(i int) int64) int64 {
+	return ReduceInt64(n, workers, func(lo, hi int) int64 {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += body(i)
+		}
+		return s
+	})
+}
+
+// SumFloat64 is SumInt64 for float64 bodies. The combination order of
+// partial sums is nondeterministic; callers needing bit-exact
+// reproducibility should use a single worker.
+func SumFloat64(n, workers int, body func(i int) float64) float64 {
+	return ReduceFloat64(n, workers, func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += body(i)
+		}
+		return s
+	})
+}
+
+// ReduceInt64 computes the sum of body(lo,hi) over disjoint chunks
+// covering [0,n), in parallel.
+func ReduceInt64(n, workers int, body func(lo, hi int) int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		return body(0, n)
+	}
+	chunk := Chunk(n, workers)
+	partial := make([]int64, workers)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			var s int64
+			for {
+				lo := int(cursor.Add(int64(chunk))) - chunk
+				if lo >= n {
+					break
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				s += body(lo, hi)
+			}
+			partial[w] = s
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for _, s := range partial {
+		total += s
+	}
+	return total
+}
+
+// ReduceFloat64 is ReduceInt64 for float64 partials.
+func ReduceFloat64(n, workers int, body func(lo, hi int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		return body(0, n)
+	}
+	chunk := Chunk(n, workers)
+	partial := make([]float64, workers)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			var s float64
+			for {
+				lo := int(cursor.Add(int64(chunk))) - chunk
+				if lo >= n {
+					break
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				s += body(lo, hi)
+			}
+			partial[w] = s
+		}(w)
+	}
+	wg.Wait()
+	var total float64
+	for _, s := range partial {
+		total += s
+	}
+	return total
+}
+
+// ExclusiveScan replaces counts with its exclusive prefix sum in place and
+// returns the grand total. Used by CSR construction (offsets from degrees).
+func ExclusiveScan(counts []int64) int64 {
+	var run int64
+	for i, c := range counts {
+		counts[i] = run
+		run += c
+	}
+	return run
+}

@@ -1,0 +1,128 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7, 16} {
+		for _, n := range []int{0, 1, 2, 100, 1001} {
+			seen := make([]atomic.Int32, n)
+			For(n, workers, func(i int) { seen[i].Add(1) })
+			for i := range seen {
+				if got := seen[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForChunkedCoversRange(t *testing.T) {
+	n := 1000
+	var total atomic.Int64
+	ForChunked(n, 4, 7, func(lo, hi int) {
+		if lo < 0 || hi > n || lo >= hi {
+			t.Errorf("bad chunk [%d,%d)", lo, hi)
+		}
+		total.Add(int64(hi - lo))
+	})
+	if total.Load() != int64(n) {
+		t.Fatalf("covered %d of %d items", total.Load(), n)
+	}
+}
+
+func TestSumInt64MatchesSerial(t *testing.T) {
+	n := 12345
+	want := int64(n) * int64(n-1) / 2
+	for _, workers := range []int{1, 3, 8} {
+		got := SumInt64(n, workers, func(i int) int64 { return int64(i) })
+		if got != want {
+			t.Fatalf("workers=%d: sum=%d want %d", workers, got, want)
+		}
+	}
+}
+
+func TestSumFloat64MatchesSerial(t *testing.T) {
+	n := 4096
+	got := SumFloat64(n, 5, func(i int) float64 { return 1.0 })
+	if got != float64(n) {
+		t.Fatalf("sum=%v want %v", got, float64(n))
+	}
+}
+
+func TestReduceInt64ChunksDisjoint(t *testing.T) {
+	n := 999
+	got := ReduceInt64(n, 6, func(lo, hi int) int64 { return int64(hi - lo) })
+	if got != int64(n) {
+		t.Fatalf("reduce=%d want %d", got, n)
+	}
+}
+
+func TestReduceFloatSingleWorkerDeterministic(t *testing.T) {
+	n := 100
+	a := ReduceFloat64(n, 1, func(lo, hi int) float64 { return float64(hi - lo) })
+	b := ReduceFloat64(n, 1, func(lo, hi int) float64 { return float64(hi - lo) })
+	if a != b || a != float64(n) {
+		t.Fatalf("got %v, %v", a, b)
+	}
+}
+
+func TestZeroAndNegativeN(t *testing.T) {
+	ran := false
+	For(0, 4, func(int) { ran = true })
+	For(-5, 4, func(int) { ran = true })
+	if ran {
+		t.Fatal("body must not run for n<=0")
+	}
+	if SumInt64(0, 4, func(int) int64 { return 1 }) != 0 {
+		t.Fatal("empty sum must be 0")
+	}
+	if ReduceFloat64(-1, 4, func(int, int) float64 { return 1 }) != 0 {
+		t.Fatal("empty reduce must be 0")
+	}
+}
+
+func TestChunkAtLeastOne(t *testing.T) {
+	if Chunk(1, 64) < 1 {
+		t.Fatal("chunk must be >= 1")
+	}
+	if Chunk(1_000_000, 4) < 1 {
+		t.Fatal("chunk must be >= 1")
+	}
+}
+
+func TestExclusiveScan(t *testing.T) {
+	counts := []int64{3, 0, 2, 5}
+	total := ExclusiveScan(counts)
+	want := []int64{0, 3, 3, 5}
+	if total != 10 {
+		t.Fatalf("total=%d", total)
+	}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("scan=%v want %v", counts, want)
+		}
+	}
+}
+
+// Property: parallel sum equals the closed form for arbitrary n, workers.
+func TestSumProperty(t *testing.T) {
+	f := func(n uint16, w uint8) bool {
+		nn := int(n % 5000)
+		ww := int(w%16) + 1
+		got := SumInt64(nn, ww, func(i int) int64 { return int64(i) })
+		return got == int64(nn)*int64(nn-1)/2 || nn == 0 && got == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkForOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		SumInt64(1024, 4, func(i int) int64 { return int64(i) })
+	}
+}

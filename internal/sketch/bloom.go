@@ -1,0 +1,186 @@
+// Package sketch implements the probabilistic set representations at the
+// center of ProbGraph (§II-D, §IV, §IX): Bloom filters, the two MinHash
+// variants (k-Hash and 1-Hash/bottom-k), K-Minimum-Values, and a
+// HyperLogLog extension, together with all the |X|, |X∪Y| and |X∩Y|
+// estimators the paper defines or compares against.
+//
+// The estimator arithmetic is exposed both as methods on sketch structs
+// (for arbitrary sets, §IV's framing) and as standalone functions over
+// raw sketch storage, which is what internal/core's flat per-vertex
+// arrays call into.
+package sketch
+
+import (
+	"math"
+
+	"probgraph/internal/bitset"
+	"probgraph/internal/hash"
+)
+
+// Bloom is a Bloom filter: an l-bit vector and b hash functions (§II-D).
+// Construct with NewBloom; the zero value is not usable.
+type Bloom struct {
+	bits bitset.Bits
+	fam  *hash.Family
+	b    int
+}
+
+// NewBloom returns an empty Bloom filter with nbits bits (rounded up to a
+// multiple of 64) and b hash functions drawn from the seed.
+func NewBloom(nbits, b int, seed uint64) *Bloom {
+	if nbits < bitset.WordBits {
+		nbits = bitset.WordBits
+	}
+	if b < 1 {
+		b = 1
+	}
+	return &Bloom{bits: bitset.New(nbits), fam: hash.NewFamily(seed, b), b: b}
+}
+
+// Add inserts x: sets the b bits h_1(x)..h_b(x).
+func (f *Bloom) Add(x uint32) {
+	AddToBits(f.bits, x, f.fam)
+}
+
+// AddToBits inserts x into a raw Bloom bit vector using every function of
+// fam; the flat-storage construction path of internal/core.
+func AddToBits(bits bitset.Bits, x uint32, fam *hash.Family) {
+	n := bits.Len()
+	for i := 0; i < fam.K(); i++ {
+		bits.Set(hash.Range(fam.Hash(i, x), n))
+	}
+}
+
+// Contains reports whether x may be in the set: true can be a false
+// positive, false is always correct (no false negatives).
+func (f *Bloom) Contains(x uint32) bool {
+	return BitsContain(f.bits, x, f.fam)
+}
+
+// BitsContain is Contains over raw storage.
+func BitsContain(bits bitset.Bits, x uint32, fam *hash.Family) bool {
+	n := bits.Len()
+	for i := 0; i < fam.K(); i++ {
+		if !bits.Get(hash.Range(fam.Hash(i, x), n)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Bits exposes the underlying bit vector (shared, not a copy).
+func (f *Bloom) Bits() bitset.Bits { return f.bits }
+
+// B returns the number of hash functions b.
+func (f *Bloom) B() int { return f.b }
+
+// SizeBits returns the filter size B_X in bits.
+func (f *Bloom) SizeBits() int { return f.bits.Len() }
+
+// Ones returns B_{X,1}, the number of set bits.
+func (f *Bloom) Ones() int { return f.bits.Count() }
+
+// --- single-set estimators ------------------------------------------------
+
+// CardSwamidass evaluates Eq. (1), the Swamidass–Baldi size estimator
+// |X|_S = -(B/b)·ln(1 - B₁/B), with the paper's divergence fix (§A-3):
+// a saturated filter (B₁ = B) is treated as B₁ = B-1 so the estimator
+// stays finite.
+func CardSwamidass(ones, sizeBits, b int) float64 {
+	if ones <= 0 {
+		return 0
+	}
+	if ones >= sizeBits {
+		ones = sizeBits - 1
+	}
+	B := float64(sizeBits)
+	return -B / float64(b) * math.Log(1-float64(ones)/B)
+}
+
+// CardPapapetrou evaluates the alternative single-set estimator of
+// Papapetrou et al. used as a comparison baseline in §VIII:
+// |X| = -ln(1 - B₁/B) / (b·ln(1 - 1/B)).
+func CardPapapetrou(ones, sizeBits, b int) float64 {
+	if ones <= 0 {
+		return 0
+	}
+	if ones >= sizeBits {
+		ones = sizeBits - 1
+	}
+	B := float64(sizeBits)
+	return math.Log(1-float64(ones)/B) / (float64(b) * math.Log(1-1/B))
+}
+
+// CardLinear evaluates the limiting estimator |X|_L = B₁/b (Eq. 20/21),
+// the B→∞ simplification of Eq. (1).
+func CardLinear(ones, b int) float64 {
+	return float64(ones) / float64(b)
+}
+
+// EstimateCard applies Eq. (1) to this filter.
+func (f *Bloom) EstimateCard() float64 {
+	return CardSwamidass(f.Ones(), f.SizeBits(), f.b)
+}
+
+// --- intersection estimators ----------------------------------------------
+
+// InterAND evaluates Eq. (2): the AND estimator applies Eq. (1) to the
+// bitwise AND of the two filters, B_{X∩Y} ≈ B_X AND B_Y. The two filters
+// must have equal size and share the same hash family.
+func InterAND(a, b bitset.Bits, sizeBits, bHashes int) float64 {
+	return CardSwamidass(bitset.AndCount(a, b), sizeBits, bHashes)
+}
+
+// InterL evaluates Eq. (4): the limiting estimator ones(AND)/b, i.e. the
+// number of ones in the intersection filter rescaled by 1/b.
+func InterL(a, b bitset.Bits, bHashes int) float64 {
+	return CardLinear(bitset.AndCount(a, b), bHashes)
+}
+
+// InterOR evaluates Eq. (29), the Swamidass union-based estimator:
+// |X∩Y|_OR = |X| + |Y| + (B/b)·ln(1 - ones(OR)/B). Exact set sizes are
+// supplied by the caller (vertex degrees are free in graph mining).
+func InterOR(a, b bitset.Bits, sizeBits, bHashes, sizeX, sizeY int) float64 {
+	ones := bitset.OrCount(a, b)
+	if ones >= sizeBits {
+		ones = sizeBits - 1
+	}
+	B := float64(sizeBits)
+	est := float64(sizeX) + float64(sizeY) + B/float64(bHashes)*math.Log(1-float64(ones)/B)
+	if est < 0 {
+		return 0
+	}
+	return est
+}
+
+// InterAND3 estimates |X∩Y∩Z| by applying Eq. (1) to the three-way AND;
+// the 4-clique inner kernel (B_w AND B_{C3} with B_{C3} = B_u AND B_v).
+func InterAND3(a, b, c bitset.Bits, sizeBits, bHashes int) float64 {
+	return CardSwamidass(bitset.And3Count(a, b, c), sizeBits, bHashes)
+}
+
+// InterANDOf computes Eq. (2) for this filter against another.
+func (f *Bloom) InterANDOf(g *Bloom) float64 {
+	return InterAND(f.bits, g.bits, f.SizeBits(), f.b)
+}
+
+// InterLOf computes Eq. (4) for this filter against another.
+func (f *Bloom) InterLOf(g *Bloom) float64 {
+	return InterL(f.bits, g.bits, f.b)
+}
+
+// InterOROf computes Eq. (29); sizeX and sizeY are the exact set sizes.
+func (f *Bloom) InterOROf(g *Bloom, sizeX, sizeY int) float64 {
+	return InterOR(f.bits, g.bits, f.SizeBits(), f.b, sizeX, sizeY)
+}
+
+// FalsePositiveRate returns the classic approximation of the false
+// positive probability p_f = (1 - e^{-b·card/B})^b for a filter of this
+// geometry holding card elements.
+func FalsePositiveRate(card, sizeBits, b int) float64 {
+	if sizeBits <= 0 {
+		return 1
+	}
+	inner := 1 - math.Exp(-float64(b)*float64(card)/float64(sizeBits))
+	return math.Pow(inner, float64(b))
+}

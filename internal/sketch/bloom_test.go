@@ -1,0 +1,211 @@
+package sketch
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"probgraph/internal/stats"
+)
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	f := NewBloom(1024, 3, 1)
+	for x := uint32(0); x < 100; x++ {
+		f.Add(x * 7)
+	}
+	for x := uint32(0); x < 100; x++ {
+		if !f.Contains(x * 7) {
+			t.Fatalf("false negative for %d", x*7)
+		}
+	}
+}
+
+func TestBloomNoFalseNegativesProperty(t *testing.T) {
+	check := func(elems []uint32, b uint8, seed uint64) bool {
+		f := NewBloom(512, int(b%4)+1, seed)
+		for _, x := range elems {
+			f.Add(x)
+		}
+		for _, x := range elems {
+			if !f.Contains(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBloomFalsePositiveRateApprox(t *testing.T) {
+	// Insert 200 elements into a 2048-bit filter with b=2 and measure the
+	// FP rate on 10k absent keys; it should be near the analytic rate.
+	const nbits, b, card = 2048, 2, 200
+	f := NewBloom(nbits, b, 7)
+	for x := uint32(0); x < card; x++ {
+		f.Add(x)
+	}
+	fp := 0
+	const probes = 10000
+	for x := uint32(1 << 20); x < 1<<20+probes; x++ {
+		if f.Contains(x) {
+			fp++
+		}
+	}
+	got := float64(fp) / probes
+	want := FalsePositiveRate(card, nbits, b)
+	if math.Abs(got-want) > 0.03 {
+		t.Fatalf("measured FP rate %.4f, analytic %.4f", got, want)
+	}
+}
+
+func TestBloomGeometryClamp(t *testing.T) {
+	f := NewBloom(1, 0, 3)
+	if f.SizeBits() != 64 || f.B() != 1 {
+		t.Fatalf("clamp: size=%d b=%d", f.SizeBits(), f.B())
+	}
+}
+
+func TestCardEstimatorEdgeCases(t *testing.T) {
+	if CardSwamidass(0, 256, 2) != 0 {
+		t.Fatal("empty filter must estimate 0")
+	}
+	// Saturated filter stays finite (the §A-3 divergence fix).
+	if v := CardSwamidass(256, 256, 2); math.IsInf(v, 0) || math.IsNaN(v) {
+		t.Fatalf("saturated estimator diverged: %v", v)
+	}
+	if CardPapapetrou(0, 256, 2) != 0 {
+		t.Fatal("Papapetrou empty")
+	}
+	if v := CardPapapetrou(256, 256, 2); math.IsInf(v, 0) {
+		t.Fatalf("Papapetrou saturated diverged: %v", v)
+	}
+	if CardLinear(10, 2) != 5 {
+		t.Fatal("linear estimator")
+	}
+}
+
+func TestCardEstimatorAccuracy(t *testing.T) {
+	// Eq. (1) should land close to the true size for a comfortably sized
+	// filter; average over seeds to smooth hash noise.
+	const card, nbits, b = 300, 8192, 2
+	var errs []float64
+	for seed := uint64(0); seed < 20; seed++ {
+		f := NewBloom(nbits, b, seed)
+		for x := uint32(0); x < card; x++ {
+			f.Add(x)
+		}
+		errs = append(errs, stats.RelativeError(f.EstimateCard(), card))
+	}
+	if m := stats.Mean(errs); m > 0.05 {
+		t.Fatalf("mean relative error of Eq.(1) = %.3f, want < 0.05", m)
+	}
+}
+
+// buildPair creates Bloom filters for two overlapping integer ranges.
+func buildPair(nbits, b int, seed uint64, sizeX, sizeY, overlap int) (*Bloom, *Bloom) {
+	fx := NewBloom(nbits, b, seed)
+	fy := NewBloom(nbits, b, seed) // same family: required for AND/OR estimators
+	for i := 0; i < sizeX; i++ {
+		fx.Add(uint32(i))
+	}
+	for i := 0; i < sizeY; i++ {
+		fy.Add(uint32(sizeX - overlap + i))
+	}
+	return fx, fy
+}
+
+func TestInterEstimatorsAccuracy(t *testing.T) {
+	const nbits, b = 16384, 2
+	const sizeX, sizeY, overlap = 400, 300, 120
+	var errAND, errL, errOR []float64
+	for seed := uint64(0); seed < 20; seed++ {
+		fx, fy := buildPair(nbits, b, seed, sizeX, sizeY, overlap)
+		errAND = append(errAND, stats.RelativeError(fx.InterANDOf(fy), overlap))
+		errL = append(errL, stats.RelativeError(fx.InterLOf(fy), overlap))
+		errOR = append(errOR, stats.RelativeError(fx.InterOROf(fy, sizeX, sizeY), overlap))
+	}
+	for name, errs := range map[string][]float64{"AND": errAND, "L": errL, "OR": errOR} {
+		if m := stats.Mean(errs); m > 0.15 {
+			t.Errorf("%s estimator mean relative error %.3f, want < 0.15", name, m)
+		}
+	}
+}
+
+func TestInterANDConsistency(t *testing.T) {
+	// Consistency (§A-4): error decreases as the filter grows.
+	const sizeX, sizeY, overlap = 400, 300, 120
+	meanErr := func(nbits int) float64 {
+		var errs []float64
+		for seed := uint64(0); seed < 15; seed++ {
+			fx, fy := buildPair(nbits, 2, seed, sizeX, sizeY, overlap)
+			errs = append(errs, stats.RelativeError(fx.InterANDOf(fy), overlap))
+		}
+		return stats.Mean(errs)
+	}
+	small, large := meanErr(2048), meanErr(65536)
+	if large > small {
+		t.Fatalf("error grew with sketch size: %f (2Kb) -> %f (64Kb)", small, large)
+	}
+}
+
+func TestInterDisjointSetsNearZero(t *testing.T) {
+	const nbits, b = 32768, 2
+	fx, fy := buildPair(nbits, b, 3, 300, 300, 0)
+	if est := fx.InterANDOf(fy); est > 25 {
+		t.Fatalf("disjoint AND estimate too high: %v", est)
+	}
+	if est := fx.InterOROf(fy, 300, 300); est > 25 {
+		t.Fatalf("disjoint OR estimate too high: %v", est)
+	}
+}
+
+func TestInterAND3(t *testing.T) {
+	const nbits, b = 32768, 2
+	fx := NewBloom(nbits, b, 5)
+	fy := NewBloom(nbits, b, 5)
+	fz := NewBloom(nbits, b, 5)
+	// X = [0,300), Y = [100,400), Z = [200,500): triple overlap [200,300).
+	for i := 0; i < 300; i++ {
+		fx.Add(uint32(i))
+		fy.Add(uint32(100 + i))
+		fz.Add(uint32(200 + i))
+	}
+	est := InterAND3(fx.Bits(), fy.Bits(), fz.Bits(), nbits, b)
+	if stats.RelativeError(est, 100) > 0.25 {
+		t.Fatalf("triple intersection estimate %v, want ~100", est)
+	}
+}
+
+func TestInterORNonNegative(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		fx := NewBloom(1024, 2, seed)
+		fy := NewBloom(1024, 2, seed)
+		nx, ny := rng.IntN(50), rng.IntN(50)
+		for i := 0; i < nx; i++ {
+			fx.Add(uint32(rng.IntN(1000)))
+		}
+		for i := 0; i < ny; i++ {
+			fy.Add(uint32(rng.IntN(1000)))
+		}
+		return fx.InterOROf(fy, nx, ny) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFalsePositiveRateBounds(t *testing.T) {
+	if FalsePositiveRate(0, 1024, 2) != 0 {
+		t.Fatal("empty filter FP rate must be 0")
+	}
+	if p := FalsePositiveRate(100000, 64, 2); p < 0.99 {
+		t.Fatalf("overloaded filter FP rate %v, want ~1", p)
+	}
+	if FalsePositiveRate(10, 0, 2) != 1 {
+		t.Fatal("degenerate size")
+	}
+}

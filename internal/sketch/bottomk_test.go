@@ -1,0 +1,73 @@
+package sketch
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"probgraph/internal/hash"
+)
+
+func TestBottomKSelectMatchesSort(t *testing.T) {
+	fam := hash.NewFamily(3, 1)
+	fn := func(x uint32) uint64 { return fam.Hash(0, x) }
+	elems := make([]uint32, 400)
+	for i := range elems {
+		elems[i] = uint32(i * 3)
+	}
+	for _, k := range []int{1, 5, 256, 500} {
+		got := OneHashSketch(elems, k, fn, true)
+		// reference: sort all hashes
+		all := make([]uint64, len(elems))
+		for i, x := range elems {
+			all[i] = fn(x)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		want := all
+		if len(want) > k {
+			want = want[:k]
+		}
+		if len(got.Hashes) != len(want) {
+			t.Fatalf("k=%d: len %d want %d", k, len(got.Hashes), len(want))
+		}
+		for i := range want {
+			if got.Hashes[i] != want[i] {
+				t.Fatalf("k=%d: idx %d: %d != %d", k, i, got.Hashes[i], want[i])
+			}
+			if fn(got.Elems[i]) != got.Hashes[i] {
+				t.Fatalf("k=%d: elem misaligned at %d", k, i)
+			}
+		}
+	}
+}
+
+// Property: heap-based bottom-k selection matches the sorted reference
+// for arbitrary value streams (regression for the siftDown depth bug).
+func TestBottomKSelectBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 3000; trial++ {
+		n := rng.IntN(30) + 1
+		k := rng.IntN(10) + 1
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = uint64(rng.IntN(100))
+		}
+		es := make([]uint32, n)
+		for i := range es {
+			es[i] = uint32(i)
+		}
+		fn := func(x uint32) uint64 { return vals[x] }
+		hs, _ := bottomKSelect(es, k, fn, make([]uint64, 0, k), nil)
+		sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+		want := append([]uint64(nil), vals...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(want) > k {
+			want = want[:k]
+		}
+		for i := range want {
+			if hs[i] != want[i] {
+				t.Fatalf("n=%d k=%d vals=%v: got %v want %v", n, k, vals, hs, want)
+			}
+		}
+	}
+}

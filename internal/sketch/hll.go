@@ -1,0 +1,95 @@
+package sketch
+
+import (
+	"math"
+	"math/bits"
+)
+
+// HLL is a HyperLogLog cardinality sketch: 2^p single-byte registers
+// holding the maximum leading-zero rank observed per substream. The
+// paper names HyperLogLog as the natural next representation to plug
+// into ProbGraph (§X); this implementation provides the same estimator
+// surface as the other sketches: Card, Union (register-wise max), and
+// intersection by inclusion–exclusion.
+type HLL struct {
+	Reg []uint8
+	P   uint8
+}
+
+// NewHLL returns an empty HyperLogLog with 2^p registers (4 <= p <= 16).
+func NewHLL(p uint8) *HLL {
+	if p < 4 {
+		p = 4
+	}
+	if p > 16 {
+		p = 16
+	}
+	return &HLL{Reg: make([]uint8, 1<<p), P: p}
+}
+
+// Add inserts a 64-bit hash of an element: the top p bits select the
+// register, the rank of the remainder updates it.
+func (s *HLL) Add(h uint64) {
+	idx := h >> (64 - s.P)
+	rest := h<<s.P | 1<<(uint(s.P)-1) // guarantee termination of rank scan
+	rank := uint8(bits.LeadingZeros64(rest)) + 1
+	if rank > s.Reg[idx] {
+		s.Reg[idx] = rank
+	}
+}
+
+// alpha is the standard bias-correction constant.
+func alpha(m int) float64 {
+	switch m {
+	case 16:
+		return 0.673
+	case 32:
+		return 0.697
+	case 64:
+		return 0.709
+	default:
+		return 0.7213 / (1 + 1.079/float64(m))
+	}
+}
+
+// Card returns the HyperLogLog cardinality estimate with the standard
+// small-range (linear counting) correction.
+func (s *HLL) Card() float64 {
+	m := len(s.Reg)
+	var sum float64
+	zeros := 0
+	for _, r := range s.Reg {
+		sum += 1 / float64(uint64(1)<<r)
+		if r == 0 {
+			zeros++
+		}
+	}
+	e := alpha(m) * float64(m) * float64(m) / sum
+	if e <= 2.5*float64(m) && zeros > 0 {
+		return float64(m) * math.Log(float64(m)/float64(zeros))
+	}
+	return e
+}
+
+// UnionHLL returns the register-wise max of two sketches, the exact
+// sketch of the union.
+func UnionHLL(a, b *HLL) *HLL {
+	u := &HLL{Reg: make([]uint8, len(a.Reg)), P: a.P}
+	for i := range u.Reg {
+		u.Reg[i] = max(a.Reg[i], b.Reg[i])
+	}
+	return u
+}
+
+// InterHLL estimates |X∩Y| by inclusion–exclusion with exact sizes,
+// clamped to the feasible range, mirroring InterKMV.
+func InterHLL(a, b *HLL, sizeX, sizeY int) float64 {
+	est := float64(sizeX+sizeY) - UnionHLL(a, b).Card()
+	if est < 0 {
+		return 0
+	}
+	if lim := float64(min(sizeX, sizeY)); est > lim {
+		return lim
+	}
+	return est
+}

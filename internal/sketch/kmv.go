@@ -1,0 +1,101 @@
+package sketch
+
+import (
+	"sort"
+
+	"probgraph/internal/hash"
+)
+
+// KMV is the K-Minimum-Values sketch of §IX: the k smallest hash values
+// of a set under a single hash function mapping to (0,1], stored sorted
+// ascending as raw 64-bit hashes (converted to the unit interval only
+// inside the estimators). Unlike the 1-Hash MinHash, the sketch stores
+// hashes, not elements.
+type KMV struct {
+	Hashes []uint64
+}
+
+// NewKMV builds the KMV sketch of the element set with the given hash
+// function and size bound k, via bounded-heap selection (O(d log k)).
+func NewKMV(elems []uint32, k int, fn func(uint32) uint64) KMV {
+	if k < 1 {
+		k = 1
+	}
+	hs, _ := bottomKSelect(elems, k, fn, make([]uint64, 0, min(k, len(elems))), nil)
+	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+	// Drop duplicate hash values (distinct-value semantics).
+	w := 0
+	for i, h := range hs {
+		if i == 0 || h != hs[i-1] {
+			hs[w] = h
+			w++
+		}
+	}
+	return KMV{Hashes: hs[:w]}
+}
+
+// Card estimates |X| via Eq. (39): (k-1)/max(K_X) with hashes read as
+// points in (0,1]. When the sketch is not full (|X| < k), every element
+// is present and the exact count is returned.
+func (s KMV) Card(k int) float64 {
+	n := len(s.Hashes)
+	if n == 0 {
+		return 0
+	}
+	if n < k {
+		return float64(n)
+	}
+	return float64(k-1) / hash.Unit(s.Hashes[n-1])
+}
+
+// Union returns the KMV sketch of X ∪ Y: the k smallest distinct hashes
+// of the merged sketches (§IX).
+func Union(a, b KMV, k int) KMV {
+	if k < 1 {
+		k = 1
+	}
+	out := make([]uint64, 0, k)
+	i, j := 0, 0
+	for len(out) < k && (i < len(a.Hashes) || j < len(b.Hashes)) {
+		switch {
+		case j >= len(b.Hashes) || (i < len(a.Hashes) && a.Hashes[i] < b.Hashes[j]):
+			out = append(out, a.Hashes[i])
+			i++
+		case i >= len(a.Hashes) || b.Hashes[j] < a.Hashes[i]:
+			out = append(out, b.Hashes[j])
+			j++
+		default:
+			out = append(out, a.Hashes[i])
+			i++
+			j++
+		}
+	}
+	return KMV{Hashes: out}
+}
+
+// InterKMV estimates |X∩Y| by inclusion–exclusion with the exact set
+// sizes (Eq. 41): |X| + |Y| - |X∪Y|_KMV, clamped to the feasible range
+// [0, min(|X|,|Y|)].
+func InterKMV(a, b KMV, k, sizeX, sizeY int) float64 {
+	u := Union(a, b, k)
+	// If the union sketch is not full, it enumerates X∪Y exactly.
+	est := float64(sizeX+sizeY) - u.Card(k)
+	if est < 0 {
+		return 0
+	}
+	if lim := float64(min(sizeX, sizeY)); est > lim {
+		return lim
+	}
+	return est
+}
+
+// InterKMVEstimatedSizes is Eq. (40): the variant that also estimates
+// |X| and |Y| from the individual sketches instead of using exact sizes.
+func InterKMVEstimatedSizes(a, b KMV, k int) float64 {
+	u := Union(a, b, k)
+	est := a.Card(k) + b.Card(k) - u.Card(k)
+	if est < 0 {
+		return 0
+	}
+	return est
+}

@@ -1,0 +1,151 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+
+	"probgraph/internal/hash"
+	"probgraph/internal/stats"
+)
+
+func kmvPair(sizeX, sizeY, overlap, k int, seed uint64) (KMV, KMV) {
+	fam := hash.NewFamily(seed, 1)
+	fn := func(x uint32) uint64 { return fam.Hash(0, x) }
+	xs, ys := ranges(sizeX, sizeY, overlap)
+	return NewKMV(xs, k, fn), NewKMV(ys, k, fn)
+}
+
+func TestKMVSortedAndBounded(t *testing.T) {
+	a, _ := kmvPair(500, 0, 0, 32, 1)
+	if len(a.Hashes) != 32 {
+		t.Fatalf("sketch size %d", len(a.Hashes))
+	}
+	for i := 1; i < len(a.Hashes); i++ {
+		if a.Hashes[i-1] >= a.Hashes[i] {
+			t.Fatal("KMV not strictly sorted")
+		}
+	}
+}
+
+func TestKMVSmallSetExact(t *testing.T) {
+	a, _ := kmvPair(10, 0, 0, 64, 1)
+	if got := a.Card(64); got != 10 {
+		t.Fatalf("small set Card = %v, want exact 10", got)
+	}
+	empty := NewKMV(nil, 8, func(uint32) uint64 { return 0 })
+	if empty.Card(8) != 0 {
+		t.Fatal("empty set Card must be 0")
+	}
+}
+
+func TestKMVCardAccuracy(t *testing.T) {
+	const size, k = 2000, 128
+	var errs []float64
+	for seed := uint64(0); seed < 30; seed++ {
+		a, _ := kmvPair(size, 0, 0, k, seed)
+		errs = append(errs, stats.RelativeError(a.Card(k), size))
+	}
+	if m := stats.Mean(errs); m > 0.12 {
+		t.Fatalf("KMV Card mean relative error %.3f", m)
+	}
+}
+
+func TestKMVUnionProperties(t *testing.T) {
+	a, b := kmvPair(300, 300, 100, 64, 3)
+	u := Union(a, b, 64)
+	if len(u.Hashes) != 64 {
+		t.Fatalf("union sketch size %d", len(u.Hashes))
+	}
+	for i := 1; i < len(u.Hashes); i++ {
+		if u.Hashes[i-1] >= u.Hashes[i] {
+			t.Fatal("union not strictly sorted (duplicates must merge)")
+		}
+	}
+	// Union of a sketch with itself is itself.
+	self := Union(a, a, 64)
+	for i := range self.Hashes {
+		if self.Hashes[i] != a.Hashes[i] {
+			t.Fatal("self-union changed sketch")
+		}
+	}
+}
+
+func TestKMVInterAccuracy(t *testing.T) {
+	const sizeX, sizeY, overlap, k = 400, 350, 150, 128
+	var errs []float64
+	for seed := uint64(0); seed < 30; seed++ {
+		a, b := kmvPair(sizeX, sizeY, overlap, k, seed)
+		errs = append(errs, stats.RelativeError(InterKMV(a, b, k, sizeX, sizeY), overlap))
+	}
+	if m := stats.Mean(errs); m > 0.25 {
+		t.Fatalf("KMV intersection mean relative error %.3f", m)
+	}
+}
+
+func TestKMVInterClamps(t *testing.T) {
+	// Disjoint sets: estimate must be >= 0.
+	a, b := kmvPair(200, 200, 0, 32, 5)
+	if est := InterKMV(a, b, 32, 200, 200); est < 0 {
+		t.Fatalf("negative estimate %v", est)
+	}
+	// Identical sets: estimate clamps to min size.
+	c, d := kmvPair(200, 200, 200, 32, 5)
+	if est := InterKMV(c, d, 32, 200, 200); est > 200 {
+		t.Fatalf("estimate %v exceeds min size", est)
+	}
+	if est := InterKMVEstimatedSizes(c, d, 32); est < 0 {
+		t.Fatalf("estimated-sizes variant negative: %v", est)
+	}
+}
+
+func TestKMVSmallSetsExactIntersection(t *testing.T) {
+	// Both sets within k: union sketch enumerates X∪Y, so the result is
+	// exact.
+	a, b := kmvPair(20, 15, 8, 64, 7)
+	if got := InterKMV(a, b, 64, 20, 15); math.Abs(got-8) > 1e-9 {
+		t.Fatalf("small-set KMV intersection = %v, want 8", got)
+	}
+}
+
+func TestHLLCardAccuracy(t *testing.T) {
+	fam := hash.NewFamily(11, 1)
+	for _, size := range []int{100, 5000} {
+		s := NewHLL(10)
+		for i := 0; i < size; i++ {
+			s.Add(fam.Hash(0, uint32(i)))
+		}
+		if err := stats.RelativeError(s.Card(), float64(size)); err > 0.1 {
+			t.Fatalf("HLL size %d: relative error %.3f", size, err)
+		}
+	}
+}
+
+func TestHLLUnionAndIntersection(t *testing.T) {
+	fam := hash.NewFamily(13, 1)
+	const sizeX, sizeY, overlap = 3000, 2500, 1000
+	xs, ys := ranges(sizeX, sizeY, overlap)
+	a, b := NewHLL(11), NewHLL(11)
+	for _, x := range xs {
+		a.Add(fam.Hash(0, x))
+	}
+	for _, y := range ys {
+		b.Add(fam.Hash(0, y))
+	}
+	u := UnionHLL(a, b)
+	if err := stats.RelativeError(u.Card(), float64(sizeX+sizeY-overlap)); err > 0.1 {
+		t.Fatalf("HLL union error %.3f", err)
+	}
+	if err := stats.RelativeError(InterHLL(a, b, sizeX, sizeY), overlap); err > 0.35 {
+		t.Fatalf("HLL intersection error %.3f", err)
+	}
+}
+
+func TestHLLClamps(t *testing.T) {
+	if NewHLL(0).P != 4 || NewHLL(30).P != 16 {
+		t.Fatal("precision clamp")
+	}
+	a, b := NewHLL(8), NewHLL(8)
+	if InterHLL(a, b, 0, 0) != 0 {
+		t.Fatal("empty HLL intersection")
+	}
+}

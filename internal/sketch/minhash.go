@@ -1,0 +1,277 @@
+package sketch
+
+import (
+	"math"
+	"sort"
+
+	"probgraph/internal/hash"
+)
+
+// EmptySlot is the sentinel stored in a k-Hash signature position when
+// the underlying set is empty (min over the empty set).
+const EmptySlot = math.MaxUint64
+
+// KHashSig is the k-Hash MinHash signature of a set (§II-D): position i
+// holds min_{x∈X} h_i(x). Two sets' signatures agree at position i
+// exactly when their h_i-minimizing elements coincide (up to 64-bit hash
+// collisions), so agreement counting realizes |M_X ∩ M_Y| of §IV-C.
+type KHashSig []uint64
+
+// KHashSignature fills out (length k = fam.K()) with the signature of the
+// element set; out is returned for convenience. An empty set yields all
+// EmptySlot sentinels.
+func KHashSignature(elems []uint32, fam *hash.Family, out KHashSig) KHashSig {
+	for i := range out {
+		out[i] = EmptySlot
+	}
+	for _, x := range elems {
+		for i := 0; i < fam.K(); i++ {
+			if h := fam.Hash(i, x); h < out[i] {
+				out[i] = h
+			}
+		}
+	}
+	return out
+}
+
+// KHashAgreement counts signature positions where a and b agree, skipping
+// positions where both are empty (so two empty sets have Jaccard 0 rather
+// than a spurious 1).
+func KHashAgreement(a, b KHashSig) int {
+	c := 0
+	for i := range a {
+		if a[i] == b[i] && a[i] != EmptySlot {
+			c++
+		}
+	}
+	return c
+}
+
+// KHashJaccard is the unbiased Jaccard estimator Ĵ = |M_X∩M_Y|/k (§IV-C);
+// |M_X∩M_Y| ~ Bin(k, J).
+func KHashJaccard(a, b KHashSig) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	return float64(KHashAgreement(a, b)) / float64(len(a))
+}
+
+// InterFromJaccard applies the §IV-C transform
+// |X∩Y| = Ĵ/(1+Ĵ)·(|X|+|Y|) (Eq. 5), shared by the k-Hash and 1-Hash
+// estimators. It inherits MLE invariance from Ĵ for k-Hash.
+func InterFromJaccard(j float64, sizeX, sizeY int) float64 {
+	if j <= 0 {
+		return 0
+	}
+	return j / (1 + j) * float64(sizeX+sizeY)
+}
+
+// KHashInter is the full Eq. (5) estimator over two signatures.
+func KHashInter(a, b KHashSig, sizeX, sizeY int) float64 {
+	return InterFromJaccard(KHashJaccard(a, b), sizeX, sizeY)
+}
+
+// --- 1-Hash (bottom-k) ------------------------------------------------------
+
+// BottomK is the 1-Hash sketch M¹_X (§II-D): the min(k, |X|) smallest
+// values of a single hash function over the set, sorted ascending.
+// Elems optionally carries the element IDs aligned with Hashes, which the
+// weighted similarity estimators (Adamic–Adar, Resource Allocation) use
+// to evaluate functions of the sampled intersection.
+type BottomK struct {
+	Hashes []uint64
+	Elems  []uint32
+}
+
+// OneHashSketch builds the bottom-k sketch of the element set using hash
+// function fn. If keepElems is set, element IDs are retained alongside.
+// Selection uses a bounded max-heap: O(d log k) work and O(k) memory per
+// sketch, realizing the Table V construction cost (one hash evaluation
+// per element, no materialization of the full hash list).
+func OneHashSketch(elems []uint32, k int, fn func(uint32) uint64, keepElems bool) BottomK {
+	if k < 1 {
+		k = 1
+	}
+	size := min(k, len(elems))
+	s := BottomK{Hashes: make([]uint64, 0, size)}
+	if keepElems {
+		s.Elems = make([]uint32, 0, size)
+	}
+	var ids []uint32
+	if keepElems {
+		ids = s.Elems
+	}
+	hs, ids := bottomKSelect(elems, k, fn, s.Hashes, ids)
+	s.Hashes = hs
+	if keepElems {
+		s.Elems = ids
+	}
+	sortAligned(s.Hashes, s.Elems)
+	return s
+}
+
+// bottomKSelect maintains a max-heap of the k smallest hashes seen so
+// far; ids (may be nil) tracks the originating elements alongside.
+func bottomKSelect(elems []uint32, k int, fn func(uint32) uint64, hs []uint64, ids []uint32) ([]uint64, []uint32) {
+	keep := ids != nil
+	for _, x := range elems {
+		h := fn(x)
+		if len(hs) < k {
+			hs = append(hs, h)
+			if keep {
+				ids = append(ids, x)
+			}
+			if len(hs) == k {
+				// Heapify once full.
+				for i := k/2 - 1; i >= 0; i-- {
+					siftDown(hs, ids, i)
+				}
+			}
+			continue
+		}
+		if h >= hs[0] {
+			continue
+		}
+		hs[0] = h
+		if keep {
+			ids[0] = x
+		}
+		siftDown(hs, ids, 0)
+	}
+	return hs, ids
+}
+
+// siftDown restores the max-heap property at index i.
+func siftDown(hs []uint64, ids []uint32, i int) {
+	n := len(hs)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && hs[l] > hs[largest] {
+			largest = l
+		}
+		if r < n && hs[r] > hs[largest] {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		hs[i], hs[largest] = hs[largest], hs[i]
+		if ids != nil {
+			ids[i], ids[largest] = ids[largest], ids[i]
+		}
+		i = largest
+	}
+}
+
+// sortAligned sorts hs ascending, permuting ids (if non-nil) alongside.
+func sortAligned(hs []uint64, ids []uint32) {
+	if ids == nil {
+		sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+		return
+	}
+	idx := make([]int, len(hs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return hs[idx[i]] < hs[idx[j]] })
+	outH := make([]uint64, len(hs))
+	outI := make([]uint32, len(ids))
+	for p, i := range idx {
+		outH[p] = hs[i]
+		outI[p] = ids[i]
+	}
+	copy(hs, outH)
+	copy(ids, outI)
+}
+
+// OneHashCommon counts hash values present in both sketches (sorted-merge
+// intersection, O(k)); this is |M¹_X ∩ M¹_Y| of §IV-D.
+func OneHashCommon(a, b BottomK) int {
+	i, j, c := 0, 0, 0
+	for i < len(a.Hashes) && j < len(b.Hashes) {
+		switch {
+		case a.Hashes[i] == b.Hashes[j]:
+			c++
+			i++
+			j++
+		case a.Hashes[i] < b.Hashes[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return c
+}
+
+// OneHashJaccardSimple is the paper's §IV-D estimator Ĵ = |M¹_X∩M¹_Y|/k.
+func OneHashJaccardSimple(a, b BottomK, k int) float64 {
+	if k < 1 {
+		return 0
+	}
+	return float64(OneHashCommon(a, b)) / float64(k)
+}
+
+// OneHashJaccard is the union-restricted bottom-k estimator: among the k
+// smallest distinct hashes of the merged sketches (equivalently, the
+// bottom-k sketch of X∪Y), count those present in both sketches and
+// divide by the number inspected. It agrees with the hypergeometric model
+// |M¹∩| ~ Hyper(|X∪Y|, |X∩Y|, k) exactly and degrades gracefully to the
+// exact Jaccard when both sets fit in the sketch (d ≤ k), which matters
+// for low-degree vertices.
+func OneHashJaccard(a, b BottomK, k int) float64 {
+	if k < 1 {
+		return 0
+	}
+	i, j, taken, both := 0, 0, 0, 0
+	for taken < k && (i < len(a.Hashes) || j < len(b.Hashes)) {
+		switch {
+		case j >= len(b.Hashes) || (i < len(a.Hashes) && a.Hashes[i] < b.Hashes[j]):
+			i++
+		case i >= len(a.Hashes) || b.Hashes[j] < a.Hashes[i]:
+			j++
+		default: // equal: in both sketches
+			both++
+			i++
+			j++
+		}
+		taken++
+	}
+	if taken == 0 {
+		return 0
+	}
+	return float64(both) / float64(taken)
+}
+
+// OneHashInter is the §IV-D intersection estimator with the
+// union-restricted Jaccard.
+func OneHashInter(a, b BottomK, k, sizeX, sizeY int) float64 {
+	return InterFromJaccard(OneHashJaccard(a, b, k), sizeX, sizeY)
+}
+
+// OneHashInterSimple is the §IV-D estimator using the plain /k Jaccard.
+func OneHashInterSimple(a, b BottomK, k, sizeX, sizeY int) float64 {
+	return InterFromJaccard(OneHashJaccardSimple(a, b, k), sizeX, sizeY)
+}
+
+// CommonElems appends to out the element IDs present in both sketches
+// (requires sketches built with keepElems); the sampled intersection that
+// weighted similarity measures sum over.
+func CommonElems(a, b BottomK, out []uint32) []uint32 {
+	i, j := 0, 0
+	for i < len(a.Hashes) && j < len(b.Hashes) {
+		switch {
+		case a.Hashes[i] == b.Hashes[j]:
+			if a.Elems != nil {
+				out = append(out, a.Elems[i])
+			}
+			i++
+			j++
+		case a.Hashes[i] < b.Hashes[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+
+	"probgraph/internal/hash"
+	"probgraph/internal/stats"
+)
+
+// ranges builds X=[0,sizeX) and Y=[sizeX-overlap, sizeX-overlap+sizeY).
+func ranges(sizeX, sizeY, overlap int) (xs, ys []uint32) {
+	for i := 0; i < sizeX; i++ {
+		xs = append(xs, uint32(i))
+	}
+	for i := 0; i < sizeY; i++ {
+		ys = append(ys, uint32(sizeX-overlap+i))
+	}
+	return xs, ys
+}
+
+func trueJaccard(sizeX, sizeY, overlap int) float64 {
+	return float64(overlap) / float64(sizeX+sizeY-overlap)
+}
+
+func TestKHashIdenticalSets(t *testing.T) {
+	fam := hash.NewFamily(1, 64)
+	xs, _ := ranges(100, 0, 0)
+	a := KHashSignature(xs, fam, make(KHashSig, 64))
+	b := KHashSignature(xs, fam, make(KHashSig, 64))
+	if KHashJaccard(a, b) != 1 {
+		t.Fatal("identical sets must have Ĵ = 1")
+	}
+	if got := KHashInter(a, b, 100, 100); got != 100 {
+		t.Fatalf("self-intersection = %v, want 100", got)
+	}
+}
+
+func TestKHashDisjointSets(t *testing.T) {
+	fam := hash.NewFamily(2, 64)
+	xs, ys := ranges(100, 100, 0)
+	a := KHashSignature(xs, fam, make(KHashSig, 64))
+	b := KHashSignature(ys, fam, make(KHashSig, 64))
+	if j := KHashJaccard(a, b); j > 0.05 {
+		t.Fatalf("disjoint Ĵ = %v", j)
+	}
+}
+
+func TestKHashEmptySets(t *testing.T) {
+	fam := hash.NewFamily(3, 16)
+	empty := KHashSignature(nil, fam, make(KHashSig, 16))
+	other := KHashSignature([]uint32{1, 2, 3}, fam, make(KHashSig, 16))
+	if KHashJaccard(empty, empty) != 0 {
+		t.Fatal("two empty sets must estimate Ĵ = 0 (sentinel skip)")
+	}
+	if KHashJaccard(empty, other) != 0 {
+		t.Fatal("empty vs nonempty must be 0")
+	}
+	if KHashInter(empty, other, 0, 3) != 0 {
+		t.Fatal("intersection with empty set must be 0")
+	}
+	if KHashJaccard(KHashSig{}, KHashSig{}) != 0 {
+		t.Fatal("zero-length signature")
+	}
+}
+
+func TestKHashUnbiasedJaccard(t *testing.T) {
+	// Average Ĵ over many independent families should approach J
+	// (|M_X∩M_Y| ~ Bin(k, J), §IV-C).
+	const sizeX, sizeY, overlap, k = 60, 40, 20, 32
+	xs, ys := ranges(sizeX, sizeY, overlap)
+	want := trueJaccard(sizeX, sizeY, overlap)
+	var sum float64
+	const trials = 150
+	for seed := uint64(0); seed < trials; seed++ {
+		fam := hash.NewFamily(seed, k)
+		a := KHashSignature(xs, fam, make(KHashSig, k))
+		b := KHashSignature(ys, fam, make(KHashSig, k))
+		sum += KHashJaccard(a, b)
+	}
+	got := sum / trials
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("mean Ĵ = %.4f, true J = %.4f", got, want)
+	}
+}
+
+func TestInterFromJaccard(t *testing.T) {
+	if InterFromJaccard(0, 10, 10) != 0 {
+		t.Fatal("J=0")
+	}
+	if got := InterFromJaccard(1, 10, 10); got != 10 {
+		t.Fatalf("J=1 gives %v, want 10", got)
+	}
+	if InterFromJaccard(-0.5, 10, 10) != 0 {
+		t.Fatal("negative J clamps to 0")
+	}
+	// J = 1/3 with |X|=|Y|=10, overlap 5: 1/3/(4/3)·20 = 5.
+	if got := InterFromJaccard(1.0/3, 10, 10); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("J=1/3 gives %v, want 5", got)
+	}
+}
+
+func sketchPair(sizeX, sizeY, overlap, k int, seed uint64, keep bool) (BottomK, BottomK) {
+	fam := hash.NewFamily(seed, 1)
+	fn := func(x uint32) uint64 { return fam.Hash(0, x) }
+	xs, ys := ranges(sizeX, sizeY, overlap)
+	return OneHashSketch(xs, k, fn, keep), OneHashSketch(ys, k, fn, keep)
+}
+
+func TestOneHashSketchInvariants(t *testing.T) {
+	a, _ := sketchPair(100, 0, 0, 16, 1, true)
+	if len(a.Hashes) != 16 || len(a.Elems) != 16 {
+		t.Fatalf("sketch size %d, want 16", len(a.Hashes))
+	}
+	for i := 1; i < len(a.Hashes); i++ {
+		if a.Hashes[i-1] > a.Hashes[i] {
+			t.Fatal("sketch not sorted")
+		}
+	}
+	// Small set: sketch is the whole set.
+	small, _ := sketchPair(5, 0, 0, 16, 1, false)
+	if len(small.Hashes) != 5 {
+		t.Fatalf("small-set sketch has %d entries, want 5", len(small.Hashes))
+	}
+	if small.Elems != nil {
+		t.Fatal("keepElems=false must not allocate Elems")
+	}
+}
+
+func TestOneHashExactWhenSketchCoversSets(t *testing.T) {
+	// d <= k: the union-restricted estimator is exact.
+	a, b := sketchPair(10, 8, 4, 32, 5, false)
+	if got := OneHashInter(a, b, 32, 10, 8); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("covered-set intersection = %v, want exactly 4", got)
+	}
+}
+
+func TestOneHashIdenticalAndDisjoint(t *testing.T) {
+	same1, same2 := sketchPair(200, 200, 200, 24, 9, false)
+	if j := OneHashJaccard(same1, same2, 24); j != 1 {
+		t.Fatalf("identical sets Ĵ = %v", j)
+	}
+	d1, d2 := sketchPair(200, 200, 0, 24, 9, false)
+	if j := OneHashJaccard(d1, d2, 24); j > 0.1 {
+		t.Fatalf("disjoint Ĵ = %v", j)
+	}
+}
+
+func TestOneHashAccuracy(t *testing.T) {
+	const sizeX, sizeY, overlap, k = 300, 250, 100, 64
+	var errs, errsSimple []float64
+	for seed := uint64(0); seed < 40; seed++ {
+		a, b := sketchPair(sizeX, sizeY, overlap, k, seed, false)
+		errs = append(errs, stats.RelativeError(OneHashInter(a, b, k, sizeX, sizeY), overlap))
+		errsSimple = append(errsSimple, stats.RelativeError(OneHashInterSimple(a, b, k, sizeX, sizeY), overlap))
+	}
+	if m := stats.Mean(errs); m > 0.20 {
+		t.Fatalf("union-restricted 1H mean error %.3f", m)
+	}
+	// The plain /k variant is biased upward for unequal set sizes (it
+	// counts common values outside the union's bottom-k); it must still be
+	// in the right ballpark, and strictly worse than union-restricted.
+	mSimple := stats.Mean(errsSimple)
+	if mSimple > 0.6 {
+		t.Fatalf("simple 1H mean error %.3f", mSimple)
+	}
+	if mSimple < stats.Mean(errs) {
+		t.Logf("note: simple variant beat union-restricted (%.3f < %.3f)", mSimple, stats.Mean(errs))
+	}
+}
+
+func TestOneHashConsistency(t *testing.T) {
+	// Error decreases as k grows (§A-5 consistency).
+	const sizeX, sizeY, overlap = 400, 400, 150
+	meanErr := func(k int) float64 {
+		var errs []float64
+		for seed := uint64(0); seed < 30; seed++ {
+			a, b := sketchPair(sizeX, sizeY, overlap, k, seed, false)
+			errs = append(errs, stats.RelativeError(OneHashInter(a, b, k, sizeX, sizeY), overlap))
+		}
+		return stats.Mean(errs)
+	}
+	if small, large := meanErr(8), meanErr(256); large > small {
+		t.Fatalf("1H error grew with k: %.3f (k=8) -> %.3f (k=256)", small, large)
+	}
+}
+
+func TestOneHashCommonAndElems(t *testing.T) {
+	a, b := sketchPair(10, 8, 4, 32, 5, true)
+	if c := OneHashCommon(a, b); c != 4 {
+		t.Fatalf("common = %d, want 4", c)
+	}
+	elems := CommonElems(a, b, nil)
+	if len(elems) != 4 {
+		t.Fatalf("CommonElems = %v", elems)
+	}
+	// The shared range is [6,10).
+	for _, e := range elems {
+		if e < 6 || e >= 10 {
+			t.Fatalf("unexpected common element %d", e)
+		}
+	}
+}
+
+func TestOneHashEdgeCases(t *testing.T) {
+	empty := BottomK{}
+	a, _ := sketchPair(10, 0, 0, 8, 1, false)
+	if OneHashJaccard(empty, empty, 8) != 0 {
+		t.Fatal("empty/empty")
+	}
+	if OneHashInter(a, empty, 8, 10, 0) != 0 {
+		t.Fatal("vs empty")
+	}
+	if OneHashJaccard(a, a, 0) != 0 {
+		t.Fatal("k=0 guarded")
+	}
+	if s := OneHashSketch(nil, 0, func(uint32) uint64 { return 0 }, false); len(s.Hashes) != 0 {
+		t.Fatal("empty input must give empty sketch")
+	}
+}

@@ -1,0 +1,166 @@
+package stats
+
+import "math"
+
+// RegIncBeta computes the regularized incomplete beta function I_x(a, b)
+// via the Lentz continued-fraction expansion, as required by the KMV
+// concentration bounds (Prop. A.7–A.9 in the appendix). Accuracy is
+// ~1e-12 for moderate a, b.
+func RegIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	case a <= 0 || b <= 0:
+		return math.NaN()
+	}
+	lbeta, _ := math.Lgamma(a + b)
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	front := math.Exp(lbeta - la - lb + a*math.Log(x) + b*math.Log(1-x))
+	// Use the symmetry relation to keep the continued fraction convergent.
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the continued fraction of the incomplete beta function
+// (Numerical Recipes form) with the modified Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 500
+		eps     = 1e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		mf := float64(m)
+		aa := mf * (b - mf) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + mf) * (qab + mf) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// LogBinomial returns log C(n, k), using log-gamma for large arguments.
+func LogBinomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	ln, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return ln - lk - lnk
+}
+
+// BinomialPMF returns P(X = k) for X ~ Bin(n, p).
+func BinomialPMF(n, k int, p float64) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if p <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	return math.Exp(LogBinomial(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p))
+}
+
+// BinomialMoments returns the mean np and variance np(1-p) of Bin(n, p);
+// the moments behind the k-Hash estimator (|M_X∩M_Y| ~ Bin(k, J), §IV-C).
+func BinomialMoments(n int, p float64) (mean, variance float64) {
+	nf := float64(n)
+	return nf * p, nf * p * (1 - p)
+}
+
+// HypergeometricPMF returns P(X = k) for X ~ Hyper(N, K, n): drawing n
+// items from a population of N containing K successes.
+func HypergeometricPMF(N, K, n, k int) float64 {
+	if k < 0 || k > n || k > K || n-k > N-K {
+		return 0
+	}
+	return math.Exp(LogBinomial(K, k) + LogBinomial(N-K, n-k) - LogBinomial(N, n))
+}
+
+// HypergeometricMoments returns the mean and variance of Hyper(N, K, n);
+// the moments behind the 1-Hash estimator
+// (|M¹_X∩M¹_Y| ~ Hyper(|X∪Y|, |X∩Y|, k), §IV-D).
+func HypergeometricMoments(N, K, n int) (mean, variance float64) {
+	if N <= 0 {
+		return 0, 0
+	}
+	Nf, Kf, nf := float64(N), float64(K), float64(n)
+	mean = nf * Kf / Nf
+	if N <= 1 {
+		return mean, 0
+	}
+	variance = nf * (Kf / Nf) * (1 - Kf/Nf) * (Nf - nf) / (Nf - 1)
+	return mean, variance
+}
+
+// KHashExpectation evaluates Eq. (23): the exact expectation of the
+// k-Hash intersection estimator (|X|+|Y|)·Σ_s Bin(k,J;s)·s/(k+s).
+func KHashExpectation(sizeX, sizeY, k int, jaccard float64) float64 {
+	var e float64
+	for s := 0; s <= k; s++ {
+		e += BinomialPMF(k, s, jaccard) * float64(s) / float64(k+s)
+	}
+	return float64(sizeX+sizeY) * e
+}
+
+// OneHashExpectation evaluates Eq. (24): the exact expectation of the
+// 1-Hash intersection estimator under the hypergeometric law.
+func OneHashExpectation(sizeX, sizeY, inter, k int) float64 {
+	union := sizeX + sizeY - inter
+	if union <= 0 {
+		return 0
+	}
+	if k > union {
+		k = union
+	}
+	var e float64
+	for s := 0; s <= k; s++ {
+		e += HypergeometricPMF(union, inter, k, s) * float64(s) / float64(k+s)
+	}
+	return float64(sizeX+sizeY) * e
+}

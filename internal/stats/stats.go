@@ -1,0 +1,207 @@
+// Package stats provides the statistical machinery used by the ProbGraph
+// evaluation and theory: descriptive statistics and boxplot summaries
+// (Fig. 3), nonparametric 95% confidence intervals following the
+// benchmarking methodology of Hoefler & Belli that the paper adopts
+// (§VIII-A), and the special functions and distribution moments required
+// by the estimator bounds (regularized incomplete beta for KMV,
+// binomial/hypergeometric moments for MinHash, Eqs. 23–24).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (0 if fewer than
+// two samples).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the q-th quantile (0<=q<=1) of xs using linear
+// interpolation between order statistics (type-7, the R default).
+// xs need not be sorted; it is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	n := len(s)
+	if n == 1 {
+		return s[0]
+	}
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return s[n-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Median returns the 0.5 quantile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Box is a five-number boxplot summary plus the count of whisker-outliers,
+// matching the presentation of Fig. 3.
+type Box struct {
+	Min, Q1, Median, Q3, Max float64
+	N                        int
+	Outliers                 int // points beyond Q3+1.5·IQR or below Q1-1.5·IQR
+}
+
+// Boxplot computes the boxplot summary of xs.
+func Boxplot(xs []float64) Box {
+	n := len(xs)
+	if n == 0 {
+		nan := math.NaN()
+		return Box{Min: nan, Q1: nan, Median: nan, Q3: nan, Max: nan}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	b := Box{
+		Min:    s[0],
+		Q1:     quantileSorted(s, 0.25),
+		Median: quantileSorted(s, 0.5),
+		Q3:     quantileSorted(s, 0.75),
+		Max:    s[n-1],
+		N:      n,
+	}
+	iqr := b.Q3 - b.Q1
+	lo, hi := b.Q1-1.5*iqr, b.Q3+1.5*iqr
+	for _, x := range s {
+		if x < lo || x > hi {
+			b.Outliers++
+		}
+	}
+	return b
+}
+
+// CI is a two-sided confidence interval around a point estimate.
+type CI struct {
+	Point, Lo, Hi float64
+	Level         float64
+}
+
+// MedianCI returns the median of xs together with a distribution-free
+// confidence interval at the given level (e.g. 0.95), derived from the
+// binomial order-statistic bounds — the nonparametric CI recommended by
+// Hoefler & Belli and used for all timings in the evaluation.
+func MedianCI(xs []float64, level float64) CI {
+	n := len(xs)
+	ci := CI{Point: Median(xs), Level: level}
+	if n == 0 {
+		ci.Lo, ci.Hi = math.NaN(), math.NaN()
+		return ci
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n < 6 {
+		// Too few samples for a meaningful interval: report the range.
+		ci.Lo, ci.Hi = s[0], s[n-1]
+		return ci
+	}
+	// Normal approximation to Binomial(n, 1/2) order-statistic ranks.
+	alpha := 1 - level
+	z := NormalQuantile(1 - alpha/2)
+	d := z * math.Sqrt(float64(n)) / 2
+	lo := int(math.Floor(float64(n)/2 - d))
+	hi := int(math.Ceil(float64(n)/2+d)) - 1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n-1 {
+		hi = n - 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	ci.Lo, ci.Hi = s[lo], s[hi]
+	return ci
+}
+
+// NormalQuantile returns the p-th quantile of the standard normal
+// distribution using the Acklam rational approximation (relative error
+// below 1.15e-9 over (0,1)).
+func NormalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const plow, phigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > phigh:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}
+
+// RelativeError returns |est-exact|/|exact|; if exact is 0 it returns 0
+// when est is also 0 and +Inf otherwise. This is the accuracy measure
+// |cnt_PG - cnt_EX|/cnt_EX of §VIII-A.
+func RelativeError(est, exact float64) float64 {
+	if exact == 0 {
+		if est == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(est-exact) / math.Abs(exact)
+}

@@ -1,0 +1,304 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	// Sample variance with n-1 denominator: sum of squared devs = 32, /7.
+	if got := Variance(xs); !almost(got, 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %v", got)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("empty/singleton edge cases")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {0.75, 3.25},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almost(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+	if Quantile([]float64{7}, 0.3) != 7 {
+		t.Fatal("singleton quantile")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestBoxplot(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 100}
+	b := Boxplot(xs)
+	if b.Min != 1 || b.Max != 100 || b.Median != 3 || b.N != 5 {
+		t.Fatalf("Box = %+v", b)
+	}
+	if b.Outliers != 1 {
+		t.Fatalf("Outliers = %d, want 1 (the 100)", b.Outliers)
+	}
+	empty := Boxplot(nil)
+	if !math.IsNaN(empty.Median) {
+		t.Fatal("empty boxplot should be NaN-filled")
+	}
+}
+
+func TestMedianCICoversTrueMedian(t *testing.T) {
+	// Sample from a known distribution; the 95% CI should contain the true
+	// median in the vast majority of trials.
+	rng := rand.New(rand.NewPCG(42, 0))
+	hits := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		xs := make([]float64, 101)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() // true median 0
+		}
+		ci := MedianCI(xs, 0.95)
+		if ci.Lo <= 0 && 0 <= ci.Hi {
+			hits++
+		}
+		if ci.Lo > ci.Point || ci.Hi < ci.Point {
+			t.Fatal("CI must contain point estimate")
+		}
+	}
+	if hits < int(0.88*trials) {
+		t.Fatalf("CI covered true median only %d/%d times", hits, trials)
+	}
+}
+
+func TestMedianCISmallSamples(t *testing.T) {
+	ci := MedianCI([]float64{3, 1, 2}, 0.95)
+	if ci.Lo != 1 || ci.Hi != 3 {
+		t.Fatalf("small-sample CI should be the range, got %+v", ci)
+	}
+	empty := MedianCI(nil, 0.95)
+	if !math.IsNaN(empty.Lo) {
+		t.Fatal("empty CI should be NaN")
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0}, {0.975, 1.959964}, {0.025, -1.959964}, {0.995, 2.575829}, {0.84134, 0.999997},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); !almost(got, c.want, 1e-4) {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Fatal("boundary quantiles must be infinite")
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if RelativeError(90, 100) != 0.1 {
+		t.Fatal("RelativeError(90,100)")
+	}
+	if RelativeError(0, 0) != 0 {
+		t.Fatal("0/0 should be 0")
+	}
+	if !math.IsInf(RelativeError(1, 0), 1) {
+		t.Fatal("x/0 should be Inf")
+	}
+}
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	// I_x(1,1) = x (uniform CDF).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := RegIncBeta(1, 1, x); !almost(got, x, 1e-12) {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	// I_x(a,b) symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	if got := RegIncBeta(3, 5, 0.4) + RegIncBeta(5, 3, 0.6); !almost(got, 1, 1e-10) {
+		t.Errorf("symmetry violated: %v", got)
+	}
+	// I_0.5(2,2) = 0.5 by symmetry of Beta(2,2).
+	if got := RegIncBeta(2, 2, 0.5); !almost(got, 0.5, 1e-10) {
+		t.Errorf("I_0.5(2,2) = %v", got)
+	}
+	// Beta(2,1) CDF is x^2.
+	if got := RegIncBeta(2, 1, 0.3); !almost(got, 0.09, 1e-10) {
+		t.Errorf("I_0.3(2,1) = %v", got)
+	}
+	if RegIncBeta(2, 3, 0) != 0 || RegIncBeta(2, 3, 1) != 1 {
+		t.Fatal("boundaries")
+	}
+	if !math.IsNaN(RegIncBeta(-1, 2, 0.5)) {
+		t.Fatal("invalid parameters should be NaN")
+	}
+}
+
+func TestRegIncBetaMonotone(t *testing.T) {
+	prev := -1.0
+	for x := 0.0; x <= 1.0; x += 0.01 {
+		v := RegIncBeta(4.5, 2.5, x)
+		if v < prev-1e-12 {
+			t.Fatalf("I_x(4.5,2.5) not monotone at x=%v", x)
+		}
+		prev = v
+	}
+}
+
+func TestRegIncBetaMatchesBinomialTail(t *testing.T) {
+	// For integer a, b: I_p(a, n-a+1) = P(Bin(n,p) >= a).
+	n, a, p := 20, 7, 0.3
+	var tail float64
+	for k := a; k <= n; k++ {
+		tail += BinomialPMF(n, k, p)
+	}
+	if got := RegIncBeta(float64(a), float64(n-a+1), p); !almost(got, tail, 1e-10) {
+		t.Fatalf("I_p(a,n-a+1) = %v, binomial tail = %v", got, tail)
+	}
+}
+
+func TestLogBinomial(t *testing.T) {
+	if got := math.Exp(LogBinomial(10, 3)); !almost(got, 120, 1e-9) {
+		t.Fatalf("C(10,3) = %v", got)
+	}
+	if !math.IsInf(LogBinomial(5, 9), -1) || !math.IsInf(LogBinomial(5, -1), -1) {
+		t.Fatal("out-of-range binomial should be -Inf")
+	}
+}
+
+func TestBinomialPMFSumsToOne(t *testing.T) {
+	n, p := 25, 0.37
+	var s float64
+	for k := 0; k <= n; k++ {
+		s += BinomialPMF(n, k, p)
+	}
+	if !almost(s, 1, 1e-10) {
+		t.Fatalf("PMF sums to %v", s)
+	}
+	if BinomialPMF(5, 0, 0) != 1 || BinomialPMF(5, 5, 1) != 1 {
+		t.Fatal("degenerate p")
+	}
+}
+
+func TestHypergeometricPMFSumsToOne(t *testing.T) {
+	N, K, n := 30, 12, 9
+	var s, mean float64
+	for k := 0; k <= n; k++ {
+		p := HypergeometricPMF(N, K, n, k)
+		s += p
+		mean += float64(k) * p
+	}
+	if !almost(s, 1, 1e-10) {
+		t.Fatalf("PMF sums to %v", s)
+	}
+	wantMean, wantVar := HypergeometricMoments(N, K, n)
+	if !almost(mean, wantMean, 1e-9) {
+		t.Fatalf("mean %v vs formula %v", mean, wantMean)
+	}
+	var variance float64
+	for k := 0; k <= n; k++ {
+		d := float64(k) - mean
+		variance += d * d * HypergeometricPMF(N, K, n, k)
+	}
+	if !almost(variance, wantVar, 1e-9) {
+		t.Fatalf("var %v vs formula %v", variance, wantVar)
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	m, v := BinomialMoments(10, 0.25)
+	if m != 2.5 || !almost(v, 1.875, 1e-12) {
+		t.Fatalf("moments = %v, %v", m, v)
+	}
+}
+
+func TestKHashExpectationSanity(t *testing.T) {
+	// With J=0 expectation is 0; with J=1 expectation is (|X|+|Y|)/2 = |X|.
+	if got := KHashExpectation(10, 10, 16, 0); got != 0 {
+		t.Fatalf("E[J=0] = %v", got)
+	}
+	if got := KHashExpectation(10, 10, 16, 1); !almost(got, 10, 1e-9) {
+		t.Fatalf("E[J=1] = %v, want 10", got)
+	}
+	// Expectation grows with J.
+	if KHashExpectation(10, 10, 16, 0.2) >= KHashExpectation(10, 10, 16, 0.6) {
+		t.Fatal("expectation should increase with Jaccard")
+	}
+}
+
+func TestOneHashExpectationSanity(t *testing.T) {
+	if got := OneHashExpectation(10, 10, 0, 8); got != 0 {
+		t.Fatalf("E[inter=0] = %v", got)
+	}
+	// Full overlap: X == Y, union=10, k=8 draws all land in intersection:
+	// Ĵ = 1 so estimate = 20·(1/2) = 10 exactly.
+	if got := OneHashExpectation(10, 10, 10, 8); !almost(got, 10, 1e-9) {
+		t.Fatalf("E[full overlap] = %v", got)
+	}
+	if OneHashExpectation(0, 0, 0, 4) != 0 {
+		t.Fatal("empty sets")
+	}
+}
+
+// Property: quantiles are monotone in q.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, q1, q2 float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		a := math.Abs(math.Mod(q1, 1))
+		b := math.Abs(math.Mod(q2, 1))
+		if a > b {
+			a, b = b, a
+		}
+		return Quantile(xs, a) <= Quantile(xs, b)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: boxplot respects ordering min<=Q1<=median<=Q3<=max.
+func TestBoxplotOrderProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.IntN(50) + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()*200 - 100
+		}
+		b := Boxplot(xs)
+		if !(b.Min <= b.Q1 && b.Q1 <= b.Median && b.Median <= b.Q3 && b.Q3 <= b.Max) {
+			t.Fatalf("boxplot out of order: %+v (xs=%v)", b, xs)
+		}
+		sort.Float64s(xs)
+		if b.Min != xs[0] || b.Max != xs[n-1] {
+			t.Fatal("min/max mismatch")
+		}
+	}
+}

@@ -1,0 +1,311 @@
+// Package probgraph is a from-scratch Go implementation of ProbGraph
+// (Besta et al., "ProbGraph: High-Performance and High-Accuracy Graph
+// Mining with Probabilistic Set Representations", SC 2022): a graph
+// representation that replaces vertex neighborhoods with small,
+// fixed-size probabilistic set sketches — Bloom filters, two MinHash
+// variants, and K-Minimum-Values — and replaces the dominant graph-mining
+// kernel |N_u ∩ N_v| with fast estimators over those sketches.
+//
+// The package exposes the full system: CSR graphs with generators and IO,
+// the ProbGraph representation with its storage-budget parameterization,
+// exact tuned baselines and PG-enhanced versions of Triangle Counting,
+// 4-Clique Counting, Vertex Similarity, Jarvis–Patrick Clustering and
+// Link Prediction, plus the statistical concentration bounds of the
+// paper's theory as executable functions.
+//
+// Quick start:
+//
+//	g := probgraph.Kronecker(12, 16, 42)
+//	pg, err := probgraph.Build(g, probgraph.Config{Kind: probgraph.BF, Budget: 0.25})
+//	if err != nil { ... }
+//	approx := probgraph.TriangleCount(g, pg, 0) // all cores
+//	exact := probgraph.ExactTriangleCount(g, 0)
+package probgraph
+
+import (
+	"io"
+
+	"probgraph/internal/core"
+	"probgraph/internal/dist"
+	"probgraph/internal/estimator"
+	"probgraph/internal/graph"
+	"probgraph/internal/mining"
+)
+
+// Graph is an undirected simple graph in CSR form (see NewGraph and the
+// generators).
+type Graph = graph.Graph
+
+// Edge is an undirected edge with U < V after normalization.
+type Edge = graph.Edge
+
+// Oriented is the degree-ordered orientation used by the counting
+// algorithms; obtain one with Orient.
+type Oriented = graph.Oriented
+
+// NewGraph builds a graph on n vertices from an edge list; self loops are
+// dropped and duplicate edges merged.
+func NewGraph(n int, edges []Edge) (*Graph, error) { return graph.FromEdges(n, edges) }
+
+// Orient computes the degree-ordered DAG orientation (N+ adjacency).
+func Orient(g *Graph, workers int) *Oriented { return g.Orient(workers) }
+
+// OrientByDegeneracy computes the degeneracy (k-core peeling) orientation,
+// which bounds every oriented out-degree by the graph's degeneracy — the
+// ordering the clique-counting literature cited by the paper uses.
+func OrientByDegeneracy(g *Graph, workers int) *Oriented {
+	return g.OrientBy(g.DegeneracyRank(), workers)
+}
+
+// KCore returns the per-vertex core numbers and the graph's degeneracy.
+func KCore(g *Graph) (core []int32, degeneracy int32) { return g.KCore() }
+
+// Generators (see the respective internal documentation for semantics).
+var (
+	// Kronecker generates a power-law R-MAT graph with 2^scale vertices.
+	Kronecker = graph.Kronecker
+	// ErdosRenyi generates G(n, m).
+	ErdosRenyi = graph.ErdosRenyi
+	// BarabasiAlbert generates a preferential-attachment graph.
+	BarabasiAlbert = graph.BarabasiAlbert
+	// HolmeKim generates a clustered power-law graph (preferential
+	// attachment with triad formation).
+	HolmeKim = graph.HolmeKim
+	// PlantedPartition generates a community-structured graph.
+	PlantedPartition = graph.PlantedPartition
+	// CommunityGraph generates a modular graph with dense variable-size
+	// communities (the bio/chem dataset stand-in).
+	CommunityGraph = graph.CommunityGraph
+	// Complete returns K_n.
+	Complete = graph.Complete
+)
+
+// ReadEdgeList parses a whitespace-separated edge list ("u v" per line,
+// '#'/'%' comments).
+func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// WriteEdgeList writes the graph as an edge list with a "# n m" header.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// ReadBinary / WriteBinary use the compact binary CSR format.
+var (
+	ReadBinary  = graph.ReadBinary
+	WriteBinary = graph.WriteBinary
+)
+
+// Kind selects the probabilistic set representation.
+type Kind = core.Kind
+
+// The available representations (§II-D and §IX of the paper).
+const (
+	// BF: Bloom filters — bitwise-AND intersections, highest accuracy.
+	BF = core.BF
+	// KHash: k-Hash MinHash — MLE estimator with exponential bounds.
+	KHash = core.KHash
+	// OneHash: 1-Hash bottom-k MinHash — fastest to construct.
+	OneHash = core.OneHash
+	// KMV: K-Minimum-Values — the §IX extension.
+	KMV = core.KMV
+	// HLL: HyperLogLog — the §X extension.
+	HLL = core.HLL
+)
+
+// Estimator selects the |X∩Y| estimator within a representation.
+type Estimator = core.Estimator
+
+// Estimator variants.
+const (
+	// EstAuto uses the paper's default per representation.
+	EstAuto = core.EstAuto
+	// EstBFAnd is Eq. (2), the AND estimator.
+	EstBFAnd = core.EstBFAnd
+	// EstBFL is Eq. (4), the limiting estimator.
+	EstBFL = core.EstBFL
+	// EstBFOr is Eq. (29), the union-based estimator.
+	EstBFOr = core.EstBFOr
+	// Est1HSimple is the plain |M¹∩M¹|/k Jaccard.
+	Est1HSimple = core.Est1HSimple
+)
+
+// Config parameterizes Build; see the field documentation in
+// internal/core. The zero value plus a Kind uses a 25% storage budget.
+type Config = core.Config
+
+// PG is the ProbGraph representation: one fixed-size sketch per vertex
+// neighborhood. Its key method is IntCard(u, v), the |N_u ∩ N_v|
+// estimator that all PG-enhanced algorithms plug in.
+type PG = core.PG
+
+// Build constructs sketches of all full neighborhoods N_v in parallel.
+func Build(g *Graph, cfg Config) (*PG, error) { return core.Build(g, cfg) }
+
+// BuildOriented constructs sketches of the oriented neighborhoods N+_v
+// (required by FourCliqueCount).
+func BuildOriented(o *Oriented, csrBits int64, cfg Config) (*PG, error) {
+	return core.BuildOriented(o, csrBits, cfg)
+}
+
+// Measure identifies a vertex-similarity scheme (Listing 3).
+type Measure = mining.Measure
+
+// The vertex-similarity measures of Listing 3.
+const (
+	Jaccard            = mining.Jaccard
+	Overlap            = mining.Overlap
+	CommonNeighbors    = mining.CommonNeighbors
+	TotalNeighbors     = mining.TotalNeighbors
+	AdamicAdar         = mining.AdamicAdar
+	ResourceAllocation = mining.ResourceAllocation
+)
+
+// Clustering is a Jarvis–Patrick clustering result.
+type Clustering = mining.Clustering
+
+// LinkPredResult is the outcome of the Listing 5 link-prediction harness.
+type LinkPredResult = mining.LinkPredResult
+
+// ExactTriangleCount counts triangles exactly with the parallel
+// node-iterator baseline (workers <= 0 uses all cores).
+func ExactTriangleCount(g *Graph, workers int) int64 {
+	return mining.ExactTC(g.Orient(workers), workers)
+}
+
+// TriangleCount estimates the triangle count with the §VII PG estimator
+// T̂C = (1/3)·Σ_{(u,v)∈E} |N_u∩N_v|̂.
+func TriangleCount(g *Graph, pg *PG, workers int) float64 {
+	return mining.PGTC(g, pg, workers)
+}
+
+// ExactFourCliqueCount counts 4-cliques exactly (Listing 2).
+func ExactFourCliqueCount(g *Graph, workers int) int64 {
+	return mining.Exact4Clique(g.Orient(workers), workers)
+}
+
+// FourCliqueCount estimates the 4-clique count; pg must hold oriented
+// sketches built with BuildOriented over the same orientation.
+func FourCliqueCount(o *Oriented, pg *PG, workers int) float64 {
+	return mining.PG4Clique(o, pg, workers)
+}
+
+// KCliqueCount counts k-cliques (k >= 3) exactly.
+func KCliqueCount(g *Graph, k, workers int) int64 {
+	return mining.ExactKClique(g.Orient(workers), k, workers)
+}
+
+// PGKCliqueCount estimates the k-clique count (k >= 3) with the BF
+// generalization of Listing 2: candidate lists stay exact, the closing
+// cardinality is estimated on the cumulative AND of the prefix filters.
+// pg must be a BF ProbGraph built over the same orientation.
+func PGKCliqueCount(o *Oriented, pg *PG, k, workers int) (float64, error) {
+	return mining.PGKClique(o, pg, k, workers)
+}
+
+// DistResult is the outcome of a simulated distributed triangle count:
+// the (estimated) count plus the network traffic it generated.
+type DistResult = dist.Result
+
+// Distributed-memory fetch protocols (§VIII-F).
+const (
+	// ShipNeighborhoods ships full CSR neighborhoods (the baseline).
+	ShipNeighborhoods = dist.ShipNeighborhoods
+	// ShipSketches ships fixed-size sketches (the ProbGraph protocol).
+	ShipSketches = dist.ShipSketches
+)
+
+// DistributedTC runs triangle counting over `nodes` simulated
+// distributed-memory nodes connected by a byte-counting channel network
+// (§VIII-F): vertices are block-partitioned, remote neighborhoods are
+// fetched on demand and cached per node. In ShipSketches mode pg must
+// hold oriented sketches (BuildOriented); in ShipNeighborhoods mode pg
+// may be nil and the count is exact.
+func DistributedTC(g *Graph, o *Oriented, pg *PG, nodes int, mode dist.Mode) (*DistResult, error) {
+	return dist.TC(g, o, pg, nodes, mode)
+}
+
+// Similarity evaluates a vertex-similarity measure exactly.
+func Similarity(g *Graph, u, v uint32, m Measure) float64 {
+	return mining.ExactSimilarity(g, u, v, m)
+}
+
+// PGSimilarity evaluates a vertex-similarity measure with the sketch
+// estimator in place of the exact intersection.
+func PGSimilarity(g *Graph, pg *PG, u, v uint32, m Measure) float64 {
+	return mining.PGSimilarity(g, pg, u, v, m)
+}
+
+// Cluster runs Jarvis–Patrick clustering (Listing 4) exactly: edges whose
+// similarity exceeds tau survive; clusters are the connected components.
+func Cluster(g *Graph, m Measure, tau float64, workers int) *Clustering {
+	return mining.JarvisPatrickExact(g, m, tau, workers)
+}
+
+// PGCluster is the ProbGraph-enhanced Jarvis–Patrick clustering.
+func PGCluster(g *Graph, pg *PG, m Measure, tau float64, workers int) *Clustering {
+	return mining.JarvisPatrickPG(g, pg, m, tau, workers)
+}
+
+// LinkPrediction evaluates a link-prediction scheme (Listing 5): a
+// fraction of edges is hidden, candidates are scored with the measure
+// (exactly when pgCfg is nil, else with ProbGraph), and the recovery rate
+// of the hidden edges is reported.
+func LinkPrediction(g *Graph, m Measure, removeFrac float64, seed uint64, pgCfg *Config, workers int) (*LinkPredResult, error) {
+	return mining.EvaluateLinkPrediction(g, m, removeFrac, seed, pgCfg, workers)
+}
+
+// ClusteringCoefficient returns the exact average local clustering
+// coefficient; PGClusteringCoefficient is the sketch-based estimate.
+func ClusteringCoefficient(g *Graph, workers int) float64 {
+	return mining.LocalClusteringCoefficient(g, workers)
+}
+
+// LocalTriangleCounts returns the exact number of triangles through each
+// vertex — the §III-A spam-detection / community signal.
+func LocalTriangleCounts(g *Graph, workers int) []int64 {
+	return mining.LocalTC(g, workers)
+}
+
+// PGLocalTriangleCounts is the sketch-based per-vertex estimate.
+func PGLocalTriangleCounts(g *Graph, pg *PG, workers int) []float64 {
+	return mining.PGLocalTC(g, pg, workers)
+}
+
+// PGClusteringCoefficient estimates the average local clustering
+// coefficient through sketch intersections.
+func PGClusteringCoefficient(g *Graph, pg *PG, workers int) float64 {
+	return mining.PGLocalClusteringCoefficient(g, pg, workers)
+}
+
+// --- theory: concentration bounds as executable functions ------------------
+
+// GraphMoments carries the degree-sequence quantities the TC bounds use.
+type GraphMoments = estimator.GraphMoments
+
+// MomentsOf computes GraphMoments for a graph.
+func MomentsOf(g *Graph) GraphMoments {
+	degs := make([]int, g.NumVertices())
+	for v := range degs {
+		degs[v] = g.Degree(uint32(v))
+	}
+	return estimator.Moments(degs, g.NumEdges())
+}
+
+// Bound calculators from §IV and §VII (see internal/estimator for the
+// formulas and preconditions).
+var (
+	// BFMSEBound is Prop. IV.1: the MSE bound of the AND estimator.
+	BFMSEBound = estimator.BFMSEBound
+	// BFDeviation inverts Eq. (3) at a target confidence.
+	BFDeviation = estimator.BFDeviation
+	// MinHashTail is Props. IV.2/IV.3.
+	MinHashTail = estimator.MinHashTail
+	// MinHashDeviation inverts the MinHash bound at a target confidence.
+	MinHashDeviation = estimator.MinHashDeviation
+	// TCBoundBF is the Bloom filter statement of Theorem VII.1.
+	TCBoundBF = estimator.TCBoundBF
+	// TCBoundMinHash is the MinHash statement of Theorem VII.1.
+	TCBoundMinHash = estimator.TCBoundMinHash
+	// TCDeviationMinHash inverts TCBoundMinHash at a target confidence.
+	TCDeviationMinHash = estimator.TCDeviationMinHash
+	// KMVCardInterval is Prop. A.7 (regularized incomplete beta).
+	KMVCardInterval = estimator.KMVCardInterval
+)

@@ -1,0 +1,229 @@
+package probgraph_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"probgraph"
+)
+
+// TestEndToEndTriangleCounting exercises the full public pipeline: build,
+// sketch, estimate, compare against the exact baseline, check the bound.
+func TestEndToEndTriangleCounting(t *testing.T) {
+	g := probgraph.Kronecker(10, 12, 42)
+	exact := probgraph.ExactTriangleCount(g, 0)
+	if exact == 0 {
+		t.Fatal("kronecker graph should contain triangles")
+	}
+	for _, kind := range []probgraph.Kind{probgraph.BF, probgraph.KHash, probgraph.OneHash} {
+		pg, err := probgraph.Build(g, probgraph.Config{Kind: kind, Budget: 0.25, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := probgraph.TriangleCount(g, pg, 0)
+		relErr := math.Abs(est-float64(exact)) / float64(exact)
+		if relErr > 0.5 {
+			t.Errorf("%v: est %.0f vs exact %d (rel err %.3f)", kind, est, exact, relErr)
+		}
+		if pg.RelativeMemory() > 0.30 {
+			t.Errorf("%v: memory %.3f exceeds budget", kind, pg.RelativeMemory())
+		}
+	}
+}
+
+func TestEndToEndFourClique(t *testing.T) {
+	g := probgraph.Kronecker(9, 12, 5)
+	exact := probgraph.ExactFourCliqueCount(g, 0)
+	if exact == 0 {
+		t.Skip("no 4-cliques in this instance")
+	}
+	o := probgraph.Orient(g, 0)
+	pg, err := probgraph.BuildOriented(o, g.SizeBits(), probgraph.Config{Kind: probgraph.BF, Budget: 0.33, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := probgraph.FourCliqueCount(o, pg, 0)
+	if relErr := math.Abs(est-float64(exact)) / float64(exact); relErr > 0.6 {
+		t.Errorf("4-clique est %.0f vs exact %d", est, exact)
+	}
+	if got, want := probgraph.KCliqueCount(g, 4, 0), exact; got != want {
+		t.Fatalf("KCliqueCount(4) = %d, want %d", got, want)
+	}
+}
+
+func TestEndToEndClustering(t *testing.T) {
+	g := probgraph.PlantedPartition(100, 4, 0.5, 0.01, 11)
+	exact := probgraph.Cluster(g, probgraph.CommonNeighbors, 3, 0)
+	pg, err := probgraph.Build(g, probgraph.Config{Kind: probgraph.BF, Budget: 0.33, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := probgraph.PGCluster(g, pg, probgraph.CommonNeighbors, 3, 0)
+	if len(exact.Kept) == 0 || len(approx.Kept) == 0 {
+		t.Fatal("degenerate clustering")
+	}
+	if approx.NumClusters < 1 || approx.NumClusters > g.NumVertices() {
+		t.Fatalf("cluster count out of range: %d", approx.NumClusters)
+	}
+}
+
+func TestEndToEndSimilarity(t *testing.T) {
+	g := probgraph.Complete(20)
+	pg, err := probgraph.Build(g, probgraph.Config{Kind: probgraph.OneHash, K: 32, Seed: 1, StoreElems: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []probgraph.Measure{probgraph.Jaccard, probgraph.Overlap,
+		probgraph.CommonNeighbors, probgraph.TotalNeighbors,
+		probgraph.AdamicAdar, probgraph.ResourceAllocation} {
+		exact := probgraph.Similarity(g, 0, 1, m)
+		approx := probgraph.PGSimilarity(g, pg, 0, 1, m)
+		// k=32 >= d=19: lossless sketches, estimates must be exact.
+		if math.Abs(exact-approx) > 1e-9 {
+			t.Errorf("%v: exact %v vs PG %v (lossless sketch)", m, exact, approx)
+		}
+	}
+}
+
+func TestEndToEndLinkPrediction(t *testing.T) {
+	g := probgraph.Complete(15)
+	res, err := probgraph.LinkPrediction(g, probgraph.CommonNeighbors, 0.1, 3, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Efficiency != 1 {
+		t.Fatalf("complete-graph link prediction must be perfect: %+v", res)
+	}
+	cfg := probgraph.Config{Kind: probgraph.BF, Budget: 0.33, Seed: 9}
+	res2, err := probgraph.LinkPrediction(g, probgraph.CommonNeighbors, 0.1, 3, &cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Efficiency < 0.5 {
+		t.Fatalf("PG link prediction efficiency %v", res2.Efficiency)
+	}
+}
+
+func TestEndToEndClusteringCoefficient(t *testing.T) {
+	g := probgraph.Complete(16)
+	if got := probgraph.ClusteringCoefficient(g, 0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("CC(K16) = %v", got)
+	}
+	pg, err := probgraph.Build(g, probgraph.Config{Kind: probgraph.BF, Budget: 0.33, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := probgraph.PGClusteringCoefficient(g, pg, 0); math.Abs(got-1) > 0.3 {
+		t.Fatalf("PG CC(K16) = %v", got)
+	}
+}
+
+func TestGraphIORoundTrip(t *testing.T) {
+	g := probgraph.BarabasiAlbert(100, 3, 7)
+	var buf bytes.Buffer
+	if err := probgraph.WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := probgraph.ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatal("edge list round trip")
+	}
+	var bin bytes.Buffer
+	if err := probgraph.WriteBinary(&bin, g); err != nil {
+		t.Fatal(err)
+	}
+	g3, err := probgraph.ReadBinary(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.NumVertices() != g.NumVertices() {
+		t.Fatal("binary round trip")
+	}
+}
+
+func TestBoundsArePublic(t *testing.T) {
+	g := probgraph.Kronecker(8, 8, 1)
+	gm := probgraph.MomentsOf(g)
+	if gm.M != g.NumEdges() || gm.MaxDegree == 0 {
+		t.Fatalf("moments: %+v", gm)
+	}
+	if d := probgraph.MinHashDeviation(100, 100, 64, 0.95); d <= 0 {
+		t.Fatal("deviation must be positive")
+	}
+	if tail := probgraph.TCBoundMinHash(gm, 64, 1e12); tail > 1e-6 {
+		t.Fatalf("huge deviation must have tiny tail: %v", tail)
+	}
+	if cov := probgraph.KMVCardInterval(1000, 64, 500); cov < 0.9 {
+		t.Fatalf("wide KMV interval coverage %v", cov)
+	}
+}
+
+func TestPublicIntCardAndJaccard(t *testing.T) {
+	g := probgraph.Complete(25)
+	pg, err := probgraph.Build(g, probgraph.Config{Kind: probgraph.BF, Budget: 0.33, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est := pg.IntCard(0, 1); math.Abs(est-23)/23 > 0.3 {
+		t.Fatalf("IntCard = %v, want ~23", est)
+	}
+	if j := pg.Jaccard(0, 1); j < 0.4 || j > 1.3 {
+		t.Fatalf("Jaccard = %v, want ~0.92", j)
+	}
+}
+
+func TestEndToEndKCliqueAndHLL(t *testing.T) {
+	g := probgraph.Complete(18)
+	o := probgraph.Orient(g, 0)
+	pg, err := probgraph.BuildOriented(o, g.SizeBits(), probgraph.Config{Kind: probgraph.BF, Budget: 0.33, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := float64(probgraph.KCliqueCount(g, 5, 0))
+	est, err := probgraph.PGKCliqueCount(o, pg, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-exact)/exact > 0.5 {
+		t.Fatalf("5-clique est %v vs exact %v", est, exact)
+	}
+	if _, err := probgraph.PGKCliqueCount(o, pg, 2, 0); err == nil {
+		t.Fatal("k=2 must error")
+	}
+
+	hll, err := probgraph.Build(g, probgraph.Config{Kind: probgraph.HLL, K: 32, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hll.IntCard(0, 1); math.Abs(got-16) > 8 {
+		t.Fatalf("HLL IntCard = %v, want ~16", got)
+	}
+}
+
+func TestEndToEndDistributed(t *testing.T) {
+	g := probgraph.Kronecker(9, 8, 5)
+	o := probgraph.Orient(g, 0)
+	exact := float64(probgraph.ExactTriangleCount(g, 0))
+	res, err := probgraph.DistributedTC(g, o, nil, 4, probgraph.ShipNeighborhoods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != exact {
+		t.Fatalf("distributed exact %v != %v", res.Count, exact)
+	}
+	pg, err := probgraph.BuildOriented(o, g.SizeBits(), probgraph.Config{Kind: probgraph.BF, Budget: 0.25, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := probgraph.DistributedTC(g, o, pg, 4, probgraph.ShipSketches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.Net.Bytes >= res.Net.Bytes {
+		t.Fatalf("sketch bytes %d should undercut CSR bytes %d", sk.Net.Bytes, res.Net.Bytes)
+	}
+}

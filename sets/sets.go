@@ -1,0 +1,302 @@
+// Package sets exposes ProbGraph's probabilistic set representations for
+// arbitrary sets of 32-bit keys — the §IV framing of the paper, whose
+// estimators and bounds "are of interest beyond graph analytics". Each
+// type sketches one set; two sketches built with the same seed (and
+// geometry) can be intersected, unioned, and compared, with the same
+// estimators the graph algorithms use, plus per-estimate concentration
+// bounds.
+//
+//	a := sets.NewBloom(keysA, 4096, 2, 7)
+//	b := sets.NewBloom(keysB, 4096, 2, 7)
+//	est, _ := a.Intersection(b)            // |A∩B| estimate (Eq. 2)
+//	dev := a.DeviationAt(b, 0.95)          // Chebyshev bound on the error
+package sets
+
+import (
+	"fmt"
+
+	"probgraph/internal/estimator"
+	"probgraph/internal/hash"
+	"probgraph/internal/sketch"
+)
+
+// Bloom sketches one set as a Bloom filter (§II-D).
+type Bloom struct {
+	f    *sketch.Bloom
+	size int
+	seed uint64
+}
+
+// NewBloom builds a Bloom filter of nbits bits and b hash functions over
+// the elements, seeded for reproducibility. Sets meant to be compared
+// must share nbits, b, and seed.
+func NewBloom(elems []uint32, nbits, b int, seed uint64) *Bloom {
+	f := sketch.NewBloom(nbits, b, seed)
+	for _, x := range elems {
+		f.Add(x)
+	}
+	return &Bloom{f: f, size: len(elems), seed: seed}
+}
+
+// Size returns the exact number of inserted elements.
+func (s *Bloom) Size() int { return s.size }
+
+// Card estimates the set size from the filter alone (Eq. 1, Swamidass).
+func (s *Bloom) Card() float64 { return s.f.EstimateCard() }
+
+// Contains answers a membership query (no false negatives).
+func (s *Bloom) Contains(x uint32) bool { return s.f.Contains(x) }
+
+// compatible verifies two Bloom sketches share geometry and hash family.
+func (s *Bloom) compatible(o *Bloom) error {
+	if s.f.SizeBits() != o.f.SizeBits() || s.f.B() != o.f.B() || s.seed != o.seed {
+		return fmt.Errorf("sets: incompatible Bloom sketches (bits %d/%d, b %d/%d, seed %d/%d)",
+			s.f.SizeBits(), o.f.SizeBits(), s.f.B(), o.f.B(), s.seed, o.seed)
+	}
+	return nil
+}
+
+// Intersection estimates |A∩B| with the AND estimator (Eq. 2).
+func (s *Bloom) Intersection(o *Bloom) (float64, error) {
+	if err := s.compatible(o); err != nil {
+		return 0, err
+	}
+	return s.f.InterANDOf(o.f), nil
+}
+
+// IntersectionL estimates |A∩B| with the limiting estimator (Eq. 4).
+func (s *Bloom) IntersectionL(o *Bloom) (float64, error) {
+	if err := s.compatible(o); err != nil {
+		return 0, err
+	}
+	return s.f.InterLOf(o.f), nil
+}
+
+// IntersectionOR estimates |A∩B| with the union-based estimator
+// (Eq. 29), using the exact set sizes.
+func (s *Bloom) IntersectionOR(o *Bloom) (float64, error) {
+	if err := s.compatible(o); err != nil {
+		return 0, err
+	}
+	return s.f.InterOROf(o.f, s.size, o.size), nil
+}
+
+// DeviationAt returns the deviation t such that the AND estimate is
+// within t of the truth with the given confidence (Eq. 3 inverted; uses
+// the current estimate for the plug-in principle of §A-B).
+func (s *Bloom) DeviationAt(o *Bloom, conf float64) (float64, error) {
+	est, err := s.Intersection(o)
+	if err != nil {
+		return 0, err
+	}
+	return estimator.BFDeviation(int(est+0.5), s.f.SizeBits(), s.f.B(), conf), nil
+}
+
+// KHash sketches one set as a k-Hash MinHash signature (§IV-C): the MLE
+// estimator with exponential concentration.
+type KHash struct {
+	sig  sketch.KHashSig
+	size int
+	k    int
+	seed uint64
+}
+
+// NewKHash builds a k-function MinHash signature over the elements.
+func NewKHash(elems []uint32, k int, seed uint64) *KHash {
+	fam := hash.NewFamily(seed, k)
+	return &KHash{
+		sig:  sketch.KHashSignature(elems, fam, make(sketch.KHashSig, fam.K())),
+		size: len(elems),
+		k:    fam.K(),
+		seed: seed,
+	}
+}
+
+// Size returns the exact number of elements.
+func (s *KHash) Size() int { return s.size }
+
+func (s *KHash) compatible(o *KHash) error {
+	if s.k != o.k || s.seed != o.seed {
+		return fmt.Errorf("sets: incompatible k-Hash sketches (k %d/%d, seed %d/%d)", s.k, o.k, s.seed, o.seed)
+	}
+	return nil
+}
+
+// Jaccard estimates J(A, B) = |A∩B|/|A∪B| (unbiased, Bin(k, J)).
+func (s *KHash) Jaccard(o *KHash) (float64, error) {
+	if err := s.compatible(o); err != nil {
+		return 0, err
+	}
+	return sketch.KHashJaccard(s.sig, o.sig), nil
+}
+
+// Intersection estimates |A∩B| via Eq. (5).
+func (s *KHash) Intersection(o *KHash) (float64, error) {
+	if err := s.compatible(o); err != nil {
+		return 0, err
+	}
+	return sketch.KHashInter(s.sig, o.sig, s.size, o.size), nil
+}
+
+// DeviationAt returns the Prop. IV.2 deviation at the given confidence:
+// t = (|A|+|B|)·sqrt(ln(2/(1-conf))/(2k)).
+func (s *KHash) DeviationAt(o *KHash, conf float64) float64 {
+	return estimator.MinHashDeviation(s.size, o.size, s.k, conf)
+}
+
+// BottomK sketches one set as a 1-Hash bottom-k MinHash (§IV-D).
+type BottomK struct {
+	s    sketch.BottomK
+	size int
+	k    int
+	seed uint64
+}
+
+// NewBottomK builds the bottom-k sketch; keepElems retains element IDs
+// so CommonElements can expose a uniform sample of the intersection.
+func NewBottomK(elems []uint32, k int, seed uint64, keepElems bool) *BottomK {
+	fam := hash.NewFamily(seed, 1)
+	fn := func(x uint32) uint64 { return fam.Hash(0, x) }
+	return &BottomK{s: sketch.OneHashSketch(elems, k, fn, keepElems), size: len(elems), k: k, seed: seed}
+}
+
+// Size returns the exact number of elements.
+func (s *BottomK) Size() int { return s.size }
+
+func (s *BottomK) compatible(o *BottomK) error {
+	if s.k != o.k || s.seed != o.seed {
+		return fmt.Errorf("sets: incompatible bottom-k sketches (k %d/%d, seed %d/%d)", s.k, o.k, s.seed, o.seed)
+	}
+	return nil
+}
+
+// Jaccard estimates J(A, B) with the union-restricted bottom-k estimator.
+func (s *BottomK) Jaccard(o *BottomK) (float64, error) {
+	if err := s.compatible(o); err != nil {
+		return 0, err
+	}
+	return sketch.OneHashJaccard(s.s, o.s, s.k), nil
+}
+
+// Intersection estimates |A∩B| (§IV-D).
+func (s *BottomK) Intersection(o *BottomK) (float64, error) {
+	if err := s.compatible(o); err != nil {
+		return 0, err
+	}
+	return sketch.OneHashInter(s.s, o.s, s.k, s.size, o.size), nil
+}
+
+// CommonElements returns the element IDs present in both sketches — a
+// uniform sample of A∩B (requires keepElems on both sides).
+func (s *BottomK) CommonElements(o *BottomK) ([]uint32, error) {
+	if err := s.compatible(o); err != nil {
+		return nil, err
+	}
+	if s.s.Elems == nil || o.s.Elems == nil {
+		return nil, fmt.Errorf("sets: CommonElements requires sketches built with keepElems")
+	}
+	return sketch.CommonElems(s.s, o.s, nil), nil
+}
+
+// DeviationAt returns the Prop. IV.3 deviation at the given confidence.
+func (s *BottomK) DeviationAt(o *BottomK, conf float64) float64 {
+	return estimator.MinHashDeviation(s.size, o.size, s.k, conf)
+}
+
+// KMV sketches one set with K-Minimum-Values (§IX).
+type KMV struct {
+	s    sketch.KMV
+	size int
+	k    int
+	seed uint64
+}
+
+// NewKMV builds the KMV sketch over the elements.
+func NewKMV(elems []uint32, k int, seed uint64) *KMV {
+	fam := hash.NewFamily(seed, 1)
+	fn := func(x uint32) uint64 { return fam.Hash(0, x) }
+	return &KMV{s: sketch.NewKMV(elems, k, fn), size: len(elems), k: k, seed: seed}
+}
+
+// Size returns the exact number of elements.
+func (s *KMV) Size() int { return s.size }
+
+// Card estimates |A| from the sketch alone (Eq. 39).
+func (s *KMV) Card() float64 { return s.s.Card(s.k) }
+
+func (s *KMV) compatible(o *KMV) error {
+	if s.k != o.k || s.seed != o.seed {
+		return fmt.Errorf("sets: incompatible KMV sketches (k %d/%d, seed %d/%d)", s.k, o.k, s.seed, o.seed)
+	}
+	return nil
+}
+
+// UnionCard estimates |A∪B| from the merged sketch.
+func (s *KMV) UnionCard(o *KMV) (float64, error) {
+	if err := s.compatible(o); err != nil {
+		return 0, err
+	}
+	return sketch.Union(s.s, o.s, s.k).Card(s.k), nil
+}
+
+// Intersection estimates |A∩B| by inclusion–exclusion with exact sizes
+// (Eq. 41).
+func (s *KMV) Intersection(o *KMV) (float64, error) {
+	if err := s.compatible(o); err != nil {
+		return 0, err
+	}
+	return sketch.InterKMV(s.s, o.s, s.k, s.size, o.size), nil
+}
+
+// CardCoverage evaluates Prop. A.7: the probability that the size
+// estimate lands within t of the truth.
+func (s *KMV) CardCoverage(t float64) float64 {
+	return estimator.KMVCardInterval(s.size, s.k, t)
+}
+
+// HLL sketches one set with HyperLogLog (the §X extension).
+type HLL struct {
+	s    *sketch.HLL
+	fam  *hash.Family
+	size int
+	seed uint64
+}
+
+// NewHLL builds a HyperLogLog with 2^p registers over the elements.
+func NewHLL(elems []uint32, p uint8, seed uint64) *HLL {
+	fam := hash.NewFamily(seed, 1)
+	h := sketch.NewHLL(p)
+	for _, x := range elems {
+		h.Add(fam.Hash(0, x))
+	}
+	return &HLL{s: h, fam: fam, size: len(elems), seed: seed}
+}
+
+// Size returns the exact number of elements.
+func (s *HLL) Size() int { return s.size }
+
+// Card returns the HyperLogLog cardinality estimate.
+func (s *HLL) Card() float64 { return s.s.Card() }
+
+func (s *HLL) compatible(o *HLL) error {
+	if s.s.P != o.s.P || s.seed != o.seed {
+		return fmt.Errorf("sets: incompatible HLL sketches (p %d/%d, seed %d/%d)", s.s.P, o.s.P, s.seed, o.seed)
+	}
+	return nil
+}
+
+// UnionCard estimates |A∪B| via register-wise max.
+func (s *HLL) UnionCard(o *HLL) (float64, error) {
+	if err := s.compatible(o); err != nil {
+		return 0, err
+	}
+	return sketch.UnionHLL(s.s, o.s).Card(), nil
+}
+
+// Intersection estimates |A∩B| by inclusion–exclusion with exact sizes.
+func (s *HLL) Intersection(o *HLL) (float64, error) {
+	if err := s.compatible(o); err != nil {
+		return 0, err
+	}
+	return sketch.InterHLL(s.s, o.s, s.size, o.size), nil
+}

@@ -1,0 +1,206 @@
+package sets
+
+import (
+	"math"
+	"testing"
+
+	"probgraph/internal/stats"
+)
+
+// overlapping builds A = [0, sizeA) and B = [sizeA-overlap, ...+sizeB).
+func overlapping(sizeA, sizeB, overlap int) (a, b []uint32) {
+	for i := 0; i < sizeA; i++ {
+		a = append(a, uint32(i))
+	}
+	for i := 0; i < sizeB; i++ {
+		b = append(b, uint32(sizeA-overlap+i))
+	}
+	return a, b
+}
+
+func TestBloomSetEndToEnd(t *testing.T) {
+	ka, kb := overlapping(400, 300, 120)
+	a := NewBloom(ka, 1<<14, 2, 7)
+	b := NewBloom(kb, 1<<14, 2, 7)
+	if a.Size() != 400 || b.Size() != 300 {
+		t.Fatal("sizes")
+	}
+	if stats.RelativeError(a.Card(), 400) > 0.1 {
+		t.Fatalf("Card = %v", a.Card())
+	}
+	for _, x := range ka[:50] {
+		if !a.Contains(x) {
+			t.Fatal("false negative")
+		}
+	}
+	for name, f := range map[string]func(*Bloom) (float64, error){
+		"AND": a.Intersection,
+		"L":   a.IntersectionL,
+		"OR":  a.IntersectionOR,
+	} {
+		est, err := f(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.RelativeError(est, 120) > 0.25 {
+			t.Errorf("%s estimate %v, want ~120", name, est)
+		}
+	}
+	dev, err := a.DeviationAt(b, 0.95)
+	if err != nil || dev <= 0 {
+		t.Fatalf("deviation: %v %v", dev, err)
+	}
+}
+
+func TestBloomIncompatible(t *testing.T) {
+	a := NewBloom(nil, 1024, 2, 1)
+	cases := []*Bloom{
+		NewBloom(nil, 2048, 2, 1), // different size
+		NewBloom(nil, 1024, 3, 1), // different b
+		NewBloom(nil, 1024, 2, 2), // different seed
+	}
+	for i, c := range cases {
+		if _, err := a.Intersection(c); err == nil {
+			t.Errorf("case %d: incompatible sketches must error", i)
+		}
+	}
+	if _, err := a.DeviationAt(cases[0], 0.95); err == nil {
+		t.Error("deviation on incompatible sketches must error")
+	}
+}
+
+func TestKHashSetEndToEnd(t *testing.T) {
+	ka, kb := overlapping(300, 200, 100)
+	a := NewKHash(ka, 128, 3)
+	b := NewKHash(kb, 128, 3)
+	j, err := a.Jaccard(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueJ := 100.0 / 400.0
+	if math.Abs(j-trueJ) > 0.12 {
+		t.Fatalf("Jaccard %v, want ~%v", j, trueJ)
+	}
+	est, err := a.Intersection(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RelativeError(est, 100) > 0.4 {
+		t.Fatalf("intersection %v, want ~100", est)
+	}
+	// The 95% bound must cover the observed error (w.h.p.).
+	if dev := a.DeviationAt(b, 0.95); math.Abs(est-100) > dev {
+		t.Fatalf("error %v exceeds 95%% bound %v", math.Abs(est-100), dev)
+	}
+	if _, err := a.Jaccard(NewKHash(kb, 64, 3)); err == nil {
+		t.Fatal("different k must error")
+	}
+}
+
+func TestBottomKSetEndToEnd(t *testing.T) {
+	ka, kb := overlapping(300, 200, 100)
+	a := NewBottomK(ka, 128, 5, true)
+	b := NewBottomK(kb, 128, 5, true)
+	est, err := a.Intersection(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RelativeError(est, 100) > 0.35 {
+		t.Fatalf("intersection %v, want ~100", est)
+	}
+	common, err := a.CommonElements(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range common {
+		if x < 200 || x >= 300 {
+			t.Fatalf("common element %d outside the true intersection", x)
+		}
+	}
+	// Without elements the sample is unavailable.
+	na := NewBottomK(ka, 128, 5, false)
+	nb := NewBottomK(kb, 128, 5, false)
+	if _, err := na.CommonElements(nb); err == nil {
+		t.Fatal("CommonElements without keepElems must error")
+	}
+	if _, err := a.Jaccard(NewBottomK(kb, 128, 6, true)); err == nil {
+		t.Fatal("different seed must error")
+	}
+	if a.DeviationAt(b, 0.9) <= 0 {
+		t.Fatal("deviation must be positive")
+	}
+}
+
+func TestKMVSetEndToEnd(t *testing.T) {
+	ka, kb := overlapping(500, 400, 200)
+	a := NewKMV(ka, 128, 9)
+	b := NewKMV(kb, 128, 9)
+	if stats.RelativeError(a.Card(), 500) > 0.25 {
+		t.Fatalf("Card %v", a.Card())
+	}
+	u, err := a.UnionCard(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RelativeError(u, 700) > 0.25 {
+		t.Fatalf("UnionCard %v, want ~700", u)
+	}
+	est, err := a.Intersection(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RelativeError(est, 200) > 0.6 {
+		t.Fatalf("intersection %v, want ~200", est)
+	}
+	if cov := a.CardCoverage(250); cov < 0.9 {
+		t.Fatalf("wide interval coverage %v", cov)
+	}
+	if _, err := a.Intersection(NewKMV(kb, 64, 9)); err == nil {
+		t.Fatal("different k must error")
+	}
+}
+
+func TestHLLSetEndToEnd(t *testing.T) {
+	ka, kb := overlapping(3000, 2500, 1000)
+	a := NewHLL(ka, 11, 13)
+	b := NewHLL(kb, 11, 13)
+	if stats.RelativeError(a.Card(), 3000) > 0.1 {
+		t.Fatalf("Card %v", a.Card())
+	}
+	u, err := a.UnionCard(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RelativeError(u, 4500) > 0.1 {
+		t.Fatalf("UnionCard %v, want ~4500", u)
+	}
+	est, err := a.Intersection(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RelativeError(est, 1000) > 0.5 {
+		t.Fatalf("intersection %v, want ~1000", est)
+	}
+	if _, err := a.Intersection(NewHLL(kb, 10, 13)); err == nil {
+		t.Fatal("different precision must error")
+	}
+}
+
+func TestEmptySets(t *testing.T) {
+	empty := NewBloom(nil, 1024, 2, 1)
+	if empty.Card() != 0 || empty.Size() != 0 {
+		t.Fatal("empty Bloom")
+	}
+	ek := NewKHash(nil, 16, 1)
+	full := NewKHash([]uint32{1, 2, 3}, 16, 1)
+	if j, _ := ek.Jaccard(full); j != 0 {
+		t.Fatal("empty k-Hash Jaccard")
+	}
+	eb := NewBottomK(nil, 16, 1, false)
+	if est, _ := eb.Intersection(NewBottomK([]uint32{1}, 16, 1, false)); est != 0 {
+		t.Fatal("empty bottom-k intersection")
+	}
+	if NewKMV(nil, 16, 1).Card() != 0 {
+		t.Fatal("empty KMV")
+	}
+}
