@@ -126,6 +126,14 @@ func BenchmarkDistComm(b *testing.B) {
 	}
 }
 
+func BenchmarkDistSimComm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.DistSimExperiment(quickOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- kernel micro-benchmarks ------------------------------------------------
 
 var benchGraph = probgraph.Kronecker(11, 16, 99)

@@ -34,6 +34,7 @@ var experiments = map[string]func(bench.Opts) error{
 	"table7":     func(o bench.Opts) error { _, err := bench.Table7(o); return err },
 	"theory":     bench.TheoryReport,
 	"dist":       func(o bench.Opts) error { _, err := bench.DistExperiment(o); return err },
+	"distsim":    func(o bench.Opts) error { _, err := bench.DistSimExperiment(o); return err },
 	"ablation":   func(o bench.Opts) error { _, err := bench.Ablation(o); return err },
 	"linkpred":   func(o bench.Opts) error { _, err := bench.LinkPred(o); return err },
 	"sim":        func(o bench.Opts) error { _, err := bench.VertexSim(o); return err },
@@ -42,7 +43,7 @@ var experiments = map[string]func(bench.Opts) error{
 // order fixes the presentation order for -exp all.
 var order = []string{
 	"fig3", "fig4", "fig5", "fig6", "fig7", "fig8strong", "fig8weak", "fig9",
-	"table4", "table5", "table6", "table7", "theory", "dist",
+	"table4", "table5", "table6", "table7", "theory", "dist", "distsim",
 	"sim", "linkpred", "ablation",
 }
 

@@ -1,0 +1,3 @@
+module probgraph
+
+go 1.24

@@ -267,6 +267,25 @@ func TestDistExperimentQuick(t *testing.T) {
 	}
 }
 
+func TestDistSimExperimentQuick(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := DistSimExperiment(quickOpts(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Reduction < 1 {
+			t.Fatalf("sketches must reduce similarity traffic at P=%d: %+v", r.Nodes, r)
+		}
+		if r.SketchRelErr > 0.10 {
+			t.Fatalf("distributed similarity estimate off at P=%d: %+v", r.Nodes, r)
+		}
+	}
+}
+
 func TestAblationQuick(t *testing.T) {
 	var buf bytes.Buffer
 	rows, err := Ablation(quickOpts(&buf))

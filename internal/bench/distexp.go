@@ -32,7 +32,12 @@ func DistExperiment(opts Opts) ([]DistRow, error) {
 	}
 	o := g.Orient(opts.Workers)
 	exactTC := float64(mining.ExactTC(o, opts.Workers))
-	pg, err := core.BuildOriented(o, g.SizeBits(), core.Config{Kind: core.BF, Budget: 0.25, NumHashes: 2, Seed: opts.Seed + 51})
+	// Bloom rows with one hash and the Eq. (4) limiting estimator: the
+	// most seed-robust configuration for sums over the small oriented
+	// sets — samples-based sketches share one hash family across all
+	// vertices, so their per-pair errors correlate and the TC sum does
+	// not average them out.
+	pg, err := core.BuildOriented(o, g.SizeBits(), core.Config{Kind: core.BF, Budget: 0.25, NumHashes: 1, Est: core.EstBFL, Seed: opts.Seed + 51})
 	if err != nil {
 		return nil, err
 	}

@@ -387,6 +387,30 @@ func (pg *PG) Jaccard(u, v uint32) float64 {
 	return inter / union
 }
 
+// RowBytes returns the wire footprint in bytes of vertex v's sketch row
+// — what the owner ships when a remote node requests the sketch in the
+// §VIII-F distributed protocol. BF rows are the fixed filter size;
+// MinHash/KMV rows are the occupied 64-bit slots (their count is
+// implied by the response frame's payload length) plus 32-bit element
+// IDs under StoreElems; HLL rows are the register array.
+func (pg *PG) RowBytes(v uint32) int {
+	switch pg.Cfg.Kind {
+	case BF:
+		return pg.words * 8
+	case KHash:
+		return pg.Cfg.K * 8
+	case OneHash, KMV:
+		b := int(pg.lens[v]) * 8
+		if pg.elems != nil {
+			b += int(pg.lens[v]) * 4
+		}
+		return b
+	case HLL:
+		return 1 << pg.hllP
+	}
+	return 0
+}
+
 // MemoryBits returns the sketch storage in bits — the quantity the
 // "relative memory" axis of Figs. 4–7 reports against the CSR size.
 func (pg *PG) MemoryBits() int64 {

@@ -1,0 +1,289 @@
+package dist
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"probgraph/internal/core"
+	"probgraph/internal/graph"
+	"probgraph/internal/mining"
+)
+
+func TestBlockPartition(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{
+		{0, 1}, {1, 1}, {10, 1}, {10, 3}, {10, 10}, {10, 16}, {1024, 7}, {1023, 16},
+	} {
+		pt := BlockPartition(tc.n, tc.p)
+		covered := 0
+		for i := 0; i < tc.p; i++ {
+			lo, hi := pt.Block(i)
+			if hi < lo {
+				t.Fatalf("n=%d p=%d: block %d inverted [%d,%d)", tc.n, tc.p, i, lo, hi)
+			}
+			if int(hi-lo) > tc.n/tc.p+1 {
+				t.Fatalf("n=%d p=%d: block %d unbalanced [%d,%d)", tc.n, tc.p, i, lo, hi)
+			}
+			for v := lo; v < hi; v++ {
+				if pt.Owner(v) != i {
+					t.Fatalf("n=%d p=%d: Owner(%d)=%d, in block %d", tc.n, tc.p, v, pt.Owner(v), i)
+				}
+				covered++
+			}
+		}
+		if covered != tc.n {
+			t.Fatalf("n=%d p=%d: blocks cover %d vertices", tc.n, tc.p, covered)
+		}
+	}
+}
+
+// testGraphs returns the graphs the kernel tests sweep: a skewed
+// power-law graph, a dense clique, and a hub-and-spoke star with a
+// triangle fan (extreme skew).
+func testGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	star := make([]graph.Edge, 0, 64)
+	for v := uint32(1); v < 33; v++ {
+		star = append(star, graph.Edge{U: 0, V: v})
+	}
+	for v := uint32(1); v < 32; v++ {
+		star = append(star, graph.Edge{U: v, V: v + 1}) // fan: 0-v-(v+1) triangles
+	}
+	sg, err := graph.FromEdges(33, star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*graph.Graph{
+		"kron":   graph.Kronecker(9, 10, 31),
+		"clique": graph.Complete(24),
+		"star":   sg,
+	}
+}
+
+func TestTCShipNeighborhoodsIsExact(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		o := g.Orient(0)
+		want := mining.ExactTC(o, 0)
+		for _, nodes := range []int{1, 2, 3, 4, 7, 8, 16, 33} {
+			res, err := TC(g, o, nil, nodes, ShipNeighborhoods)
+			if err != nil {
+				t.Fatalf("%s P=%d: %v", name, nodes, err)
+			}
+			if int64(res.Count) != want {
+				t.Fatalf("%s P=%d: count=%v, exact=%d", name, nodes, res.Count, want)
+			}
+			if nodes == 1 && res.Net.Bytes != 0 {
+				t.Fatalf("%s: single node generated %d network bytes", name, res.Net.Bytes)
+			}
+		}
+	}
+}
+
+func TestTCShipSketchesAccuracy(t *testing.T) {
+	// The quick Kronecker graph and sketch configuration of the §VIII-F
+	// experiment: the estimate must stay within 10% and be identical for
+	// every node count (the distributed sum is just a re-association of
+	// the single-machine one).
+	g := graph.Kronecker(10, 12, 701)
+	o := g.Orient(0)
+	exact := float64(mining.ExactTC(o, 0))
+	pg, err := core.BuildOriented(o, g.SizeBits(), core.Config{Kind: core.BF, Budget: 0.25, NumHashes: 1, Est: core.EstBFL, Seed: 92})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first float64
+	for i, nodes := range []int{1, 2, 4, 8, 16} {
+		res, err := TC(g, o, pg, nodes, ShipSketches)
+		if err != nil {
+			t.Fatalf("P=%d: %v", nodes, err)
+		}
+		if rel := math.Abs(res.Count-exact) / exact; rel > 0.10 {
+			t.Fatalf("P=%d: estimate %v vs exact %v, rel err %.3f > 0.10", nodes, res.Count, exact, rel)
+		}
+		if i == 0 {
+			first = res.Count
+		} else if math.Abs(res.Count-first) > 1e-6*math.Abs(first) {
+			t.Fatalf("P=%d: estimate %v differs from P=1 estimate %v", nodes, res.Count, first)
+		}
+	}
+}
+
+func TestTCBytesReduction(t *testing.T) {
+	// On a skewed graph the raw-CSR protocol must move strictly more
+	// bytes than the fixed-size sketch protocol at every node count.
+	g := graph.Kronecker(10, 12, 701)
+	o := g.Orient(0)
+	pg, err := core.BuildOriented(o, g.SizeBits(), core.Config{Kind: core.BF, Budget: 0.25, NumHashes: 1, Est: core.EstBFL, Seed: 92})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nodes := range []int{2, 4, 8, 16} {
+		ex, err := TC(g, o, nil, nodes, ShipNeighborhoods)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sk, err := TC(g, o, pg, nodes, ShipSketches)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ex.Net.Bytes <= sk.Net.Bytes {
+			t.Fatalf("P=%d: CSR bytes %d <= sketch bytes %d", nodes, ex.Net.Bytes, sk.Net.Bytes)
+		}
+		if ex.Net.Fetches != sk.Net.Fetches {
+			t.Fatalf("P=%d: protocols disagree on fetch count: %d vs %d", nodes, ex.Net.Fetches, sk.Net.Fetches)
+		}
+	}
+}
+
+func TestNetAccountingInvariants(t *testing.T) {
+	g := graph.Kronecker(9, 10, 31)
+	o := g.Orient(0)
+	res, err := TC(g, o, nil, 8, ShipNeighborhoods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Net
+	if s.Bytes <= 0 || s.Messages <= 0 || s.Fetches <= 0 {
+		t.Fatalf("no traffic recorded: %+v", s)
+	}
+	if s.Messages != 2*s.Fetches {
+		t.Fatalf("messages %d != 2 * fetches %d", s.Messages, s.Fetches)
+	}
+	var out, in, mout, min NodeTraffic
+	for _, tr := range s.PerNode {
+		out.BytesOut += tr.BytesOut
+		in.BytesIn += tr.BytesIn
+		mout.MsgsOut += tr.MsgsOut
+		min.MsgsIn += tr.MsgsIn
+	}
+	if out.BytesOut != s.Bytes || in.BytesIn != s.Bytes {
+		t.Fatalf("per-node bytes (out %d, in %d) disagree with total %d", out.BytesOut, in.BytesIn, s.Bytes)
+	}
+	if mout.MsgsOut != s.Messages || min.MsgsIn != s.Messages {
+		t.Fatalf("per-node messages (out %d, in %d) disagree with total %d", mout.MsgsOut, min.MsgsIn, s.Messages)
+	}
+}
+
+func TestDeterminismAcrossRunsAndSchedulers(t *testing.T) {
+	g := graph.Kronecker(9, 10, 31)
+	o := g.Orient(0)
+	pg, err := core.BuildOriented(o, g.SizeBits(), core.Config{Kind: core.BF, Budget: 0.25, NumHashes: 1, Est: core.EstBFL, Seed: 92})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Mode{ShipNeighborhoods, ShipSketches} {
+		var base *Result
+		for run := 0; run < 4; run++ {
+			// Vary the scheduler: different GOMAXPROCS each repetition.
+			prev := runtime.GOMAXPROCS(1 + run%3)
+			res, err := TC(g, o, pg, 8, mode)
+			runtime.GOMAXPROCS(prev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base == nil {
+				base = res
+				continue
+			}
+			if res.Count != base.Count {
+				t.Fatalf("%v run %d: count %v != %v", mode, run, res.Count, base.Count)
+			}
+			if !reflect.DeepEqual(res.Net, base.Net) {
+				t.Fatalf("%v run %d: NetStats drifted:\n%+v\n%+v", mode, run, res.Net, base.Net)
+			}
+		}
+	}
+}
+
+func TestSimShipNeighborhoodsIsExact(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		for _, m := range []mining.Measure{mining.Jaccard, mining.Overlap, mining.CommonNeighbors, mining.TotalNeighbors} {
+			var want float64
+			g.Edges(func(u, v uint32) { want += mining.ExactSimilarity(g, u, v, m) })
+			want /= float64(g.NumEdges())
+			for _, nodes := range []int{1, 2, 5, 8} {
+				res, err := Sim(g, nil, nodes, ShipNeighborhoods, m)
+				if err != nil {
+					t.Fatalf("%s %v P=%d: %v", name, m, nodes, err)
+				}
+				if math.Abs(res.Count-want) > 1e-9*(1+math.Abs(want)) {
+					t.Fatalf("%s %v P=%d: mean %v, exact %v", name, m, nodes, res.Count, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSimShipSketchesAccuracy(t *testing.T) {
+	// The community workload of the distsim experiment: dense modules,
+	// large per-edge intersections, Bloom sketches at a 25% budget.
+	g := graph.CommunityGraph(1024, 20000, 16, 48, 701)
+	pg, err := core.Build(g, core.Config{Kind: core.BF, Budget: 0.25, NumHashes: 2, Seed: 92})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	g.Edges(func(u, v uint32) { want += mining.ExactSimilarity(g, u, v, mining.Jaccard) })
+	want /= float64(g.NumEdges())
+	for _, nodes := range []int{2, 8} {
+		ex, err := Sim(g, nil, nodes, ShipNeighborhoods, mining.Jaccard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sk, err := Sim(g, pg, nodes, ShipSketches, mining.Jaccard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(sk.Count-want) / want; rel > 0.10 {
+			t.Fatalf("P=%d: mean %v vs exact %v, rel err %.3f > 0.10", nodes, sk.Count, want, rel)
+		}
+		if ex.Net.Bytes <= sk.Net.Bytes {
+			t.Fatalf("P=%d: CSR bytes %d <= sketch bytes %d", nodes, ex.Net.Bytes, sk.Net.Bytes)
+		}
+	}
+}
+
+func TestArgumentValidation(t *testing.T) {
+	g := graph.Complete(8)
+	o := g.Orient(0)
+	opg, err := core.BuildOriented(o, g.SizeBits(), core.Config{Kind: core.BF, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := graph.Complete(4)
+	spg, err := core.Build(small, core.Config{Kind: core.BF, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TC(g, o, nil, 0, ShipNeighborhoods); err == nil {
+		t.Fatal("nodes=0 accepted")
+	}
+	if _, err := TC(g, o, opg, 2, Mode(99)); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+	if _, err := TC(g, o, nil, 2, ShipSketches); err == nil {
+		t.Fatal("ShipSketches without a ProbGraph accepted")
+	}
+	if _, err := TC(g, o, spg, 2, ShipSketches); err == nil {
+		t.Fatal("ProbGraph of the wrong graph accepted")
+	}
+	if _, err := TC(nil, o, nil, 2, ShipNeighborhoods); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := Sim(g, nil, 2, ShipNeighborhoods, mining.AdamicAdar); err == nil {
+		t.Fatal("weighted measure accepted: no wire protocol ships witness identities")
+	}
+	if _, err := Sim(g, opg, 2, ShipSketches, mining.Jaccard); err == nil {
+		t.Fatal("oriented sketches accepted by Sim, which needs full neighborhoods")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ShipNeighborhoods.String() == ShipSketches.String() {
+		t.Fatal("modes indistinguishable")
+	}
+	if Mode(99).String() == "" {
+		t.Fatal("unknown mode has empty name")
+	}
+}

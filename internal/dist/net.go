@@ -1,0 +1,90 @@
+package dist
+
+import "sync/atomic"
+
+// payload is the body of a response message. The simulator hands the
+// owner's storage across by reference (the in-process analogue of an
+// RDMA get) and accounts the bytes the declared wire format would have
+// serialized.
+type payload struct {
+	list  []uint32 // ShipNeighborhoods: the full CSR neighborhood
+	bytes int      // wire size of the payload in bytes
+}
+
+// request asks the owner of vertex for its row; the response is sent on
+// reply. Exactly one request per requester is ever outstanding, so a
+// reply channel of capacity 1 can never block the serving node.
+type request struct {
+	from   int
+	vertex uint32
+	reply  chan payload
+}
+
+// traffic is the atomically-updated accounting cell behind NodeTraffic.
+type traffic struct {
+	bytesOut, bytesIn atomic.Int64
+	msgsOut, msgsIn   atomic.Int64
+}
+
+// network connects the nodes of one run: an inbox channel per node plus
+// the byte/message accounting. Accounting uses atomics because a node's
+// inbound counters are bumped by its peers' goroutines; the totals are
+// nevertheless deterministic, because the per-node caches make the set
+// of messages a pure function of graph, partition, and protocol.
+type network struct {
+	part    Partition
+	inboxes []chan request
+	cells   []traffic
+	fetches atomic.Int64
+}
+
+func newNetwork(part Partition) *network {
+	nw := &network{
+		part:    part,
+		inboxes: make([]chan request, part.P),
+		cells:   make([]traffic, part.P),
+	}
+	for i := range nw.inboxes {
+		nw.inboxes[i] = make(chan request, part.P)
+	}
+	return nw
+}
+
+// account records one message of the given size from node `from` to
+// node `to`.
+func (nw *network) account(from, to, bytes int) {
+	nw.cells[from].bytesOut.Add(int64(bytes))
+	nw.cells[from].msgsOut.Add(1)
+	nw.cells[to].bytesIn.Add(int64(bytes))
+	nw.cells[to].msgsIn.Add(1)
+}
+
+// fetch performs one remote fetch round trip on behalf of node `from`:
+// request to the owner, blocking wait for the response, both messages
+// accounted.
+func (nw *network) fetch(from int, v uint32, reply chan payload) payload {
+	owner := nw.part.Owner(v)
+	nw.account(from, owner, reqBytes)
+	nw.inboxes[owner] <- request{from: from, vertex: v, reply: reply}
+	p := <-reply
+	nw.account(owner, from, respHeaderBytes+p.bytes)
+	nw.fetches.Add(1)
+	return p
+}
+
+// stats freezes the accounting into a NetStats value. Call only after
+// every worker has finished.
+func (nw *network) stats() NetStats {
+	s := NetStats{PerNode: make([]NodeTraffic, len(nw.cells)), Fetches: nw.fetches.Load()}
+	for i := range nw.cells {
+		c := &nw.cells[i]
+		t := NodeTraffic{
+			BytesOut: c.bytesOut.Load(), BytesIn: c.bytesIn.Load(),
+			MsgsOut: c.msgsOut.Load(), MsgsIn: c.msgsIn.Load(),
+		}
+		s.PerNode[i] = t
+		s.Bytes += t.BytesOut
+		s.Messages += t.MsgsOut
+	}
+	return s
+}

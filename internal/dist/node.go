@@ -1,0 +1,82 @@
+package dist
+
+import "sync"
+
+// node is one simulated machine: a contiguous vertex block, a reusable
+// reply channel, and a cache of remote rows. A node's worker goroutine
+// is the only accessor of its cache, so no locking is needed there.
+type node struct {
+	id     int
+	lo, hi uint32 // owned vertex block [lo, hi)
+	nw     *network
+	reply  chan payload
+
+	// lists caches fetched (and post-processed) remote adjacency lists
+	// in ShipNeighborhoods mode; seen marks fetched sketch rows in
+	// ShipSketches mode. Either way each remote vertex is transferred
+	// at most once per node.
+	lists map[uint32][]uint32
+	seen  map[uint32]bool
+}
+
+// owns reports whether v is in the node's local block.
+func (nd *node) owns(v uint32) bool { return v >= nd.lo && v < nd.hi }
+
+// fetch pulls vertex v's row from its owner over the network.
+func (nd *node) fetch(v uint32) payload {
+	return nd.nw.fetch(nd.id, v, nd.reply)
+}
+
+// cluster is one run's worth of simulated machines.
+type cluster struct {
+	part  Partition
+	nw    *network
+	nodes []*node
+}
+
+func newCluster(n, p int) *cluster {
+	part := BlockPartition(n, p)
+	nw := newNetwork(part)
+	c := &cluster{part: part, nw: nw, nodes: make([]*node, p)}
+	for i := 0; i < p; i++ {
+		lo, hi := part.Block(i)
+		c.nodes[i] = &node{
+			id: i, lo: lo, hi: hi, nw: nw,
+			reply: make(chan payload, 1),
+			lists: make(map[uint32][]uint32),
+			seen:  make(map[uint32]bool),
+		}
+	}
+	return c
+}
+
+// run starts one server goroutine and one worker goroutine per node,
+// waits for every worker to finish, then shuts the servers down and
+// returns the frozen network accounting. serve is the owner-side
+// protocol handler (it must be safe for concurrent reads of shared
+// graph/sketch storage); worker is the kernel body over one node.
+func (c *cluster) run(serve func(v uint32) payload, worker func(nd *node)) NetStats {
+	var servers, workers sync.WaitGroup
+	for _, nd := range c.nodes {
+		servers.Add(1)
+		go func(inbox chan request) {
+			defer servers.Done()
+			for req := range inbox {
+				req.reply <- serve(req.vertex)
+			}
+		}(c.nw.inboxes[nd.id])
+	}
+	for _, nd := range c.nodes {
+		workers.Add(1)
+		go func(nd *node) {
+			defer workers.Done()
+			worker(nd)
+		}(nd)
+	}
+	workers.Wait()
+	for _, inbox := range c.nw.inboxes {
+		close(inbox)
+	}
+	servers.Wait()
+	return c.nw.stats()
+}

@@ -1,0 +1,36 @@
+package dist
+
+// Partition block-partitions n vertices across p nodes: node i owns the
+// contiguous vertex range Block(i), blocks differ in size by at most
+// one, and ownership is computable in O(1) on every node (the standard
+// 1D block decomposition of distributed graph processing — contiguous
+// CSR rows keep each node's local adjacency a single slice).
+type Partition struct {
+	N, P int
+	q, r int // first r blocks have q+1 vertices, the rest q
+}
+
+// BlockPartition builds the balanced block partition of [0, n) into p
+// blocks. p may exceed n; the surplus blocks are empty.
+func BlockPartition(n, p int) Partition {
+	return Partition{N: n, P: p, q: n / p, r: n % p}
+}
+
+// Owner returns the node that owns vertex v.
+func (pt Partition) Owner(v uint32) int {
+	t := pt.r * (pt.q + 1)
+	if int(v) < t {
+		return int(v) / (pt.q + 1)
+	}
+	return pt.r + (int(v)-t)/pt.q
+}
+
+// Block returns node i's owned vertex range [lo, hi).
+func (pt Partition) Block(i int) (lo, hi uint32) {
+	if i < pt.r {
+		l := i * (pt.q + 1)
+		return uint32(l), uint32(l + pt.q + 1)
+	}
+	l := pt.r*(pt.q+1) + (i-pt.r)*pt.q
+	return uint32(l), uint32(l + pt.q)
+}

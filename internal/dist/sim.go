@@ -1,0 +1,119 @@
+package dist
+
+import (
+	"fmt"
+
+	"probgraph/internal/core"
+	"probgraph/internal/graph"
+	"probgraph/internal/mining"
+)
+
+// Sim runs distributed vertex similarity (Listing 3) over the same
+// partition and fetch machinery as TC: every undirected edge (u, v)
+// with u < v is scored by the owner of u, which holds N_u locally and
+// fetches vertex v's row when v is remote —
+//
+//   - ShipNeighborhoods: the raw CSR list N_v crosses the wire and the
+//     score is exact (pg may be nil);
+//   - ShipSketches: v's fixed-size sketch row crosses the wire and
+//     |N_u ∩ N_v| is estimated. pg must hold full-neighborhood sketches
+//     (core.Build, not BuildOriented).
+//
+// The Result's Count is the mean similarity over all edges — the
+// aggregate the Jarvis–Patrick threshold of Listing 4 is calibrated
+// against. Only the counting-based measures (Jaccard, Overlap,
+// CommonNeighbors, TotalNeighbors) are supported: the weighted ones
+// need witness identities, which neither wire protocol ships.
+func Sim(g *graph.Graph, pg *core.PG, nodes int, mode Mode, m mining.Measure) (*Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("dist: Sim needs a graph")
+	}
+	if !m.Counting() {
+		return nil, fmt.Errorf("dist: measure %v needs witness identities; only counting measures are distributable", m)
+	}
+	n := g.NumVertices()
+	if err := validateRun(nodes, mode); err != nil {
+		return nil, err
+	}
+	if mode == ShipSketches {
+		if pg == nil {
+			return nil, fmt.Errorf("dist: ShipSketches needs a ProbGraph (core.Build over full neighborhoods)")
+		}
+		if pg.NumVertices() != n {
+			return nil, fmt.Errorf("dist: ProbGraph covers %d vertices, graph has %d", pg.NumVertices(), n)
+		}
+		for v := 0; v < n; v++ {
+			if pg.SetSize(uint32(v)) != g.Degree(uint32(v)) {
+				return nil, fmt.Errorf("dist: sketch of vertex %d covers %d elements, degree is %d — Sim needs full-neighborhood sketches (core.Build)",
+					v, pg.SetSize(uint32(v)), g.Degree(uint32(v)))
+			}
+		}
+	}
+
+	c := newCluster(n, nodes)
+	res := &Result{Nodes: nodes, Mode: mode}
+	sums := make([]float64, nodes)
+
+	switch mode {
+	case ShipNeighborhoods:
+		serve := func(v uint32) payload {
+			l := g.Neighbors(v)
+			return payload{list: l, bytes: 4 * len(l)}
+		}
+		res.Net = c.run(serve, func(nd *node) {
+			var s float64
+			for u := nd.lo; u < nd.hi; u++ {
+				nu := g.Neighbors(u)
+				for _, v := range nu {
+					if v <= u {
+						continue // each undirected edge once, at the owner of min(u,v)
+					}
+					var nv []uint32
+					switch {
+					case nd.owns(v):
+						nv = g.Neighbors(v)
+					default:
+						var ok bool
+						if nv, ok = nd.lists[v]; !ok {
+							nv = nd.fetch(v).list
+							nd.lists[v] = nv
+						}
+					}
+					inter := float64(graph.IntersectCount(nu, nv))
+					s += mining.SimFromInter(m, inter, len(nu), len(nv))
+				}
+			}
+			sums[nd.id] = s
+		})
+	case ShipSketches:
+		serve := func(v uint32) payload {
+			return payload{bytes: cardBytes + pg.RowBytes(v)}
+		}
+		res.Net = c.run(serve, func(nd *node) {
+			var s float64
+			for u := nd.lo; u < nd.hi; u++ {
+				for _, v := range g.Neighbors(u) {
+					if v <= u {
+						continue
+					}
+					if !nd.owns(v) && !nd.seen[v] {
+						nd.fetch(v)
+						nd.seen[v] = true
+					}
+					inter := clampInter(pg.IntCard(u, v), pg.SetSize(u), pg.SetSize(v))
+					s += mining.SimFromInter(m, inter, pg.SetSize(u), pg.SetSize(v))
+				}
+			}
+			sums[nd.id] = s
+		})
+	}
+
+	var total float64
+	for _, s := range sums {
+		total += s
+	}
+	if me := g.NumEdges(); me > 0 {
+		res.Count = total / float64(me)
+	}
+	return res, nil
+}

@@ -1,0 +1,140 @@
+package dist
+
+import (
+	"fmt"
+
+	"probgraph/internal/core"
+	"probgraph/internal/graph"
+)
+
+// TC runs the oriented triangle-count kernel (Listing 1) over `nodes`
+// simulated distributed-memory nodes. Vertices are block-partitioned;
+// each node evaluates tc_v = Σ_{u∈N+_v} |N+_v ∩ N+_u| for its local
+// block, fetching rows of remote endpoints u on demand:
+//
+//   - ShipNeighborhoods: the owner ships the raw CSR neighborhood N_u
+//     (4 B/ID); the requester derives N+_u with the replicated rank
+//     array, caches it, and intersects exactly. pg may be nil; the
+//     count equals mining.ExactTC.
+//   - ShipSketches: the owner ships u's fixed-size sketch row; the
+//     requester estimates |N+_v ∩ N+_u| with the sketch estimator. pg
+//     must hold oriented sketches built with core.BuildOriented over o.
+//
+// The returned Result carries the count and the NetStats the fetches
+// generated; both are deterministic for a given graph, orientation,
+// sketch, node count, and mode.
+func TC(g *graph.Graph, o *graph.Oriented, pg *core.PG, nodes int, mode Mode) (*Result, error) {
+	if g == nil || o == nil {
+		return nil, fmt.Errorf("dist: TC needs a graph and its orientation")
+	}
+	n := g.NumVertices()
+	if o.NumVertices() != n {
+		return nil, fmt.Errorf("dist: orientation covers %d vertices, graph has %d", o.NumVertices(), n)
+	}
+	if err := validateRun(nodes, mode); err != nil {
+		return nil, err
+	}
+	if mode == ShipSketches {
+		if pg == nil {
+			return nil, fmt.Errorf("dist: ShipSketches needs a ProbGraph (BuildOriented over the same orientation)")
+		}
+		if pg.NumVertices() != n {
+			return nil, fmt.Errorf("dist: ProbGraph covers %d vertices, graph has %d", pg.NumVertices(), n)
+		}
+	}
+
+	c := newCluster(n, nodes)
+	res := &Result{Nodes: nodes, Mode: mode}
+
+	switch mode {
+	case ShipNeighborhoods:
+		counts := make([]int64, nodes)
+		serve := func(u uint32) payload {
+			l := g.Neighbors(u)
+			return payload{list: l, bytes: 4 * len(l)}
+		}
+		res.Net = c.run(serve, func(nd *node) {
+			rank := o.Rank
+			var tc int64
+			for v := nd.lo; v < nd.hi; v++ {
+				nv := o.NPlus(v)
+				for _, u := range nv {
+					var nu []uint32
+					switch {
+					case nd.owns(u):
+						nu = o.NPlus(u)
+					default:
+						var ok bool
+						if nu, ok = nd.lists[u]; !ok {
+							nu = orientFilter(nd.fetch(u).list, rank, rank[u])
+							nd.lists[u] = nu
+						}
+					}
+					tc += int64(graph.IntersectCount(nv, nu))
+				}
+			}
+			counts[nd.id] = tc
+		})
+		var total int64
+		for _, tc := range counts {
+			total += tc
+		}
+		res.Count = float64(total)
+	case ShipSketches:
+		sums := make([]float64, nodes)
+		serve := func(u uint32) payload {
+			return payload{bytes: cardBytes + pg.RowBytes(u)}
+		}
+		res.Net = c.run(serve, func(nd *node) {
+			var s float64
+			for v := nd.lo; v < nd.hi; v++ {
+				for _, u := range o.NPlus(v) {
+					if !nd.owns(u) && !nd.seen[u] {
+						nd.fetch(u)
+						nd.seen[u] = true
+					}
+					s += clampInter(pg.IntCard(v, u), pg.SetSize(v), pg.SetSize(u))
+				}
+			}
+			sums[nd.id] = s
+		})
+		var total float64
+		for _, s := range sums {
+			total += s
+		}
+		res.Count = total
+	}
+	return res, nil
+}
+
+// clampInter clips a pairwise intersection estimate to its cardinality
+// bound [0, min(|X|, |Y|)]. Both sizes are known to the requester — its
+// own exactly, the remote one from the cardinality every sketch
+// response carries (cardBytes) — and the clamp removes the estimator's
+// out-of-range excursions on the small oriented sets.
+func clampInter(est float64, dx, dy int) float64 {
+	if est < 0 {
+		return 0
+	}
+	mx := float64(dx)
+	if dy < dx {
+		mx = float64(dy)
+	}
+	if est > mx {
+		return mx
+	}
+	return est
+}
+
+// orientFilter derives N+_u from a full, ID-sorted neighborhood N_u:
+// the neighbors ranked above u, in the same ID order the orientation
+// stores them.
+func orientFilter(full []uint32, rank []int32, ru int32) []uint32 {
+	out := make([]uint32, 0, len(full)/2)
+	for _, w := range full {
+		if rank[w] > ru {
+			out = append(out, w)
+		}
+	}
+	return out
+}

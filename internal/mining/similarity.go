@@ -89,6 +89,25 @@ func simFromInter(m Measure, inter float64, du, dv int) float64 {
 	return inter
 }
 
+// Counting reports whether m is computable from the intersection
+// cardinality |N_u ∩ N_v| alone; the weighted measures (Adamic–Adar,
+// Resource Allocation) also need the witness identities.
+func (m Measure) Counting() bool {
+	switch m {
+	case Jaccard, Overlap, CommonNeighbors, TotalNeighbors:
+		return true
+	}
+	return false
+}
+
+// SimFromInter converts an intersection cardinality (exact or estimated)
+// into the score of a counting-based measure. Exported for the
+// distributed kernels, which compute the cardinality from rows shipped
+// over the simulated network.
+func SimFromInter(m Measure, inter float64, du, dv int) float64 {
+	return simFromInter(m, inter, du, dv)
+}
+
 // ExactSimilarity evaluates a Listing 3 measure exactly on the CSR graph.
 func ExactSimilarity(g *graph.Graph, u, v uint32, m Measure) float64 {
 	nu, nv := g.Neighbors(u), g.Neighbors(v)

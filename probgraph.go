@@ -200,9 +200,16 @@ func PGKCliqueCount(o *Oriented, pg *PG, k, workers int) (float64, error) {
 	return mining.PGKClique(o, pg, k, workers)
 }
 
-// DistResult is the outcome of a simulated distributed triangle count:
-// the (estimated) count plus the network traffic it generated.
+// DistResult is the outcome of a simulated distributed kernel run: the
+// (estimated) result plus the network traffic it generated.
 type DistResult = dist.Result
+
+// DistMode selects the §VIII-F wire protocol for remote fetches.
+type DistMode = dist.Mode
+
+// DistNetStats is the byte/message accounting of a simulated run, with
+// a per-node breakdown.
+type DistNetStats = dist.NetStats
 
 // Distributed-memory fetch protocols (§VIII-F).
 const (
@@ -220,6 +227,17 @@ const (
 // may be nil and the count is exact.
 func DistributedTC(g *Graph, o *Oriented, pg *PG, nodes int, mode dist.Mode) (*DistResult, error) {
 	return dist.TC(g, o, pg, nodes, mode)
+}
+
+// DistributedSimilarity runs distributed vertex similarity over the
+// same simulated cluster: every edge is scored at the owner of its
+// lower endpoint, fetching the other endpoint's neighborhood (or
+// fixed-size sketch) over the byte-counting network. The Result's Count
+// is the mean similarity over all edges. In ShipSketches mode pg must
+// hold full-neighborhood sketches (Build); only the counting measures
+// (Jaccard, Overlap, CommonNeighbors, TotalNeighbors) are supported.
+func DistributedSimilarity(g *Graph, pg *PG, nodes int, mode DistMode, m Measure) (*DistResult, error) {
+	return dist.Sim(g, pg, nodes, mode, m)
 }
 
 // Similarity evaluates a vertex-similarity measure exactly.
