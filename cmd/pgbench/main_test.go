@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+// TestOrderMatchesExperiments pins the invariant behind `-exp all`: the
+// presentation order lists every registered experiment exactly once, so
+// adding an experiment to one table but not the other fails fast.
+func TestOrderMatchesExperiments(t *testing.T) {
+	seen := make(map[string]int, len(order))
+	for _, name := range order {
+		seen[name]++
+		if seen[name] > 1 {
+			t.Errorf("experiment %q appears %d times in order", name, seen[name])
+		}
+		if _, ok := experiments[name]; !ok {
+			t.Errorf("order lists %q but experiments does not define it", name)
+		}
+	}
+	for name := range experiments {
+		if seen[name] == 0 {
+			t.Errorf("experiment %q is registered but missing from order (and so from -exp all)", name)
+		}
+	}
+	if len(order) != len(experiments) {
+		t.Errorf("order has %d entries, experiments has %d", len(order), len(experiments))
+	}
+}

@@ -22,9 +22,12 @@ import (
 func main() {
 	triangles := flag.Bool("tc", true, "compute triangle count and clustering coefficient")
 	binary := flag.Bool("binary", false, "input is binary CSR format")
+	pgMem := flag.Bool("pg", true, "build sketches and report their resident memory")
+	kind := flag.String("kind", "BF", "sketch kind for -pg (BF,kH,1H,KMV,HLL)")
+	budget := flag.Float64("budget", 0.25, "storage budget for -pg")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: pginfo [-tc=false] [-binary] <file|->")
+		fmt.Fprintln(os.Stderr, "usage: pginfo [-tc=false] [-binary] [-pg=false] [-kind BF] [-budget 0.25] <file|->")
 		os.Exit(2)
 	}
 	var in io.Reader = os.Stdin
@@ -75,6 +78,19 @@ func main() {
 		}
 		bar := strings.Repeat("#", scaleBar(hist[b], n))
 		fmt.Printf("  2^%-2d %8d %s\n", b, hist[b], bar)
+	}
+
+	if *pgMem {
+		k, err := probgraph.ParseKind(*kind)
+		if err != nil {
+			fatal(err)
+		}
+		pg, err := probgraph.Build(g, probgraph.Config{Kind: k, Budget: *budget})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("sketch memory   %d bytes (%v, s=%.2f, %.1f%% of CSR)\n",
+			pg.MemoryBytes(), k, *budget, 100*pg.RelativeMemory())
 	}
 
 	if *triangles {

@@ -1,0 +1,114 @@
+// Command pgload is the load generator for pgserve: a closed- or
+// open-loop driver in the falkordb-benchmark-go tradition that reports
+// throughput, an HDR-style latency profile (p50/p90/p99/p99.9), and the
+// server-side cache hit rate over the run.
+//
+// Usage:
+//
+//	pgload -addr http://127.0.0.1:8080 -duration 10s            # closed loop
+//	pgload -qps 5000 -workers 16 -mix similarity:8,topk:1       # open loop
+//
+// With -check the exit status is non-zero when any query errored or
+// none completed — the CI smoke contract.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"probgraph/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "server base URL")
+		duration = flag.Duration("duration", 10*time.Second, "run length")
+		qps      = flag.Float64("qps", 0, "open-loop target rate (0 = closed loop)")
+		workers  = flag.Int("workers", 8, "concurrent client connections")
+		mixFlag  = flag.String("mix", "", "op weights, e.g. similarity:6,localtc:2,neighbors:1,topk:1")
+		measure  = flag.String("measure", "jaccard", "similarity measure for similarity/topk")
+		topk     = flag.Int("topk", 10, "k for generated topk queries")
+		zipf     = flag.Float64("zipf", 1.2, "vertex skew exponent (<=1 = uniform picks)")
+		seed     = flag.Uint64("seed", 42, "query-stream seed")
+		check    = flag.Bool("check", false, "exit non-zero on errors or zero throughput")
+	)
+	flag.Parse()
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+
+	client := &http.Client{
+		Timeout: 10 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        *workers * 2,
+			MaxIdleConnsPerHost: *workers * 2,
+		},
+	}
+
+	before, err := serve.FetchStats(client, base)
+	if err != nil {
+		log.Fatalf("pgload: server not reachable at %s: %v", base, err)
+	}
+	mix, err := serve.ParseMix(*mixFlag)
+	if err != nil {
+		log.Fatalf("pgload: %v", err)
+	}
+	m, err := serve.ParseMeasure(*measure)
+	if err != nil {
+		log.Fatalf("pgload: %v", err)
+	}
+
+	mode := "closed-loop"
+	if *qps > 0 {
+		mode = fmt.Sprintf("open-loop @ %.0f q/s", *qps)
+	}
+	log.Printf("pgload: %s, %d workers, %v against %s (n=%d, epoch %d)",
+		mode, *workers, *duration, base, before.Vertices, before.Epoch)
+
+	rep, err := serve.RunLoad(serve.LoadOpts{
+		Workers:  *workers,
+		Duration: *duration,
+		QPS:      *qps,
+		Mix:      mix,
+		Measure:  m,
+		TopK:     *topk,
+		Vertices: before.Vertices,
+		Zipf:     *zipf,
+		Seed:     *seed,
+	}, serve.HTTPDoer(client, base))
+	if err != nil {
+		log.Fatalf("pgload: %v", err)
+	}
+
+	fmt.Println(rep)
+	if after, err := serve.FetchStats(client, base); err == nil {
+		hits := after.Cache.Hits - before.Cache.Hits
+		misses := after.Cache.Misses - before.Cache.Misses
+		hitRate := 0.0
+		if hits+misses > 0 {
+			hitRate = float64(hits) / float64(hits+misses)
+		}
+		batches := after.Batch.Batches - before.Batch.Batches
+		batched := after.Batch.Queries - before.Batch.Queries
+		meanBatch := 0.0
+		if batches > 0 {
+			meanBatch = float64(batched) / float64(batches)
+		}
+		fmt.Printf("server: cache %.1f%% hits (%d/%d), %d batches (avg %.1f q/batch, %d coalesced)\n",
+			100*hitRate, hits, hits+misses, batches, meanBatch,
+			after.Batch.Coalesced-before.Batch.Coalesced)
+	}
+
+	if *check && (rep.Errors > 0 || rep.Queries == 0) {
+		fmt.Fprintf(os.Stderr, "pgload: check failed: %d errors, %d queries\n", rep.Errors, rep.Queries)
+		os.Exit(1)
+	}
+}

@@ -176,18 +176,11 @@ func loadGraph(file, gen string, scale, ef, n, m, k int, seed uint64) (*probgrap
 }
 
 func kindOf(s string) probgraph.Kind {
-	switch s {
-	case "bf":
-		return probgraph.BF
-	case "kh":
-		return probgraph.KHash
-	case "1h":
-		return probgraph.OneHash
-	case "kmv":
-		return probgraph.KMV
+	k, err := probgraph.ParseKind(s)
+	if err != nil {
+		fatal(err)
 	}
-	fatal(fmt.Errorf("unknown representation %q", s))
-	return probgraph.BF
+	return k
 }
 
 func estOf(s string) probgraph.Estimator {

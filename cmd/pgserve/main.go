@@ -1,0 +1,149 @@
+// Command pgserve loads (or generates) a graph, builds an immutable
+// ProbGraph snapshot, and serves the online query API over HTTP JSON:
+//
+//	POST /v1/query   {"op":"similarity","u":3,"v":9,"measure":"jaccard"}
+//	GET  /v1/stats   snapshot shape, sketch memory, cache/batcher counters
+//	GET  /healthz    liveness
+//
+// Usage:
+//
+//	pgserve -gen kron -scale 12 -deg 16          # synthetic snapshot
+//	pgserve -graph web.el -kinds BF,1H -budget 0.25
+//
+// Drive it with pgload, or curl:
+//
+//	curl -s localhost:8080/v1/query -d '{"op":"topk","u":7,"k":5}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"probgraph/internal/core"
+	"probgraph/internal/graph"
+	"probgraph/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		graphFile  = flag.String("graph", "", "edge-list file to serve ('-' = stdin)")
+		binary     = flag.Bool("binary", false, "graph file is binary CSR format")
+		gen        = flag.String("gen", "kron", "generator when no -graph: kron|er|ba|community")
+		scale      = flag.Int("scale", 12, "kron scale (2^scale vertices) / community size log2")
+		deg        = flag.Int("deg", 16, "average degree for the generator")
+		kinds      = flag.String("kinds", "BF", "comma-separated sketch kinds to build (BF,kH,1H,KMV,HLL)")
+		budget     = flag.Float64("budget", 0.25, "storage budget s")
+		seed       = flag.Uint64("seed", 42, "sketch/generator seed")
+		workers    = flag.Int("workers", 0, "engine workers (0 = all cores)")
+		cacheSize  = flag.Int("cache", 1<<16, "result cache entries (0 = disabled)")
+		maxBatch   = flag.Int("batch", 64, "max queries coalesced per batch")
+		batchDelay = flag.Duration("batchdelay", 200*time.Microsecond, "max wait to fill a batch (0 = no wait)")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*graphFile, *binary, *gen, *scale, *deg, *seed)
+	if err != nil {
+		log.Fatalf("pgserve: %v", err)
+	}
+	kindList, err := parseKinds(*kinds)
+	if err != nil {
+		log.Fatalf("pgserve: %v", err)
+	}
+
+	log.Printf("graph: n=%d m=%d", g.NumVertices(), g.NumEdges())
+	t0 := time.Now()
+	snap, err := serve.Open(g, serve.SnapshotConfig{
+		Kinds: kindList, Budget: *budget, Seed: *seed, Workers: *workers,
+	})
+	if err != nil {
+		log.Fatalf("pgserve: %v", err)
+	}
+	for name, b := range snap.SketchBytes() {
+		log.Printf("snapshot: %s sketches, %d bytes", name, b)
+	}
+	log.Printf("snapshot: epoch %d built in %v", snap.Epoch, time.Since(t0).Round(time.Millisecond))
+
+	// Flag semantics: 0 disables; the engine reads 0 as "default" and
+	// negative as "off", so translate here.
+	cache, delay := *cacheSize, *batchDelay
+	if cache == 0 {
+		cache = -1
+	}
+	if delay == 0 {
+		delay = -1
+	}
+	engine := serve.New(snap, serve.Options{
+		Workers: *workers, MaxBatch: *maxBatch, MaxDelay: delay, CacheSize: cache,
+	})
+	defer engine.Close()
+
+	srv := &http.Server{Addr: *addr, Handler: serve.Handler(engine)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Printf("pgserve: shutting down")
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shCtx)
+	}()
+
+	log.Printf("pgserve: listening on http://%s", *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("pgserve: %v", err)
+	}
+}
+
+// loadGraph reads the graph file or runs the named generator.
+func loadGraph(file string, binary bool, gen string, scale, deg int, seed uint64) (*graph.Graph, error) {
+	if file != "" {
+		in := os.Stdin
+		if file != "-" {
+			f, err := os.Open(file)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			in = f
+		}
+		if binary {
+			return graph.ReadBinary(in)
+		}
+		return graph.ReadEdgeList(in)
+	}
+	n := 1 << scale
+	switch gen {
+	case "kron":
+		return graph.Kronecker(scale, deg, seed), nil
+	case "er":
+		return graph.ErdosRenyi(n, n*deg/2, seed), nil
+	case "ba":
+		return graph.BarabasiAlbert(n, deg/2, seed), nil
+	case "community":
+		return graph.CommunityGraph(n, n*deg/2, 16, 64, seed), nil
+	}
+	return nil, fmt.Errorf("unknown generator %q (kron|er|ba|community)", gen)
+}
+
+// parseKinds parses the -kinds list.
+func parseKinds(s string) ([]core.Kind, error) {
+	var out []core.Kind
+	for _, part := range strings.Split(s, ",") {
+		k, err := serve.ParseKind(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}

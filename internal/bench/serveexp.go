@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"probgraph/internal/core"
+	"probgraph/internal/graph"
+	"probgraph/internal/serve"
+)
+
+// ServeRow is one mode of the end-to-end serving benchmark.
+type ServeRow struct {
+	Mode      string // "engine" (in-process) or "http" (full wire path)
+	Queries   int64
+	Errors    int64
+	QPS       float64
+	P50, P99  time.Duration
+	HitRate   float64
+	MeanBatch float64
+}
+
+// ServeExperiment is the repo's first end-to-end serving benchmark: it
+// builds a Kronecker snapshot, then drives the query engine closed-loop
+// with the default mix (Zipf-skewed vertex picks, so the cache sees
+// realistic hot keys) — once calling the engine in-process and once
+// through the full HTTP JSON path on a loopback listener. The gap
+// between the two rows is the wire tax; the in-process row is the
+// sketch-serving ceiling.
+func ServeExperiment(opts Opts) ([]ServeRow, error) {
+	opts = opts.withDefaults()
+	scale, deg := 13, 16
+	dur := 2 * time.Second
+	if opts.Quick {
+		scale, deg = 10, 8
+		dur = 700 * time.Millisecond
+	}
+	g := graph.Kronecker(scale, deg, opts.Seed)
+	snap, err := serve.Open(g, serve.SnapshotConfig{
+		Kinds: []core.Kind{core.BF}, Seed: opts.Seed, Workers: opts.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	loadOpts := serve.LoadOpts{
+		Workers:  4,
+		Duration: dur,
+		Vertices: g.NumVertices(),
+		Zipf:     1.2,
+		Seed:     opts.Seed,
+	}
+
+	var rows []ServeRow
+
+	// Mode 1: in-process engine calls (no serialization, no sockets).
+	eng := serve.New(snap, serve.Options{Workers: opts.Workers})
+	rep, err := serve.RunLoad(loadOpts, eng.Query)
+	if err != nil {
+		eng.Close()
+		return nil, err
+	}
+	rows = append(rows, serveRow("engine", rep, eng.Stats()))
+	eng.Close()
+
+	// Mode 2: the full HTTP JSON path over loopback.
+	eng = serve.New(snap, serve.Options{Workers: opts.Workers})
+	defer eng.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: serve.Handler(eng)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
+	do := serve.HTTPDoer(client, "http://"+ln.Addr().String())
+	rep, err = serve.RunLoad(loadOpts, do)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, serveRow("http", rep, eng.Stats()))
+
+	section(opts.Out, "online serving: closed-loop default mix (kron scale=%d, n=%d, m=%d)",
+		scale, g.NumVertices(), g.NumEdges())
+	t := NewTable(opts.Out, "mode", "queries", "errors", "q/s", "p50", "p99", "cache hits", "avg batch")
+	for _, r := range rows {
+		t.Row(r.Mode, r.Queries, r.Errors, r.QPS, r.P50, r.P99,
+			fmt.Sprintf("%.1f%%", 100*r.HitRate), r.MeanBatch)
+	}
+	t.Flush()
+	return rows, nil
+}
+
+func serveRow(mode string, rep *serve.LoadReport, st serve.Stats) ServeRow {
+	return ServeRow{
+		Mode:      mode,
+		Queries:   rep.Queries,
+		Errors:    rep.Errors,
+		QPS:       rep.Throughput(),
+		P50:       rep.Hist.Quantile(0.50),
+		P99:       rep.Hist.Quantile(0.99),
+		HitRate:   st.Cache.HitRate(),
+		MeanBatch: st.Batch.MeanSize(),
+	}
+}

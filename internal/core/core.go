@@ -10,6 +10,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"probgraph/internal/bitset"
 	"probgraph/internal/graph"
@@ -51,6 +52,25 @@ func (k Kind) String() string {
 		return "HLL"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ParseKind parses a representation name as printed by Kind.String,
+// case-insensitively, plus long aliases — the flag/wire form used by
+// the cmds and the serving layer.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "bf", "bloom":
+		return BF, nil
+	case "kh", "khash":
+		return KHash, nil
+	case "1h", "onehash":
+		return OneHash, nil
+	case "kmv":
+		return KMV, nil
+	case "hll":
+		return HLL, nil
+	}
+	return 0, fmt.Errorf("core: unknown sketch kind %q", s)
 }
 
 // Estimator selects the |X∩Y| estimator within a representation.
@@ -423,6 +443,11 @@ func (pg *PG) MemoryBits() int64 {
 	bits += int64(len(pg.hllReg)) * 8
 	return bits
 }
+
+// MemoryBytes returns the total resident sketch storage in bytes — the
+// runtime-observable form of the storage budget, surfaced by pginfo and
+// the serving /v1/stats endpoint.
+func (pg *PG) MemoryBytes() int64 { return (pg.MemoryBits() + 7) / 8 }
 
 // RelativeMemory returns MemoryBits / CSR bits, the budget actually used.
 func (pg *PG) RelativeMemory() float64 {

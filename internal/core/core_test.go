@@ -291,6 +291,14 @@ func TestMemoryAccounting(t *testing.T) {
 	if oh.MemoryBits() != want {
 		t.Fatalf("1H memory = %d, want %d", oh.MemoryBits(), want)
 	}
+	for _, pg := range []*PG{bf, kh, oh} {
+		if got, want := pg.MemoryBytes(), (pg.MemoryBits()+7)/8; got != want {
+			t.Fatalf("MemoryBytes = %d, want %d", got, want)
+		}
+		if pg.MemoryBytes() <= 0 {
+			t.Fatal("MemoryBytes must be positive for a built PG")
+		}
+	}
 }
 
 func TestHLLKind(t *testing.T) {

@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// pending is one in-flight point query awaiting its result.
+type pending struct {
+	q   Query
+	res chan Result // buffered(1); exactly one send per request
+}
+
+// batcher coalesces point queries into batches for a fixed worker pool.
+// A collector goroutine gathers up to maxBatch requests (waiting at most
+// maxDelay after the first), then hands the batch to a worker. Within a
+// batch, identical normalized queries are evaluated once and fanned out
+// to every waiter — concurrent clients asking for the same similarity
+// pay for one sketch intersection.
+type batcher struct {
+	eval     func(Query) Result
+	in       chan *pending
+	batches  chan []*pending
+	maxBatch int
+	maxDelay time.Duration
+	done     chan struct{}
+	closing  sync.Once
+	wg       sync.WaitGroup
+
+	nBatches   atomic.Int64
+	nQueries   atomic.Int64
+	nCoalesced atomic.Int64
+}
+
+// newBatcher starts the collector and `workers` evaluation workers.
+func newBatcher(eval func(Query) Result, workers, maxBatch int, maxDelay time.Duration) *batcher {
+	if workers < 1 {
+		workers = 1
+	}
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	b := &batcher{
+		eval:     eval,
+		in:       make(chan *pending, 4*maxBatch),
+		batches:  make(chan []*pending, workers),
+		maxBatch: maxBatch,
+		maxDelay: maxDelay,
+		done:     make(chan struct{}),
+	}
+	b.wg.Add(1 + workers)
+	go b.collect()
+	for i := 0; i < workers; i++ {
+		go b.worker()
+	}
+	return b
+}
+
+// do submits one query and blocks for its result.
+func (b *batcher) do(q Query) Result {
+	p := &pending{q: q, res: make(chan Result, 1)}
+	select {
+	case b.in <- p:
+	case <-b.done:
+		return Result{Err: "serve: engine closed"}
+	}
+	select {
+	case r := <-p.res:
+		return r
+	case <-b.done:
+		// The batch holding p may still answer; prefer it if already there.
+		select {
+		case r := <-p.res:
+			return r
+		default:
+			return Result{Err: "serve: engine closed"}
+		}
+	}
+}
+
+// collect gathers requests into batches.
+func (b *batcher) collect() {
+	defer b.wg.Done()
+	defer close(b.batches)
+	var timer *time.Timer
+	for {
+		var first *pending
+		select {
+		case first = <-b.in:
+		case <-b.done:
+			return
+		}
+		batch := append(make([]*pending, 0, b.maxBatch), first)
+		if b.maxDelay > 0 && b.maxBatch > 1 {
+			if timer == nil {
+				timer = time.NewTimer(b.maxDelay)
+			} else {
+				timer.Reset(b.maxDelay)
+			}
+		gather:
+			for len(batch) < b.maxBatch {
+				select {
+				case p := <-b.in:
+					batch = append(batch, p)
+				case <-timer.C:
+					break gather
+				case <-b.done:
+					b.dispatch(batch)
+					return
+				}
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		} else {
+			// No delay budget: take whatever is already queued.
+			for len(batch) < b.maxBatch {
+				select {
+				case p := <-b.in:
+					batch = append(batch, p)
+				default:
+					goto full
+				}
+			}
+		full:
+		}
+		b.dispatch(batch)
+	}
+}
+
+// dispatch hands a batch to the worker pool (inline on shutdown races).
+func (b *batcher) dispatch(batch []*pending) {
+	select {
+	case b.batches <- batch:
+	case <-b.done:
+		b.run(batch) // answer stragglers instead of dropping them
+	}
+}
+
+// worker evaluates batches until the collector closes the feed.
+func (b *batcher) worker() {
+	defer b.wg.Done()
+	for batch := range b.batches {
+		b.run(batch)
+	}
+}
+
+// run evaluates one batch, coalescing identical queries.
+func (b *batcher) run(batch []*pending) {
+	b.nBatches.Add(1)
+	b.nQueries.Add(int64(len(batch)))
+	groups := make(map[Query][]*pending, len(batch))
+	order := make([]Query, 0, len(batch))
+	for _, p := range batch {
+		if _, seen := groups[p.q]; !seen {
+			order = append(order, p.q)
+		}
+		groups[p.q] = append(groups[p.q], p)
+	}
+	b.nCoalesced.Add(int64(len(batch) - len(order)))
+	for _, q := range order {
+		r := b.eval(q)
+		for _, p := range groups[q] {
+			p.res <- r
+		}
+	}
+}
+
+// close stops the batcher and waits for all workers to drain.
+func (b *batcher) close() {
+	b.closing.Do(func() { close(b.done) })
+	b.wg.Wait()
+}

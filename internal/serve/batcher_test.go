@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBatcherCoalescing fires many concurrent clients asking the same
+// query at a slow evaluator: all must get the answer, and the evaluator
+// must run far fewer times than there are clients.
+func TestBatcherCoalescing(t *testing.T) {
+	var evals atomic.Int64
+	b := newBatcher(func(q Query) Result {
+		evals.Add(1)
+		time.Sleep(2 * time.Millisecond) // window for requests to pile up
+		return Result{Value: float64(q.U)}
+	}, 2, 64, time.Millisecond)
+	defer b.close()
+
+	const clients = 64
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := b.do(Query{Op: OpLocalTC, U: 7})
+			if r.Err != "" || r.Value != 7 {
+				t.Errorf("coalesced result = %+v", r)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := evals.Load(); n >= clients {
+		t.Fatalf("identical queries evaluated %d times for %d clients — no coalescing", n, clients)
+	}
+	if b.nQueries.Load() != clients {
+		t.Fatalf("batcher saw %d queries, want %d", b.nQueries.Load(), clients)
+	}
+	if b.nCoalesced.Load() == 0 {
+		t.Fatal("no queries were coalesced")
+	}
+}
+
+// TestBatcherFanout checks distinct queries inside one batch each get
+// their own answer.
+func TestBatcherFanout(t *testing.T) {
+	b := newBatcher(func(q Query) Result {
+		return Result{Value: float64(q.U) * 2}
+	}, 4, 16, 500*time.Microsecond)
+	defer b.close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := b.do(Query{Op: OpLocalTC, U: uint32(i)})
+			if r.Err != "" || r.Value != float64(i)*2 {
+				t.Errorf("query %d got %+v", i, r)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestBatcherMaxBatch checks batches never exceed the configured bound.
+func TestBatcherMaxBatch(t *testing.T) {
+	b := newBatcher(func(q Query) Result {
+		time.Sleep(100 * time.Microsecond)
+		return Result{}
+	}, 1, 4, time.Millisecond)
+	defer b.close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 40; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b.do(Query{Op: OpLocalTC, U: uint32(i)})
+		}(i)
+	}
+	wg.Wait()
+	if got := b.nQueries.Load(); got != 40 {
+		t.Fatalf("saw %d queries, want 40", got)
+	}
+	if got := b.nBatches.Load(); got < 10 {
+		t.Fatalf("40 distinct queries with maxBatch=4 need >= 10 batches, got %d", got)
+	}
+}
+
+// TestBatcherClosedDo checks submissions after close fail cleanly.
+func TestBatcherClosedDo(t *testing.T) {
+	b := newBatcher(func(q Query) Result { return Result{} }, 1, 4, time.Millisecond)
+	b.close()
+	if r := b.do(Query{Op: OpLocalTC}); r.Err == "" {
+		t.Fatal("do on closed batcher should report an error")
+	}
+}

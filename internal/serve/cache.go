@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheKey identifies a cached answer: the normalized query plus the
+// snapshot epoch it was computed against, so a swapped snapshot can
+// never serve stale results.
+type cacheKey struct {
+	epoch uint64
+	q     Query
+}
+
+// lru is a mutex-protected LRU result cache with hit/miss counters.
+// Results stored in it are treated as immutable by every reader.
+type lru struct {
+	mu    sync.Mutex
+	cap   int
+	items map[cacheKey]*list.Element
+	order *list.List // front = most recent
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type lruEntry struct {
+	key cacheKey
+	res Result
+}
+
+// newLRU returns a cache holding up to capacity entries; capacity <= 0
+// disables caching (every lookup misses, every insert is dropped).
+func newLRU(capacity int) *lru {
+	return &lru{
+		cap:   capacity,
+		items: make(map[cacheKey]*list.Element, capacity),
+		order: list.New(),
+	}
+}
+
+// get returns the cached result for key, refreshing its recency.
+func (c *lru) get(key cacheKey) (Result, bool) {
+	if c.cap <= 0 {
+		c.misses.Add(1)
+		return Result{}, false
+	}
+	c.mu.Lock()
+	el, ok := c.items[key]
+	var res Result
+	if ok {
+		c.order.MoveToFront(el)
+		// Copy under the lock: put may overwrite this entry's Result
+		// when concurrent misses on the same key both insert.
+		res = el.Value.(*lruEntry).res
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return Result{}, false
+	}
+	c.hits.Add(1)
+	return res, true
+}
+
+// put inserts (or refreshes) key, evicting the least recently used entry
+// when over capacity.
+func (c *lru) put(key cacheKey, res Result) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, res: res})
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// len returns the current entry count.
+func (c *lru) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,366 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"probgraph/internal/core"
+	"probgraph/internal/mining"
+	"probgraph/internal/par"
+)
+
+// Op identifies a query operation.
+type Op uint8
+
+const (
+	// OpTC is the snapshot-wide triangle-count estimate (§VII).
+	OpTC Op = iota + 1
+	// OpLocalTC estimates the triangles through vertex U.
+	OpLocalTC
+	// OpSimilarity scores the vertex pair (U, V) with Measure.
+	OpSimilarity
+	// OpTopK returns the K best link-prediction candidates for U: 2-hop
+	// non-neighbors ranked by Measure (Listing 5's scoring step, online).
+	OpTopK
+	// OpNeighbors returns the exact adjacency list of U.
+	OpNeighbors
+
+	opMax
+)
+
+// String returns the wire name of the operation.
+func (op Op) String() string {
+	switch op {
+	case OpTC:
+		return "tc"
+	case OpLocalTC:
+		return "localtc"
+	case OpSimilarity:
+		return "similarity"
+	case OpTopK:
+		return "topk"
+	case OpNeighbors:
+		return "neighbors"
+	}
+	return fmt.Sprintf("Op(%d)", int(op))
+}
+
+// ParseOp parses a wire operation name.
+func ParseOp(s string) (Op, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "tc", "triangles":
+		return OpTC, nil
+	case "localtc", "ltc":
+		return OpLocalTC, nil
+	case "similarity", "sim":
+		return OpSimilarity, nil
+	case "topk", "linkpred":
+		return OpTopK, nil
+	case "neighbors", "neigh":
+		return OpNeighbors, nil
+	}
+	return 0, fmt.Errorf("serve: unknown op %q", s)
+}
+
+// ParseMeasure parses a Listing 3 measure name (as printed by
+// mining.Measure.String, case-insensitively, plus short aliases).
+func ParseMeasure(s string) (mining.Measure, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "jaccard", "j":
+		return mining.Jaccard, nil
+	case "overlap", "o":
+		return mining.Overlap, nil
+	case "commonneighbors", "common", "cn":
+		return mining.CommonNeighbors, nil
+	case "totalneighbors", "total", "tn":
+		return mining.TotalNeighbors, nil
+	case "adamicadar", "aa":
+		return mining.AdamicAdar, nil
+	case "resourceallocation", "ra":
+		return mining.ResourceAllocation, nil
+	}
+	return 0, fmt.Errorf("serve: unknown measure %q", s)
+}
+
+// ParseKind parses a sketch-kind name — the wire-layer companion of
+// ParseOp and ParseMeasure, delegating to core.ParseKind.
+func ParseKind(s string) (core.Kind, error) { return core.ParseKind(s) }
+
+// Query is one typed request against a snapshot. The zero Measure is
+// Jaccard; an empty Kind uses the snapshot's default representation.
+// Queries are normalized (symmetric pairs ordered, irrelevant fields
+// zeroed, Kind canonicalized) before they reach the cache and batcher,
+// so equivalent requests share one cache line and coalesce.
+type Query struct {
+	Op      Op
+	U, V    uint32
+	K       int
+	Measure mining.Measure
+	Kind    string
+}
+
+// Scored is a ranked candidate vertex.
+type Scored struct {
+	V     uint32  `json:"v"`
+	Score float64 `json:"score"`
+}
+
+// Result is a query answer. Slices it carries alias engine-owned or
+// cached storage and must be treated as read-only.
+type Result struct {
+	Value     float64  `json:"value"`
+	TopK      []Scored `json:"topk,omitempty"`
+	Neighbors []uint32 `json:"neighbors,omitempty"`
+	Cached    bool     `json:"cached"`
+	Err       string   `json:"-"`
+}
+
+// Options tunes an Engine. Zero values: GOMAXPROCS workers, batches of
+// 64 coalesced within 200µs, a 65536-entry cache. Negative values
+// disable the feature: CacheSize < 0 turns caching off, MaxDelay < 0
+// makes the batcher take only already-queued requests.
+type Options struct {
+	Workers   int
+	MaxBatch  int
+	MaxDelay  time.Duration
+	CacheSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch == 0 {
+		o.MaxBatch = 64
+	}
+	switch {
+	case o.MaxDelay == 0:
+		o.MaxDelay = 200 * time.Microsecond
+	case o.MaxDelay < 0:
+		o.MaxDelay = 0 // no wait: batch whatever is queued right now
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 1 << 16
+	}
+	return o
+}
+
+// tcCell lazily materializes the snapshot-wide TC estimate per kind.
+type tcCell struct {
+	once sync.Once
+	val  float64
+}
+
+// Engine serves queries against one immutable snapshot: cache in front,
+// coalescing batcher behind, sketch kernels at the bottom. Safe for
+// concurrent use; Close releases the worker pool.
+type Engine struct {
+	snap *Snapshot
+	opts Options
+
+	cache *lru
+	b     *batcher
+	tc    map[core.Kind]*tcCell
+
+	opCounts [opMax]countErr
+	start    time.Time
+}
+
+// countErr pairs per-op served/error counters.
+type countErr struct {
+	ok, errs atomic.Int64
+}
+
+// New starts an engine over the snapshot.
+func New(s *Snapshot, opts Options) *Engine {
+	opts = opts.withDefaults()
+	e := &Engine{
+		snap:  s,
+		opts:  opts,
+		cache: newLRU(opts.CacheSize),
+		tc:    make(map[core.Kind]*tcCell, len(s.kinds)),
+		start: time.Now(),
+	}
+	for _, k := range s.kinds {
+		e.tc[k] = &tcCell{}
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = par.DefaultWorkers()
+	}
+	e.b = newBatcher(e.eval, workers, opts.MaxBatch, opts.MaxDelay)
+	return e
+}
+
+// Snapshot returns the snapshot the engine serves.
+func (e *Engine) Snapshot() *Snapshot { return e.snap }
+
+// Close stops the batcher workers. In-flight Query calls complete.
+func (e *Engine) Close() { e.b.close() }
+
+// Query answers one request: normalize, consult the cache, then batch.
+func (e *Engine) Query(q Query) (Result, error) {
+	q, kind, err := e.normalize(q)
+	if err != nil {
+		e.count(q.Op, err)
+		return Result{}, err
+	}
+	if q.Op == OpTC {
+		cell := e.tc[kind]
+		cell.once.Do(func() {
+			cell.val = mining.PGTC(e.snap.G, e.snap.pgs[kind], e.opts.Workers)
+		})
+		e.count(q.Op, nil)
+		return Result{Value: cell.val}, nil
+	}
+	key := cacheKey{epoch: e.snap.Epoch, q: q}
+	if r, ok := e.cache.get(key); ok {
+		r.Cached = true
+		e.count(q.Op, nil)
+		return r, nil
+	}
+	r := e.b.do(q)
+	if r.Err != "" {
+		err := fmt.Errorf("%s", r.Err)
+		e.count(q.Op, err)
+		return Result{}, err
+	}
+	e.cache.put(key, r)
+	e.count(q.Op, nil)
+	return r, nil
+}
+
+// normalize validates a query and rewrites it to canonical form so the
+// cache and the batcher's coalescer see equivalent requests as equal.
+func (e *Engine) normalize(q Query) (Query, core.Kind, error) {
+	kind := e.snap.DefaultKind()
+	if q.Kind != "" {
+		k, err := ParseKind(q.Kind)
+		if err != nil {
+			return q, 0, err
+		}
+		if e.snap.PG(k) == nil {
+			return q, 0, fmt.Errorf("serve: sketch kind %v not resident in snapshot", k)
+		}
+		kind = k
+	}
+	q.Kind = kind.String()
+	if q.Measure < mining.Jaccard || q.Measure > mining.ResourceAllocation {
+		return q, 0, fmt.Errorf("serve: unknown measure %d", int(q.Measure))
+	}
+	n := uint32(e.snap.G.NumVertices())
+	checkV := func(v uint32) error {
+		if v >= n {
+			return fmt.Errorf("serve: vertex %d out of range [0,%d)", v, n)
+		}
+		return nil
+	}
+	switch q.Op {
+	case OpTC:
+		q.U, q.V, q.K, q.Measure = 0, 0, 0, 0
+	case OpLocalTC, OpNeighbors:
+		if err := checkV(q.U); err != nil {
+			return q, 0, err
+		}
+		q.V, q.K, q.Measure = 0, 0, 0
+	case OpSimilarity:
+		if err := checkV(q.U); err != nil {
+			return q, 0, err
+		}
+		if err := checkV(q.V); err != nil {
+			return q, 0, err
+		}
+		// The counting measures are symmetric in both definition and
+		// estimator, so (v,u) shares (u,v)'s cache line. The weighted
+		// estimators (Adamic–Adar, Resource Allocation) are not exactly
+		// symmetric on sample-based sketches — their fallback streams
+		// u's neighborhood — so those keep their argument order.
+		if q.U > q.V && q.Measure.Counting() {
+			q.U, q.V = q.V, q.U
+		}
+		q.K = 0
+	case OpTopK:
+		if err := checkV(q.U); err != nil {
+			return q, 0, err
+		}
+		if q.K <= 0 {
+			q.K = 10
+		}
+		if q.K > 1000 {
+			q.K = 1000
+		}
+		q.V = 0
+	default:
+		return q, 0, fmt.Errorf("serve: unknown op %d", int(q.Op))
+	}
+	return q, kind, nil
+}
+
+// eval computes one normalized point query on the snapshot (batcher side).
+func (e *Engine) eval(q Query) Result {
+	kind, err := ParseKind(q.Kind)
+	if err != nil {
+		return Result{Err: err.Error()}
+	}
+	g, pg := e.snap.G, e.snap.pgs[kind]
+	switch q.Op {
+	case OpLocalTC:
+		var c float64
+		for _, u := range g.Neighbors(q.U) {
+			c += pg.IntCard(q.U, u)
+		}
+		return Result{Value: c / 2}
+	case OpSimilarity:
+		return Result{Value: mining.PGSimilarity(g, pg, q.U, q.V, q.Measure)}
+	case OpNeighbors:
+		return Result{Neighbors: g.Neighbors(q.U)}
+	case OpTopK:
+		return Result{TopK: e.topK(pg, q)}
+	}
+	return Result{Err: fmt.Sprintf("serve: op %v is not a point query", q.Op)}
+}
+
+// topK scores every 2-hop non-neighbor of q.U with the sketch similarity
+// and returns the K best — the online form of Listing 5's candidate
+// scoring (a positive common-neighbor score implies a 2-hop path, so no
+// candidate is lost for the counting measures).
+func (e *Engine) topK(pg *core.PG, q Query) []Scored {
+	g := e.snap.G
+	v := q.U
+	seen := map[uint32]struct{}{v: {}}
+	for _, u := range g.Neighbors(v) {
+		seen[u] = struct{}{}
+	}
+	var scored []Scored
+	for _, u := range g.Neighbors(v) {
+		for _, w := range g.Neighbors(u) {
+			if _, dup := seen[w]; dup {
+				continue
+			}
+			seen[w] = struct{}{}
+			scored = append(scored, Scored{V: w, Score: mining.PGSimilarity(g, pg, v, w, q.Measure)})
+		}
+	}
+	sort.Slice(scored, func(i, j int) bool {
+		if scored[i].Score != scored[j].Score {
+			return scored[i].Score > scored[j].Score
+		}
+		return scored[i].V < scored[j].V
+	})
+	if len(scored) > q.K {
+		scored = scored[:q.K:q.K]
+	}
+	return scored
+}
+
+func (e *Engine) count(op Op, err error) {
+	if op >= opMax {
+		op = 0 // slot 0 accumulates malformed-op traffic
+	}
+	if err != nil {
+		e.opCounts[op].errs.Add(1)
+	} else {
+		e.opCounts[op].ok.Add(1)
+	}
+}

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistBucketRoundTrip checks the log-linear index math: every
+// bucket's lower bound maps back to that bucket, and indices are
+// monotone in the value.
+func TestHistBucketRoundTrip(t *testing.T) {
+	for i := 0; i < histBuckets; i++ {
+		if got := bucketOf(bucketValue(i)); got != i {
+			t.Fatalf("bucketOf(bucketValue(%d)) = %d", i, got)
+		}
+	}
+	prev := -1
+	for _, v := range []int64{0, 1, 63, 64, 65, 127, 128, 1000, 1 << 20, 1 << 40, math.MaxInt64} {
+		b := bucketOf(v)
+		if b < prev {
+			t.Fatalf("bucket index not monotone at %d", v)
+		}
+		if b >= histBuckets {
+			t.Fatalf("bucket %d out of range for value %d", b, v)
+		}
+		prev = b
+	}
+}
+
+// TestHistQuantiles records a known distribution and checks quantiles
+// land within the histogram's ~1.6% bucket resolution.
+func TestHistQuantiles(t *testing.T) {
+	h := NewHist()
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != time.Millisecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.5, 500 * time.Microsecond},
+		{0.9, 900 * time.Microsecond},
+		{0.99, 990 * time.Microsecond},
+	} {
+		got := h.Quantile(tc.q)
+		lo := time.Duration(float64(tc.want) * 0.95)
+		hi := time.Duration(float64(tc.want) * 1.05)
+		if got < lo || got > hi {
+			t.Fatalf("q%.2f = %v, want within 5%% of %v", tc.q, got, tc.want)
+		}
+	}
+	mean := h.Mean()
+	if mean < 480*time.Microsecond || mean > 520*time.Microsecond {
+		t.Fatalf("mean = %v", mean)
+	}
+}
+
+// TestHistConcurrent hammers Record from many goroutines under -race.
+func TestHistConcurrent(t *testing.T) {
+	h := NewHist()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Record(time.Duration(w*1000+i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Quantile(1.0) > h.Max() {
+		t.Fatal("q1.0 exceeds max")
+	}
+}

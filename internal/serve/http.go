@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// WireQuery is the JSON request body of POST /v1/query.
+type WireQuery struct {
+	Op      string `json:"op"`
+	U       uint32 `json:"u"`
+	V       uint32 `json:"v"`
+	K       int    `json:"k,omitempty"`
+	Measure string `json:"measure,omitempty"`
+	Kind    string `json:"kind,omitempty"`
+}
+
+// ToQuery converts the wire form to a typed Query.
+func (w WireQuery) ToQuery() (Query, error) {
+	op, err := ParseOp(w.Op)
+	if err != nil {
+		return Query{}, err
+	}
+	m, err := ParseMeasure(w.Measure)
+	if err != nil {
+		return Query{}, err
+	}
+	return Query{Op: op, U: w.U, V: w.V, K: w.K, Measure: m, Kind: w.Kind}, nil
+}
+
+// FromQuery converts a typed Query to its wire form.
+func FromQuery(q Query) WireQuery {
+	return WireQuery{
+		Op: q.Op.String(), U: q.U, V: q.V, K: q.K,
+		Measure: q.Measure.String(), Kind: q.Kind,
+	}
+}
+
+// wireError is the JSON error envelope (non-200 responses).
+type wireError struct {
+	Error string `json:"error"`
+}
+
+// Handler exposes the engine over HTTP JSON:
+//
+//	POST /v1/query   {"op":"similarity","u":3,"v":9,"measure":"jaccard"} → Result
+//	GET  /v1/stats   → Stats
+//	GET  /healthz    → "ok"
+func Handler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
+		var wq WireQuery
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&wq); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding query: %w", err))
+			return
+		}
+		q, err := wq.ToQuery()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		res, err := e.Query(q)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(res)
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(e.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+// httpError writes the JSON error envelope.
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(wireError{Error: err.Error()})
+}
+
+// HTTPDoer returns a query function that round-trips through a server's
+// /v1/query endpoint — the client side used by pgload and the in-process
+// serving benchmark. base is e.g. "http://127.0.0.1:8080"; a nil client
+// uses http.DefaultClient.
+func HTTPDoer(client *http.Client, base string) func(Query) (Result, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	url := base + "/v1/query"
+	return func(q Query) (Result, error) {
+		body, err := json.Marshal(FromQuery(q))
+		if err != nil {
+			return Result{}, err
+		}
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return Result{}, err
+		}
+		defer func() {
+			io.Copy(io.Discard, resp.Body) // drain so the conn is reused
+			resp.Body.Close()
+		}()
+		if resp.StatusCode != http.StatusOK {
+			var we wireError
+			if json.NewDecoder(resp.Body).Decode(&we) == nil && we.Error != "" {
+				return Result{}, fmt.Errorf("server: %s", we.Error)
+			}
+			return Result{}, fmt.Errorf("server: HTTP %d", resp.StatusCode)
+		}
+		var res Result
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			return Result{}, err
+		}
+		return res, nil
+	}
+}
+
+// FetchStats GETs and decodes a server's /v1/stats.
+func FetchStats(client *http.Client, base string) (Stats, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return Stats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Stats{}, fmt.Errorf("stats: HTTP %d", resp.StatusCode)
+	}
+	var s Stats
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		return Stats{}, err
+	}
+	return s, nil
+}

@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"fmt"
+	mrand "math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"probgraph/internal/mining"
+)
+
+// LoadOpts configures RunLoad, the closed/open-loop query driver.
+type LoadOpts struct {
+	// Workers is the number of concurrent client goroutines (default 4).
+	Workers int
+	// Duration bounds the run (default 5s).
+	Duration time.Duration
+	// QPS > 0 drives an open loop: a shared token bucket admits queries
+	// at the target rate regardless of response times. 0 runs closed
+	// loop: every worker issues back-to-back.
+	QPS float64
+	// Mix weights the operations generated (default: similarity 6,
+	// localtc 2, neighbors 1, topk 1). Zero-weight ops never fire.
+	Mix map[Op]float64
+	// Measure scores similarity/topk queries (default Jaccard).
+	Measure mining.Measure
+	// TopK is the k of generated topk queries (default 10).
+	TopK int
+	// Vertices is the id universe queries draw from (required > 0).
+	Vertices int
+	// Zipf > 1 skews vertex picks with a Zipf(s) law — hot vertices get
+	// hot, which is what makes the result cache earn its keep. 0 picks
+	// uniformly.
+	Zipf float64
+	// Seed makes the generated query stream reproducible.
+	Seed uint64
+}
+
+// DefaultMix is the query mix used when LoadOpts.Mix is nil.
+func DefaultMix() map[Op]float64 {
+	return map[Op]float64{OpSimilarity: 6, OpLocalTC: 2, OpNeighbors: 1, OpTopK: 1}
+}
+
+// ParseMix parses a "similarity:6,localtc:2,topk:1" weight list.
+func ParseMix(s string) (map[Op]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return DefaultMix(), nil
+	}
+	mix := make(map[Op]float64)
+	for _, part := range strings.Split(s, ",") {
+		name, wstr, found := strings.Cut(part, ":")
+		w := 1.0
+		if found {
+			var err error
+			w, err = strconv.ParseFloat(strings.TrimSpace(wstr), 64)
+			if err != nil || w < 0 {
+				return nil, fmt.Errorf("serve: bad mix weight %q", part)
+			}
+		}
+		op, err := ParseOp(name)
+		if err != nil {
+			return nil, err
+		}
+		mix[op] += w
+	}
+	return mix, nil
+}
+
+// LoadReport is the outcome of a load run.
+type LoadReport struct {
+	Queries int64
+	Errors  int64
+	Elapsed time.Duration
+	Hist    *Hist // service latency per query
+}
+
+// Throughput returns completed queries per second.
+func (r *LoadReport) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Queries) / r.Elapsed.Seconds()
+}
+
+// String formats the report the way pgload prints it.
+func (r *LoadReport) String() string {
+	return fmt.Sprintf(
+		"%d queries in %.2fs (%.1f q/s), %d errors\nlatency: p50 %v  p90 %v  p99 %v  p99.9 %v  max %v",
+		r.Queries, r.Elapsed.Seconds(), r.Throughput(), r.Errors,
+		r.Hist.Quantile(0.50), r.Hist.Quantile(0.90), r.Hist.Quantile(0.99),
+		r.Hist.Quantile(0.999), r.Hist.Max())
+}
+
+// tokenBucket is the open-loop rate limiter: a reservation-style bucket
+// (a take may go negative and returns the debt as a wait time), so
+// concurrent workers never herd on the same token.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64) *tokenBucket {
+	burst := rate / 50 // 20ms of headroom absorbs scheduler jitter
+	if burst < 1 {
+		burst = 1
+	}
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+}
+
+// take reserves one token and returns how long the caller must wait
+// before acting on it.
+func (tb *tokenBucket) take() time.Duration {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	now := time.Now()
+	tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+	tb.last = now
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+	tb.tokens--
+	if tb.tokens >= 0 {
+		return 0
+	}
+	return time.Duration(-tb.tokens / tb.rate * float64(time.Second))
+}
+
+// RunLoad drives `do` with a reproducible random query stream for
+// opts.Duration and reports throughput and latency. `do` is either an
+// in-process engine call or an HTTPDoer; it must be safe for concurrent
+// use. Latency is measured per call from token grant (open loop) or
+// call start (closed loop).
+func RunLoad(opts LoadOpts, do func(Query) (Result, error)) (*LoadReport, error) {
+	if opts.Vertices <= 0 {
+		return nil, fmt.Errorf("serve: load needs a positive vertex universe")
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 4
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = 5 * time.Second
+	}
+	if opts.TopK <= 0 {
+		opts.TopK = 10
+	}
+	mix := opts.Mix
+	if mix == nil {
+		mix = DefaultMix()
+	}
+	ops, cum, err := cumWeights(mix)
+	if err != nil {
+		return nil, err
+	}
+
+	var tb *tokenBucket
+	if opts.QPS > 0 {
+		tb = newTokenBucket(opts.QPS)
+	}
+	hist := NewHist()
+	var queries, errors atomic.Int64
+	start := time.Now()
+	deadline := start.Add(opts.Duration)
+
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := mrand.New(mrand.NewSource(int64(opts.Seed) + int64(w)*0x9e3779b9))
+			var zipf *mrand.Zipf
+			if opts.Zipf > 1 && opts.Vertices > 1 {
+				zipf = mrand.NewZipf(rng, opts.Zipf, 1, uint64(opts.Vertices-1))
+			}
+			vertex := func() uint32 {
+				if zipf != nil {
+					return uint32(zipf.Uint64())
+				}
+				return uint32(rng.Intn(opts.Vertices))
+			}
+			for {
+				now := time.Now()
+				if !now.Before(deadline) {
+					return
+				}
+				if tb != nil {
+					if d := tb.take(); d > 0 {
+						if now.Add(d).After(deadline) {
+							return
+						}
+						time.Sleep(d)
+					}
+				}
+				q := Query{Op: pickOp(rng.Float64(), ops, cum), Measure: opts.Measure}
+				switch q.Op {
+				case OpSimilarity:
+					q.U, q.V = vertex(), vertex()
+				case OpTopK:
+					q.U, q.K = vertex(), opts.TopK
+				default:
+					q.U = vertex()
+				}
+				t0 := time.Now()
+				_, err := do(q)
+				hist.Record(time.Since(t0))
+				queries.Add(1)
+				if err != nil {
+					errors.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return &LoadReport{
+		Queries: queries.Load(),
+		Errors:  errors.Load(),
+		Elapsed: time.Since(start),
+		Hist:    hist,
+	}, nil
+}
+
+// cumWeights flattens a mix into parallel op/cumulative-weight slices.
+func cumWeights(mix map[Op]float64) ([]Op, []float64, error) {
+	ops := make([]Op, 0, len(mix))
+	for op, w := range mix {
+		if w > 0 {
+			ops = append(ops, op)
+		}
+	}
+	if len(ops) == 0 {
+		return nil, nil, fmt.Errorf("serve: empty query mix")
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	cum := make([]float64, len(ops))
+	var total float64
+	for i, op := range ops {
+		total += mix[op]
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return ops, cum, nil
+}
+
+// pickOp selects the op whose cumulative weight bracket contains r.
+func pickOp(r float64, ops []Op, cum []float64) Op {
+	for i, c := range cum {
+		if r < c {
+			return ops[i]
+		}
+	}
+	return ops[len(ops)-1]
+}

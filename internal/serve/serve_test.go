@@ -1,0 +1,373 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"probgraph/internal/core"
+	"probgraph/internal/graph"
+	"probgraph/internal/mining"
+)
+
+func testSnapshot(t *testing.T, kinds ...core.Kind) *Snapshot {
+	t.Helper()
+	g := graph.Kronecker(9, 8, 7)
+	s, err := Open(g, SnapshotConfig{Kinds: kinds, Budget: 0.25, Seed: 99})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func newTestEngine(t *testing.T, s *Snapshot) *Engine {
+	t.Helper()
+	e := New(s, Options{Workers: 4})
+	t.Cleanup(e.Close)
+	return e
+}
+
+// TestSimilarityMatchesKernel is the serving contract of the issue: a
+// sketch-served Similarity answer must equal mining.PGSimilarity for the
+// same (Kind, Budget, seed) — including against an independently built
+// PG, since identical seeds reproduce sketches bit-for-bit.
+func TestSimilarityMatchesKernel(t *testing.T) {
+	s := testSnapshot(t, core.BF, core.OneHash, core.KMV)
+	e := newTestEngine(t, s)
+	// An independent build with the snapshot's config must agree exactly.
+	indep, err := core.Build(s.G, core.Config{Kind: core.BF, Budget: 0.25, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	measures := []mining.Measure{
+		mining.Jaccard, mining.Overlap, mining.CommonNeighbors,
+		mining.TotalNeighbors, mining.AdamicAdar, mining.ResourceAllocation,
+	}
+	n := uint32(s.G.NumVertices())
+	for _, kind := range []string{"BF", "1H", "KMV"} {
+		pg := s.PG(mustKind(t, kind))
+		for i := uint32(0); i < 50; i++ {
+			u, v := (i*37)%n, (i*101+13)%n
+			for _, m := range measures {
+				res, err := e.Query(Query{Op: OpSimilarity, U: u, V: v, Measure: m, Kind: kind})
+				if err != nil {
+					t.Fatalf("%s sim(%d,%d,%v): %v", kind, u, v, m, err)
+				}
+				want := mining.PGSimilarity(s.G, pg, u, v, m)
+				if res.Value != want {
+					t.Fatalf("%s sim(%d,%d,%v) = %v, kernel says %v", kind, u, v, m, res.Value, want)
+				}
+				if kind == "BF" {
+					if ind := mining.PGSimilarity(s.G, indep, u, v, m); res.Value != ind {
+						t.Fatalf("served %v != independent same-seed build %v", res.Value, ind)
+					}
+				}
+			}
+		}
+	}
+}
+
+func mustKind(t *testing.T, s string) core.Kind {
+	t.Helper()
+	k, err := ParseKind(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// TestLocalTCAndTC checks the per-vertex and global triangle queries
+// against the batch kernels they reimplement.
+func TestLocalTCAndTC(t *testing.T) {
+	s := testSnapshot(t, core.BF)
+	e := newTestEngine(t, s)
+	pg := s.PG(core.BF)
+	wantLocal := mining.PGLocalTC(s.G, pg, 4)
+	for _, v := range []uint32{0, 1, 17, 200} {
+		res, err := e.Query(Query{Op: OpLocalTC, U: v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Value != wantLocal[v] {
+			t.Fatalf("localtc(%d) = %v, want %v", v, res.Value, wantLocal[v])
+		}
+	}
+	res, err := e.Query(Query{Op: OpTC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same worker count as the engine: parallel float reduction order
+	// is part of the exact value.
+	if want := mining.PGTC(s.G, pg, 4); res.Value != want {
+		t.Fatalf("tc = %v, want %v", res.Value, want)
+	}
+}
+
+// TestTopK checks candidate generation: ranked by score, no self, no
+// existing neighbors, scores match the similarity kernel.
+func TestTopK(t *testing.T) {
+	s := testSnapshot(t, core.BF)
+	e := newTestEngine(t, s)
+	pg := s.PG(core.BF)
+	v := uint32(3)
+	res, err := e.Query(Query{Op: OpTopK, U: v, K: 8, Measure: mining.Jaccard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TopK) == 0 || len(res.TopK) > 8 {
+		t.Fatalf("topk returned %d candidates", len(res.TopK))
+	}
+	for i, c := range res.TopK {
+		if c.V == v {
+			t.Fatal("topk proposed the query vertex itself")
+		}
+		if s.G.HasEdge(v, c.V) {
+			t.Fatalf("topk proposed existing edge (%d,%d)", v, c.V)
+		}
+		if want := mining.PGSimilarity(s.G, pg, v, c.V, mining.Jaccard); c.Score != want {
+			t.Fatalf("topk score %v, kernel says %v", c.Score, want)
+		}
+		if i > 0 && c.Score > res.TopK[i-1].Score {
+			t.Fatal("topk not sorted by descending score")
+		}
+	}
+}
+
+// TestNeighbors checks the exact adjacency passthrough.
+func TestNeighbors(t *testing.T) {
+	s := testSnapshot(t, core.BF)
+	e := newTestEngine(t, s)
+	res, err := e.Query(Query{Op: OpNeighbors, U: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.G.Neighbors(5)
+	if len(res.Neighbors) != len(want) {
+		t.Fatalf("neighbors(5): %d ids, want %d", len(res.Neighbors), len(want))
+	}
+	for i := range want {
+		if res.Neighbors[i] != want[i] {
+			t.Fatalf("neighbors mismatch at %d", i)
+		}
+	}
+}
+
+// TestCacheHits checks hit accounting, the Cached flag, and that a
+// cached answer is byte-identical to the first computation; symmetric
+// pairs must share a cache line.
+func TestCacheHits(t *testing.T) {
+	s := testSnapshot(t, core.BF)
+	e := newTestEngine(t, s)
+	q := Query{Op: OpSimilarity, U: 9, V: 4, Measure: mining.Jaccard}
+	first, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first answer claims to be cached")
+	}
+	// The swapped pair must hit the same line (similarity is symmetric).
+	again, err := e.Query(Query{Op: OpSimilarity, U: 4, V: 9, Measure: mining.Jaccard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || again.Value != first.Value {
+		t.Fatalf("swapped pair: cached=%v value=%v, want cached copy of %v", again.Cached, again.Value, first.Value)
+	}
+	st := e.Stats()
+	if st.Cache.Hits < 1 {
+		t.Fatalf("cache hits = %d, want >= 1", st.Cache.Hits)
+	}
+}
+
+// TestLRUCache unit-tests the cache: eviction order and counters.
+func TestLRUCache(t *testing.T) {
+	c := newLRU(2)
+	k := func(u uint32) cacheKey { return cacheKey{epoch: 1, q: Query{Op: OpLocalTC, U: u}} }
+	c.put(k(1), Result{Value: 1})
+	c.put(k(2), Result{Value: 2})
+	if _, ok := c.get(k(1)); !ok { // refresh 1; 2 becomes LRU
+		t.Fatal("expected hit on key 1")
+	}
+	c.put(k(3), Result{Value: 3}) // evicts 2
+	if _, ok := c.get(k(2)); ok {
+		t.Fatal("key 2 should have been evicted")
+	}
+	if _, ok := c.get(k(1)); !ok {
+		t.Fatal("key 1 should have survived")
+	}
+	if _, ok := c.get(k(3)); !ok {
+		t.Fatal("key 3 should be resident")
+	}
+	if c.hits.Load() != 3 || c.misses.Load() != 1 {
+		t.Fatalf("hits=%d misses=%d, want 3/1", c.hits.Load(), c.misses.Load())
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	// Epoch is part of the key: a new snapshot never reads old lines.
+	if _, ok := c.get(cacheKey{epoch: 2, q: Query{Op: OpLocalTC, U: 1}}); ok {
+		t.Fatal("cross-epoch hit")
+	}
+}
+
+// TestDisabledCache checks CacheSize < 0 really disables caching.
+func TestDisabledCache(t *testing.T) {
+	s := testSnapshot(t, core.BF)
+	e := New(s, Options{Workers: 2, CacheSize: -1})
+	t.Cleanup(e.Close)
+	q := Query{Op: OpSimilarity, U: 9, V: 4, Measure: mining.Jaccard}
+	for i := 0; i < 3; i++ {
+		res, err := e.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cached {
+			t.Fatal("disabled cache served a hit")
+		}
+	}
+	if st := e.Stats(); st.Cache.Hits != 0 || st.Cache.Len != 0 {
+		t.Fatalf("disabled cache has state: %+v", st.Cache)
+	}
+}
+
+// TestValidation checks that malformed queries are rejected before they
+// reach the batcher.
+func TestValidation(t *testing.T) {
+	s := testSnapshot(t, core.BF)
+	e := newTestEngine(t, s)
+	bad := []Query{
+		{Op: OpLocalTC, U: uint32(s.G.NumVertices())},    // vertex out of range
+		{Op: OpSimilarity, U: 0, V: 1 << 30},             // vertex out of range
+		{Op: 99, U: 0},                                   // unknown op
+		{Op: OpSimilarity, U: 0, V: 1, Measure: 42},      // unknown measure
+		{Op: OpSimilarity, U: 0, V: 1, Kind: "HLL"},      // kind not resident
+		{Op: OpSimilarity, U: 0, V: 1, Kind: "nonsense"}, // kind unparsable
+	}
+	for _, q := range bad {
+		if _, err := e.Query(q); err == nil {
+			t.Fatalf("query %+v should have been rejected", q)
+		}
+	}
+	st := e.Stats()
+	var errs int64
+	for _, op := range st.Ops {
+		errs += op.Errors
+	}
+	if errs != int64(len(bad)) {
+		t.Fatalf("error count = %d, want %d", errs, len(bad))
+	}
+}
+
+// TestConcurrentLoad runs the closed-loop driver in-process: the whole
+// stack (cache, batcher, kernels) under -race, with every op in the mix.
+func TestConcurrentLoad(t *testing.T) {
+	s := testSnapshot(t, core.BF, core.OneHash)
+	e := newTestEngine(t, s)
+	mix := DefaultMix()
+	mix[OpTC] = 0.5
+	rep, err := RunLoad(LoadOpts{
+		Workers:  8,
+		Duration: 300 * time.Millisecond,
+		Mix:      mix,
+		Vertices: s.G.NumVertices(),
+		Zipf:     1.3,
+		Seed:     5,
+	}, e.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("load run produced %d errors", rep.Errors)
+	}
+	if rep.Queries == 0 {
+		t.Fatal("load run produced no queries")
+	}
+	if rep.Hist.Count() != rep.Queries {
+		t.Fatalf("histogram count %d != queries %d", rep.Hist.Count(), rep.Queries)
+	}
+	st := e.Stats()
+	if st.Batch.Queries == 0 {
+		t.Fatal("no queries went through the batcher")
+	}
+	if st.Cache.Hits == 0 {
+		t.Fatal("zipf-skewed load should produce cache hits")
+	}
+}
+
+// TestOpenLoopRate checks the token bucket paces an open-loop run near
+// its target.
+func TestOpenLoopRate(t *testing.T) {
+	s := testSnapshot(t, core.BF)
+	e := newTestEngine(t, s)
+	rep, err := RunLoad(LoadOpts{
+		Workers:  4,
+		Duration: 500 * time.Millisecond,
+		QPS:      400,
+		Vertices: s.G.NumVertices(),
+		Seed:     5,
+	}, e.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Throughput(); got > 800 || got < 100 {
+		t.Fatalf("open-loop throughput %.0f q/s far from 400 target", got)
+	}
+}
+
+// TestHTTPRoundTrip exercises the full wire path: handler, doer, stats,
+// health, and error mapping.
+func TestHTTPRoundTrip(t *testing.T) {
+	s := testSnapshot(t, core.BF)
+	e := newTestEngine(t, s)
+	srv := httptest.NewServer(Handler(e))
+	defer srv.Close()
+	do := HTTPDoer(srv.Client(), srv.URL)
+
+	res, err := do(Query{Op: OpSimilarity, U: 2, V: 11, Measure: mining.Jaccard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mining.PGSimilarity(s.G, s.PG(core.BF), 2, 11, mining.Jaccard)
+	if res.Value != want {
+		t.Fatalf("http similarity %v, want %v", res.Value, want)
+	}
+	if _, err := do(Query{Op: OpLocalTC, U: 1 << 30}); err == nil {
+		t.Fatal("out-of-range vertex should fail over HTTP")
+	}
+	st, err := FetchStats(srv.Client(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Vertices != s.G.NumVertices() || st.SketchBytes["BF"] <= 0 {
+		t.Fatalf("stats payload wrong: %+v", st)
+	}
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz: %v %v", resp, err)
+	}
+	resp.Body.Close()
+}
+
+// TestEngineClose checks shutdown is idempotent and safe while idle.
+func TestEngineClose(t *testing.T) {
+	s := testSnapshot(t, core.BF)
+	e := New(s, Options{Workers: 2})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e.Query(Query{Op: OpLocalTC, U: uint32(i)})
+		}(i)
+	}
+	wg.Wait()
+	e.Close()
+	e.Close() // idempotent
+	if _, err := e.Query(Query{Op: OpLocalTC, U: 400}); err == nil {
+		// A closed engine may still serve from cache; uncached point
+		// queries must error rather than hang.
+		t.Fatal("uncached query on closed engine should error")
+	}
+}

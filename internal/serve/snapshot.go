@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"probgraph/internal/core"
+	"probgraph/internal/graph"
+)
+
+// SnapshotConfig parameterizes Open. Zero values mean: Kinds = [BF],
+// the core package's default 25% budget, hash count 2, derived k.
+type SnapshotConfig struct {
+	// Kinds lists the sketch representations to build, one resident PG
+	// each; Kinds[0] is the default for queries that don't name one.
+	Kinds []core.Kind
+
+	// Budget, NumHashes, K, StoreElems and Seed are passed through to
+	// core.Config for every built PG, so a snapshot answer is bit-for-bit
+	// the answer core.Build with the same (Kind, Budget, Seed) gives.
+	Budget     float64
+	NumHashes  int
+	K          int
+	StoreElems bool
+	Seed       uint64
+
+	// Workers bounds build parallelism (<=0: GOMAXPROCS).
+	Workers int
+}
+
+// epochCounter hands out process-unique snapshot epochs.
+var epochCounter atomic.Uint64
+
+// Snapshot is the immutable unit of serving: a graph, its degree
+// orientation, and one ProbGraph per configured sketch kind, built once
+// at load time. Engines and caches key everything by Epoch, so a new
+// snapshot (e.g. after a graph refresh) invalidates old answers for free.
+type Snapshot struct {
+	Epoch uint64
+	G     *graph.Graph
+	O     *graph.Oriented
+	Cfg   SnapshotConfig
+
+	kinds []core.Kind // deduplicated build order; kinds[0] = default
+	pgs   map[core.Kind]*core.PG
+}
+
+// Open builds a snapshot: orientation plus all configured sketches.
+func Open(g *graph.Graph, cfg SnapshotConfig) (*Snapshot, error) {
+	if g == nil {
+		return nil, fmt.Errorf("serve: nil graph")
+	}
+	if len(cfg.Kinds) == 0 {
+		cfg.Kinds = []core.Kind{core.BF}
+	}
+	s := &Snapshot{
+		Epoch: epochCounter.Add(1),
+		G:     g,
+		O:     g.Orient(cfg.Workers),
+		Cfg:   cfg,
+		pgs:   make(map[core.Kind]*core.PG, len(cfg.Kinds)),
+	}
+	for _, k := range cfg.Kinds {
+		if _, dup := s.pgs[k]; dup {
+			continue
+		}
+		pg, err := core.Build(g, core.Config{
+			Kind:       k,
+			Budget:     cfg.Budget,
+			NumHashes:  cfg.NumHashes,
+			K:          cfg.K,
+			StoreElems: cfg.StoreElems,
+			Seed:       cfg.Seed,
+			Workers:    cfg.Workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: building %v sketches: %w", k, err)
+		}
+		s.pgs[k] = pg
+		s.kinds = append(s.kinds, k)
+	}
+	return s, nil
+}
+
+// Kinds returns the resident sketch kinds in build order.
+func (s *Snapshot) Kinds() []core.Kind { return s.kinds }
+
+// DefaultKind is the representation used when a query names none.
+func (s *Snapshot) DefaultKind() core.Kind { return s.kinds[0] }
+
+// PG returns the resident ProbGraph for kind, or nil if not built.
+func (s *Snapshot) PG(k core.Kind) *core.PG { return s.pgs[k] }
+
+// SketchBytes reports the resident sketch storage per kind — the
+// observable form of the paper's storage budget s.
+func (s *Snapshot) SketchBytes() map[string]int64 {
+	out := make(map[string]int64, len(s.kinds))
+	for _, k := range s.kinds {
+		out[k.String()] = s.pgs[k].MemoryBytes()
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package serve
+
+import "time"
+
+// CacheStats is the result cache's observable state.
+type CacheStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Len    int   `json:"len"`
+	Cap    int   `json:"cap"`
+}
+
+// HitRate returns hits / (hits+misses), 0 when idle.
+func (c CacheStats) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}
+
+// BatchStats is the request batcher's observable state.
+type BatchStats struct {
+	Batches   int64 `json:"batches"`
+	Queries   int64 `json:"queries"`
+	Coalesced int64 `json:"coalesced"` // queries answered by another entry's eval
+}
+
+// MeanSize returns the average batch size, 0 when idle.
+func (b BatchStats) MeanSize() float64 {
+	if b.Batches == 0 {
+		return 0
+	}
+	return float64(b.Queries) / float64(b.Batches)
+}
+
+// OpStats is one operation's served/error counts.
+type OpStats struct {
+	OK     int64 `json:"ok"`
+	Errors int64 `json:"errors"`
+}
+
+// Stats is the /v1/stats payload: snapshot shape, resident sketch
+// memory, cache and batcher effectiveness, per-op traffic.
+type Stats struct {
+	Epoch       uint64             `json:"epoch"`
+	Vertices    int                `json:"vertices"`
+	Edges       int                `json:"edges"`
+	Kinds       []string           `json:"kinds"`
+	DefaultKind string             `json:"default_kind"`
+	CSRBytes    int64              `json:"csr_bytes"`
+	SketchBytes map[string]int64   `json:"sketch_bytes"`
+	Cache       CacheStats         `json:"cache"`
+	Batch       BatchStats         `json:"batch"`
+	Ops         map[string]OpStats `json:"ops"`
+	UptimeSec   float64            `json:"uptime_sec"`
+}
+
+// Stats snapshots the engine's counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Epoch:       e.snap.Epoch,
+		Vertices:    e.snap.G.NumVertices(),
+		Edges:       e.snap.G.NumEdges(),
+		DefaultKind: e.snap.DefaultKind().String(),
+		CSRBytes:    (e.snap.G.SizeBits() + 7) / 8,
+		SketchBytes: e.snap.SketchBytes(),
+		Cache: CacheStats{
+			Hits:   e.cache.hits.Load(),
+			Misses: e.cache.misses.Load(),
+			Len:    e.cache.len(),
+			Cap:    e.cache.cap,
+		},
+		Batch: BatchStats{
+			Batches:   e.b.nBatches.Load(),
+			Queries:   e.b.nQueries.Load(),
+			Coalesced: e.b.nCoalesced.Load(),
+		},
+		Ops:       make(map[string]OpStats, int(opMax)),
+		UptimeSec: time.Since(e.start).Seconds(),
+	}
+	for _, k := range e.snap.kinds {
+		s.Kinds = append(s.Kinds, k.String())
+	}
+	for op := Op(1); op < opMax; op++ {
+		ok, errs := e.opCounts[op].ok.Load(), e.opCounts[op].errs.Load()
+		if ok+errs > 0 {
+			s.Ops[op.String()] = OpStats{OK: ok, Errors: errs}
+		}
+	}
+	if ok, errs := e.opCounts[0].ok.Load(), e.opCounts[0].errs.Load(); ok+errs > 0 {
+		s.Ops["unknown"] = OpStats{OK: ok, Errors: errs}
+	}
+	return s
+}

@@ -30,6 +30,7 @@ import (
 	"probgraph/internal/estimator"
 	"probgraph/internal/graph"
 	"probgraph/internal/mining"
+	"probgraph/internal/serve"
 )
 
 // Graph is an undirected simple graph in CSR form (see NewGraph and the
@@ -126,6 +127,10 @@ const (
 	// Est1HSimple is the plain |M¹∩M¹|/k Jaccard.
 	Est1HSimple = core.Est1HSimple
 )
+
+// ParseKind parses a representation name ("BF", "1H", "kmv", ...) as
+// printed by Kind.String — the flag/wire form the cmds accept.
+func ParseKind(s string) (Kind, error) { return core.ParseKind(s) }
 
 // Config parameterizes Build; see the field documentation in
 // internal/core. The zero value plus a Kind uses a 25% storage budget.
@@ -292,6 +297,52 @@ func PGLocalTriangleCounts(g *Graph, pg *PG, workers int) []float64 {
 func PGClusteringCoefficient(g *Graph, pg *PG, workers int) float64 {
 	return mining.PGLocalClusteringCoefficient(g, pg, workers)
 }
+
+// --- serving: the online query engine (internal/serve) ---------------------
+
+// Snapshot is the immutable unit of online serving: a graph, its
+// orientation, and one resident PG per configured sketch kind.
+type Snapshot = serve.Snapshot
+
+// SnapshotConfig parameterizes OpenSnapshot; the zero value builds a
+// single Bloom-filter PG at the default 25% budget.
+type SnapshotConfig = serve.SnapshotConfig
+
+// Engine answers typed point queries against a Snapshot through a
+// coalescing request batcher and an LRU result cache.
+type Engine = serve.Engine
+
+// ServeOptions tunes the engine (workers, batching, cache size).
+type ServeOptions = serve.Options
+
+// ServeQuery is one typed request; ServeResult its answer.
+type ServeQuery = serve.Query
+type ServeResult = serve.Result
+
+// ServeStats is the engine's observable state (/v1/stats payload).
+type ServeStats = serve.Stats
+
+// The serving query operations.
+const (
+	// OpTC is the snapshot-wide triangle-count estimate.
+	OpTC = serve.OpTC
+	// OpLocalTC estimates the triangles through one vertex.
+	OpLocalTC = serve.OpLocalTC
+	// OpSimilarity scores a vertex pair with a Listing 3 measure.
+	OpSimilarity = serve.OpSimilarity
+	// OpTopK ranks a vertex's 2-hop link-prediction candidates.
+	OpTopK = serve.OpTopK
+	// OpNeighbors returns an exact adjacency list.
+	OpNeighbors = serve.OpNeighbors
+)
+
+// OpenSnapshot builds a serving snapshot: orientation plus one PG per
+// configured sketch kind, all from one seed so answers are reproducible.
+func OpenSnapshot(g *Graph, cfg SnapshotConfig) (*Snapshot, error) { return serve.Open(g, cfg) }
+
+// Serve starts a query engine over the snapshot. Close it when done.
+// For HTTP serving see cmd/pgserve, which wraps this engine.
+func Serve(s *Snapshot, opts ServeOptions) *Engine { return serve.New(s, opts) }
 
 // --- theory: concentration bounds as executable functions ------------------
 
