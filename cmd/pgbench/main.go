@@ -39,23 +39,25 @@ var experiments = map[string]func(bench.Opts) error{
 	"linkpred":   func(o bench.Opts) error { _, err := bench.LinkPred(o); return err },
 	"sim":        func(o bench.Opts) error { _, err := bench.VertexSim(o); return err },
 	"serve":      func(o bench.Opts) error { _, err := bench.ServeExperiment(o); return err },
+	"session":    func(o bench.Opts) error { _, err := bench.SessionBench(o); return err },
 }
 
 // order fixes the presentation order for -exp all.
 var order = []string{
 	"fig3", "fig4", "fig5", "fig6", "fig7", "fig8strong", "fig8weak", "fig9",
 	"table4", "table5", "table6", "table7", "theory", "dist", "distsim",
-	"sim", "linkpred", "ablation", "serve",
+	"sim", "linkpred", "ablation", "serve", "session",
 }
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (see -list)")
-		quick   = flag.Bool("quick", false, "small graphs and few repetitions")
-		runs    = flag.Int("runs", 0, "timed repetitions per measurement (0 = default)")
-		seed    = flag.Uint64("seed", 42, "master random seed")
-		workers = flag.Int("workers", 0, "parallel workers (0 = all cores)")
-		list    = flag.Bool("list", false, "list available experiments")
+		exp      = flag.String("exp", "all", "experiment to run (see -list)")
+		quick    = flag.Bool("quick", false, "small graphs and few repetitions")
+		runs     = flag.Int("runs", 0, "timed repetitions per measurement (0 = default)")
+		seed     = flag.Uint64("seed", 42, "master random seed")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = all cores)")
+		jsonPath = flag.String("json", "", "append machine-readable JSON-lines records to this file (e.g. BENCH_session.json)")
+		list     = flag.Bool("list", false, "list available experiments")
 	)
 	flag.Parse()
 
@@ -77,6 +79,15 @@ func main() {
 		Seed:    *seed,
 		Workers: *workers,
 		Out:     os.Stdout,
+	}
+	if *jsonPath != "" {
+		f, err := os.OpenFile(*jsonPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pgbench: opening %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		opts.JSON = f
 	}
 
 	run := func(name string) {

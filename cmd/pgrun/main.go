@@ -1,15 +1,20 @@
 // Command pgrun runs one graph-mining problem on one graph with a chosen
 // representation and reports the result, its accuracy against the exact
 // baseline, and the speedup — the single-experiment companion to pgbench.
+// It is built on the Session API: one Session per invocation caches the
+// orientation and the sketches, so exact and approximate runs share
+// derived state.
 //
 // Examples:
 //
 //	pgrun -gen kron -scale 12 -algo tc -repr bf -budget 0.25
 //	pgrun -graph g.el -algo cluster -measure jaccard -tau 0.15 -repr 1h
 //	pgrun -gen ba -n 5000 -algo linkpred -measure cn
+//	pgrun -algo tc -repr bf -est or     # Swamidass estimator (Eq. 29)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -30,7 +35,7 @@ func main() {
 		kBA       = flag.Int("k", 8, "ba attachment")
 		algo      = flag.String("algo", "tc", "tc | 4clique | cluster | sim | linkpred | cc")
 		repr      = flag.String("repr", "bf", "bf | kh | 1h | kmv")
-		est       = flag.String("est", "auto", "auto | and | l | or | 1hsimple")
+		est       = flag.String("est", "auto", "estimator: auto | and | l | or | 1hsimple")
 		budget    = flag.Float64("budget", 0.25, "storage budget s")
 		b         = flag.Int("b", 2, "Bloom hash functions")
 		kSketch   = flag.Int("sketchk", 0, "explicit MinHash/KMV k (0 = from budget)")
@@ -48,103 +53,124 @@ func main() {
 	}
 	fmt.Printf("graph: n=%d m=%d maxdeg=%d\n", g.NumVertices(), g.NumEdges(), g.MaxDegree())
 
-	cfg := probgraph.Config{
-		Kind:      kindOf(*repr),
-		Est:       estOf(*est),
-		Budget:    *budget,
-		NumHashes: *b,
-		K:         *kSketch,
-		Seed:      *seed,
+	estimator, err := probgraph.ParseEstimator(*est)
+	if err != nil {
+		fatal(err)
 	}
+	sess, err := probgraph.NewSession(g,
+		probgraph.WithKind(kindOf(*repr)),
+		probgraph.WithEstimator(estimator),
+		probgraph.WithBudget(*budget),
+		probgraph.WithNumHashes(*b),
+		probgraph.WithSketchK(*kSketch),
+		probgraph.WithSeed(*seed),
+		probgraph.WithWorkers(*workers),
+	)
+	if err != nil {
+		fatal(err)
+	}
+	ctx := context.Background()
 	msr := measureOf(*measure)
 
 	switch *algo {
 	case "tc":
-		runCounting(g, cfg, *workers,
-			func() float64 { return float64(probgraph.ExactTriangleCount(g, *workers)) },
-			func(pg *probgraph.PG) float64 { return probgraph.TriangleCount(g, pg, *workers) })
+		runCounting(ctx, sess,
+			probgraph.TC{Mode: probgraph.Exact},
+			probgraph.TC{Mode: probgraph.Sketched}, false, true)
 	case "4clique":
-		o := probgraph.Orient(g, *workers)
-		exactStart := time.Now()
-		exact := float64(probgraph.ExactFourCliqueCount(g, *workers))
-		exactTime := time.Since(exactStart)
-		pg, err := probgraph.BuildOriented(o, g.SizeBits(), cfg)
-		if err != nil {
-			fatal(err)
-		}
-		approxStart := time.Now()
-		approx := probgraph.FourCliqueCount(o, pg, *workers)
-		approxTime := time.Since(approxStart)
-		report(exact, approx, exactTime, approxTime, pg.RelativeMemory())
+		runCounting(ctx, sess,
+			probgraph.KClique{K: 4, Mode: probgraph.Exact},
+			probgraph.KClique{K: 4, Mode: probgraph.Sketched}, true, true)
+	case "cc":
+		runCounting(ctx, sess,
+			probgraph.ClusteringCoeff{Mode: probgraph.Exact},
+			probgraph.ClusteringCoeff{Mode: probgraph.Sketched}, false, false)
 	case "cluster":
-		exactStart := time.Now()
-		exact := probgraph.Cluster(g, msr, *tau, *workers)
-		exactTime := time.Since(exactStart)
-		pg, err := probgraph.Build(g, cfg)
-		if err != nil {
-			fatal(err)
-		}
-		approxStart := time.Now()
-		approx := probgraph.PGCluster(g, pg, msr, *tau, *workers)
-		approxTime := time.Since(approxStart)
-		fmt.Printf("exact:  %d clusters, %d kept edges (%v)\n", exact.NumClusters, len(exact.Kept), exactTime)
-		fmt.Printf("approx: %d clusters, %d kept edges (%v)\n", approx.NumClusters, len(approx.Kept), approxTime)
-		report(float64(exact.NumClusters), float64(approx.NumClusters), exactTime, approxTime, pg.RelativeMemory())
+		exact := mustRun(ctx, sess, probgraph.JarvisPatrick{Measure: msr, Tau: *tau, Mode: probgraph.Exact})
+		pg := warmSketch(ctx, sess, false)
+		approx := mustRun(ctx, sess, probgraph.JarvisPatrick{Measure: msr, Tau: *tau, Mode: probgraph.Sketched})
+		fmt.Printf("exact:  %d clusters, %d kept edges (%v)\n",
+			exact.Clusters.NumClusters, len(exact.Clusters.Kept), exact.Elapsed)
+		fmt.Printf("approx: %d clusters, %d kept edges (%v)\n",
+			approx.Clusters.NumClusters, len(approx.Clusters.Kept), approx.Elapsed)
+		report(exact.Value, approx.Value, exact.Elapsed, approx.Elapsed, pg.RelativeMemory())
 	case "sim":
-		pg, err := probgraph.Build(g, cfg)
-		if err != nil {
-			fatal(err)
-		}
 		count := 0
 		g.Edges(func(u, v uint32) {
 			if count >= 10 {
 				return
 			}
 			count++
-			fmt.Printf("sim(%d,%d): exact=%.4f approx=%.4f\n",
-				u, v, probgraph.Similarity(g, u, v, msr), probgraph.PGSimilarity(g, pg, u, v, msr))
+			exact := mustRun(ctx, sess, probgraph.VertexSim{U: u, V: v, Measure: msr, Mode: probgraph.Exact})
+			approx := mustRun(ctx, sess, probgraph.VertexSim{U: u, V: v, Measure: msr, Mode: probgraph.Sketched})
+			fmt.Printf("sim(%d,%d): exact=%.4f approx=%.4f\n", u, v, exact.Value, approx.Value)
 		})
 	case "linkpred":
-		exact, err := probgraph.LinkPrediction(g, msr, *remove, *seed, nil, *workers)
-		if err != nil {
-			fatal(err)
-		}
-		approx, err := probgraph.LinkPrediction(g, msr, *remove, *seed, &cfg, *workers)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("exact:  recovered %d/%d (efficiency %.3f)\n", exact.Hits, exact.Removed, exact.Efficiency)
-		fmt.Printf("approx: recovered %d/%d (efficiency %.3f)\n", approx.Hits, approx.Removed, approx.Efficiency)
-	case "cc":
-		runCounting(g, cfg, *workers,
-			func() float64 { return probgraph.ClusteringCoefficient(g, *workers) },
-			func(pg *probgraph.PG) float64 { return probgraph.PGClusteringCoefficient(g, pg, *workers) })
+		exact := mustRun(ctx, sess, probgraph.LinkPred{Measure: msr, RemoveFrac: *remove, Mode: probgraph.Exact})
+		approx := mustRun(ctx, sess, probgraph.LinkPred{Measure: msr, RemoveFrac: *remove, Mode: probgraph.Sketched})
+		fmt.Printf("exact:  recovered %d/%d (efficiency %.3f)\n",
+			exact.LinkPred.Hits, exact.LinkPred.Removed, exact.Value)
+		fmt.Printf("approx: recovered %d/%d (efficiency %.3f)\n",
+			approx.LinkPred.Hits, approx.LinkPred.Removed, approx.Value)
 	default:
 		fatal(fmt.Errorf("unknown algorithm %q", *algo))
 	}
 }
 
-func runCounting(g *probgraph.Graph, cfg probgraph.Config, workers int,
-	exactF func() float64, approxF func(*probgraph.PG) float64) {
-	exactStart := time.Now()
-	exact := exactF()
-	exactTime := time.Since(exactStart)
-	buildStart := time.Now()
-	pg, err := probgraph.Build(g, cfg)
+// mustRun executes one kernel or exits.
+func mustRun(ctx context.Context, sess *probgraph.Session, k probgraph.Kernel) probgraph.Result {
+	res, err := sess.Run(ctx, k)
 	if err != nil {
 		fatal(err)
 	}
-	buildTime := time.Since(buildStart)
-	approxStart := time.Now()
-	approx := approxF(pg)
-	approxTime := time.Since(approxStart)
-	fmt.Printf("sketch build: %v (%.1f%% extra memory)\n", buildTime, 100*pg.RelativeMemory())
-	report(exact, approx, exactTime, approxTime, pg.RelativeMemory())
+	return res
+}
+
+// warmSketch builds (and times) the sketch the approximate kernel will
+// use, so the reported approximate runtime excludes construction — the
+// paper reports build cost separately (Table V).
+func warmSketch(ctx context.Context, sess *probgraph.Session, oriented bool) *probgraph.PG {
+	start := time.Now()
+	var (
+		pg  *probgraph.PG
+		err error
+	)
+	if oriented {
+		pg, err = sess.OrientedPG(ctx)
+	} else {
+		pg, err = sess.PG(ctx)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("sketch build: %v (%.1f%% extra memory)\n", time.Since(start), 100*pg.RelativeMemory())
+	return pg
+}
+
+// runCounting compares a counting kernel's exact baseline against its
+// sketch estimate, reporting accuracy, speedup, memory, and the Theorem
+// VII.1 bound when the representation carries one. For kernels that run
+// over the orientation it is built up front, so both reported timings
+// are the kernel alone.
+func runCounting(ctx context.Context, sess *probgraph.Session, exactK, approxK probgraph.Kernel, oriented, needsOrient bool) {
+	if needsOrient {
+		if _, err := sess.Oriented(ctx); err != nil {
+			fatal(err)
+		}
+	}
+	exact := mustRun(ctx, sess, exactK)
+	pg := warmSketch(ctx, sess, oriented)
+	approx := mustRun(ctx, sess, approxK)
+	report(exact.Value, approx.Value, exact.Elapsed, approx.Elapsed, pg.RelativeMemory())
+	if approx.Bound > 0 {
+		fmt.Printf("Thm VII.1: |est - exact| <= %.4g at %.0f%% confidence\n",
+			approx.Bound, 100*approx.Confidence)
+	}
 }
 
 func report(exact, approx float64, exactTime, approxTime time.Duration, relMem float64) {
-	fmt.Printf("exact  = %.0f  (%v)\n", exact, exactTime)
-	fmt.Printf("approx = %.0f  (%v)\n", approx, approxTime)
+	fmt.Printf("exact  = %.4g  (%v)\n", exact, exactTime)
+	fmt.Printf("approx = %.4g  (%v)\n", approx, approxTime)
 	if exact != 0 {
 		fmt.Printf("accuracy: %.2f%% | speedup: %.2fx | extra memory: %.1f%%\n",
 			100*(1-math.Abs(approx-exact)/exact),
@@ -181,23 +207,6 @@ func kindOf(s string) probgraph.Kind {
 		fatal(err)
 	}
 	return k
-}
-
-func estOf(s string) probgraph.Estimator {
-	switch s {
-	case "auto":
-		return probgraph.EstAuto
-	case "and":
-		return probgraph.EstBFAnd
-	case "l":
-		return probgraph.EstBFL
-	case "or":
-		return probgraph.EstBFOr
-	case "1hsimple":
-		return probgraph.Est1HSimple
-	}
-	fatal(fmt.Errorf("unknown estimator %q", s))
-	return probgraph.EstAuto
 }
 
 func measureOf(s string) probgraph.Measure {

@@ -42,6 +42,7 @@ func main() {
 		scale      = flag.Int("scale", 12, "kron scale (2^scale vertices) / community size log2")
 		deg        = flag.Int("deg", 16, "average degree for the generator")
 		kinds      = flag.String("kinds", "BF", "comma-separated sketch kinds to build (BF,kH,1H,KMV,HLL)")
+		est        = flag.String("est", "auto", "|X∩Y| estimator within the representation: auto | and | l | or | 1hsimple")
 		budget     = flag.Float64("budget", 0.25, "storage budget s")
 		seed       = flag.Uint64("seed", 42, "sketch/generator seed")
 		workers    = flag.Int("workers", 0, "engine workers (0 = all cores)")
@@ -59,11 +60,15 @@ func main() {
 	if err != nil {
 		log.Fatalf("pgserve: %v", err)
 	}
+	estimator, err := core.ParseEstimator(*est)
+	if err != nil {
+		log.Fatalf("pgserve: %v", err)
+	}
 
 	log.Printf("graph: n=%d m=%d", g.NumVertices(), g.NumEdges())
 	t0 := time.Now()
 	snap, err := serve.Open(g, serve.SnapshotConfig{
-		Kinds: kindList, Budget: *budget, Seed: *seed, Workers: *workers,
+		Kinds: kindList, Est: estimator, Budget: *budget, Seed: *seed, Workers: *workers,
 	})
 	if err != nil {
 		log.Fatalf("pgserve: %v", err)

@@ -1,12 +1,13 @@
-// Quickstart: sketch a graph with every ProbGraph representation and
-// compare the estimated triangle count, runtime, and memory against the
-// exact baseline — the 30-second tour of the library.
+// Quickstart: one Session, every representation. A Session binds the
+// graph to cached derived state (orientation, one sketch set per
+// representation) and runs each kernel through the same entry point —
+// the 30-second tour of the library.
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"time"
 
 	"probgraph"
 )
@@ -18,29 +19,44 @@ func main() {
 	g := probgraph.CommunityGraph(4096, 160000, 80, 160, 42)
 	fmt.Printf("graph: n=%d m=%d maxdeg=%d\n\n", g.NumVertices(), g.NumEdges(), g.MaxDegree())
 
-	start := time.Now()
-	exact := probgraph.ExactTriangleCount(g, 0)
-	exactTime := time.Since(start)
-	fmt.Printf("exact triangle count: %d  (%v)\n\n", exact, exactTime)
+	// One Session: 25% storage budget (the paper's typical setting),
+	// fixed seed, all cores. Derived state is built lazily and cached.
+	sess, err := probgraph.NewSession(g, probgraph.WithBudget(0.25), probgraph.WithSeed(7))
+	if err != nil {
+		panic(err)
+	}
+	ctx := context.Background()
+
+	exact, err := sess.Run(ctx, probgraph.TC{Mode: probgraph.Exact})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("exact triangle count: %d  (%v)\n\n", exact.Count(), exact.Elapsed)
 
 	for _, kind := range []probgraph.Kind{probgraph.BF, probgraph.KHash, probgraph.OneHash, probgraph.KMV} {
-		// 25% extra memory on top of the CSR, the paper's typical budget.
-		pg, err := probgraph.Build(g, probgraph.Config{Kind: kind, Budget: 0.25, Seed: 7})
+		// Reconfigured views share the Session's caches: switching the
+		// representation builds that sketch set once, nothing else.
+		sk, err := sess.With(probgraph.WithKind(kind))
 		if err != nil {
 			panic(err)
 		}
-		start = time.Now()
-		est := probgraph.TriangleCount(g, pg, 0)
-		estTime := time.Since(start)
-		acc := 100 * (1 - math.Abs(est-float64(exact))/float64(exact))
-		fmt.Printf("%-4v est=%9.0f  accuracy=%5.1f%%  time=%-10v speedup=%.1fx  mem=+%.0f%%\n",
-			kind, est, acc, estTime,
-			float64(exactTime)/float64(estTime), 100*pg.RelativeMemory())
+		pg, err := sk.PG(ctx) // pre-build so the timing below is the kernel alone
+		if err != nil {
+			panic(err)
+		}
+		res, err := sk.Run(ctx, probgraph.TC{Mode: probgraph.Sketched})
+		if err != nil {
+			panic(err)
+		}
+		acc := 100 * (1 - math.Abs(res.Value-exact.Value)/exact.Value)
+		fmt.Printf("%-4v est=%9.0f  accuracy=%5.1f%%  time=%-10v speedup=%.1fx  mem=+%.0f%%",
+			kind, res.Value, acc, res.Elapsed,
+			float64(exact.Elapsed)/float64(res.Elapsed), 100*pg.RelativeMemory())
+		if res.Bound > 0 {
+			// The theory rides along in the Result: Theorem VII.1's
+			// deviation guarantee at 95% confidence.
+			fmt.Printf("  |err|<=%.3g @%v%%", res.Bound, 100*res.Confidence)
+		}
+		fmt.Println()
 	}
-
-	// The theory is executable too: how far can the MinHash TC estimate
-	// stray? (Theorem VII.1, 95% confidence.)
-	gm := probgraph.MomentsOf(g)
-	fmt.Printf("\nThm VII.1: with k=64, |TC_est - TC| <= %.3g at 95%% confidence\n",
-		probgraph.TCDeviationMinHash(gm, 64, 0.95))
 }

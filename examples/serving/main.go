@@ -1,10 +1,14 @@
 // Serving: the online query engine embedded in-process — no HTTP, just
-// the snapshot/batcher/cache stack — used here to score link-prediction
-// candidates interactively the way a recommender sidecar would.
+// the snapshot/batcher/cache stack over a Session — used here to score
+// link-prediction candidates interactively the way a recommender
+// sidecar would. Every query runs under a context deadline: a caller
+// that gives up stops paying at the next chunk boundary.
 package main
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"probgraph"
 )
@@ -15,8 +19,9 @@ func main() {
 	g := probgraph.HolmeKim(4096, 8, 0.5, 11)
 	fmt.Printf("graph: n=%d m=%d\n", g.NumVertices(), g.NumEdges())
 
-	// One immutable snapshot: orientation + Bloom-filter sketches at a
-	// 25% budget, built once; every query below runs against it.
+	// One immutable snapshot: a Session holding the orientation plus
+	// Bloom-filter sketches at a 25% budget, built once; every query
+	// below runs against it.
 	snap, err := probgraph.OpenSnapshot(g, probgraph.SnapshotConfig{
 		Kinds:  []probgraph.Kind{probgraph.BF},
 		Budget: 0.25,
@@ -28,19 +33,37 @@ func main() {
 	engine := probgraph.Serve(snap, probgraph.ServeOptions{})
 	defer engine.Close()
 
+	// The Session behind the snapshot answers ad-hoc kernel runs too —
+	// here the exact Jaccard the served estimates are compared against.
+	sess, err := snap.Session(probgraph.BF)
+	if err != nil {
+		panic(err)
+	}
+	exactJaccard := func(u, v uint32) float64 {
+		res, err := sess.Run(context.Background(),
+			probgraph.VertexSim{U: u, V: v, Measure: probgraph.Jaccard})
+		if err != nil {
+			panic(err)
+		}
+		return res.Value
+	}
+
 	// Link-prediction candidates for a few vertices: 2-hop non-neighbors
-	// ranked by sketch-estimated Jaccard (Listing 5's scoring, online).
+	// ranked by sketch-estimated Jaccard (Listing 5's scoring, online),
+	// each request under its own 50ms deadline.
 	for _, v := range []uint32{10, 500, 2048} {
-		res, err := engine.Query(probgraph.ServeQuery{
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		res, err := engine.QueryCtx(ctx, probgraph.ServeQuery{
 			Op: probgraph.OpTopK, U: v, K: 3, Measure: probgraph.Jaccard,
 		})
+		cancel()
 		if err != nil {
 			panic(err)
 		}
 		fmt.Printf("\nlink-prediction candidates for vertex %d (degree %d):\n", v, g.Degree(v))
 		for _, c := range res.TopK {
 			fmt.Printf("  -> %5d  score %.4f  (exact Jaccard %.4f)\n",
-				c.V, c.Score, probgraph.Similarity(g, v, c.V, probgraph.Jaccard))
+				c.V, c.Score, exactJaccard(v, c.V))
 		}
 	}
 
@@ -50,6 +73,12 @@ func main() {
 	first, _ := engine.Query(pair)
 	again, _ := engine.Query(pair)
 	fmt.Printf("\nsimilarity(10,11) = %.4f (cached on repeat: %v)\n", first.Value, again.Cached)
+
+	// An already-expired deadline is refused before any work happens.
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	_, err = engine.QueryCtx(expired, pair)
+	cancel()
+	fmt.Printf("expired deadline: %v\n", err)
 
 	st := engine.Stats()
 	fmt.Printf("engine: %d-entry cache, %.0f%% hit rate, %d batches, %d B of %s sketches resident\n",

@@ -16,6 +16,7 @@ type Opts struct {
 	Workers int       // parallel workers (<=0: GOMAXPROCS)
 	Seed    uint64    // master seed
 	Out     io.Writer // destination for the printed tables
+	JSON    io.Writer // optional JSON-lines sink for machine-readable records
 }
 
 // withDefaults normalizes options.

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"probgraph/internal/core"
+	"probgraph/internal/dist"
+	"probgraph/internal/graph"
+	"probgraph/internal/mining"
+	"probgraph/internal/session"
+)
+
+// BenchRecord is one machine-readable measurement of the session
+// benchmark: the BENCH_session.json line format (JSON Lines) the CI perf
+// trajectory consumes. BytesShipped is nonzero only for the distributed
+// kernels, where it is the wire traffic of one run.
+type BenchRecord struct {
+	Experiment   string  `json:"experiment"`
+	Config       string  `json:"config"`
+	Value        float64 `json:"value"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	BytesShipped int64   `json:"bytes_shipped,omitempty"`
+}
+
+// SessionBench benchmarks the Session API end to end on a small fixed
+// Kronecker graph: every kernel runs through sess.Run, timed with the
+// harness's median-of-runs protocol (sketch builds land in the discarded
+// warmup, so NsPerOp is the steady-state kernel cost a resident Session
+// delivers). When opts.JSON is set, one BenchRecord per row is appended
+// as a JSON line.
+func SessionBench(opts Opts) ([]BenchRecord, error) {
+	opts = opts.withDefaults()
+	scale := 11
+	if opts.Quick {
+		scale = 10
+	}
+	g := graph.Kronecker(scale, 16, opts.Seed)
+	base, err := session.New(g,
+		session.WithSeed(opts.Seed),
+		session.WithWorkers(opts.Workers),
+		session.WithBudget(0.25),
+	)
+	if err != nil {
+		return nil, err
+	}
+	view := func(k core.Kind) *session.Session {
+		s, err := base.With(session.WithKind(k))
+		if err != nil {
+			panic(err) // unreachable: WithKind always validates
+		}
+		return s
+	}
+
+	cases := []struct {
+		name, config string
+		sess         *session.Session
+		kernel       session.Kernel
+	}{
+		{"tc", "exact", base, session.TC{Mode: session.Exact}},
+		{"tc", "BF", base, session.TC{Mode: session.Sketched}},
+		{"tc", "kH", view(core.KHash), session.TC{Mode: session.Sketched}},
+		{"tc", "1H", view(core.OneHash), session.TC{Mode: session.Sketched}},
+		{"4clique", "exact", base, session.KClique{K: 4, Mode: session.Exact}},
+		{"4clique", "BF", base, session.KClique{K: 4, Mode: session.Sketched}},
+		{"cluster", "exact", base, session.JarvisPatrick{Measure: mining.CommonNeighbors, Tau: 3, Mode: session.Exact}},
+		{"cluster", "BF", base, session.JarvisPatrick{Measure: mining.CommonNeighbors, Tau: 3, Mode: session.Sketched}},
+		{"dist-tc", "ship-neighborhoods", base, session.DistTC{Nodes: 4, Ship: dist.ShipNeighborhoods}},
+		{"dist-tc", "ship-sketches", base, session.DistTC{Nodes: 4, Ship: dist.ShipSketches}},
+	}
+
+	ctx := context.Background()
+	var rows []BenchRecord
+	for _, c := range cases {
+		var res session.Result
+		var runErr error
+		timing := Measure(opts.Runs, func() {
+			res, runErr = c.sess.Run(ctx, c.kernel)
+		})
+		if runErr != nil {
+			return nil, fmt.Errorf("session bench %s/%s: %w", c.name, c.config, runErr)
+		}
+		rec := BenchRecord{
+			Experiment: "session/" + c.name,
+			Config:     c.config,
+			Value:      res.Value,
+			NsPerOp:    int64(timing.Median),
+		}
+		if res.Net != nil {
+			rec.BytesShipped = res.Net.Bytes
+		}
+		rows = append(rows, rec)
+	}
+
+	if opts.JSON != nil {
+		enc := json.NewEncoder(opts.JSON)
+		for _, r := range rows {
+			if err := enc.Encode(r); err != nil {
+				return nil, fmt.Errorf("session bench: writing JSON record: %w", err)
+			}
+		}
+	}
+
+	section(opts.Out, "Session API benchmark (graph: kron scale %d)", scale)
+	t := NewTable(opts.Out, "experiment", "config", "value", "ns/op", "bytes shipped")
+	for _, r := range rows {
+		t.Row(r.Experiment, r.Config, r.Value, r.NsPerOp, r.BytesShipped)
+	}
+	t.Flush()
+	return rows, nil
+}

@@ -91,6 +91,44 @@ const (
 	Est1HSimple
 )
 
+// String returns the estimator name — the flag/wire form ParseEstimator
+// accepts, mirroring Kind.String/ParseKind.
+func (e Estimator) String() string {
+	switch e {
+	case EstAuto:
+		return "auto"
+	case EstBFAnd:
+		return "and"
+	case EstBFL:
+		return "l"
+	case EstBFOr:
+		return "or"
+	case Est1HSimple:
+		return "1hsimple"
+	}
+	return fmt.Sprintf("Estimator(%d)", int(e))
+}
+
+// ParseEstimator parses an estimator name as printed by Estimator.String,
+// case-insensitively, plus long aliases — the flag/wire form the cmds
+// accept. The empty string parses as EstAuto, so an unset flag or wire
+// field selects the paper's per-representation default.
+func ParseEstimator(s string) (Estimator, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "auto":
+		return EstAuto, nil
+	case "and", "bfand":
+		return EstBFAnd, nil
+	case "l", "bfl", "linear":
+		return EstBFL, nil
+	case "or", "bfor", "swamidass":
+		return EstBFOr, nil
+	case "1hsimple", "simple":
+		return Est1HSimple, nil
+	}
+	return 0, fmt.Errorf("core: unknown estimator %q", s)
+}
+
 // Config parameterizes Build. The zero value plus a Kind is usable: the
 // storage budget defaults to 25% (the evaluation's typical setting) and
 // sizes are derived from it.

@@ -334,3 +334,24 @@ func TestHLLEmptyAndIsolated(t *testing.T) {
 		t.Fatal("HLL cannot answer membership; Contains must be false")
 	}
 }
+
+func TestEstimatorStringParseRoundTrip(t *testing.T) {
+	for _, e := range []Estimator{EstAuto, EstBFAnd, EstBFL, EstBFOr, Est1HSimple} {
+		got, err := ParseEstimator(e.String())
+		if err != nil {
+			t.Fatalf("ParseEstimator(%q): %v", e.String(), err)
+		}
+		if got != e {
+			t.Fatalf("ParseEstimator(%q) = %v, want %v", e.String(), got, e)
+		}
+	}
+	if e, err := ParseEstimator(""); err != nil || e != EstAuto {
+		t.Fatalf("empty string: got %v, %v; want EstAuto, nil", e, err)
+	}
+	if e, err := ParseEstimator(" Swamidass "); err != nil || e != EstBFOr {
+		t.Fatalf("alias: got %v, %v; want EstBFOr, nil", e, err)
+	}
+	if _, err := ParseEstimator("nope"); err == nil {
+		t.Fatal("unknown estimator must error")
+	}
+}

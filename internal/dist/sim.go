@@ -1,11 +1,13 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 
 	"probgraph/internal/core"
 	"probgraph/internal/graph"
 	"probgraph/internal/mining"
+	"probgraph/internal/par"
 )
 
 // Sim runs distributed vertex similarity (Listing 3) over the same
@@ -25,6 +27,13 @@ import (
 // CommonNeighbors, TotalNeighbors) are supported: the weighted ones
 // need witness identities, which neither wire protocol ships.
 func Sim(g *graph.Graph, pg *core.PG, nodes int, mode Mode, m mining.Measure) (*Result, error) {
+	return SimCtx(context.Background(), g, pg, nodes, mode, m)
+}
+
+// SimCtx is Sim with cooperative cancellation: every simulated worker
+// checks the context once per owned vertex and a cancelled run returns
+// ctx.Err().
+func SimCtx(ctx context.Context, g *graph.Graph, pg *core.PG, nodes int, mode Mode, m mining.Measure) (*Result, error) {
 	if g == nil {
 		return nil, fmt.Errorf("dist: Sim needs a graph")
 	}
@@ -53,6 +62,7 @@ func Sim(g *graph.Graph, pg *core.PG, nodes int, mode Mode, m mining.Measure) (*
 	c := newCluster(n, nodes)
 	res := &Result{Nodes: nodes, Mode: mode}
 	sums := make([]float64, nodes)
+	done := ctx.Done()
 
 	switch mode {
 	case ShipNeighborhoods:
@@ -63,6 +73,9 @@ func Sim(g *graph.Graph, pg *core.PG, nodes int, mode Mode, m mining.Measure) (*
 		res.Net = c.run(serve, func(nd *node) {
 			var s float64
 			for u := nd.lo; u < nd.hi; u++ {
+				if par.Cancelled(done) {
+					return
+				}
 				nu := g.Neighbors(u)
 				for _, v := range nu {
 					if v <= u {
@@ -92,6 +105,9 @@ func Sim(g *graph.Graph, pg *core.PG, nodes int, mode Mode, m mining.Measure) (*
 		res.Net = c.run(serve, func(nd *node) {
 			var s float64
 			for u := nd.lo; u < nd.hi; u++ {
+				if par.Cancelled(done) {
+					return
+				}
 				for _, v := range g.Neighbors(u) {
 					if v <= u {
 						continue
@@ -108,6 +124,9 @@ func Sim(g *graph.Graph, pg *core.PG, nodes int, mode Mode, m mining.Measure) (*
 		})
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var total float64
 	for _, s := range sums {
 		total += s

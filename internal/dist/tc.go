@@ -1,10 +1,12 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 
 	"probgraph/internal/core"
 	"probgraph/internal/graph"
+	"probgraph/internal/par"
 )
 
 // TC runs the oriented triangle-count kernel (Listing 1) over `nodes`
@@ -24,6 +26,13 @@ import (
 // generated; both are deterministic for a given graph, orientation,
 // sketch, node count, and mode.
 func TC(g *graph.Graph, o *graph.Oriented, pg *core.PG, nodes int, mode Mode) (*Result, error) {
+	return TCCtx(context.Background(), g, o, pg, nodes, mode)
+}
+
+// TCCtx is TC with cooperative cancellation: every simulated worker
+// checks the context once per owned vertex, so a cancelled run winds
+// down within one vertex's worth of work per node and returns ctx.Err().
+func TCCtx(ctx context.Context, g *graph.Graph, o *graph.Oriented, pg *core.PG, nodes int, mode Mode) (*Result, error) {
 	if g == nil || o == nil {
 		return nil, fmt.Errorf("dist: TC needs a graph and its orientation")
 	}
@@ -45,6 +54,7 @@ func TC(g *graph.Graph, o *graph.Oriented, pg *core.PG, nodes int, mode Mode) (*
 
 	c := newCluster(n, nodes)
 	res := &Result{Nodes: nodes, Mode: mode}
+	done := ctx.Done()
 
 	switch mode {
 	case ShipNeighborhoods:
@@ -57,6 +67,9 @@ func TC(g *graph.Graph, o *graph.Oriented, pg *core.PG, nodes int, mode Mode) (*
 			rank := o.Rank
 			var tc int64
 			for v := nd.lo; v < nd.hi; v++ {
+				if par.Cancelled(done) {
+					return
+				}
 				nv := o.NPlus(v)
 				for _, u := range nv {
 					var nu []uint32
@@ -88,6 +101,9 @@ func TC(g *graph.Graph, o *graph.Oriented, pg *core.PG, nodes int, mode Mode) (*
 		res.Net = c.run(serve, func(nd *node) {
 			var s float64
 			for v := nd.lo; v < nd.hi; v++ {
+				if par.Cancelled(done) {
+					return
+				}
 				for _, u := range o.NPlus(v) {
 					if !nd.owns(u) && !nd.seen[u] {
 						nd.fetch(u)
@@ -103,6 +119,9 @@ func TC(g *graph.Graph, o *graph.Oriented, pg *core.PG, nodes int, mode Mode) (*
 			total += s
 		}
 		res.Count = total
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

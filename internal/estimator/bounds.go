@@ -158,6 +158,18 @@ func TCDeviationMinHash(gm GraphMoments, k int, conf float64) float64 {
 	return gm.SumDeg2 * math.Sqrt(math.Log(2/(1-conf))/(18*float64(k)))
 }
 
+// TCDeviationBF inverts TCBoundBF at confidence conf: the deviation t
+// with P(|TC − T̂C_AND| ≥ t) ≤ 1 − conf, i.e. t = m·√(2·MSE/(9(1−conf))).
+// valid mirrors the Prop. IV.1 precondition b·Δ ≤ 0.499·B·ln B.
+func TCDeviationBF(gm GraphMoments, sizeBits, b int, conf float64) (t float64, valid bool) {
+	mse, valid := BFMSEBound(gm.MaxDegree, sizeBits, b)
+	if !valid || conf >= 1 {
+		return 0, valid
+	}
+	m := float64(gm.M)
+	return m * math.Sqrt(2*mse/(9*(1-conf))), valid
+}
+
 // --- KMV bounds (Props. A.7–A.9) -------------------------------------------
 
 // KMVCardInterval evaluates Prop. A.7: the probability that the KMV size

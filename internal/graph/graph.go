@@ -9,6 +9,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"probgraph/internal/par"
 )
@@ -20,6 +21,29 @@ import (
 type Graph struct {
 	Offsets []int64  // length n+1
 	Neigh   []uint32 // length 2m, sorted within each neighborhood
+
+	// derived is an opaque slot for lazily-attached per-graph derived
+	// state (the root package's default Session). Keeping it on the
+	// graph gives the cache exactly the graph's lifetime: collect the
+	// graph and its derived state goes with it, with nothing pinned in
+	// package-level maps.
+	derived atomic.Value
+}
+
+// Derived returns the graph's opaque derived-state slot, initializing
+// it with build on first use. Concurrent first callers may race to
+// build; exactly one value wins and is returned to everyone (build must
+// therefore be cheap — expensive construction belongs behind the
+// returned value's own lazy machinery).
+func (g *Graph) Derived(build func() any) any {
+	if v := g.derived.Load(); v != nil {
+		return v
+	}
+	v := build()
+	if !g.derived.CompareAndSwap(nil, v) {
+		return g.derived.Load()
+	}
+	return v
 }
 
 // NumVertices returns n.

@@ -1,6 +1,7 @@
 package mining
 
 import (
+	"context"
 	"fmt"
 
 	"probgraph/internal/bitset"
@@ -17,8 +18,14 @@ import (
 // counted exactly once (u=a, v=b, w=c, closing at d).
 // Work O(n·d³), depth O(log² d) (Table VI).
 func Exact4Clique(o *graph.Oriented, workers int) int64 {
+	ck, _ := Exact4CliqueCtx(context.Background(), o, workers)
+	return ck
+}
+
+// Exact4CliqueCtx is Exact4Clique with cooperative cancellation.
+func Exact4CliqueCtx(ctx context.Context, o *graph.Oriented, workers int) (int64, error) {
 	n := o.NumVertices()
-	return par.ReduceInt64(n, workers, func(lo, hi int) int64 {
+	return par.ReduceInt64Ctx(ctx, n, workers, func(lo, hi int) int64 {
 		var ck int64
 		var c3 []uint32
 		for u := lo; u < hi; u++ {
@@ -52,11 +59,17 @@ func Exact4Clique(o *graph.Oriented, workers int) int64 {
 //
 // pg must be built over the oriented neighborhoods (core.BuildOriented).
 func PG4Clique(o *graph.Oriented, pg *core.PG, workers int) float64 {
+	ck, _ := PG4CliqueCtx(context.Background(), o, pg, workers)
+	return ck
+}
+
+// PG4CliqueCtx is PG4Clique with cooperative cancellation.
+func PG4CliqueCtx(ctx context.Context, o *graph.Oriented, pg *core.PG, workers int) (float64, error) {
 	if pg.Cfg.Kind == core.OneHash && pg.HasElems() {
-		return pg4CliqueSampled(o, pg, workers)
+		return pg4CliqueSampled(ctx, o, pg, workers)
 	}
 	n := o.NumVertices()
-	return par.ReduceFloat64(n, workers, func(lo, hi int) float64 {
+	return par.ReduceFloat64Ctx(ctx, n, workers, func(lo, hi int) float64 {
 		var ck float64
 		var c3 []uint32
 		for u := lo; u < hi; u++ {
@@ -78,10 +91,10 @@ func PG4Clique(o *graph.Oriented, pg *core.PG, workers int) float64 {
 // estimate and a sample of C3's members (with their hash values — a
 // bottom sample of C3 under the shared hash function); the inner
 // cardinality is estimated per sampled w and extrapolated.
-func pg4CliqueSampled(o *graph.Oriented, pg *core.PG, workers int) float64 {
+func pg4CliqueSampled(ctx context.Context, o *graph.Oriented, pg *core.PG, workers int) (float64, error) {
 	n := o.NumVertices()
 	k := pg.Cfg.K
-	return par.ReduceFloat64(n, workers, func(lo, hi int) float64 {
+	return par.ReduceFloat64Ctx(ctx, n, workers, func(lo, hi int) float64 {
 		var ck float64
 		sampleH := make([]uint64, 0, k)
 		sampleE := make([]uint32, 0, k)
@@ -132,11 +145,17 @@ func pg4CliqueSampled(o *graph.Oriented, pg *core.PG, workers int) float64 {
 // intersection over the oriented DAG — the generalization of Listing 2
 // used to cross-check the 4-clique path and to exercise larger patterns.
 func ExactKClique(o *graph.Oriented, k, workers int) int64 {
+	ck, _ := ExactKCliqueCtx(context.Background(), o, k, workers)
+	return ck
+}
+
+// ExactKCliqueCtx is ExactKClique with cooperative cancellation.
+func ExactKCliqueCtx(ctx context.Context, o *graph.Oriented, k, workers int) (int64, error) {
 	if k < 3 {
-		return 0
+		return 0, nil
 	}
 	n := o.NumVertices()
-	return par.ReduceInt64(n, workers, func(lo, hi int) int64 {
+	return par.ReduceInt64Ctx(ctx, n, workers, func(lo, hi int) int64 {
 		var total int64
 		scratch := make([][]uint32, k)
 		for v := lo; v < hi; v++ {
@@ -176,6 +195,14 @@ func kcliqueRec(o *graph.Oriented, cand []uint32, depth int, scratch [][]uint32,
 // order (cf. the higher-order clique counting discussion of §X).
 // pg must be a BF ProbGraph over the oriented neighborhoods.
 func PGKClique(o *graph.Oriented, pg *core.PG, k, workers int) (float64, error) {
+	return PGKCliqueCtx(context.Background(), o, pg, k, workers)
+}
+
+// PGKCliqueCtx is PGKClique with cooperative cancellation.
+func PGKCliqueCtx(ctx context.Context, o *graph.Oriented, pg *core.PG, k, workers int) (float64, error) {
+	if pg == nil {
+		return 0, fmt.Errorf("mining: PGKClique needs a ProbGraph (core.BuildOriented over the same orientation)")
+	}
 	if pg.Cfg.Kind != core.BF {
 		return 0, fmt.Errorf("mining: PGKClique requires a Bloom-filter ProbGraph, got %v", pg.Cfg.Kind)
 	}
@@ -184,7 +211,7 @@ func PGKClique(o *graph.Oriented, pg *core.PG, k, workers int) (float64, error) 
 	}
 	n := o.NumVertices()
 	words := pg.Cfg.BloomBits / bitset.WordBits
-	total := par.ReduceFloat64(n, workers, func(lo, hi int) float64 {
+	total, err := par.ReduceFloat64Ctx(ctx, n, workers, func(lo, hi int) float64 {
 		scratch := make([][]uint32, k)
 		// acc[level] is the AND of the Bloom filters along the prefix.
 		acc := make([]bitset.Bits, k)
@@ -202,6 +229,9 @@ func PGKClique(o *graph.Oriented, pg *core.PG, k, workers int) (float64, error) 
 		}
 		return s
 	})
+	if err != nil {
+		return 0, err
+	}
 	return total, nil
 }
 

@@ -1,6 +1,8 @@
 package mining
 
 import (
+	"context"
+
 	"probgraph/internal/core"
 	"probgraph/internal/graph"
 	"probgraph/internal/par"
@@ -21,12 +23,15 @@ type scoreFunc func(u, v uint32) float64
 // clusterWith runs Listing 4 with the given edge scorer: every edge is
 // scored in parallel, edges above the threshold survive, and the kept
 // graph's components are extracted with union-find.
-func clusterWith(g *graph.Graph, tau float64, workers int, score scoreFunc) *Clustering {
+func clusterWith(ctx context.Context, g *graph.Graph, tau float64, workers int, score scoreFunc) (*Clustering, error) {
 	edges := g.EdgeList()
 	keep := make([]bool, len(edges))
-	par.For(len(edges), workers, func(i int) {
+	err := par.ForCtx(ctx, len(edges), workers, func(i int) {
 		keep[i] = score(edges[i].U, edges[i].V) > tau
 	})
+	if err != nil {
+		return nil, err
+	}
 	var kept []graph.Edge
 	for i, k := range keep {
 		if k {
@@ -34,12 +39,19 @@ func clusterWith(g *graph.Graph, tau float64, workers int, score scoreFunc) *Clu
 		}
 	}
 	labels, num := components(g.NumVertices(), kept)
-	return &Clustering{Kept: kept, NumClusters: num, Labels: labels}
+	return &Clustering{Kept: kept, NumClusters: num, Labels: labels}, nil
 }
 
 // JarvisPatrickExact clusters with exact similarities (the CSR baseline).
 func JarvisPatrickExact(g *graph.Graph, m Measure, tau float64, workers int) *Clustering {
-	return clusterWith(g, tau, workers, func(u, v uint32) float64 {
+	c, _ := JarvisPatrickExactCtx(context.Background(), g, m, tau, workers)
+	return c
+}
+
+// JarvisPatrickExactCtx is JarvisPatrickExact with cooperative
+// cancellation of the edge-scoring loop.
+func JarvisPatrickExactCtx(ctx context.Context, g *graph.Graph, m Measure, tau float64, workers int) (*Clustering, error) {
+	return clusterWith(ctx, g, tau, workers, func(u, v uint32) float64 {
 		return ExactSimilarity(g, u, v, m)
 	})
 }
@@ -47,7 +59,14 @@ func JarvisPatrickExact(g *graph.Graph, m Measure, tau float64, workers int) *Cl
 // JarvisPatrickPG clusters with the PG similarity estimator; pg must hold
 // full-neighborhood sketches.
 func JarvisPatrickPG(g *graph.Graph, pg *core.PG, m Measure, tau float64, workers int) *Clustering {
-	return clusterWith(g, tau, workers, func(u, v uint32) float64 {
+	c, _ := JarvisPatrickPGCtx(context.Background(), g, pg, m, tau, workers)
+	return c
+}
+
+// JarvisPatrickPGCtx is JarvisPatrickPG with cooperative cancellation of
+// the edge-scoring loop.
+func JarvisPatrickPGCtx(ctx context.Context, g *graph.Graph, pg *core.PG, m Measure, tau float64, workers int) (*Clustering, error) {
+	return clusterWith(ctx, g, tau, workers, func(u, v uint32) float64 {
 		return PGSimilarity(g, pg, u, v, m)
 	})
 }

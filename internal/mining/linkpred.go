@@ -1,6 +1,7 @@
 package mining
 
 import (
+	"context"
 	"math/rand/v2"
 	"sort"
 
@@ -37,6 +38,13 @@ type scoredPair struct {
 // If pgCfg is nil the scorer is exact; otherwise a ProbGraph is built on
 // the sparsified graph and the PG similarity is used.
 func EvaluateLinkPrediction(g *graph.Graph, m Measure, removeFrac float64, seed uint64, pgCfg *core.Config, workers int) (*LinkPredResult, error) {
+	return EvaluateLinkPredictionCtx(context.Background(), g, m, removeFrac, seed, pgCfg, workers)
+}
+
+// EvaluateLinkPredictionCtx is EvaluateLinkPrediction with cooperative
+// cancellation: the context is observed between the harness's phases and
+// at the chunk boundaries of the parallel candidate-scoring loop.
+func EvaluateLinkPredictionCtx(ctx context.Context, g *graph.Graph, m Measure, removeFrac float64, seed uint64, pgCfg *core.Config, workers int) (*LinkPredResult, error) {
 	edges := g.EdgeList()
 	r := rand.New(rand.NewPCG(seed, 0xdecafbad))
 	r.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
@@ -70,12 +78,17 @@ func EvaluateLinkPrediction(g *graph.Graph, m Measure, removeFrac float64, seed 
 		score = func(u, v uint32) float64 { return ExactSimilarity(sparse, u, v, m) }
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	candidates := twoHopCandidates(sparse)
 	scored := make([]scoredPair, len(candidates))
-	par.For(len(candidates), workers, func(i int) {
+	if err := par.ForCtx(ctx, len(candidates), workers, func(i int) {
 		c := candidates[i]
 		scored[i] = scoredPair{c.U, c.V, score(c.U, c.V)}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	sort.Slice(scored, func(i, j int) bool {
 		if scored[i].score != scored[j].score {
 			return scored[i].score > scored[j].score

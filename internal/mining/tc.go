@@ -3,9 +3,15 @@
 // their ProbGraph-enhanced form, where every |X∩Y| marked blue in
 // Listings 1–5 is replaced by a sketch estimator. All algorithms are
 // parallel over the loops the listings mark "[in par]".
+//
+// Every parallel kernel has a context-aware variant (the *Ctx form) that
+// observes cancellation at the chunk boundaries of internal/par and
+// returns ctx.Err(); the plain form is a thin wrapper over a background
+// context, preserved for callers that cannot be cancelled.
 package mining
 
 import (
+	"context"
 	"math"
 
 	"probgraph/internal/core"
@@ -18,8 +24,14 @@ import (
 // higher-ranked endpoint, and tc = Σ_v Σ_{u∈N+_v} |N+_v ∩ N+_u| with the
 // adaptive merge/galloping intersection. Work O(n·d²), depth O(log d).
 func ExactTC(o *graph.Oriented, workers int) int64 {
+	tc, _ := ExactTCCtx(context.Background(), o, workers)
+	return tc
+}
+
+// ExactTCCtx is ExactTC with cooperative cancellation.
+func ExactTCCtx(ctx context.Context, o *graph.Oriented, workers int) (int64, error) {
 	n := o.NumVertices()
-	return par.ReduceInt64(n, workers, func(lo, hi int) int64 {
+	return par.ReduceInt64Ctx(ctx, n, workers, func(lo, hi int) int64 {
 		var tc int64
 		for v := lo; v < hi; v++ {
 			nv := o.NPlus(uint32(v))
@@ -36,8 +48,14 @@ func ExactTC(o *graph.Oriented, workers int) int64 {
 // The estimator inherits the statistical properties of the underlying
 // |X∩Y| estimator (MLE and exponential concentration for k-Hash).
 func PGTC(g *graph.Graph, pg *core.PG, workers int) float64 {
+	tc, _ := PGTCCtx(context.Background(), g, pg, workers)
+	return tc
+}
+
+// PGTCCtx is PGTC with cooperative cancellation.
+func PGTCCtx(ctx context.Context, g *graph.Graph, pg *core.PG, workers int) (float64, error) {
 	n := g.NumVertices()
-	sum := par.ReduceFloat64(n, workers, func(lo, hi int) float64 {
+	sum, err := par.ReduceFloat64Ctx(ctx, n, workers, func(lo, hi int) float64 {
 		var s float64
 		for u := lo; u < hi; u++ {
 			for _, v := range g.Neighbors(uint32(u)) {
@@ -48,7 +66,10 @@ func PGTC(g *graph.Graph, pg *core.PG, workers int) float64 {
 		}
 		return s
 	})
-	return sum / 3
+	if err != nil {
+		return 0, err
+	}
+	return sum / 3, nil
 }
 
 // RoundCount rounds a non-negative estimate to the nearest integer count.
@@ -63,11 +84,18 @@ func RoundCount(est float64) int64 {
 // coefficient computed exactly: for each vertex, triangles through it
 // over d_v(d_v-1)/2. One of the §III-A applications (network cohesion).
 func LocalClusteringCoefficient(g *graph.Graph, workers int) float64 {
+	cc, _ := LocalClusteringCoefficientCtx(context.Background(), g, workers)
+	return cc
+}
+
+// LocalClusteringCoefficientCtx is LocalClusteringCoefficient with
+// cooperative cancellation.
+func LocalClusteringCoefficientCtx(ctx context.Context, g *graph.Graph, workers int) (float64, error) {
 	n := g.NumVertices()
 	if n == 0 {
-		return 0
+		return 0, nil
 	}
-	sum := par.ReduceFloat64(n, workers, func(lo, hi int) float64 {
+	sum, err := par.ReduceFloat64Ctx(ctx, n, workers, func(lo, hi int) float64 {
 		var s float64
 		for v := lo; v < hi; v++ {
 			nv := g.Neighbors(uint32(v))
@@ -84,17 +112,27 @@ func LocalClusteringCoefficient(g *graph.Graph, workers int) float64 {
 		}
 		return s
 	})
-	return sum / float64(n)
+	if err != nil {
+		return 0, err
+	}
+	return sum / float64(n), nil
 }
 
 // PGLocalClusteringCoefficient is the PG-enhanced variant: the per-vertex
 // triangle count uses sketch intersections over the vertex's neighbors.
 func PGLocalClusteringCoefficient(g *graph.Graph, pg *core.PG, workers int) float64 {
+	cc, _ := PGLocalClusteringCoefficientCtx(context.Background(), g, pg, workers)
+	return cc
+}
+
+// PGLocalClusteringCoefficientCtx is PGLocalClusteringCoefficient with
+// cooperative cancellation.
+func PGLocalClusteringCoefficientCtx(ctx context.Context, g *graph.Graph, pg *core.PG, workers int) (float64, error) {
 	n := g.NumVertices()
 	if n == 0 {
-		return 0
+		return 0, nil
 	}
-	sum := par.ReduceFloat64(n, workers, func(lo, hi int) float64 {
+	sum, err := par.ReduceFloat64Ctx(ctx, n, workers, func(lo, hi int) float64 {
 		var s float64
 		for v := lo; v < hi; v++ {
 			nv := g.Neighbors(uint32(v))
@@ -110,7 +148,10 @@ func PGLocalClusteringCoefficient(g *graph.Graph, pg *core.PG, workers int) floa
 		}
 		return s
 	})
-	return sum / float64(n)
+	if err != nil {
+		return 0, err
+	}
+	return sum / float64(n), nil
 }
 
 // Cohesion computes the exact network cohesion TC/C(n,3) of §III-A for
@@ -129,9 +170,16 @@ func Cohesion(g *graph.Graph, o *graph.Oriented, workers int) float64 {
 // the §III-A signal for spam detection and community discovery (spam
 // and legitimate pages differ in the triangle counts they belong to).
 func LocalTC(g *graph.Graph, workers int) []int64 {
+	counts, _ := LocalTCCtx(context.Background(), g, workers)
+	return counts
+}
+
+// LocalTCCtx is LocalTC with cooperative cancellation; on cancellation
+// the partially-filled slice is discarded and ctx.Err() returned.
+func LocalTCCtx(ctx context.Context, g *graph.Graph, workers int) ([]int64, error) {
 	n := g.NumVertices()
 	counts := make([]int64, n)
-	par.For(n, workers, func(v int) {
+	err := par.ForCtx(ctx, n, workers, func(v int) {
 		nv := g.Neighbors(uint32(v))
 		var c int64
 		for _, u := range nv {
@@ -139,20 +187,32 @@ func LocalTC(g *graph.Graph, workers int) []int64 {
 		}
 		counts[v] = c / 2 // each triangle at v seen via both other corners
 	})
-	return counts
+	if err != nil {
+		return nil, err
+	}
+	return counts, nil
 }
 
 // PGLocalTC estimates the per-vertex triangle counts through sketch
 // intersections: work O(d_v · B/W) per vertex instead of O(d_v · d).
 func PGLocalTC(g *graph.Graph, pg *core.PG, workers int) []float64 {
+	counts, _ := PGLocalTCCtx(context.Background(), g, pg, workers)
+	return counts
+}
+
+// PGLocalTCCtx is PGLocalTC with cooperative cancellation.
+func PGLocalTCCtx(ctx context.Context, g *graph.Graph, pg *core.PG, workers int) ([]float64, error) {
 	n := g.NumVertices()
 	counts := make([]float64, n)
-	par.For(n, workers, func(v int) {
+	err := par.ForCtx(ctx, n, workers, func(v int) {
 		var c float64
 		for _, u := range g.Neighbors(uint32(v)) {
 			c += pg.IntCard(uint32(v), u)
 		}
 		counts[v] = c / 2
 	})
-	return counts
+	if err != nil {
+		return nil, err
+	}
+	return counts, nil
 }

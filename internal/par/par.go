@@ -9,9 +9,17 @@
 // gives the exact CSR baselines a fair chance on skewed-degree graphs;
 // ProbGraph's fixed-size sketches then remove the residual imbalance
 // within a chunk (Fig. 1, panel 5).
+//
+// Every loop has a context-aware variant (ForCtx, ForChunkedCtx,
+// ReduceInt64Ctx, ReduceFloat64Ctx) that observes cancellation at chunk
+// boundaries: no new chunk is started after the context is cancelled,
+// chunks already in flight run to completion, and the first observed
+// ctx.Err() is returned. A context whose Done channel is nil (such as
+// context.Background()) adds no overhead to the hot path.
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -36,7 +44,14 @@ func Chunk(n, w int) int {
 // workers (<=0 means DefaultWorkers). Iterations must be independent;
 // body must synchronize any shared writes itself.
 func For(n, workers int, body func(i int)) {
-	ForChunked(n, workers, 0, func(lo, hi int) {
+	ForCtx(context.Background(), n, workers, body)
+}
+
+// ForCtx is For with cooperative cancellation: after ctx is cancelled no
+// new chunk is started, and ctx.Err() is returned. Chunks already in
+// flight finish, so the latency of cancellation is one chunk.
+func ForCtx(ctx context.Context, n, workers int, body func(i int)) error {
+	return ForChunkedCtx(ctx, n, workers, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			body(i)
 		}
@@ -47,9 +62,20 @@ func For(n, workers int, body func(i int)) {
 // chunk <= 0 selects an automatic size. Each worker pulls chunks from a
 // shared atomic cursor until the range is exhausted.
 func ForChunked(n, workers, chunk int, body func(lo, hi int)) {
+	ForChunkedCtx(context.Background(), n, workers, chunk, body)
+}
+
+// ForChunkedCtx is ForChunked with cooperative cancellation at chunk
+// boundaries. It returns nil when every chunk ran, ctx.Err() when
+// cancellation cut the loop short. A single worker always runs the
+// range as ForChunked's one body(0, n) chunk — whatever the context —
+// so single-worker results are bit-identical to the non-ctx form;
+// cancellation is then observed only before the run starts.
+func ForChunkedCtx(ctx context.Context, n, workers, chunk int, body func(lo, hi int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
+	done := ctxDone(ctx)
 	if workers <= 0 {
 		workers = DefaultWorkers()
 	}
@@ -57,12 +83,16 @@ func ForChunked(n, workers, chunk int, body func(lo, hi int)) {
 		workers = n
 	}
 	if workers == 1 {
+		if Cancelled(done) {
+			return ctx.Err()
+		}
 		body(0, n)
-		return
+		return nil
 	}
 	if chunk <= 0 {
 		chunk = Chunk(n, workers)
 	}
+	var stopped atomic.Bool
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -70,6 +100,10 @@ func ForChunked(n, workers, chunk int, body func(lo, hi int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if Cancelled(done) {
+					stopped.Store(true)
+					return
+				}
 				lo := int(cursor.Add(int64(chunk))) - chunk
 				if lo >= n {
 					return
@@ -83,6 +117,10 @@ func ForChunked(n, workers, chunk int, body func(lo, hi int)) {
 		}()
 	}
 	wg.Wait()
+	if stopped.Load() {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // SumInt64 computes sum over i in [0,n) of body(i) in parallel, combining
@@ -113,54 +151,42 @@ func SumFloat64(n, workers int, body func(i int) float64) float64 {
 // ReduceInt64 computes the sum of body(lo,hi) over disjoint chunks
 // covering [0,n), in parallel.
 func ReduceInt64(n, workers int, body func(lo, hi int) int64) int64 {
-	if n <= 0 {
-		return 0
-	}
-	if workers <= 0 {
-		workers = DefaultWorkers()
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers == 1 {
-		return body(0, n)
-	}
-	chunk := Chunk(n, workers)
-	partial := make([]int64, workers)
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			var s int64
-			for {
-				lo := int(cursor.Add(int64(chunk))) - chunk
-				if lo >= n {
-					break
-				}
-				hi := lo + chunk
-				if hi > n {
-					hi = n
-				}
-				s += body(lo, hi)
-			}
-			partial[w] = s
-		}(w)
-	}
-	wg.Wait()
-	var total int64
-	for _, s := range partial {
-		total += s
-	}
-	return total
+	v, _ := reduceCtx(context.Background(), n, workers, body)
+	return v
+}
+
+// ReduceInt64Ctx is ReduceInt64 with cooperative cancellation at chunk
+// boundaries; on cancellation it returns 0 and ctx.Err().
+func ReduceInt64Ctx(ctx context.Context, n, workers int, body func(lo, hi int) int64) (int64, error) {
+	return reduceCtx(ctx, n, workers, body)
 }
 
 // ReduceFloat64 is ReduceInt64 for float64 partials.
 func ReduceFloat64(n, workers int, body func(lo, hi int) float64) float64 {
+	v, _ := reduceCtx(context.Background(), n, workers, body)
+	return v
+}
+
+// ReduceFloat64Ctx is ReduceFloat64 with cooperative cancellation at
+// chunk boundaries; on cancellation it returns 0 and ctx.Err().
+func ReduceFloat64Ctx(ctx context.Context, n, workers int, body func(lo, hi int) float64) (float64, error) {
+	return reduceCtx(ctx, n, workers, body)
+}
+
+// reduceCtx is the shared implementation behind the typed reductions:
+// per-worker private partial sums, combined in worker-index order. A
+// single worker always evaluates the range as one body(0, n) call so
+// its summation grouping — and therefore the float result — is
+// bit-identical whether or not the context is cancellable (the
+// single-worker configuration is exactly the one chosen for
+// deterministic results); cancellation is then observed only before
+// the run starts.
+func reduceCtx[T int64 | float64](ctx context.Context, n, workers int, body func(lo, hi int) T) (T, error) {
+	var zero T
 	if n <= 0 {
-		return 0
+		return zero, nil
 	}
+	done := ctxDone(ctx)
 	if workers <= 0 {
 		workers = DefaultWorkers()
 	}
@@ -168,18 +194,26 @@ func ReduceFloat64(n, workers int, body func(lo, hi int) float64) float64 {
 		workers = n
 	}
 	if workers == 1 {
-		return body(0, n)
+		if Cancelled(done) {
+			return zero, ctx.Err()
+		}
+		return body(0, n), nil
 	}
 	chunk := Chunk(n, workers)
-	partial := make([]float64, workers)
+	var stopped atomic.Bool
+	partial := make([]T, workers)
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
-			var s float64
+			var s T
 			for {
+				if Cancelled(done) {
+					stopped.Store(true)
+					break
+				}
 				lo := int(cursor.Add(int64(chunk))) - chunk
 				if lo >= n {
 					break
@@ -194,11 +228,37 @@ func ReduceFloat64(n, workers int, body func(lo, hi int) float64) float64 {
 		}(w)
 	}
 	wg.Wait()
-	var total float64
+	if stopped.Load() {
+		return zero, ctx.Err()
+	}
+	var total T
 	for _, s := range partial {
 		total += s
 	}
-	return total
+	return total, nil
+}
+
+// ctxDone returns ctx.Done(), tolerating a nil context.
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
+// Cancelled polls a done channel (ctx.Done()) without blocking — the
+// chunk-boundary cancellation check, shared by every loop here and by
+// the simulated distributed workers. A nil channel costs one comparison.
+func Cancelled(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
 }
 
 // ExclusiveScan replaces counts with its exclusive prefix sum in place and

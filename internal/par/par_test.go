@@ -1,6 +1,8 @@
 package par
 
 import (
+	"context"
+	"errors"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -118,6 +120,109 @@ func TestSumProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestForCtxUncancelledMatchesFor(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		n := 777
+		seen := make([]atomic.Int32, n)
+		if err := ForCtx(context.Background(), n, workers, func(i int) { seen[i].Add(1) }); err != nil {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForCtxCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		ran := atomic.Int64{}
+		err := ForCtx(ctx, 100_000, workers, func(int) { ran.Add(1) })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err=%v, want context.Canceled", workers, err)
+		}
+		// At most a few chunks may have started before the first check.
+		if ran.Load() == 100_000 {
+			t.Fatalf("workers=%d: loop ran to completion despite cancelled ctx", workers)
+		}
+	}
+}
+
+func TestForCtxCancelledMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 1 << 16
+	var ran atomic.Int64
+	err := ForChunkedCtx(ctx, n, 4, 64, func(lo, hi int) {
+		if ran.Add(int64(hi-lo)) > 1024 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if ran.Load() == int64(n) {
+		t.Fatal("loop ran every chunk despite mid-run cancellation")
+	}
+}
+
+func TestReduceCtxUncancelledMatchesReduce(t *testing.T) {
+	n := 12345
+	want := ReduceInt64(n, 4, func(lo, hi int) int64 { return int64(hi - lo) })
+	got, err := ReduceInt64Ctx(context.Background(), n, 4, func(lo, hi int) int64 { return int64(hi - lo) })
+	if err != nil || got != want {
+		t.Fatalf("got %d, %v; want %d, nil", got, err, want)
+	}
+	f, err := ReduceFloat64Ctx(context.Background(), n, 1, func(lo, hi int) float64 { return float64(hi - lo) })
+	if err != nil || f != float64(n) {
+		t.Fatalf("got %v, %v; want %v, nil", f, err, float64(n))
+	}
+}
+
+// TestSingleWorkerBitIdenticalUnderCancellableCtx pins the determinism
+// contract: with one worker, a cancellable (but uncancelled) context
+// must not change the summation grouping, so float results are
+// bit-identical to the non-ctx form.
+func TestSingleWorkerBitIdenticalUnderCancellableCtx(t *testing.T) {
+	n := 10007
+	body := func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += 1.0 / float64(i+1)
+		}
+		return s
+	}
+	want := ReduceFloat64(n, 1, body)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got, err := ReduceFloat64Ctx(ctx, n, 1, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("cancellable ctx changed the single-worker result: %v != %v", got, want)
+	}
+}
+
+func TestReduceCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, err := ReduceInt64Ctx(ctx, 1<<20, 4, func(lo, hi int) int64 { return int64(hi - lo) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if got != 0 {
+		t.Fatalf("cancelled reduce returned %d, want 0", got)
+	}
+	// Single worker with a cancellable context must also observe it.
+	_, err = ReduceFloat64Ctx(ctx, 1<<20, 1, func(lo, hi int) float64 { return 1 })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("single worker err=%v, want context.Canceled", err)
 	}
 }
 

@@ -1,13 +1,17 @@
 package serve
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// pending is one in-flight point query awaiting its result.
+// pending is one in-flight point query awaiting its result, tagged with
+// the requester's context so a batch can evaluate under the deadline of
+// a waiter that is still interested.
 type pending struct {
+	ctx context.Context
 	q   Query
 	res chan Result // buffered(1); exactly one send per request
 }
@@ -19,7 +23,7 @@ type pending struct {
 // to every waiter — concurrent clients asking for the same similarity
 // pay for one sketch intersection.
 type batcher struct {
-	eval     func(Query) Result
+	eval     func(context.Context, Query) Result
 	in       chan *pending
 	batches  chan []*pending
 	maxBatch int
@@ -34,7 +38,7 @@ type batcher struct {
 }
 
 // newBatcher starts the collector and `workers` evaluation workers.
-func newBatcher(eval func(Query) Result, workers, maxBatch int, maxDelay time.Duration) *batcher {
+func newBatcher(eval func(context.Context, Query) Result, workers, maxBatch int, maxDelay time.Duration) *batcher {
 	if workers < 1 {
 		workers = 1
 	}
@@ -57,17 +61,27 @@ func newBatcher(eval func(Query) Result, workers, maxBatch int, maxDelay time.Du
 	return b
 }
 
-// do submits one query and blocks for its result.
-func (b *batcher) do(q Query) Result {
-	p := &pending{q: q, res: make(chan Result, 1)}
+// do submits one query and blocks for its result, the requester's
+// context, or engine shutdown — whichever comes first. An abandoned
+// pending still receives exactly one (buffered) send from its batch, so
+// nothing leaks.
+func (b *batcher) do(ctx context.Context, q Query) Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p := &pending{ctx: ctx, q: q, res: make(chan Result, 1)}
 	select {
 	case b.in <- p:
+	case <-ctx.Done():
+		return Result{Err: ctx.Err().Error()}
 	case <-b.done:
 		return Result{Err: "serve: engine closed"}
 	}
 	select {
 	case r := <-p.res:
 		return r
+	case <-ctx.Done():
+		return Result{Err: ctx.Err().Error()}
 	case <-b.done:
 		// The batch holding p may still answer; prefer it if already there.
 		select {
@@ -163,10 +177,41 @@ func (b *batcher) run(batch []*pending) {
 	}
 	b.nCoalesced.Add(int64(len(batch) - len(order)))
 	for _, q := range order {
-		r := b.eval(q)
-		for _, p := range groups[q] {
+		b.evalGroup(q, groups[q])
+	}
+}
+
+// evalGroup answers every waiter of one coalesced query. The shared
+// evaluation runs under the first still-live waiter's context; waiters
+// whose own context is already cancelled get their cancellation error
+// without paying for the eval. If the chosen context is cancelled
+// mid-eval while other waiters remain interested, the eval is retried
+// for them — one leader's disconnect must not poison its coalesced
+// peers.
+func (b *batcher) evalGroup(q Query, waiters []*pending) {
+	for len(waiters) > 0 {
+		live := make([]*pending, 0, len(waiters))
+		for _, p := range waiters {
+			if err := p.ctx.Err(); err != nil {
+				p.res <- Result{Err: err.Error()}
+				continue
+			}
+			live = append(live, p)
+		}
+		if len(live) == 0 {
+			return
+		}
+		leader := live[0]
+		r := b.eval(leader.ctx, q)
+		if r.Err != "" && leader.ctx.Err() != nil && len(live) > 1 {
+			leader.res <- r
+			waiters = live[1:]
+			continue
+		}
+		for _, p := range live {
 			p.res <- r
 		}
+		return
 	}
 }
 

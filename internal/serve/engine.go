@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"probgraph/internal/core"
 	"probgraph/internal/mining"
 	"probgraph/internal/par"
+	"probgraph/internal/session"
 )
 
 // Op identifies a query operation.
@@ -147,9 +149,15 @@ func (o Options) withDefaults() Options {
 }
 
 // tcCell lazily materializes the snapshot-wide TC estimate per kind.
+// One leader computes under its own context while followers wait on
+// their own — a follower's deadline fires on time even mid-leader-run,
+// and a leader cut short by its requester's deadline caches nothing
+// (the next request takes over as leader).
 type tcCell struct {
-	once sync.Once
-	val  float64
+	mu       sync.Mutex
+	ready    bool
+	val      float64
+	building chan struct{} // non-nil while a leader computes; closed when it finishes
 }
 
 // Engine serves queries against one immutable snapshot: cache in front,
@@ -162,6 +170,7 @@ type Engine struct {
 	cache *lru
 	b     *batcher
 	tc    map[core.Kind]*tcCell
+	sess  map[core.Kind]*session.Session // per-kind Session views, engine workers
 
 	opCounts [opMax]countErr
 	start    time.Time
@@ -180,10 +189,14 @@ func New(s *Snapshot, opts Options) *Engine {
 		opts:  opts,
 		cache: newLRU(opts.CacheSize),
 		tc:    make(map[core.Kind]*tcCell, len(s.kinds)),
+		sess:  make(map[core.Kind]*session.Session, len(s.kinds)),
 		start: time.Now(),
 	}
 	for _, k := range s.kinds {
 		e.tc[k] = &tcCell{}
+		if sess, err := buildEngineSession(s, k, opts.Workers); err == nil {
+			e.sess[k] = sess
+		}
 	}
 	workers := opts.Workers
 	if workers <= 0 {
@@ -199,20 +212,39 @@ func (e *Engine) Snapshot() *Snapshot { return e.snap }
 // Close stops the batcher workers. In-flight Query calls complete.
 func (e *Engine) Close() { e.b.close() }
 
-// Query answers one request: normalize, consult the cache, then batch.
+// Query answers one request without a deadline: normalize, consult the
+// cache, then batch. See QueryCtx for the cancellable form.
 func (e *Engine) Query(q Query) (Result, error) {
+	return e.QueryCtx(context.Background(), q)
+}
+
+// QueryCtx answers one request under the caller's context — typically
+// the HTTP request context, so a disconnected or timed-out client stops
+// paying for its evaluation at the next chunk boundary. Cancelled
+// evaluations are never cached.
+func (e *Engine) QueryCtx(ctx context.Context, q Query) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		// An already-dead context is refused up front — even a cache hit
+		// would be an answer nobody is waiting for.
+		e.count(q.Op, err)
+		return Result{}, err
+	}
 	q, kind, err := e.normalize(q)
 	if err != nil {
 		e.count(q.Op, err)
 		return Result{}, err
 	}
 	if q.Op == OpTC {
-		cell := e.tc[kind]
-		cell.once.Do(func() {
-			cell.val = mining.PGTC(e.snap.G, e.snap.pgs[kind], e.opts.Workers)
-		})
+		v, err := e.snapshotTC(ctx, kind)
+		if err != nil {
+			e.count(q.Op, err)
+			return Result{}, err
+		}
 		e.count(q.Op, nil)
-		return Result{Value: cell.val}, nil
+		return Result{Value: v}, nil
 	}
 	key := cacheKey{epoch: e.snap.Epoch, q: q}
 	if r, ok := e.cache.get(key); ok {
@@ -220,15 +252,110 @@ func (e *Engine) Query(q Query) (Result, error) {
 		e.count(q.Op, nil)
 		return r, nil
 	}
-	r := e.b.do(q)
+	r := e.b.do(ctx, q)
 	if r.Err != "" {
-		err := fmt.Errorf("%s", r.Err)
+		// If the requester's own context died while the query was queued
+		// or evaluating, report the typed context error — callers (and
+		// the HTTP status mapping) must be able to tell their timeout
+		// from an invalid request.
+		err := ctx.Err()
+		if err == nil {
+			err = fmt.Errorf("%s", r.Err)
+		}
 		e.count(q.Op, err)
 		return Result{}, err
 	}
 	e.cache.put(key, r)
 	e.count(q.Op, nil)
 	return r, nil
+}
+
+// snapshotTC memoizes the snapshot-wide TC estimate per kind, evaluated
+// through the snapshot's Session with the requester's deadline. The
+// whole-graph kernel is the engine's one heavyweight query, so it
+// bypasses the point-query batcher: the first request leads the
+// computation, concurrent requests wait under their own contexts, and
+// every later request is a cheap memoized read.
+func (e *Engine) snapshotTC(ctx context.Context, kind core.Kind) (float64, error) {
+	cell := e.tc[kind]
+	for {
+		cell.mu.Lock()
+		if cell.ready {
+			v := cell.val
+			cell.mu.Unlock()
+			return v, nil
+		}
+		if cell.building == nil {
+			// Become the leader. The cell is released via defer so a
+			// panic escaping the kernel cannot wedge followers forever
+			// (they retry as leaders); only a clean run is cached.
+			finished := make(chan struct{})
+			cell.building = finished
+			cell.mu.Unlock()
+
+			var v float64
+			var err error
+			completed := false
+			func() {
+				defer func() {
+					cell.mu.Lock()
+					cell.building = nil
+					if completed && err == nil {
+						cell.ready, cell.val = true, v
+					}
+					cell.mu.Unlock()
+					close(finished)
+				}()
+				v, err = e.leadTC(ctx, kind)
+				completed = true
+			}()
+			return v, err
+		}
+		// Follow: wait for the leader under our own context. A leader
+		// that failed (e.g. its requester hung up) caches nothing, so
+		// loop and take over.
+		finished := cell.building
+		cell.mu.Unlock()
+		select {
+		case <-finished:
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	}
+}
+
+// leadTC runs the whole-graph TC kernel as the cell leader.
+func (e *Engine) leadTC(ctx context.Context, kind core.Kind) (float64, error) {
+	sess, err := e.sessionFor(kind)
+	if err != nil {
+		return 0, err
+	}
+	res, err := sess.Run(ctx, session.TC{Mode: session.Sketched})
+	if err != nil {
+		return 0, err
+	}
+	return res.Value, nil
+}
+
+// sessionFor returns the engine's Session view for a resident kind; a
+// kind missing from the construction-time map (its build errored) is
+// retried here so the caller sees the real error, not a misleading
+// not-resident one.
+func (e *Engine) sessionFor(kind core.Kind) (*session.Session, error) {
+	if sess, ok := e.sess[kind]; ok {
+		return sess, nil
+	}
+	return buildEngineSession(e.snap, kind, e.opts.Workers)
+}
+
+// buildEngineSession derives the engine's per-kind Session view: the
+// snapshot's view of the kind, bounded by the engine's worker option.
+func buildEngineSession(s *Snapshot, kind core.Kind, workers int) (*session.Session, error) {
+	sess, err := s.Session(kind)
+	if err != nil {
+		return nil, err
+	}
+	return sess.With(session.WithWorkers(workers))
 }
 
 // normalize validates a query and rewrites it to canonical form so the
@@ -297,26 +424,34 @@ func (e *Engine) normalize(q Query) (Query, core.Kind, error) {
 	return q, kind, nil
 }
 
-// eval computes one normalized point query on the snapshot (batcher side).
-func (e *Engine) eval(q Query) Result {
+// eval computes one normalized point query on the snapshot (batcher
+// side), through the snapshot's Session with the requester's deadline.
+func (e *Engine) eval(ctx context.Context, q Query) Result {
 	kind, err := ParseKind(q.Kind)
 	if err != nil {
 		return Result{Err: err.Error()}
 	}
-	g, pg := e.snap.G, e.snap.pgs[kind]
+	sess, err := e.sessionFor(kind)
+	if err != nil {
+		return Result{Err: err.Error()}
+	}
 	switch q.Op {
 	case OpLocalTC:
-		var c float64
-		for _, u := range g.Neighbors(q.U) {
-			c += pg.IntCard(q.U, u)
+		res, err := sess.Run(ctx, session.LocalTC{U: q.U, Mode: session.Sketched})
+		if err != nil {
+			return Result{Err: err.Error()}
 		}
-		return Result{Value: c / 2}
+		return Result{Value: res.Value}
 	case OpSimilarity:
-		return Result{Value: mining.PGSimilarity(g, pg, q.U, q.V, q.Measure)}
+		res, err := sess.Run(ctx, session.VertexSim{U: q.U, V: q.V, Measure: q.Measure, Mode: session.Sketched})
+		if err != nil {
+			return Result{Err: err.Error()}
+		}
+		return Result{Value: res.Value}
 	case OpNeighbors:
-		return Result{Neighbors: g.Neighbors(q.U)}
+		return Result{Neighbors: e.snap.G.Neighbors(q.U)}
 	case OpTopK:
-		return Result{TopK: e.topK(pg, q)}
+		return e.topK(ctx, e.snap.pgs[kind], q)
 	}
 	return Result{Err: fmt.Sprintf("serve: op %v is not a point query", q.Op)}
 }
@@ -324,16 +459,23 @@ func (e *Engine) eval(q Query) Result {
 // topK scores every 2-hop non-neighbor of q.U with the sketch similarity
 // and returns the K best — the online form of Listing 5's candidate
 // scoring (a positive common-neighbor score implies a 2-hop path, so no
-// candidate is lost for the counting measures).
-func (e *Engine) topK(pg *core.PG, q Query) []Scored {
+// candidate is lost for the counting measures). The candidate set of a
+// hub can be large, so the context is observed once per 1-hop neighbor.
+func (e *Engine) topK(ctx context.Context, pg *core.PG, q Query) Result {
 	g := e.snap.G
 	v := q.U
+	done := ctx.Done()
 	seen := map[uint32]struct{}{v: {}}
 	for _, u := range g.Neighbors(v) {
 		seen[u] = struct{}{}
 	}
 	var scored []Scored
 	for _, u := range g.Neighbors(v) {
+		select {
+		case <-done:
+			return Result{Err: ctx.Err().Error()}
+		default:
+		}
 		for _, w := range g.Neighbors(u) {
 			if _, dup := seen[w]; dup {
 				continue
@@ -351,7 +493,7 @@ func (e *Engine) topK(pg *core.PG, q Query) []Scored {
 	if len(scored) > q.K {
 		scored = scored[:q.K:q.K]
 	}
-	return scored
+	return Result{TopK: scored}
 }
 
 func (e *Engine) count(op Op, err error) {

@@ -2,7 +2,9 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -62,9 +64,20 @@ func Handler(e *Engine) http.Handler {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		res, err := e.Query(q)
+		// The request context carries the client's disconnect and any
+		// server write deadline: a gone client stops paying for its
+		// evaluation at the next chunk boundary.
+		res, err := e.QueryCtx(r.Context(), q)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			switch {
+			case errors.Is(err, context.DeadlineExceeded):
+				httpError(w, http.StatusGatewayTimeout, err)
+			case errors.Is(err, context.Canceled):
+				// The client is gone; the status is for the access log.
+				httpError(w, http.StatusServiceUnavailable, err)
+			default:
+				httpError(w, http.StatusBadRequest, err)
+			}
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")

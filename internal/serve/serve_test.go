@@ -1,8 +1,11 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -369,5 +372,63 @@ func TestEngineClose(t *testing.T) {
 		// A closed engine may still serve from cache; uncached point
 		// queries must error rather than hang.
 		t.Fatal("uncached query on closed engine should error")
+	}
+}
+
+// TestQueryCtxCancellation: a cancelled request context fails fast, is
+// not cached, and does not poison later requests for the same answer.
+func TestQueryCtxCancellation(t *testing.T) {
+	s := testSnapshot(t, core.BF)
+	e := newTestEngine(t, s)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.QueryCtx(ctx, Query{Op: OpTC}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled TC err = %v, want context.Canceled", err)
+	}
+	if _, err := e.QueryCtx(ctx, Query{Op: OpSimilarity, U: 1, V: 2}); err == nil {
+		t.Fatal("cancelled similarity must error")
+	}
+	// The cancelled TC run must not have been memoized: a live request
+	// computes the true value.
+	res, err := e.QueryCtx(context.Background(), Query{Op: OpTC})
+	if err != nil {
+		t.Fatalf("TC after cancellation: %v", err)
+	}
+	want := mining.PGTC(s.G, s.PG(core.BF), 4)
+	if res.Value != want {
+		t.Fatalf("TC = %v, want %v", res.Value, want)
+	}
+	// And the cancelled similarity was not cached as an answer.
+	r2, err := e.QueryCtx(context.Background(), Query{Op: OpSimilarity, U: 1, V: 2})
+	if err != nil || r2.Cached {
+		t.Fatalf("similarity after cancellation: %+v, %v (must be a fresh miss)", r2, err)
+	}
+}
+
+// TestBatcherLeaderCancellation: a cancelled leader in a coalesced group
+// must not poison its peers — they get a real answer.
+func TestBatcherLeaderCancellation(t *testing.T) {
+	cancelledCtx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	b := newBatcher(func(ctx context.Context, q Query) Result {
+		calls.Add(1)
+		if err := ctx.Err(); err != nil {
+			return Result{Err: err.Error()}
+		}
+		return Result{Value: 42}
+	}, 1, 8, time.Millisecond)
+	defer b.close()
+	cancel()
+
+	// Build one coalesced group by hand: a cancelled leader and a live peer.
+	lead := &pending{ctx: cancelledCtx, q: Query{Op: OpLocalTC, U: 1}, res: make(chan Result, 1)}
+	peer := &pending{ctx: context.Background(), q: Query{Op: OpLocalTC, U: 1}, res: make(chan Result, 1)}
+	b.run([]*pending{lead, peer})
+	if r := <-lead.res; r.Err == "" {
+		t.Fatalf("cancelled leader got %+v, want its cancellation error", r)
+	}
+	if r := <-peer.res; r.Err != "" || r.Value != 42 {
+		t.Fatalf("live peer got %+v, want the real answer", r)
 	}
 }

@@ -1,23 +1,27 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
 	"probgraph/internal/core"
 	"probgraph/internal/graph"
+	"probgraph/internal/session"
 )
 
 // SnapshotConfig parameterizes Open. Zero values mean: Kinds = [BF],
-// the core package's default 25% budget, hash count 2, derived k.
+// the core package's default 25% budget, hash count 2, derived k, the
+// per-representation default estimator.
 type SnapshotConfig struct {
 	// Kinds lists the sketch representations to build, one resident PG
 	// each; Kinds[0] is the default for queries that don't name one.
 	Kinds []core.Kind
 
-	// Budget, NumHashes, K, StoreElems and Seed are passed through to
-	// core.Config for every built PG, so a snapshot answer is bit-for-bit
-	// the answer core.Build with the same (Kind, Budget, Seed) gives.
+	// Est, Budget, NumHashes, K, StoreElems and Seed configure the
+	// underlying Session, so a snapshot answer is bit-for-bit the answer
+	// core.Build with the same (Kind, Est, Budget, Seed) gives.
+	Est        core.Estimator
 	Budget     float64
 	NumHashes  int
 	K          int
@@ -31,21 +35,24 @@ type SnapshotConfig struct {
 // epochCounter hands out process-unique snapshot epochs.
 var epochCounter atomic.Uint64
 
-// Snapshot is the immutable unit of serving: a graph, its degree
-// orientation, and one ProbGraph per configured sketch kind, built once
-// at load time. Engines and caches key everything by Epoch, so a new
-// snapshot (e.g. after a graph refresh) invalidates old answers for free.
+// Snapshot is the immutable unit of serving: a Session over the graph
+// with the orientation and one ProbGraph per configured sketch kind
+// built eagerly at load time (online traffic must never pay a sketch
+// build). Engines and caches key everything by Epoch, so a new snapshot
+// (e.g. after a graph refresh) invalidates old answers for free.
 type Snapshot struct {
 	Epoch uint64
 	G     *graph.Graph
 	O     *graph.Oriented
 	Cfg   SnapshotConfig
 
-	kinds []core.Kind // deduplicated build order; kinds[0] = default
+	sess  *session.Session // base Session, configured for kinds[0]
+	kinds []core.Kind      // deduplicated build order; kinds[0] = default
 	pgs   map[core.Kind]*core.PG
 }
 
-// Open builds a snapshot: orientation plus all configured sketches.
+// Open builds a snapshot: a Session plus the eagerly-built orientation
+// and all configured sketches.
 func Open(g *graph.Graph, cfg SnapshotConfig) (*Snapshot, error) {
 	if g == nil {
 		return nil, fmt.Errorf("serve: nil graph")
@@ -53,26 +60,39 @@ func Open(g *graph.Graph, cfg SnapshotConfig) (*Snapshot, error) {
 	if len(cfg.Kinds) == 0 {
 		cfg.Kinds = []core.Kind{core.BF}
 	}
+	base, err := session.New(g,
+		session.WithKind(cfg.Kinds[0]),
+		session.WithEstimator(cfg.Est),
+		session.WithBudget(cfg.Budget),
+		session.WithNumHashes(cfg.NumHashes),
+		session.WithSketchK(cfg.K),
+		session.WithStoreElems(cfg.StoreElems),
+		session.WithSeed(cfg.Seed),
+		session.WithWorkers(cfg.Workers),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
 	s := &Snapshot{
 		Epoch: epochCounter.Add(1),
 		G:     g,
-		O:     g.Orient(cfg.Workers),
 		Cfg:   cfg,
+		sess:  base,
 		pgs:   make(map[core.Kind]*core.PG, len(cfg.Kinds)),
+	}
+	ctx := context.Background()
+	if s.O, err = base.Oriented(ctx); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
 	}
 	for _, k := range cfg.Kinds {
 		if _, dup := s.pgs[k]; dup {
 			continue
 		}
-		pg, err := core.Build(g, core.Config{
-			Kind:       k,
-			Budget:     cfg.Budget,
-			NumHashes:  cfg.NumHashes,
-			K:          cfg.K,
-			StoreElems: cfg.StoreElems,
-			Seed:       cfg.Seed,
-			Workers:    cfg.Workers,
-		})
+		ks, err := base.With(session.WithKind(k))
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		pg, err := ks.PG(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("serve: building %v sketches: %w", k, err)
 		}
@@ -80,6 +100,15 @@ func Open(g *graph.Graph, cfg SnapshotConfig) (*Snapshot, error) {
 		s.kinds = append(s.kinds, k)
 	}
 	return s, nil
+}
+
+// Session returns the snapshot's Session view for the given resident
+// kind — the evaluation entry point the engine's kernels run through.
+func (s *Snapshot) Session(k core.Kind) (*session.Session, error) {
+	if s.pgs[k] == nil {
+		return nil, fmt.Errorf("serve: sketch kind %v not resident in snapshot", k)
+	}
+	return s.sess.With(session.WithKind(k))
 }
 
 // Kinds returns the resident sketch kinds in build order.

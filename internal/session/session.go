@@ -1,0 +1,356 @@
+// Package session implements the unified ProbGraph entry point: a
+// Session binds one immutable Graph to lazily-built, cached derived
+// state — the degree- and degeneracy-ordered orientations, one PG per
+// distinct sketch configuration (Kind, Budget, Seed, ...), and the
+// degree moments the Theorem VII.1 bounds consume — and runs every
+// mining kernel, exact or sketched, through one context-aware call:
+//
+//	sess, _ := session.New(g, session.WithBudget(0.25), session.WithSeed(42))
+//	res, err := sess.Run(ctx, session.TC{Mode: session.Sketched})
+//
+// Derived state is built at most once per Session regardless of how many
+// concurrent Run calls need it (callers needing the same artifact share
+// one build), and a Session reconfigured with With shares its parent's
+// caches, so flipping the sketch kind or the worker count never rebuilds
+// what is already resident. Kernel results are bit-identical to the
+// corresponding free functions of internal/mining on the same inputs:
+// the Session only adds caching, validation, and cancellation around
+// them.
+package session
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"probgraph/internal/core"
+	"probgraph/internal/estimator"
+	"probgraph/internal/graph"
+)
+
+// OrientKind selects which cached orientation the counting kernels use.
+type OrientKind int
+
+const (
+	// OrientDegree is the degree ordering of Listings 1–2 (the default).
+	OrientDegree OrientKind = iota
+	// OrientDegeneracy is the k-core peeling order, which bounds every
+	// oriented out-degree by the graph's degeneracy.
+	OrientDegeneracy
+)
+
+// String returns the orientation name.
+func (o OrientKind) String() string {
+	switch o {
+	case OrientDegree:
+		return "degree"
+	case OrientDegeneracy:
+		return "degeneracy"
+	}
+	return fmt.Sprintf("OrientKind(%d)", int(o))
+}
+
+// config is a Session's view of the sketch and execution parameters.
+// Sessions copy it on With, so reconfigured views are independent.
+type config struct {
+	workers    int
+	seed       uint64
+	kind       core.Kind
+	est        core.Estimator
+	budget     float64
+	numHashes  int
+	sketchK    int
+	storeElems bool
+	orient     OrientKind
+}
+
+// Option configures a Session (functional options).
+type Option func(*config)
+
+// WithWorkers bounds kernel and build parallelism (<=0: all cores).
+func WithWorkers(w int) Option { return func(c *config) { c.workers = w } }
+
+// WithSeed sets the seed driving every hash family and the link
+// prediction edge removal; identical seeds reproduce results exactly.
+func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
+
+// WithKind selects the sketch representation (default core.BF).
+func WithKind(k core.Kind) Option { return func(c *config) { c.kind = k } }
+
+// WithEstimator selects the |X∩Y| estimator within the representation.
+func WithEstimator(e core.Estimator) Option { return func(c *config) { c.est = e } }
+
+// WithBudget sets the storage budget s ∈ (0, 1] (default 0.25).
+func WithBudget(s float64) Option { return func(c *config) { c.budget = s } }
+
+// WithNumHashes sets the Bloom hash-function count b (default 2).
+func WithNumHashes(b int) Option { return func(c *config) { c.numHashes = b } }
+
+// WithSketchK fixes the MinHash/KMV sketch size instead of deriving it
+// from the budget.
+func WithSketchK(k int) Option { return func(c *config) { c.sketchK = k } }
+
+// WithStoreElems makes 1-Hash sketches retain element IDs, enabling the
+// sample-based weighted measures and the sampled 4-clique path.
+func WithStoreElems(on bool) Option { return func(c *config) { c.storeElems = on } }
+
+// WithOrientation selects the orientation the counting kernels run over
+// (default OrientDegree, matching the flat API).
+func WithOrientation(o OrientKind) Option { return func(c *config) { c.orient = o } }
+
+// cell is a build-once cache slot: every caller shares one build and its
+// outcome, which is what makes concurrent lazy construction idempotent.
+type cell[T any] struct {
+	once sync.Once
+	done atomic.Bool // set after the build completes; gates peek
+	val  T
+	err  error
+}
+
+func (c *cell[T]) get(build func() (T, error)) (T, error) {
+	c.once.Do(func() {
+		c.val, c.err = build()
+		c.done.Store(true)
+	})
+	return c.val, c.err
+}
+
+// peek returns the built value without triggering a build.
+func (c *cell[T]) peek() (T, bool) {
+	var zero T
+	if !c.done.Load() {
+		return zero, false
+	}
+	return c.val, true
+}
+
+// pgKey identifies one distinct sketch build. Two Sessions over the same
+// state that agree on every field share the resident PG.
+type pgKey struct {
+	kind       core.Kind
+	est        core.Estimator
+	budget     float64
+	numHashes  int
+	sketchK    int
+	storeElems bool
+	seed       uint64
+	oriented   bool
+	orient     OrientKind
+}
+
+// state is the shared cache behind one graph: all Sessions derived from
+// the same New call point at one state, whatever their configuration.
+type state struct {
+	g *graph.Graph
+
+	mu       sync.Mutex
+	oriented map[OrientKind]*cell[*graph.Oriented]
+	pgs      map[pgKey]*cell[*core.PG]
+	moments  cell[estimator.GraphMoments]
+}
+
+// Session is the unified entry point: an immutable graph plus cached
+// derived state, configured by functional options. Sessions are safe for
+// concurrent use; With produces cheap reconfigured views sharing the
+// same caches.
+type Session struct {
+	st  *state
+	cfg config
+}
+
+// New binds a Session to a graph. The zero configuration uses all cores,
+// Bloom filters at the default 25% budget, seed 0, and the degree
+// orientation — matching the flat package-level API.
+func New(g *graph.Graph, opts ...Option) (*Session, error) {
+	if g == nil {
+		return nil, fmt.Errorf("session: nil graph")
+	}
+	cfg := config{kind: core.BF}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Session{
+		st: &state{
+			g:        g,
+			oriented: make(map[OrientKind]*cell[*graph.Oriented]),
+			pgs:      make(map[pgKey]*cell[*core.PG]),
+		},
+		cfg: cfg,
+	}, nil
+}
+
+func (c config) validate() error {
+	if c.budget < 0 || c.budget > 1 {
+		return fmt.Errorf("session: budget s=%v outside [0,1]", c.budget)
+	}
+	if c.sketchK < 0 {
+		return fmt.Errorf("session: sketch k=%d must be non-negative", c.sketchK)
+	}
+	switch c.orient {
+	case OrientDegree, OrientDegeneracy:
+	default:
+		return fmt.Errorf("session: unknown orientation %v", c.orient)
+	}
+	return nil
+}
+
+// With returns a Session sharing this one's graph and cached derived
+// state under a modified configuration. Artifacts the new configuration
+// maps to the same build (e.g. only the worker count changed) stay
+// shared; others are built lazily on first use.
+func (s *Session) With(opts ...Option) (*Session, error) {
+	ns := &Session{st: s.st, cfg: s.cfg}
+	for _, o := range opts {
+		o(&ns.cfg)
+	}
+	if err := ns.cfg.validate(); err != nil {
+		return nil, err
+	}
+	return ns, nil
+}
+
+// Graph returns the bound graph.
+func (s *Session) Graph() *graph.Graph { return s.st.g }
+
+// Workers returns the configured worker bound (<=0: all cores).
+func (s *Session) Workers() int { return s.cfg.workers }
+
+// Kind returns the configured sketch representation.
+func (s *Session) Kind() core.Kind { return s.cfg.kind }
+
+// Seed returns the configured seed.
+func (s *Session) Seed() uint64 { return s.cfg.seed }
+
+// coreConfig assembles the core.Config of this Session's sketch builds.
+func (s *Session) coreConfig() core.Config {
+	return core.Config{
+		Kind:       s.cfg.kind,
+		Est:        s.cfg.est,
+		Budget:     s.cfg.budget,
+		NumHashes:  s.cfg.numHashes,
+		K:          s.cfg.sketchK,
+		StoreElems: s.cfg.storeElems,
+		Seed:       s.cfg.seed,
+		Workers:    s.cfg.workers,
+	}
+}
+
+func (s *Session) key(oriented bool) pgKey {
+	k := pgKey{
+		kind:       s.cfg.kind,
+		est:        s.cfg.est,
+		budget:     s.cfg.budget,
+		numHashes:  s.cfg.numHashes,
+		sketchK:    s.cfg.sketchK,
+		storeElems: s.cfg.storeElems,
+		seed:       s.cfg.seed,
+		oriented:   oriented,
+	}
+	// Full-neighborhood sketches do not depend on any orientation, so
+	// sessions differing only in WithOrientation share them; only the
+	// oriented builds key on the ordering they sketched.
+	if oriented {
+		k.orient = s.cfg.orient
+	}
+	return k
+}
+
+// Oriented returns the configured orientation, building and caching it
+// on first use. The build itself is not cancellable (it is one parallel
+// pass); ctx gates only whether it starts.
+func (s *Session) Oriented(ctx context.Context) (*graph.Oriented, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	s.st.mu.Lock()
+	c, ok := s.st.oriented[s.cfg.orient]
+	if !ok {
+		c = &cell[*graph.Oriented]{}
+		s.st.oriented[s.cfg.orient] = c
+	}
+	s.st.mu.Unlock()
+	orient, workers := s.cfg.orient, s.cfg.workers
+	return c.get(func() (*graph.Oriented, error) {
+		if orient == OrientDegeneracy {
+			return s.st.g.OrientBy(s.st.g.DegeneracyRank(), workers), nil
+		}
+		return s.st.g.Orient(workers), nil
+	})
+}
+
+// PG returns the full-neighborhood ProbGraph of the current sketch
+// configuration, building and caching it on first use.
+func (s *Session) PG(ctx context.Context) (*core.PG, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	c := s.pgCell(s.key(false))
+	return c.get(func() (*core.PG, error) {
+		return core.Build(s.st.g, s.coreConfig())
+	})
+}
+
+// OrientedPG returns the oriented-neighborhood ProbGraph (the clique
+// kernels' input), building the orientation first if needed.
+func (s *Session) OrientedPG(ctx context.Context) (*core.PG, error) {
+	o, err := s.Oriented(ctx)
+	if err != nil {
+		return nil, err
+	}
+	c := s.pgCell(s.key(true))
+	return c.get(func() (*core.PG, error) {
+		return core.BuildOriented(o, s.st.g.SizeBits(), s.coreConfig())
+	})
+}
+
+func (s *Session) pgCell(k pgKey) *cell[*core.PG] {
+	s.st.mu.Lock()
+	defer s.st.mu.Unlock()
+	c, ok := s.st.pgs[k]
+	if !ok {
+		c = &cell[*core.PG]{}
+		s.st.pgs[k] = c
+	}
+	return c
+}
+
+// Moments returns the graph's degree moments (cached), the quantities
+// the Theorem VII.1 error bounds consume.
+func (s *Session) Moments() estimator.GraphMoments {
+	v, _ := s.st.moments.get(func() (estimator.GraphMoments, error) {
+		g := s.st.g
+		degs := make([]int, g.NumVertices())
+		for v := range degs {
+			degs[v] = g.Degree(uint32(v))
+		}
+		return estimator.Moments(degs, g.NumEdges()), nil
+	})
+	return v
+}
+
+// ResidentBytes reports the memory of every sketch currently cached in
+// the Session's state, keyed by the sketch kind's name (duplicate kinds
+// under different parameters accumulate).
+func (s *Session) ResidentBytes() map[string]int64 {
+	s.st.mu.Lock()
+	defer s.st.mu.Unlock()
+	out := make(map[string]int64, len(s.st.pgs))
+	for k, c := range s.st.pgs {
+		if pg, ok := c.peek(); ok && pg != nil {
+			out[k.kind.String()] += pg.MemoryBytes()
+		}
+	}
+	return out
+}
+
+// ctxErr tolerates a nil context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}

@@ -13,13 +13,21 @@
 // Link Prediction, plus the statistical concentration bounds of the
 // paper's theory as executable functions.
 //
-// Quick start:
+// Quick start (the Session API — see session.go):
 //
 //	g := probgraph.Kronecker(12, 16, 42)
-//	pg, err := probgraph.Build(g, probgraph.Config{Kind: probgraph.BF, Budget: 0.25})
+//	sess, err := probgraph.NewSession(g, probgraph.WithBudget(0.25), probgraph.WithSeed(42))
 //	if err != nil { ... }
-//	approx := probgraph.TriangleCount(g, pg, 0) // all cores
-//	exact := probgraph.ExactTriangleCount(g, 0)
+//	approx, err := sess.Run(ctx, probgraph.TC{Mode: probgraph.Sketched})
+//	exact, err := sess.Run(ctx, probgraph.TC{Mode: probgraph.Exact})
+//
+// The flat per-kernel functions below predate the Session API; they are
+// kept as thin wrappers (sharing each graph's default Session's cached
+// state where it applies) and will not grow new features. New
+// code should construct a Session: it caches orientations and sketches,
+// threads context cancellation through every parallel loop, reports
+// misconfiguration as errors instead of panics, and returns typed
+// results carrying the paper's error bounds and timings.
 package probgraph
 
 import (
@@ -48,14 +56,17 @@ type Oriented = graph.Oriented
 // dropped and duplicate edges merged.
 func NewGraph(n int, edges []Edge) (*Graph, error) { return graph.FromEdges(n, edges) }
 
-// Orient computes the degree-ordered DAG orientation (N+ adjacency).
-func Orient(g *Graph, workers int) *Oriented { return g.Orient(workers) }
+// Orient computes the degree-ordered DAG orientation (N+ adjacency),
+// cached on the graph's default Session: repeated calls on the same
+// graph return the same orientation without recomputing it.
+func Orient(g *Graph, workers int) *Oriented { return orientedFor(g, OrientDegree, workers) }
 
 // OrientByDegeneracy computes the degeneracy (k-core peeling) orientation,
 // which bounds every oriented out-degree by the graph's degeneracy — the
-// ordering the clique-counting literature cited by the paper uses.
+// ordering the clique-counting literature cited by the paper uses. Like
+// Orient, the result is cached on the graph's default Session.
 func OrientByDegeneracy(g *Graph, workers int) *Oriented {
-	return g.OrientBy(g.DegeneracyRank(), workers)
+	return orientedFor(g, OrientDegeneracy, workers)
 }
 
 // KCore returns the per-vertex core numbers and the graph's degeneracy.
@@ -132,6 +143,11 @@ const (
 // printed by Kind.String — the flag/wire form the cmds accept.
 func ParseKind(s string) (Kind, error) { return core.ParseKind(s) }
 
+// ParseEstimator parses an estimator name ("auto", "and", "l", "or",
+// "1hsimple", plus aliases) as printed by Estimator.String — the
+// flag/wire form the cmds accept. The empty string is EstAuto.
+func ParseEstimator(s string) (Estimator, error) { return core.ParseEstimator(s) }
+
 // Config parameterizes Build; see the field documentation in
 // internal/core. The zero value plus a Kind uses a 25% storage budget.
 type Config = core.Config
@@ -170,37 +186,54 @@ type Clustering = mining.Clustering
 type LinkPredResult = mining.LinkPredResult
 
 // ExactTriangleCount counts triangles exactly with the parallel
-// node-iterator baseline (workers <= 0 uses all cores).
+// node-iterator baseline (workers <= 0 uses all cores). The orientation
+// comes from the graph's default Session, so repeated counting no longer
+// re-orients on every call.
+//
+// Deprecated: use Session.Run with the TC kernel, which adds
+// cancellation, error bounds, and timing.
 func ExactTriangleCount(g *Graph, workers int) int64 {
-	return mining.ExactTC(g.Orient(workers), workers)
+	return mining.ExactTC(orientedFor(g, OrientDegree, workers), workers)
 }
 
 // TriangleCount estimates the triangle count with the §VII PG estimator
 // T̂C = (1/3)·Σ_{(u,v)∈E} |N_u∩N_v|̂.
+//
+// Deprecated: use Session.Run with TC{Mode: Sketched}.
 func TriangleCount(g *Graph, pg *PG, workers int) float64 {
 	return mining.PGTC(g, pg, workers)
 }
 
-// ExactFourCliqueCount counts 4-cliques exactly (Listing 2).
+// ExactFourCliqueCount counts 4-cliques exactly (Listing 2), over the
+// default Session's cached orientation.
+//
+// Deprecated: use Session.Run with KClique{K: 4}.
 func ExactFourCliqueCount(g *Graph, workers int) int64 {
-	return mining.Exact4Clique(g.Orient(workers), workers)
+	return mining.Exact4Clique(orientedFor(g, OrientDegree, workers), workers)
 }
 
 // FourCliqueCount estimates the 4-clique count; pg must hold oriented
 // sketches built with BuildOriented over the same orientation.
+//
+// Deprecated: use Session.Run with KClique{K: 4, Mode: Sketched}.
 func FourCliqueCount(o *Oriented, pg *PG, workers int) float64 {
 	return mining.PG4Clique(o, pg, workers)
 }
 
-// KCliqueCount counts k-cliques (k >= 3) exactly.
+// KCliqueCount counts k-cliques (k >= 3) exactly, over the default
+// Session's cached orientation.
+//
+// Deprecated: use Session.Run with the KClique kernel.
 func KCliqueCount(g *Graph, k, workers int) int64 {
-	return mining.ExactKClique(g.Orient(workers), k, workers)
+	return mining.ExactKClique(orientedFor(g, OrientDegree, workers), k, workers)
 }
 
 // PGKCliqueCount estimates the k-clique count (k >= 3) with the BF
 // generalization of Listing 2: candidate lists stay exact, the closing
 // cardinality is estimated on the cumulative AND of the prefix filters.
 // pg must be a BF ProbGraph built over the same orientation.
+//
+// Deprecated: use Session.Run with KClique{K: k, Mode: Sketched}.
 func PGKCliqueCount(o *Oriented, pg *PG, k, workers int) (float64, error) {
 	return mining.PGKClique(o, pg, k, workers)
 }
@@ -230,6 +263,8 @@ const (
 // fetched on demand and cached per node. In ShipSketches mode pg must
 // hold oriented sketches (BuildOriented); in ShipNeighborhoods mode pg
 // may be nil and the count is exact.
+//
+// Deprecated: use Session.Run with the DistTC kernel.
 func DistributedTC(g *Graph, o *Oriented, pg *PG, nodes int, mode dist.Mode) (*DistResult, error) {
 	return dist.TC(g, o, pg, nodes, mode)
 }
@@ -241,28 +276,38 @@ func DistributedTC(g *Graph, o *Oriented, pg *PG, nodes int, mode dist.Mode) (*D
 // is the mean similarity over all edges. In ShipSketches mode pg must
 // hold full-neighborhood sketches (Build); only the counting measures
 // (Jaccard, Overlap, CommonNeighbors, TotalNeighbors) are supported.
+//
+// Deprecated: use Session.Run with the DistSim kernel.
 func DistributedSimilarity(g *Graph, pg *PG, nodes int, mode DistMode, m Measure) (*DistResult, error) {
 	return dist.Sim(g, pg, nodes, mode, m)
 }
 
 // Similarity evaluates a vertex-similarity measure exactly.
+//
+// Deprecated: use Session.Run with the VertexSim kernel.
 func Similarity(g *Graph, u, v uint32, m Measure) float64 {
 	return mining.ExactSimilarity(g, u, v, m)
 }
 
 // PGSimilarity evaluates a vertex-similarity measure with the sketch
 // estimator in place of the exact intersection.
+//
+// Deprecated: use Session.Run with VertexSim{Mode: Sketched}.
 func PGSimilarity(g *Graph, pg *PG, u, v uint32, m Measure) float64 {
 	return mining.PGSimilarity(g, pg, u, v, m)
 }
 
 // Cluster runs Jarvis–Patrick clustering (Listing 4) exactly: edges whose
 // similarity exceeds tau survive; clusters are the connected components.
+//
+// Deprecated: use Session.Run with the JarvisPatrick kernel.
 func Cluster(g *Graph, m Measure, tau float64, workers int) *Clustering {
 	return mining.JarvisPatrickExact(g, m, tau, workers)
 }
 
 // PGCluster is the ProbGraph-enhanced Jarvis–Patrick clustering.
+//
+// Deprecated: use Session.Run with JarvisPatrick{Mode: Sketched}.
 func PGCluster(g *Graph, pg *PG, m Measure, tau float64, workers int) *Clustering {
 	return mining.JarvisPatrickPG(g, pg, m, tau, workers)
 }
@@ -271,29 +316,39 @@ func PGCluster(g *Graph, pg *PG, m Measure, tau float64, workers int) *Clusterin
 // fraction of edges is hidden, candidates are scored with the measure
 // (exactly when pgCfg is nil, else with ProbGraph), and the recovery rate
 // of the hidden edges is reported.
+//
+// Deprecated: use Session.Run with the LinkPred kernel.
 func LinkPrediction(g *Graph, m Measure, removeFrac float64, seed uint64, pgCfg *Config, workers int) (*LinkPredResult, error) {
 	return mining.EvaluateLinkPrediction(g, m, removeFrac, seed, pgCfg, workers)
 }
 
 // ClusteringCoefficient returns the exact average local clustering
 // coefficient; PGClusteringCoefficient is the sketch-based estimate.
+//
+// Deprecated: use Session.Run with the ClusteringCoeff kernel.
 func ClusteringCoefficient(g *Graph, workers int) float64 {
 	return mining.LocalClusteringCoefficient(g, workers)
 }
 
 // LocalTriangleCounts returns the exact number of triangles through each
 // vertex — the §III-A spam-detection / community signal.
+//
+// Deprecated: use Session.Run with the LocalTCAll kernel.
 func LocalTriangleCounts(g *Graph, workers int) []int64 {
 	return mining.LocalTC(g, workers)
 }
 
 // PGLocalTriangleCounts is the sketch-based per-vertex estimate.
+//
+// Deprecated: use Session.Run with LocalTCAll{Mode: Sketched}.
 func PGLocalTriangleCounts(g *Graph, pg *PG, workers int) []float64 {
 	return mining.PGLocalTC(g, pg, workers)
 }
 
 // PGClusteringCoefficient estimates the average local clustering
 // coefficient through sketch intersections.
+//
+// Deprecated: use Session.Run with ClusteringCoeff{Mode: Sketched}.
 func PGClusteringCoefficient(g *Graph, pg *PG, workers int) float64 {
 	return mining.PGLocalClusteringCoefficient(g, pg, workers)
 }

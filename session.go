@@ -1,0 +1,155 @@
+package probgraph
+
+import (
+	"context"
+
+	"probgraph/internal/session"
+)
+
+// Session is the unified entry point of the library: it binds one
+// immutable Graph to lazily-built, cached derived state — the degree and
+// degeneracy orientations, one PG per distinct sketch configuration
+// (Kind, Budget, Seed, ...) — and runs every mining kernel, exact or
+// sketched, through one context-aware call:
+//
+//	sess, err := probgraph.NewSession(g,
+//		probgraph.WithBudget(0.25), probgraph.WithSeed(42))
+//	res, err := sess.Run(ctx, probgraph.TC{Mode: probgraph.Sketched})
+//	// res.Value, res.Bound (Thm VII.1, 95%), res.Elapsed
+//
+// Results are bit-identical to the flat functions below on the same
+// configuration; the Session adds caching (no repeated re-orientation,
+// no duplicate sketch builds), cancellation (ctx is observed at chunk
+// boundaries), validation errors in place of panics, and typed results.
+// Sessions are safe for concurrent use: concurrent Runs needing the same
+// derived state share one build.
+type Session = session.Session
+
+// SessionOption configures NewSession / Session.With.
+type SessionOption = session.Option
+
+// Mode selects a kernel's exact baseline or its sketch estimator.
+type Mode = session.Mode
+
+// The kernel execution modes; the zero value is Exact.
+const (
+	Exact    = session.Exact
+	Sketched = session.Sketched
+)
+
+// OrientKind selects the cached orientation counting kernels run over.
+type OrientKind = session.OrientKind
+
+// The available orientations.
+const (
+	OrientDegree     = session.OrientDegree
+	OrientDegeneracy = session.OrientDegeneracy
+)
+
+// Result is the typed outcome of Session.Run: scalar value, Theorem
+// VII.1 error bound where the theory provides one, wall-clock timing,
+// and kernel-specific payloads (Clusters, LinkPred, Locals, Net).
+type Result = session.Result
+
+// Kernel is one mining problem for Session.Run; the concrete kernels are
+// TC, KClique, VertexSim, JarvisPatrick, LinkPred, LocalTC, LocalTCAll,
+// ClusteringCoeff, DistTC and DistSim.
+type Kernel = session.Kernel
+
+// The kernels. See the internal/session documentation for the fields.
+type (
+	// TC is triangle counting (Listing 1 / §VII).
+	TC = session.TC
+	// KClique is k-clique counting (Listing 2); K = 4 uses the paper's
+	// reformulated 4-clique path.
+	KClique = session.KClique
+	// VertexSim scores one vertex pair with a Listing 3 measure.
+	VertexSim = session.VertexSim
+	// JarvisPatrick is the Listing 4 clustering kernel.
+	JarvisPatrick = session.JarvisPatrick
+	// LinkPred is the Listing 5 link-prediction harness.
+	LinkPred = session.LinkPred
+	// LocalTC counts the triangles through one vertex.
+	LocalTC = session.LocalTC
+	// LocalTCAll counts the triangles through every vertex.
+	LocalTCAll = session.LocalTCAll
+	// ClusteringCoeff is the average local clustering coefficient.
+	ClusteringCoeff = session.ClusteringCoeff
+	// DistTC is triangle counting over the simulated cluster (§VIII-F).
+	DistTC = session.DistTC
+	// DistSim is distributed mean edge similarity (§VIII-F).
+	DistSim = session.DistSim
+)
+
+// NewSession binds a Session to a graph. The zero configuration matches
+// the flat API: all cores, Bloom filters at a 25% budget, seed 0, degree
+// orientation.
+func NewSession(g *Graph, opts ...SessionOption) (*Session, error) {
+	return session.New(g, opts...)
+}
+
+// WithWorkers bounds kernel and build parallelism (<=0: all cores).
+func WithWorkers(w int) SessionOption { return session.WithWorkers(w) }
+
+// WithSeed sets the seed driving every hash family and the link
+// prediction edge removal; identical seeds reproduce results exactly.
+func WithSeed(seed uint64) SessionOption { return session.WithSeed(seed) }
+
+// WithKind selects the sketch representation (default BF).
+func WithKind(k Kind) SessionOption { return session.WithKind(k) }
+
+// WithEstimator selects the |X∩Y| estimator within the representation.
+func WithEstimator(e Estimator) SessionOption { return session.WithEstimator(e) }
+
+// WithBudget sets the storage budget s ∈ (0, 1] (default 0.25).
+func WithBudget(s float64) SessionOption { return session.WithBudget(s) }
+
+// WithNumHashes sets the Bloom hash-function count b (default 2).
+func WithNumHashes(b int) SessionOption { return session.WithNumHashes(b) }
+
+// WithSketchK fixes the MinHash/KMV sketch size instead of deriving it
+// from the storage budget.
+func WithSketchK(k int) SessionOption { return session.WithSketchK(k) }
+
+// WithStoreElems makes 1-Hash sketches retain element IDs, enabling the
+// sample-based weighted measures and the sampled 4-clique path.
+func WithStoreElems(on bool) SessionOption { return session.WithStoreElems(on) }
+
+// WithOrientation selects the orientation counting kernels run over
+// (default OrientDegree).
+func WithOrientation(o OrientKind) SessionOption { return session.WithOrientation(o) }
+
+// --- the per-graph default Sessions behind the flat API --------------------
+
+// sessionFor returns g's default Session, stored on the graph itself so
+// the deprecated flat functions stop recomputing derived state (notably
+// the orientation, which the flat API rebuilt on every call) without
+// pinning anything process-globally: the cache lives and dies with the
+// graph.
+func sessionFor(g *Graph) *Session {
+	if g == nil {
+		// Surface the nil where the caller dereferences, matching the
+		// flat API's historical behavior.
+		panic("probgraph: nil graph")
+	}
+	return g.Derived(func() any {
+		s, err := session.New(g)
+		if err != nil {
+			panic(err) // unreachable: g is non-nil and options are empty
+		}
+		return s
+	}).(*Session)
+}
+
+// orientedFor returns g's cached orientation via its default Session.
+func orientedFor(g *Graph, kind OrientKind, workers int) *Oriented {
+	s, err := sessionFor(g).With(WithOrientation(kind), WithWorkers(workers))
+	if err != nil {
+		panic(err) // unreachable: both options always validate
+	}
+	o, err := s.Oriented(context.Background())
+	if err != nil {
+		panic(err) // unreachable: a background context never cancels
+	}
+	return o
+}
