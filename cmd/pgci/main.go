@@ -1,0 +1,174 @@
+// Command pgci is the CI perf-regression gate: it compares the
+// machine-readable JSONL records pgbench emits (-exp session/-exp
+// stream with -json) against a checked-in baseline and fails when any
+// matching measurement slowed down by more than the tolerance factor.
+//
+// Usage:
+//
+//	pgci -baseline BENCH_baseline.json BENCH_session.json BENCH_stream.json
+//	pgci -baseline BENCH_baseline.json -tolerance 2.5 BENCH_session.json
+//
+// The tolerance is deliberately generous (default 2.5×): CI runners
+// differ wildly from the machine that recorded the baseline, so the
+// gate exists to catch order-of-magnitude regressions (an accidental
+// O(n²) path, a lost cache), not single-digit drift. Measurements in
+// the candidate but absent from the baseline pass with a "new" note;
+// baseline entries with no candidate measurement are ignored (each
+// experiment ships its own candidate file).
+//
+// Exit status: 0 clean, 1 regression, 2 usage or IO error.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"text/tabwriter"
+)
+
+// record mirrors bench.BenchRecord's JSONL shape.
+type record struct {
+	Experiment string  `json:"experiment"`
+	Config     string  `json:"config"`
+	Value      float64 `json:"value"`
+	NsPerOp    int64   `json:"ns_per_op"`
+}
+
+// key identifies one tracked measurement.
+func (r record) key() string { return r.Experiment + "|" + r.Config }
+
+// loadRecords parses JSON-lines records, keeping per key the fastest
+// (minimum) ns_per_op — repeated runs appended to one file gate on
+// their best, which is the least noisy summary of a timing.
+func loadRecords(r io.Reader) (map[string]int64, error) {
+	out := make(map[string]int64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		if rec.Experiment == "" || rec.NsPerOp <= 0 {
+			continue // not a timing record
+		}
+		k := rec.key()
+		if old, ok := out[k]; !ok || rec.NsPerOp < old {
+			out[k] = rec.NsPerOp
+		}
+	}
+	return out, sc.Err()
+}
+
+// verdict is one compared measurement.
+type verdict struct {
+	Key        string
+	Base, Cand int64
+	Ratio      float64
+	Regressed  bool
+	New        bool
+}
+
+// compare gates every candidate measurement against the baseline.
+func compare(baseline, cand map[string]int64, tolerance float64) []verdict {
+	keys := make([]string, 0, len(cand))
+	for k := range cand {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]verdict, 0, len(keys))
+	for _, k := range keys {
+		v := verdict{Key: k, Cand: cand[k]}
+		if base, ok := baseline[k]; ok {
+			v.Base = base
+			v.Ratio = float64(v.Cand) / float64(base)
+			v.Regressed = v.Ratio > tolerance
+		} else {
+			v.New = true
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "checked-in baseline JSONL file")
+		tolerance    = flag.Float64("tolerance", 2.5, "max allowed candidate/baseline ns_per_op ratio")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "pgci: no candidate files given")
+		os.Exit(2)
+	}
+	if *tolerance <= 1 {
+		fmt.Fprintf(os.Stderr, "pgci: tolerance %v must exceed 1\n", *tolerance)
+		os.Exit(2)
+	}
+
+	baseline, err := loadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pgci: baseline %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+	cand := make(map[string]int64)
+	for _, path := range flag.Args() {
+		m, err := loadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pgci: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		for k, ns := range m {
+			if old, ok := cand[k]; !ok || ns < old {
+				cand[k] = ns
+			}
+		}
+	}
+	if len(cand) == 0 {
+		fmt.Fprintln(os.Stderr, "pgci: candidate files contain no timing records")
+		os.Exit(2)
+	}
+
+	verdicts := compare(baseline, cand, *tolerance)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "measurement\tbaseline ns\tcandidate ns\tratio\tstatus")
+	regressions := 0
+	for _, v := range verdicts {
+		status := "ok"
+		switch {
+		case v.New:
+			status = "new (no baseline)"
+			fmt.Fprintf(tw, "%s\t-\t%d\t-\t%s\n", v.Key, v.Cand, status)
+			continue
+		case v.Regressed:
+			status = "REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.2fx\t%s\n", v.Key, v.Base, v.Cand, v.Ratio, status)
+	}
+	tw.Flush()
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "pgci: %d measurement(s) regressed beyond %.2gx\n", regressions, *tolerance)
+		os.Exit(1)
+	}
+	fmt.Printf("pgci: %d measurement(s) within %.2gx of baseline\n", len(verdicts), *tolerance)
+}
+
+func loadFile(path string) (map[string]int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return loadRecords(f)
+}

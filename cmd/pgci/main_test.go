@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadRecordsMinimumWins(t *testing.T) {
+	in := `{"experiment":"session/tc","config":"BF","value":1,"ns_per_op":500}
+{"experiment":"session/tc","config":"BF","value":1,"ns_per_op":300}
+
+{"experiment":"session/tc","config":"exact","value":1,"ns_per_op":900}
+{"experiment":"stream/ingest","config":"BF","value":1,"ns_per_op":0}
+`
+	m, err := loadRecords(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m["session/tc|BF"]; got != 300 {
+		t.Fatalf("min ns for repeated key = %d, want 300", got)
+	}
+	if got := m["session/tc|exact"]; got != 900 {
+		t.Fatalf("exact ns = %d, want 900", got)
+	}
+	if _, ok := m["stream/ingest|BF"]; ok {
+		t.Fatal("zero-ns records must be skipped, not gated")
+	}
+}
+
+func TestLoadRecordsRejectsGarbage(t *testing.T) {
+	if _, err := loadRecords(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("malformed line must error")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	baseline := map[string]int64{
+		"session/tc|BF": 100,
+		"session/tc|kH": 100,
+		"unused|x":      1,
+	}
+	cand := map[string]int64{
+		"session/tc|BF":    240, // 2.4x: within 2.5x
+		"session/tc|kH":    260, // 2.6x: regression
+		"stream/ingest|BF": 50,  // new
+	}
+	vs := compare(baseline, cand, 2.5)
+	if len(vs) != 3 {
+		t.Fatalf("got %d verdicts, want 3 (baseline-only keys are ignored)", len(vs))
+	}
+	byKey := map[string]verdict{}
+	for _, v := range vs {
+		byKey[v.Key] = v
+	}
+	if v := byKey["session/tc|BF"]; v.Regressed || v.New {
+		t.Fatalf("2.4x within tolerance flagged: %+v", v)
+	}
+	if v := byKey["session/tc|kH"]; !v.Regressed {
+		t.Fatalf("2.6x not flagged: %+v", v)
+	}
+	if v := byKey["stream/ingest|BF"]; !v.New || v.Regressed {
+		t.Fatalf("missing-baseline entry must be new, not regressed: %+v", v)
+	}
+}

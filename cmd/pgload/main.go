@@ -7,20 +7,28 @@
 //
 //	pgload -addr http://127.0.0.1:8080 -duration 10s            # closed loop
 //	pgload -qps 5000 -workers 16 -mix similarity:8,topk:1       # open loop
+//	pgload -duration 5s -ingest-qps 4 -ingest-batch 256         # mixed churn
 //
-// With -check the exit status is non-zero when any query errored or
-// none completed — the CI smoke contract.
+// With -ingest-qps > 0 a concurrent ingest loop POSTs random edge
+// batches to /v1/ingest (against a pgserve started with -stream) while
+// the query workers run — measuring query latency under epoch churn.
+//
+// With -check the exit status is non-zero when any query or ingest
+// errored or no queries completed — the CI smoke contract.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	mrand "math/rand"
 	"net/http"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
+	"probgraph/internal/graph"
 	"probgraph/internal/serve"
 )
 
@@ -36,6 +44,10 @@ func main() {
 		zipf     = flag.Float64("zipf", 1.2, "vertex skew exponent (<=1 = uniform picks)")
 		seed     = flag.Uint64("seed", 42, "query-stream seed")
 		check    = flag.Bool("check", false, "exit non-zero on errors or zero throughput")
+
+		ingestQPS   = flag.Float64("ingest-qps", 0, "edge batches per second to POST to /v1/ingest (0 = no ingest)")
+		ingestBatch = flag.Int("ingest-batch", 128, "edges per ingest batch")
+		ingestDel   = flag.Float64("ingest-del", 0, "fraction of each batch sent as deletions of earlier inserts")
 	)
 	flag.Parse()
 
@@ -70,8 +82,61 @@ func main() {
 	if *qps > 0 {
 		mode = fmt.Sprintf("open-loop @ %.0f q/s", *qps)
 	}
+	if *ingestQPS > 0 {
+		mode += fmt.Sprintf(" + ingest @ %.1f batches/s × %d edges", *ingestQPS, *ingestBatch)
+	}
 	log.Printf("pgload: %s, %d workers, %v against %s (n=%d, epoch %d)",
 		mode, *workers, *duration, base, before.Vertices, before.Epoch)
+
+	// The ingest loop runs beside the query workers: reproducible random
+	// edge batches at a fixed rate, each advancing the served epoch.
+	var ingestWG sync.WaitGroup
+	var ingested, ingestBatches, ingestErrs int
+	if *ingestQPS > 0 {
+		ingestWG.Add(1)
+		go func() {
+			defer ingestWG.Done()
+			doIngest := serve.HTTPIngestDoer(client, base)
+			rng := mrand.New(mrand.NewSource(int64(*seed) ^ 0x5ca1ab1e))
+			n := uint32(before.Vertices)
+			interval := time.Duration(float64(time.Second) / *ingestQPS)
+			deadline := time.Now().Add(*duration)
+			next := time.Now()
+			var inserted []graph.Edge
+			for time.Now().Before(deadline) {
+				add := make([]graph.Edge, *ingestBatch)
+				for i := range add {
+					add[i] = graph.Edge{U: rng.Uint32() % n, V: rng.Uint32() % n}
+				}
+				var del []graph.Edge
+				if k := int(*ingestDel * float64(*ingestBatch)); k > 0 && len(inserted) > 0 {
+					for i := 0; i < k; i++ {
+						del = append(del, inserted[rng.Intn(len(inserted))])
+					}
+				}
+				res, err := doIngest(add, del)
+				ingestBatches++
+				if err != nil {
+					ingestErrs++
+					log.Printf("pgload: ingest: %v", err)
+				} else {
+					ingested += res.Added
+					inserted = append(inserted, add...)
+					if len(inserted) > 1<<16 {
+						inserted = inserted[len(inserted)-1<<16:]
+					}
+				}
+				// Ticker-style pacing: the next send time advances by the
+				// interval from the schedule, not from the response, so the
+				// achieved rate tracks -ingest-qps even when apply+freeze+swap
+				// latency eats into the interval.
+				next = next.Add(interval)
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+			}
+		}()
+	}
 
 	rep, err := serve.RunLoad(serve.LoadOpts{
 		Workers:  *workers,
@@ -88,8 +153,17 @@ func main() {
 		log.Fatalf("pgload: %v", err)
 	}
 
+	ingestWG.Wait()
 	fmt.Println(rep)
+	if *ingestQPS > 0 {
+		fmt.Printf("ingest: %d batches (%d edges applied), %d errors\n",
+			ingestBatches, ingested, ingestErrs)
+	}
 	if after, err := serve.FetchStats(client, base); err == nil {
+		if *ingestQPS > 0 {
+			fmt.Printf("server: epoch %d → %d (%d hot-swaps during the run)\n",
+				before.Epoch, after.Epoch, after.Swaps-before.Swaps)
+		}
 		hits := after.Cache.Hits - before.Cache.Hits
 		misses := after.Cache.Misses - before.Cache.Misses
 		hitRate := 0.0
@@ -107,8 +181,9 @@ func main() {
 			after.Batch.Coalesced-before.Batch.Coalesced)
 	}
 
-	if *check && (rep.Errors > 0 || rep.Queries == 0) {
-		fmt.Fprintf(os.Stderr, "pgload: check failed: %d errors, %d queries\n", rep.Errors, rep.Queries)
+	if *check && (rep.Errors > 0 || rep.Queries == 0 || ingestErrs > 0) {
+		fmt.Fprintf(os.Stderr, "pgload: check failed: %d query errors, %d queries, %d ingest errors\n",
+			rep.Errors, rep.Queries, ingestErrs)
 		os.Exit(1)
 	}
 }

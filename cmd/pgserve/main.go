@@ -2,6 +2,7 @@
 // ProbGraph snapshot, and serves the online query API over HTTP JSON:
 //
 //	POST /v1/query   {"op":"similarity","u":3,"v":9,"measure":"jaccard"}
+//	POST /v1/ingest  {"add":[[1,2]],"del":[[0,7]]}  (with -stream)
 //	GET  /v1/stats   snapshot shape, sketch memory, cache/batcher counters
 //	GET  /healthz    liveness
 //
@@ -9,10 +10,17 @@
 //
 //	pgserve -gen kron -scale 12 -deg 16          # synthetic snapshot
 //	pgserve -graph web.el -kinds BF,1H -budget 0.25
+//	pgserve -gen kron -scale 12 -stream          # accept live edge batches
+//
+// With -stream the server owns a stream.DynamicGraph: each /v1/ingest
+// batch updates the per-vertex sketches incrementally, freezes a new
+// epoch, and hot-swaps it under the live query load (in-flight queries
+// finish on their epoch; the result cache invalidates by epoch).
 //
 // Drive it with pgload, or curl:
 //
 //	curl -s localhost:8080/v1/query -d '{"op":"topk","u":7,"k":5}'
+//	curl -s localhost:8080/v1/ingest -d '{"add":[[3,199],[4,1877]]}'
 package main
 
 import (
@@ -31,6 +39,7 @@ import (
 	"probgraph/internal/core"
 	"probgraph/internal/graph"
 	"probgraph/internal/serve"
+	"probgraph/internal/stream"
 )
 
 func main() {
@@ -49,6 +58,7 @@ func main() {
 		cacheSize  = flag.Int("cache", 1<<16, "result cache entries (0 = disabled)")
 		maxBatch   = flag.Int("batch", 64, "max queries coalesced per batch")
 		batchDelay = flag.Duration("batchdelay", 200*time.Microsecond, "max wait to fill a batch (0 = no wait)")
+		streaming  = flag.Bool("stream", false, "enable /v1/ingest: maintain sketches incrementally and hot-swap epochs")
 	)
 	flag.Parse()
 
@@ -67,9 +77,22 @@ func main() {
 
 	log.Printf("graph: n=%d m=%d", g.NumVertices(), g.NumEdges())
 	t0 := time.Now()
-	snap, err := serve.Open(g, serve.SnapshotConfig{
+	snapCfg := serve.SnapshotConfig{
 		Kinds: kindList, Est: estimator, Budget: *budget, Seed: *seed, Workers: *workers,
-	})
+	}
+	var (
+		snap *serve.Snapshot
+		dyn  *stream.DynamicGraph
+	)
+	if *streaming {
+		// Streaming mode: the DynamicGraph owns the sketches and every
+		// epoch (including the first) is a Freeze of its state.
+		if dyn, err = stream.New(g, snapCfg); err == nil {
+			snap, err = dyn.Freeze()
+		}
+	} else {
+		snap, err = serve.Open(g, snapCfg)
+	}
 	if err != nil {
 		log.Fatalf("pgserve: %v", err)
 	}
@@ -91,6 +114,10 @@ func main() {
 		Workers: *workers, MaxBatch: *maxBatch, MaxDelay: delay, CacheSize: cache,
 	})
 	defer engine.Close()
+	if dyn != nil {
+		engine.EnableIngest(stream.NewFeeder(dyn, engine))
+		log.Printf("pgserve: streaming enabled (POST /v1/ingest)")
+	}
 
 	srv := &http.Server{Addr: *addr, Handler: serve.Handler(engine)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,119 @@
+// Streaming: ingest under load. A DynamicGraph receives edge batches
+// while a query loop keeps hitting the serving engine; every batch is
+// applied to the per-vertex sketches incrementally (a few hash
+// evaluations per new edge — no re-sketch of the graph), frozen into an
+// immutable epoch, and hot-swapped under the live queries. In-flight
+// queries finish on the epoch they started on; the epoch-keyed result
+// cache invalidates naturally; not a single query errors across the
+// swaps.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"probgraph"
+)
+
+func main() {
+	// Start from a 70% prefix of a power-law graph; the rest arrives as
+	// a live stream of edge batches.
+	final := probgraph.Kronecker(12, 16, 42)
+	edges := final.EdgeList()
+	rng := rand.New(rand.NewSource(42))
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	cut := len(edges) * 7 / 10
+	initial, err := probgraph.NewGraph(final.NumVertices(), edges[:cut])
+	if err != nil {
+		panic(err)
+	}
+	streamed := edges[cut:]
+	fmt.Printf("initial: n=%d m=%d; streaming %d more edges\n",
+		initial.NumVertices(), initial.NumEdges(), len(streamed))
+
+	// The dynamic graph owns the sketches; epoch 1 is its first freeze.
+	d, err := probgraph.NewDynamic(initial, probgraph.SnapshotConfig{Budget: 0.25, Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+	snap, err := d.Freeze()
+	if err != nil {
+		panic(err)
+	}
+	engine := probgraph.Serve(snap, probgraph.ServeOptions{})
+	defer engine.Close()
+	feeder := probgraph.NewFeeder(d, engine)
+	engine.EnableIngest(feeder)
+
+	// Query load: four workers asking similarities and local triangle
+	// counts as fast as the engine answers them.
+	var queries, errs atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			n := uint32(initial.NumVertices())
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := probgraph.ServeQuery{Op: probgraph.OpSimilarity, U: r.Uint32() % n, V: r.Uint32() % n}
+				if r.Intn(3) == 0 {
+					q = probgraph.ServeQuery{Op: probgraph.OpLocalTC, U: r.Uint32() % n}
+				}
+				if _, err := engine.Query(q); err != nil {
+					errs.Add(1)
+				}
+				queries.Add(1)
+			}
+		}(w)
+	}
+
+	// The ingest side: 12 batches, one epoch swap each.
+	const batches = 12
+	chunk := (len(streamed) + batches - 1) / batches
+	t0 := time.Now()
+	for i := 0; i < len(streamed); i += chunk {
+		end := min(i+chunk, len(streamed))
+		res, err := feeder.Ingest(streamed[i:end], nil)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("epoch %2d: +%4d edges (m=%d) published in %.1fms\n",
+			res.Epoch, res.Added, res.Edges, res.BuildMS)
+		time.Sleep(20 * time.Millisecond) // let queries interleave with the churn
+	}
+	close(stop)
+	wg.Wait()
+
+	st := engine.Stats()
+	fmt.Printf("\ningested %d edges across %d hot-swaps in %v\n",
+		len(streamed), st.Swaps, time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("served %d queries during the churn, %d errors\n", queries.Load(), errs.Load())
+	fmt.Printf("final epoch %d: n=%d m=%d (matches the target graph: %v)\n",
+		st.Epoch, st.Vertices, st.Edges, st.Edges == final.NumEdges())
+
+	// Long-lived analytical Sessions follow the stream with Refresh.
+	g0, err := d.Graph()
+	if err != nil {
+		panic(err)
+	}
+	sess, err := probgraph.NewSession(g0,
+		probgraph.WithDynamic(d.SessionSource()), probgraph.WithSeed(42))
+	if err != nil {
+		panic(err)
+	}
+	sess, err = sess.Refresh() // rebinds to the newest epoch (no-op here: already newest)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("refreshed session sees %d edges\n", sess.Graph().NumEdges())
+}

@@ -1,0 +1,236 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"probgraph/internal/core"
+	"probgraph/internal/graph"
+	"probgraph/internal/serve"
+	"probgraph/internal/stats"
+	"probgraph/internal/stream"
+)
+
+// StreamBench measures the streaming layer on a fixed Kronecker graph:
+// ingest throughput of incremental sketch maintenance (per
+// representation), the per-epoch Freeze cost, the from-scratch rebuild
+// cost it amortizes away, and query throughput/latency while epochs
+// churn underneath the serving engine. One BenchRecord per row is
+// appended to opts.JSON when set — the records the CI perf-regression
+// gate (cmd/pgci) tracks alongside the session benchmark.
+func StreamBench(opts Opts) ([]BenchRecord, error) {
+	opts = opts.withDefaults()
+	scale := 11
+	if opts.Quick {
+		scale = 10
+	}
+	final := graph.Kronecker(scale, 16, opts.Seed)
+	edges := final.EdgeList()
+	cut := len(edges) * 8 / 10
+	initial, err := graph.FromEdges(final.NumVertices(), edges[:cut])
+	if err != nil {
+		return nil, err
+	}
+	streamed := edges[cut:]
+	const batchSize = 1024
+
+	var rows []BenchRecord
+
+	// Ingest throughput: apply the streamed 20% in batches, fresh
+	// dynamic state per timed run (re-applying to warm state would
+	// measure duplicate detection, not insertion). Only the ApplyBatch
+	// loop is timed — the initial bulk build in stream.New is setup, and
+	// folding it in would hide regressions in the incremental path.
+	for _, kind := range []core.Kind{core.BF, core.OneHash} {
+		cfg := serve.SnapshotConfig{Kinds: []core.Kind{kind}, Seed: opts.Seed, Workers: opts.Workers}
+		ns, err := medianNs(opts.Runs, func() (time.Duration, error) {
+			d, err := stream.New(initial, cfg)
+			if err != nil {
+				return 0, err
+			}
+			t0 := time.Now()
+			for i := 0; i < len(streamed); i += batchSize {
+				end := min(i+batchSize, len(streamed))
+				if _, err := d.ApplyBatch(streamed[i:end], nil); err != nil {
+					return 0, err
+				}
+			}
+			return time.Since(t0), nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("stream bench ingest/%v: %w", kind, err)
+		}
+		perEdge := ns / int64(len(streamed))
+		rows = append(rows, BenchRecord{
+			Experiment: "stream/ingest",
+			Config:     kind.String(),
+			Value:      float64(len(streamed)) / (float64(ns) / float64(time.Second)),
+			NsPerOp:    perEdge,
+		})
+	}
+
+	// Freeze cost (one epoch publish) vs the from-scratch sketch rebuild
+	// a non-incremental system would pay per batch.
+	d, err := stream.New(initial, serve.SnapshotConfig{Seed: opts.Seed, Workers: opts.Workers})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := d.ApplyBatch(streamed, nil); err != nil {
+		return nil, err
+	}
+	freezeT := Measure(opts.Runs, func() {
+		if _, err := d.Freeze(); err != nil {
+			panic(err)
+		}
+	})
+	rows = append(rows, BenchRecord{
+		Experiment: "stream/freeze",
+		Config:     "BF",
+		Value:      float64(final.NumEdges()),
+		NsPerOp:    int64(freezeT.Median),
+	})
+	snap, err := d.Freeze()
+	if err != nil {
+		return nil, err
+	}
+	pinned := snap.PG(core.BF).Cfg
+	rebuildT := Measure(opts.Runs, func() {
+		if _, err := core.Build(snap.G, pinned); err != nil {
+			panic(err)
+		}
+	})
+	rows = append(rows, BenchRecord{
+		Experiment: "stream/rebuild",
+		Config:     "BF",
+		Value:      float64(final.NumEdges()),
+		NsPerOp:    int64(rebuildT.Median),
+	})
+
+	// Query latency under churn: an in-process engine hot-swapping
+	// epochs while a closed-loop driver hammers point queries.
+	churn, err := queryUnderChurn(opts, initial, streamed)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, churn)
+
+	if opts.JSON != nil {
+		enc := json.NewEncoder(opts.JSON)
+		for _, r := range rows {
+			if err := enc.Encode(r); err != nil {
+				return nil, fmt.Errorf("stream bench: writing JSON record: %w", err)
+			}
+		}
+	}
+
+	section(opts.Out, "Streaming benchmark (graph: kron scale %d, %d streamed edges)", scale, len(streamed))
+	t := NewTable(opts.Out, "experiment", "config", "value", "ns/op")
+	for _, r := range rows {
+		t.Row(r.Experiment, r.Config, r.Value, r.NsPerOp)
+	}
+	t.Flush()
+	fmt.Fprintf(opts.Out,
+		"amortization: incremental upkeep %d ns/streamed edge (BF); a rebuild-per-batch system pays a %.3gms full re-sketch every batch on top of the %.3gms epoch publish both designs share\n",
+		rows[0].NsPerOp, float64(rebuildT.Median)/1e6, float64(freezeT.Median)/1e6)
+	return rows, nil
+}
+
+// queryUnderChurn drives a mixed point-query load against an engine
+// while a feeder ingests the streamed edges batch by batch, hot-swapping
+// an epoch per batch. Any query error fails the experiment — the
+// zero-error-across-swaps contract, continuously rechecked.
+func queryUnderChurn(opts Opts, initial *graph.Graph, streamed []graph.Edge) (BenchRecord, error) {
+	d, err := stream.New(initial, serve.SnapshotConfig{Seed: opts.Seed, Workers: opts.Workers})
+	if err != nil {
+		return BenchRecord{}, err
+	}
+	snap, err := d.Freeze()
+	if err != nil {
+		return BenchRecord{}, err
+	}
+	eng := serve.New(snap, serve.Options{Workers: opts.Workers})
+	defer eng.Close()
+	feeder := stream.NewFeeder(d, eng)
+
+	dur := 1500 * time.Millisecond
+	if opts.Quick {
+		dur = 800 * time.Millisecond
+	}
+	stop := make(chan struct{})
+	ingestDone := make(chan error, 1)
+	go func() {
+		// Spread the stream across the run: one epoch swap per interval.
+		const batches = 16
+		chunk := (len(streamed) + batches - 1) / batches
+		interval := dur / batches
+		for i := 0; i < len(streamed); i += chunk {
+			end := min(i+chunk, len(streamed))
+			if _, err := feeder.Ingest(streamed[i:end], nil); err != nil {
+				ingestDone <- err
+				return
+			}
+			select {
+			case <-stop:
+				ingestDone <- nil
+				return
+			case <-time.After(interval):
+			}
+		}
+		ingestDone <- nil
+	}()
+
+	rep, err := serve.RunLoad(serve.LoadOpts{
+		Workers:  4,
+		Duration: dur,
+		Vertices: initial.NumVertices(),
+		Zipf:     1.2,
+		Seed:     opts.Seed,
+	}, func(q serve.Query) (serve.Result, error) { return eng.Query(q) })
+	close(stop)
+	if err != nil {
+		return BenchRecord{}, err
+	}
+	if ierr := <-ingestDone; ierr != nil {
+		return BenchRecord{}, fmt.Errorf("stream bench churn ingest: %w", ierr)
+	}
+	if rep.Errors > 0 {
+		return BenchRecord{}, fmt.Errorf("stream bench: %d query errors across %d hot-swaps", rep.Errors, eng.Swaps())
+	}
+	if rep.Queries == 0 {
+		return BenchRecord{}, fmt.Errorf("stream bench: no queries completed under churn")
+	}
+	fmt.Fprintf(opts.Out, "churn latency: p50 %v  p99 %v across %d hot-swaps\n",
+		rep.Hist.Quantile(0.50), rep.Hist.Quantile(0.99), eng.Swaps())
+	// The gated ns_per_op is the mean time per completed query (inverse
+	// throughput over ~thousands of queries) — a p99 recorded while
+	// goroutines race hot-swaps is far too scheduler-noisy to regress-gate
+	// on shared CI runners; the tail is printed above instead.
+	return BenchRecord{
+		Experiment: "stream/query-under-churn",
+		Config:     "BF",
+		Value:      rep.Throughput(),
+		NsPerOp:    int64(float64(time.Second) / rep.Throughput()),
+	}, nil
+}
+
+// medianNs runs f (which owns its own fresh state per call and reports
+// how long the measured region alone took) with the harness's
+// warmup+median protocol, returning the median in nanoseconds.
+func medianNs(runs int, f func() (time.Duration, error)) (int64, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	if _, err := f(); err != nil { // warmup, discarded
+		return 0, err
+	}
+	samples := make([]float64, runs)
+	for i := range samples {
+		el, err := f()
+		if err != nil {
+			return 0, err
+		}
+		samples[i] = float64(el)
+	}
+	return int64(stats.MedianCI(samples, 0.95).Point), nil
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"sort"
+
+	"probgraph/internal/sketch"
+)
+
+// This file is the incremental mutation surface of a PG — the primitive
+// layer behind internal/stream's DynamicGraph. The set representations
+// the paper builds on are element-wise insertable (a Bloom filter OR, a
+// MinHash slot min, a bottom-k insert, an HLL register max are all
+// order-independent), so inserting a neighbor into resident sketch state
+// reproduces the from-scratch build of the final neighborhood bit for
+// bit. Deletions have no element-wise form (Bloom bits and register
+// maxima are shared between elements), so they re-sketch only the
+// affected rows via ResketchRow.
+
+// cloneSlice deep-copies s, preserving nil-ness (HasElems keys off it).
+func cloneSlice[T any](s []T) []T {
+	if s == nil {
+		return nil
+	}
+	out := make([]T, len(s))
+	copy(out, s)
+	return out
+}
+
+// Clone returns a deep copy sharing no mutable storage with pg; the hash
+// family is shared (it is immutable after construction). Freeze paths
+// clone so an immutable snapshot can be served while the original keeps
+// ingesting.
+func (pg *PG) Clone() *PG {
+	cp := *pg
+	cp.sizes = cloneSlice(pg.sizes)
+	cp.bits = cloneSlice(pg.bits)
+	cp.sigs = cloneSlice(pg.sigs)
+	cp.hashes = cloneSlice(pg.hashes)
+	cp.lens = cloneSlice(pg.lens)
+	cp.elems = cloneSlice(pg.elems)
+	cp.hllReg = cloneSlice(pg.hllReg)
+	return &cp
+}
+
+// SetCSRBits updates the CSR baseline that RelativeMemory reports
+// against — used after the underlying graph has grown or shrunk since
+// the sketch was built.
+func (pg *PG) SetCSRBits(bits int64) { pg.csrBits = bits }
+
+// Grow extends the PG to n vertices, appending empty rows; a no-op when
+// the PG already covers n. New rows sketch the empty set (all-zero Bloom
+// bits and HLL registers, EmptySlot MinHash signatures, zero-length
+// bottom-k prefixes), exactly what Build produces for isolated vertices.
+func (pg *PG) Grow(n int) {
+	if n <= pg.n {
+		return
+	}
+	old := pg.n
+	pg.sizes = append(pg.sizes, make([]int32, n-old)...)
+	switch pg.Cfg.Kind {
+	case BF:
+		pg.bits = append(pg.bits, make([]uint64, (n-old)*pg.words)...)
+	case KHash:
+		k := pg.Cfg.K
+		pg.sigs = append(pg.sigs, make([]uint64, (n-old)*k)...)
+		for i := old * k; i < n*k; i++ {
+			pg.sigs[i] = sketch.EmptySlot
+		}
+	case OneHash, KMV:
+		k := pg.Cfg.K
+		pg.hashes = append(pg.hashes, make([]uint64, (n-old)*k)...)
+		pg.lens = append(pg.lens, make([]int32, n-old)...)
+		if pg.elems != nil {
+			pg.elems = append(pg.elems, make([]uint32, (n-old)*k)...)
+		}
+	case HLL:
+		m := 1 << pg.hllP
+		pg.hllReg = append(pg.hllReg, make([]uint8, (n-old)*m)...)
+	}
+	pg.n = n
+}
+
+// AddNeighbor incrementally inserts x into vertex v's neighborhood
+// sketch and bumps the stored set size — the streaming insert path. The
+// result is bit-identical to a from-scratch build of the final
+// neighborhood for BF (OR of per-element bits), k-Hash (per-slot min),
+// 1-Hash (bottom-k insert) and HLL (register max); for KMV the same
+// holds unless distinct neighbors collide under the 64-bit hash, where
+// the from-scratch build's truncate-then-dedup can retain one fewer
+// slot. The caller must ensure x is not already a neighbor of v.
+func (pg *PG) AddNeighbor(v, x uint32) {
+	pg.sizes[v]++
+	switch pg.Cfg.Kind {
+	case BF:
+		sketch.AddToBits(pg.BloomRow(v), x, pg.fam)
+	case KHash:
+		row := pg.KHashRow(v)
+		for i := range row {
+			if h := pg.fam.Hash(i, x); h < row[i] {
+				row[i] = h
+			}
+		}
+	case OneHash, KMV:
+		pg.insertBottomK(v, x)
+	case HLL:
+		s := sketch.HLL{Reg: pg.HLLRow(v), P: pg.hllP}
+		s.Add(pg.fam.Hash(0, x))
+	}
+}
+
+// insertBottomK inserts x's hash into v's sorted bottom-k prefix,
+// keeping element IDs aligned when they are stored.
+func (pg *PG) insertBottomK(v, x uint32) {
+	k := pg.Cfg.K
+	base := int(v) * k
+	l := int(pg.lens[v])
+	row := pg.hashes[base : base+l : base+k]
+	h := pg.fam.Hash(0, x)
+	if pg.Cfg.Kind == KMV {
+		// Distinct-value semantics: a hash already present is a no-op.
+		i := sort.Search(l, func(i int) bool { return row[i] >= h })
+		if i < l && row[i] == h {
+			return
+		}
+	}
+	if l == k {
+		if h >= row[l-1] {
+			// Matches the build-time heap, which skips h >= current max.
+			return
+		}
+		i := sort.Search(l, func(i int) bool { return row[i] > h })
+		copy(row[i+1:], row[i:l-1])
+		row[i] = h
+		if pg.elems != nil {
+			er := pg.elems[base : base+l]
+			copy(er[i+1:], er[i:l-1])
+			er[i] = x
+		}
+		return
+	}
+	i := sort.Search(l, func(i int) bool { return row[i] > h })
+	row = row[: l+1 : k]
+	copy(row[i+1:], row[i:l])
+	row[i] = h
+	if pg.elems != nil {
+		er := pg.elems[base : base+l+1]
+		copy(er[i+1:], er[i:l])
+		er[i] = x
+	}
+	pg.lens[v] = int32(l + 1)
+}
+
+// ResketchRow rebuilds vertex v's sketch from its full neighbor list —
+// the deletion path (no probabilistic set here supports element-wise
+// removal) and the general repair primitive. It runs the exact
+// per-vertex construction Build runs, so the row is bit-identical to a
+// from-scratch build of neigh.
+func (pg *PG) ResketchRow(v uint32, neigh []uint32) {
+	pg.sizes[v] = int32(len(neigh))
+	k := pg.Cfg.K
+	switch pg.Cfg.Kind {
+	case BF:
+		row := pg.BloomRow(v)
+		row.Reset()
+		for _, x := range neigh {
+			sketch.AddToBits(row, x, pg.fam)
+		}
+	case KHash:
+		sketch.KHashSignature(neigh, pg.fam, pg.KHashRow(v))
+	case OneHash, KMV:
+		fn := func(x uint32) uint64 { return pg.fam.Hash(0, x) }
+		var s sketch.BottomK
+		if pg.Cfg.Kind == OneHash {
+			s = sketch.OneHashSketch(neigh, k, fn, pg.elems != nil)
+		} else {
+			s = sketch.BottomK{Hashes: sketch.NewKMV(neigh, k, fn).Hashes}
+		}
+		pg.lens[v] = int32(len(s.Hashes))
+		copy(pg.hashes[int(v)*k:], s.Hashes)
+		if pg.elems != nil && s.Elems != nil {
+			copy(pg.elems[int(v)*k:], s.Elems)
+		}
+	case HLL:
+		row := pg.HLLRow(v)
+		for i := range row {
+			row[i] = 0
+		}
+		s := sketch.HLL{Reg: row, P: pg.hllP}
+		for _, x := range neigh {
+			s.Add(pg.fam.Hash(0, x))
+		}
+	}
+}

@@ -9,9 +9,12 @@ import (
 
 // pending is one in-flight point query awaiting its result, tagged with
 // the requester's context so a batch can evaluate under the deadline of
-// a waiter that is still interested.
+// a waiter that is still interested, and with the serving state captured
+// at Query entry so a snapshot hot-swap never moves queued work onto a
+// different epoch.
 type pending struct {
 	ctx context.Context
+	sv  *serving
 	q   Query
 	res chan Result // buffered(1); exactly one send per request
 }
@@ -23,7 +26,7 @@ type pending struct {
 // to every waiter — concurrent clients asking for the same similarity
 // pay for one sketch intersection.
 type batcher struct {
-	eval     func(context.Context, Query) Result
+	eval     func(context.Context, *serving, Query) Result
 	in       chan *pending
 	batches  chan []*pending
 	maxBatch int
@@ -38,7 +41,7 @@ type batcher struct {
 }
 
 // newBatcher starts the collector and `workers` evaluation workers.
-func newBatcher(eval func(context.Context, Query) Result, workers, maxBatch int, maxDelay time.Duration) *batcher {
+func newBatcher(eval func(context.Context, *serving, Query) Result, workers, maxBatch int, maxDelay time.Duration) *batcher {
 	if workers < 1 {
 		workers = 1
 	}
@@ -65,11 +68,11 @@ func newBatcher(eval func(context.Context, Query) Result, workers, maxBatch int,
 // context, or engine shutdown — whichever comes first. An abandoned
 // pending still receives exactly one (buffered) send from its batch, so
 // nothing leaks.
-func (b *batcher) do(ctx context.Context, q Query) Result {
+func (b *batcher) do(ctx context.Context, sv *serving, q Query) Result {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	p := &pending{ctx: ctx, q: q, res: make(chan Result, 1)}
+	p := &pending{ctx: ctx, sv: sv, q: q, res: make(chan Result, 1)}
 	select {
 	case b.in <- p:
 	case <-ctx.Done():
@@ -163,21 +166,30 @@ func (b *batcher) worker() {
 	}
 }
 
+// groupKey coalesces identical normalized queries within one epoch;
+// requests that captured different epochs around a hot-swap evaluate
+// separately, each against its own snapshot.
+type groupKey struct {
+	epoch uint64
+	q     Query
+}
+
 // run evaluates one batch, coalescing identical queries.
 func (b *batcher) run(batch []*pending) {
 	b.nBatches.Add(1)
 	b.nQueries.Add(int64(len(batch)))
-	groups := make(map[Query][]*pending, len(batch))
-	order := make([]Query, 0, len(batch))
+	groups := make(map[groupKey][]*pending, len(batch))
+	order := make([]groupKey, 0, len(batch))
 	for _, p := range batch {
-		if _, seen := groups[p.q]; !seen {
-			order = append(order, p.q)
+		k := groupKey{epoch: p.sv.snap.Epoch, q: p.q}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
 		}
-		groups[p.q] = append(groups[p.q], p)
+		groups[k] = append(groups[k], p)
 	}
 	b.nCoalesced.Add(int64(len(batch) - len(order)))
-	for _, q := range order {
-		b.evalGroup(q, groups[q])
+	for _, k := range order {
+		b.evalGroup(k.q, groups[k])
 	}
 }
 
@@ -202,7 +214,7 @@ func (b *batcher) evalGroup(q Query, waiters []*pending) {
 			return
 		}
 		leader := live[0]
-		r := b.eval(leader.ctx, q)
+		r := b.eval(leader.ctx, leader.sv, q)
 		if r.Err != "" && leader.ctx.Err() != nil && len(live) > 1 {
 			leader.res <- r
 			waiters = live[1:]

@@ -13,7 +13,7 @@ import (
 // must run far fewer times than there are clients.
 func TestBatcherCoalescing(t *testing.T) {
 	var evals atomic.Int64
-	b := newBatcher(func(_ context.Context, q Query) Result {
+	b := newBatcher(func(_ context.Context, _ *serving, q Query) Result {
 		evals.Add(1)
 		time.Sleep(2 * time.Millisecond) // window for requests to pile up
 		return Result{Value: float64(q.U)}
@@ -26,7 +26,7 @@ func TestBatcherCoalescing(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			r := b.do(context.Background(), Query{Op: OpLocalTC, U: 7})
+			r := b.do(context.Background(), testServing(), Query{Op: OpLocalTC, U: 7})
 			if r.Err != "" || r.Value != 7 {
 				t.Errorf("coalesced result = %+v", r)
 			}
@@ -47,7 +47,7 @@ func TestBatcherCoalescing(t *testing.T) {
 // TestBatcherFanout checks distinct queries inside one batch each get
 // their own answer.
 func TestBatcherFanout(t *testing.T) {
-	b := newBatcher(func(_ context.Context, q Query) Result {
+	b := newBatcher(func(_ context.Context, _ *serving, q Query) Result {
 		return Result{Value: float64(q.U) * 2}
 	}, 4, 16, 500*time.Microsecond)
 	defer b.close()
@@ -57,7 +57,7 @@ func TestBatcherFanout(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			r := b.do(context.Background(), Query{Op: OpLocalTC, U: uint32(i)})
+			r := b.do(context.Background(), testServing(), Query{Op: OpLocalTC, U: uint32(i)})
 			if r.Err != "" || r.Value != float64(i)*2 {
 				t.Errorf("query %d got %+v", i, r)
 			}
@@ -68,7 +68,7 @@ func TestBatcherFanout(t *testing.T) {
 
 // TestBatcherMaxBatch checks batches never exceed the configured bound.
 func TestBatcherMaxBatch(t *testing.T) {
-	b := newBatcher(func(_ context.Context, q Query) Result {
+	b := newBatcher(func(_ context.Context, _ *serving, q Query) Result {
 		time.Sleep(100 * time.Microsecond)
 		return Result{}
 	}, 1, 4, time.Millisecond)
@@ -79,7 +79,7 @@ func TestBatcherMaxBatch(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			b.do(context.Background(), Query{Op: OpLocalTC, U: uint32(i)})
+			b.do(context.Background(), testServing(), Query{Op: OpLocalTC, U: uint32(i)})
 		}(i)
 	}
 	wg.Wait()
@@ -93,9 +93,15 @@ func TestBatcherMaxBatch(t *testing.T) {
 
 // TestBatcherClosedDo checks submissions after close fail cleanly.
 func TestBatcherClosedDo(t *testing.T) {
-	b := newBatcher(func(_ context.Context, q Query) Result { return Result{} }, 1, 4, time.Millisecond)
+	b := newBatcher(func(_ context.Context, _ *serving, q Query) Result { return Result{} }, 1, 4, time.Millisecond)
 	b.close()
-	if r := b.do(context.Background(), Query{Op: OpLocalTC}); r.Err == "" {
+	if r := b.do(context.Background(), testServing(), Query{Op: OpLocalTC}); r.Err == "" {
 		t.Fatal("do on closed batcher should report an error")
 	}
+}
+
+// testServing is a minimal serving for batcher-only tests: the batcher
+// reads just the epoch for its per-epoch coalescing key.
+func testServing() *serving {
+	return &serving{snap: &Snapshot{Epoch: 1}}
 }

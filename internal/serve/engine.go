@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -160,20 +161,52 @@ type tcCell struct {
 	building chan struct{} // non-nil while a leader computes; closed when it finishes
 }
 
-// Engine serves queries against one immutable snapshot: cache in front,
-// coalescing batcher behind, sketch kernels at the bottom. Safe for
-// concurrent use; Close releases the worker pool.
+// serving is one epoch's complete evaluation state: the snapshot plus
+// the per-kind memoized TC cells and Session views derived from it.
+// Queries capture one serving pointer at entry and use it end to end, so
+// an Engine.Swap mid-query is invisible: in-flight work finishes on the
+// epoch it started on.
+type serving struct {
+	snap    *Snapshot
+	workers int
+	tc      map[core.Kind]*tcCell
+	sess    map[core.Kind]*session.Session // per-kind Session views, engine workers
+}
+
+// newServing derives the evaluation state of one snapshot.
+func newServing(s *Snapshot, workers int) *serving {
+	sv := &serving{
+		snap:    s,
+		workers: workers,
+		tc:      make(map[core.Kind]*tcCell, len(s.kinds)),
+		sess:    make(map[core.Kind]*session.Session, len(s.kinds)),
+	}
+	for _, k := range s.kinds {
+		sv.tc[k] = &tcCell{}
+		if sess, err := buildEngineSession(s, k, workers); err == nil {
+			sv.sess[k] = sess
+		}
+	}
+	return sv
+}
+
+// Engine serves queries against an immutable snapshot: cache in front,
+// coalescing batcher behind, sketch kernels at the bottom. The snapshot
+// is hot-swappable (Swap) for streaming ingest: epochs change atomically
+// under load, and the epoch-keyed result cache invalidates old answers
+// for free. Safe for concurrent use; Close releases the worker pool.
 type Engine struct {
-	snap *Snapshot
+	cur  atomic.Pointer[serving]
 	opts Options
 
 	cache *lru
 	b     *batcher
-	tc    map[core.Kind]*tcCell
-	sess  map[core.Kind]*session.Session // per-kind Session views, engine workers
 
-	opCounts [opMax]countErr
-	start    time.Time
+	ingest              atomic.Pointer[Ingestor]
+	swaps               atomic.Int64
+	ingestOK, ingestErr atomic.Int64
+	opCounts            [opMax]countErr
+	start               time.Time
 }
 
 // countErr pairs per-op served/error counters.
@@ -185,19 +218,11 @@ type countErr struct {
 func New(s *Snapshot, opts Options) *Engine {
 	opts = opts.withDefaults()
 	e := &Engine{
-		snap:  s,
 		opts:  opts,
 		cache: newLRU(opts.CacheSize),
-		tc:    make(map[core.Kind]*tcCell, len(s.kinds)),
-		sess:  make(map[core.Kind]*session.Session, len(s.kinds)),
 		start: time.Now(),
 	}
-	for _, k := range s.kinds {
-		e.tc[k] = &tcCell{}
-		if sess, err := buildEngineSession(s, k, opts.Workers); err == nil {
-			e.sess[k] = sess
-		}
-	}
+	e.cur.Store(newServing(s, opts.Workers))
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = par.DefaultWorkers()
@@ -206,8 +231,44 @@ func New(s *Snapshot, opts Options) *Engine {
 	return e
 }
 
-// Snapshot returns the snapshot the engine serves.
-func (e *Engine) Snapshot() *Snapshot { return e.snap }
+// Snapshot returns the snapshot the engine currently serves.
+func (e *Engine) Snapshot() *Snapshot { return e.cur.Load().snap }
+
+// Swap atomically replaces the served snapshot and returns the one it
+// displaced. In-flight queries complete against the epoch they captured
+// at entry (snapshots are immutable, so the old epoch stays fully
+// answerable); new queries see the new epoch immediately; cached results
+// are keyed by epoch, so stale answers can never be served and old
+// entries age out of the LRU naturally.
+func (e *Engine) Swap(s *Snapshot) (*Snapshot, error) {
+	if s == nil {
+		return nil, fmt.Errorf("serve: swap of nil snapshot")
+	}
+	old := e.cur.Swap(newServing(s, e.opts.Workers))
+	e.swaps.Add(1)
+	return old.snap, nil
+}
+
+// Swaps reports how many snapshot hot-swaps the engine has performed.
+func (e *Engine) Swaps() int64 { return e.swaps.Load() }
+
+// EnableIngest attaches the handler behind POST /v1/ingest — typically a
+// stream.Feeder, which applies the batch to a DynamicGraph, freezes the
+// new epoch and Swaps it in. Until called, ingest requests are refused.
+func (e *Engine) EnableIngest(ing Ingestor) {
+	if ing == nil {
+		return
+	}
+	e.ingest.Store(&ing)
+}
+
+// ingestor returns the attached Ingestor, or nil.
+func (e *Engine) ingestor() Ingestor {
+	if p := e.ingest.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
 
 // Close stops the batcher workers. In-flight Query calls complete.
 func (e *Engine) Close() { e.b.close() }
@@ -232,13 +293,16 @@ func (e *Engine) QueryCtx(ctx context.Context, q Query) (Result, error) {
 		e.count(q.Op, err)
 		return Result{}, err
 	}
-	q, kind, err := e.normalize(q)
+	// Capture one epoch's serving state for the query's whole lifetime:
+	// a concurrent Swap must never mix epochs within one evaluation.
+	sv := e.cur.Load()
+	q, kind, err := normalize(sv, q)
 	if err != nil {
 		e.count(q.Op, err)
 		return Result{}, err
 	}
 	if q.Op == OpTC {
-		v, err := e.snapshotTC(ctx, kind)
+		v, err := snapshotTC(ctx, sv, kind)
 		if err != nil {
 			e.count(q.Op, err)
 			return Result{}, err
@@ -246,13 +310,13 @@ func (e *Engine) QueryCtx(ctx context.Context, q Query) (Result, error) {
 		e.count(q.Op, nil)
 		return Result{Value: v}, nil
 	}
-	key := cacheKey{epoch: e.snap.Epoch, q: q}
+	key := cacheKey{epoch: sv.snap.Epoch, q: q}
 	if r, ok := e.cache.get(key); ok {
 		r.Cached = true
 		e.count(q.Op, nil)
 		return r, nil
 	}
-	r := e.b.do(ctx, q)
+	r := e.b.do(ctx, sv, q)
 	if r.Err != "" {
 		// If the requester's own context died while the query was queued
 		// or evaluating, report the typed context error — callers (and
@@ -260,7 +324,7 @@ func (e *Engine) QueryCtx(ctx context.Context, q Query) (Result, error) {
 		// from an invalid request.
 		err := ctx.Err()
 		if err == nil {
-			err = fmt.Errorf("%s", r.Err)
+			err = errors.New(r.Err)
 		}
 		e.count(q.Op, err)
 		return Result{}, err
@@ -275,9 +339,11 @@ func (e *Engine) QueryCtx(ctx context.Context, q Query) (Result, error) {
 // whole-graph kernel is the engine's one heavyweight query, so it
 // bypasses the point-query batcher: the first request leads the
 // computation, concurrent requests wait under their own contexts, and
-// every later request is a cheap memoized read.
-func (e *Engine) snapshotTC(ctx context.Context, kind core.Kind) (float64, error) {
-	cell := e.tc[kind]
+// every later request is a cheap memoized read. The cells live on the
+// serving, so a swapped epoch starts fresh and an old epoch's leader
+// never publishes into the new one.
+func snapshotTC(ctx context.Context, sv *serving, kind core.Kind) (float64, error) {
+	cell := sv.tc[kind]
 	for {
 		cell.mu.Lock()
 		if cell.ready {
@@ -306,7 +372,7 @@ func (e *Engine) snapshotTC(ctx context.Context, kind core.Kind) (float64, error
 					cell.mu.Unlock()
 					close(finished)
 				}()
-				v, err = e.leadTC(ctx, kind)
+				v, err = leadTC(ctx, sv, kind)
 				completed = true
 			}()
 			return v, err
@@ -325,8 +391,8 @@ func (e *Engine) snapshotTC(ctx context.Context, kind core.Kind) (float64, error
 }
 
 // leadTC runs the whole-graph TC kernel as the cell leader.
-func (e *Engine) leadTC(ctx context.Context, kind core.Kind) (float64, error) {
-	sess, err := e.sessionFor(kind)
+func leadTC(ctx context.Context, sv *serving, kind core.Kind) (float64, error) {
+	sess, err := sv.sessionFor(kind)
 	if err != nil {
 		return 0, err
 	}
@@ -337,15 +403,15 @@ func (e *Engine) leadTC(ctx context.Context, kind core.Kind) (float64, error) {
 	return res.Value, nil
 }
 
-// sessionFor returns the engine's Session view for a resident kind; a
+// sessionFor returns the serving's Session view for a resident kind; a
 // kind missing from the construction-time map (its build errored) is
 // retried here so the caller sees the real error, not a misleading
 // not-resident one.
-func (e *Engine) sessionFor(kind core.Kind) (*session.Session, error) {
-	if sess, ok := e.sess[kind]; ok {
+func (sv *serving) sessionFor(kind core.Kind) (*session.Session, error) {
+	if sess, ok := sv.sess[kind]; ok {
 		return sess, nil
 	}
-	return buildEngineSession(e.snap, kind, e.opts.Workers)
+	return buildEngineSession(sv.snap, kind, sv.workers)
 }
 
 // buildEngineSession derives the engine's per-kind Session view: the
@@ -358,16 +424,17 @@ func buildEngineSession(s *Snapshot, kind core.Kind, workers int) (*session.Sess
 	return sess.With(session.WithWorkers(workers))
 }
 
-// normalize validates a query and rewrites it to canonical form so the
-// cache and the batcher's coalescer see equivalent requests as equal.
-func (e *Engine) normalize(q Query) (Query, core.Kind, error) {
-	kind := e.snap.DefaultKind()
+// normalize validates a query against one epoch's snapshot and rewrites
+// it to canonical form so the cache and the batcher's coalescer see
+// equivalent requests as equal.
+func normalize(sv *serving, q Query) (Query, core.Kind, error) {
+	kind := sv.snap.DefaultKind()
 	if q.Kind != "" {
 		k, err := ParseKind(q.Kind)
 		if err != nil {
 			return q, 0, err
 		}
-		if e.snap.PG(k) == nil {
+		if sv.snap.PG(k) == nil {
 			return q, 0, fmt.Errorf("serve: sketch kind %v not resident in snapshot", k)
 		}
 		kind = k
@@ -376,7 +443,7 @@ func (e *Engine) normalize(q Query) (Query, core.Kind, error) {
 	if q.Measure < mining.Jaccard || q.Measure > mining.ResourceAllocation {
 		return q, 0, fmt.Errorf("serve: unknown measure %d", int(q.Measure))
 	}
-	n := uint32(e.snap.G.NumVertices())
+	n := uint32(sv.snap.G.NumVertices())
 	checkV := func(v uint32) error {
 		if v >= n {
 			return fmt.Errorf("serve: vertex %d out of range [0,%d)", v, n)
@@ -424,14 +491,15 @@ func (e *Engine) normalize(q Query) (Query, core.Kind, error) {
 	return q, kind, nil
 }
 
-// eval computes one normalized point query on the snapshot (batcher
-// side), through the snapshot's Session with the requester's deadline.
-func (e *Engine) eval(ctx context.Context, q Query) Result {
+// eval computes one normalized point query on the epoch captured at
+// Query entry (batcher side), through that snapshot's Session with the
+// requester's deadline.
+func (e *Engine) eval(ctx context.Context, sv *serving, q Query) Result {
 	kind, err := ParseKind(q.Kind)
 	if err != nil {
 		return Result{Err: err.Error()}
 	}
-	sess, err := e.sessionFor(kind)
+	sess, err := sv.sessionFor(kind)
 	if err != nil {
 		return Result{Err: err.Error()}
 	}
@@ -449,9 +517,9 @@ func (e *Engine) eval(ctx context.Context, q Query) Result {
 		}
 		return Result{Value: res.Value}
 	case OpNeighbors:
-		return Result{Neighbors: e.snap.G.Neighbors(q.U)}
+		return Result{Neighbors: sv.snap.G.Neighbors(q.U)}
 	case OpTopK:
-		return e.topK(ctx, e.snap.pgs[kind], q)
+		return topK(ctx, sv.snap, sv.snap.pgs[kind], q)
 	}
 	return Result{Err: fmt.Sprintf("serve: op %v is not a point query", q.Op)}
 }
@@ -461,8 +529,8 @@ func (e *Engine) eval(ctx context.Context, q Query) Result {
 // scoring (a positive common-neighbor score implies a 2-hop path, so no
 // candidate is lost for the counting measures). The candidate set of a
 // hub can be large, so the context is observed once per 1-hop neighbor.
-func (e *Engine) topK(ctx context.Context, pg *core.PG, q Query) Result {
-	g := e.snap.G
+func topK(ctx context.Context, snap *Snapshot, pg *core.PG, q Query) Result {
+	g := snap.G
 	v := q.U
 	done := ctx.Done()
 	seen := map[uint32]struct{}{v: {}}

@@ -49,10 +49,12 @@ type wireError struct {
 // Handler exposes the engine over HTTP JSON:
 //
 //	POST /v1/query   {"op":"similarity","u":3,"v":9,"measure":"jaccard"} → Result
+//	POST /v1/ingest  {"add":[[1,2],[2,3]],"del":[[0,7]]} → IngestResult (needs EnableIngest)
 //	GET  /v1/stats   → Stats
 //	GET  /healthz    → "ok"
 func Handler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/ingest", e.handleIngest)
 	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
 		var wq WireQuery
 		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&wq); err != nil {

@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"probgraph/internal/graph"
+)
+
+// ErrBadBatch marks an Ingest failure caused by the batch itself — a
+// malformed or cap-violating request rather than a server fault.
+// Implementations wrap it (fmt.Errorf("...: %w", serve.ErrBadBatch)) so
+// the HTTP layer can answer 400 instead of 500.
+var ErrBadBatch = errors.New("bad ingest batch")
+
+// Ingestor applies one batch of edge mutations to the served graph and
+// makes the resulting epoch visible — the contract behind POST
+// /v1/ingest. The canonical implementation is stream.Feeder: apply the
+// batch to a DynamicGraph (incremental sketch maintenance), Freeze the
+// new epoch, and Swap it into the engine. Implementations must be safe
+// for concurrent use; batches are applied in some serialized order.
+type Ingestor interface {
+	Ingest(add, del []graph.Edge) (IngestResult, error)
+}
+
+// IngestResult reports one applied batch: the epoch it produced, the
+// post-batch graph shape, how many mutations took effect, and the
+// freeze+swap latency the batch paid.
+type IngestResult struct {
+	Epoch    uint64  `json:"epoch"`
+	Vertices int     `json:"vertices"`
+	Edges    int     `json:"edges"`
+	Added    int     `json:"added"`
+	Removed  int     `json:"removed"`
+	BuildMS  float64 `json:"build_ms"`
+}
+
+// WireIngest is the JSON request body of POST /v1/ingest: edge pairs to
+// add and to delete. Self loops and already-present (resp. absent)
+// edges are ignored; endpoints beyond the current vertex count grow the
+// graph.
+type WireIngest struct {
+	Add [][2]uint32 `json:"add,omitempty"`
+	Del [][2]uint32 `json:"del,omitempty"`
+}
+
+// Edges converts the wire pairs to typed edge lists.
+func (w WireIngest) Edges() (add, del []graph.Edge) {
+	add = make([]graph.Edge, len(w.Add))
+	for i, p := range w.Add {
+		add[i] = graph.Edge{U: p[0], V: p[1]}
+	}
+	del = make([]graph.Edge, len(w.Del))
+	for i, p := range w.Del {
+		del[i] = graph.Edge{U: p[0], V: p[1]}
+	}
+	return add, del
+}
+
+// handleIngest is the POST /v1/ingest endpoint: decode the batch, hand
+// it to the engine's Ingestor, and report the new epoch. Without an
+// attached Ingestor (a static snapshot server) it answers 501.
+func (e *Engine) handleIngest(w http.ResponseWriter, r *http.Request) {
+	ing := e.ingestor()
+	if ing == nil {
+		httpError(w, http.StatusNotImplemented,
+			fmt.Errorf("serve: ingest not enabled on this server (start pgserve with -stream)"))
+		return
+	}
+	var wi WireIngest
+	// Ingest batches are bulkier than queries: allow up to 16 MiB.
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<24)).Decode(&wi); err != nil {
+		e.ingestErr.Add(1)
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding ingest batch: %w", err))
+		return
+	}
+	add, del := wi.Edges()
+	res, err := ing.Ingest(add, del)
+	if err != nil {
+		e.ingestErr.Add(1)
+		code := http.StatusInternalServerError
+		if errors.Is(err, ErrBadBatch) {
+			code = http.StatusBadRequest // the batch's fault, not the server's
+		}
+		httpError(w, code, err)
+		return
+	}
+	e.ingestOK.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(res)
+}
+
+// HTTPIngestDoer returns a function that round-trips edge batches
+// through a server's /v1/ingest endpoint — the client side used by
+// pgload's mixed ingest/query mode. A nil client uses
+// http.DefaultClient.
+func HTTPIngestDoer(client *http.Client, base string) func(add, del []graph.Edge) (IngestResult, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	url := base + "/v1/ingest"
+	return func(add, del []graph.Edge) (IngestResult, error) {
+		wi := WireIngest{
+			Add: make([][2]uint32, len(add)),
+			Del: make([][2]uint32, len(del)),
+		}
+		for i, e := range add {
+			wi.Add[i] = [2]uint32{e.U, e.V}
+		}
+		for i, e := range del {
+			wi.Del[i] = [2]uint32{e.U, e.V}
+		}
+		body, err := json.Marshal(wi)
+		if err != nil {
+			return IngestResult{}, err
+		}
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return IngestResult{}, err
+		}
+		defer func() {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}()
+		if resp.StatusCode != http.StatusOK {
+			var we wireError
+			if json.NewDecoder(resp.Body).Decode(&we) == nil && we.Error != "" {
+				return IngestResult{}, fmt.Errorf("server: %s", we.Error)
+			}
+			return IngestResult{}, fmt.Errorf("server: HTTP %d", resp.StatusCode)
+		}
+		var res IngestResult
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			return IngestResult{}, err
+		}
+		return res, nil
+	}
+}

@@ -411,7 +411,7 @@ func TestQueryCtxCancellation(t *testing.T) {
 func TestBatcherLeaderCancellation(t *testing.T) {
 	cancelledCtx, cancel := context.WithCancel(context.Background())
 	var calls atomic.Int64
-	b := newBatcher(func(ctx context.Context, q Query) Result {
+	b := newBatcher(func(ctx context.Context, _ *serving, q Query) Result {
 		calls.Add(1)
 		if err := ctx.Err(); err != nil {
 			return Result{Err: err.Error()}
@@ -422,8 +422,8 @@ func TestBatcherLeaderCancellation(t *testing.T) {
 	cancel()
 
 	// Build one coalesced group by hand: a cancelled leader and a live peer.
-	lead := &pending{ctx: cancelledCtx, q: Query{Op: OpLocalTC, U: 1}, res: make(chan Result, 1)}
-	peer := &pending{ctx: context.Background(), q: Query{Op: OpLocalTC, U: 1}, res: make(chan Result, 1)}
+	lead := &pending{ctx: cancelledCtx, sv: testServing(), q: Query{Op: OpLocalTC, U: 1}, res: make(chan Result, 1)}
+	peer := &pending{ctx: context.Background(), sv: testServing(), q: Query{Op: OpLocalTC, U: 1}, res: make(chan Result, 1)}
 	b.run([]*pending{lead, peer})
 	if r := <-lead.res; r.Err == "" {
 		t.Fatalf("cancelled leader got %+v, want its cancellation error", r)

@@ -54,6 +54,17 @@ type Snapshot struct {
 // Open builds a snapshot: a Session plus the eagerly-built orientation
 // and all configured sketches.
 func Open(g *graph.Graph, cfg SnapshotConfig) (*Snapshot, error) {
+	return OpenWith(g, cfg, nil, nil)
+}
+
+// OpenWith builds a snapshot around prebuilt artifacts: a non-nil
+// orientation and any per-kind full-neighborhood PGs are installed into
+// the snapshot's Session instead of being rebuilt — the hand-off from
+// stream.DynamicGraph.Freeze, whose incrementally-maintained sketches
+// make a new epoch visible without a from-scratch sketch pass. Kinds
+// without a prebuilt PG are built eagerly as in Open. Prebuilt artifacts
+// must be immutable for the snapshot's lifetime (Freeze clones them).
+func OpenWith(g *graph.Graph, cfg SnapshotConfig, o *graph.Oriented, prebuilt map[core.Kind]*core.PG) (*Snapshot, error) {
 	if g == nil {
 		return nil, fmt.Errorf("serve: nil graph")
 	}
@@ -81,6 +92,11 @@ func Open(g *graph.Graph, cfg SnapshotConfig) (*Snapshot, error) {
 		pgs:   make(map[core.Kind]*core.PG, len(cfg.Kinds)),
 	}
 	ctx := context.Background()
+	if o != nil {
+		if _, err := base.InstallOriented(o); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+	}
 	if s.O, err = base.Oriented(ctx); err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
@@ -92,8 +108,12 @@ func Open(g *graph.Graph, cfg SnapshotConfig) (*Snapshot, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serve: %w", err)
 		}
-		pg, err := ks.PG(ctx)
-		if err != nil {
+		var pg *core.PG
+		if pb := prebuilt[k]; pb != nil {
+			if pg, err = ks.InstallPG(pb); err != nil {
+				return nil, fmt.Errorf("serve: installing %v sketches: %w", k, err)
+			}
+		} else if pg, err = ks.PG(ctx); err != nil {
 			return nil, fmt.Errorf("serve: building %v sketches: %w", k, err)
 		}
 		s.pgs[k] = pg

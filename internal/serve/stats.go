@@ -41,9 +41,13 @@ type OpStats struct {
 }
 
 // Stats is the /v1/stats payload: snapshot shape, resident sketch
-// memory, cache and batcher effectiveness, per-op traffic.
+// memory, cache and batcher effectiveness, per-op traffic, and the
+// streaming counters (current epoch, hot-swaps performed, ingest
+// traffic).
 type Stats struct {
 	Epoch       uint64             `json:"epoch"`
+	Swaps       int64              `json:"swaps"`
+	Ingest      OpStats            `json:"ingest"`
 	Vertices    int                `json:"vertices"`
 	Edges       int                `json:"edges"`
 	Kinds       []string           `json:"kinds"`
@@ -58,13 +62,16 @@ type Stats struct {
 
 // Stats snapshots the engine's counters.
 func (e *Engine) Stats() Stats {
+	sv := e.cur.Load()
 	s := Stats{
-		Epoch:       e.snap.Epoch,
-		Vertices:    e.snap.G.NumVertices(),
-		Edges:       e.snap.G.NumEdges(),
-		DefaultKind: e.snap.DefaultKind().String(),
-		CSRBytes:    (e.snap.G.SizeBits() + 7) / 8,
-		SketchBytes: e.snap.SketchBytes(),
+		Epoch:       sv.snap.Epoch,
+		Swaps:       e.swaps.Load(),
+		Ingest:      OpStats{OK: e.ingestOK.Load(), Errors: e.ingestErr.Load()},
+		Vertices:    sv.snap.G.NumVertices(),
+		Edges:       sv.snap.G.NumEdges(),
+		DefaultKind: sv.snap.DefaultKind().String(),
+		CSRBytes:    (sv.snap.G.SizeBits() + 7) / 8,
+		SketchBytes: sv.snap.SketchBytes(),
 		Cache: CacheStats{
 			Hits:   e.cache.hits.Load(),
 			Misses: e.cache.misses.Load(),
@@ -79,7 +86,7 @@ func (e *Engine) Stats() Stats {
 		Ops:       make(map[string]OpStats, int(opMax)),
 		UptimeSec: time.Since(e.start).Seconds(),
 	}
-	for _, k := range e.snap.kinds {
+	for _, k := range sv.snap.kinds {
 		s.Kinds = append(s.Kinds, k.String())
 	}
 	for op := Op(1); op < opMax; op++ {

@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"probgraph/internal/graph"
+)
+
+// TestEngineSwap: swapping snapshots under an engine changes the served
+// epoch atomically, the displaced snapshot is returned, and the
+// epoch-keyed cache never serves an old epoch's answer.
+func TestEngineSwap(t *testing.T) {
+	g1 := graph.Kronecker(7, 8, 1)
+	g2 := graph.Kronecker(8, 8, 2) // different shape entirely
+	s1, err := Open(g1, SnapshotConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(g2, SnapshotConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(s1, Options{Workers: 2})
+	defer e.Close()
+
+	q := Query{Op: OpSimilarity, U: 1, V: 2}
+	r1, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, err := e.Query(q); err != nil || !c.Cached {
+		t.Fatalf("repeat query should hit the cache: %+v, %v", c, err)
+	}
+
+	old, err := e.Swap(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old != s1 {
+		t.Fatal("Swap must return the displaced snapshot")
+	}
+	if e.Snapshot() != s2 {
+		t.Fatal("engine must serve the new snapshot")
+	}
+	st := e.Stats()
+	if st.Epoch != s2.Epoch || st.Swaps != 1 || st.Vertices != g2.NumVertices() {
+		t.Fatalf("stats after swap: %+v", st)
+	}
+
+	// First query on the new epoch must be a miss (epoch-keyed cache),
+	// answered against the new snapshot.
+	r2, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Cached {
+		t.Fatal("old epoch's cache line served after swap")
+	}
+	want, err := Open(g2, SnapshotConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	we := New(want, Options{Workers: 2})
+	defer we.Close()
+	wr, err := we.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Value != wr.Value {
+		t.Fatalf("post-swap answer %v, want %v (old epoch answered %v)", r2.Value, wr.Value, r1.Value)
+	}
+
+	if _, err := e.Swap(nil); err == nil {
+		t.Fatal("Swap(nil) must error")
+	}
+}
+
+// fakeIngestor counts batches and reports a fixed epoch.
+type fakeIngestor struct {
+	adds, dels int
+	calls      int
+}
+
+func (f *fakeIngestor) Ingest(add, del []graph.Edge) (IngestResult, error) {
+	f.calls++
+	f.adds += len(add)
+	f.dels += len(del)
+	return IngestResult{Epoch: 99, Added: len(add), Removed: len(del)}, nil
+}
+
+// TestIngestHTTP: /v1/ingest refuses without an Ingestor (501), and
+// round-trips batches through HTTPIngestDoer once enabled.
+func TestIngestHTTP(t *testing.T) {
+	g := graph.Kronecker(7, 8, 3)
+	s, err := Open(g, SnapshotConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(s, Options{Workers: 2})
+	defer e.Close()
+	srv := httptest.NewServer(Handler(e))
+	defer srv.Close()
+
+	do := HTTPIngestDoer(srv.Client(), srv.URL)
+	add := []graph.Edge{{U: 1, V: 9}, {U: 2, V: 7}}
+	if _, err := do(add, nil); err == nil {
+		t.Fatal("ingest without EnableIngest must fail")
+	}
+
+	fi := &fakeIngestor{}
+	e.EnableIngest(fi)
+	res, err := do(add, []graph.Edge{{U: 0, V: 1}})
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if res.Epoch != 99 || res.Added != 2 || res.Removed != 1 {
+		t.Fatalf("ingest result %+v", res)
+	}
+	if fi.calls != 1 || fi.adds != 2 || fi.dels != 1 {
+		t.Fatalf("ingestor saw %+v", fi)
+	}
+	st := e.Stats()
+	if st.Ingest.OK != 1 || st.Ingest.Errors != 0 {
+		t.Fatalf("ingest counters %+v (the pre-enable refusal is config state, not ingest traffic)", st.Ingest)
+	}
+
+	// A batch-fault error (wrapped ErrBadBatch) answers 400, not 500.
+	e.EnableIngest(&badBatchIngestor{})
+	resp, err := srv.Client().Post(srv.URL+"/v1/ingest", "application/json",
+		strings.NewReader(`{"add":[[0,1]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad-batch ingest answered HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// badBatchIngestor always rejects the batch as the client's fault.
+type badBatchIngestor struct{}
+
+func (badBatchIngestor) Ingest(add, del []graph.Edge) (IngestResult, error) {
+	return IngestResult{}, fmt.Errorf("cap exceeded: %w", ErrBadBatch)
+}

@@ -1,0 +1,140 @@
+package session
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"probgraph/internal/core"
+	"probgraph/internal/graph"
+)
+
+// TestInstallPG: a prebuilt PG seeds the cache (subsequent PG calls
+// return it without building), mismatched installs are rejected, and an
+// already-built slot wins over a late install.
+func TestInstallPG(t *testing.T) {
+	g := graph.Kronecker(7, 8, 1)
+	sess, err := New(g, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := core.Build(g, core.Config{Kind: core.BF, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sess.InstallPG(pg)
+	if err != nil || got != pg {
+		t.Fatalf("install: %v, %v", got, err)
+	}
+	cached, err := sess.PG(context.Background())
+	if err != nil || cached != pg {
+		t.Fatal("PG() must return the installed sketch")
+	}
+
+	// A second install after the slot is occupied returns the resident PG.
+	pg2, _ := core.Build(g, core.Config{Kind: core.BF, Seed: 5})
+	got2, err := sess.InstallPG(pg2)
+	if err != nil || got2 != pg {
+		t.Fatal("late install must yield the resident PG")
+	}
+
+	// Mismatches are rejected.
+	if _, err := sess.InstallPG(nil); err == nil {
+		t.Fatal("nil install must error")
+	}
+	wrongKind, _ := core.Build(g, core.Config{Kind: core.KHash, Seed: 5})
+	if _, err := sess.InstallPG(wrongKind); err == nil {
+		t.Fatal("kind mismatch must error")
+	}
+	wrongSeed, _ := core.Build(g, core.Config{Kind: core.BF, Seed: 6})
+	if _, err := sess.InstallPG(wrongSeed); err == nil {
+		t.Fatal("seed mismatch must error")
+	}
+	small := graph.Kronecker(6, 8, 1)
+	wrongN, _ := core.Build(small, core.Config{Kind: core.BF, Seed: 5})
+	if _, err := sess.InstallPG(wrongN); err == nil {
+		t.Fatal("vertex-count mismatch must error")
+	}
+}
+
+// TestInstallOriented mirrors TestInstallPG for the orientation slot.
+func TestInstallOriented(t *testing.T) {
+	g := graph.Kronecker(7, 8, 2)
+	sess, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := g.Orient(0)
+	got, err := sess.InstallOriented(o)
+	if err != nil || got != o {
+		t.Fatalf("install: %v", err)
+	}
+	cached, err := sess.Oriented(context.Background())
+	if err != nil || cached != o {
+		t.Fatal("Oriented() must return the installed orientation")
+	}
+	if _, err := sess.InstallOriented(nil); err == nil {
+		t.Fatal("nil install must error")
+	}
+	small := graph.Kronecker(6, 8, 2)
+	if _, err := sess.InstallOriented(small.Orient(0)); err == nil {
+		t.Fatal("vertex-count mismatch must error")
+	}
+}
+
+// TestRefresh: without a source Refresh errors; with one it follows the
+// source's graph and keeps the configuration (including the source).
+func TestRefresh(t *testing.T) {
+	g1 := graph.Kronecker(7, 8, 3)
+	g2 := graph.Kronecker(7, 8, 4)
+
+	plain, err := New(g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.Refresh(); err == nil {
+		t.Fatal("Refresh without WithDynamic must error")
+	}
+
+	cur, err := New(g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := func() (*Session, error) { return cur, nil }
+	sess, err := New(g1, WithDynamic(src), WithKind(core.KHash), WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := sess.Refresh()
+	if err != nil || same != sess {
+		t.Fatalf("same-graph Refresh must return the receiver: %v", err)
+	}
+
+	cur, err = New(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := sess.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh == sess || fresh.Graph() != g2 {
+		t.Fatal("Refresh must rebind to the source's new graph")
+	}
+	if fresh.Kind() != core.KHash || fresh.Seed() != 9 {
+		t.Fatal("Refresh must keep the receiver's configuration")
+	}
+	// The refreshed session can refresh again (the source travels along).
+	if again, err := fresh.Refresh(); err != nil || again != fresh {
+		t.Fatalf("chained Refresh: %v", err)
+	}
+
+	// Source errors surface.
+	bad, err := New(g1, WithDynamic(func() (*Session, error) { return nil, fmt.Errorf("boom") }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.Refresh(); err == nil {
+		t.Fatal("source error must surface")
+	}
+}

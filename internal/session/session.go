@@ -63,6 +63,7 @@ type config struct {
 	sketchK    int
 	storeElems bool
 	orient     OrientKind
+	source     func() (*Session, error)
 }
 
 // Option configures a Session (functional options).
@@ -98,6 +99,16 @@ func WithStoreElems(on bool) Option { return func(c *config) { c.storeElems = on
 // WithOrientation selects the orientation the counting kernels run over
 // (default OrientDegree, matching the flat API).
 func WithOrientation(o OrientKind) Option { return func(c *config) { c.orient = o } }
+
+// WithDynamic attaches a source of refreshed Sessions — typically
+// (*stream.DynamicGraph).SessionSource — so Refresh can rebind this
+// Session to the latest frozen epoch of an evolving graph. The source is
+// expected to return a Session whose caches already hold the epoch's
+// incrementally-maintained sketches, so a refreshed Session never pays a
+// from-scratch build for resident state.
+func WithDynamic(src func() (*Session, error)) Option {
+	return func(c *config) { c.source = src }
+}
 
 // cell is a build-once cache slot: every caller shares one build and its
 // outcome, which is what makes concurrent lazy construction idempotent.
@@ -345,6 +356,77 @@ func (s *Session) ResidentBytes() map[string]int64 {
 		}
 	}
 	return out
+}
+
+// Refresh rebinds the Session to the dynamic source's current epoch (see
+// WithDynamic): it returns a Session over the source's graph and shared
+// caches under the receiver's configuration. When the source still serves
+// the same graph, the receiver itself is returned and every resident
+// artifact is kept; after an epoch change the returned Session shares the
+// source's caches (the new epoch's installed sketches) instead. Without a
+// source, Refresh reports an error.
+func (s *Session) Refresh() (*Session, error) {
+	if s.cfg.source == nil {
+		return nil, fmt.Errorf("session: Refresh needs a WithDynamic source")
+	}
+	ns, err := s.cfg.source()
+	if err != nil {
+		return nil, fmt.Errorf("session: refresh: %w", err)
+	}
+	if ns == nil {
+		return nil, fmt.Errorf("session: refresh: dynamic source returned no Session")
+	}
+	if ns.st == s.st || ns.st.g == s.st.g {
+		return s, nil
+	}
+	// Keep the receiver's configuration (including the source, so the
+	// refreshed Session can refresh again) over the new epoch's caches.
+	return &Session{st: ns.st, cfg: s.cfg}, nil
+}
+
+// InstallPG seeds the Session's cache with a prebuilt full-neighborhood
+// ProbGraph — the hand-off from incremental maintenance (stream) to
+// serving: a Freeze installs its maintained sketches so no query ever
+// pays a from-scratch build. The returned PG is the resident one: the
+// argument if the slot was empty, the already-built PG otherwise. The PG
+// must cover the Session's graph and match its kind and seed; the caller
+// vouches for the remaining parameters (a maintained sketch's derived
+// geometry is pinned at its own creation, not re-derived here).
+func (s *Session) InstallPG(pg *core.PG) (*core.PG, error) {
+	if pg == nil {
+		return nil, fmt.Errorf("session: install of nil PG")
+	}
+	if pg.NumVertices() != s.st.g.NumVertices() {
+		return nil, fmt.Errorf("session: installed PG covers %d vertices, graph has %d",
+			pg.NumVertices(), s.st.g.NumVertices())
+	}
+	if pg.Cfg.Kind != s.cfg.kind || pg.Cfg.Seed != s.cfg.seed {
+		return nil, fmt.Errorf("session: installed PG is (%v, seed %d), session wants (%v, seed %d)",
+			pg.Cfg.Kind, pg.Cfg.Seed, s.cfg.kind, s.cfg.seed)
+	}
+	c := s.pgCell(s.key(false))
+	return c.get(func() (*core.PG, error) { return pg, nil })
+}
+
+// InstallOriented seeds the Session's cache for the configured
+// orientation with a prebuilt one. Returns the resident orientation
+// (the argument, or an earlier build that won the slot).
+func (s *Session) InstallOriented(o *graph.Oriented) (*graph.Oriented, error) {
+	if o == nil {
+		return nil, fmt.Errorf("session: install of nil orientation")
+	}
+	if o.NumVertices() != s.st.g.NumVertices() {
+		return nil, fmt.Errorf("session: installed orientation covers %d vertices, graph has %d",
+			o.NumVertices(), s.st.g.NumVertices())
+	}
+	s.st.mu.Lock()
+	c, ok := s.st.oriented[s.cfg.orient]
+	if !ok {
+		c = &cell[*graph.Oriented]{}
+		s.st.oriented[s.cfg.orient] = c
+	}
+	s.st.mu.Unlock()
+	return c.get(func() (*graph.Oriented, error) { return o, nil })
 }
 
 // ctxErr tolerates a nil context.

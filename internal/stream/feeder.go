@@ -1,0 +1,51 @@
+package stream
+
+import (
+	"sync"
+	"time"
+
+	"probgraph/internal/graph"
+	"probgraph/internal/serve"
+)
+
+// Feeder wires a DynamicGraph to a serving Engine: each ingested batch
+// is applied to the graph (incremental sketch maintenance), frozen into
+// a new epoch, and hot-swapped into the engine — the serve.Ingestor
+// behind POST /v1/ingest. Batches are serialized so epochs publish in
+// apply order.
+type Feeder struct {
+	mu sync.Mutex
+	d  *DynamicGraph
+	e  *serve.Engine
+}
+
+// NewFeeder returns a Feeder; attach it with e.EnableIngest(f).
+func NewFeeder(d *DynamicGraph, e *serve.Engine) *Feeder {
+	return &Feeder{d: d, e: e}
+}
+
+// Ingest implements serve.Ingestor: apply → freeze → swap.
+func (f *Feeder) Ingest(add, del []graph.Edge) (serve.IngestResult, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t0 := time.Now()
+	st, err := f.d.ApplyBatch(add, del)
+	if err != nil {
+		return serve.IngestResult{}, err
+	}
+	snap, err := f.d.Freeze()
+	if err != nil {
+		return serve.IngestResult{}, err
+	}
+	if _, err := f.e.Swap(snap); err != nil {
+		return serve.IngestResult{}, err
+	}
+	return serve.IngestResult{
+		Epoch:    snap.Epoch,
+		Vertices: snap.G.NumVertices(),
+		Edges:    snap.G.NumEdges(),
+		Added:    st.Added,
+		Removed:  st.Removed,
+		BuildMS:  float64(time.Since(t0)) / float64(time.Millisecond),
+	}, nil
+}

@@ -1,0 +1,418 @@
+// Package stream implements streaming graph updates for ProbGraph: a
+// DynamicGraph accepts batched edge insertions and deletions and
+// incrementally maintains one per-vertex sketch set per configured
+// representation, exploiting the property at the center of the paper —
+// probabilistic set representations are element-wise insertable and
+// mergeable — so an edge arrival costs a few hash evaluations instead of
+// a whole-graph re-sketch.
+//
+// Epochs are the unit of visibility. Mutations accumulate invisibly in
+// the DynamicGraph; Freeze materializes the current state as an
+// immutable serve.Snapshot (CSR graph + orientation + cloned sketches),
+// which serve.Engine.Swap publishes atomically under live query load.
+// The epoch-keyed result cache invalidates naturally, and in-flight
+// queries finish on the epoch they started on.
+//
+// Mutation semantics:
+//
+//   - Insertions are incremental for every representation: Bloom filters
+//     OR in the new element's bits, k-Hash signatures take per-slot
+//     minima, 1-Hash/KMV sketches insert into the sorted bottom-k
+//     prefix, HLL takes register maxima. All of these are
+//     order-independent, so the maintained sketch is bit-identical to a
+//     from-scratch build of the final neighborhood (for KMV: up to
+//     64-bit hash collisions between distinct neighbors, where the bulk
+//     path's truncate-then-dedup can keep one fewer slot).
+//   - Deletions have no element-wise form on any of these sketches
+//     (Bloom bits and HLL registers are shared between elements), so a
+//     deletion re-sketches only the two affected endpoint rows from
+//     their remaining neighbors — O(d) per touched vertex, amortized per
+//     batch, never a whole-graph rebuild.
+//   - Within one batch, additions are applied before deletions, so a
+//     batch that both adds and deletes the same edge nets to "absent".
+//   - Endpoints beyond the current vertex count grow the graph; new
+//     vertices start with empty neighborhoods and empty sketch rows.
+//
+// Sketch row geometry (Bloom filter size, MinHash k) is pinned when the
+// DynamicGraph is created, derived from the initial graph's storage
+// budget; it does not drift as the graph grows. The relative-memory
+// accounting of each frozen epoch is restated against that epoch's CSR
+// size.
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"probgraph/internal/core"
+	"probgraph/internal/graph"
+	"probgraph/internal/serve"
+	"probgraph/internal/session"
+)
+
+// DefaultMaxGrow bounds how many new vertices one batch may introduce.
+// Vertex IDs are dense indices: an edge naming vertex 4e9 on a 1k-vertex
+// graph would force allocation of every intermediate row, so a single
+// tiny (or malicious) /v1/ingest body could otherwise OOM the server.
+const DefaultMaxGrow = 1 << 20
+
+// DynamicGraph is a mutable graph with incrementally-maintained
+// per-vertex sketches. All methods are safe for concurrent use:
+// ApplyBatch serializes writers, Freeze snapshots under a read lock, so
+// freezing during ingest sees a consistent batch boundary.
+type DynamicGraph struct {
+	cfg   serve.SnapshotConfig
+	kinds []core.Kind
+
+	// MaxGrow caps the vertex-universe growth a single batch may cause
+	// (default DefaultMaxGrow; set before serving traffic). Batches whose
+	// endpoints exceed the cap are rejected whole, never half-applied.
+	MaxGrow int
+
+	mu  sync.RWMutex
+	adj [][]uint32 // sorted, duplicate-free neighbor lists
+	m   int64      // undirected edge count
+
+	pgs map[core.Kind]*core.PG // maintained full-neighborhood sketches
+
+	batches, added, removed, resketched, grown int64
+
+	frozen atomic.Pointer[serve.Snapshot] // latest completed Freeze
+}
+
+// BatchStats reports what one ApplyBatch changed.
+type BatchStats struct {
+	// Added and Removed count the edges that actually took effect
+	// (self loops, duplicates and absent deletions are skipped).
+	Added, Removed int
+	// Resketched counts the vertex rows rebuilt by the deletion path.
+	Resketched int
+	// Grown is how many new vertices the batch introduced.
+	Grown int
+}
+
+// Stats is the DynamicGraph's cumulative observable state.
+type Stats struct {
+	Vertices       int
+	Edges          int64
+	Batches        int64
+	EdgesAdded     int64
+	EdgesRemoved   int64
+	RowsResketched int64
+	VerticesGrown  int64
+	Epoch          uint64 // latest frozen epoch; 0 before the first Freeze
+}
+
+// New builds a DynamicGraph over an initial graph. The sketch geometry
+// (Bloom filter size, MinHash k) is derived once from cfg's storage
+// budget against g's CSR size and stays fixed for the DynamicGraph's
+// lifetime, so incremental state remains comparable across epochs. The
+// initial graph must have at least one vertex (the budget-derived
+// geometry is meaningless on an empty universe); it may have no edges.
+func New(g *graph.Graph, cfg serve.SnapshotConfig) (*DynamicGraph, error) {
+	if g == nil || g.NumVertices() == 0 {
+		return nil, fmt.Errorf("stream: initial graph must have at least one vertex (sketch geometry derives from its storage budget)")
+	}
+	if len(cfg.Kinds) == 0 {
+		cfg.Kinds = []core.Kind{core.BF}
+	}
+	n := g.NumVertices()
+	d := &DynamicGraph{
+		cfg:     cfg,
+		MaxGrow: DefaultMaxGrow,
+		adj:     make([][]uint32, n),
+		m:       int64(g.NumEdges()),
+		pgs:     make(map[core.Kind]*core.PG, len(cfg.Kinds)),
+	}
+	for v := 0; v < n; v++ {
+		nv := g.Neighbors(uint32(v))
+		d.adj[v] = append(make([]uint32, 0, len(nv)+2), nv...)
+	}
+	for _, k := range cfg.Kinds {
+		if _, dup := d.pgs[k]; dup {
+			continue
+		}
+		pg, err := core.Build(g, d.coreConfig(k))
+		if err != nil {
+			return nil, fmt.Errorf("stream: building %v sketches: %w", k, err)
+		}
+		d.pgs[k] = pg
+		d.kinds = append(d.kinds, k)
+	}
+	return d, nil
+}
+
+// coreConfig assembles the sketch build configuration for one kind,
+// mirroring what a Session with the same SnapshotConfig would build so
+// frozen epochs answer bit-for-bit like a static serve.Open.
+func (d *DynamicGraph) coreConfig(k core.Kind) core.Config {
+	return core.Config{
+		Kind:       k,
+		Est:        d.cfg.Est,
+		Budget:     d.cfg.Budget,
+		NumHashes:  d.cfg.NumHashes,
+		K:          d.cfg.K,
+		StoreElems: d.cfg.StoreElems,
+		Seed:       d.cfg.Seed,
+		Workers:    d.cfg.Workers,
+	}
+}
+
+// Kinds returns the maintained sketch representations in build order.
+func (d *DynamicGraph) Kinds() []core.Kind { return d.kinds }
+
+// ApplyBatch applies one batch of edge mutations: additions first, then
+// deletions (see the package documentation for the exact semantics).
+// Sketches are maintained in the same critical section, so a concurrent
+// Freeze always observes a batch boundary, never a half-applied batch.
+func (d *DynamicGraph) ApplyBatch(add, del []graph.Edge) (BatchStats, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var st BatchStats
+
+	// Grow the vertex universe to cover every added endpoint (self loops
+	// are dropped and must not grow anything), bounded by MaxGrow: IDs
+	// are dense indices, so an absurd endpoint means allocating every
+	// intermediate row — refuse the batch instead of dying on it.
+	maxV := len(d.adj)
+	for _, e := range add {
+		if e.U == e.V {
+			continue
+		}
+		if int(e.U) >= maxV {
+			maxV = int(e.U) + 1
+		}
+		if int(e.V) >= maxV {
+			maxV = int(e.V) + 1
+		}
+	}
+	if grow := maxV - len(d.adj); grow > d.MaxGrow {
+		return BatchStats{}, fmt.Errorf(
+			"stream: batch grows the vertex universe by %d (n=%d → %d), beyond the MaxGrow cap %d: %w",
+			grow, len(d.adj), maxV, d.MaxGrow, serve.ErrBadBatch)
+	}
+	if maxV > len(d.adj) {
+		st.Grown = maxV - len(d.adj)
+		d.adj = append(d.adj, make([][]uint32, maxV-len(d.adj))...)
+		for _, pg := range d.pgs {
+			pg.Grow(maxV)
+		}
+	}
+
+	// Adjacency first: dedup against the current graph and within the
+	// batch, so the sketch layer only ever sees genuinely new neighbors.
+	newEdges := make([]graph.Edge, 0, len(add))
+	for _, e := range add {
+		if e.U == e.V {
+			continue
+		}
+		if !insertSorted(&d.adj[e.U], e.V) {
+			continue // already present
+		}
+		insertSorted(&d.adj[e.V], e.U)
+		newEdges = append(newEdges, e)
+	}
+	var dirty map[uint32]struct{}
+	for _, e := range del {
+		if e.U == e.V || int(e.U) >= len(d.adj) || int(e.V) >= len(d.adj) {
+			continue
+		}
+		if !removeSorted(&d.adj[e.U], e.V) {
+			continue // not an edge
+		}
+		removeSorted(&d.adj[e.V], e.U)
+		if dirty == nil {
+			dirty = make(map[uint32]struct{}, 2*len(del))
+		}
+		dirty[e.U] = struct{}{}
+		dirty[e.V] = struct{}{}
+		st.Removed++
+	}
+	st.Added = len(newEdges)
+	d.m += int64(st.Added) - int64(st.Removed)
+
+	// Sketch maintenance: element-wise inserts for clean endpoints, a
+	// single re-sketch for each deletion-dirtied row (covering any
+	// same-batch inserts it also received).
+	for _, k := range d.kinds {
+		pg := d.pgs[k]
+		for _, e := range newEdges {
+			if _, bad := dirty[e.U]; !bad {
+				pg.AddNeighbor(e.U, e.V)
+			}
+			if _, bad := dirty[e.V]; !bad {
+				pg.AddNeighbor(e.V, e.U)
+			}
+		}
+		for v := range dirty {
+			pg.ResketchRow(v, d.adj[v])
+		}
+	}
+	st.Resketched = len(dirty)
+
+	d.batches++
+	d.added += int64(st.Added)
+	d.removed += int64(st.Removed)
+	d.resketched += int64(st.Resketched)
+	d.grown += int64(st.Grown)
+	return st, nil
+}
+
+// Freeze materializes the current state as an immutable serving
+// snapshot: the CSR graph, a fresh orientation (orientation depends on
+// the global degree ranking, so it is rebuilt per epoch — the amortized
+// part of the batch cost), and clones of the maintained sketches
+// installed into the snapshot's Session so no query pays a sketch
+// build. Ingest may continue concurrently; the snapshot observes a
+// consistent batch boundary.
+func (d *DynamicGraph) Freeze() (*serve.Snapshot, error) {
+	d.mu.RLock()
+	g := d.csr()
+	clones := make(map[core.Kind]*core.PG, len(d.pgs))
+	for k, pg := range d.pgs {
+		clones[k] = pg.Clone()
+	}
+	d.mu.RUnlock()
+
+	// Restate each clone's relative-memory accounting against this
+	// epoch's CSR size; the heavy work below runs outside the lock.
+	bits := g.SizeBits()
+	for _, pg := range clones {
+		pg.SetCSRBits(bits)
+	}
+	o := g.Orient(d.cfg.Workers)
+	snap, err := serve.OpenWith(g, d.cfg, o, clones)
+	if err != nil {
+		return nil, fmt.Errorf("stream: freeze: %w", err)
+	}
+	// Publish as the latest epoch; concurrent freezes race benignly and
+	// the numerically-largest epoch wins.
+	for {
+		old := d.frozen.Load()
+		if old != nil && old.Epoch >= snap.Epoch {
+			break
+		}
+		if d.frozen.CompareAndSwap(old, snap) {
+			break
+		}
+	}
+	return snap, nil
+}
+
+// Snapshot returns the latest frozen snapshot, freezing the current
+// state on first use.
+func (d *DynamicGraph) Snapshot() (*serve.Snapshot, error) {
+	if s := d.frozen.Load(); s != nil {
+		return s, nil
+	}
+	return d.Freeze()
+}
+
+// Graph returns the latest frozen epoch's immutable CSR graph (freezing
+// on first use). Mutations applied since the last Freeze are not
+// visible — call Freeze to publish them.
+func (d *DynamicGraph) Graph() (*graph.Graph, error) {
+	s, err := d.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return s.G, nil
+}
+
+// SessionSource adapts the DynamicGraph to session.WithDynamic: each
+// call returns the latest frozen epoch's Session, whose caches already
+// hold the incrementally-maintained sketches. Combined with
+// Session.Refresh, long-lived analytical sessions follow the stream:
+//
+//	sess, _ := session.New(g0, session.WithDynamic(d.SessionSource()))
+//	...
+//	sess, _ = sess.Refresh() // rebind to the newest epoch
+func (d *DynamicGraph) SessionSource() func() (*session.Session, error) {
+	return func() (*session.Session, error) {
+		snap, err := d.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		return snap.Session(snap.DefaultKind())
+	}
+}
+
+// Stats returns the cumulative mutation counters and current shape.
+func (d *DynamicGraph) Stats() Stats {
+	d.mu.RLock()
+	s := Stats{
+		Vertices:       len(d.adj),
+		Edges:          d.m,
+		Batches:        d.batches,
+		EdgesAdded:     d.added,
+		EdgesRemoved:   d.removed,
+		RowsResketched: d.resketched,
+		VerticesGrown:  d.grown,
+	}
+	d.mu.RUnlock()
+	if snap := d.frozen.Load(); snap != nil {
+		s.Epoch = snap.Epoch
+	}
+	return s
+}
+
+// NumVertices returns the current (unfrozen) vertex count.
+func (d *DynamicGraph) NumVertices() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.adj)
+}
+
+// NumEdges returns the current (unfrozen) undirected edge count.
+func (d *DynamicGraph) NumEdges() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return int(d.m)
+}
+
+// csr materializes the adjacency as an immutable CSR graph; callers hold
+// at least a read lock.
+func (d *DynamicGraph) csr() *graph.Graph {
+	n := len(d.adj)
+	offsets := make([]int64, n+1)
+	var total int64
+	for v := 0; v < n; v++ {
+		offsets[v] = total
+		total += int64(len(d.adj[v]))
+	}
+	offsets[n] = total
+	neigh := make([]uint32, total)
+	for v := 0; v < n; v++ {
+		copy(neigh[offsets[v]:], d.adj[v])
+	}
+	return &graph.Graph{Offsets: offsets, Neigh: neigh}
+}
+
+// insertSorted inserts x into the sorted slice at *s, reporting whether
+// it was absent (false = duplicate, slice unchanged).
+func insertSorted(s *[]uint32, x uint32) bool {
+	a := *s
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= x })
+	if i < len(a) && a[i] == x {
+		return false
+	}
+	a = append(a, 0)
+	copy(a[i+1:], a[i:])
+	a[i] = x
+	*s = a
+	return true
+}
+
+// removeSorted deletes x from the sorted slice at *s, reporting whether
+// it was present.
+func removeSorted(s *[]uint32, x uint32) bool {
+	a := *s
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= x })
+	if i >= len(a) || a[i] != x {
+		return false
+	}
+	*s = append(a[:i], a[i+1:]...)
+	return true
+}

@@ -1,0 +1,617 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	mrand "math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"probgraph/internal/core"
+	"probgraph/internal/graph"
+	"probgraph/internal/serve"
+	"probgraph/internal/session"
+)
+
+// testSplit deterministically splits a graph's edges into an initial
+// prefix and a streamed suffix.
+func testSplit(g *graph.Graph, frac float64, seed int64) (initial *graph.Graph, streamed []graph.Edge) {
+	edges := g.EdgeList()
+	rng := mrand.New(mrand.NewSource(seed))
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	k := int(frac * float64(len(edges)))
+	if k < 1 {
+		k = 1
+	}
+	initial, err := graph.FromEdges(g.NumVertices(), edges[:k])
+	if err != nil {
+		panic(err)
+	}
+	return initial, edges[k:]
+}
+
+// requirePGEqual asserts two PGs are bit-identical: same sizes and the
+// same sketch row contents for their representation.
+func requirePGEqual(t *testing.T, got, want *core.PG, label string) {
+	t.Helper()
+	if got.NumVertices() != want.NumVertices() {
+		t.Fatalf("%s: n=%d, want %d", label, got.NumVertices(), want.NumVertices())
+	}
+	n := got.NumVertices()
+	for v := 0; v < n; v++ {
+		u := uint32(v)
+		if got.SetSize(u) != want.SetSize(u) {
+			t.Fatalf("%s: size[%d]=%d, want %d", label, v, got.SetSize(u), want.SetSize(u))
+		}
+		switch got.Cfg.Kind {
+		case core.BF:
+			a, b := got.BloomRow(u), want.BloomRow(u)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s: bloom row %d differs at word %d: %x vs %x", label, v, i, a[i], b[i])
+				}
+			}
+		case core.KHash:
+			a, b := got.KHashRow(u), want.KHashRow(u)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s: khash row %d differs at slot %d", label, v, i)
+				}
+			}
+		case core.OneHash, core.KMV:
+			a, b := got.BottomKRow(u), want.BottomKRow(u)
+			if len(a.Hashes) != len(b.Hashes) {
+				t.Fatalf("%s: bottomk row %d len %d, want %d", label, v, len(a.Hashes), len(b.Hashes))
+			}
+			for i := range a.Hashes {
+				if a.Hashes[i] != b.Hashes[i] {
+					t.Fatalf("%s: bottomk row %d differs at %d", label, v, i)
+				}
+			}
+			if (a.Elems == nil) != (b.Elems == nil) {
+				t.Fatalf("%s: row %d elems presence differs", label, v)
+			}
+			for i := range a.Elems {
+				if a.Elems[i] != b.Elems[i] {
+					t.Fatalf("%s: row %d elems differ at %d", label, v, i)
+				}
+			}
+		case core.HLL:
+			a, b := got.HLLRow(u), want.HLLRow(u)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s: hll row %d differs at register %d", label, v, i)
+				}
+			}
+		}
+	}
+}
+
+// streamConfigs enumerates the representations under test.
+func streamConfigs() []serve.SnapshotConfig {
+	return []serve.SnapshotConfig{
+		{Kinds: []core.Kind{core.BF}, Seed: 42},
+		{Kinds: []core.Kind{core.KHash}, Seed: 42},
+		{Kinds: []core.Kind{core.OneHash}, Seed: 42},
+		{Kinds: []core.Kind{core.OneHash}, Seed: 42, StoreElems: true},
+		{Kinds: []core.Kind{core.KMV}, Seed: 42},
+		{Kinds: []core.Kind{core.HLL}, Seed: 42},
+	}
+}
+
+// TestIncrementalBitIdentity: after streaming a suffix of the edges in
+// batches, every maintained sketch must be bit-identical to a
+// from-scratch build of the final graph with the same pinned geometry —
+// the correctness contract that carries the paper's whole accuracy
+// machinery (Thm VII.1 included) over to the streaming layer unchanged.
+func TestIncrementalBitIdentity(t *testing.T) {
+	final := graph.Kronecker(9, 8, 7)
+	initial, streamed := testSplit(final, 0.7, 1)
+	for _, cfg := range streamConfigs() {
+		label := cfg.Kinds[0].String()
+		if cfg.StoreElems {
+			label += "+elems"
+		}
+		d, err := New(initial, cfg)
+		if err != nil {
+			t.Fatalf("%s: New: %v", label, err)
+		}
+		for i := 0; i < len(streamed); i += 97 {
+			end := min(i+97, len(streamed))
+			if _, err := d.ApplyBatch(streamed[i:end], nil); err != nil {
+				t.Fatalf("%s: ApplyBatch: %v", label, err)
+			}
+		}
+		kind := cfg.Kinds[0]
+		got := d.pgs[kind]
+		bulk, err := core.Build(final, got.Cfg) // same resolved geometry
+		if err != nil {
+			t.Fatalf("%s: bulk build: %v", label, err)
+		}
+		requirePGEqual(t, got, bulk, label)
+	}
+}
+
+// TestBatchSplitInvariance: the maintained sketch state must not depend
+// on how the stream is chopped into batches (merge associativity of the
+// underlying set representations).
+func TestBatchSplitInvariance(t *testing.T) {
+	final := graph.Kronecker(8, 8, 11)
+	initial, streamed := testSplit(final, 0.5, 2)
+	cfg := serve.SnapshotConfig{Kinds: []core.Kind{core.BF, core.OneHash}, Seed: 9}
+	var ref *DynamicGraph
+	for _, chunk := range []int{1, 13, len(streamed)} {
+		d, err := New(initial, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < len(streamed); i += chunk {
+			end := min(i+chunk, len(streamed))
+			if _, err := d.ApplyBatch(streamed[i:end], nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if ref == nil {
+			ref = d
+			continue
+		}
+		for _, k := range d.kinds {
+			requirePGEqual(t, d.pgs[k], ref.pgs[k], fmt.Sprintf("chunk=%d kind=%v", chunk, k))
+		}
+	}
+}
+
+// TestDeletions: deletions re-sketch only the touched rows, and the
+// result matches a from-scratch build of the post-deletion graph for
+// every representation. A delete/re-add round trip must also restore
+// the original sketch exactly.
+func TestDeletions(t *testing.T) {
+	final := graph.Kronecker(8, 8, 3)
+	edges := final.EdgeList()
+	rng := mrand.New(mrand.NewSource(5))
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	drop := edges[:len(edges)/10]
+	kept := edges[len(edges)/10:]
+	reduced, err := graph.FromEdges(final.NumVertices(), kept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range streamConfigs() {
+		label := cfg.Kinds[0].String()
+		if cfg.StoreElems {
+			label += "+elems"
+		}
+		d, err := New(final, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := d.ApplyBatch(nil, drop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Removed != len(drop) {
+			t.Fatalf("%s: removed %d, want %d", label, st.Removed, len(drop))
+		}
+		if st.Resketched == 0 {
+			t.Fatalf("%s: deletions must re-sketch affected rows", label)
+		}
+		kind := cfg.Kinds[0]
+		bulk, err := core.Build(reduced, d.pgs[kind].Cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requirePGEqual(t, d.pgs[kind], bulk, label+" after delete")
+
+		// Re-adding the dropped edges restores the original graph's state.
+		if _, err := d.ApplyBatch(drop, nil); err != nil {
+			t.Fatal(err)
+		}
+		orig, err := core.Build(final, d.pgs[kind].Cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requirePGEqual(t, d.pgs[kind], orig, label+" after re-add")
+	}
+}
+
+// TestAddDeleteSameBatch: a batch adding and deleting the same edge nets
+// to "absent" (additions apply first, deletions win).
+func TestAddDeleteSameBatch(t *testing.T) {
+	g := graph.Complete(4)
+	d, err := New(g, serve.SnapshotConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := graph.Edge{U: 0, V: 5} // new vertex too
+	st, err := d.ApplyBatch([]graph.Edge{e}, []graph.Edge{e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Added != 1 || st.Removed != 1 {
+		t.Fatalf("stats = %+v, want one add and one remove", st)
+	}
+	if d.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge count drifted: %d vs %d", d.NumEdges(), g.NumEdges())
+	}
+	snapG, err := d.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapG.HasEdge(0, 5) {
+		t.Fatal("edge added and deleted in one batch must be absent")
+	}
+}
+
+// TestGrowthCap: a batch naming an absurd vertex ID must be rejected
+// whole (dense IDs mean allocating every intermediate row — one tiny
+// malicious ingest body must not OOM the server), leaving state intact.
+func TestGrowthCap(t *testing.T) {
+	g := graph.Kronecker(7, 6, 1)
+	d, err := New(g, serve.SnapshotConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, m := d.NumVertices(), d.NumEdges()
+	_, err = d.ApplyBatch([]graph.Edge{{U: 0, V: 1<<32 - 1}}, nil)
+	if err == nil {
+		t.Fatal("batch beyond MaxGrow must be rejected")
+	}
+	if d.NumVertices() != n || d.NumEdges() != m {
+		t.Fatalf("rejected batch mutated state: n %d→%d, m %d→%d", n, d.NumVertices(), m, d.NumEdges())
+	}
+	// Self loops never grow the universe, even with huge IDs under the cap
+	// check (they are dropped before growth accounting).
+	huge := uint32(1<<31 - 1)
+	if _, err := d.ApplyBatch([]graph.Edge{{U: huge, V: huge}}, nil); err != nil {
+		t.Fatalf("self loop must not trip the growth cap: %v", err)
+	}
+	if d.NumVertices() != n {
+		t.Fatal("self loop grew the universe")
+	}
+	// Raising the cap admits the growth.
+	d.MaxGrow = 1 << 30
+	if _, err := d.ApplyBatch([]graph.Edge{{U: 0, V: uint32(n) + 100}}, nil); err != nil {
+		t.Fatalf("growth within a raised cap: %v", err)
+	}
+	if d.NumVertices() != n+101 {
+		t.Fatalf("n = %d after growth, want %d", d.NumVertices(), n+101)
+	}
+}
+
+// TestGrowth: edges to unseen vertex IDs grow the universe; sketches of
+// the grown graph match a from-scratch build.
+func TestGrowth(t *testing.T) {
+	base := graph.Kronecker(7, 6, 13)
+	n := base.NumVertices()
+	var extra []graph.Edge
+	rng := mrand.New(mrand.NewSource(17))
+	for i := 0; i < 64; i++ {
+		extra = append(extra, graph.Edge{
+			U: uint32(rng.Intn(n)),
+			V: uint32(n + rng.Intn(32)),
+		})
+	}
+	for _, cfg := range streamConfigs() {
+		kind := cfg.Kinds[0]
+		d, err := New(base, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := d.ApplyBatch(extra, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Grown == 0 {
+			t.Fatal("expected vertex growth")
+		}
+		finalEdges := append(base.EdgeList(), extra...)
+		final, err := graph.FromEdges(d.NumVertices(), finalEdges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bulk, err := core.Build(final, d.pgs[kind].Cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requirePGEqual(t, d.pgs[kind], bulk, "grown "+kind.String())
+	}
+}
+
+// TestFreezeValidCSR: frozen graphs satisfy every CSR invariant and
+// reflect exactly the applied mutations.
+func TestFreezeValidCSR(t *testing.T) {
+	final := graph.Kronecker(8, 8, 19)
+	initial, streamed := testSplit(final, 0.6, 3)
+	d, err := New(initial, serve.SnapshotConfig{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ApplyBatch(streamed, nil); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := d.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.G.Validate(); err != nil {
+		t.Fatalf("frozen CSR invalid: %v", err)
+	}
+	if snap.G.NumEdges() != final.NumEdges() || snap.G.NumVertices() != final.NumVertices() {
+		t.Fatalf("frozen shape (%d, %d) != final (%d, %d)",
+			snap.G.NumVertices(), snap.G.NumEdges(), final.NumVertices(), final.NumEdges())
+	}
+	for v := 0; v < final.NumVertices(); v++ {
+		a, b := snap.G.Neighbors(uint32(v)), final.Neighbors(uint32(v))
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d degree %d, want %d", v, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d adjacency differs", v)
+			}
+		}
+	}
+}
+
+// TestFrozenSnapshotAnswers: a frozen epoch answers through the serving
+// engine with values bit-identical to a statically-opened snapshot of
+// the same graph (no query pays a sketch rebuild, and the installed
+// incremental sketches are the ones consulted).
+func TestFrozenSnapshotAnswers(t *testing.T) {
+	final := graph.Kronecker(8, 8, 23)
+	initial, streamed := testSplit(final, 0.7, 6)
+	cfg := serve.SnapshotConfig{Kinds: []core.Kind{core.BF}, Seed: 42}
+	d, err := New(initial, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ApplyBatch(streamed, nil); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := d.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The static reference: a from-scratch sketch build of the final
+	// graph with the DynamicGraph's pinned geometry (the budget-derived
+	// Bloom size follows the *initial* CSR by design, so a plain Open of
+	// the final graph would size its filters differently).
+	bulk, err := core.Build(snap.G, d.pgs[core.BF].Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := serve.OpenWith(snap.G, cfg, nil, map[core.Kind]*core.PG{core.BF: bulk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := serve.New(snap, serve.Options{Workers: 2})
+	defer e1.Close()
+	e2 := serve.New(static, serve.Options{Workers: 2})
+	defer e2.Close()
+	for _, q := range []serve.Query{
+		{Op: serve.OpTC},
+		{Op: serve.OpLocalTC, U: 3},
+		{Op: serve.OpSimilarity, U: 1, V: 2},
+		{Op: serve.OpTopK, U: 5, K: 4},
+	} {
+		r1, err1 := e1.Query(q)
+		r2, err2 := e2.Query(q)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("op %v: errs %v, %v", q.Op, err1, err2)
+		}
+		if r1.Value != r2.Value || len(r1.TopK) != len(r2.TopK) {
+			t.Fatalf("op %v: frozen answer %+v != static answer %+v", q.Op, r1, r2)
+		}
+	}
+}
+
+// TestFeederHotSwap: ingesting through the Feeder under concurrent query
+// load must advance epochs with zero query errors — the hot-swap
+// contract (in-flight queries finish on their captured epoch, new ones
+// see the new epoch).
+func TestFeederHotSwap(t *testing.T) {
+	final := graph.Kronecker(8, 8, 29)
+	initial, streamed := testSplit(final, 0.5, 8)
+	d, err := New(initial, serve.SnapshotConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap0, err := d.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := serve.New(snap0, serve.Options{Workers: 2})
+	defer eng.Close()
+	feeder := NewFeeder(d, eng)
+	eng.EnableIngest(feeder)
+
+	stop := make(chan struct{})
+	var qerrs, queries atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := mrand.New(mrand.NewSource(int64(w)))
+			n := uint32(initial.NumVertices())
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := serve.Query{Op: serve.OpSimilarity, U: rng.Uint32() % n, V: rng.Uint32() % n}
+				if rng.Intn(4) == 0 {
+					q = serve.Query{Op: serve.OpLocalTC, U: rng.Uint32() % n}
+				}
+				if _, err := eng.Query(q); err != nil {
+					qerrs.Add(1)
+				}
+				queries.Add(1)
+			}
+		}(w)
+	}
+
+	const batches = 8
+	chunk := (len(streamed) + batches - 1) / batches
+	var lastEpoch uint64
+	for i := 0; i < len(streamed); i += chunk {
+		end := min(i+chunk, len(streamed))
+		res, err := feeder.Ingest(streamed[i:end], nil)
+		if err != nil {
+			t.Fatalf("ingest: %v", err)
+		}
+		if res.Epoch <= lastEpoch {
+			t.Fatalf("epoch did not advance: %d after %d", res.Epoch, lastEpoch)
+		}
+		lastEpoch = res.Epoch
+	}
+	close(stop)
+	wg.Wait()
+
+	if qerrs.Load() != 0 {
+		t.Fatalf("%d/%d queries errored across hot-swaps", qerrs.Load(), queries.Load())
+	}
+	st := eng.Stats()
+	if st.Epoch != lastEpoch {
+		t.Fatalf("engine serves epoch %d, want %d", st.Epoch, lastEpoch)
+	}
+	if st.Swaps == 0 {
+		t.Fatal("no swaps recorded")
+	}
+	// The final epoch answers like a from-scratch sketch build of the
+	// final graph under the DynamicGraph's pinned geometry.
+	bulk, err := core.Build(eng.Snapshot().G, d.pgs[core.BF].Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := serve.OpenWith(eng.Snapshot().G, serve.SnapshotConfig{Seed: 1}, nil,
+		map[core.Kind]*core.PG{core.BF: bulk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	we := serve.New(want, serve.Options{Workers: 2})
+	defer we.Close()
+	r1, err1 := eng.Query(serve.Query{Op: serve.OpTC})
+	r2, err2 := we.Query(serve.Query{Op: serve.OpTC})
+	if err1 != nil || err2 != nil || r1.Value != r2.Value {
+		t.Fatalf("post-swap TC %v (%v) != static TC %v (%v)", r1.Value, err1, r2.Value, err2)
+	}
+}
+
+// TestConcurrentFreezeDuringIngest hammers ApplyBatch, Freeze and Stats
+// from concurrent goroutines; run under -race this is the data-race
+// certificate for the RWMutex + clone design. Every frozen snapshot must
+// be a valid CSR at some batch boundary.
+func TestConcurrentFreezeDuringIngest(t *testing.T) {
+	final := graph.Kronecker(8, 8, 31)
+	initial, streamed := testSplit(final, 0.4, 12)
+	d, err := New(initial, serve.SnapshotConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // writer
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < len(streamed); i += 64 {
+			end := min(i+64, len(streamed))
+			if _, err := d.ApplyBatch(streamed[i:end], nil); err != nil {
+				t.Errorf("ApplyBatch: %v", err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() { // freezers + readers
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap, err := d.Freeze()
+				if err != nil {
+					t.Errorf("Freeze: %v", err)
+					return
+				}
+				if err := snap.G.Validate(); err != nil {
+					t.Errorf("mid-ingest freeze produced invalid CSR: %v", err)
+					return
+				}
+				_ = d.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	// After the dust settles the final freeze matches the final graph.
+	snap, err := d.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.G.NumEdges() != final.NumEdges() {
+		t.Fatalf("final frozen edges %d, want %d", snap.G.NumEdges(), final.NumEdges())
+	}
+}
+
+// TestSessionRefresh: a Session with a dynamic source follows epochs —
+// unchanged source returns the receiver, a new epoch returns a Session
+// over the new graph that reuses the installed sketches.
+func TestSessionRefresh(t *testing.T) {
+	final := graph.Kronecker(8, 8, 37)
+	initial, streamed := testSplit(final, 0.6, 14)
+	d, err := New(initial, serve.SnapshotConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0, err := d.Graph() // freezes epoch 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := session.New(g0, session.WithDynamic(d.SessionSource()), session.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := sess.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != sess {
+		t.Fatal("Refresh with no new epoch must return the receiver")
+	}
+	if _, err := d.ApplyBatch(streamed, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := sess.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh == sess {
+		t.Fatal("Refresh after a new epoch must rebind")
+	}
+	if fresh.Graph().NumEdges() != final.NumEdges() {
+		t.Fatalf("refreshed graph has %d edges, want %d", fresh.Graph().NumEdges(), final.NumEdges())
+	}
+	res, err := fresh.Run(context.Background(), session.TC{Mode: session.Sketched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second run must hit the installed sketch cache and agree exactly.
+	res2, err := fresh.Run(context.Background(), session.TC{Mode: session.Sketched})
+	if err != nil || res.Value != res2.Value {
+		t.Fatalf("refreshed session TC unstable: %v vs %v (%v)", res.Value, res2.Value, err)
+	}
+	// Refresh keeps working from the refreshed session.
+	again, err := fresh.Refresh()
+	if err != nil || again != fresh {
+		t.Fatalf("second Refresh: %v, %v", again, err)
+	}
+}

@@ -158,6 +158,11 @@ type Config = core.Config
 type PG = core.PG
 
 // Build constructs sketches of all full neighborhoods N_v in parallel.
+//
+// Build is the one-shot batch path over a frozen graph. Calling it in a
+// loop over successive versions of an evolving graph re-pays the whole
+// construction cost per version — use NewDynamic (stream.DynamicGraph)
+// there: it maintains the same sketches incrementally, bit-identically.
 func Build(g *Graph, cfg Config) (*PG, error) { return core.Build(g, cfg) }
 
 // BuildOriented constructs sketches of the oriented neighborhoods N+_v
@@ -393,10 +398,15 @@ const (
 
 // OpenSnapshot builds a serving snapshot: orientation plus one PG per
 // configured sketch kind, all from one seed so answers are reproducible.
+//
+// For an evolving graph, do not re-OpenSnapshot per change (a full
+// rebuild each time): create one NewDynamic graph, Freeze epochs from
+// it, and hot-swap them into the engine with Engine.Swap — see stream.go.
 func OpenSnapshot(g *Graph, cfg SnapshotConfig) (*Snapshot, error) { return serve.Open(g, cfg) }
 
 // Serve starts a query engine over the snapshot. Close it when done.
-// For HTTP serving see cmd/pgserve, which wraps this engine.
+// For HTTP serving see cmd/pgserve, which wraps this engine; for
+// serving under live edge ingest see the streaming API in stream.go.
 func Serve(s *Snapshot, opts ServeOptions) *Engine { return serve.New(s, opts) }
 
 // --- theory: concentration bounds as executable functions ------------------

@@ -1,0 +1,60 @@
+package probgraph
+
+import (
+	"probgraph/internal/serve"
+	"probgraph/internal/session"
+	"probgraph/internal/stream"
+)
+
+// --- streaming: online graph mutation (internal/stream) --------------------
+
+// DynamicGraph accepts batched edge insertions and deletions and
+// incrementally maintains the per-vertex sketches: an edge arrival costs
+// a few hash evaluations (the representations are element-wise
+// insertable), a deletion re-sketches only the two touched rows, and
+// Freeze publishes the state as an immutable serving Snapshot. This is
+// the supported way to serve an evolving graph — rebuilding a PG from
+// scratch per change (Build in a loop) re-pays the whole construction
+// cost the incremental path amortizes away.
+type DynamicGraph = stream.DynamicGraph
+
+// StreamStats is the DynamicGraph's cumulative mutation accounting.
+type StreamStats = stream.Stats
+
+// StreamBatchStats reports what one applied batch changed.
+type StreamBatchStats = stream.BatchStats
+
+// Feeder publishes ingested batches into a serving Engine: apply →
+// Freeze → hot-swap, the serve.Ingestor behind POST /v1/ingest.
+type Feeder = stream.Feeder
+
+// Ingestor is the contract behind the engine's /v1/ingest endpoint.
+type Ingestor = serve.Ingestor
+
+// IngestResult reports one applied batch and the epoch it produced.
+type IngestResult = serve.IngestResult
+
+// NewDynamic builds a DynamicGraph over an initial graph; the sketch
+// geometry is pinned from cfg's storage budget against that graph. The
+// epoch lifecycle:
+//
+//	d, _ := probgraph.NewDynamic(g, probgraph.SnapshotConfig{Seed: 42})
+//	snap, _ := d.Freeze()                 // epoch 1
+//	engine := probgraph.Serve(snap, probgraph.ServeOptions{})
+//	engine.EnableIngest(probgraph.NewFeeder(d, engine))
+//	// POST /v1/ingest batches now advance epochs under live queries.
+func NewDynamic(g *Graph, cfg SnapshotConfig) (*DynamicGraph, error) {
+	return stream.New(g, cfg)
+}
+
+// NewFeeder wires a DynamicGraph to an Engine; attach the result with
+// Engine.EnableIngest.
+func NewFeeder(d *DynamicGraph, e *Engine) *Feeder { return stream.NewFeeder(d, e) }
+
+// WithDynamic attaches a refreshed-Session source — typically
+// (*DynamicGraph).SessionSource — so Session.Refresh can rebind a
+// long-lived analytical Session to the latest frozen epoch without
+// rebuilding resident sketches.
+func WithDynamic(src func() (*Session, error)) SessionOption {
+	return session.WithDynamic(src)
+}

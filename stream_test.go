@@ -1,0 +1,73 @@
+package probgraph_test
+
+import (
+	"testing"
+
+	"probgraph"
+)
+
+// TestStreamingPublicSurface drives the whole streaming lifecycle
+// through the public API: dynamic graph, epochs, serving hot-swap,
+// ingest through a Feeder, and Session rebinding with Refresh.
+func TestStreamingPublicSurface(t *testing.T) {
+	g := probgraph.Kronecker(8, 8, 42)
+	d, err := probgraph.NewDynamic(g, probgraph.SnapshotConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := d.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := probgraph.Serve(snap, probgraph.ServeOptions{Workers: 2})
+	defer engine.Close()
+	feeder := probgraph.NewFeeder(d, engine)
+	engine.EnableIngest(feeder)
+
+	before, err := engine.Query(probgraph.ServeQuery{Op: probgraph.OpLocalTC, U: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ingest a clique around vertex 1: its local triangle count must rise.
+	var add []probgraph.Edge
+	for _, e := range [][2]uint32{{1, 2}, {1, 3}, {1, 4}, {2, 3}, {2, 4}, {3, 4}} {
+		add = append(add, probgraph.Edge{U: e[0], V: e[1]})
+	}
+	res, err := feeder.Ingest(add, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch <= snap.Epoch {
+		t.Fatalf("ingest epoch %d did not advance past %d", res.Epoch, snap.Epoch)
+	}
+	after, err := engine.Query(probgraph.ServeQuery{Op: probgraph.OpLocalTC, U: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Cached {
+		t.Fatal("post-swap query served from the old epoch's cache")
+	}
+	if after.Value <= before.Value {
+		t.Fatalf("localtc(1) = %v after densifying, was %v", after.Value, before.Value)
+	}
+
+	// Session rebinding follows the stream.
+	g0, err := d.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := probgraph.NewSession(g0,
+		probgraph.WithDynamic(d.SessionSource()), probgraph.WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := sess.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.NumEdges() + res.Added // some clique edges may pre-exist
+	if fresh.Graph().NumEdges() != want {
+		t.Fatalf("refreshed session sees %d edges, want %d", fresh.Graph().NumEdges(), want)
+	}
+}
