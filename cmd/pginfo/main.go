@@ -7,6 +7,7 @@
 //
 //	pginfo graph.el
 //	pggen -model kron -scale 12 | pginfo -
+//	pginfo -artifact web.pg      # also prints artifact section sizes
 package main
 
 import (
@@ -22,12 +23,13 @@ import (
 func main() {
 	triangles := flag.Bool("tc", true, "compute triangle count and clustering coefficient")
 	binary := flag.Bool("binary", false, "input is binary CSR format")
+	artifact := flag.Bool("artifact", false, "input is a binary artifact (.pg); also prints section sizes")
 	pgMem := flag.Bool("pg", true, "build sketches and report their resident memory")
 	kind := flag.String("kind", "BF", "sketch kind for -pg (BF,kH,1H,KMV,HLL)")
 	budget := flag.Float64("budget", 0.25, "storage budget for -pg")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: pginfo [-tc=false] [-binary] [-pg=false] [-kind BF] [-budget 0.25] <file|->")
+		fmt.Fprintln(os.Stderr, "usage: pginfo [-tc=false] [-binary|-artifact] [-pg=false] [-kind BF] [-budget 0.25] <file|->")
 		os.Exit(2)
 	}
 	var in io.Reader = os.Stdin
@@ -40,10 +42,18 @@ func main() {
 		in = f
 	}
 	var g *probgraph.Graph
+	var art *probgraph.Artifact
+	var artInfo *probgraph.ArtifactInfo
 	var err error
-	if *binary {
+	switch {
+	case *artifact:
+		art, artInfo, err = probgraph.DecodeArtifact(in)
+		if err == nil {
+			g = art.G
+		}
+	case *binary:
 		g, err = probgraph.ReadBinary(in)
-	} else {
+	default:
 		g, err = probgraph.ReadEdgeList(in)
 	}
 	if err != nil {
@@ -80,7 +90,21 @@ func main() {
 		fmt.Printf("  2^%-2d %8d %s\n", b, hist[b], bar)
 	}
 
-	if *pgMem {
+	switch {
+	case art != nil:
+		// The artifact carries its sketches: report resident memory next
+		// to the on-disk section bytes instead of building anything.
+		for _, k := range art.Kinds {
+			pg := art.PGs[k]
+			fmt.Printf("sketch memory   %d bytes (%v, s=%.2f, %.1f%% of CSR)\n",
+				pg.MemoryBytes(), k, pg.Cfg.Budget, 100*pg.RelativeMemory())
+		}
+		fmt.Printf("artifact size   %d bytes (format v%d)\n", artInfo.Bytes, artInfo.Version)
+		fmt.Println("artifact sections:")
+		for _, s := range artInfo.Sections {
+			fmt.Printf("  %-10s %12d bytes  crc32c %08x\n", s.Name, s.Bytes, s.CRC)
+		}
+	case *pgMem:
 		k, err := probgraph.ParseKind(*kind)
 		if err != nil {
 			fatal(err)

@@ -1,0 +1,163 @@
+// Command pgpack packs a graph into a ProbGraph binary artifact (.pg):
+// the CSR, its degree orientation, and one sketch set per requested
+// kind, in the versioned checksummed format of internal/pgio (see
+// docs/FORMAT.md). A packed artifact is the warm-start input of
+// pgserve -artifact: booting from one skips edge-list parsing,
+// re-orientation, and every sketch build.
+//
+// Usage:
+//
+//	pgpack -graph web.el -kinds BF,1H -budget 0.25 -o web.pg
+//	pggen -model kron -scale 14 | pgpack -graph - -o kron14.pg
+//	pgpack -info web.pg          # decode, verify CRCs, print sections
+//
+// After packing (and in -info mode) pgpack prints the section table:
+// per-section payload bytes and CRC32-C, pginfo-style.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"probgraph/internal/core"
+	"probgraph/internal/graph"
+	"probgraph/internal/pgio"
+	"probgraph/internal/serve"
+)
+
+func main() {
+	var (
+		graphFile = flag.String("graph", "", "edge-list file to pack ('-' = stdin)")
+		binary    = flag.Bool("binary", false, "graph file is binary CSR format")
+		kinds     = flag.String("kinds", "BF", "comma-separated sketch kinds to pack (BF,kH,1H,KMV,HLL)")
+		est       = flag.String("est", "auto", "|X∩Y| estimator recorded in the artifact")
+		budget    = flag.Float64("budget", 0.25, "storage budget s")
+		seed      = flag.Uint64("seed", 42, "sketch seed")
+		workers   = flag.Int("workers", 0, "build workers (0 = all cores)")
+		out       = flag.String("o", "", "output artifact file (required unless -info)")
+		info      = flag.String("info", "", "decode an existing artifact and print its section table instead of packing")
+	)
+	flag.Parse()
+
+	if *info != "" {
+		if err := printInfo(*info); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *graphFile == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "usage: pgpack -graph <file|-> -o <out.pg> [-kinds BF,1H] [-budget 0.25] [-seed 42]")
+		fmt.Fprintln(os.Stderr, "       pgpack -info <file.pg>")
+		os.Exit(2)
+	}
+
+	g, err := loadGraph(*graphFile, *binary)
+	if err != nil {
+		fatal(err)
+	}
+	kindList, err := parseKinds(*kinds)
+	if err != nil {
+		fatal(err)
+	}
+	estimator, err := core.ParseEstimator(*est)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("graph           n=%d m=%d\n", g.NumVertices(), g.NumEdges())
+
+	// Build through serve.Open so the packed state is exactly what a
+	// warm-started server would otherwise build for itself.
+	snap, err := serve.Open(g, serve.SnapshotConfig{
+		Kinds: kindList, Est: estimator, Budget: *budget, Seed: *seed, Workers: *workers,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	fi, err := snap.Save(f)
+	if err != nil {
+		f.Close()
+		os.Remove(*out)
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("artifact        %s\n", *out)
+	printSections(fi)
+}
+
+// printInfo decodes (and thereby CRC-verifies) an artifact and prints
+// its structure.
+func printInfo(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	a, fi, err := pgio.DecodeWithInfo(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("artifact        %s\n", path)
+	fmt.Printf("graph           n=%d m=%d\n", a.G.NumVertices(), a.G.NumEdges())
+	if a.O != nil {
+		fmt.Printf("oriented        yes\n")
+	}
+	for _, k := range a.Kinds {
+		fmt.Printf("sketches        %v: %d bytes resident (s=%.2f, seed %d)\n",
+			k, a.PGs[k].MemoryBytes(), a.PGs[k].Cfg.Budget, a.PGs[k].Cfg.Seed)
+	}
+	printSections(fi)
+	return nil
+}
+
+// printSections renders the section table pginfo-style.
+func printSections(fi *pgio.FileInfo) {
+	fmt.Printf("format version  %d\n", fi.Version)
+	fmt.Printf("file size       %d bytes\n", fi.Bytes)
+	fmt.Println("sections:")
+	for _, s := range fi.Sections {
+		fmt.Printf("  %-10s %12d bytes  crc32c %08x\n", s.Name, s.Bytes, s.CRC)
+	}
+}
+
+func loadGraph(file string, binary bool) (*graph.Graph, error) {
+	var in io.Reader = os.Stdin
+	if file != "-" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		in = f
+	}
+	if binary {
+		return graph.ReadBinary(in)
+	}
+	return graph.ReadEdgeList(in)
+}
+
+func parseKinds(s string) ([]core.Kind, error) {
+	var out []core.Kind
+	for _, part := range strings.Split(s, ",") {
+		k, err := core.ParseKind(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pgpack:", err)
+	os.Exit(1)
+}

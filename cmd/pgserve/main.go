@@ -11,11 +11,22 @@
 //	pgserve -gen kron -scale 12 -deg 16          # synthetic snapshot
 //	pgserve -graph web.el -kinds BF,1H -budget 0.25
 //	pgserve -gen kron -scale 12 -stream          # accept live edge batches
+//	pgserve -artifact web.pg                     # warm start from pgpack output
+//	pgserve -stream -artifact web.pg -save web.pg  # durable epochs + resume
 //
 // With -stream the server owns a stream.DynamicGraph: each /v1/ingest
 // batch updates the per-vertex sketches incrementally, freezes a new
 // epoch, and hot-swaps it under the live query load (in-flight queries
 // finish on their epoch; the result cache invalidates by epoch).
+//
+// With -artifact the snapshot is booted from a binary artifact written
+// by pgpack or -save: no edge-list parsing, no re-orientation, no
+// sketch builds — the cold-start path is pure IO. Sketch geometry and
+// seed come from the artifact; -kinds may select a resident subset and
+// -est may override the estimator, other sketch flags are ignored. With
+// -save every served epoch is written back (atomically, temp+rename),
+// so a crashed or restarted -stream server resumes from its last
+// frozen epoch instead of its original input.
 //
 // Drive it with pgload, or curl:
 //
@@ -32,12 +43,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"probgraph/internal/core"
 	"probgraph/internal/graph"
+	"probgraph/internal/pgio"
 	"probgraph/internal/serve"
 	"probgraph/internal/stream"
 )
@@ -50,7 +63,7 @@ func main() {
 		gen        = flag.String("gen", "kron", "generator when no -graph: kron|er|ba|community")
 		scale      = flag.Int("scale", 12, "kron scale (2^scale vertices) / community size log2")
 		deg        = flag.Int("deg", 16, "average degree for the generator")
-		kinds      = flag.String("kinds", "BF", "comma-separated sketch kinds to build (BF,kH,1H,KMV,HLL)")
+		kinds      = flag.String("kinds", "", "comma-separated sketch kinds to build (BF,kH,1H,KMV,HLL); default BF, or every resident kind with -artifact")
 		est        = flag.String("est", "auto", "|X∩Y| estimator within the representation: auto | and | l | or | 1hsimple")
 		budget     = flag.Float64("budget", 0.25, "storage budget s")
 		seed       = flag.Uint64("seed", 42, "sketch/generator seed")
@@ -59,13 +72,11 @@ func main() {
 		maxBatch   = flag.Int("batch", 64, "max queries coalesced per batch")
 		batchDelay = flag.Duration("batchdelay", 200*time.Microsecond, "max wait to fill a batch (0 = no wait)")
 		streaming  = flag.Bool("stream", false, "enable /v1/ingest: maintain sketches incrementally and hot-swap epochs")
+		artifact   = flag.String("artifact", "", "warm-start from a binary artifact (.pg) written by pgpack or -save")
+		save       = flag.String("save", "", "persist the snapshot to this artifact file; with -stream, every frozen epoch is written")
 	)
 	flag.Parse()
 
-	g, err := loadGraph(*graphFile, *binary, *gen, *scale, *deg, *seed)
-	if err != nil {
-		log.Fatalf("pgserve: %v", err)
-	}
 	kindList, err := parseKinds(*kinds)
 	if err != nil {
 		log.Fatalf("pgserve: %v", err)
@@ -74,23 +85,68 @@ func main() {
 	if err != nil {
 		log.Fatalf("pgserve: %v", err)
 	}
-
-	log.Printf("graph: n=%d m=%d", g.NumVertices(), g.NumEdges())
-	t0 := time.Now()
 	snapCfg := serve.SnapshotConfig{
 		Kinds: kindList, Est: estimator, Budget: *budget, Seed: *seed, Workers: *workers,
 	}
+
+	// Resolve the graph source: a decoded artifact (warm start) or an
+	// edge list / generator (cold build).
+	var (
+		art     *pgio.Artifact
+		artInfo *pgio.FileInfo
+		g       *graph.Graph
+	)
+	if *artifact != "" {
+		if art, artInfo, err = loadArtifact(*artifact); err != nil {
+			log.Fatalf("pgserve: %v", err)
+		}
+		g = art.G
+		log.Printf("artifact: %s, %d bytes, kinds %v", *artifact, artInfo.Bytes, art.Kinds)
+	} else if g, err = loadGraph(*graphFile, *binary, *gen, *scale, *deg, *seed); err != nil {
+		log.Fatalf("pgserve: %v", err)
+	}
+
+	log.Printf("graph: n=%d m=%d", g.NumVertices(), g.NumEdges())
+	t0 := time.Now()
 	var (
 		snap *serve.Snapshot
 		dyn  *stream.DynamicGraph
 	)
-	if *streaming {
+	switch {
+	case *streaming:
 		// Streaming mode: the DynamicGraph owns the sketches and every
-		// epoch (including the first) is a Freeze of its state.
-		if dyn, err = stream.New(g, snapCfg); err == nil {
-			snap, err = dyn.Freeze()
+		// epoch (including the first) is a Freeze of its state. From an
+		// artifact, the decoded sketches resume the stream where the
+		// persisted epoch left off — no rebuild.
+		cfg := snapCfg
+		if art != nil {
+			if cfg, err = serve.ConfigFromArtifact(art, snapCfg); err != nil {
+				break
+			}
+			dyn, err = stream.NewWith(art.G, cfg, art.PGs)
+		} else {
+			dyn, err = stream.New(g, cfg)
 		}
-	} else {
+		if err != nil {
+			break
+		}
+		if *save != "" {
+			// Install before the first Freeze so every epoch, including
+			// the boot epoch, is durable.
+			dyn.SetPersist(stream.PersistFile(*save))
+			log.Printf("pgserve: persisting every frozen epoch to %s", *save)
+		}
+		var ps stream.PersistStatus
+		if snap, ps, err = dyn.FreezePersist(); err == nil && ps.Err != nil {
+			// Later epochs tolerate persist failures (they surface in
+			// /v1/stats), but a boot epoch that cannot reach its -save
+			// path is a misconfiguration: fail fast while the operator
+			// is still watching.
+			log.Fatalf("pgserve: persisting boot epoch to %s: %v", *save, ps.Err)
+		}
+	case art != nil:
+		snap, err = serve.OpenDecoded(art, artInfo, snapCfg)
+	default:
 		snap, err = serve.Open(g, snapCfg)
 	}
 	if err != nil {
@@ -99,7 +155,14 @@ func main() {
 	for name, b := range snap.SketchBytes() {
 		log.Printf("snapshot: %s sketches, %d bytes", name, b)
 	}
-	log.Printf("snapshot: epoch %d built in %v", snap.Epoch, time.Since(t0).Round(time.Millisecond))
+	log.Printf("snapshot: epoch %d ready in %v", snap.Epoch, time.Since(t0).Round(time.Millisecond))
+	if *save != "" && !*streaming {
+		info, err := saveSnapshot(snap, *save)
+		if err != nil {
+			log.Fatalf("pgserve: saving artifact: %v", err)
+		}
+		log.Printf("pgserve: saved artifact %s (%d bytes, %d sections)", *save, info.Bytes, len(info.Sections))
+	}
 
 	// Flag semantics: 0 disables; the engine reads 0 as "default" and
 	// negative as "off", so translate here.
@@ -167,8 +230,50 @@ func loadGraph(file string, binary bool, gen string, scale, deg int, seed uint64
 	return nil, fmt.Errorf("unknown generator %q (kron|er|ba|community)", gen)
 }
 
-// parseKinds parses the -kinds list.
+// loadArtifact decodes (and CRC-verifies) a binary artifact file.
+func loadArtifact(path string) (*pgio.Artifact, *pgio.FileInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return pgio.DecodeWithInfo(f)
+}
+
+// saveSnapshot writes the snapshot as an artifact via temp+rename, so a
+// crash mid-save never leaves a torn file at the target path.
+func saveSnapshot(s *serve.Snapshot, path string) (*pgio.FileInfo, error) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".pgserve-save-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	info, err := s.Save(tmp)
+	if err != nil {
+		tmp.Close()
+		return nil, err
+	}
+	// The rename only makes durability claims the data can back.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return nil, err
+	}
+	if err := tmp.Close(); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return nil, err
+	}
+	return info, nil
+}
+
+// parseKinds parses the -kinds list. Empty means "default": BF for a
+// cold build (serve.Open's zero-value behavior), every resident kind
+// when booting from an artifact.
 func parseKinds(s string) ([]core.Kind, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
 	var out []core.Kind
 	for _, part := range strings.Split(s, ",") {
 		k, err := serve.ParseKind(part)

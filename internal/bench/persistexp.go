@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"probgraph/internal/core"
+	"probgraph/internal/graph"
+	"probgraph/internal/pgio"
+	"probgraph/internal/serve"
+)
+
+// PersistBench measures the binary artifact layer on a fixed Kronecker
+// graph: encode and decode bandwidth of the pgio codec, and the
+// cold-start comparison the layer exists for — booting a serving
+// snapshot from an artifact (pure IO: decode + install) versus
+// rebuilding it from edge-list text (parse + orient + sketch). The
+// artifact path must win; the experiment fails otherwise, so the CI
+// gate rechecks the claim continuously alongside the ns/op trajectory.
+func PersistBench(opts Opts) ([]BenchRecord, error) {
+	opts = opts.withDefaults()
+	scale := 11
+	if opts.Quick {
+		scale = 10
+	}
+	g := graph.Kronecker(scale, 16, opts.Seed)
+	cfg := serve.SnapshotConfig{
+		Kinds: []core.Kind{core.BF, core.OneHash}, Budget: 0.25, Seed: opts.Seed, Workers: opts.Workers,
+	}
+	snap, err := serve.Open(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []BenchRecord
+	mbps := func(bytes int64, d time.Duration) float64 {
+		return float64(bytes) / (1 << 20) / d.Seconds()
+	}
+
+	// Encode bandwidth: snapshot -> artifact bytes, in memory (no disk
+	// noise; PersistFile adds only the write syscalls on top).
+	var buf bytes.Buffer
+	info, err := snap.Save(&buf)
+	if err != nil {
+		return nil, err
+	}
+	encT := Measure(opts.Runs, func() {
+		buf.Reset()
+		if _, err := snap.Save(&buf); err != nil {
+			panic(err)
+		}
+	})
+	rows = append(rows, BenchRecord{
+		Experiment: "persist/encode",
+		Config:     "BF+1H",
+		Value:      mbps(info.Bytes, encT.Median),
+		NsPerOp:    int64(encT.Median),
+	})
+
+	// Decode bandwidth: artifact bytes -> validated graph + sketches.
+	data := buf.Bytes()
+	decT := Measure(opts.Runs, func() {
+		if _, err := pgio.Decode(bytes.NewReader(data)); err != nil {
+			panic(err)
+		}
+	})
+	rows = append(rows, BenchRecord{
+		Experiment: "persist/decode",
+		Config:     "BF+1H",
+		Value:      mbps(info.Bytes, decT.Median),
+		NsPerOp:    int64(decT.Median),
+	})
+
+	// Cold start, the warm path: decode the artifact and install it as
+	// a serving snapshot — what pgserve -artifact pays at boot.
+	warmT := Measure(opts.Runs, func() {
+		if _, err := serve.OpenArtifact(bytes.NewReader(data), serve.SnapshotConfig{Workers: opts.Workers}); err != nil {
+			panic(err)
+		}
+	})
+	rows = append(rows, BenchRecord{
+		Experiment: "persist/cold-start",
+		Config:     "artifact",
+		Value:      float64(g.NumEdges()),
+		NsPerOp:    int64(warmT.Median),
+	})
+
+	// Cold start, the rebuild path: parse the edge-list text and build
+	// everything — what every pgserve boot paid before this layer.
+	var el bytes.Buffer
+	if err := graph.WriteEdgeList(&el, g); err != nil {
+		return nil, err
+	}
+	elData := el.Bytes()
+	rebuildT := Measure(opts.Runs, func() {
+		g2, err := graph.ReadEdgeList(bytes.NewReader(elData))
+		if err != nil {
+			panic(err)
+		}
+		if _, err := serve.Open(g2, cfg); err != nil {
+			panic(err)
+		}
+	})
+	rows = append(rows, BenchRecord{
+		Experiment: "persist/cold-start",
+		Config:     "rebuild",
+		Value:      float64(g.NumEdges()),
+		NsPerOp:    int64(rebuildT.Median),
+	})
+
+	if warmT.Median >= rebuildT.Median {
+		return nil, fmt.Errorf(
+			"persist bench: cold start from artifact (%v) did not beat rebuild from edge list (%v) — the persistence layer is not paying for itself",
+			warmT.Median, rebuildT.Median)
+	}
+
+	if opts.JSON != nil {
+		enc := json.NewEncoder(opts.JSON)
+		for _, r := range rows {
+			if err := enc.Encode(r); err != nil {
+				return nil, fmt.Errorf("persist bench: writing JSON record: %w", err)
+			}
+		}
+	}
+
+	section(opts.Out, "Persistence benchmark (graph: kron scale %d, artifact %d bytes, %d sections)",
+		scale, info.Bytes, len(info.Sections))
+	t := NewTable(opts.Out, "experiment", "config", "value", "ns/op")
+	for _, r := range rows {
+		t.Row(r.Experiment, r.Config, r.Value, r.NsPerOp)
+	}
+	t.Flush()
+	fmt.Fprintf(opts.Out,
+		"cold start: artifact %.3gms vs rebuild %.3gms (%.2fx faster); codec %.0f MB/s encode, %.0f MB/s decode\n",
+		float64(warmT.Median)/1e6, float64(rebuildT.Median)/1e6,
+		float64(rebuildT.Median)/float64(warmT.Median),
+		rows[0].Value, rows[1].Value)
+	return rows, nil
+}

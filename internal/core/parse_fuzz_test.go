@@ -1,0 +1,66 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// The Parse* functions are the flag/wire decoding layer of the artifact
+// and serving stack, so their contract with String is pinned by fuzzing:
+// every name String prints must parse back to the same value, and any
+// string that parses at all must normalize to a canonical name that
+// parses to the same value again (parse∘String is the identity on the
+// image of parse).
+
+func FuzzParseKindRoundTrip(f *testing.F) {
+	for _, k := range []Kind{BF, KHash, OneHash, KMV, HLL} {
+		f.Add(k.String())
+	}
+	f.Add("bloom")
+	f.Add("khash")
+	f.Add(" Kmv ")
+	f.Add("nonsense")
+	f.Fuzz(func(t *testing.T, s string) {
+		k, err := ParseKind(s)
+		if err != nil {
+			return // unparseable input: only the error path is exercised
+		}
+		k2, err := ParseKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseKind(%q) = %v, but its String %q does not parse: %v", s, k, k.String(), err)
+		}
+		if k2 != k {
+			t.Fatalf("ParseKind(%q) = %v, round-trips to %v", s, k, k2)
+		}
+		// Parsing is case- and whitespace-insensitive by contract.
+		if k3, err := ParseKind(strings.ToUpper("  " + s + " ")); err != nil || k3 != k {
+			t.Fatalf("ParseKind is not case/space-insensitive on %q: %v, %v", s, k3, err)
+		}
+	})
+}
+
+func FuzzParseEstimatorRoundTrip(f *testing.F) {
+	for _, e := range []Estimator{EstAuto, EstBFAnd, EstBFL, EstBFOr, Est1HSimple} {
+		f.Add(e.String())
+	}
+	f.Add("")
+	f.Add("swamidass")
+	f.Add(" Linear ")
+	f.Add("nonsense")
+	f.Fuzz(func(t *testing.T, s string) {
+		e, err := ParseEstimator(s)
+		if err != nil {
+			return
+		}
+		e2, err := ParseEstimator(e.String())
+		if err != nil {
+			t.Fatalf("ParseEstimator(%q) = %v, but its String %q does not parse: %v", s, e, e.String(), err)
+		}
+		if e2 != e {
+			t.Fatalf("ParseEstimator(%q) = %v, round-trips to %v", s, e, e2)
+		}
+		if e3, err := ParseEstimator(strings.ToUpper("  " + s + " ")); err != nil || e3 != e {
+			t.Fatalf("ParseEstimator is not case/space-insensitive on %q: %v, %v", s, e3, err)
+		}
+	})
+}

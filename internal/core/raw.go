@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"probgraph/internal/bitset"
+	"probgraph/internal/hash"
+)
+
+// This file is the serialization bridge of a PG: an exported flat-array
+// view (Raw) and its validated inverse (FromRaw). The binary artifact
+// codec (internal/pgio) moves these arrays to and from disk byte for
+// byte, so a decoded PG is bit-identical to the one that was encoded —
+// the hash family is the only non-array state, and it is a pure function
+// of (Seed, Kind, NumHashes, K), so FromRaw re-derives it without ever
+// re-hashing a neighborhood.
+
+// Raw is the complete flat-array state of a PG. Slices alias the PG's
+// storage — treat a Raw obtained from PG.Raw as read-only, and do not
+// mutate slices handed to FromRaw afterwards (FromRaw adopts them).
+type Raw struct {
+	Cfg     Config
+	N       int
+	CSRBits int64
+	Sizes   []int32 // exact |set| per vertex
+
+	// BF storage: N rows of Cfg.BloomBits/64 words.
+	Bits []uint64
+	// k-Hash storage: N rows of Cfg.K signature slots.
+	Sigs []uint64
+	// 1-Hash / KMV storage: N rows of up to Cfg.K sorted hashes, Lens
+	// holding each row's used prefix, Elems aligned when StoreElems.
+	Hashes []uint64
+	Lens   []int32
+	Elems  []uint32
+	// HLL storage: N rows of 2^HLLP single-byte registers.
+	HLLReg []uint8
+	HLLP   uint8
+}
+
+// Raw returns the PG's flat-array view. The slices alias the PG's
+// storage; callers must not mutate them.
+func (pg *PG) Raw() Raw {
+	return Raw{
+		Cfg:     pg.Cfg,
+		N:       pg.n,
+		CSRBits: pg.csrBits,
+		Sizes:   pg.sizes,
+		Bits:    pg.bits,
+		Sigs:    pg.sigs,
+		Hashes:  pg.hashes,
+		Lens:    pg.lens,
+		Elems:   pg.elems,
+		HLLReg:  pg.hllReg,
+		HLLP:    pg.hllP,
+	}
+}
+
+// FromRaw reconstitutes a PG from its flat-array view: the geometry is
+// validated against the configuration, the hash family is re-derived
+// from (Seed, Kind, NumHashes, K), and the arrays are adopted as-is —
+// no neighborhood is ever re-sketched, which is what makes decoding an
+// artifact a memory-bandwidth operation instead of a build.
+func FromRaw(r Raw) (*PG, error) {
+	cfg := r.Cfg
+	switch cfg.Kind {
+	case BF, KHash, OneHash, KMV, HLL:
+	default:
+		return nil, fmt.Errorf("core: raw PG has unknown representation kind %d", int(cfg.Kind))
+	}
+	if r.N < 0 {
+		return nil, fmt.Errorf("core: raw PG has negative vertex count %d", r.N)
+	}
+	if len(r.Sizes) != r.N {
+		return nil, fmt.Errorf("core: raw PG sizes array covers %d vertices, want %d", len(r.Sizes), r.N)
+	}
+	pg := &PG{
+		Cfg:     cfg,
+		n:       r.N,
+		csrBits: r.CSRBits,
+		sizes:   r.Sizes,
+		hllP:    r.HLLP,
+	}
+	// Per-kind geometry checks mirror what build allocates; a mismatch
+	// means the raw view (e.g. a decoded artifact section) drifted from
+	// its recorded configuration.
+	switch cfg.Kind {
+	case BF:
+		if cfg.BloomBits <= 0 || cfg.BloomBits%bitset.WordBits != 0 {
+			if r.N > 0 {
+				return nil, fmt.Errorf("core: raw BF PG has invalid filter size %d bits", cfg.BloomBits)
+			}
+		}
+		if cfg.NumHashes <= 0 {
+			return nil, fmt.Errorf("core: raw BF PG has invalid hash count %d", cfg.NumHashes)
+		}
+		pg.words = cfg.BloomBits / bitset.WordBits
+		if len(r.Bits) != r.N*pg.words {
+			return nil, fmt.Errorf("core: raw BF PG has %d filter words, want %d", len(r.Bits), r.N*pg.words)
+		}
+		pg.bits = r.Bits
+		pg.fam = hash.NewFamily(cfg.Seed, cfg.NumHashes)
+	case KHash:
+		if cfg.K < 1 && r.N > 0 {
+			return nil, fmt.Errorf("core: raw kH PG has invalid signature size k=%d", cfg.K)
+		}
+		if len(r.Sigs) != r.N*cfg.K {
+			return nil, fmt.Errorf("core: raw kH PG has %d signature slots, want %d", len(r.Sigs), r.N*cfg.K)
+		}
+		pg.sigs = r.Sigs
+		pg.fam = hash.NewFamily(cfg.Seed, cfg.K)
+	case OneHash, KMV:
+		if cfg.K < 1 && r.N > 0 {
+			return nil, fmt.Errorf("core: raw %v PG has invalid sketch size k=%d", cfg.Kind, cfg.K)
+		}
+		if len(r.Hashes) != r.N*cfg.K {
+			return nil, fmt.Errorf("core: raw %v PG has %d hash slots, want %d", cfg.Kind, len(r.Hashes), r.N*cfg.K)
+		}
+		if len(r.Lens) != r.N {
+			return nil, fmt.Errorf("core: raw %v PG lens array covers %d vertices, want %d", cfg.Kind, len(r.Lens), r.N)
+		}
+		for v, l := range r.Lens {
+			if l < 0 || int(l) > cfg.K {
+				return nil, fmt.Errorf("core: raw %v PG row %d has prefix length %d outside [0,%d]", cfg.Kind, v, l, cfg.K)
+			}
+		}
+		wantElems := 0
+		if cfg.StoreElems && cfg.Kind == OneHash {
+			wantElems = r.N * cfg.K
+		}
+		if len(r.Elems) != wantElems {
+			return nil, fmt.Errorf("core: raw %v PG has %d element slots, want %d", cfg.Kind, len(r.Elems), wantElems)
+		}
+		pg.hashes = r.Hashes
+		pg.lens = r.Lens
+		if wantElems > 0 {
+			pg.elems = r.Elems
+		}
+		pg.fam = hash.NewFamily(cfg.Seed, 1)
+	case HLL:
+		if (r.HLLP < 4 || r.HLLP > 16) && r.N > 0 {
+			return nil, fmt.Errorf("core: raw HLL PG has precision p=%d outside [4,16]", r.HLLP)
+		}
+		m := 0
+		if r.N > 0 {
+			m = 1 << r.HLLP
+		}
+		if len(r.HLLReg) != r.N*m {
+			return nil, fmt.Errorf("core: raw HLL PG has %d registers, want %d", len(r.HLLReg), r.N*m)
+		}
+		pg.hllReg = r.HLLReg
+		pg.fam = hash.NewFamily(cfg.Seed, 1)
+	}
+	return pg, nil
+}

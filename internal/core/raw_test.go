@@ -1,0 +1,75 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"probgraph/internal/graph"
+)
+
+// TestFromRawReconstitutes pins the serialization bridge at the core
+// layer: FromRaw(pg.Raw()) must reproduce the PG exactly — arrays,
+// configuration, and the re-derived hash family — for every kind.
+func TestFromRawReconstitutes(t *testing.T) {
+	g := graph.Kronecker(8, 8, 3)
+	for _, cfg := range []Config{
+		{Kind: BF, Seed: 7},
+		{Kind: KHash, Seed: 7, Budget: 0.5},
+		{Kind: OneHash, Seed: 7},
+		{Kind: OneHash, Seed: 7, StoreElems: true},
+		{Kind: KMV, Seed: 7},
+		{Kind: HLL, Seed: 7},
+	} {
+		pg, err := Build(g, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", cfg.Kind, err)
+		}
+		got, err := FromRaw(pg.Raw())
+		if err != nil {
+			t.Fatalf("%v: FromRaw: %v", cfg.Kind, err)
+		}
+		if !reflect.DeepEqual(pg, got) {
+			t.Fatalf("%v: FromRaw(Raw()) differs from the source PG", cfg.Kind)
+		}
+	}
+}
+
+// TestFromRawRejectsDrift pins a few geometry-drift errors: arrays that
+// contradict the recorded configuration must be refused, not adopted.
+func TestFromRawRejectsDrift(t *testing.T) {
+	g := graph.Kronecker(7, 6, 3)
+	pg, err := Build(g, Config{Kind: BF, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(r *Raw){
+		func(r *Raw) { r.Cfg.Kind = Kind(99) },
+		func(r *Raw) { r.Sizes = r.Sizes[:len(r.Sizes)-1] },
+		func(r *Raw) { r.Bits = r.Bits[:len(r.Bits)-1] },
+		func(r *Raw) { r.Cfg.BloomBits += 3 },
+		func(r *Raw) { r.Cfg.NumHashes = 0 },
+		func(r *Raw) { r.N = -1 },
+	}
+	for i, breakIt := range cases {
+		r := pg.Raw()
+		breakIt(&r)
+		if _, err := FromRaw(r); err == nil {
+			t.Fatalf("case %d: drifted raw view accepted", i)
+		}
+	}
+
+	mh, err := Build(g, Config{Kind: OneHash, Seed: 1, StoreElems: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := mh.Raw()
+	r.Lens[0] = int32(mh.Cfg.K + 1)
+	if _, err := FromRaw(r); err == nil {
+		t.Fatal("out-of-range bottom-k prefix length accepted")
+	}
+	r = mh.Raw()
+	r.Elems = nil
+	if _, err := FromRaw(r); err == nil {
+		t.Fatal("missing element IDs under StoreElems accepted")
+	}
+}

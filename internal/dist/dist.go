@@ -6,10 +6,12 @@
 // remote neighborhoods on demand through one of two wire protocols:
 //
 //   - ShipNeighborhoods: the owner replies with the raw CSR neighborhood
-//     N_u, 4 bytes per vertex ID — the baseline a CSR-partitioned system
-//     pays, and the requester computes exactly;
+//     N_u encoded through the pgio row codec (a u32 count plus 4 bytes
+//     per vertex ID) — the baseline a CSR-partitioned system pays, and
+//     the requester decodes it and computes exactly;
 //   - ShipSketches: the owner replies with vertex u's fixed-size
-//     ProbGraph sketch row, and the requester estimates.
+//     ProbGraph sketch row (pgio.AppendSketchRow), and the requester
+//     estimates.
 //
 // Every node keeps a cache of remote rows so each (requester, vertex)
 // pair crosses the network at most once — the communication volume is
@@ -62,16 +64,17 @@ func (m Mode) valid() bool { return m == ShipNeighborhoods || m == ShipSketches 
 // Wire-format constants. Every remote fetch is one request message and
 // one response message; both protocols pay the same fixed framing, so
 // the reduction the tables report comes from payload sizes alone.
+// Payloads themselves are produced by the internal/pgio row codec
+// (AppendNeighborhood / AppendSketchRow) and accounted at their encoded
+// length — NetStats is measured from real bytes, not declared from a
+// size formula. The sketch row codec ships the exact set cardinality
+// inline: the estimators and the cardinality clamp consume |N_u|
+// (PG.SetSize), which e.g. a Bloom filter row does not encode.
 const (
 	// reqBytes frames a fetch request: 4 B vertex ID + 4 B requester ID.
 	reqBytes = 8
 	// respHeaderBytes frames a response: 4 B vertex ID + 4 B payload length.
 	respHeaderBytes = 8
-	// cardBytes is the exact set cardinality a sketch response carries
-	// alongside the row: the estimators and the cardinality clamp
-	// consume |N_u| (PG.SetSize), which a Bloom filter row does not
-	// encode, so honest accounting ships it.
-	cardBytes = 4
 )
 
 // NodeTraffic is the per-node view of the network accounting.

@@ -2,13 +2,16 @@ package dist
 
 import "sync/atomic"
 
-// payload is the body of a response message. The simulator hands the
-// owner's storage across by reference (the in-process analogue of an
-// RDMA get) and accounts the bytes the declared wire format would have
-// serialized.
+// payload is the body of a response message: the actually-encoded wire
+// bytes of the owner's row, produced by the internal/pgio row codec.
+// The accounting layer measures len(data) — NetStats reports what a
+// real transport would have carried, not a declared estimate. (In
+// ShipNeighborhoods mode the requester decodes data back into a vertex
+// list; in ShipSketches mode the requester estimates through its own
+// replica of the sketch parameters, so the bytes are measured and the
+// content is checked by tests, but not re-read on the hot path.)
 type payload struct {
-	list  []uint32 // ShipNeighborhoods: the full CSR neighborhood
-	bytes int      // wire size of the payload in bytes
+	data []byte
 }
 
 // request asks the owner of vertex for its row; the response is sent on
@@ -67,7 +70,7 @@ func (nw *network) fetch(from int, v uint32, reply chan payload) payload {
 	nw.account(from, owner, reqBytes)
 	nw.inboxes[owner] <- request{from: from, vertex: v, reply: reply}
 	p := <-reply
-	nw.account(owner, from, respHeaderBytes+p.bytes)
+	nw.account(owner, from, respHeaderBytes+len(p.data))
 	nw.fetches.Add(1)
 	return p
 }

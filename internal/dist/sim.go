@@ -8,6 +8,7 @@ import (
 	"probgraph/internal/graph"
 	"probgraph/internal/mining"
 	"probgraph/internal/par"
+	"probgraph/internal/pgio"
 )
 
 // Sim runs distributed vertex similarity (Listing 3) over the same
@@ -67,8 +68,7 @@ func SimCtx(ctx context.Context, g *graph.Graph, pg *core.PG, nodes int, mode Mo
 	switch mode {
 	case ShipNeighborhoods:
 		serve := func(v uint32) payload {
-			l := g.Neighbors(v)
-			return payload{list: l, bytes: 4 * len(l)}
+			return payload{data: pgio.AppendNeighborhood(nil, g.Neighbors(v))}
 		}
 		res.Net = c.run(serve, func(nd *node) {
 			var s float64
@@ -88,7 +88,7 @@ func SimCtx(ctx context.Context, g *graph.Graph, pg *core.PG, nodes int, mode Mo
 					default:
 						var ok bool
 						if nv, ok = nd.lists[v]; !ok {
-							nv = nd.fetch(v).list
+							nv = decodeList(nd.fetch(v))
 							nd.lists[v] = nv
 						}
 					}
@@ -100,7 +100,7 @@ func SimCtx(ctx context.Context, g *graph.Graph, pg *core.PG, nodes int, mode Mo
 		})
 	case ShipSketches:
 		serve := func(v uint32) payload {
-			return payload{bytes: cardBytes + pg.RowBytes(v)}
+			return payload{data: pgio.AppendSketchRow(nil, pg, v)}
 		}
 		res.Net = c.run(serve, func(nd *node) {
 			var s float64

@@ -7,6 +7,7 @@ import (
 	"probgraph/internal/core"
 	"probgraph/internal/graph"
 	"probgraph/internal/par"
+	"probgraph/internal/pgio"
 )
 
 // TC runs the oriented triangle-count kernel (Listing 1) over `nodes`
@@ -60,8 +61,7 @@ func TCCtx(ctx context.Context, g *graph.Graph, o *graph.Oriented, pg *core.PG, 
 	case ShipNeighborhoods:
 		counts := make([]int64, nodes)
 		serve := func(u uint32) payload {
-			l := g.Neighbors(u)
-			return payload{list: l, bytes: 4 * len(l)}
+			return payload{data: pgio.AppendNeighborhood(nil, g.Neighbors(u))}
 		}
 		res.Net = c.run(serve, func(nd *node) {
 			rank := o.Rank
@@ -79,7 +79,7 @@ func TCCtx(ctx context.Context, g *graph.Graph, o *graph.Oriented, pg *core.PG, 
 					default:
 						var ok bool
 						if nu, ok = nd.lists[u]; !ok {
-							nu = orientFilter(nd.fetch(u).list, rank, rank[u])
+							nu = orientFilter(decodeList(nd.fetch(u)), rank, rank[u])
 							nd.lists[u] = nu
 						}
 					}
@@ -96,7 +96,7 @@ func TCCtx(ctx context.Context, g *graph.Graph, o *graph.Oriented, pg *core.PG, 
 	case ShipSketches:
 		sums := make([]float64, nodes)
 		serve := func(u uint32) payload {
-			return payload{bytes: cardBytes + pg.RowBytes(u)}
+			return payload{data: pgio.AppendSketchRow(nil, pg, u)}
 		}
 		res.Net = c.run(serve, func(nd *node) {
 			var s float64
@@ -143,6 +143,17 @@ func clampInter(est float64, dx, dy int) float64 {
 		return mx
 	}
 	return est
+}
+
+// decodeList decodes a fetched neighborhood payload. The in-process
+// transport cannot corrupt bytes between encode and decode, so a
+// failure here is an invariant violation, not an input error.
+func decodeList(p payload) []uint32 {
+	l, err := pgio.DecodeNeighborhood(p.data)
+	if err != nil {
+		panic(fmt.Sprintf("dist: undecodable neighborhood payload: %v", err))
+	}
+	return l
 }
 
 // orientFilter derives N+_u from a full, ID-sorted neighborhood N_u:

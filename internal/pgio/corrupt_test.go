@@ -1,0 +1,273 @@
+package pgio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"probgraph/internal/core"
+	"probgraph/internal/graph"
+)
+
+// failWriter fails after `allow` bytes — the same failure-injection
+// harness graph/io_fail_test.go uses for the IO paths.
+type failWriter struct {
+	allow   int
+	written int
+}
+
+var errInjected = errors.New("injected write failure")
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.allow {
+		can := w.allow - w.written
+		if can < 0 {
+			can = 0
+		}
+		w.written += can
+		return can, errInjected
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+// encodeGood returns one well-formed artifact file.
+func encodeGood(t *testing.T) []byte {
+	t.Helper()
+	a := buildArtifact(t)
+	var buf bytes.Buffer
+	if _, err := Encode(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestEncodeFailurePaths(t *testing.T) {
+	a := buildArtifact(t)
+	for _, allow := range []int{0, 10, 100} {
+		if _, err := Encode(&failWriter{allow: allow}, a); !errors.Is(err, errInjected) {
+			t.Fatalf("allow=%d: want injected write failure, got %v", allow, err)
+		}
+	}
+	if _, err := Encode(&failWriter{allow: 0}, nil); err == nil {
+		t.Fatal("nil artifact accepted")
+	}
+	if _, err := Encode(&failWriter{allow: 0}, &Artifact{}); err == nil {
+		t.Fatal("graphless artifact accepted")
+	}
+	// Cross-section drift is refused at encode time too.
+	small := graph.Complete(4)
+	pg, err := core.Build(small, core.Config{Kind: core.BF, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &Artifact{G: a.G, PGs: map[core.Kind]*core.PG{core.BF: pg}}
+	if _, err := Encode(&failWriter{allow: 1 << 20}, bad); err == nil {
+		t.Fatal("PG over a different graph accepted")
+	}
+}
+
+// TestDecodeCorruptions is the table-driven corruption matrix the issue
+// asks for: truncation, bad magic, wrong version, CRC damage, and
+// structural drift each map to their typed sentinel error — and never a
+// panic.
+func TestDecodeCorruptions(t *testing.T) {
+	good := encodeGood(t)
+
+	cases := []struct {
+		name     string
+		mutate   func([]byte) []byte
+		sentinel error
+	}{
+		{"empty input", func(b []byte) []byte { return nil }, ErrTruncated},
+		{"header cut", func(b []byte) []byte { return b[:headerBytes-1] }, ErrTruncated},
+		{"table cut", func(b []byte) []byte { return b[:headerBytes+5] }, ErrTruncated},
+		{"payload cut", func(b []byte) []byte { return b[:len(b)-1] }, ErrTruncated},
+		{"mid-section cut", func(b []byte) []byte { return b[:len(b)/2] }, ErrTruncated},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b }, ErrBadMagic},
+		{"future version", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[4:], Version+1)
+			return b
+		}, ErrVersion},
+		{"absurd section count", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:], 1<<30)
+			return b
+		}, ErrCorrupt},
+		{"table bit flip", func(b []byte) []byte { b[headerBytes+2] ^= 0x40; return b }, ErrChecksum},
+		{"payload bit flip", func(b []byte) []byte { b[len(b)-3] ^= 0x01; return b }, ErrChecksum},
+		{"first payload bit flip", func(b []byte) []byte {
+			// Damage the first byte past the table (the graph section).
+			nSec := binary.LittleEndian.Uint32(b[8:])
+			b[headerBytes+tableEntryBytes*int(nSec)] ^= 0x80
+			return b
+		}, ErrChecksum},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.mutate(append([]byte(nil), good...))
+			_, err := Decode(bytes.NewReader(b))
+			if err == nil {
+				t.Fatal("corrupted artifact decoded cleanly")
+			}
+			if !errors.Is(err, tc.sentinel) {
+				t.Fatalf("error %v does not wrap %v", err, tc.sentinel)
+			}
+		})
+	}
+}
+
+// craft builds a syntactically valid file (correct CRCs and table) from
+// arbitrary section payloads, so decode-side structural validation is
+// reachable past the checksum layer.
+func craft(secs ...section) []byte {
+	data, _ := assemble(secs)
+	return data
+}
+
+// TestDecodeStructuralDrift exercises drift that checksums cannot catch:
+// internally consistent bytes whose content contradicts itself.
+func TestDecodeStructuralDrift(t *testing.T) {
+	g := graph.Kronecker(7, 6, 5)
+	var ge enc
+	ge.u64(uint64(g.NumVertices()))
+	ge.i64s(g.Offsets)
+	ge.u32s(g.Neigh)
+	graphSec := section{secGraph, "graph", ge.b}
+
+	pg, err := core.Build(g, core.Config{Kind: core.OneHash, Seed: 3, StoreElems: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	small := graph.Complete(4)
+	smallPG, err := core.Build(small, core.Config{Kind: core.BF, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		file []byte
+	}{
+		{"no graph section", craft(section{secPG, "pg", encodePG(pg, roleFull)})},
+		{"duplicate graph", craft(graphSec, graphSec)},
+		{"duplicate sketch kind", craft(graphSec,
+			section{secPG, "pg", encodePG(pg, roleFull)},
+			section{secPG, "pg", encodePG(pg, roleFull)})},
+		{"sketches over a different graph", craft(graphSec,
+			section{secPG, "pg", encodePG(smallPG, roleFull)})},
+		{"unknown PG role", craft(graphSec,
+			section{secPG, "pg", mutatePG(encodePG(pg, roleFull), func(b []byte) { b[0] = 9 })})},
+		{"unknown sketch kind", craft(graphSec,
+			section{secPG, "pg", mutatePG(encodePG(pg, roleFull), func(b []byte) { b[1] = 200 })})},
+		{"unknown estimator", craft(graphSec,
+			section{secPG, "pg", mutatePG(encodePG(pg, roleFull), func(b []byte) { b[2] = 200 })})},
+		{"prefix length beyond k", craft(graphSec,
+			section{secPG, "pg", breakLens(t, pg)})},
+		// Allocation-driving scalars a hostile file can inflate without
+		// growing the payload: both must die as ErrCorrupt, not OOM.
+		{"absurd Bloom hash count", craft(graphSec,
+			section{secPG, "pg", mutatePG(encodePG(smallBF(t, g), roleFull), func(b []byte) {
+				b[8], b[9], b[10], b[11] = 0xff, 0xff, 0xff, 0xff // numHashes u32
+			})})},
+		{"absurd sketch k on an empty universe", craft(emptyGraphSection(),
+			section{secPG, "pg", mutatePG(encodePG(emptyKHash(t), roleFull), func(b []byte) {
+				b[16], b[17], b[18], b[19] = 0xff, 0xff, 0xff, 0xff // k u32
+			})})},
+		{"graph with broken CSR", craft(brokenGraphSection(g))},
+		{"oriented without matching n", craft(graphSec, orientedSection(graph.Complete(3).Orient(0)))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Decode(bytes.NewReader(tc.file))
+			if err == nil {
+				t.Fatal("drifted artifact decoded cleanly")
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("error %v does not wrap ErrCorrupt", err)
+			}
+		})
+	}
+
+	// Unknown section types are skipped, not fatal (forward compat).
+	ok := craft(graphSec, section{99, "mystery", []byte{1, 2, 3}})
+	a, info, err := DecodeWithInfo(bytes.NewReader(ok))
+	if err != nil {
+		t.Fatalf("unknown section type must be skipped: %v", err)
+	}
+	if a.G == nil || info.Sections[1].Name != "unknown" {
+		t.Fatal("unknown section handling lost the surrounding artifact")
+	}
+}
+
+// mutatePG applies fn to a copy of one encoded PG payload.
+func mutatePG(b []byte, fn func([]byte)) []byte {
+	out := append([]byte(nil), b...)
+	fn(out)
+	return out
+}
+
+// breakLens encodes pg with one bottom-k prefix length pushed past K —
+// geometry drift FromRaw must refuse.
+func breakLens(t *testing.T, pg *core.PG) []byte {
+	t.Helper()
+	clone := pg.Clone()
+	clone.Raw().Lens[0] = int32(clone.Cfg.K + 1) // Raw aliases the clone's storage
+	return encodePG(clone, roleFull)
+}
+
+// smallBF builds BF sketches over g for the scalar-cap cases.
+func smallBF(t *testing.T, g *graph.Graph) *core.PG {
+	t.Helper()
+	pg, err := core.Build(g, core.Config{Kind: core.BF, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pg
+}
+
+// emptyKHash builds kH sketches over the 0-vertex graph — the shape
+// whose empty arrays vacuously satisfy every payload-proportional
+// length check, leaving the config scalars as the only guard.
+func emptyKHash(t *testing.T) *core.PG {
+	t.Helper()
+	g, err := graph.FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := core.Build(g, core.Config{Kind: core.KHash, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pg
+}
+
+func emptyGraphSection() section {
+	var e enc
+	e.u64(0)
+	e.i64s([]int64{0})
+	e.u32s(nil)
+	return section{secGraph, "graph", e.b}
+}
+
+// brokenGraphSection encodes a CSR whose adjacency violates the strict
+// sortedness invariant (K4 with vertex 0's list rewritten to 3,2,3).
+func brokenGraphSection(*graph.Graph) section {
+	g := graph.Complete(4)
+	g.Neigh[0] = 3
+	var e enc
+	e.u64(uint64(g.NumVertices()))
+	e.i64s(g.Offsets)
+	e.u32s(g.Neigh)
+	return section{secGraph, "graph", e.b}
+}
+
+func orientedSection(o *graph.Oriented) section {
+	var e enc
+	e.u64(uint64(o.NumVertices()))
+	e.i64s(o.Offsets)
+	e.u32s(o.Neigh)
+	e.i32s(o.Rank)
+	return section{secOriented, "oriented", e.b}
+}

@@ -1,0 +1,360 @@
+package pgio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"probgraph/internal/core"
+	"probgraph/internal/graph"
+)
+
+// dec is a bounds-checked little-endian reader over one section payload.
+// Every read reports underflow instead of panicking, so hostile input
+// degrades to a typed error.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("section payload ends mid-field at byte %d: %w", d.off, ErrCorrupt)
+	}
+}
+
+func (d *dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.b) || d.off+n < d.off {
+		d.fail()
+		return nil
+	}
+	out := d.b[d.off : d.off+n]
+	d.off += n
+	return out
+}
+
+func (d *dec) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+func (d *dec) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+func (d *dec) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+func (d *dec) i64() int64   { return int64(d.u64()) }
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+// count reads an array-length prefix and checks it against the bytes
+// actually remaining, so a hostile length cannot drive an allocation
+// beyond the payload it claims to describe.
+func (d *dec) count(elemBytes int) int {
+	n := d.u64()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(len(d.b)-d.off)/uint64(elemBytes) {
+		d.fail()
+		return 0
+	}
+	return int(n)
+}
+
+// Array readers return nil for count zero, matching how core.Build
+// leaves unused representations unallocated (bit-identity includes
+// nil-ness of absent arrays).
+func (d *dec) u8s() []uint8 {
+	n := d.count(1)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]uint8, n)
+	copy(out, d.take(n))
+	return out
+}
+func (d *dec) u32s() []uint32 {
+	n := d.count(4)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]uint32, n)
+	raw := d.take(4 * n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(raw[4*i:])
+	}
+	return out
+}
+func (d *dec) i32s() []int32 {
+	n := d.count(4)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int32, n)
+	raw := d.take(4 * n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return out
+}
+func (d *dec) u64s() []uint64 {
+	n := d.count(8)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]uint64, n)
+	raw := d.take(8 * n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(raw[8*i:])
+	}
+	return out
+}
+func (d *dec) i64s() []int64 {
+	n := d.count(8)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int64, n)
+	raw := d.take(8 * n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return out
+}
+
+// Decode reads an artifact. See DecodeWithInfo for the form that also
+// returns the structural summary.
+func Decode(r io.Reader) (*Artifact, error) {
+	a, _, err := DecodeWithInfo(r)
+	return a, err
+}
+
+// DecodeWithInfo reads and validates an artifact: header and table
+// checks, per-section CRC verification, then section decoding with full
+// geometry validation (the graph's CSR invariants included). The
+// returned FileInfo mirrors what Encode reported when the file was
+// written.
+func DecodeWithInfo(r io.Reader) (*Artifact, *FileInfo, error) {
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("pgio: reading artifact: %w", err)
+	}
+	if len(buf) < headerBytes {
+		return nil, nil, fmt.Errorf("pgio: %d-byte input is shorter than the %d-byte header: %w", len(buf), headerBytes, ErrTruncated)
+	}
+	magic := binary.LittleEndian.Uint32(buf[0:])
+	if magic != Magic {
+		return nil, nil, fmt.Errorf("pgio: magic %#08x, want %#08x: %w", magic, Magic, ErrBadMagic)
+	}
+	version := binary.LittleEndian.Uint32(buf[4:])
+	if version != Version {
+		return nil, nil, fmt.Errorf("pgio: artifact version %d, this build reads %d: %w", version, Version, ErrVersion)
+	}
+	nSections := binary.LittleEndian.Uint32(buf[8:])
+	if nSections > maxSections {
+		return nil, nil, fmt.Errorf("pgio: header claims %d sections (cap %d): %w", nSections, maxSections, ErrCorrupt)
+	}
+	tableEnd := headerBytes + tableEntryBytes*int(nSections)
+	if len(buf) < tableEnd {
+		return nil, nil, fmt.Errorf("pgio: input ends inside the section table: %w", ErrTruncated)
+	}
+	table := buf[headerBytes:tableEnd]
+	if got, want := crc32.Checksum(table, castagnoli), binary.LittleEndian.Uint32(buf[12:]); got != want {
+		return nil, nil, fmt.Errorf("pgio: section table CRC %#08x, recorded %#08x: %w", got, want, ErrChecksum)
+	}
+
+	a := &Artifact{
+		PGs:         make(map[core.Kind]*core.PG),
+		OrientedPGs: make(map[core.Kind]*core.PG),
+	}
+	info := &FileInfo{Version: version, Bytes: int64(len(buf))}
+	for i := 0; i < int(nSections); i++ {
+		ent := table[i*tableEntryBytes:]
+		typ := binary.LittleEndian.Uint32(ent[0:])
+		wantCRC := binary.LittleEndian.Uint32(ent[4:])
+		offset := binary.LittleEndian.Uint64(ent[8:])
+		length := binary.LittleEndian.Uint64(ent[16:])
+		if length > maxSectionPayload || offset > uint64(len(buf)) || offset+length > uint64(len(buf)) || offset+length < offset {
+			return nil, nil, fmt.Errorf("pgio: section %d spans [%d, %d) beyond the %d-byte file: %w",
+				i, offset, offset+length, len(buf), ErrTruncated)
+		}
+		payload := buf[offset : offset+length]
+		if got := crc32.Checksum(payload, castagnoli); got != wantCRC {
+			return nil, nil, fmt.Errorf("pgio: section %d payload CRC %#08x, recorded %#08x: %w", i, got, wantCRC, ErrChecksum)
+		}
+		name, err := decodeSection(a, typ, payload)
+		if err != nil {
+			return nil, nil, err
+		}
+		info.Sections = append(info.Sections, SectionInfo{Name: name, Bytes: int64(length), CRC: wantCRC})
+	}
+	if a.G == nil {
+		return nil, nil, fmt.Errorf("pgio: artifact carries no graph section: %w", ErrCorrupt)
+	}
+	// Cross-section consistency: everything must cover the graph.
+	n := a.G.NumVertices()
+	if a.O != nil && a.O.NumVertices() != n {
+		return nil, nil, fmt.Errorf("pgio: orientation covers %d vertices, graph has %d: %w", a.O.NumVertices(), n, ErrCorrupt)
+	}
+	for _, set := range []map[core.Kind]*core.PG{a.PGs, a.OrientedPGs} {
+		for k, pg := range set {
+			if pg.NumVertices() != n {
+				return nil, nil, fmt.Errorf("pgio: %v sketches cover %d vertices, graph has %d: %w", k, pg.NumVertices(), n, ErrCorrupt)
+			}
+		}
+	}
+	return a, info, nil
+}
+
+// decodeSection dispatches one verified payload; unknown types are
+// skipped for forward compatibility.
+func decodeSection(a *Artifact, typ uint32, payload []byte) (string, error) {
+	switch typ {
+	case secGraph:
+		if a.G != nil {
+			return "", fmt.Errorf("pgio: duplicate graph section: %w", ErrCorrupt)
+		}
+		g, err := decodeGraph(payload)
+		if err != nil {
+			return "", err
+		}
+		a.G = g
+		return "graph", nil
+	case secOriented:
+		if a.O != nil {
+			return "", fmt.Errorf("pgio: duplicate oriented section: %w", ErrCorrupt)
+		}
+		o, err := decodeOriented(payload)
+		if err != nil {
+			return "", err
+		}
+		a.O = o
+		return "oriented", nil
+	case secPG:
+		return decodePGSection(a, payload)
+	}
+	return "unknown", nil
+}
+
+func decodeGraph(payload []byte) (*graph.Graph, error) {
+	d := &dec{b: payload}
+	n := d.u64()
+	offsets := d.i64s()
+	neigh := d.u32s()
+	if d.err != nil {
+		return nil, fmt.Errorf("pgio: graph section: %w", d.err)
+	}
+	if n > uint64(len(payload)) || len(offsets) != int(n)+1 {
+		return nil, fmt.Errorf("pgio: graph section has %d offsets for %d vertices: %w", len(offsets), n, ErrCorrupt)
+	}
+	g := &graph.Graph{Offsets: offsets, Neigh: neigh}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("pgio: graph section: %v: %w", err, ErrCorrupt)
+	}
+	return g, nil
+}
+
+func decodeOriented(payload []byte) (*graph.Oriented, error) {
+	d := &dec{b: payload}
+	n := d.u64()
+	offsets := d.i64s()
+	neigh := d.u32s()
+	rank := d.i32s()
+	if d.err != nil {
+		return nil, fmt.Errorf("pgio: oriented section: %w", d.err)
+	}
+	if n > uint64(len(payload)) || len(offsets) != int(n)+1 || len(rank) != int(n) {
+		return nil, fmt.Errorf("pgio: oriented section arrays do not cover %d vertices: %w", n, ErrCorrupt)
+	}
+	if offsets[0] != 0 || offsets[n] != int64(len(neigh)) {
+		return nil, fmt.Errorf("pgio: oriented section offsets do not span the adjacency: %w", ErrCorrupt)
+	}
+	for v := 0; v < int(n); v++ {
+		if offsets[v] > offsets[v+1] {
+			return nil, fmt.Errorf("pgio: oriented section offsets not monotone at vertex %d: %w", v, ErrCorrupt)
+		}
+	}
+	for _, u := range neigh {
+		if uint64(u) >= n {
+			return nil, fmt.Errorf("pgio: oriented section has out-of-range neighbor %d: %w", u, ErrCorrupt)
+		}
+	}
+	return &graph.Oriented{Offsets: offsets, Neigh: neigh, Rank: rank}, nil
+}
+
+func decodePGSection(a *Artifact, payload []byte) (string, error) {
+	d := &dec{b: payload}
+	role := d.u8()
+	var r core.Raw
+	r.Cfg.Kind = core.Kind(d.u8())
+	r.Cfg.Est = core.Estimator(d.u8())
+	r.Cfg.StoreElems = d.u8() != 0
+	r.HLLP = d.u8()
+	d.u8()
+	d.u8()
+	d.u8() // reserved padding
+	r.Cfg.NumHashes = int(d.u32())
+	r.Cfg.BloomBits = int(d.u32())
+	r.Cfg.K = int(d.u32())
+	r.Cfg.Workers = int(d.u32())
+	r.Cfg.Budget = d.f64()
+	r.Cfg.Seed = d.u64()
+	r.CSRBits = d.i64()
+	r.N = int(d.u64())
+	r.Sizes = d.i32s()
+	r.Bits = d.u64s()
+	r.Sigs = d.u64s()
+	r.Hashes = d.u64s()
+	r.Lens = d.i32s()
+	r.Elems = d.u32s()
+	r.HLLReg = d.u8s()
+	if d.err != nil {
+		return "", fmt.Errorf("pgio: PG section: %w", d.err)
+	}
+	if role != roleFull && role != roleOriented {
+		return "", fmt.Errorf("pgio: PG section has unknown role %d: %w", role, ErrCorrupt)
+	}
+	if r.Cfg.Est < core.EstAuto || r.Cfg.Est > core.Est1HSimple {
+		return "", fmt.Errorf("pgio: PG section has unknown estimator %d: %w", int(r.Cfg.Est), ErrCorrupt)
+	}
+	// Cap the scalars that size allocations the payload does not bound
+	// (the hash family has NumHashes resp. K seeds): a hostile file must
+	// fail with a typed error, never drive an OOM.
+	if r.Cfg.NumHashes > maxNumHashes {
+		return "", fmt.Errorf("pgio: PG section claims %d Bloom hash functions (cap %d): %w", r.Cfg.NumHashes, maxNumHashes, ErrCorrupt)
+	}
+	if r.Cfg.K > maxSketchK {
+		return "", fmt.Errorf("pgio: PG section claims %d sketch slots per vertex (cap %d): %w", r.Cfg.K, maxSketchK, ErrCorrupt)
+	}
+	pg, err := core.FromRaw(r)
+	if err != nil {
+		return "", fmt.Errorf("pgio: PG section: %v: %w", err, ErrCorrupt)
+	}
+	kinds, set := &a.Kinds, a.PGs
+	if role == roleOriented {
+		kinds, set = &a.OrientedKinds, a.OrientedPGs
+	}
+	if _, dup := set[r.Cfg.Kind]; dup {
+		return "", fmt.Errorf("pgio: duplicate %s section: %w", sectionName(secPG, role, r.Cfg.Kind), ErrCorrupt)
+	}
+	set[r.Cfg.Kind] = pg
+	*kinds = append(*kinds, r.Cfg.Kind)
+	return sectionName(secPG, role, r.Cfg.Kind), nil
+}

@@ -1,0 +1,237 @@
+package pgio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+
+	"probgraph/internal/core"
+)
+
+// enc is a growing little-endian byte encoder. Arrays are written with a
+// u64 element-count prefix, so every payload is self-describing.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8) { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32) {
+	e.b = binary.LittleEndian.AppendUint32(e.b, v)
+}
+func (e *enc) u64(v uint64) {
+	e.b = binary.LittleEndian.AppendUint64(e.b, v)
+}
+func (e *enc) i64(v int64)   { e.u64(uint64(v)) }
+func (e *enc) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+func (e *enc) u8s(v []uint8) {
+	e.u64(uint64(len(v)))
+	e.b = append(e.b, v...)
+}
+func (e *enc) u32s(v []uint32) {
+	e.u64(uint64(len(v)))
+	e.b = growBy(e.b, 4*len(v))
+	for _, x := range v {
+		e.b = binary.LittleEndian.AppendUint32(e.b, x)
+	}
+}
+func (e *enc) i32s(v []int32) {
+	e.u64(uint64(len(v)))
+	e.b = growBy(e.b, 4*len(v))
+	for _, x := range v {
+		e.b = binary.LittleEndian.AppendUint32(e.b, uint32(x))
+	}
+}
+func (e *enc) u64s(v []uint64) {
+	e.u64(uint64(len(v)))
+	e.b = growBy(e.b, 8*len(v))
+	for _, x := range v {
+		e.b = binary.LittleEndian.AppendUint64(e.b, x)
+	}
+}
+func (e *enc) i64s(v []int64) {
+	e.u64(uint64(len(v)))
+	e.b = growBy(e.b, 8*len(v))
+	for _, x := range v {
+		e.b = binary.LittleEndian.AppendUint64(e.b, uint64(x))
+	}
+}
+
+// growBy reserves capacity for n more bytes without changing the length,
+// so the append loops above never re-allocate mid-array.
+func growBy(b []byte, n int) []byte {
+	if cap(b)-len(b) >= n {
+		return b
+	}
+	nb := make([]byte, len(b), len(b)+n)
+	copy(nb, b)
+	return nb
+}
+
+// section is one encoded section awaiting assembly.
+type section struct {
+	typ     uint32
+	name    string
+	payload []byte
+}
+
+// Encode writes the artifact and returns its structural summary. The
+// graph section is mandatory; the orientation and any sketch sections
+// are written when present. Sketch kind order follows a.Kinds (resp.
+// a.OrientedKinds) when set, otherwise ascending kind value.
+func Encode(w io.Writer, a *Artifact) (*FileInfo, error) {
+	if a == nil || a.G == nil {
+		return nil, fmt.Errorf("pgio: encode needs an artifact with a graph")
+	}
+	n := a.G.NumVertices()
+	var sections []section
+
+	var ge enc
+	ge.u64(uint64(n))
+	ge.i64s(a.G.Offsets)
+	ge.u32s(a.G.Neigh)
+	sections = append(sections, section{secGraph, "graph", ge.b})
+
+	if a.O != nil {
+		if a.O.NumVertices() != n {
+			return nil, fmt.Errorf("pgio: orientation covers %d vertices, graph has %d", a.O.NumVertices(), n)
+		}
+		var oe enc
+		oe.u64(uint64(n))
+		oe.i64s(a.O.Offsets)
+		oe.u32s(a.O.Neigh)
+		oe.i32s(a.O.Rank)
+		sections = append(sections, section{secOriented, "oriented", oe.b})
+	}
+
+	for _, pgs := range []struct {
+		role  uint8
+		kinds []core.Kind
+		m     map[core.Kind]*core.PG
+	}{
+		{roleFull, a.Kinds, a.PGs},
+		{roleOriented, a.OrientedKinds, a.OrientedPGs},
+	} {
+		order, err := kindOrder(pgs.kinds, pgs.m)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range order {
+			pg := pgs.m[k]
+			if pg.NumVertices() != n {
+				return nil, fmt.Errorf("pgio: %v sketches cover %d vertices, graph has %d", k, pg.NumVertices(), n)
+			}
+			sections = append(sections, section{
+				secPG, sectionName(secPG, pgs.role, k), encodePG(pg, pgs.role),
+			})
+		}
+	}
+
+	data, info := assemble(sections)
+	if _, err := w.Write(data); err != nil {
+		return nil, fmt.Errorf("pgio: writing artifact: %w", err)
+	}
+	return info, nil
+}
+
+// assemble lays out header, section table and payloads into one buffer.
+// Offsets are from file start; CRCs cover each payload, and the header
+// CRC covers the table.
+func assemble(sections []section) ([]byte, *FileInfo) {
+	info := &FileInfo{Version: Version}
+	offset := uint64(headerBytes + tableEntryBytes*len(sections))
+	var table enc
+	for _, s := range sections {
+		crc := crc32.Checksum(s.payload, castagnoli)
+		table.u32(s.typ)
+		table.u32(crc)
+		table.u64(offset)
+		table.u64(uint64(len(s.payload)))
+		table.u64(0) // reserved
+		info.Sections = append(info.Sections, SectionInfo{Name: s.name, Bytes: int64(len(s.payload)), CRC: crc})
+		offset += uint64(len(s.payload))
+	}
+	var out enc
+	out.u32(Magic)
+	out.u32(Version)
+	out.u32(uint32(len(sections)))
+	out.u32(crc32.Checksum(table.b, castagnoli))
+	out.u64(0) // reserved
+	out.b = append(out.b, table.b...)
+	for _, s := range sections {
+		out.b = append(out.b, s.payload...)
+	}
+	info.Bytes = int64(offset)
+	return out.b, info
+}
+
+// kindOrder resolves the section order of one sketch map: the explicit
+// order when given (every listed kind must be present, duplicates are
+// rejected), ascending kind value otherwise.
+func kindOrder(kinds []core.Kind, m map[core.Kind]*core.PG) ([]core.Kind, error) {
+	if len(kinds) == 0 {
+		out := make([]core.Kind, 0, len(m))
+		for k, pg := range m {
+			if pg == nil {
+				continue
+			}
+			out = append(out, k)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out, nil
+	}
+	seen := make(map[core.Kind]bool, len(kinds))
+	out := make([]core.Kind, 0, len(kinds))
+	for _, k := range kinds {
+		if seen[k] {
+			return nil, fmt.Errorf("pgio: duplicate sketch kind %v in artifact order", k)
+		}
+		seen[k] = true
+		if m[k] == nil {
+			return nil, fmt.Errorf("pgio: artifact order names %v but no such sketches are attached", k)
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// encodePG serializes one sketch set as a PG section payload: the fixed
+// configuration block, then every flat array with a count prefix. The
+// arrays are written exactly as core.Build laid them out, so decoding
+// reconstitutes a bit-identical PG without re-hashing anything.
+func encodePG(pg *core.PG, role uint8) []byte {
+	r := pg.Raw()
+	var e enc
+	e.u8(role)
+	e.u8(uint8(r.Cfg.Kind))
+	e.u8(uint8(r.Cfg.Est))
+	e.u8(boolByte(r.Cfg.StoreElems))
+	e.u8(r.HLLP)
+	e.u8(0)
+	e.u8(0)
+	e.u8(0) // reserved padding
+	e.u32(uint32(r.Cfg.NumHashes))
+	e.u32(uint32(r.Cfg.BloomBits))
+	e.u32(uint32(r.Cfg.K))
+	e.u32(uint32(r.Cfg.Workers)) // build provenance; inert after construction
+	e.f64(r.Cfg.Budget)
+	e.u64(r.Cfg.Seed)
+	e.i64(r.CSRBits)
+	e.u64(uint64(r.N))
+	e.i32s(r.Sizes)
+	e.u64s(r.Bits)
+	e.u64s(r.Sigs)
+	e.u64s(r.Hashes)
+	e.i32s(r.Lens)
+	e.u32s(r.Elems)
+	e.u8s(r.HLLReg)
+	return e.b
+}
+
+func boolByte(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}

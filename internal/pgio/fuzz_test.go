@@ -1,0 +1,142 @@
+package pgio
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"probgraph/internal/core"
+	"probgraph/internal/graph"
+)
+
+// FuzzArtifactRoundTrip drives the codec over randomized small graphs
+// and sketch configurations: whatever Build accepts must encode, decode
+// without error, and come back bit-identical. The graph is synthesized
+// from the fuzzed bytes as an edge list, so the space covers empty
+// graphs, isolated vertices, stars, and dense blobs alike.
+func FuzzArtifactRoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint8(2), int64(42), uint16(100), false, []byte{1, 2, 2, 3, 3, 1})
+	f.Add(uint8(1), uint8(1), int64(7), uint16(50), false, []byte{0, 1})
+	f.Add(uint8(2), uint8(3), int64(9), uint16(10), true, []byte{5, 6, 6, 7})
+	f.Add(uint8(3), uint8(2), int64(1), uint16(0), false, []byte{})
+	f.Add(uint8(4), uint8(4), int64(3), uint16(200), false, []byte{9, 9, 0, 9})
+	f.Fuzz(func(t *testing.T, kindB, budgetB uint8, seed int64, nCap uint16, storeElems bool, edgeBytes []byte) {
+		kind := core.Kind(int(kindB) % 5)
+		budget := 0.05 + float64(budgetB%20)/20.0 // (0, 1]
+		n := int(nCap)%256 + 1
+
+		edges := make([]graph.Edge, 0, len(edgeBytes)/2)
+		for i := 0; i+1 < len(edgeBytes); i += 2 {
+			edges = append(edges, graph.Edge{
+				U: uint32(edgeBytes[i]) % uint32(n),
+				V: uint32(edgeBytes[i+1]) % uint32(n),
+			})
+		}
+		g, err := graph.FromEdges(n, edges)
+		if err != nil {
+			t.Fatalf("FromEdges: %v", err)
+		}
+		cfg := core.Config{Kind: kind, Budget: budget, Seed: uint64(seed), StoreElems: storeElems}
+		pg, err := core.Build(g, cfg)
+		if err != nil {
+			t.Fatalf("Build(%v): %v", kind, err)
+		}
+		a := &Artifact{
+			G:     g,
+			O:     g.Orient(1),
+			Kinds: []core.Kind{kind},
+			PGs:   map[core.Kind]*core.PG{kind: pg},
+		}
+		var buf bytes.Buffer
+		if _, err := Encode(&buf, a); err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		got, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("Decode of our own encoding failed: %v", err)
+		}
+		if !reflect.DeepEqual(got.G.Offsets, a.G.Offsets) || !equalU32(got.G.Neigh, a.G.Neigh) {
+			t.Fatal("graph CSR changed across the round trip")
+		}
+		if !reflect.DeepEqual(got.O.Offsets, a.O.Offsets) || !equalU32(got.O.Neigh, a.O.Neigh) ||
+			!reflect.DeepEqual(got.O.Rank, a.O.Rank) {
+			t.Fatal("orientation changed across the round trip")
+		}
+		if !equalPG(pg, got.PGs[kind]) {
+			t.Fatalf("%v PG changed across the round trip", kind)
+		}
+	})
+}
+
+// FuzzDecodeNeverPanics throws arbitrary bytes at the decoder: every
+// outcome must be a clean (artifact, error) return. The corpus seeds a
+// valid artifact so mutation explores deep structure, not just headers.
+func FuzzDecodeNeverPanics(f *testing.F) {
+	g := graph.Complete(6)
+	pg, err := core.Build(g, core.Config{Kind: core.BF, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := Encode(&buf, &Artifact{G: g, PGs: map[core.Kind]*core.PG{core.BF: pg}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("PGAF"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, _, err := DecodeWithInfo(bytes.NewReader(data))
+		if err == nil && (a == nil || a.G == nil) {
+			t.Fatal("nil-error decode returned no graph")
+		}
+	})
+}
+
+// equalU32 compares slices treating nil and empty as equal (an empty
+// neighborhood has no bit content to differ on).
+func equalU32(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// equalPG is the nil/empty-insensitive bit-identity check used where
+// degenerate shapes (n = 0) can make Build allocate zero-length arrays
+// that decode as nil.
+func equalPG(a, b *core.PG) bool {
+	ra, rb := a.Raw(), b.Raw()
+	if ra.Cfg != rb.Cfg || ra.N != rb.N || ra.CSRBits != rb.CSRBits || ra.HLLP != rb.HLLP {
+		return false
+	}
+	eq32 := func(x, y []int32) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	eq64 := func(x, y []uint64) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return eq32(ra.Sizes, rb.Sizes) && eq64(ra.Bits, rb.Bits) && eq64(ra.Sigs, rb.Sigs) &&
+		eq64(ra.Hashes, rb.Hashes) && eq32(ra.Lens, rb.Lens) &&
+		equalU32(ra.Elems, rb.Elems) && bytes.Equal(ra.HLLReg, rb.HLLReg)
+}

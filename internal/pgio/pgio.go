@@ -1,0 +1,153 @@
+// Package pgio is the binary artifact layer of ProbGraph: a versioned
+// little-endian on-disk format for the derived state every other layer
+// consumes — the CSR graph, its orientation, and one fixed-stride sketch
+// set (core.PG) per representation — plus the row-level wire codec the
+// simulated distributed substrate ships fetches through.
+//
+// The paper's premise (§V–§VI, Table V) is that fixed-stride per-vertex
+// sketches are cheap to store and move; this package makes that literal.
+// An artifact holds the flat arrays exactly as they sit in memory, so
+// decoding is a memory-bandwidth operation: no edge-list parsing, no
+// re-hashing, no re-orientation. Decode(Encode(x)) is bit-identical to x
+// for every section and every sketch kind.
+//
+// File layout (all integers little-endian; see docs/FORMAT.md for the
+// normative specification):
+//
+//	header        magic "PGAF" | version u32 | section count u32 |
+//	              table CRC32-C u32 | reserved u64
+//	section table per section: type u32 | payload CRC32-C u32 |
+//	              offset u64 | length u64 | reserved u64
+//	payloads      concatenated section bodies
+//
+// Sections carry their own CRC32-C, so corruption is detected per
+// section before any content is interpreted. Unknown section types are
+// skipped (forward compatibility); version bumps are breaking and
+// refused. Every failure mode maps to one of the typed sentinel errors
+// below — decode never panics on hostile input.
+package pgio
+
+import (
+	"errors"
+	"hash/crc32"
+
+	"probgraph/internal/core"
+	"probgraph/internal/graph"
+)
+
+const (
+	// Magic identifies a ProbGraph artifact file: the bytes "PGAF".
+	Magic uint32 = 0x46414750
+	// Version is the current (and only) artifact format version.
+	Version uint32 = 1
+
+	headerBytes       = 24
+	tableEntryBytes   = 32
+	maxSections       = 1 << 10 // sanity cap: a header claiming more is corrupt
+	maxSectionPayload = 1 << 40 // sanity cap on one section's length
+
+	// Sanity caps on the PG configuration scalars that drive
+	// allocations not bounded by the payload itself (hash.NewFamily
+	// allocates NumHashes resp. K seeds). Real configs sit orders of
+	// magnitude below: the paper uses b=2 Bloom hashes, and K derives
+	// from the per-vertex storage budget. A file claiming more is
+	// hostile, not misconfigured.
+	maxNumHashes = 1 << 16
+	maxSketchK   = 1 << 16
+)
+
+// Section type codes.
+const (
+	secGraph    uint32 = 1 // CSR graph
+	secOriented uint32 = 2 // degree-ordered N+ orientation with rank
+	secPG       uint32 = 3 // one sketch set (role byte: full or oriented)
+)
+
+// PG section role byte.
+const (
+	roleFull     uint8 = 0 // full-neighborhood sketches (core.Build)
+	roleOriented uint8 = 1 // oriented N+ sketches (core.BuildOriented)
+)
+
+// castagnoli is the CRC32-C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Typed decode failures. Errors returned by Decode wrap exactly one of
+// these, so callers can dispatch with errors.Is.
+var (
+	// ErrBadMagic: the input is not a ProbGraph artifact at all.
+	ErrBadMagic = errors.New("pgio: bad magic (not a ProbGraph artifact)")
+	// ErrVersion: the artifact was written by an incompatible format version.
+	ErrVersion = errors.New("pgio: unsupported artifact version")
+	// ErrTruncated: the input ends before the structure it declares.
+	ErrTruncated = errors.New("pgio: truncated artifact")
+	// ErrChecksum: a section's payload does not match its recorded CRC.
+	ErrChecksum = errors.New("pgio: checksum mismatch")
+	// ErrCorrupt: a section decodes but contradicts itself (geometry or
+	// configuration drift, invalid CSR, duplicate or missing sections).
+	ErrCorrupt = errors.New("pgio: corrupt artifact")
+	// ErrMismatch: the artifact is internally consistent but does not
+	// provide what the caller asked for (e.g. a sketch kind that is not
+	// resident). Returned by consumers such as serve.OpenArtifact.
+	ErrMismatch = errors.New("pgio: artifact does not match the requested configuration")
+)
+
+// Artifact is the in-memory form of one artifact file: the graph,
+// optionally its orientation, and the resident sketch sets keyed by
+// representation. Kind order is preserved (Kinds[0] is the default a
+// serving snapshot restored from the artifact answers with).
+type Artifact struct {
+	G *graph.Graph
+	O *graph.Oriented // nil when the artifact carries no orientation
+
+	// Kinds lists the full-neighborhood sketch kinds in section order;
+	// PGs holds the sketches themselves.
+	Kinds []core.Kind
+	PGs   map[core.Kind]*core.PG
+
+	// OrientedKinds/OrientedPGs are the oriented (N+) sketch sets, used
+	// by the clique kernels; most artifacts carry none.
+	OrientedKinds []core.Kind
+	OrientedPGs   map[core.Kind]*core.PG
+}
+
+// SectionInfo describes one encoded section: its human-readable name
+// ("graph", "oriented", "pg:BF", "opg:BF"), payload size, and CRC.
+type SectionInfo struct {
+	Name  string `json:"name"`
+	Bytes int64  `json:"bytes"`
+	CRC   uint32 `json:"crc"`
+}
+
+// FileInfo is the artifact's structural summary: what pgpack prints and
+// what the serving layer surfaces in /v1/stats next to MemoryBytes.
+type FileInfo struct {
+	Version  uint32        `json:"version"`
+	Bytes    int64         `json:"bytes"` // total file size, header included
+	Sections []SectionInfo `json:"sections"`
+}
+
+// SectionBytes returns the per-section payload sizes keyed by name.
+func (fi *FileInfo) SectionBytes() map[string]int64 {
+	out := make(map[string]int64, len(fi.Sections))
+	for _, s := range fi.Sections {
+		out[s.Name] += s.Bytes
+	}
+	return out
+}
+
+// sectionName renders the Info name of a section.
+func sectionName(typ uint32, role uint8, kind core.Kind) string {
+	switch typ {
+	case secGraph:
+		return "graph"
+	case secOriented:
+		return "oriented"
+	case secPG:
+		if role == roleOriented {
+			return "opg:" + kind.String()
+		}
+		return "pg:" + kind.String()
+	}
+	return "unknown"
+}

@@ -1,0 +1,227 @@
+package pgio
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"probgraph/internal/core"
+	"probgraph/internal/graph"
+)
+
+// allKinds is every sketch representation the codec must round-trip.
+var allKinds = []core.Kind{core.BF, core.KHash, core.OneHash, core.KMV, core.HLL}
+
+// buildArtifact assembles a full artifact over one Kronecker graph: the
+// CSR, its orientation, one full-neighborhood PG per kind (1H with
+// stored elements, exercising the aligned element array), and one
+// oriented BF PG.
+func buildArtifact(t *testing.T) *Artifact {
+	t.Helper()
+	g := graph.Kronecker(9, 8, 5)
+	o := g.Orient(0)
+	a := &Artifact{
+		G: g, O: o,
+		PGs:         make(map[core.Kind]*core.PG),
+		OrientedPGs: make(map[core.Kind]*core.PG),
+	}
+	for _, k := range allKinds {
+		cfg := core.Config{Kind: k, Budget: 0.25, Seed: 99}
+		if k == core.OneHash {
+			cfg.StoreElems = true
+		}
+		pg, err := core.Build(g, cfg)
+		if err != nil {
+			t.Fatalf("build %v: %v", k, err)
+		}
+		a.PGs[k] = pg
+		a.Kinds = append(a.Kinds, k)
+	}
+	opg, err := core.BuildOriented(o, g.SizeBits(), core.Config{Kind: core.BF, Budget: 0.25, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.OrientedPGs[core.BF] = opg
+	a.OrientedKinds = []core.Kind{core.BF}
+	return a
+}
+
+// TestRoundTripBitIdentity is the tentpole contract: for every sketch
+// kind, Decode(Encode(pg)) is bit-identical to the source PG — same
+// arrays, same configuration, same re-derived hash family — and the
+// graph and orientation survive untouched.
+func TestRoundTripBitIdentity(t *testing.T) {
+	a := buildArtifact(t)
+	var buf bytes.Buffer
+	info, err := Encode(&buf, a)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if info.Bytes != int64(buf.Len()) {
+		t.Fatalf("FileInfo.Bytes = %d, wrote %d", info.Bytes, buf.Len())
+	}
+	got, gotInfo, err := DecodeWithInfo(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(info, gotInfo) {
+		t.Fatalf("decode FileInfo %+v differs from encode-side %+v", gotInfo, info)
+	}
+
+	if !reflect.DeepEqual(got.G.Offsets, a.G.Offsets) || !reflect.DeepEqual(got.G.Neigh, a.G.Neigh) {
+		t.Fatal("decoded graph CSR differs")
+	}
+	if !reflect.DeepEqual(got.O, a.O) {
+		t.Fatal("decoded orientation differs")
+	}
+	if !reflect.DeepEqual(got.Kinds, a.Kinds) {
+		t.Fatalf("decoded kind order %v, want %v", got.Kinds, a.Kinds)
+	}
+	for _, k := range allKinds {
+		if !reflect.DeepEqual(got.PGs[k], a.PGs[k]) {
+			t.Fatalf("%v: decoded PG is not bit-identical to the source", k)
+		}
+		// Behavioral identity on top of structural: the decoded sketches
+		// answer the hot-path estimator exactly like the originals.
+		n := uint32(a.G.NumVertices())
+		for i := uint32(0); i < 64; i++ {
+			u, v := (i*37)%n, (i*101+13)%n
+			if a.PGs[k].IntCard(u, v) != got.PGs[k].IntCard(u, v) {
+				t.Fatalf("%v: IntCard(%d,%d) differs after round trip", k, u, v)
+			}
+		}
+	}
+	if !reflect.DeepEqual(got.OrientedPGs[core.BF], a.OrientedPGs[core.BF]) {
+		t.Fatal("oriented BF sketches are not bit-identical after round trip")
+	}
+}
+
+// TestDecodeMatchesFreshBuild asserts the other direction of identity:
+// a decoded PG equals a from-scratch core.Build with the same
+// configuration — decoding really is a substitute for rebuilding.
+func TestDecodeMatchesFreshBuild(t *testing.T) {
+	a := buildArtifact(t)
+	var buf bytes.Buffer
+	if _, err := Encode(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range allKinds {
+		fresh, err := core.Build(got.G, got.PGs[k].Cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fresh, got.PGs[k]) {
+			t.Fatalf("%v: decoded PG differs from a fresh build of the same config", k)
+		}
+	}
+}
+
+// TestInfoSections pins the structural summary: section names, the
+// payload-size accounting, and SectionBytes.
+func TestInfoSections(t *testing.T) {
+	a := buildArtifact(t)
+	var buf bytes.Buffer
+	info, err := Encode(&buf, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames := []string{"graph", "oriented", "pg:BF", "pg:kH", "pg:1H", "pg:KMV", "pg:HLL", "opg:BF"}
+	if len(info.Sections) != len(wantNames) {
+		t.Fatalf("%d sections, want %d", len(info.Sections), len(wantNames))
+	}
+	var payload int64
+	for i, s := range info.Sections {
+		if s.Name != wantNames[i] {
+			t.Fatalf("section %d is %q, want %q", i, s.Name, wantNames[i])
+		}
+		if s.Bytes <= 0 {
+			t.Fatalf("section %q has non-positive size %d", s.Name, s.Bytes)
+		}
+		payload += s.Bytes
+	}
+	overhead := int64(headerBytes + tableEntryBytes*len(info.Sections))
+	if payload+overhead != info.Bytes {
+		t.Fatalf("payload %d + overhead %d != file size %d", payload, overhead, info.Bytes)
+	}
+	if got := info.SectionBytes()["pg:BF"]; got != info.Sections[2].Bytes {
+		t.Fatalf("SectionBytes[pg:BF] = %d, want %d", got, info.Sections[2].Bytes)
+	}
+}
+
+// TestGraphOnlyArtifact covers the minimal artifact (no orientation, no
+// sketches) and the empty graph corner.
+func TestGraphOnlyArtifact(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Complete(5),
+		mustGraph(t, 0, nil),
+		mustGraph(t, 3, nil), // vertices, no edges
+	} {
+		var buf bytes.Buffer
+		if _, err := Encode(&buf, &Artifact{G: g}); err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		got, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if got.G.NumVertices() != g.NumVertices() || got.G.NumEdges() != g.NumEdges() {
+			t.Fatalf("decoded shape (%d,%d), want (%d,%d)",
+				got.G.NumVertices(), got.G.NumEdges(), g.NumVertices(), g.NumEdges())
+		}
+		if got.O != nil || len(got.Kinds) != 0 {
+			t.Fatal("minimal artifact decoded with phantom sections")
+		}
+	}
+}
+
+func mustGraph(t *testing.T, n int, edges []graph.Edge) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestNeighborhoodRowCodec round-trips the dist wire encoding of raw
+// CSR neighborhoods.
+func TestNeighborhoodRowCodec(t *testing.T) {
+	for _, list := range [][]uint32{nil, {7}, {1, 2, 3, 500000}} {
+		b := AppendNeighborhood(nil, list)
+		if len(b) != 4+4*len(list) {
+			t.Fatalf("encoded %d elements into %d bytes", len(list), len(b))
+		}
+		got, err := DecodeNeighborhood(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, list) && !(len(got) == 0 && len(list) == 0) {
+			t.Fatalf("round trip %v -> %v", list, got)
+		}
+	}
+	if _, err := DecodeNeighborhood(nil); err == nil {
+		t.Fatal("empty payload must fail")
+	}
+	if _, err := DecodeNeighborhood([]byte{9, 0, 0, 0, 1}); err == nil {
+		t.Fatal("count/length mismatch must fail")
+	}
+}
+
+// TestSketchRowSize pins SketchRowSize == len(AppendSketchRow) for
+// every kind and a spread of vertices — the accounting dist relies on.
+func TestSketchRowSize(t *testing.T) {
+	a := buildArtifact(t)
+	for _, k := range allKinds {
+		pg := a.PGs[k]
+		for v := uint32(0); v < uint32(pg.NumVertices()); v += 17 {
+			b := AppendSketchRow(nil, pg, v)
+			if len(b) != SketchRowSize(pg, v) {
+				t.Fatalf("%v row %d: encoded %d bytes, SketchRowSize says %d", k, v, len(b), SketchRowSize(pg, v))
+			}
+		}
+	}
+}

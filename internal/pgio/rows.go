@@ -1,0 +1,100 @@
+package pgio
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"probgraph/internal/core"
+)
+
+// This file is the row-level wire codec: the per-vertex payloads the
+// §VIII-F distributed protocols actually put on the wire. internal/dist
+// used to *declare* payload sizes from a formula; it now encodes rows
+// through these functions and accounts len() of the produced bytes, so
+// NetStats is measured, not estimated. Rows are self-delimiting (count
+// and length prefixes are explicit) — the honest cost of a payload a
+// receiver can decode without out-of-band context.
+
+// AppendNeighborhood appends the wire form of one raw CSR neighborhood:
+// u32 element count followed by the sorted u32 vertex IDs.
+func AppendNeighborhood(dst []byte, list []uint32) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(list)))
+	dst = growBy(dst, 4*len(list))
+	for _, v := range list {
+		dst = binary.LittleEndian.AppendUint32(dst, v)
+	}
+	return dst
+}
+
+// DecodeNeighborhood parses a payload written by AppendNeighborhood.
+func DecodeNeighborhood(b []byte) ([]uint32, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("pgio: neighborhood payload is %d bytes, shorter than its count prefix: %w", len(b), ErrCorrupt)
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	if len(b) != 4+4*n {
+		return nil, fmt.Errorf("pgio: neighborhood payload is %d bytes, count prefix says %d elements: %w", len(b), n, ErrCorrupt)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[4+4*i:])
+	}
+	return out, nil
+}
+
+// AppendSketchRow appends the wire form of vertex v's sketch row: the
+// u32 exact set cardinality (the estimators and the cardinality clamp
+// consume |N_v|, which e.g. a Bloom row does not encode), then the
+// kind-specific payload —
+//
+//   - BF: the fixed-size filter words;
+//   - kH: the K signature slots;
+//   - 1H/KMV: u32 occupied-prefix length, the sorted hashes, and the
+//     aligned element IDs when the sketch stores them;
+//   - HLL: the 2^p registers.
+func AppendSketchRow(dst []byte, pg *core.PG, v uint32) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(pg.SetSize(v)))
+	switch pg.Cfg.Kind {
+	case core.BF:
+		row := pg.BloomRow(v)
+		dst = growBy(dst, 8*len(row))
+		for _, w := range row {
+			dst = binary.LittleEndian.AppendUint64(dst, w)
+		}
+	case core.KHash:
+		row := pg.KHashRow(v)
+		dst = growBy(dst, 8*len(row))
+		for _, s := range row {
+			dst = binary.LittleEndian.AppendUint64(dst, s)
+		}
+	case core.OneHash, core.KMV:
+		row := pg.BottomKRow(v)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(row.Hashes)))
+		dst = growBy(dst, 8*len(row.Hashes)+4*len(row.Elems))
+		for _, h := range row.Hashes {
+			dst = binary.LittleEndian.AppendUint64(dst, h)
+		}
+		for _, e := range row.Elems {
+			dst = binary.LittleEndian.AppendUint32(dst, e)
+		}
+	case core.HLL:
+		dst = append(dst, pg.HLLRow(v)...)
+	}
+	return dst
+}
+
+// SketchRowSize returns len(AppendSketchRow(nil, pg, v)) without
+// encoding — the measured wire size of one sketch row.
+func SketchRowSize(pg *core.PG, v uint32) int {
+	const card = 4
+	switch pg.Cfg.Kind {
+	case core.BF, core.KHash, core.HLL:
+		return card + pg.RowBytes(v)
+	case core.OneHash, core.KMV:
+		return card + 4 + pg.RowBytes(v) // explicit prefix-length field
+	}
+	return card
+}

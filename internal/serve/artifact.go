@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+
+	"probgraph/internal/core"
+	"probgraph/internal/pgio"
+)
+
+// This file is the warm-start path of the serving layer: Save writes a
+// snapshot's derived state (graph, orientation, every resident sketch
+// set) as a pgio artifact, and OpenArtifact boots a snapshot straight
+// from one — no edge-list parsing, no re-orientation, no re-sketching.
+// A server restarted from an artifact answers every query bit-for-bit
+// like the server that wrote it.
+
+// Save writes the snapshot as a binary artifact: the CSR graph, the
+// orientation, and one PG section per resident sketch kind, in the
+// snapshot's kind order (so the restored default kind matches). The
+// returned FileInfo carries per-section sizes and CRCs.
+func (s *Snapshot) Save(w io.Writer) (*pgio.FileInfo, error) {
+	a := &pgio.Artifact{
+		G:     s.G,
+		O:     s.O,
+		Kinds: s.kinds,
+		PGs:   s.pgs,
+	}
+	info, err := pgio.Encode(w, a)
+	if err != nil {
+		return nil, fmt.Errorf("serve: saving snapshot: %w", err)
+	}
+	return info, nil
+}
+
+// OpenArtifact boots a snapshot from an artifact written by Save (or by
+// pgpack): the decoded orientation and sketches are installed into a
+// fresh Session, so the only work is IO and validation. cfg.Kinds
+// selects which resident kinds to serve (default: all, in artifact
+// order; a requested kind the artifact does not carry is refused with
+// pgio.ErrMismatch). Sketch geometry, seed, and estimator come from the
+// artifact itself — of cfg, only Kinds, Workers, and a non-auto Est
+// override are honored, since everything else is already baked into the
+// stored bits.
+func OpenArtifact(r io.Reader, cfg SnapshotConfig) (*Snapshot, error) {
+	a, info, err := pgio.DecodeWithInfo(r)
+	if err != nil {
+		return nil, err
+	}
+	return OpenDecoded(a, info, cfg)
+}
+
+// OpenDecoded is OpenArtifact over an already-decoded artifact — the
+// path for callers (pgserve) that decode once and reuse the result for
+// both serving and streaming restart. info may be nil; when set it is
+// surfaced as the snapshot's Artifact summary.
+func OpenDecoded(a *pgio.Artifact, info *pgio.FileInfo, cfg SnapshotConfig) (*Snapshot, error) {
+	restored, err := ConfigFromArtifact(a, cfg)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := OpenWith(a.G, restored, a.O, a.PGs)
+	if err != nil {
+		return nil, err
+	}
+	snap.Artifact = info
+	return snap, nil
+}
+
+// ConfigFromArtifact derives the SnapshotConfig a decoded artifact
+// serves under: build parameters (budget, hash count, element storage)
+// and seed from the artifact's sketches — so anything built lazily later
+// derives the same geometry the resident sketches carry — kind order
+// from base.Kinds when set (validated against residency) else the
+// artifact's section order, workers from base, and base.Est overriding
+// the stored estimator when non-auto (the estimator is query-time
+// dispatch, not stored bits, so overriding it is safe). Also used by the
+// streaming restart path, which rebuilds a DynamicGraph around the same
+// state.
+func ConfigFromArtifact(a *pgio.Artifact, base SnapshotConfig) (SnapshotConfig, error) {
+	if len(a.Kinds) == 0 {
+		return SnapshotConfig{}, fmt.Errorf("serve: artifact carries no sketch sections: %w", pgio.ErrMismatch)
+	}
+	kinds := base.Kinds
+	if len(kinds) == 0 {
+		kinds = a.Kinds
+	}
+	for _, k := range kinds {
+		if a.PGs[k] == nil {
+			return SnapshotConfig{}, fmt.Errorf("serve: sketch kind %v not resident in artifact (has %v): %w",
+				k, a.Kinds, pgio.ErrMismatch)
+		}
+	}
+	ref := a.PGs[kinds[0]].Cfg
+	for _, k := range kinds[1:] {
+		c := a.PGs[k].Cfg
+		if c.Seed != ref.Seed || c.Budget != ref.Budget || c.NumHashes != ref.NumHashes || c.StoreElems != ref.StoreElems {
+			return SnapshotConfig{}, fmt.Errorf("serve: artifact sketches disagree on build parameters (%v vs %v): %w",
+				kinds[0], k, pgio.ErrMismatch)
+		}
+	}
+	est := ref.Est
+	if base.Est != core.EstAuto {
+		est = base.Est
+		for _, k := range kinds {
+			a.PGs[k].Cfg.Est = est // query-time dispatch follows the override
+		}
+	}
+	return SnapshotConfig{
+		Kinds:      kinds,
+		Est:        est,
+		Budget:     ref.Budget,
+		NumHashes:  ref.NumHashes,
+		StoreElems: ref.StoreElems,
+		Seed:       ref.Seed,
+		Workers:    base.Workers,
+	}, nil
+}

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"probgraph/internal/core"
+	"probgraph/internal/graph"
+	"probgraph/internal/pgio"
+)
+
+// TestOpenArtifactAnswersIdentically is the warm-start contract: a
+// server booted from an artifact answers every query class exactly like
+// the server that wrote the artifact — same TC estimate, same point
+// answers, same default kind.
+func TestOpenArtifactAnswersIdentically(t *testing.T) {
+	cold := testSnapshot(t, core.BF, core.OneHash, core.KMV)
+	var buf bytes.Buffer
+	info, err := cold.Save(&buf)
+	if err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if info.Bytes != int64(buf.Len()) {
+		t.Fatalf("Save reported %d bytes, wrote %d", info.Bytes, buf.Len())
+	}
+	warm, err := OpenArtifact(bytes.NewReader(buf.Bytes()), SnapshotConfig{Workers: 4})
+	if err != nil {
+		t.Fatalf("OpenArtifact: %v", err)
+	}
+	if warm.DefaultKind() != cold.DefaultKind() {
+		t.Fatalf("default kind %v after restore, want %v", warm.DefaultKind(), cold.DefaultKind())
+	}
+	if len(warm.Kinds()) != len(cold.Kinds()) {
+		t.Fatalf("restored %v kinds, want %v", warm.Kinds(), cold.Kinds())
+	}
+
+	ec := newTestEngine(t, cold)
+	ew := newTestEngine(t, warm)
+	n := uint32(cold.G.NumVertices())
+	queries := []Query{
+		{Op: OpTC},
+		{Op: OpTC, Kind: "1H"},
+		{Op: OpLocalTC, U: 3},
+		{Op: OpNeighbors, U: 5},
+		{Op: OpTopK, U: 2, K: 5},
+	}
+	for i := uint32(0); i < 40; i++ {
+		queries = append(queries,
+			Query{Op: OpSimilarity, U: (i * 37) % n, V: (i*101 + 13) % n},
+			Query{Op: OpSimilarity, U: (i * 37) % n, V: (i*101 + 13) % n, Kind: "KMV"},
+		)
+	}
+	for _, q := range queries {
+		rc, err := ec.Query(q)
+		if err != nil {
+			t.Fatalf("cold %v: %v", q, err)
+		}
+		rw, err := ew.Query(q)
+		if err != nil {
+			t.Fatalf("warm %v: %v", q, err)
+		}
+		if rc.Value != rw.Value || len(rc.TopK) != len(rw.TopK) || len(rc.Neighbors) != len(rw.Neighbors) {
+			t.Fatalf("%v: warm answer %+v differs from cold %+v", q, rw, rc)
+		}
+		for i := range rc.TopK {
+			if rc.TopK[i] != rw.TopK[i] {
+				t.Fatalf("%v: topk[%d] differs: %+v vs %+v", q, i, rw.TopK[i], rc.TopK[i])
+			}
+		}
+	}
+}
+
+// TestOpenArtifactKindSelection covers subsetting and mismatch: serving
+// a subset of resident kinds works, a kind the artifact lacks is a
+// typed ErrMismatch.
+func TestOpenArtifactKindSelection(t *testing.T) {
+	cold := testSnapshot(t, core.BF, core.OneHash)
+	var buf bytes.Buffer
+	if _, err := cold.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := OpenArtifact(bytes.NewReader(buf.Bytes()), SnapshotConfig{Kinds: []core.Kind{core.OneHash}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.DefaultKind() != core.OneHash || len(sub.Kinds()) != 1 {
+		t.Fatalf("subset restore got kinds %v", sub.Kinds())
+	}
+	_, err = OpenArtifact(bytes.NewReader(buf.Bytes()), SnapshotConfig{Kinds: []core.Kind{core.HLL}})
+	if !errors.Is(err, pgio.ErrMismatch) {
+		t.Fatalf("missing kind must be ErrMismatch, got %v", err)
+	}
+}
+
+// TestOpenArtifactRejectsSketchless pins the no-sketch case: a
+// graph-only artifact cannot boot a serving snapshot.
+func TestOpenArtifactRejectsSketchless(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := pgio.Encode(&buf, &pgio.Artifact{G: graph.Complete(8)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenArtifact(bytes.NewReader(buf.Bytes()), SnapshotConfig{}); !errors.Is(err, pgio.ErrMismatch) {
+		t.Fatalf("sketchless artifact must be ErrMismatch, got %v", err)
+	}
+}
+
+// TestStatsArtifactField asserts the /v1/stats surfacing: an
+// artifact-booted engine reports total and per-section artifact bytes
+// alongside the resident SketchBytes; a from-scratch engine omits them.
+func TestStatsArtifactField(t *testing.T) {
+	cold := testSnapshot(t, core.BF)
+	if s := newTestEngine(t, cold).Stats(); s.Artifact != nil {
+		t.Fatalf("from-scratch snapshot reports artifact stats %+v", s.Artifact)
+	}
+	var buf bytes.Buffer
+	if _, err := cold.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	size := int64(buf.Len())
+	warm, err := OpenArtifact(bytes.NewReader(buf.Bytes()), SnapshotConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestEngine(t, warm).Stats()
+	if s.Artifact == nil {
+		t.Fatal("artifact-booted snapshot reports no artifact stats")
+	}
+	if s.Artifact.Bytes != size {
+		t.Fatalf("artifact bytes %d, file is %d", s.Artifact.Bytes, size)
+	}
+	for _, sec := range []string{"graph", "oriented", "pg:BF"} {
+		if s.Artifact.Sections[sec] <= 0 {
+			t.Fatalf("section %q missing from artifact stats %+v", sec, s.Artifact.Sections)
+		}
+	}
+	if len(s.SketchBytes) == 0 || s.SketchBytes["BF"] <= 0 {
+		t.Fatalf("resident sketch bytes lost on warm start: %+v", s.SketchBytes)
+	}
+}

@@ -202,11 +202,13 @@ type Engine struct {
 	cache *lru
 	b     *batcher
 
-	ingest              atomic.Pointer[Ingestor]
-	swaps               atomic.Int64
-	ingestOK, ingestErr atomic.Int64
-	opCounts            [opMax]countErr
-	start               time.Time
+	ingest                atomic.Pointer[Ingestor]
+	swaps                 atomic.Int64
+	ingestOK, ingestErr   atomic.Int64
+	persistOK, persistErr atomic.Int64
+	lastPersistErr        atomic.Pointer[string]
+	opCounts              [opMax]countErr
+	start                 time.Time
 }
 
 // countErr pairs per-op served/error counters.

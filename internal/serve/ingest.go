@@ -28,15 +28,21 @@ type Ingestor interface {
 }
 
 // IngestResult reports one applied batch: the epoch it produced, the
-// post-batch graph shape, how many mutations took effect, and the
-// freeze+swap latency the batch paid.
+// post-batch graph shape, how many mutations took effect, the
+// freeze+swap latency the batch paid, and — when the DynamicGraph has a
+// persist hook — whether this epoch made it to durable storage. A
+// persist failure does not fail the batch (the epoch is live in
+// memory), but it must be visible: PersistErr carries the failure and
+// the engine counts it into /v1/stats.
 type IngestResult struct {
-	Epoch    uint64  `json:"epoch"`
-	Vertices int     `json:"vertices"`
-	Edges    int     `json:"edges"`
-	Added    int     `json:"added"`
-	Removed  int     `json:"removed"`
-	BuildMS  float64 `json:"build_ms"`
+	Epoch      uint64  `json:"epoch"`
+	Vertices   int     `json:"vertices"`
+	Edges      int     `json:"edges"`
+	Added      int     `json:"added"`
+	Removed    int     `json:"removed"`
+	BuildMS    float64 `json:"build_ms"`
+	Persisted  bool    `json:"persisted,omitempty"`
+	PersistErr string  `json:"persist_err,omitempty"`
 }
 
 // WireIngest is the JSON request body of POST /v1/ingest: edge pairs to
@@ -90,8 +96,22 @@ func (e *Engine) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	e.ingestOK.Add(1)
+	e.countPersist(res)
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(res)
+}
+
+// countPersist folds one batch's durable-epoch outcome into the
+// engine's persist counters (see Stats.Persist).
+func (e *Engine) countPersist(res IngestResult) {
+	switch {
+	case res.PersistErr != "":
+		e.persistErr.Add(1)
+		msg := res.PersistErr
+		e.lastPersistErr.Store(&msg)
+	case res.Persisted:
+		e.persistOK.Add(1)
+	}
 }
 
 // HTTPIngestDoer returns a function that round-trips edge batches

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"probgraph/internal/graph"
+)
+
+// persistingIngestor stubs a durable-epoch feeder: every batch succeeds,
+// but the persist hook's outcome is scripted per call.
+type persistingIngestor struct {
+	epoch uint64
+	errs  []string // per-call persist error ("" = persisted cleanly)
+}
+
+func (p *persistingIngestor) Ingest(add, del []graph.Edge) (IngestResult, error) {
+	p.epoch++
+	res := IngestResult{Epoch: p.epoch, Added: len(add)}
+	i := int(p.epoch) - 1
+	if i < len(p.errs) && p.errs[i] != "" {
+		res.PersistErr = p.errs[i]
+	} else {
+		res.Persisted = true
+	}
+	return res, nil
+}
+
+// TestPersistCountersInStats is the satellite-fix contract: epoch
+// persist failures, previously unreportable, now flow through the
+// Ingestor result into /v1/stats — successes and failures counted, the
+// last failure message retained.
+func TestPersistCountersInStats(t *testing.T) {
+	g := graph.Kronecker(7, 8, 3)
+	s, err := Open(g, SnapshotConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(s, Options{Workers: 2})
+	defer e.Close()
+	e.EnableIngest(&persistingIngestor{errs: []string{"", "disk full", ""}})
+	srv := httptest.NewServer(Handler(e))
+	defer srv.Close()
+
+	do := HTTPIngestDoer(srv.Client(), srv.URL)
+	var results []IngestResult
+	for i := 0; i < 3; i++ {
+		res, err := do([]graph.Edge{{U: 0, V: uint32(i + 1)}}, nil)
+		if err != nil {
+			t.Fatalf("ingest %d: %v", i, err)
+		}
+		results = append(results, res)
+	}
+	if !results[0].Persisted || results[0].PersistErr != "" {
+		t.Fatalf("batch 0 should persist cleanly: %+v", results[0])
+	}
+	if results[1].Persisted || results[1].PersistErr != "disk full" {
+		t.Fatalf("batch 1 must report its persist failure over the wire: %+v", results[1])
+	}
+
+	st := e.Stats()
+	if st.Ingest.OK != 3 || st.Ingest.Errors != 0 {
+		t.Fatalf("ingest counters %+v", st.Ingest)
+	}
+	if st.Persist.OK != 2 || st.Persist.Errors != 1 {
+		t.Fatalf("persist counters %+v, want 2 ok / 1 error", st.Persist)
+	}
+	if st.LastPersistError != "disk full" {
+		t.Fatalf("last persist error %q, want %q", st.LastPersistError, "disk full")
+	}
+}

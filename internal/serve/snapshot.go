@@ -7,6 +7,7 @@ import (
 
 	"probgraph/internal/core"
 	"probgraph/internal/graph"
+	"probgraph/internal/pgio"
 	"probgraph/internal/session"
 )
 
@@ -45,6 +46,12 @@ type Snapshot struct {
 	G     *graph.Graph
 	O     *graph.Oriented
 	Cfg   SnapshotConfig
+
+	// Artifact is the structural summary of the binary artifact this
+	// snapshot was restored from (OpenArtifact sets it; nil for
+	// snapshots built from scratch). Surfaced in /v1/stats so operators
+	// can see what the warm start cost on disk and on the wire.
+	Artifact *pgio.FileInfo
 
 	sess  *session.Session // base Session, configured for kinds[0]
 	kinds []core.Kind      // deduplicated build order; kinds[0] = default

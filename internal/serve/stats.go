@@ -40,24 +40,35 @@ type OpStats struct {
 	Errors int64 `json:"errors"`
 }
 
+// ArtifactStats reports the binary artifact a snapshot was restored
+// from: total file size and per-section payload bytes — the on-disk
+// counterpart of the resident SketchBytes.
+type ArtifactStats struct {
+	Bytes    int64            `json:"bytes"`
+	Sections map[string]int64 `json:"sections"`
+}
+
 // Stats is the /v1/stats payload: snapshot shape, resident sketch
 // memory, cache and batcher effectiveness, per-op traffic, and the
 // streaming counters (current epoch, hot-swaps performed, ingest
-// traffic).
+// traffic, durable-epoch persist outcomes).
 type Stats struct {
-	Epoch       uint64             `json:"epoch"`
-	Swaps       int64              `json:"swaps"`
-	Ingest      OpStats            `json:"ingest"`
-	Vertices    int                `json:"vertices"`
-	Edges       int                `json:"edges"`
-	Kinds       []string           `json:"kinds"`
-	DefaultKind string             `json:"default_kind"`
-	CSRBytes    int64              `json:"csr_bytes"`
-	SketchBytes map[string]int64   `json:"sketch_bytes"`
-	Cache       CacheStats         `json:"cache"`
-	Batch       BatchStats         `json:"batch"`
-	Ops         map[string]OpStats `json:"ops"`
-	UptimeSec   float64            `json:"uptime_sec"`
+	Epoch            uint64             `json:"epoch"`
+	Swaps            int64              `json:"swaps"`
+	Ingest           OpStats            `json:"ingest"`
+	Persist          OpStats            `json:"persist"`
+	LastPersistError string             `json:"last_persist_error,omitempty"`
+	Vertices         int                `json:"vertices"`
+	Edges            int                `json:"edges"`
+	Kinds            []string           `json:"kinds"`
+	DefaultKind      string             `json:"default_kind"`
+	CSRBytes         int64              `json:"csr_bytes"`
+	SketchBytes      map[string]int64   `json:"sketch_bytes"`
+	Artifact         *ArtifactStats     `json:"artifact,omitempty"`
+	Cache            CacheStats         `json:"cache"`
+	Batch            BatchStats         `json:"batch"`
+	Ops              map[string]OpStats `json:"ops"`
+	UptimeSec        float64            `json:"uptime_sec"`
 }
 
 // Stats snapshots the engine's counters.
@@ -67,6 +78,7 @@ func (e *Engine) Stats() Stats {
 		Epoch:       sv.snap.Epoch,
 		Swaps:       e.swaps.Load(),
 		Ingest:      OpStats{OK: e.ingestOK.Load(), Errors: e.ingestErr.Load()},
+		Persist:     OpStats{OK: e.persistOK.Load(), Errors: e.persistErr.Load()},
 		Vertices:    sv.snap.G.NumVertices(),
 		Edges:       sv.snap.G.NumEdges(),
 		DefaultKind: sv.snap.DefaultKind().String(),
@@ -85,6 +97,12 @@ func (e *Engine) Stats() Stats {
 		},
 		Ops:       make(map[string]OpStats, int(opMax)),
 		UptimeSec: time.Since(e.start).Seconds(),
+	}
+	if msg := e.lastPersistErr.Load(); msg != nil {
+		s.LastPersistError = *msg
+	}
+	if fi := sv.snap.Artifact; fi != nil {
+		s.Artifact = &ArtifactStats{Bytes: fi.Bytes, Sections: fi.SectionBytes()}
 	}
 	for _, k := range sv.snap.kinds {
 		s.Kinds = append(s.Kinds, k.String())

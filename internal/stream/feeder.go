@@ -24,7 +24,10 @@ func NewFeeder(d *DynamicGraph, e *serve.Engine) *Feeder {
 	return &Feeder{d: d, e: e}
 }
 
-// Ingest implements serve.Ingestor: apply → freeze → swap.
+// Ingest implements serve.Ingestor: apply → freeze (+persist) → swap.
+// A persist-hook failure does not fail the batch — the epoch is live in
+// memory — but it is reported in the result, so the HTTP layer's stats
+// and the ingesting client both see that durability lagged.
 func (f *Feeder) Ingest(add, del []graph.Edge) (serve.IngestResult, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -33,19 +36,24 @@ func (f *Feeder) Ingest(add, del []graph.Edge) (serve.IngestResult, error) {
 	if err != nil {
 		return serve.IngestResult{}, err
 	}
-	snap, err := f.d.Freeze()
+	snap, ps, err := f.d.FreezePersist()
 	if err != nil {
 		return serve.IngestResult{}, err
 	}
 	if _, err := f.e.Swap(snap); err != nil {
 		return serve.IngestResult{}, err
 	}
-	return serve.IngestResult{
-		Epoch:    snap.Epoch,
-		Vertices: snap.G.NumVertices(),
-		Edges:    snap.G.NumEdges(),
-		Added:    st.Added,
-		Removed:  st.Removed,
-		BuildMS:  float64(time.Since(t0)) / float64(time.Millisecond),
-	}, nil
+	res := serve.IngestResult{
+		Epoch:     snap.Epoch,
+		Vertices:  snap.G.NumVertices(),
+		Edges:     snap.G.NumEdges(),
+		Added:     st.Added,
+		Removed:   st.Removed,
+		BuildMS:   float64(time.Since(t0)) / float64(time.Millisecond),
+		Persisted: ps.Attempted && ps.Err == nil,
+	}
+	if ps.Err != nil {
+		res.PersistErr = ps.Err.Error()
+	}
+	return res, nil
 }

@@ -1,0 +1,46 @@
+package stream
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"probgraph/internal/serve"
+)
+
+// PersistFile returns the canonical durable-epoch hook for SetPersist:
+// each frozen snapshot is written as a pgio artifact to path, via a
+// temporary file in the same directory, fsynced, and renamed into place
+// — so the file at path is always one complete, checksummed epoch, even
+// across a crash mid-write. A restarted server resumes from it:
+//
+//	a, _, _ := pgio.DecodeWithInfo(f)
+//	cfg, _  := serve.ConfigFromArtifact(a, base)
+//	d, _    := stream.NewWith(a.G, cfg, a.PGs)   // no sketch rebuild
+//	snap, _ := d.Freeze()
+func PersistFile(path string) func(*serve.Snapshot) error {
+	return func(s *serve.Snapshot) error {
+		dir := filepath.Dir(path)
+		tmp, err := os.CreateTemp(dir, ".pg-epoch-*")
+		if err != nil {
+			return fmt.Errorf("stream: persisting epoch %d: %w", s.Epoch, err)
+		}
+		defer os.Remove(tmp.Name()) // no-op after a successful rename
+		if _, err := s.Save(tmp); err != nil {
+			tmp.Close()
+			return fmt.Errorf("stream: persisting epoch %d: %w", s.Epoch, err)
+		}
+		// The rename only makes durability claims the data can back.
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return fmt.Errorf("stream: persisting epoch %d: %w", s.Epoch, err)
+		}
+		if err := tmp.Close(); err != nil {
+			return fmt.Errorf("stream: persisting epoch %d: %w", s.Epoch, err)
+		}
+		if err := os.Rename(tmp.Name(), path); err != nil {
+			return fmt.Errorf("stream: persisting epoch %d: %w", s.Epoch, err)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,249 @@
+package stream
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"probgraph/internal/core"
+	"probgraph/internal/graph"
+	"probgraph/internal/pgio"
+	"probgraph/internal/serve"
+)
+
+// TestDurableEpochRestart is the durability contract end to end: ingest
+// advances epochs with persist-on-freeze enabled, the process "dies",
+// and a fresh DynamicGraph rebuilt from the persisted artifact resumes
+// with bit-identical sketches and identical query answers — without
+// rebuilding any sketch from scratch.
+func TestDurableEpochRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "epochs.pg")
+	g0 := graph.Kronecker(8, 8, 11)
+	cfg := serve.SnapshotConfig{Kinds: []core.Kind{core.BF, core.OneHash}, Seed: 5}
+	d, err := New(g0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetPersist(PersistFile(path))
+
+	// A few epochs of churn: adds, deletes, growth.
+	if _, err := d.ApplyBatch([]graph.Edge{{U: 1, V: 99}, {U: 2, V: 300}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ApplyBatch([]graph.Edge{{U: 0, V: 77}}, []graph.Edge{{U: 1, V: 99}}); err != nil {
+		t.Fatal(err)
+	}
+	last, ps, err := d.FreezePersist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ps.Attempted || ps.Err != nil {
+		t.Fatalf("persist outcome %+v, want clean attempt", ps)
+	}
+	if st := d.Stats(); st.Persists != 2 || st.PersistErrors != 0 {
+		t.Fatalf("persist counters %+v", st)
+	}
+
+	// "Restart": decode the artifact and rebuild the dynamic state.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	a, _, err := pgio.DecodeWithInfo(f)
+	if err != nil {
+		t.Fatalf("decoding persisted epoch: %v", err)
+	}
+	restoredCfg, err := serve.ConfigFromArtifact(a, serve.SnapshotConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := NewWith(a.G, restoredCfg, a.PGs)
+	if err != nil {
+		t.Fatalf("NewWith from artifact: %v", err)
+	}
+	snap2, err := d2.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The resumed epoch is the persisted one, bit for bit.
+	if !reflect.DeepEqual(snap2.G.Offsets, last.G.Offsets) || !reflect.DeepEqual(snap2.G.Neigh, last.G.Neigh) {
+		t.Fatal("resumed graph differs from the persisted epoch")
+	}
+	for _, k := range cfg.Kinds {
+		want, got := last.PG(k), snap2.PG(k)
+		if !reflect.DeepEqual(want.Raw().Sizes, got.Raw().Sizes) {
+			t.Fatalf("%v: resumed set sizes differ", k)
+		}
+		n := uint32(snap2.G.NumVertices())
+		for i := uint32(0); i < 100; i++ {
+			u, v := (i*31)%n, (i*97+7)%n
+			if want.IntCard(u, v) != got.IntCard(u, v) {
+				t.Fatalf("%v: IntCard(%d,%d) differs after restart", k, u, v)
+			}
+		}
+	}
+
+	// And the stream keeps flowing after the restart: mutations on the
+	// resumed state maintain sketches bit-identically to a bulk build.
+	if _, err := d2.ApplyBatch([]graph.Edge{{U: 3, V: 200}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	snap3, err := d2.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := core.Build(snap3.G, snap3.PG(core.BF).Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh.Raw().Bits, snap3.PG(core.BF).Raw().Bits) {
+		t.Fatal("post-restart incremental maintenance diverged from a bulk build")
+	}
+}
+
+// TestPersistFailureSurfaces pins the previously-unreportable failure
+// mode: a failing persist hook keeps the freeze alive but shows up in
+// FreezePersist, the Stats counters, and the Feeder's IngestResult.
+func TestPersistFailureSurfaces(t *testing.T) {
+	g := graph.Kronecker(7, 6, 3)
+	d, err := New(g, serve.SnapshotConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk full")
+	calls := 0
+	d.SetPersist(func(*serve.Snapshot) error { calls++; return boom })
+
+	snap, ps, err := d.FreezePersist()
+	if err != nil || snap == nil {
+		t.Fatalf("persist failure must not fail the freeze: snap=%v err=%v", snap, err)
+	}
+	if !ps.Attempted || !errors.Is(ps.Err, boom) {
+		t.Fatalf("persist outcome %+v, want the hook's error", ps)
+	}
+	if st := d.Stats(); st.PersistErrors != 1 || st.Persists != 0 || st.LastPersistError != "disk full" {
+		t.Fatalf("stats %+v", st)
+	}
+
+	eng := serve.New(snap, serve.Options{Workers: 2})
+	defer eng.Close()
+	res, err := NewFeeder(d, eng).Ingest([]graph.Edge{{U: 0, V: 5}}, nil)
+	if err != nil {
+		t.Fatalf("ingest with failing persist must still apply: %v", err)
+	}
+	if res.Persisted || res.PersistErr != "disk full" {
+		t.Fatalf("ingest result %+v must carry the persist failure", res)
+	}
+	if calls != 2 {
+		t.Fatalf("persist hook ran %d times, want 2", calls)
+	}
+
+	// Recovery: a later freeze with a healthy hook persists again.
+	d.SetPersist(func(*serve.Snapshot) error { return nil })
+	if _, ps, err := d.FreezePersist(); err != nil || ps.Err != nil || !ps.Attempted {
+		t.Fatalf("recovered persist outcome %+v err=%v", ps, err)
+	}
+	if st := d.Stats(); st.Persists != 1 || st.PersistErrors != 2 {
+		t.Fatalf("post-recovery stats %+v", st)
+	}
+}
+
+// TestPersistFileAtomicity: a hook failure mid-write leaves the previous
+// epoch's file intact (write-to-temp + rename), and no temp litter.
+func TestPersistFileAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.pg")
+	g := graph.Kronecker(7, 6, 3)
+	d, err := New(g, serve.SnapshotConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetPersist(PersistFile(path))
+	if _, err := d.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Point the hook at an unwritable location: failure, file untouched.
+	d.SetPersist(PersistFile(filepath.Join(dir, "no-such-dir", "g.pg")))
+	if _, err := d.ApplyBatch([]graph.Edge{{U: 0, V: 3}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ps, err := d.FreezePersist(); err != nil || ps.Err == nil {
+		t.Fatalf("expected persist failure, got ps=%+v err=%v", ps, err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(good, after) {
+		t.Fatal("failed persist damaged the previous epoch's artifact")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.Name() != "g.pg" {
+			t.Fatalf("temp litter left behind: %s", e.Name())
+		}
+	}
+}
+
+// TestNewWithValidation pins the warm-restart guardrails.
+func TestNewWithValidation(t *testing.T) {
+	g := graph.Kronecker(7, 6, 3)
+	cfg := serve.SnapshotConfig{Kinds: []core.Kind{core.BF}, Seed: 2}
+	pg, err := core.Build(g, core.Config{Kind: core.BF, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWith(g, cfg, map[core.Kind]*core.PG{core.BF: pg}); err != nil {
+		t.Fatalf("valid prebuilt rejected: %v", err)
+	}
+	wrongSeed, err := core.Build(g, core.Config{Kind: core.BF, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWith(g, cfg, map[core.Kind]*core.PG{core.BF: wrongSeed}); err == nil {
+		t.Fatal("seed-mismatched prebuilt accepted")
+	}
+	small, err := core.Build(graph.Complete(4), core.Config{Kind: core.BF, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWith(g, cfg, map[core.Kind]*core.PG{core.BF: small}); err == nil {
+		t.Fatal("wrong-graph prebuilt accepted")
+	}
+	oriented, err := core.BuildOriented(g.Orient(0), g.SizeBits(), core.Config{Kind: core.BF, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWith(g, cfg, map[core.Kind]*core.PG{core.BF: oriented}); err == nil {
+		t.Fatal("oriented sketches accepted as full-neighborhood state")
+	}
+
+	// The prebuilt sketches are cloned: mutating the resumed state must
+	// not write through into the caller's artifact.
+	d, err := NewWith(g, cfg, map[core.Kind]*core.PG{core.BF: pg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]uint64(nil), pg.Raw().Bits...)
+	if _, err := d.ApplyBatch([]graph.Edge{{U: 0, V: 1000}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, pg.Raw().Bits) {
+		t.Fatal("NewWith aliased the caller's sketch storage")
+	}
+}

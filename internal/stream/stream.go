@@ -80,6 +80,17 @@ type DynamicGraph struct {
 	batches, added, removed, resketched, grown int64
 
 	frozen atomic.Pointer[serve.Snapshot] // latest completed Freeze
+
+	// Durable-epoch state: an optional hook run after every successful
+	// Freeze (see SetPersist). pmu serializes persists and orders them by
+	// epoch, so a slow write of an old epoch can never clobber a newer
+	// one on disk.
+	pmu            sync.Mutex
+	persistFn      func(*serve.Snapshot) error
+	persistedEpoch uint64
+	persists       int64
+	persistErrs    int64
+	lastPersistErr string
 }
 
 // BatchStats reports what one ApplyBatch changed.
@@ -103,6 +114,12 @@ type Stats struct {
 	RowsResketched int64
 	VerticesGrown  int64
 	Epoch          uint64 // latest frozen epoch; 0 before the first Freeze
+
+	// Durable-epoch accounting (zero without a SetPersist hook):
+	// epochs persisted, persist failures, and the latest failure text.
+	Persists         int64
+	PersistErrors    int64
+	LastPersistError string
 }
 
 // New builds a DynamicGraph over an initial graph. The sketch geometry
@@ -112,6 +129,18 @@ type Stats struct {
 // initial graph must have at least one vertex (the budget-derived
 // geometry is meaningless on an empty universe); it may have no edges.
 func New(g *graph.Graph, cfg serve.SnapshotConfig) (*DynamicGraph, error) {
+	return NewWith(g, cfg, nil)
+}
+
+// NewWith is New with prebuilt full-neighborhood sketches — the warm
+// restart path: a server resuming from a persisted epoch hands the
+// artifact's decoded sketches in so no kind is rebuilt from scratch.
+// Each prebuilt PG must cover g and match cfg's kind and seed, and must
+// sketch the full neighborhoods of g (the restart invariant: degrees
+// and stored set sizes agree). Prebuilt sketches are cloned — the
+// DynamicGraph mutates its resident state, and the caller's artifact
+// stays reusable. Kinds without a prebuilt entry are built as in New.
+func NewWith(g *graph.Graph, cfg serve.SnapshotConfig, prebuilt map[core.Kind]*core.PG) (*DynamicGraph, error) {
 	if g == nil || g.NumVertices() == 0 {
 		return nil, fmt.Errorf("stream: initial graph must have at least one vertex (sketch geometry derives from its storage budget)")
 	}
@@ -134,14 +163,43 @@ func New(g *graph.Graph, cfg serve.SnapshotConfig) (*DynamicGraph, error) {
 		if _, dup := d.pgs[k]; dup {
 			continue
 		}
-		pg, err := core.Build(g, d.coreConfig(k))
-		if err != nil {
-			return nil, fmt.Errorf("stream: building %v sketches: %w", k, err)
+		var pg *core.PG
+		if pb := prebuilt[k]; pb != nil {
+			if err := validatePrebuilt(g, cfg, k, pb); err != nil {
+				return nil, err
+			}
+			pg = pb.Clone()
+		} else {
+			var err error
+			if pg, err = core.Build(g, d.coreConfig(k)); err != nil {
+				return nil, fmt.Errorf("stream: building %v sketches: %w", k, err)
+			}
 		}
 		d.pgs[k] = pg
 		d.kinds = append(d.kinds, k)
 	}
 	return d, nil
+}
+
+// validatePrebuilt checks the warm-restart invariants of one handed-in
+// sketch set (mirroring session.InstallPG, plus the full-neighborhood
+// degree check only the streaming layer needs).
+func validatePrebuilt(g *graph.Graph, cfg serve.SnapshotConfig, k core.Kind, pb *core.PG) error {
+	if pb.NumVertices() != g.NumVertices() {
+		return fmt.Errorf("stream: prebuilt %v sketches cover %d vertices, graph has %d",
+			k, pb.NumVertices(), g.NumVertices())
+	}
+	if pb.Cfg.Kind != k || pb.Cfg.Seed != cfg.Seed {
+		return fmt.Errorf("stream: prebuilt sketches are (%v, seed %d), config wants (%v, seed %d)",
+			pb.Cfg.Kind, pb.Cfg.Seed, k, cfg.Seed)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if pb.SetSize(uint32(v)) != g.Degree(uint32(v)) {
+			return fmt.Errorf("stream: prebuilt %v sketch of vertex %d covers %d elements, degree is %d — NewWith needs full-neighborhood sketches",
+				k, v, pb.SetSize(uint32(v)), g.Degree(uint32(v)))
+		}
+	}
+	return nil
 }
 
 // coreConfig assembles the sketch build configuration for one kind,
@@ -260,14 +318,57 @@ func (d *DynamicGraph) ApplyBatch(add, del []graph.Edge) (BatchStats, error) {
 	return st, nil
 }
 
+// SetPersist installs the durable-epoch hook: fn runs after every
+// successful Freeze with the just-published snapshot (PersistFile is the
+// canonical hook, writing a pgio artifact a restarted server resumes
+// from via NewWith). A hook failure never fails the freeze — the epoch
+// is live in memory either way — but it is counted in Stats, kept as
+// LastPersistError, and reported per call by FreezePersist, which is how
+// the serving layer's /v1/stats learns about it. Set the hook before the
+// first Freeze so every epoch, including the first, is durable.
+func (d *DynamicGraph) SetPersist(fn func(*serve.Snapshot) error) {
+	d.pmu.Lock()
+	d.persistFn = fn
+	d.pmu.Unlock()
+}
+
+// PersistStatus reports the durable-epoch outcome of one freeze.
+type PersistStatus struct {
+	// Attempted is true when a persist hook ran for this freeze. It is
+	// false without a SetPersist hook, and also when a concurrent freeze
+	// already persisted a newer epoch (persists are ordered by epoch, so
+	// a superseded snapshot is skipped rather than written backwards).
+	Attempted bool
+	// Err is the hook's failure, nil on success.
+	Err error
+}
+
 // Freeze materializes the current state as an immutable serving
 // snapshot: the CSR graph, a fresh orientation (orientation depends on
 // the global degree ranking, so it is rebuilt per epoch — the amortized
 // part of the batch cost), and clones of the maintained sketches
 // installed into the snapshot's Session so no query pays a sketch
 // build. Ingest may continue concurrently; the snapshot observes a
-// consistent batch boundary.
+// consistent batch boundary. With a SetPersist hook the epoch is also
+// written to durable storage; use FreezePersist to observe that
+// outcome (Freeze only records it in Stats).
 func (d *DynamicGraph) Freeze() (*serve.Snapshot, error) {
+	snap, _, err := d.FreezePersist()
+	return snap, err
+}
+
+// FreezePersist is Freeze plus the persist outcome of this epoch — the
+// form the ingest path uses so each batch can report whether it reached
+// durable storage.
+func (d *DynamicGraph) FreezePersist() (*serve.Snapshot, PersistStatus, error) {
+	snap, err := d.freeze()
+	if err != nil {
+		return nil, PersistStatus{}, err
+	}
+	return snap, d.runPersist(snap), nil
+}
+
+func (d *DynamicGraph) freeze() (*serve.Snapshot, error) {
 	d.mu.RLock()
 	g := d.csr()
 	clones := make(map[core.Kind]*core.PG, len(d.pgs))
@@ -299,6 +400,26 @@ func (d *DynamicGraph) Freeze() (*serve.Snapshot, error) {
 		}
 	}
 	return snap, nil
+}
+
+// runPersist runs the configured persist hook for one published epoch,
+// serialized and epoch-ordered under pmu, and folds the outcome into
+// the durability counters.
+func (d *DynamicGraph) runPersist(snap *serve.Snapshot) PersistStatus {
+	d.pmu.Lock()
+	defer d.pmu.Unlock()
+	if d.persistFn == nil || snap.Epoch <= d.persistedEpoch {
+		return PersistStatus{}
+	}
+	err := d.persistFn(snap)
+	if err != nil {
+		d.persistErrs++
+		d.lastPersistErr = err.Error()
+		return PersistStatus{Attempted: true, Err: err}
+	}
+	d.persists++
+	d.persistedEpoch = snap.Epoch
+	return PersistStatus{Attempted: true}
 }
 
 // Snapshot returns the latest frozen snapshot, freezing the current
@@ -355,6 +476,9 @@ func (d *DynamicGraph) Stats() Stats {
 	if snap := d.frozen.Load(); snap != nil {
 		s.Epoch = snap.Epoch
 	}
+	d.pmu.Lock()
+	s.Persists, s.PersistErrors, s.LastPersistError = d.persists, d.persistErrs, d.lastPersistErr
+	d.pmu.Unlock()
 	return s
 }
 

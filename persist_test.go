@@ -1,0 +1,64 @@
+package probgraph
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestRootArtifactRoundTrip exercises the public persistence façade:
+// SaveSnapshot → DecodeArtifact / OpenSnapshotArtifact, with the
+// restored snapshot serving the same answers as the original.
+func TestRootArtifactRoundTrip(t *testing.T) {
+	g := Kronecker(8, 8, 42)
+	snap, err := OpenSnapshot(g, SnapshotConfig{Kinds: []Kind{BF, KMV}, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	info, err := SaveSnapshot(&buf, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Bytes != int64(buf.Len()) || len(info.Sections) != 4 { // graph, oriented, pg:BF, pg:KMV
+		t.Fatalf("artifact info %+v over %d bytes", info, buf.Len())
+	}
+
+	a, info2, err := DecodeArtifact(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.G.NumEdges() != g.NumEdges() || len(a.Kinds) != 2 {
+		t.Fatalf("decoded artifact shape: %d edges, kinds %v", a.G.NumEdges(), a.Kinds)
+	}
+	if info2.Bytes != info.Bytes {
+		t.Fatalf("decode-side size %d != encode-side %d", info2.Bytes, info.Bytes)
+	}
+
+	warm, err := OpenSnapshotArtifact(bytes.NewReader(buf.Bytes()), SnapshotConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The restored snapshot's Session answers identically to the
+	// original: same sketch bits, same estimate.
+	ctx := context.Background()
+	want, err := snap.Session(BF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := warm.Session(BF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := want.Run(ctx, TC{Mode: Sketched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, err := got.Run(ctx, TC{Mode: Sketched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.Value != rg.Value {
+		t.Fatalf("restored TC %v != original %v", rg.Value, rw.Value)
+	}
+}

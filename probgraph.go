@@ -38,6 +38,7 @@ import (
 	"probgraph/internal/estimator"
 	"probgraph/internal/graph"
 	"probgraph/internal/mining"
+	"probgraph/internal/pgio"
 	"probgraph/internal/serve"
 )
 
@@ -403,6 +404,36 @@ const (
 // rebuild each time): create one NewDynamic graph, Freeze epochs from
 // it, and hot-swap them into the engine with Engine.Swap — see stream.go.
 func OpenSnapshot(g *Graph, cfg SnapshotConfig) (*Snapshot, error) { return serve.Open(g, cfg) }
+
+// --- persistence: the binary artifact layer (internal/pgio) -----------------
+
+// Artifact is the decoded form of a .pg binary artifact: the graph,
+// optionally its orientation, and resident sketch sets by kind.
+type Artifact = pgio.Artifact
+
+// ArtifactInfo is an artifact's structural summary: version, total
+// size, and per-section payload bytes and CRCs.
+type ArtifactInfo = pgio.FileInfo
+
+// SaveSnapshot writes a serving snapshot as a binary artifact: graph,
+// orientation, and every resident sketch set, checksummed per section.
+// A server booted from the artifact (OpenSnapshotArtifact, or pgserve
+// -artifact) answers queries bit-for-bit like this one.
+func SaveSnapshot(w io.Writer, s *Snapshot) (*ArtifactInfo, error) { return s.Save(w) }
+
+// OpenSnapshotArtifact boots a serving snapshot from an artifact — the
+// warm-start path: no edge-list parsing, no re-orientation, no sketch
+// builds. Sketch geometry and seed come from the artifact; cfg may
+// subset the resident kinds, bound workers, and override the estimator.
+func OpenSnapshotArtifact(r io.Reader, cfg SnapshotConfig) (*Snapshot, error) {
+	return serve.OpenArtifact(r, cfg)
+}
+
+// DecodeArtifact reads a binary artifact without building serving
+// state: the decoded graph and sketches plus the structural summary.
+// Corruption is reported through the typed pgio errors (bad magic,
+// version, checksum, truncation, drift) — never a panic.
+func DecodeArtifact(r io.Reader) (*Artifact, *ArtifactInfo, error) { return pgio.DecodeWithInfo(r) }
 
 // Serve starts a query engine over the snapshot. Close it when done.
 // For HTTP serving see cmd/pgserve, which wraps this engine; for
