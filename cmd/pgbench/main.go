@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"probgraph/internal/bench"
+	"probgraph/internal/obs"
 )
 
 // experiments maps experiment names to their drivers.
@@ -61,7 +62,12 @@ func main() {
 		jsonPath = flag.String("json", "", "append machine-readable JSON-lines records to this file (e.g. BENCH_session.json)")
 		list     = flag.Bool("list", false, "list available experiments")
 	)
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionString("pgbench"))
+		return
+	}
 
 	if *list {
 		names := make([]string, 0, len(experiments))

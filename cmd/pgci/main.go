@@ -28,6 +28,8 @@ import (
 	"os"
 	"sort"
 	"text/tabwriter"
+
+	"probgraph/internal/obs"
 )
 
 // record mirrors bench.BenchRecord's JSONL shape.
@@ -106,7 +108,12 @@ func main() {
 		baselinePath = flag.String("baseline", "BENCH_baseline.json", "checked-in baseline JSONL file")
 		tolerance    = flag.Float64("tolerance", 2.5, "max allowed candidate/baseline ns_per_op ratio")
 	)
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionString("pgci"))
+		return
+	}
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "pgci: no candidate files given")
 		os.Exit(2)

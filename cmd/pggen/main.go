@@ -18,6 +18,7 @@ import (
 	"probgraph"
 	"probgraph/internal/bench"
 	"probgraph/internal/graph"
+	"probgraph/internal/obs"
 )
 
 func main() {
@@ -36,7 +37,12 @@ func main() {
 		binary  = flag.Bool("binary", false, "write binary CSR instead of an edge list")
 		out     = flag.String("o", "-", "output file (- for stdout)")
 	)
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionString("pggen"))
+		return
+	}
 
 	var g *probgraph.Graph
 	if *dataset != "" {

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"probgraph"
+	"probgraph/internal/obs"
 )
 
 func main() {
@@ -27,7 +28,12 @@ func main() {
 	pgMem := flag.Bool("pg", true, "build sketches and report their resident memory")
 	kind := flag.String("kind", "BF", "sketch kind for -pg (BF,kH,1H,KMV,HLL)")
 	budget := flag.Float64("budget", 0.25, "storage budget for -pg")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionString("pginfo"))
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pginfo [-tc=false] [-binary|-artifact] [-pg=false] [-kind BF] [-budget 0.25] <file|->")
 		os.Exit(2)

@@ -13,6 +13,11 @@
 // batches to /v1/ingest (against a pgserve started with -stream) while
 // the query workers run — measuring query latency under epoch churn.
 //
+// With -interval > 0 (default 2s) a windowed progress line prints per
+// interval: that window's query count, rate, and p50/p99/max computed
+// from histogram snapshot deltas — so a mid-run latency shift is
+// visible as it happens, not averaged into the final percentiles.
+//
 // With -check the exit status is non-zero when any query or ingest
 // errored or no queries completed — the CI smoke contract.
 package main
@@ -29,6 +34,7 @@ import (
 	"time"
 
 	"probgraph/internal/graph"
+	"probgraph/internal/obs"
 	"probgraph/internal/serve"
 )
 
@@ -48,8 +54,14 @@ func main() {
 		ingestQPS   = flag.Float64("ingest-qps", 0, "edge batches per second to POST to /v1/ingest (0 = no ingest)")
 		ingestBatch = flag.Int("ingest-batch", 128, "edges per ingest batch")
 		ingestDel   = flag.Float64("ingest-del", 0, "fraction of each batch sent as deletions of earlier inserts")
+		interval    = flag.Duration("interval", 2*time.Second, "print a windowed progress line (count, q/s, window p50/p99/max) every interval; 0 disables")
+		version     = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionString("pgload"))
+		return
+	}
 
 	base := *addr
 	if !strings.Contains(base, "://") {
@@ -138,7 +150,7 @@ func main() {
 		}()
 	}
 
-	rep, err := serve.RunLoad(serve.LoadOpts{
+	opts := serve.LoadOpts{
 		Workers:  *workers,
 		Duration: *duration,
 		QPS:      *qps,
@@ -148,7 +160,21 @@ func main() {
 		Vertices: before.Vertices,
 		Zipf:     *zipf,
 		Seed:     *seed,
-	}, serve.HTTPDoer(client, base))
+	}
+	if *interval > 0 {
+		// Windowed reporting: each line is that interval alone (histogram
+		// snapshot deltas), so a latency regression mid-run is visible as
+		// it happens instead of being averaged away by the lifetime
+		// percentiles printed at the end.
+		opts.Interval = *interval
+		opts.OnWindow = func(w serve.LoadWindow) {
+			if w.Queries == 0 && w.Errors == 0 {
+				return
+			}
+			fmt.Println(w)
+		}
+	}
+	rep, err := serve.RunLoad(opts, serve.HTTPDoer(client, base))
 	if err != nil {
 		log.Fatalf("pgload: %v", err)
 	}

@@ -24,6 +24,7 @@ import (
 
 	"probgraph/internal/core"
 	"probgraph/internal/graph"
+	"probgraph/internal/obs"
 	"probgraph/internal/pgio"
 	"probgraph/internal/serve"
 )
@@ -40,7 +41,12 @@ func main() {
 		out       = flag.String("o", "", "output artifact file (required unless -info)")
 		info      = flag.String("info", "", "decode an existing artifact and print its section table instead of packing")
 	)
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionString("pgpack"))
+		return
+	}
 
 	if *info != "" {
 		if err := printInfo(*info); err != nil {

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"probgraph"
+	"probgraph/internal/obs"
 )
 
 func main() {
@@ -45,7 +46,12 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "random seed")
 		workers   = flag.Int("workers", 0, "parallel workers (0 = all cores)")
 	)
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionString("pgrun"))
+		return
+	}
 
 	g, err := loadGraph(*graphFile, *gen, *scale, *ef, *n, *m, *kBA, *seed)
 	if err != nil {

@@ -4,6 +4,9 @@
 //	POST /v1/query   {"op":"similarity","u":3,"v":9,"measure":"jaccard"}
 //	POST /v1/ingest  {"add":[[1,2]],"del":[[0,7]]}  (with -stream)
 //	GET  /v1/stats   snapshot shape, sketch memory, cache/batcher counters
+//	GET  /v1/trace   slow-request journal (threshold set by -slow)
+//	GET  /metrics    Prometheus text exposition of every registered metric
+//	GET  /debug/pprof/*  Go profiling endpoints (CPU, heap, goroutines)
 //	GET  /healthz    liveness
 //
 // Usage:
@@ -36,11 +39,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -50,6 +55,7 @@ import (
 
 	"probgraph/internal/core"
 	"probgraph/internal/graph"
+	"probgraph/internal/obs"
 	"probgraph/internal/pgio"
 	"probgraph/internal/serve"
 	"probgraph/internal/stream"
@@ -74,8 +80,14 @@ func main() {
 		streaming  = flag.Bool("stream", false, "enable /v1/ingest: maintain sketches incrementally and hot-swap epochs")
 		artifact   = flag.String("artifact", "", "warm-start from a binary artifact (.pg) written by pgpack or -save")
 		save       = flag.String("save", "", "persist the snapshot to this artifact file; with -stream, every frozen epoch is written")
+		slow       = flag.Duration("slow", 100*time.Millisecond, "journal requests slower than this in GET /v1/trace (0 journals everything)")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionString("pgserve"))
+		return
+	}
 
 	kindList, err := parseKinds(*kinds)
 	if err != nil {
@@ -177,12 +189,53 @@ func main() {
 		Workers: *workers, MaxBatch: *maxBatch, MaxDelay: delay, CacheSize: cache,
 	})
 	defer engine.Close()
+
+	// Observability: everything hangs off the process-wide registry. The
+	// engine's metrics are func-backed over the same atomics /v1/stats
+	// reads, so the two surfaces always agree; the tracer journals slow
+	// requests for GET /v1/trace.
+	reg := obs.Default()
+	obs.RegisterBuildInfo(reg)
+	obs.RegisterRuntimeMetrics(reg)
+	engine.RegisterMetrics(reg)
+	tracer := obs.NewTracer(*slow, obs.DefaultTraceRing)
 	if dyn != nil {
-		engine.EnableIngest(stream.NewFeeder(dyn, engine))
+		feeder := stream.NewFeeder(dyn, engine)
+		feeder.SetTracer(tracer)
+		feeder.RegisterMetrics(reg)
+		dyn.RegisterMetrics(reg)
+		engine.EnableIngest(feeder)
 		log.Printf("pgserve: streaming enabled (POST /v1/ingest)")
 	}
+	log.Printf("pgserve: %s", obs.VersionString("pgserve"))
 
-	srv := &http.Server{Addr: *addr, Handler: serve.Handler(engine)}
+	mux := http.NewServeMux()
+	mux.Handle("/", withTracer(tracer, serve.Handler(engine)))
+	mux.Handle("GET /metrics", obs.Handler(reg))
+	mux.HandleFunc("GET /v1/trace", func(w http.ResponseWriter, r *http.Request) {
+		total, slowCount := tracer.Totals()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			ThresholdUS float64      `json:"threshold_us"`
+			Total       int64        `json:"total"`
+			Slow        int64        `json:"slow"`
+			Traces      []*obs.Trace `json:"traces"`
+		}{
+			ThresholdUS: float64(tracer.Threshold()) / float64(time.Microsecond),
+			Total:       total,
+			Slow:        slowCount,
+			Traces:      tracer.Slow(),
+		})
+	})
+	// The pprof handlers are registered explicitly (not via the package's
+	// DefaultServeMux side effect) so the serving mux stays the only mux.
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
@@ -197,6 +250,15 @@ func main() {
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("pgserve: %v", err)
 	}
+}
+
+// withTracer installs the slow-request tracer on every request context,
+// so the engine's spans (query/cache/batch/eval and the session builds
+// underneath) attach to one trace per request.
+func withTracer(t *obs.Tracer, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(w, r.WithContext(obs.WithTracer(r.Context(), t)))
+	})
 }
 
 // loadGraph reads the graph file or runs the named generator.

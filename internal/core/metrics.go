@@ -1,0 +1,22 @@
+package core
+
+import "probgraph/internal/obs"
+
+// RegisterMemoryGauges exposes this PG's resident footprint on an
+// obs.Registry: sketch bytes, covered vertices, and the
+// relative-memory ratio against the CSR baseline the paper reports.
+// The gauges are func-backed, so a PG that grows or is re-sketched in
+// place (the streaming layer's maintained sketches) reads current at
+// every scrape. Callers distinguish multiple PGs by labels, typically
+// obs.L("kind", ...).
+func (pg *PG) RegisterMemoryGauges(r *obs.Registry, labels ...obs.Label) {
+	r.GaugeFunc("probgraph_core_sketch_bytes",
+		"Resident bytes of one maintained sketch set.",
+		func() float64 { return float64(pg.MemoryBytes()) }, labels...)
+	r.GaugeFunc("probgraph_core_sketch_vertices",
+		"Vertices covered by one maintained sketch set.",
+		func() float64 { return float64(pg.NumVertices()) }, labels...)
+	r.GaugeFunc("probgraph_core_relative_memory",
+		"Sketch memory relative to the exact CSR adjacency.",
+		func() float64 { return pg.RelativeMemory() }, labels...)
+}

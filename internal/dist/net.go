@@ -1,6 +1,10 @@
 package dist
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"probgraph/internal/obs"
+)
 
 // payload is the body of a response message: the actually-encoded wire
 // bytes of the owner's row, produced by the internal/pgio row codec.
@@ -89,5 +93,17 @@ func (nw *network) stats() NetStats {
 		s.Bytes += t.BytesOut
 		s.Messages += t.MsgsOut
 	}
+	// Fold this run into the process-wide observability counters — once
+	// per run, at the single point every distributed kernel funnels
+	// through. NetStats itself stays deterministic per run.
+	r := obs.Default()
+	r.Counter("probgraph_dist_bytes_shipped_total",
+		"Wire bytes shipped across all simulated distributed runs.").Add(s.Bytes)
+	r.Counter("probgraph_dist_messages_total",
+		"Messages exchanged across all simulated distributed runs.").Add(s.Messages)
+	r.Counter("probgraph_dist_fetches_total",
+		"Remote row fetch round-trips across all simulated distributed runs.").Add(s.Fetches)
+	r.Counter("probgraph_dist_runs_total",
+		"Completed simulated distributed runs.").Inc()
 	return s
 }

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo is the binary's embedded version identity, read from the Go
+// build metadata (module version and VCS stamping).
+type BuildInfo struct {
+	Module    string // main module path
+	Version   string // module version ("(devel)" for source builds)
+	Revision  string // VCS revision, "unknown" when not stamped
+	Time      string // VCS commit time, "" when not stamped
+	Modified  bool   // working tree was dirty at build time
+	GoVersion string
+}
+
+// ReadBuildInfo extracts the build identity via
+// runtime/debug.ReadBuildInfo. Fields missing from the build (e.g. `go
+// run`, no VCS stamping) degrade to "unknown" rather than erroring.
+func ReadBuildInfo() BuildInfo {
+	b := BuildInfo{
+		Module:    "probgraph",
+		Version:   "(devel)",
+		Revision:  "unknown",
+		GoVersion: runtime.Version(),
+	}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	if info.Main.Path != "" {
+		b.Module = info.Main.Path
+	}
+	if info.Main.Version != "" {
+		b.Version = info.Main.Version
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.time":
+			b.Time = s.Value
+		case "vcs.modified":
+			b.Modified = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// ShortRevision returns the abbreviated VCS revision.
+func (b BuildInfo) ShortRevision() string {
+	if len(b.Revision) > 12 {
+		return b.Revision[:12]
+	}
+	return b.Revision
+}
+
+// VersionString renders the one-line `-version` output of the cmd
+// binaries.
+func VersionString(binary string) string {
+	b := ReadBuildInfo()
+	dirty := ""
+	if b.Modified {
+		dirty = "+dirty"
+	}
+	s := fmt.Sprintf("%s %s (%s%s, %s)", binary, b.Version, b.ShortRevision(), dirty, b.GoVersion)
+	if b.Time != "" {
+		s += " built from " + b.Time
+	}
+	return s
+}
+
+// RegisterBuildInfo exports the build identity as the constant metric
+//
+//	probgraph_build_info{revision,version,goversion,modified} 1
+//
+// so a fleet's running versions are queryable from /metrics.
+func RegisterBuildInfo(r *Registry) {
+	b := ReadBuildInfo()
+	r.GaugeFunc("probgraph_build_info",
+		"Build identity of the running binary; constant 1.",
+		func() float64 { return 1 },
+		L("revision", b.ShortRevision()),
+		L("version", b.Version),
+		L("goversion", b.GoVersion),
+		L("modified", fmt.Sprintf("%t", b.Modified)),
+	)
+}
+
+// RegisterRuntimeMetrics exports Go runtime health gauges: goroutine
+// count, heap bytes, total GC cycles. Reads happen at scrape time.
+func RegisterRuntimeMetrics(r *Registry) {
+	r.GaugeFunc("go_goroutines", "Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return float64(m.HeapAlloc)
+		})
+	r.CounterFunc("go_gc_cycles_total", "Completed GC cycles.",
+		func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return float64(m.NumGC)
+		})
+}

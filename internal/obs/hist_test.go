@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistBucketRoundTrip checks the log-linear index math: every
+// bucket's lower bound maps back to that bucket, bucketValue is the
+// left inverse of bucketOf, and indices are monotone in the value.
+func TestHistBucketRoundTrip(t *testing.T) {
+	for i := 0; i < histBuckets; i++ {
+		if got := bucketOf(bucketValue(i)); got != i {
+			t.Fatalf("bucketOf(bucketValue(%d)) = %d", i, got)
+		}
+	}
+	prev := -1
+	for _, v := range []int64{0, 1, 63, 64, 65, 127, 128, 1000, 1 << 20, 1 << 40, math.MaxInt64} {
+		b := bucketOf(v)
+		if b < prev {
+			t.Fatalf("bucket index not monotone at %d", v)
+		}
+		if b >= histBuckets {
+			t.Fatalf("bucket %d out of range for value %d", b, v)
+		}
+		prev = b
+	}
+	// Every value in a bucket's range maps to that bucket: the lower
+	// bound of bucket i+1 is the first value beyond bucket i.
+	for _, i := range []int{0, 1, histSubSize - 1, histSubSize, 1000, histBuckets - 2} {
+		lo, next := bucketValue(i), bucketValue(i+1)
+		if bucketOf(lo) != i || bucketOf(next-1) != i {
+			t.Fatalf("bucket %d range [%d,%d) maps to [%d,%d]",
+				i, lo, next, bucketOf(lo), bucketOf(next-1))
+		}
+	}
+}
+
+// TestHistQuantiles records a known distribution and checks quantiles
+// land within the histogram's ~1.6% bucket resolution.
+func TestHistQuantiles(t *testing.T) {
+	h := NewHist()
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != time.Millisecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.5, 500 * time.Microsecond},
+		{0.9, 900 * time.Microsecond},
+		{0.99, 990 * time.Microsecond},
+	} {
+		got := h.Quantile(tc.q)
+		lo := time.Duration(float64(tc.want) * 0.95)
+		hi := time.Duration(float64(tc.want) * 1.05)
+		if got < lo || got > hi {
+			t.Fatalf("q%.2f = %v, want within 5%% of %v", tc.q, got, tc.want)
+		}
+	}
+	mean := h.Mean()
+	if mean < 480*time.Microsecond || mean > 520*time.Microsecond {
+		t.Fatalf("mean = %v", mean)
+	}
+}
+
+// TestHistConcurrentRecordQuantile hammers Record from many goroutines
+// while a reader takes quantiles and snapshots throughout — the
+// Record-vs-Quantile race is exercised under -race, and reads must stay
+// within the recorded value range the whole time.
+func TestHistConcurrentRecordQuantile(t *testing.T) {
+	h := NewHist()
+	const writers, perWriter = 8, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Record(time.Duration(1+(w*perWriter+i)%100000) * time.Nanosecond)
+			}
+		}(w)
+	}
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, q := range []float64{0, 0.5, 0.99, 1} {
+				if v := h.Quantile(q); v < 0 || (h.Count() > 0 && v > h.Max()+time.Microsecond) {
+					t.Errorf("quantile %v out of range: %v (max %v)", q, v, h.Max())
+					return
+				}
+			}
+			s := h.Snapshot()
+			if s.Count() > h.Count() {
+				t.Errorf("snapshot count %d exceeds live count %d", s.Count(), h.Count())
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+	if h.Count() != writers*perWriter {
+		t.Fatalf("count = %d, want %d", h.Count(), writers*perWriter)
+	}
+}
+
+// TestHistSnapshotDelta checks windowed percentiles: the delta between
+// two snapshots sees only the observations recorded between them.
+func TestHistSnapshotDelta(t *testing.T) {
+	h := NewHist()
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Microsecond) // slow era
+	}
+	s1 := h.Snapshot()
+	if s1.Count() != 100 {
+		t.Fatalf("snapshot count = %d", s1.Count())
+	}
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Nanosecond) // fast era
+	}
+	s2 := h.Snapshot()
+
+	win := s2.Sub(s1)
+	if win.Count() != 1000 {
+		t.Fatalf("window count = %d, want 1000", win.Count())
+	}
+	// The window's p50 must reflect the fast era (~500ns), even though
+	// the lifetime histogram is dominated by the earlier slow records.
+	if p50 := win.Quantile(0.5); p50 > 2*time.Microsecond {
+		t.Fatalf("window p50 = %v, want ~500ns", p50)
+	}
+	if life := s2.Quantile(0.5); life < 10*time.Nanosecond {
+		t.Fatalf("lifetime p50 = %v unexpectedly small", life)
+	}
+	// Window max is bucket-resolution: within ~2% of 1000ns.
+	if m := win.Max(); m < 980*time.Nanosecond || m > 1020*time.Nanosecond {
+		t.Fatalf("window max = %v, want ~1µs", m)
+	}
+	// since-zero delta equals the snapshot itself.
+	if all := s2.Sub(nil); all.Count() != s2.Count() || all.Quantile(0.99) != s2.Quantile(0.99) {
+		t.Fatalf("Sub(nil) diverges from snapshot")
+	}
+}
+
+// TestHistSnapshotDeltaConcurrent takes snapshot deltas while writers
+// are live: no window may see a negative count, and consecutive windows
+// must account for every record exactly once.
+func TestHistSnapshotDeltaConcurrent(t *testing.T) {
+	h := NewHist()
+	const writers, perWriter = 4, 20000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Record(time.Duration(i%1000) * time.Microsecond)
+			}
+		}()
+	}
+	var windows int64
+	prev := (*HistSnapshot)(nil)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		s := h.Snapshot()
+		win := s.Sub(prev)
+		if win.Count() < 0 {
+			t.Fatalf("negative window count %d", win.Count())
+		}
+		windows += win.Count()
+		prev = s
+		select {
+		case <-done:
+			// One final window after all writers stopped.
+			win = h.Snapshot().Sub(prev)
+			windows += win.Count()
+			if windows != writers*perWriter {
+				t.Fatalf("windows account for %d records, want %d", windows, writers*perWriter)
+			}
+			return
+		default:
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Package obs is the repro's dependency-free observability layer: a
+// concurrent metrics registry (counters, gauges, histograms) with
+// Prometheus text-format exposition, and a lightweight context-propagated
+// span tracer with a ring-buffered slow-trace journal.
+//
+// The package exists because ProbGraph's value proposition is quantified
+// trade-offs — speedup vs accuracy bound, sketch bytes vs exact bytes —
+// and those numbers are only operable when every layer reports through
+// one source of truth. serve, stream, session, dist, and core all
+// register here; pgserve exposes the result at /metrics and /v1/trace.
+//
+// Design constraints, in order:
+//
+//   - Zero dependencies (stdlib only), so every internal package may
+//     import obs without cycles or go.mod growth.
+//   - Hot-path cost bounded by one atomic add (counters, histogram
+//     records) — instrumentation rides the query path, so it is gated by
+//     the same pgci perf budget as the kernels themselves.
+//   - Tracing is free when off: StartSpan on a context without a tracer
+//     is a context lookup and a nil return; all Span methods are
+//     nil-receiver safe.
+package obs
+
+import "strings"
+
+// Label is one static metric dimension, fixed at registration time.
+// Series of one family are keyed by their rendered label sets.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for Label{k, v}.
+func L(k, v string) Label { return Label{Key: k, Value: v} }
+
+// renderLabels renders a label set in Prometheus text form
+// (`{k="v",k2="v2"}`), empty for no labels. Labels are rendered in the
+// order given; callers that want one series per logical identity must
+// pass them in a fixed order (all call sites here do).
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// promBounds are the histogram bucket upper bounds used for exposition,
+// in seconds. Internally histograms keep ~1.6%-resolution log-linear
+// buckets; exposition coarsens them onto this fixed ladder (the fine
+// bucket's lower bound picks its le bin), which keeps the text format
+// small and scrape-friendly while the /v1/stats quantiles retain full
+// resolution.
+var promBounds = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	1e-1, 2.5e-1, 5e-1,
+	1, 2.5, 5, 10,
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition format
+// (version 0.0.4). Families and series are emitted in sorted order, so
+// output is deterministic for a fixed registry state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.families() {
+		f.mu.RLock()
+		keys := append([]string(nil), f.order...)
+		sort.Strings(keys)
+		if len(keys) > 0 {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+			fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		}
+		for _, key := range keys {
+			s := f.series[key]
+			switch {
+			case s.h != nil:
+				writeHist(bw, f.name, s.labels, s.h.Snapshot())
+			case s.c != nil:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, s.labels, s.c.Value())
+			case s.g != nil:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, s.labels, fmtFloat(s.g.Value()))
+			case s.fn != nil:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, s.labels, fmtFloat(s.fn()))
+			}
+		}
+		f.mu.RUnlock()
+	}
+	return bw.Flush()
+}
+
+// writeHist renders one histogram series: cumulative le buckets over the
+// promBounds ladder, then _sum (seconds) and _count.
+func writeHist(w io.Writer, name, labels string, s *HistSnapshot) {
+	bins := make([]int64, len(promBounds)+1) // last bin is +Inf
+	for i, c := range s.buckets {
+		if c == 0 {
+			continue
+		}
+		sec := float64(bucketValue(i)) / float64(time.Second)
+		bin := sort.SearchFloat64s(promBounds, sec)
+		bins[bin] += c
+	}
+	var cum int64
+	for i, bound := range promBounds {
+		cum += bins[i]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabel(labels, "le", fmtFloat(bound)), cum)
+	}
+	cum += bins[len(promBounds)]
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabel(labels, "le", "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, fmtFloat(float64(s.sum)/float64(time.Second)))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, s.count)
+}
+
+// mergeLabel appends one label pair to an already-rendered label set.
+func mergeLabel(labels, k, v string) string {
+	if labels == "" {
+		return "{" + k + `="` + v + `"}`
+	}
+	return labels[:len(labels)-1] + "," + k + `="` + v + `"}`
+}
+
+// fmtFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation.
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry at GET /metrics in the text exposition
+// format.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// metric kinds, in Prometheus TYPE vocabulary.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// series is one (name, labels) time series: exactly one of the value
+// fields is set. fn-backed series are read at scrape time, which is how
+// the registry exposes state that already lives in engine atomics
+// without double counting.
+type series struct {
+	labels string
+	c      *Counter
+	g      *Gauge
+	h      *Hist
+	fn     func() float64
+}
+
+// family is every series of one metric name, sharing help and type.
+type family struct {
+	name, help, typ string
+
+	mu     sync.RWMutex
+	series map[string]*series
+	order  []string // registration-stable keys, sorted at exposition
+}
+
+// Registry is a concurrent, name-keyed metrics registry. Metrics are
+// registered (or looked up) by name and static label set; registering
+// the same (name, labels) twice returns the same metric, so packages may
+// idempotently declare what they export. Registering one name under two
+// different types panics — that is a programming error, not input.
+type Registry struct {
+	mu   sync.RWMutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// defaultRegistry is the process-wide registry behind Default.
+var (
+	defaultOnce     sync.Once
+	defaultRegistry *Registry
+)
+
+// Default returns the process-wide registry — what cmd binaries expose
+// at /metrics and what package-scoped instrumentation (dist, session)
+// records into. Libraries with per-instance state (serve.Engine,
+// stream.DynamicGraph) take an explicit registry instead.
+func Default() *Registry {
+	defaultOnce.Do(func() { defaultRegistry = NewRegistry() })
+	return defaultRegistry
+}
+
+// fam returns (creating if needed) the family of one name, enforcing
+// type and help consistency.
+func (r *Registry) fam(name, help, typ string) *family {
+	r.mu.RLock()
+	f := r.fams[name]
+	r.mu.RUnlock()
+	if f == nil {
+		r.mu.Lock()
+		if f = r.fams[name]; f == nil {
+			f = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+			r.fams[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.typ, typ))
+	}
+	return f
+}
+
+// get returns the series of one label set, creating it with mk on first
+// use. Returns the resident series either way.
+func (f *family) get(labels []Label, mk func() *series) *series {
+	key := renderLabels(labels)
+	f.mu.RLock()
+	s := f.series[key]
+	f.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s = f.series[key]; s == nil {
+		s = mk()
+		s.labels = key
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+// replace installs (or overwrites) a fn-backed series. Func metrics read
+// live state owned elsewhere, so re-registration (e.g. a test building a
+// second engine against one registry) is last-writer-wins rather than
+// an error.
+func (f *family) replace(labels []Label, fn func() float64) {
+	key := renderLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s := f.series[key]; s != nil {
+		s.fn = fn
+		return
+	}
+	f.series[key] = &series{labels: key, fn: fn}
+	f.order = append(f.order, key)
+}
+
+// Counter returns the counter of (name, labels), registering it on
+// first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.fam(name, help, typeCounter).get(labels, func() *series { return &series{c: &Counter{}} })
+	if s.c == nil {
+		panic(fmt.Sprintf("obs: metric %q%s is not a plain counter", name, renderLabels(labels)))
+	}
+	return s.c
+}
+
+// Gauge returns the gauge of (name, labels), registering it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.fam(name, help, typeGauge).get(labels, func() *series { return &series{g: &Gauge{}} })
+	if s.g == nil {
+		panic(fmt.Sprintf("obs: metric %q%s is not a plain gauge", name, renderLabels(labels)))
+	}
+	return s.g
+}
+
+// Histogram returns the histogram of (name, labels), registering it on
+// first use.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Hist {
+	s := r.fam(name, help, typeHistogram).get(labels, func() *series { return &series{h: NewHist()} })
+	if s.h == nil {
+		panic(fmt.Sprintf("obs: metric %q%s is not a histogram", name, renderLabels(labels)))
+	}
+	return s.h
+}
+
+// RegisterHistogram exposes an existing histogram (e.g. an engine-owned
+// per-op latency hist) under (name, labels). Re-registration replaces
+// the exposed histogram.
+func (r *Registry) RegisterHistogram(name, help string, h *Hist, labels ...Label) {
+	f := r.fam(name, help, typeHistogram)
+	key := renderLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s := f.series[key]; s != nil {
+		s.h = h
+		return
+	}
+	f.series[key] = &series{labels: key, h: h}
+	f.order = append(f.order, key)
+}
+
+// GaugeFunc exposes fn as a gauge read at scrape time. Re-registration
+// replaces the callback (last writer wins).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.fam(name, help, typeGauge).replace(labels, fn)
+}
+
+// CounterFunc exposes fn as a counter read at scrape time; fn must be
+// monotone non-decreasing. Re-registration replaces the callback.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.fam(name, help, typeCounter).replace(labels, fn)
+}
+
+// families returns a sorted snapshot of the registered families.
+func (r *Registry) families() []*family {
+	r.mu.RLock()
+	out := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		out = append(out, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

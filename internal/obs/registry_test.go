@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryIdempotent checks that registering the same (name, labels)
+// returns the same metric, and distinct labels get distinct series.
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("requests_total", "requests", L("op", "tc"))
+	b := r.Counter("requests_total", "requests", L("op", "tc"))
+	c := r.Counter("requests_total", "requests", L("op", "sim"))
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	if a == c {
+		t.Fatal("distinct labels share a counter")
+	}
+	a.Inc()
+	a.Add(2)
+	if b.Value() != 3 || c.Value() != 0 {
+		t.Fatalf("counter values: shared=%d other=%d", b.Value(), c.Value())
+	}
+}
+
+// TestRegistryTypeMismatchPanics checks that reusing a name under a
+// different metric type is rejected loudly.
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on type mismatch")
+		}
+	}()
+	r.Gauge("x_total", "x")
+}
+
+// TestRegistryConcurrent exercises concurrent registration and use of
+// one name from many goroutines under -race.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("c_total", "c", L("w", string(rune('a'+w%4)))).Inc()
+				r.Gauge("g", "g").Set(float64(i))
+				r.Histogram("h_seconds", "h").Record(time.Duration(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for _, l := range []string{"a", "b", "c", "d"} {
+		total += r.Counter("c_total", "c", L("w", l)).Value()
+	}
+	if total != 8*500 {
+		t.Fatalf("counters total %d, want %d", total, 8*500)
+	}
+	if r.Histogram("h_seconds", "h").Count() != 8*500 {
+		t.Fatalf("hist count %d", r.Histogram("h_seconds", "h").Count())
+	}
+}
+
+// TestPromExposition renders a small registry and checks the text
+// format: HELP/TYPE headers, sorted series, histogram buckets, and
+// escaped label values.
+func TestPromExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pg_requests_total", "Requests served.", L("op", "tc")).Add(7)
+	r.Counter("pg_requests_total", "Requests served.", L("op", "sim")).Add(3)
+	r.Gauge("pg_epoch", "Current epoch.").Set(42)
+	r.GaugeFunc("pg_live", "Live check.", func() float64 { return 1.5 })
+	h := r.Histogram("pg_latency_seconds", "Latency.", L("op", "tc"))
+	h.Record(30 * time.Microsecond) // lands in the le=5e-05 bin
+	h.Record(2 * time.Millisecond)  // lands in the le=0.0025 bin
+	r.Counter("pg_escaped_total", "Escapes.", L("path", `a"b\c`)).Inc()
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP pg_requests_total Requests served.",
+		"# TYPE pg_requests_total counter",
+		`pg_requests_total{op="sim"} 3`,
+		`pg_requests_total{op="tc"} 7`,
+		"# TYPE pg_epoch gauge",
+		"pg_epoch 42",
+		"pg_live 1.5",
+		"# TYPE pg_latency_seconds histogram",
+		`pg_latency_seconds_bucket{op="tc",le="5e-05"} 1`,
+		`pg_latency_seconds_bucket{op="tc",le="0.0025"} 2`,
+		`pg_latency_seconds_bucket{op="tc",le="+Inf"} 2`,
+		`pg_latency_seconds_count{op="tc"} 2`,
+		`pg_escaped_total{path="a\"b\\c"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Series of one family are sorted: sim before tc.
+	if strings.Index(out, `pg_requests_total{op="sim"}`) > strings.Index(out, `pg_requests_total{op="tc"}`) {
+		t.Fatal("series not sorted within family")
+	}
+}
+
+// TestRegisterHistogramExposesExisting checks that an externally-owned
+// histogram (e.g. an engine per-op hist) is scraped through the
+// registry.
+func TestRegisterHistogramExposesExisting(t *testing.T) {
+	r := NewRegistry()
+	h := NewHist()
+	h.Record(time.Millisecond)
+	r.RegisterHistogram("ext_seconds", "External.", h, L("op", "x"))
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `ext_seconds_count{op="x"} 1`) {
+		t.Fatalf("external histogram not exposed:\n%s", sb.String())
+	}
+}

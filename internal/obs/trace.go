@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer collects completed traces into a fixed-size ring, keeping only
+// those whose root span meets the slow threshold — a slow-query journal,
+// not a firehose. It is installed on a context (WithTracer) and picked
+// up by StartSpan at each instrumented layer; requests running without a
+// tracer pay one context lookup and allocate nothing.
+type Tracer struct {
+	threshold time.Duration
+	cap       int
+
+	total atomic.Int64 // root spans finished
+	slow  atomic.Int64 // root spans at/over threshold
+
+	mu   sync.Mutex
+	ring []*Trace // newest-last circular buffer
+	next int
+	id   uint64
+}
+
+// DefaultTraceRing is the journal capacity used when NewTracer is given
+// a non-positive ring size.
+const DefaultTraceRing = 64
+
+// NewTracer returns a tracer keeping the last ringSize traces whose root
+// duration is >= threshold. A non-positive threshold journals every
+// trace (useful in tests and smoke runs).
+func NewTracer(threshold time.Duration, ringSize int) *Tracer {
+	if ringSize <= 0 {
+		ringSize = DefaultTraceRing
+	}
+	return &Tracer{threshold: threshold, cap: ringSize}
+}
+
+// Threshold returns the slow-trace threshold.
+func (t *Tracer) Threshold() time.Duration { return t.threshold }
+
+// Totals reports how many root spans finished and how many met the
+// threshold.
+func (t *Tracer) Totals() (total, slow int64) {
+	return t.total.Load(), t.slow.Load()
+}
+
+// Slow returns the journaled traces, oldest first.
+func (t *Tracer) Slow() []*Trace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Trace, 0, len(t.ring))
+	if len(t.ring) == t.cap {
+		out = append(out, t.ring[t.next:]...)
+	}
+	out = append(out, t.ring[:t.next]...)
+	if len(t.ring) < t.cap {
+		out = out[:len(t.ring)]
+	}
+	return out
+}
+
+// finish folds one completed root trace into the journal.
+func (t *Tracer) finish(tr *Trace) {
+	t.total.Add(1)
+	if tr.Dur < t.threshold {
+		return
+	}
+	t.slow.Add(1)
+	t.mu.Lock()
+	t.id++
+	tr.ID = t.id
+	if len(t.ring) < t.cap {
+		t.ring = append(t.ring, tr)
+		t.next = len(t.ring) % t.cap
+	} else {
+		t.ring[t.next] = tr
+		t.next = (t.next + 1) % t.cap
+	}
+	t.mu.Unlock()
+}
+
+// SpanRec is one completed child span within a trace: its name, depth
+// below the root, offset from the trace start, and duration.
+type SpanRec struct {
+	Name    string        `json:"name"`
+	Depth   int           `json:"depth"`
+	StartUS float64       `json:"start_us"`
+	DurUS   float64       `json:"dur_us"`
+	Start   time.Duration `json:"-"`
+	Dur     time.Duration `json:"-"`
+}
+
+// Trace is one completed root span with its recorded children and
+// attributes — the unit of the /v1/trace journal.
+type Trace struct {
+	ID    uint64            `json:"id"`
+	Name  string            `json:"name"`
+	Begin time.Time         `json:"begin"`
+	DurUS float64           `json:"dur_us"`
+	Dur   time.Duration     `json:"-"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+	Spans []SpanRec         `json:"spans,omitempty"`
+
+	tracer *Tracer
+	mu     sync.Mutex
+}
+
+// Span is one timed phase of a trace. A nil Span (no tracer on the
+// context) is a valid no-op receiver for every method, so call sites
+// never branch on whether tracing is active.
+type Span struct {
+	tr    *Trace
+	name  string
+	start time.Time
+	depth int
+}
+
+type ctxKey int
+
+const (
+	tracerKey ctxKey = iota
+	spanKey
+)
+
+// WithTracer installs a tracer on the context; nil tracers install
+// nothing.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey, t)
+}
+
+// StartSpan begins a span. If the context already carries a span, the
+// new one is its child within the same trace; otherwise, if the context
+// carries a tracer, a new root trace begins; otherwise the returned
+// Span is nil (a no-op) and the context is unchanged. End completes the
+// span; a root End hands the trace to its tracer.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if ctx == nil {
+		return ctx, nil
+	}
+	if parent, ok := ctx.Value(spanKey).(*Span); ok && parent != nil {
+		sp := &Span{tr: parent.tr, name: name, start: time.Now(), depth: parent.depth + 1}
+		return context.WithValue(ctx, spanKey, sp), sp
+	}
+	t, ok := ctx.Value(tracerKey).(*Tracer)
+	if !ok || t == nil {
+		return ctx, nil
+	}
+	now := time.Now()
+	sp := &Span{
+		tr:    &Trace{Name: name, Begin: now, tracer: t},
+		name:  name,
+		start: now,
+	}
+	return context.WithValue(ctx, spanKey, sp), sp
+}
+
+// Attr records a key=value attribute on the span's trace (visible in
+// the journal). Nil-safe.
+func (s *Span) Attr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if s.tr.Attrs == nil {
+		s.tr.Attrs = make(map[string]string, 4)
+	}
+	s.tr.Attrs[key] = value
+	s.tr.mu.Unlock()
+}
+
+// End completes the span. Child spans append their record to the trace;
+// the root span stamps the trace duration and journals it. Nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	if s.depth == 0 {
+		s.tr.Dur = d
+		s.tr.DurUS = float64(d) / float64(time.Microsecond)
+		s.tr.tracer.finish(s.tr)
+		return
+	}
+	off := s.start.Sub(s.tr.Begin)
+	s.tr.mu.Lock()
+	s.tr.Spans = append(s.tr.Spans, SpanRec{
+		Name:    s.name,
+		Depth:   s.depth,
+		Start:   off,
+		Dur:     d,
+		StartUS: float64(off) / float64(time.Microsecond),
+		DurUS:   float64(d) / float64(time.Microsecond),
+	})
+	s.tr.mu.Unlock()
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSpanNoTracerIsNoop checks the off switch: without a tracer on the
+// context, StartSpan returns a nil span whose methods are all safe.
+func TestSpanNoTracerIsNoop(t *testing.T) {
+	ctx, sp := StartSpan(context.Background(), "root")
+	if sp != nil {
+		t.Fatal("span without tracer should be nil")
+	}
+	sp.Attr("k", "v") // must not panic
+	sp.End()
+	if _, child := StartSpan(ctx, "child"); child != nil {
+		t.Fatal("child of a no-op span should be nil")
+	}
+}
+
+// TestTracerJournal records nested spans and checks the journal captures
+// the root, its children with sane offsets, and attributes.
+func TestTracerJournal(t *testing.T) {
+	tr := NewTracer(0, 8) // threshold 0: journal everything
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx, root := StartSpan(ctx, "session/tc")
+	root.Attr("kind", "BF")
+	cctx, child := StartSpan(ctx, "build/pg")
+	time.Sleep(2 * time.Millisecond)
+	if _, grand := StartSpan(cctx, "build/orient"); grand != nil {
+		grand.End()
+	}
+	child.End()
+	root.End()
+
+	total, slow := tr.Totals()
+	if total != 1 || slow != 1 {
+		t.Fatalf("totals = (%d, %d), want (1, 1)", total, slow)
+	}
+	traces := tr.Slow()
+	if len(traces) != 1 {
+		t.Fatalf("journal has %d traces", len(traces))
+	}
+	got := traces[0]
+	if got.Name != "session/tc" || got.Dur < 2*time.Millisecond {
+		t.Fatalf("root = %q dur %v", got.Name, got.Dur)
+	}
+	if got.Attrs["kind"] != "BF" {
+		t.Fatalf("attrs = %v", got.Attrs)
+	}
+	if len(got.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(got.Spans))
+	}
+	var names []string
+	for _, s := range got.Spans {
+		names = append(names, s.Name)
+		if s.Start < 0 || s.Dur < 0 || s.Start+s.Dur > got.Dur+time.Millisecond {
+			t.Fatalf("span %q outside trace: start %v dur %v (trace %v)", s.Name, s.Start, s.Dur, got.Dur)
+		}
+	}
+	joined := strings.Join(names, ",")
+	if !strings.Contains(joined, "build/pg") || !strings.Contains(joined, "build/orient") {
+		t.Fatalf("span names = %v", names)
+	}
+}
+
+// TestTracerThresholdAndRing checks that fast traces are counted but not
+// journaled, and the ring keeps only the newest slow traces.
+func TestTracerThresholdAndRing(t *testing.T) {
+	tr := NewTracer(time.Hour, 2)
+	ctx := WithTracer(context.Background(), tr)
+	for i := 0; i < 3; i++ {
+		_, sp := StartSpan(ctx, "fast")
+		sp.End()
+	}
+	if total, slow := tr.Totals(); total != 3 || slow != 0 {
+		t.Fatalf("totals = (%d, %d)", total, slow)
+	}
+	if len(tr.Slow()) != 0 {
+		t.Fatal("fast traces journaled")
+	}
+
+	tr = NewTracer(0, 2)
+	ctx = WithTracer(context.Background(), tr)
+	for _, name := range []string{"a", "b", "c"} {
+		_, sp := StartSpan(ctx, name)
+		sp.End()
+	}
+	traces := tr.Slow()
+	if len(traces) != 2 || traces[0].Name != "b" || traces[1].Name != "c" {
+		names := make([]string, len(traces))
+		for i, x := range traces {
+			names[i] = x.Name
+		}
+		t.Fatalf("ring = %v, want [b c]", names)
+	}
+	if traces[0].ID >= traces[1].ID {
+		t.Fatalf("IDs not increasing: %d, %d", traces[0].ID, traces[1].ID)
+	}
+}
+
+// TestBuildInfo checks the -version plumbing degrades gracefully and the
+// build_info metric always renders.
+func TestBuildInfo(t *testing.T) {
+	b := ReadBuildInfo()
+	if b.GoVersion == "" || b.Revision == "" {
+		t.Fatalf("build info incomplete: %+v", b)
+	}
+	v := VersionString("pgtest")
+	if !strings.HasPrefix(v, "pgtest ") || !strings.Contains(v, b.GoVersion) {
+		t.Fatalf("version string %q", v)
+	}
+	r := NewRegistry()
+	RegisterBuildInfo(r)
+	RegisterRuntimeMetrics(r)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"probgraph_build_info{", "} 1\n", "go_goroutines"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"probgraph/internal/core"
 	"probgraph/internal/mining"
+	"probgraph/internal/obs"
 	"probgraph/internal/par"
 	"probgraph/internal/session"
 )
@@ -208,6 +209,7 @@ type Engine struct {
 	persistOK, persistErr atomic.Int64
 	lastPersistErr        atomic.Pointer[string]
 	opCounts              [opMax]countErr
+	opHists               [opMax]*Hist // slot 0 unused (malformed ops carry no latency)
 	start                 time.Time
 }
 
@@ -223,6 +225,9 @@ func New(s *Snapshot, opts Options) *Engine {
 		opts:  opts,
 		cache: newLRU(opts.CacheSize),
 		start: time.Now(),
+	}
+	for op := Op(1); op < opMax; op++ {
+		e.opHists[op] = NewHist()
 	}
 	e.cur.Store(newServing(s, opts.Workers))
 	workers := opts.Workers
@@ -303,9 +308,17 @@ func (e *Engine) QueryCtx(ctx context.Context, q Query) (Result, error) {
 		e.count(q.Op, err)
 		return Result{}, err
 	}
+	// Past normalize, q.Op is a valid operation: record its service
+	// latency (cache hits included — sub-µs hits are what the windowed
+	// percentiles are for) and trace it when a tracer rides the context.
+	t0 := time.Now()
+	defer func() { e.opHists[q.Op].Record(time.Since(t0)) }()
+	ctx, sp := obs.StartSpan(ctx, "query/"+q.Op.String())
+	defer sp.End()
 	if q.Op == OpTC {
 		v, err := snapshotTC(ctx, sv, kind)
 		if err != nil {
+			sp.Attr("error", err.Error())
 			e.count(q.Op, err)
 			return Result{}, err
 		}
@@ -314,11 +327,14 @@ func (e *Engine) QueryCtx(ctx context.Context, q Query) (Result, error) {
 	}
 	key := cacheKey{epoch: sv.snap.Epoch, q: q}
 	if r, ok := e.cache.get(key); ok {
+		sp.Attr("cache", "hit")
 		r.Cached = true
 		e.count(q.Op, nil)
 		return r, nil
 	}
-	r := e.b.do(ctx, sv, q)
+	bctx, bsp := obs.StartSpan(ctx, "batch")
+	r := e.b.do(bctx, sv, q)
+	bsp.End()
 	if r.Err != "" {
 		// If the requester's own context died while the query was queued
 		// or evaluating, report the typed context error — callers (and
@@ -328,6 +344,7 @@ func (e *Engine) QueryCtx(ctx context.Context, q Query) (Result, error) {
 		if err == nil {
 			err = errors.New(r.Err)
 		}
+		sp.Attr("error", err.Error())
 		e.count(q.Op, err)
 		return Result{}, err
 	}
@@ -497,6 +514,8 @@ func normalize(sv *serving, q Query) (Query, core.Kind, error) {
 // Query entry (batcher side), through that snapshot's Session with the
 // requester's deadline.
 func (e *Engine) eval(ctx context.Context, sv *serving, q Query) Result {
+	ctx, sp := obs.StartSpan(ctx, "eval/"+q.Op.String())
+	defer sp.End()
 	kind, err := ParseKind(q.Kind)
 	if err != nil {
 		return Result{Err: err.Error()}

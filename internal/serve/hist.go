@@ -12,115 +12,14 @@
 // way exact CSR merges do.
 package serve
 
-import (
-	"math/bits"
-	"sync/atomic"
-	"time"
-)
+import "probgraph/internal/obs"
 
-// Histogram resolution: values keep subBits significant bits, giving
-// buckets within 1/2^subBits (~1.6%) of the recorded value — the
-// HDR-histogram log-linear layout with a fixed footprint.
-const (
-	histSubBits = 6
-	histSubSize = 1 << histSubBits
-	// Largest index is bucketOf(MaxInt64): major 63-histSubBits, so the
-	// table holds (64-histSubBits) major rows of histSubSize buckets.
-	histBuckets = (64 - histSubBits) * histSubSize
-)
-
-// Hist is a concurrent fixed-footprint latency histogram: log-linear
-// buckets (HDR style), atomic recording, quantile reads. The zero value
-// is NOT ready; use NewHist.
-type Hist struct {
-	buckets []int64 // atomic
-	count   int64   // atomic
-	sum     int64   // atomic, ns
-	max     int64   // atomic, ns
-}
+// Hist is the concurrent fixed-footprint latency histogram. The
+// implementation lives in internal/obs so the serving layer, the load
+// driver and the metrics registry share one histogram (including the
+// snapshot/delta machinery behind windowed percentiles); serve keeps the
+// name as an alias for its existing callers.
+type Hist = obs.Hist
 
 // NewHist returns an empty histogram covering [0, ~2^63) nanoseconds.
-func NewHist() *Hist {
-	return &Hist{buckets: make([]int64, histBuckets)}
-}
-
-// bucketOf maps a nanosecond value to its log-linear bucket index.
-func bucketOf(v int64) int {
-	if v < 0 {
-		v = 0
-	}
-	u := uint64(v)
-	if u < histSubSize {
-		return int(u)
-	}
-	exp := bits.Len64(u) - 1 // MSB position, >= histSubBits
-	major := exp - histSubBits + 1
-	minor := int(u>>(exp-histSubBits)) - histSubSize
-	return major<<histSubBits + minor
-}
-
-// bucketValue is the inverse of bucketOf: the lower bound of bucket i.
-func bucketValue(i int) int64 {
-	if i < histSubSize {
-		return int64(i)
-	}
-	major := i >> histSubBits
-	minor := i & (histSubSize - 1)
-	return int64(histSubSize+minor) << (major - 1)
-}
-
-// Record adds one latency observation. Safe for concurrent use.
-func (h *Hist) Record(d time.Duration) {
-	ns := int64(d)
-	if ns < 0 {
-		ns = 0
-	}
-	atomic.AddInt64(&h.buckets[bucketOf(ns)], 1)
-	atomic.AddInt64(&h.count, 1)
-	atomic.AddInt64(&h.sum, ns)
-	for {
-		m := atomic.LoadInt64(&h.max)
-		if ns <= m || atomic.CompareAndSwapInt64(&h.max, m, ns) {
-			return
-		}
-	}
-}
-
-// Count returns the number of recorded observations.
-func (h *Hist) Count() int64 { return atomic.LoadInt64(&h.count) }
-
-// Max returns the largest recorded value.
-func (h *Hist) Max() time.Duration { return time.Duration(atomic.LoadInt64(&h.max)) }
-
-// Mean returns the arithmetic mean of all observations.
-func (h *Hist) Mean() time.Duration {
-	n := h.Count()
-	if n == 0 {
-		return 0
-	}
-	return time.Duration(atomic.LoadInt64(&h.sum) / n)
-}
-
-// Quantile returns the q-quantile (q in [0,1]) to bucket resolution.
-// Concurrent Records move the answer but never corrupt it.
-func (h *Hist) Quantile(q float64) time.Duration {
-	total := h.Count()
-	if total == 0 {
-		return 0
-	}
-	target := int64(q*float64(total) + 0.5)
-	if target < 1 {
-		target = 1
-	}
-	if target > total {
-		target = total
-	}
-	var cum int64
-	for i := range h.buckets {
-		cum += atomic.LoadInt64(&h.buckets[i])
-		if cum >= target {
-			return time.Duration(bucketValue(i))
-		}
-	}
-	return h.Max()
-}
+func NewHist() *Hist { return obs.NewHist() }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"probgraph/internal/mining"
+	"probgraph/internal/obs"
 )
 
 // LoadOpts configures RunLoad, the closed/open-loop query driver.
@@ -38,6 +39,40 @@ type LoadOpts struct {
 	Zipf float64
 	// Seed makes the generated query stream reproducible.
 	Seed uint64
+	// Interval > 0 emits a LoadWindow to OnWindow every Interval: the
+	// queries, errors and latency distribution of just that window,
+	// computed as histogram snapshot deltas. A final partial window is
+	// emitted when the run ends.
+	Interval time.Duration
+	// OnWindow receives the per-interval windows. Called from a single
+	// reporting goroutine; ignored when Interval is 0.
+	OnWindow func(LoadWindow)
+}
+
+// LoadWindow is one reporting interval of a load run: counts and latency
+// for the queries completed within the window only.
+type LoadWindow struct {
+	Index   int           // 0-based window number
+	Start   time.Duration // window start, as an offset from the run start
+	Elapsed time.Duration // actual window length
+	Queries int64
+	Errors  int64
+	Hist    *obs.HistSnapshot // latency of this window's queries
+}
+
+// Throughput returns the window's completed queries per second.
+func (w LoadWindow) Throughput() float64 {
+	if w.Elapsed <= 0 {
+		return 0
+	}
+	return float64(w.Queries) / w.Elapsed.Seconds()
+}
+
+// String formats the window the way pgload prints interval lines.
+func (w LoadWindow) String() string {
+	return fmt.Sprintf("t=%4.1fs  %7d q (%8.1f q/s)  %3d err  p50 %-10v p99 %-10v max %v",
+		(w.Start + w.Elapsed).Seconds(), w.Queries, w.Throughput(), w.Errors,
+		w.Hist.Quantile(0.50), w.Hist.Quantile(0.99), w.Hist.Max())
 }
 
 // DefaultMix is the query mix used when LoadOpts.Mix is nil.
@@ -168,6 +203,51 @@ func RunLoad(opts LoadOpts, do func(Query) (Result, error)) (*LoadReport, error)
 	start := time.Now()
 	deadline := start.Add(opts.Duration)
 
+	// Windowed reporting: a single goroutine ticks at opts.Interval and
+	// emits the delta since the previous snapshot — workers only record
+	// into the shared histogram, so reporting costs them nothing.
+	stopWindows := make(chan struct{})
+	var windowWG sync.WaitGroup
+	if opts.Interval > 0 && opts.OnWindow != nil {
+		windowWG.Add(1)
+		go func() {
+			defer windowWG.Done()
+			ticker := time.NewTicker(opts.Interval)
+			defer ticker.Stop()
+			var prev *obs.HistSnapshot
+			var prevQ, prevE int64
+			index := 0
+			last := start
+			emit := func(now time.Time) {
+				snap := hist.Snapshot()
+				q, e := queries.Load(), errors.Load()
+				opts.OnWindow(LoadWindow{
+					Index:   index,
+					Start:   last.Sub(start),
+					Elapsed: now.Sub(last),
+					Queries: q - prevQ,
+					Errors:  e - prevE,
+					Hist:    snap.Sub(prev),
+				})
+				prev, prevQ, prevE, last = snap, q, e, now
+				index++
+			}
+			for {
+				select {
+				case now := <-ticker.C:
+					emit(now)
+				case <-stopWindows:
+					// Final partial window, so no completed query goes
+					// unreported.
+					if now := time.Now(); now.After(last) {
+						emit(now)
+					}
+					return
+				}
+			}
+		}()
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
@@ -217,6 +297,8 @@ func RunLoad(opts LoadOpts, do func(Query) (Result, error)) (*LoadReport, error)
 		}(w)
 	}
 	wg.Wait()
+	close(stopWindows)
+	windowWG.Wait()
 	return &LoadReport{
 		Queries: queries.Load(),
 		Errors:  errors.Load(),

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"time"
+
+	"probgraph/internal/obs"
+)
+
+// RegisterMetrics exposes the engine's live state on an obs.Registry for
+// Prometheus scraping. Every value is func-backed: the scrape reads the
+// same atomics /v1/stats reads, at scrape time, so the two surfaces can
+// never disagree and no counter is maintained twice. Gauges that depend
+// on the served snapshot go through e.cur.Load(), so they track epoch
+// hot-swaps automatically.
+//
+// The per-kind sketch gauges are registered for the kinds resident at
+// registration time — the stable set for an engine whose snapshots come
+// from one streaming configuration. A kind absent from a later epoch
+// reads 0.
+func (e *Engine) RegisterMetrics(r *obs.Registry) {
+	r.GaugeFunc("probgraph_serve_epoch",
+		"Epoch of the snapshot currently being served.",
+		func() float64 { return float64(e.cur.Load().snap.Epoch) })
+	r.CounterFunc("probgraph_serve_swaps_total",
+		"Snapshot hot-swaps performed.",
+		func() float64 { return float64(e.swaps.Load()) })
+	r.GaugeFunc("probgraph_serve_uptime_seconds",
+		"Seconds since the engine started.",
+		func() float64 { return time.Since(e.start).Seconds() })
+
+	r.GaugeFunc("probgraph_serve_vertices",
+		"Vertices in the served snapshot.",
+		func() float64 { return float64(e.cur.Load().snap.G.NumVertices()) })
+	r.GaugeFunc("probgraph_serve_edges",
+		"Edges in the served snapshot.",
+		func() float64 { return float64(e.cur.Load().snap.G.NumEdges()) })
+	r.GaugeFunc("probgraph_serve_csr_bytes",
+		"Resident bytes of the exact CSR adjacency.",
+		func() float64 { return float64((e.cur.Load().snap.G.SizeBits() + 7) / 8) })
+	for _, k := range e.cur.Load().snap.kinds {
+		kind := k.String()
+		r.GaugeFunc("probgraph_serve_sketch_bytes",
+			"Resident sketch bytes in the served snapshot, by kind.",
+			func() float64 { return float64(e.cur.Load().snap.SketchBytes()[kind]) },
+			obs.L("kind", kind))
+	}
+
+	r.CounterFunc("probgraph_serve_cache_hits_total",
+		"Result cache hits.",
+		func() float64 { return float64(e.cache.hits.Load()) })
+	r.CounterFunc("probgraph_serve_cache_misses_total",
+		"Result cache misses.",
+		func() float64 { return float64(e.cache.misses.Load()) })
+	r.GaugeFunc("probgraph_serve_cache_entries",
+		"Entries currently resident in the result cache.",
+		func() float64 { return float64(e.cache.len()) })
+
+	r.CounterFunc("probgraph_serve_batches_total",
+		"Batches dispatched by the coalescing batcher.",
+		func() float64 { return float64(e.b.nBatches.Load()) })
+	r.CounterFunc("probgraph_serve_batch_queries_total",
+		"Point queries that went through the batcher.",
+		func() float64 { return float64(e.b.nQueries.Load()) })
+	r.CounterFunc("probgraph_serve_coalesced_total",
+		"Queries answered by another identical query's evaluation.",
+		func() float64 { return float64(e.b.nCoalesced.Load()) })
+
+	for _, res := range []struct {
+		name string
+		c    func() float64
+	}{
+		{"ok", func() float64 { return float64(e.ingestOK.Load()) }},
+		{"error", func() float64 { return float64(e.ingestErr.Load()) }},
+	} {
+		r.CounterFunc("probgraph_serve_ingest_total",
+			"Ingest batches accepted/refused, by result.",
+			res.c, obs.L("result", res.name))
+	}
+	for _, res := range []struct {
+		name string
+		c    func() float64
+	}{
+		{"ok", func() float64 { return float64(e.persistOK.Load()) }},
+		{"error", func() float64 { return float64(e.persistErr.Load()) }},
+	} {
+		r.CounterFunc("probgraph_serve_persist_total",
+			"Durable-epoch persist outcomes, by result.",
+			res.c, obs.L("result", res.name))
+	}
+
+	for op := Op(1); op < opMax; op++ {
+		name := op.String()
+		r.CounterFunc("probgraph_serve_requests_total",
+			"Queries served, by op and result.",
+			func() float64 { return float64(e.opCounts[op].ok.Load()) },
+			obs.L("op", name), obs.L("result", "ok"))
+		r.CounterFunc("probgraph_serve_requests_total",
+			"Queries served, by op and result.",
+			func() float64 { return float64(e.opCounts[op].errs.Load()) },
+			obs.L("op", name), obs.L("result", "error"))
+		r.RegisterHistogram("probgraph_serve_latency_seconds",
+			"Query service latency, by op (cache hits included).",
+			e.opHists[op], obs.L("op", name))
+	}
+	// Slot 0 is malformed-op traffic; it carries no latency histogram.
+	r.CounterFunc("probgraph_serve_requests_total",
+		"Queries served, by op and result.",
+		func() float64 { return float64(e.opCounts[0].ok.Load()) },
+		obs.L("op", "unknown"), obs.L("result", "ok"))
+	r.CounterFunc("probgraph_serve_requests_total",
+		"Queries served, by op and result.",
+		func() float64 { return float64(e.opCounts[0].errs.Load()) },
+		obs.L("op", "unknown"), obs.L("result", "error"))
+}

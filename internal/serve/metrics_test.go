@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"probgraph/internal/core"
+	"probgraph/internal/obs"
+)
+
+// scrape fetches and parses a Prometheus text exposition into a flat
+// series → value map ("name{labels}" keys, headers skipped).
+func scrape(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("scrape: content type %q", ct)
+	}
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("scrape: malformed line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("scrape: value of %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestMetricsConsistentWithStats is the integration contract of the
+// observability layer: after traffic, every counter exposed on /metrics
+// must agree exactly with the corresponding /v1/stats field, because
+// both read the same engine atomics. The test drives real HTTP through
+// both surfaces.
+func TestMetricsConsistentWithStats(t *testing.T) {
+	s := testSnapshot(t, core.BF)
+	e := newTestEngine(t, s)
+	reg := obs.NewRegistry()
+	e.RegisterMetrics(reg)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", Handler(e))
+	mux.Handle("GET /metrics", obs.Handler(reg))
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	do := HTTPDoer(nil, srv.URL)
+	n := uint32(s.G.NumVertices())
+	for i := uint32(0); i < 200; i++ {
+		q := Query{Op: OpSimilarity, U: i % n, V: (i*7 + 1) % n}
+		switch i % 4 {
+		case 1:
+			q = Query{Op: OpLocalTC, U: i % n}
+		case 2:
+			q = Query{Op: OpNeighbors, U: i % n}
+		case 3:
+			q = Query{Op: OpTopK, U: i % n, K: 5}
+		}
+		if _, err := do(q); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	if _, err := do(Query{Op: OpTC}); err != nil {
+		t.Fatalf("tc: %v", err)
+	}
+	// One invalid request lands in the error counters.
+	if _, err := do(Query{Op: OpSimilarity, U: n + 100, V: 0}); err == nil {
+		t.Fatal("out-of-range query succeeded")
+	}
+
+	stats, err := FetchStats(nil, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := scrape(t, srv.URL+"/metrics")
+
+	want := func(key string, v float64) {
+		t.Helper()
+		got, ok := series[key]
+		if !ok {
+			t.Fatalf("/metrics is missing %s", key)
+		}
+		if got != v {
+			t.Fatalf("%s = %v on /metrics, %v on /v1/stats", key, got, v)
+		}
+	}
+	want("probgraph_serve_epoch", float64(stats.Epoch))
+	want("probgraph_serve_vertices", float64(stats.Vertices))
+	want("probgraph_serve_edges", float64(stats.Edges))
+	want("probgraph_serve_csr_bytes", float64(stats.CSRBytes))
+	want(`probgraph_serve_sketch_bytes{kind="BF"}`, float64(stats.SketchBytes["BF"]))
+	want("probgraph_serve_cache_hits_total", float64(stats.Cache.Hits))
+	want("probgraph_serve_cache_misses_total", float64(stats.Cache.Misses))
+	want("probgraph_serve_batches_total", float64(stats.Batch.Batches))
+	want("probgraph_serve_batch_queries_total", float64(stats.Batch.Queries))
+	want("probgraph_serve_coalesced_total", float64(stats.Batch.Coalesced))
+	for op, os := range stats.Ops {
+		want(fmt.Sprintf(`probgraph_serve_requests_total{op=%q,result="ok"}`, op), float64(os.OK))
+		want(fmt.Sprintf(`probgraph_serve_requests_total{op=%q,result="error"}`, op), float64(os.Errors))
+		if op == "unknown" {
+			continue
+		}
+		// The latency histogram records every request that passed
+		// validation: at least every OK, at most every request.
+		key := fmt.Sprintf(`probgraph_serve_latency_seconds_count{op=%q}`, op)
+		if c := series[key]; c < float64(os.OK) || c > float64(os.OK+os.Errors) {
+			t.Fatalf("%s = %v, want within [%d, %d]", key, c, os.OK, os.OK+os.Errors)
+		}
+	}
+	if stats.Ops["similarity"].OK == 0 || stats.Ops["similarity"].Errors == 0 {
+		t.Fatalf("similarity traffic not counted: %+v", stats.Ops["similarity"])
+	}
+	// The quantile satellite: ops with traffic expose non-zero p50 ≤ p99 ≤ max.
+	for op, os := range stats.Ops {
+		if os.OK == 0 {
+			continue
+		}
+		if os.MaxUS <= 0 || os.P50US > os.P99US || os.P99US > os.MaxUS {
+			t.Fatalf("%s quantiles inconsistent: %+v", op, os)
+		}
+	}
+}
+
+// TestStatsOpsJSONShape checks the /v1/stats wire shape: per-op entries
+// carry the quantile fields, and malformed-op traffic is reported under
+// "unknown" by the single stats loop.
+func TestStatsOpsJSONShape(t *testing.T) {
+	s := testSnapshot(t, core.BF)
+	e := newTestEngine(t, s)
+	if _, err := e.Query(Query{Op: OpSimilarity, U: 1, V: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query(Query{Op: Op(200), U: 1}); err == nil {
+		t.Fatal("bogus op succeeded")
+	}
+	st := e.Stats()
+	if st.Ops["unknown"].Errors != 1 {
+		t.Fatalf("unknown-op traffic not folded into stats: %+v", st.Ops)
+	}
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"p50_us"`) {
+		t.Fatalf("stats JSON lacks quantiles: %s", raw)
+	}
+}

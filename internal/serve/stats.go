@@ -34,10 +34,16 @@ func (b BatchStats) MeanSize() float64 {
 	return float64(b.Queries) / float64(b.Batches)
 }
 
-// OpStats is one operation's served/error counts.
+// OpStats is one operation's served/error counts plus its lifetime
+// latency quantiles in microseconds (absent for the ingest/persist
+// counters, which have no latency histogram).
 type OpStats struct {
-	OK     int64 `json:"ok"`
-	Errors int64 `json:"errors"`
+	OK     int64   `json:"ok"`
+	Errors int64   `json:"errors"`
+	P50US  float64 `json:"p50_us,omitempty"`
+	P90US  float64 `json:"p90_us,omitempty"`
+	P99US  float64 `json:"p99_us,omitempty"`
+	MaxUS  float64 `json:"max_us,omitempty"`
 }
 
 // ArtifactStats reports the binary artifact a snapshot was restored
@@ -107,14 +113,26 @@ func (e *Engine) Stats() Stats {
 	for _, k := range sv.snap.kinds {
 		s.Kinds = append(s.Kinds, k.String())
 	}
-	for op := Op(1); op < opMax; op++ {
+	// One loop over every counter slot: slot 0 accumulates malformed-op
+	// traffic under the name "unknown", the rest use their wire names.
+	for op := Op(0); op < opMax; op++ {
 		ok, errs := e.opCounts[op].ok.Load(), e.opCounts[op].errs.Load()
-		if ok+errs > 0 {
-			s.Ops[op.String()] = OpStats{OK: ok, Errors: errs}
+		if ok+errs == 0 {
+			continue
 		}
-	}
-	if ok, errs := e.opCounts[0].ok.Load(), e.opCounts[0].errs.Load(); ok+errs > 0 {
-		s.Ops["unknown"] = OpStats{OK: ok, Errors: errs}
+		name := "unknown"
+		if op != 0 {
+			name = op.String()
+		}
+		os := OpStats{OK: ok, Errors: errs}
+		if h := e.opHists[op]; h != nil && h.Count() > 0 {
+			const us = float64(time.Microsecond)
+			os.P50US = float64(h.Quantile(0.50)) / us
+			os.P90US = float64(h.Quantile(0.90)) / us
+			os.P99US = float64(h.Quantile(0.99)) / us
+			os.MaxUS = float64(h.Max()) / us
+		}
+		s.Ops[name] = os
 	}
 	return s
 }

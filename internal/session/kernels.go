@@ -10,6 +10,7 @@ import (
 	"probgraph/internal/estimator"
 	"probgraph/internal/graph"
 	"probgraph/internal/mining"
+	"probgraph/internal/obs"
 )
 
 // Mode selects between the exact CSR baseline and the ProbGraph sketch
@@ -102,12 +103,21 @@ func (s *Session) Run(ctx context.Context, k Kernel) (Result, error) {
 		return Result{}, err
 	}
 	start := time.Now()
+	ctx, sp := obs.StartSpan(ctx, "session/"+k.Name())
 	res, err := k.run(ctx, s)
 	if err != nil {
+		sp.Attr("error", err.Error())
+		sp.End()
+		obs.Default().Counter("probgraph_session_kernel_errors_total",
+			"Kernel runs that returned an error, by kernel.",
+			obs.L("kernel", k.Name())).Inc()
 		return Result{}, err
 	}
 	res.Kernel = k.Name()
 	res.Elapsed = time.Since(start)
+	sp.Attr("mode", res.Mode.String())
+	sp.End()
+	kernelHist(k.Name(), res.Mode).Record(res.Elapsed)
 	return res, nil
 }
 
@@ -182,7 +192,9 @@ func (k TC) run(ctx context.Context, s *Session) (Result, error) {
 			return Result{}, err
 		}
 		res := Result{Mode: Sketched, Kind: pg.Cfg.Kind, Value: est}
+		_, bsp := obs.StartSpan(ctx, "bound/tc")
 		res.Bound, res.Confidence = s.tcBound(pg)
+		bsp.End()
 		return res, nil
 	}
 	return Result{}, errMode("tc", k.Mode)

@@ -1,0 +1,26 @@
+package session
+
+import (
+	"sync"
+
+	"probgraph/internal/obs"
+)
+
+// kernelHists caches the per-(kernel, mode) latency histograms so the
+// hot Run path pays one sync.Map read instead of rendering registry
+// labels on every kernel call.
+var kernelHists sync.Map // "tc/sketched" → *obs.Hist
+
+// kernelHist returns the shared wall-clock histogram of one kernel/mode
+// combination, registered on the default registry on first use.
+func kernelHist(kernel string, mode Mode) *obs.Hist {
+	key := kernel + "/" + mode.String()
+	if h, ok := kernelHists.Load(key); ok {
+		return h.(*obs.Hist)
+	}
+	h := obs.Default().Histogram("probgraph_session_kernel_seconds",
+		"Kernel wall-clock time, by kernel and mode.",
+		obs.L("kernel", kernel), obs.L("mode", mode.String()))
+	actual, _ := kernelHists.LoadOrStore(key, h)
+	return actual.(*obs.Hist)
+}

@@ -27,6 +27,7 @@ import (
 	"probgraph/internal/core"
 	"probgraph/internal/estimator"
 	"probgraph/internal/graph"
+	"probgraph/internal/obs"
 )
 
 // OrientKind selects which cached orientation the counting kernels use.
@@ -286,6 +287,11 @@ func (s *Session) Oriented(ctx context.Context) (*graph.Oriented, error) {
 	s.st.mu.Unlock()
 	orient, workers := s.cfg.orient, s.cfg.workers
 	return c.get(func() (*graph.Oriented, error) {
+		// The build runs once per Session state; the leader's context
+		// carries the span, so a trace shows who paid for the build.
+		_, sp := obs.StartSpan(ctx, "build/orient")
+		defer sp.End()
+		sp.Attr("orient", orient.String())
 		if orient == OrientDegeneracy {
 			return s.st.g.OrientBy(s.st.g.DegeneracyRank(), workers), nil
 		}
@@ -301,6 +307,9 @@ func (s *Session) PG(ctx context.Context) (*core.PG, error) {
 	}
 	c := s.pgCell(s.key(false))
 	return c.get(func() (*core.PG, error) {
+		_, sp := obs.StartSpan(ctx, "build/pg")
+		defer sp.End()
+		sp.Attr("kind", s.cfg.kind.String())
 		return core.Build(s.st.g, s.coreConfig())
 	})
 }
@@ -314,6 +323,9 @@ func (s *Session) OrientedPG(ctx context.Context) (*core.PG, error) {
 	}
 	c := s.pgCell(s.key(true))
 	return c.get(func() (*core.PG, error) {
+		_, sp := obs.StartSpan(ctx, "build/pg-oriented")
+		defer sp.End()
+		sp.Attr("kind", s.cfg.kind.String())
 		return core.BuildOriented(o, s.st.g.SizeBits(), s.coreConfig())
 	})
 }

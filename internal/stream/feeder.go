@@ -1,10 +1,13 @@
 package stream
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"probgraph/internal/graph"
+	"probgraph/internal/obs"
 	"probgraph/internal/serve"
 )
 
@@ -17,11 +20,44 @@ type Feeder struct {
 	mu sync.Mutex
 	d  *DynamicGraph
 	e  *serve.Engine
+
+	tracer atomic.Pointer[obs.Tracer]
+
+	batches     atomic.Int64
+	lastSwapNS  atomic.Int64 // unix nanos of the last published epoch
+	lastBuildNS atomic.Int64 // apply→swap latency of the last batch
 }
 
 // NewFeeder returns a Feeder; attach it with e.EnableIngest(f).
 func NewFeeder(d *DynamicGraph, e *serve.Engine) *Feeder {
 	return &Feeder{d: d, e: e}
+}
+
+// SetTracer attaches a span tracer: every subsequent Ingest emits an
+// "ingest" root span with apply/freeze/persist/swap children, journaled
+// by the tracer when the batch exceeds its slow threshold.
+func (f *Feeder) SetTracer(t *obs.Tracer) { f.tracer.Store(t) }
+
+// RegisterMetrics exposes the feeder's ingest-lag view: batches
+// published, seconds since the last published epoch (the serving
+// staleness a reader of this feed observes), and the last batch's
+// apply→swap build time.
+func (f *Feeder) RegisterMetrics(r *obs.Registry) {
+	r.CounterFunc("probgraph_stream_ingest_batches_total",
+		"Batches ingested and published by the feeder.",
+		func() float64 { return float64(f.batches.Load()) })
+	r.GaugeFunc("probgraph_stream_ingest_lag_seconds",
+		"Seconds since the feeder last published an epoch; -1 before the first.",
+		func() float64 {
+			last := f.lastSwapNS.Load()
+			if last == 0 {
+				return -1
+			}
+			return time.Since(time.Unix(0, last)).Seconds()
+		})
+	r.GaugeFunc("probgraph_stream_last_build_seconds",
+		"Apply→freeze→swap latency of the most recent ingested batch.",
+		func() float64 { return float64(f.lastBuildNS.Load()) / float64(time.Second) })
 }
 
 // Ingest implements serve.Ingestor: apply → freeze (+persist) → swap.
@@ -31,25 +67,43 @@ func NewFeeder(d *DynamicGraph, e *serve.Engine) *Feeder {
 func (f *Feeder) Ingest(add, del []graph.Edge) (serve.IngestResult, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	ctx := context.Background()
+	if t := f.tracer.Load(); t != nil {
+		ctx = obs.WithTracer(ctx, t)
+	}
+	ctx, sp := obs.StartSpan(ctx, "ingest")
+	defer sp.End()
 	t0 := time.Now()
+	_, asp := obs.StartSpan(ctx, "ingest/apply")
 	st, err := f.d.ApplyBatch(add, del)
+	asp.End()
 	if err != nil {
+		sp.Attr("error", err.Error())
 		return serve.IngestResult{}, err
 	}
-	snap, ps, err := f.d.FreezePersist()
+	snap, ps, err := f.d.FreezePersistCtx(ctx)
 	if err != nil {
+		sp.Attr("error", err.Error())
 		return serve.IngestResult{}, err
 	}
-	if _, err := f.e.Swap(snap); err != nil {
+	_, ssp := obs.StartSpan(ctx, "ingest/swap")
+	_, err = f.e.Swap(snap)
+	ssp.End()
+	if err != nil {
+		sp.Attr("error", err.Error())
 		return serve.IngestResult{}, err
 	}
+	elapsed := time.Since(t0)
+	f.batches.Add(1)
+	f.lastSwapNS.Store(time.Now().UnixNano())
+	f.lastBuildNS.Store(int64(elapsed))
 	res := serve.IngestResult{
 		Epoch:     snap.Epoch,
 		Vertices:  snap.G.NumVertices(),
 		Edges:     snap.G.NumEdges(),
 		Added:     st.Added,
 		Removed:   st.Removed,
-		BuildMS:   float64(time.Since(t0)) / float64(time.Millisecond),
+		BuildMS:   float64(elapsed) / float64(time.Millisecond),
 		Persisted: ps.Attempted && ps.Err == nil,
 	}
 	if ps.Err != nil {

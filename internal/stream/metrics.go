@@ -1,0 +1,55 @@
+package stream
+
+import "probgraph/internal/obs"
+
+// RegisterMetrics exposes the DynamicGraph's mutation counters, shape
+// gauges, freeze latency and the memory of every maintained sketch set
+// on an obs.Registry. Everything is func-backed against the same state
+// Stats() reads, so /metrics and Stats can never disagree. The
+// maintained PGs are stable pointers for the DynamicGraph's lifetime,
+// so their memory gauges track growth and re-sketching in place.
+func (d *DynamicGraph) RegisterMetrics(r *obs.Registry) {
+	r.CounterFunc("probgraph_stream_batches_total",
+		"Mutation batches applied.",
+		func() float64 { return float64(d.Stats().Batches) })
+	r.CounterFunc("probgraph_stream_edges_added_total",
+		"Edge insertions that took effect.",
+		func() float64 { return float64(d.Stats().EdgesAdded) })
+	r.CounterFunc("probgraph_stream_edges_removed_total",
+		"Edge deletions that took effect.",
+		func() float64 { return float64(d.Stats().EdgesRemoved) })
+	r.CounterFunc("probgraph_stream_rows_resketched_total",
+		"Vertex rows rebuilt by the deletion path.",
+		func() float64 { return float64(d.Stats().RowsResketched) })
+	r.CounterFunc("probgraph_stream_vertices_grown_total",
+		"New vertices introduced by ingested batches.",
+		func() float64 { return float64(d.Stats().VerticesGrown) })
+	r.GaugeFunc("probgraph_stream_vertices",
+		"Current (unfrozen) vertex count.",
+		func() float64 { return float64(d.NumVertices()) })
+	r.GaugeFunc("probgraph_stream_edges",
+		"Current (unfrozen) undirected edge count.",
+		func() float64 { return float64(d.NumEdges()) })
+	r.GaugeFunc("probgraph_stream_epoch",
+		"Latest frozen epoch; 0 before the first freeze.",
+		func() float64 {
+			if snap := d.frozen.Load(); snap != nil {
+				return float64(snap.Epoch)
+			}
+			return 0
+		})
+	r.CounterFunc("probgraph_stream_persists_total",
+		"Durable-epoch persist outcomes, by result.",
+		func() float64 { return float64(d.Stats().Persists) },
+		obs.L("result", "ok"))
+	r.CounterFunc("probgraph_stream_persists_total",
+		"Durable-epoch persist outcomes, by result.",
+		func() float64 { return float64(d.Stats().PersistErrors) },
+		obs.L("result", "error"))
+	r.RegisterHistogram("probgraph_stream_freeze_seconds",
+		"Freeze latency: CSR + orientation + sketch clones per epoch.",
+		d.freezeHist)
+	for _, k := range d.kinds {
+		d.pgs[k].RegisterMemoryGauges(r, obs.L("kind", k.String()))
+	}
+}

@@ -41,13 +41,16 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"probgraph/internal/core"
 	"probgraph/internal/graph"
+	"probgraph/internal/obs"
 	"probgraph/internal/serve"
 	"probgraph/internal/session"
 )
@@ -80,6 +83,10 @@ type DynamicGraph struct {
 	batches, added, removed, resketched, grown int64
 
 	frozen atomic.Pointer[serve.Snapshot] // latest completed Freeze
+
+	// freezeHist times the freeze (CSR + orientation + clone) path; it
+	// backs the probgraph_stream_freeze_seconds metric.
+	freezeHist *obs.Hist
 
 	// Durable-epoch state: an optional hook run after every successful
 	// Freeze (see SetPersist). pmu serializes persists and orders them by
@@ -149,11 +156,12 @@ func NewWith(g *graph.Graph, cfg serve.SnapshotConfig, prebuilt map[core.Kind]*c
 	}
 	n := g.NumVertices()
 	d := &DynamicGraph{
-		cfg:     cfg,
-		MaxGrow: DefaultMaxGrow,
-		adj:     make([][]uint32, n),
-		m:       int64(g.NumEdges()),
-		pgs:     make(map[core.Kind]*core.PG, len(cfg.Kinds)),
+		cfg:        cfg,
+		MaxGrow:    DefaultMaxGrow,
+		adj:        make([][]uint32, n),
+		m:          int64(g.NumEdges()),
+		pgs:        make(map[core.Kind]*core.PG, len(cfg.Kinds)),
+		freezeHist: obs.NewHist(),
 	}
 	for v := 0; v < n; v++ {
 		nv := g.Neighbors(uint32(v))
@@ -361,14 +369,29 @@ func (d *DynamicGraph) Freeze() (*serve.Snapshot, error) {
 // form the ingest path uses so each batch can report whether it reached
 // durable storage.
 func (d *DynamicGraph) FreezePersist() (*serve.Snapshot, PersistStatus, error) {
+	return d.FreezePersistCtx(context.Background())
+}
+
+// FreezePersistCtx is FreezePersist under a caller context, which exists
+// so a tracer riding the context (obs.WithTracer) sees the freeze and
+// persist phases as separate spans. The context does not cancel the
+// freeze — an epoch is published whole or not at all.
+func (d *DynamicGraph) FreezePersistCtx(ctx context.Context) (*serve.Snapshot, PersistStatus, error) {
+	_, fsp := obs.StartSpan(ctx, "stream/freeze")
 	snap, err := d.freeze()
+	fsp.End()
 	if err != nil {
 		return nil, PersistStatus{}, err
 	}
-	return snap, d.runPersist(snap), nil
+	_, psp := obs.StartSpan(ctx, "stream/persist")
+	ps := d.runPersist(snap)
+	psp.End()
+	return snap, ps, nil
 }
 
 func (d *DynamicGraph) freeze() (*serve.Snapshot, error) {
+	t0 := time.Now()
+	defer func() { d.freezeHist.Record(time.Since(t0)) }()
 	d.mu.RLock()
 	g := d.csr()
 	clones := make(map[core.Kind]*core.PG, len(d.pgs))
