@@ -8,6 +8,11 @@
 //	pgload -addr http://127.0.0.1:8080 -duration 10s            # closed loop
 //	pgload -qps 5000 -workers 16 -mix similarity:8,topk:1       # open loop
 //	pgload -duration 5s -ingest-qps 4 -ingest-batch 256         # mixed churn
+//	pgload -targets http://r1:8080,http://r2:8080 -duration 10s # fleet round-robin
+//
+// With -targets the query stream round-robins across several servers or
+// pgrouters; the final summary breaks requests and errors down per
+// target (stats and ingest go to the first target).
 //
 // With -ingest-qps > 0 a concurrent ingest loop POSTs random edge
 // batches to /v1/ingest (against a pgserve started with -stream) while
@@ -31,6 +36,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"probgraph/internal/graph"
@@ -41,6 +47,7 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", "http://127.0.0.1:8080", "server base URL")
+		targets  = flag.String("targets", "", "comma-separated server/router base URLs; queries round-robin across them (overrides -addr; stats come from the first)")
 		duration = flag.Duration("duration", 10*time.Second, "run length")
 		qps      = flag.Float64("qps", 0, "open-loop target rate (0 = closed loop)")
 		workers  = flag.Int("workers", 8, "concurrent client connections")
@@ -63,11 +70,28 @@ func main() {
 		return
 	}
 
-	base := *addr
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
+	// One base URL per target; -targets spreads the query stream over a
+	// fleet (e.g. several pgrouters, or routers beside a pgserve for an
+	// apples-to-apples run). Stats and ingest go to the first target.
+	rawTargets := []string{*addr}
+	if *targets != "" {
+		rawTargets = strings.Split(*targets, ",")
 	}
-	base = strings.TrimRight(base, "/")
+	bases := make([]string, 0, len(rawTargets))
+	for _, t := range rawTargets {
+		t = strings.TrimSpace(t)
+		if t == "" {
+			continue
+		}
+		if !strings.Contains(t, "://") {
+			t = "http://" + t
+		}
+		bases = append(bases, strings.TrimRight(t, "/"))
+	}
+	if len(bases) == 0 {
+		log.Fatal("pgload: no targets")
+	}
+	base := bases[0]
 
 	client := &http.Client{
 		Timeout: 10 * time.Second,
@@ -97,8 +121,12 @@ func main() {
 	if *ingestQPS > 0 {
 		mode += fmt.Sprintf(" + ingest @ %.1f batches/s × %d edges", *ingestQPS, *ingestBatch)
 	}
+	targetNote := base
+	if len(bases) > 1 {
+		targetNote = fmt.Sprintf("%d targets (stats from %s)", len(bases), base)
+	}
 	log.Printf("pgload: %s, %d workers, %v against %s (n=%d, epoch %d)",
-		mode, *workers, *duration, base, before.Vertices, before.Epoch)
+		mode, *workers, *duration, targetNote, before.Vertices, before.Epoch)
 
 	// The ingest loop runs beside the query workers: reproducible random
 	// edge batches at a fixed rate, each advancing the served epoch.
@@ -174,13 +202,36 @@ func main() {
 			fmt.Println(w)
 		}
 	}
-	rep, err := serve.RunLoad(opts, serve.HTTPDoer(client, base))
+	// Round-robin dispatch over the target list with per-target counts,
+	// so a fleet run shows which target ate the errors.
+	doers := make([]func(serve.Query) (serve.Result, error), len(bases))
+	for i, b := range bases {
+		doers[i] = serve.HTTPDoer(client, b)
+	}
+	perTarget := make([]struct{ reqs, errs atomic.Int64 }, len(bases))
+	var next atomic.Int64
+	doer := func(q serve.Query) (serve.Result, error) {
+		i := int(next.Add(1)-1) % len(bases)
+		res, err := doers[i](q)
+		perTarget[i].reqs.Add(1)
+		if err != nil {
+			perTarget[i].errs.Add(1)
+		}
+		return res, err
+	}
+	rep, err := serve.RunLoad(opts, doer)
 	if err != nil {
 		log.Fatalf("pgload: %v", err)
 	}
 
 	ingestWG.Wait()
 	fmt.Println(rep)
+	if len(bases) > 1 {
+		for i, b := range bases {
+			fmt.Printf("target %d: %s — %d queries, %d errors\n",
+				i, b, perTarget[i].reqs.Load(), perTarget[i].errs.Load())
+		}
+	}
 	if *ingestQPS > 0 {
 		fmt.Printf("ingest: %d batches (%d edges applied), %d errors\n",
 			ingestBatches, ingested, ingestErrs)

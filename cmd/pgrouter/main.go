@@ -1,0 +1,113 @@
+// Command pgrouter fronts a fleet of pgshard workers with the same HTTP
+// API pgserve exposes — existing clients (pgload included) work against
+// it unchanged — plus the cluster control surface:
+//
+//	POST /v1/query           point queries, routed to the owning shard
+//	GET  /v1/stats           serve-compatible stats + per-shard cluster section
+//	POST /v1/cluster/kernel  scatter-gather TC / similarity over every shard
+//	POST /v1/cluster/swap    rolling swap of the fleet onto a new artifact
+//	GET  /healthz            {"status","shards","up"}; 503 unless all shards up
+//	GET  /metrics            Prometheus exposition (per-shard health, RPC
+//	                         latency, measured wire bytes, row-cache traffic)
+//	GET  /debug/pprof/*      Go profiling endpoints
+//
+// Usage:
+//
+//	pgrouter -addr 127.0.0.1:8080 \
+//	    -shards 127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002
+//
+// The -shards list must match each shard's -peers list, in the same
+// order; the router validates every shard's self-reported position and
+// graph shape at startup.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"probgraph/internal/cluster"
+	"probgraph/internal/obs"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		shards      = flag.String("shards", "", "comma-separated shard RPC addresses in index order (required)")
+		cacheSize   = flag.Int("cache", 1<<16, "router row-cache entries (0 = disabled)")
+		timeout     = flag.Duration("timeout", 10*time.Second, "per point/row RPC budget")
+		partialWait = flag.Duration("partial-timeout", 2*time.Minute, "per shard budget for one global-kernel partial")
+		connectWait = flag.Duration("connect-wait", 10*time.Second, "how long to retry unreachable shards at startup")
+		health      = flag.Duration("health-interval", 500*time.Millisecond, "shard health probe cadence")
+		version     = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionString("pgrouter"))
+		return
+	}
+	if *shards == "" {
+		log.Fatal("pgrouter: -shards is required (comma-separated pgshard addresses)")
+	}
+	addrs := strings.Split(*shards, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+	cache := *cacheSize
+	if cache == 0 {
+		cache = -1
+	}
+
+	r, err := cluster.Dial(cluster.RouterConfig{
+		Addrs: addrs, CacheSize: cache,
+		Timeout: *timeout, PartialTimeout: *partialWait,
+		ConnectWait: *connectWait, HealthInterval: *health,
+	})
+	if err != nil {
+		log.Fatalf("pgrouter: %v", err)
+	}
+	defer r.Close()
+	s := r.Stats()
+	log.Printf("pgrouter: %s", obs.VersionString("pgrouter"))
+	log.Printf("pgrouter: %d/%d shards up, serving n=%d m=%d epoch %d",
+		s.Cluster.Healthy, s.Cluster.Shards, s.Vertices, s.Edges, s.Epoch)
+
+	reg := obs.Default()
+	obs.RegisterBuildInfo(reg)
+	obs.RegisterRuntimeMetrics(reg)
+	r.RegisterMetrics(reg)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", r.Handler())
+	mux.Handle("GET /metrics", obs.Handler(reg))
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Printf("pgrouter: shutting down")
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shCtx)
+	}()
+
+	log.Printf("pgrouter: listening on http://%s", *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("pgrouter: %v", err)
+	}
+}

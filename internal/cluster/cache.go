@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// rowKey identifies one cached row: the owning shard's serving epoch
+// plus the row address. Epoch-keying is what the per-node cache of
+// dist/node.go becomes when promoted to a long-lived router: a shard
+// swap advances its epoch, new fetches key under the new epoch, and the
+// stale rows age out of the LRU — the same invalidation-for-free the
+// serve result cache gets from snapshot epochs.
+type rowKey struct {
+	epoch  uint64
+	space  uint8
+	kind   uint8
+	vertex uint32
+}
+
+// rowCache is a mutex-protected LRU of row payloads (pgio codec bytes)
+// with hit/miss counters, sized in entries.
+type rowCache struct {
+	mu    sync.Mutex
+	cap   int
+	items map[rowKey]*list.Element
+	order *list.List // front = most recent
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type rowEntry struct {
+	key rowKey
+	row []byte
+}
+
+// newRowCache returns a cache of up to capacity rows; capacity <= 0
+// disables caching.
+func newRowCache(capacity int) *rowCache {
+	return &rowCache{
+		cap:   capacity,
+		items: make(map[rowKey]*list.Element, max(capacity, 0)),
+		order: list.New(),
+	}
+}
+
+// get returns the cached row, refreshing its recency. The returned slice
+// is shared: callers must not mutate it.
+func (c *rowCache) get(key rowKey) ([]byte, bool) {
+	if c.cap <= 0 {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.mu.Lock()
+	el, ok := c.items[key]
+	var row []byte
+	if ok {
+		c.order.MoveToFront(el)
+		row = el.Value.(*rowEntry).row
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return row, true
+}
+
+// put inserts (or refreshes) a row, evicting the least recently used
+// entry when over capacity.
+func (c *rowCache) put(key rowKey, row []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*rowEntry).row = row
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&rowEntry{key: key, row: row})
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*rowEntry).key)
+	}
+}
+
+// len returns the current entry count.
+func (c *rowCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

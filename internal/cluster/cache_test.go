@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRowCacheEpochKeying(t *testing.T) {
+	c := newRowCache(8)
+	old := rowKey{epoch: 1, space: rowNeighborhood, vertex: 7}
+	c.put(old, []byte("epoch1"))
+	if row, ok := c.get(old); !ok || string(row) != "epoch1" {
+		t.Fatalf("get(epoch 1) = %q, %v", row, ok)
+	}
+	// The same row address under a new epoch is a distinct key: a shard
+	// swap must never serve stale bytes.
+	fresh := rowKey{epoch: 2, space: rowNeighborhood, vertex: 7}
+	if _, ok := c.get(fresh); ok {
+		t.Fatal("epoch 2 key hit an epoch 1 entry")
+	}
+	c.put(fresh, []byte("epoch2"))
+	if row, _ := c.get(fresh); string(row) != "epoch2" {
+		t.Fatalf("get(epoch 2) = %q", row)
+	}
+	if row, _ := c.get(old); string(row) != "epoch1" {
+		t.Fatalf("epoch 1 entry clobbered: %q", row)
+	}
+}
+
+func TestRowCacheEviction(t *testing.T) {
+	c := newRowCache(4)
+	for v := uint32(0); v < 4; v++ {
+		c.put(rowKey{epoch: 1, vertex: v}, []byte{byte(v)})
+	}
+	c.get(rowKey{epoch: 1, vertex: 0}) // refresh 0: vertex 1 is now oldest
+	c.put(rowKey{epoch: 1, vertex: 9}, []byte{9})
+	if c.len() != 4 {
+		t.Fatalf("len = %d, want 4", c.len())
+	}
+	if _, ok := c.get(rowKey{epoch: 1, vertex: 1}); ok {
+		t.Fatal("LRU kept the least recently used entry")
+	}
+	for _, v := range []uint32{0, 2, 3, 9} {
+		if _, ok := c.get(rowKey{epoch: 1, vertex: v}); !ok {
+			t.Fatalf("vertex %d evicted out of LRU order", v)
+		}
+	}
+}
+
+func TestRowCacheDisabled(t *testing.T) {
+	c := newRowCache(-1)
+	c.put(rowKey{epoch: 1, vertex: 0}, []byte("x"))
+	if _, ok := c.get(rowKey{epoch: 1, vertex: 0}); ok {
+		t.Fatal("disabled cache returned a row")
+	}
+	if c.len() != 0 {
+		t.Fatalf("disabled cache holds %d entries", c.len())
+	}
+}
+
+func TestRowCacheCounters(t *testing.T) {
+	c := newRowCache(2)
+	c.put(rowKey{vertex: 1}, []byte("a"))
+	c.get(rowKey{vertex: 1})
+	c.get(rowKey{vertex: 2})
+	if h, m := c.hits.Load(), c.misses.Load(); h != 1 || m != 1 {
+		t.Fatal(fmt.Sprintf("hits=%d misses=%d, want 1/1", h, m))
+	}
+}

@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RemoteError is an application-level failure a live shard answered
+// with (a msgErr frame): the transport is healthy, the request was
+// refused. The router propagates these verbatim (e.g. a vertex out of
+// range) instead of failing over — the shard's answer is authoritative.
+type RemoteError struct {
+	Addr string
+	Msg  string
+}
+
+func (e *RemoteError) Error() string { return fmt.Sprintf("shard %s: %s", e.Addr, e.Msg) }
+
+// Client is a framed RPC client for one shard: a single lazily-dialled
+// connection with one outstanding request at a time (requests on one
+// connection are answered in order, so a mutex around the write/read
+// pair is the whole protocol state machine). Safe for concurrent use; a
+// transport error drops the connection and the next call redials, with
+// one transparent in-call retry so a shard restart costs one reconnect,
+// not one failed request.
+type Client struct {
+	addr    string
+	timeout time.Duration
+
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	// Measured wire bytes and call counts, both directions, for the
+	// metrics layer. Frame bytes, not payload bytes: what the socket
+	// actually carried.
+	bytesOut, bytesIn atomic.Int64
+	calls, errs       atomic.Int64
+}
+
+// NewClient returns a client for one shard address. timeout bounds each
+// call's dial+write+read round trip; <= 0 means 10s.
+func NewClient(addr string, timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	return &Client{addr: addr, timeout: timeout}
+}
+
+// Addr returns the shard address this client targets.
+func (c *Client) Addr() string { return c.addr }
+
+// WireBytes returns the cumulative framed bytes this client has written
+// to and read from the shard.
+func (c *Client) WireBytes() (out, in int64) { return c.bytesOut.Load(), c.bytesIn.Load() }
+
+// Calls returns the cumulative RPC and transport-error counts.
+func (c *Client) Calls() (calls, errs int64) { return c.calls.Load(), c.errs.Load() }
+
+// Close drops the connection; a later call redials.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.drop()
+}
+
+// drop closes the resident connection. Caller holds mu.
+func (c *Client) drop() error {
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn, c.br, c.bw = nil, nil, nil
+	return err
+}
+
+// ensure dials if no connection is resident. Caller holds mu.
+func (c *Client) ensure() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.br = bufio.NewReader(conn)
+	c.bw = bufio.NewWriter(conn)
+	return nil
+}
+
+// Call performs one RPC with the given timeout (<= 0: the client
+// default) and returns the response body. A msgErr response surfaces as
+// *RemoteError; transport failures close the connection and — after one
+// transparent retry on a fresh dial — return the underlying error.
+func (c *Client) Call(typ uint8, body []byte, timeout time.Duration) ([]byte, error) {
+	if timeout <= 0 {
+		timeout = c.timeout
+	}
+	c.calls.Add(1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, err := c.call(typ, body, timeout)
+	if err != nil {
+		if _, remote := err.(*RemoteError); remote {
+			return nil, err
+		}
+		// Transport failure: the resident connection may have been a
+		// stale one (shard restarted, idle timeout). Retry once on a
+		// fresh dial before reporting the shard down.
+		resp, err = c.call(typ, body, timeout)
+		if err != nil {
+			if _, remote := err.(*RemoteError); !remote {
+				c.errs.Add(1)
+			}
+			return nil, err
+		}
+	}
+	return resp, nil
+}
+
+// call does one round trip on the resident (or freshly dialled)
+// connection. Caller holds mu.
+func (c *Client) call(typ uint8, body []byte, timeout time.Duration) ([]byte, error) {
+	if err := c.ensure(); err != nil {
+		return nil, err
+	}
+	c.conn.SetDeadline(time.Now().Add(timeout))
+	n, err := writeFrame(c.bw, typ, body)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	if err != nil {
+		c.drop()
+		return nil, err
+	}
+	c.bytesOut.Add(int64(n))
+	rtyp, resp, rn, err := readFrame(c.br)
+	if err != nil {
+		c.drop()
+		return nil, err
+	}
+	c.bytesIn.Add(int64(rn))
+	switch rtyp {
+	case typ:
+		return resp, nil
+	case msgErr:
+		return nil, &RemoteError{Addr: c.addr, Msg: string(resp)}
+	}
+	c.drop() // desynchronized peer: resync on a fresh connection
+	return nil, fmt.Errorf("cluster: shard %s answered type %d to request type %d", c.addr, rtyp, typ)
+}
+
+// Info fetches the shard's self-description.
+func (c *Client) Info() (infoResp, error) {
+	body, err := c.Call(msgInfo, nil, 0)
+	if err != nil {
+		return infoResp{}, err
+	}
+	var info infoResp
+	if err := json.Unmarshal(body, &info); err != nil {
+		return infoResp{}, fmt.Errorf("cluster: shard %s: undecodable info: %w", c.addr, err)
+	}
+	return info, nil
+}
+
+// Row fetches one row payload (pgio codec bytes, verbatim).
+func (c *Client) Row(space, kind uint8, v uint32) ([]byte, error) {
+	return c.Call(msgRow, rowReq(space, kind, v), 0)
+}
+
+// callJSON round-trips a JSON-bodied request.
+func (c *Client) callJSON(typ uint8, req, resp any, timeout time.Duration) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	out, err := c.Call(typ, body, timeout)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(out, resp); err != nil {
+		return fmt.Errorf("cluster: shard %s: undecodable response: %w", c.addr, err)
+	}
+	return nil
+}

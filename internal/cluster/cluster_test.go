@@ -1,0 +1,520 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"probgraph/internal/core"
+	"probgraph/internal/dist"
+	"probgraph/internal/graph"
+	"probgraph/internal/mining"
+	"probgraph/internal/serve"
+)
+
+// packArtifact snapshots g and writes the binary artifact to dir.
+func packArtifact(t *testing.T, g *graph.Graph, dir, name string) string {
+	t.Helper()
+	snap, err := serve.Open(g, serve.SnapshotConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snap.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// bootCluster starts n in-process shards over one artifact plus a router
+// fronting them — real listeners, real TCP, real frames; only the
+// process boundary is elided (the binaries add nothing but flag
+// parsing). Workers == 1 keeps every float bit-deterministic.
+func bootCluster(t *testing.T, artifact string, n int) (*Router, []*Shard) {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	shards := make([]*Shard, n)
+	for i := range shards {
+		s, err := NewShard(ShardConfig{Index: i, Shards: n, Peers: addrs, Workers: 1}, artifact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards[i] = s
+		go s.Serve(lns[i])
+		t.Cleanup(s.Close)
+	}
+	r, err := Dial(RouterConfig{Addrs: addrs, HealthInterval: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return r, shards
+}
+
+// openOracle loads the same artifact the shards serve and derives the
+// simulator inputs from it: the graph, the orientation, the resident
+// full sketch, and the oriented sketch rebuilt with the resident
+// sketch's exact configuration — byte-identical to every shard's
+// replica.
+func openOracle(t *testing.T, artifact string) (*serve.Snapshot, *core.PG) {
+	t.Helper()
+	f, err := os.Open(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snap, err := serve.OpenArtifact(f, serve.SnapshotConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opg, err := core.BuildOriented(snap.O, snap.G.SizeBits(), snap.PG(core.BF).Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap, opg
+}
+
+// TestClusterOracle is the tentpole's acceptance test: a 3-shard cluster
+// must answer global kernels bit-identically to the internal/dist
+// simulator on the same graph, partitioning, and sketch configuration —
+// same Count bits, same fetch count — and point queries identically to a
+// single-process engine over the same artifact.
+func TestClusterOracle(t *testing.T) {
+	g := graph.Kronecker(8, 8, 7)
+	artifact := packArtifact(t, g, t.TempDir(), "g.pg")
+	r, _ := bootCluster(t, artifact, 3)
+	snap, opg := openOracle(t, artifact)
+	ctx := context.Background()
+
+	kernels := []struct {
+		req  KernelRequest
+		want func() (*dist.Result, error)
+	}{
+		{KernelRequest{Kernel: "tc", Mode: "neighborhoods"},
+			func() (*dist.Result, error) { return dist.TC(snap.G, snap.O, nil, 3, dist.ShipNeighborhoods) }},
+		{KernelRequest{Kernel: "tc", Mode: "sketches"},
+			func() (*dist.Result, error) { return dist.TC(snap.G, snap.O, opg, 3, dist.ShipSketches) }},
+		{KernelRequest{Kernel: "sim", Mode: "neighborhoods", Measure: "jaccard"},
+			func() (*dist.Result, error) {
+				return dist.Sim(snap.G, snap.PG(core.BF), 3, dist.ShipNeighborhoods, mining.Jaccard)
+			}},
+		{KernelRequest{Kernel: "sim", Mode: "sketches", Measure: "jaccard"},
+			func() (*dist.Result, error) {
+				return dist.Sim(snap.G, snap.PG(core.BF), 3, dist.ShipSketches, mining.Jaccard)
+			}},
+	}
+	for _, k := range kernels {
+		want, err := k.want()
+		if err != nil {
+			t.Fatalf("%s/%s oracle: %v", k.req.Kernel, k.req.Mode, err)
+		}
+		got, err := r.Kernel(ctx, k.req)
+		if err != nil {
+			t.Fatalf("%s/%s cluster: %v", k.req.Kernel, k.req.Mode, err)
+		}
+		if got.Degraded || len(got.Missing) > 0 {
+			t.Fatalf("%s/%s degraded on a healthy cluster: %+v", k.req.Kernel, k.req.Mode, got)
+		}
+		if math.Float64bits(got.Value) != math.Float64bits(want.Count) {
+			t.Fatalf("%s/%s: cluster %v (%#x) != simulator %v (%#x)", k.req.Kernel, k.req.Mode,
+				got.Value, math.Float64bits(got.Value), want.Count, math.Float64bits(want.Count))
+		}
+		if got.Fetches != want.Net.Fetches {
+			t.Fatalf("%s/%s: cluster fetched %d remote rows, simulator %d",
+				k.req.Kernel, k.req.Mode, got.Fetches, want.Net.Fetches)
+		}
+		// The cluster's frame overhead differs from the simulator's (5 B
+		// header + 6 B row request vs the simulator's 8/8 constants), so
+		// wire bytes are asserted measured-positive and payload-dominated
+		// rather than equal.
+		if got.Fetches > 0 && got.WireBytes <= got.Fetches*int64(frameHeaderBytes+6) {
+			t.Fatalf("%s/%s: wire bytes %d don't cover %d fetches' payloads",
+				k.req.Kernel, k.req.Mode, got.WireBytes, got.Fetches)
+		}
+	}
+
+	// Point queries: bit-identical to a single-process engine over the
+	// same artifact at Workers == 1.
+	eng := serve.New(snap, serve.Options{Workers: 1})
+	defer eng.Close()
+	points := []serve.Query{
+		{Op: serve.OpTC},
+		{Op: serve.OpLocalTC, U: 5},
+		{Op: serve.OpSimilarity, U: 2, V: 9, Measure: mining.Jaccard},
+		{Op: serve.OpTopK, U: 3, K: 5, Measure: mining.Jaccard},
+		{Op: serve.OpNeighbors, U: 4},
+	}
+	for _, q := range points {
+		want, err := eng.QueryCtx(ctx, q)
+		if err != nil {
+			t.Fatalf("op %v local: %v", q.Op, err)
+		}
+		got, err := r.QueryCtx(ctx, q)
+		if err != nil {
+			t.Fatalf("op %v cluster: %v", q.Op, err)
+		}
+		if got.Degraded {
+			t.Fatalf("op %v degraded on a healthy cluster", q.Op)
+		}
+		got.Cached, want.Cached = false, false
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("op %v: cluster %+v != local %+v", q.Op, got, want)
+		}
+	}
+
+	// Out-of-range and malformed queries surface the shard's error, not a
+	// failover storm.
+	if _, err := r.QueryCtx(ctx, serve.Query{Op: serve.OpLocalTC, U: uint32(g.NumVertices() + 10)}); err == nil {
+		t.Fatal("out-of-range vertex accepted")
+	} else if _, ok := err.(*RemoteError); !ok {
+		t.Fatalf("out-of-range vertex: got %T (%v), want *RemoteError", err, err)
+	}
+	if r.Healthy() != 3 {
+		t.Fatalf("healthy = %d after an application-level error, want 3", r.Healthy())
+	}
+}
+
+// TestClusterRowCache exercises the router's epoch-keyed row cache: a
+// repeated neighbors query is served without any shard RPC.
+func TestClusterRowCache(t *testing.T) {
+	g := graph.Kronecker(7, 8, 11)
+	artifact := packArtifact(t, g, t.TempDir(), "g.pg")
+	r, _ := bootCluster(t, artifact, 2)
+	ctx := context.Background()
+
+	q := serve.Query{Op: serve.OpNeighbors, U: 6}
+	first, err := r.QueryCtx(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first neighbors fetch reported cached")
+	}
+	second, err := r.QueryCtx(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("second neighbors fetch missed the row cache")
+	}
+	if !reflect.DeepEqual(first.Neighbors, second.Neighbors) {
+		t.Fatal("cached row decoded differently")
+	}
+	if s := r.Stats(); s.Cache.Hits < 1 || s.Cache.Len < 1 {
+		t.Fatalf("cache stats after a hit: %+v", s.Cache)
+	}
+}
+
+// TestClusterShardKill is the failure-semantics acceptance test: with
+// one shard down, point queries fail over and global gathers merge the
+// surviving blocks — both degraded, neither failed — and with every
+// shard down the router answers a typed 503, not a bare error.
+func TestClusterShardKill(t *testing.T) {
+	g := graph.Kronecker(8, 8, 7)
+	artifact := packArtifact(t, g, t.TempDir(), "g.pg")
+	r, shards := bootCluster(t, artifact, 3)
+	snap, _ := openOracle(t, artifact)
+	eng := serve.New(snap, serve.Options{Workers: 1})
+	defer eng.Close()
+	ctx := context.Background()
+
+	lo, _ := shards[1].Block()
+	shards[1].Close()
+
+	// A point query owned by the dead shard fails over to a replica and
+	// still answers correctly — Degraded marks the reduced redundancy.
+	q := serve.Query{Op: serve.OpLocalTC, U: lo}
+	want, err := eng.QueryCtx(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.QueryCtx(ctx, q)
+	if err != nil {
+		t.Fatalf("point query with a dead owner: %v", err)
+	}
+	if !got.Degraded {
+		t.Fatal("failover answer not marked degraded")
+	}
+	if math.Float64bits(got.Value) != math.Float64bits(want.Value) {
+		t.Fatalf("failover answer %v != replica answer %v", got.Value, want.Value)
+	}
+
+	// A global gather merges the surviving blocks: missing shard 1,
+	// degraded, and the dead owner's rows come from local replicas.
+	res, err := r.Kernel(ctx, KernelRequest{Kernel: "tc", Mode: "neighborhoods"})
+	if err != nil {
+		t.Fatalf("gather with a dead shard: %v", err)
+	}
+	if !res.Degraded || !reflect.DeepEqual(res.Missing, []int{1}) {
+		t.Fatalf("gather = %+v, want degraded with missing [1]", res)
+	}
+	if res.LocalFallbacks == 0 {
+		t.Fatal("no local fallbacks recorded although the dead shard owned fetched rows")
+	}
+
+	if r.Healthy() != 2 {
+		t.Fatalf("healthy = %d, want 2", r.Healthy())
+	}
+
+	// Everything down: typed 503, so the HTTP layer never emits a bare
+	// 500 and clients can distinguish outage from bad request.
+	shards[0].Close()
+	shards[2].Close()
+	_, err = r.QueryCtx(ctx, serve.Query{Op: serve.OpLocalTC, U: 0})
+	var sc serve.StatusCoder
+	if err == nil {
+		t.Fatal("query against a dead cluster succeeded")
+	}
+	if ok := errAs(err, &sc); !ok || sc.HTTPStatus() != http.StatusServiceUnavailable {
+		t.Fatalf("dead-cluster error %v is not a typed 503", err)
+	}
+	if _, err := r.Kernel(ctx, KernelRequest{Kernel: "tc"}); err == nil {
+		t.Fatal("gather against a dead cluster succeeded")
+	}
+}
+
+// errAs is errors.As without the import noise in assertions.
+func errAs(err error, target *serve.StatusCoder) bool {
+	for err != nil {
+		if sc, ok := err.(serve.StatusCoder); ok {
+			*target = sc
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// TestClusterHTTP drives the router through its HTTP surface — the
+// drop-in pgserve API plus the cluster endpoints — including the
+// degraded healthz transition on a shard kill.
+func TestClusterHTTP(t *testing.T) {
+	g := graph.Kronecker(7, 8, 3)
+	artifact := packArtifact(t, g, t.TempDir(), "g.pg")
+	r, shards := bootCluster(t, artifact, 3)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	// The pgserve client helpers work against the router unchanged.
+	do := serve.HTTPDoer(nil, srv.URL)
+	res, err := do(serve.Query{Op: serve.OpSimilarity, U: 1, V: 2, Measure: mining.Jaccard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded {
+		t.Fatal("healthy cluster answered degraded over HTTP")
+	}
+	stats, err := serve.FetchStats(nil, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Vertices != g.NumVertices() || stats.Epoch != 1 {
+		t.Fatalf("stats = n=%d epoch=%d, want n=%d epoch=1", stats.Vertices, stats.Epoch, g.NumVertices())
+	}
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h healthz
+	json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || h.Status != "ok" || h.Up != 3 {
+		t.Fatalf("healthz = %d %+v, want 200 ok 3/3", resp.StatusCode, h)
+	}
+
+	// Kernel endpoint round trip.
+	kresp, err := http.Post(srv.URL+"/v1/cluster/kernel", "application/json",
+		strings.NewReader(`{"kernel":"tc","mode":"sketches"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kres KernelResult
+	json.NewDecoder(kresp.Body).Decode(&kres)
+	kresp.Body.Close()
+	if kresp.StatusCode != http.StatusOK || kres.Shards != 3 || kres.Value <= 0 {
+		t.Fatalf("kernel = %d %+v", kresp.StatusCode, kres)
+	}
+
+	// Kill a shard: healthz flips to degraded 503 (the router stays
+	// usable; the status pulls it from naive rotation), queries answer
+	// degraded, and no surface emits a 500.
+	shards[2].Close()
+	if _, err := do(serve.Query{Op: serve.OpLocalTC, U: 0}); err != nil {
+		t.Fatalf("query after shard kill: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		json.NewDecoder(resp.Body).Decode(&h)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable && h.Status == "degraded" && h.Up == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthz never degraded: %d %+v", resp.StatusCode, h)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestClusterRollingSwap swaps the fleet onto a second artifact one
+// shard at a time and checks every shard lands on the next epoch with
+// gathers still bit-consistent afterwards.
+func TestClusterRollingSwap(t *testing.T) {
+	dir := t.TempDir()
+	g := graph.Kronecker(7, 8, 5)
+	artifact := packArtifact(t, g, dir, "g1.pg")
+	g2 := graph.Kronecker(7, 8, 9)
+	artifact2 := packArtifact(t, g2, dir, "g2.pg")
+	r, shards := bootCluster(t, artifact, 3)
+	ctx := context.Background()
+
+	steps, err := r.RollingSwap(ctx, artifact2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 3 {
+		t.Fatalf("swap touched %d shards, want 3", len(steps))
+	}
+	for _, st := range steps {
+		if st.Epoch != 2 {
+			t.Fatalf("shard %d landed on epoch %d, want 2", st.Index, st.Epoch)
+		}
+	}
+	for i, s := range shards {
+		if s.Epoch() != 2 {
+			t.Fatalf("shard %d serves epoch %d, want 2", i, s.Epoch())
+		}
+	}
+
+	// The gather after the swap answers over the new artifact,
+	// bit-identical to the simulator on the new graph.
+	f, err := os.Open(artifact2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := serve.OpenArtifact(f, serve.SnapshotConfig{Workers: 1})
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := dist.TC(snap2.G, snap2.O, nil, 3, dist.ShipNeighborhoods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Kernel(ctx, KernelRequest{Kernel: "tc", Mode: "neighborhoods"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 2 || math.Float64bits(got.Value) != math.Float64bits(want.Count) {
+		t.Fatalf("post-swap gather = epoch %d value %v, want epoch 2 value %v", got.Epoch, got.Value, want.Count)
+	}
+	if s := r.Stats(); s.Swaps != 1 || s.Epoch != 2 || s.Vertices != g2.NumVertices() {
+		t.Fatalf("post-swap stats = %+v", s)
+	}
+}
+
+// TestClusterSwapResync: shard-local epoch counters can diverge (a
+// halted rolling swap, a restarted shard); while they disagree, gathers
+// fail typed-retryable, and the next completed rolling swap must drive
+// every shard to one target epoch (max+1) so the fleet re-converges.
+func TestClusterSwapResync(t *testing.T) {
+	dir := t.TempDir()
+	g := graph.Kronecker(7, 8, 5)
+	artifact := packArtifact(t, g, dir, "g1.pg")
+	g2 := graph.Kronecker(7, 8, 9)
+	artifact2 := packArtifact(t, g2, dir, "g2.pg")
+	r, shards := bootCluster(t, artifact, 3)
+	ctx := context.Background()
+
+	// Desync: swap shard 1 out-of-band (the state a halted rolling swap
+	// leaves behind). It alone advances to epoch 2.
+	body, err := json.Marshal(swapReq{Artifact: artifact2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shards[1].handleSwap(body); err != nil {
+		t.Fatal(err)
+	}
+	if e := shards[1].Epoch(); e != 2 {
+		t.Fatalf("shard 1 epoch = %d, want 2", e)
+	}
+
+	// Mixed-epoch gathers refuse, typed and retryable — never a wrong
+	// merge.
+	if _, err := r.Kernel(ctx, KernelRequest{Kernel: "tc", Mode: "neighborhoods"}); err == nil {
+		t.Fatal("mixed-epoch gather succeeded, want typed refusal")
+	} else {
+		var sc serve.StatusCoder
+		if !errAs(err, &sc) || sc.HTTPStatus() != http.StatusServiceUnavailable {
+			t.Fatalf("mixed-epoch gather error = %v, want typed 503", err)
+		}
+	}
+
+	// A completed rolling swap re-synchronizes: every shard lands on
+	// max(epochs)+1 = 3, not on its own counter+1.
+	steps, err := r.RollingSwap(ctx, artifact2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range steps {
+		if st.Epoch != 3 {
+			t.Fatalf("shard %d landed on epoch %d, want 3", st.Index, st.Epoch)
+		}
+	}
+	for i, s := range shards {
+		if s.Epoch() != 3 {
+			t.Fatalf("shard %d serves epoch %d, want 3", i, s.Epoch())
+		}
+	}
+	got, err := r.Kernel(ctx, KernelRequest{Kernel: "tc", Mode: "neighborhoods"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 3 || got.Degraded {
+		t.Fatalf("post-resync gather = epoch %d degraded %v, want epoch 3 healthy", got.Epoch, got.Degraded)
+	}
+
+	// The shard itself refuses a target it has already passed: stale
+	// control planes cannot drag an epoch backwards.
+	body, err = json.Marshal(swapReq{Artifact: artifact2, Epoch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shards[0].handleSwap(body); err == nil {
+		t.Fatal("backwards swap target accepted, want refusal")
+	}
+}

@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"strconv"
+	"time"
+
+	"probgraph/internal/obs"
+)
+
+// RegisterMetrics exposes the router's live state on an obs.Registry,
+// func-backed like serve's: scrapes read the same atomics /v1/stats
+// reads, so the two surfaces can never disagree.
+func (r *Router) RegisterMetrics(reg *obs.Registry) {
+	reg.GaugeFunc("probgraph_cluster_shards",
+		"Configured shard count.",
+		func() float64 { return float64(len(r.refs)) })
+	reg.GaugeFunc("probgraph_cluster_shards_up",
+		"Shards currently answering health probes.",
+		func() float64 { return float64(r.Healthy()) })
+	reg.GaugeFunc("probgraph_cluster_uptime_seconds",
+		"Seconds since the router started.",
+		func() float64 { return time.Since(r.start).Seconds() })
+	reg.CounterFunc("probgraph_cluster_gathers_total",
+		"Global kernel scatter-gathers executed.",
+		func() float64 { return float64(r.gathers.Load()) })
+	reg.CounterFunc("probgraph_cluster_degraded_total",
+		"Responses answered degraded (failover, missing shard, or local fallback).",
+		func() float64 { return float64(r.degraded.Load()) })
+	reg.CounterFunc("probgraph_cluster_rolling_swaps_total",
+		"Rolling swaps completed across the whole fleet.",
+		func() float64 { return float64(r.swaps.Load()) })
+
+	reg.CounterFunc("probgraph_cluster_rowcache_hits_total",
+		"Router row-cache hits.",
+		func() float64 { return float64(r.rows.hits.Load()) })
+	reg.CounterFunc("probgraph_cluster_rowcache_misses_total",
+		"Router row-cache misses.",
+		func() float64 { return float64(r.rows.misses.Load()) })
+	reg.GaugeFunc("probgraph_cluster_rowcache_entries",
+		"Rows currently resident in the router row cache.",
+		func() float64 { return float64(r.rows.len()) })
+
+	for _, ref := range r.refs {
+		ref := ref
+		shard := strconv.Itoa(ref.index)
+		reg.GaugeFunc("probgraph_cluster_shard_up",
+			"1 when the shard answers, 0 when it is marked down.",
+			func() float64 {
+				if ref.healthy.Load() {
+					return 1
+				}
+				return 0
+			}, obs.L("shard", shard))
+		reg.GaugeFunc("probgraph_cluster_shard_epoch",
+			"Serving epoch the shard last reported.",
+			func() float64 { return float64(ref.epoch.Load()) },
+			obs.L("shard", shard))
+		reg.CounterFunc("probgraph_cluster_shard_rpcs_total",
+			"RPCs the router issued to the shard.",
+			func() float64 { c, _ := ref.client.Calls(); return float64(c) },
+			obs.L("shard", shard))
+		reg.CounterFunc("probgraph_cluster_shard_rpc_errors_total",
+			"Transport failures talking to the shard.",
+			func() float64 { _, e := ref.client.Calls(); return float64(e) },
+			obs.L("shard", shard))
+		reg.CounterFunc("probgraph_cluster_shard_wire_bytes_total",
+			"Framed wire bytes between router and shard, by direction.",
+			func() float64 { out, _ := ref.client.WireBytes(); return float64(out) },
+			obs.L("shard", shard), obs.L("dir", "to"))
+		reg.CounterFunc("probgraph_cluster_shard_wire_bytes_total",
+			"Framed wire bytes between router and shard, by direction.",
+			func() float64 { _, in := ref.client.WireBytes(); return float64(in) },
+			obs.L("shard", shard), obs.L("dir", "from"))
+		reg.CounterFunc("probgraph_cluster_shard_fetch_bytes_total",
+			"Shard-interconnect row bytes this shard's kernel partials reported.",
+			func() float64 { return float64(ref.icBytes.Load()) },
+			obs.L("shard", shard))
+		reg.CounterFunc("probgraph_cluster_shard_fetches_total",
+			"Remote row fetches this shard's kernel partials reported.",
+			func() float64 { return float64(ref.icFetches.Load()) },
+			obs.L("shard", shard))
+		reg.RegisterHistogram("probgraph_cluster_shard_rpc_seconds",
+			"RPC latency against the shard as the router observed it.",
+			ref.hist, obs.L("shard", shard))
+	}
+}

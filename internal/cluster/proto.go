@@ -1,0 +1,189 @@
+// Package cluster is the real multi-process sharded serving subsystem:
+// pgshard worker processes each own one block of the vertex partition
+// (dist.BlockPartition — the same decomposition the §VIII-F simulator
+// uses) and speak a length-prefixed TCP protocol whose row payloads are
+// the internal/pgio row codec; pgrouter fronts N shards with the same
+// HTTP /v1/* API pgserve exposes, scattering global kernels as per-shard
+// partials and gathering them in shard order.
+//
+// Every shard holds a full replica of the serving artifact. The block
+// partition decides *responsibility*, not *residency*: point queries
+// route to the owning shard, global kernels run the owned block's
+// partial on each shard, and the remote rows a partial consumes cross
+// the real network from their owners (measured bytes), exactly as in the
+// simulator. Because the partial bodies are the shared plan functions of
+// internal/dist (plan.go) and the router reduces per-shard sums in shard
+// order — the simulator's node-order reduction — a cluster answer is
+// bit-identical to the simulator's on the same graph, partition, and
+// sketch configuration. internal/dist is therefore the oracle the
+// end-to-end tests check the cluster against.
+//
+// See docs/CLUSTER.md for topology, framing, failure semantics, and the
+// rolling-swap procedure.
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Frame layout: u32le body length | u8 message type | body. The response
+// to a request frame reuses the request's type on success and msgErr
+// (body = UTF-8 error text) on failure. One request is answered by
+// exactly one response on the same connection, in order.
+const (
+	frameHeaderBytes = 5
+	// maxFrameBytes bounds one frame's body — far above any sketch row
+	// or neighborhood, so an oversized length prefix means a corrupt or
+	// hostile peer, not a big graph.
+	maxFrameBytes = 64 << 20
+)
+
+// Message types.
+const (
+	// msgErr is the failure response: body is the error text.
+	msgErr uint8 = iota
+	// msgRow fetches one row: body is space u8 | kind u8 | vertex u32le;
+	// the response body is the pgio row payload (AppendNeighborhood or
+	// AppendSketchRow output, verbatim).
+	msgRow
+	// msgPoint evaluates one point query on the shard's engine: body is
+	// a JSON serve.WireQuery; the response a JSON serve.Result.
+	msgPoint
+	// msgPartial runs one block partial of a global kernel: JSON
+	// partialReq in, JSON partialResp out.
+	msgPartial
+	// msgInfo describes the shard: empty body in, JSON infoResp out.
+	msgInfo
+	// msgSwap hot-swaps the shard onto a new artifact: JSON swapReq in,
+	// JSON swapResp out.
+	msgSwap
+)
+
+// Row spaces: which row family a msgRow addresses.
+const (
+	// rowNeighborhood is the raw CSR adjacency N_v (kind ignored).
+	rowNeighborhood uint8 = iota
+	// rowSketch is vertex v's full-neighborhood sketch row (core.Build).
+	rowSketch
+	// rowSketchOriented is v's oriented sketch row (core.BuildOriented
+	// over the artifact's degree orientation) — what TC partials ship.
+	rowSketchOriented
+)
+
+// writeFrame writes one frame and returns the wire bytes it occupied.
+func writeFrame(w io.Writer, typ uint8, body []byte) (int, error) {
+	if len(body) > maxFrameBytes {
+		return 0, fmt.Errorf("cluster: frame body %d bytes exceeds limit %d", len(body), maxFrameBytes)
+	}
+	var hdr [frameHeaderBytes]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(body)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(body); err != nil {
+		return 0, err
+	}
+	return frameHeaderBytes + len(body), nil
+}
+
+// readFrame reads one frame and returns its type, body, and the wire
+// bytes it occupied.
+func readFrame(r io.Reader) (uint8, []byte, int, error) {
+	var hdr [frameHeaderBytes]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, 0, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > maxFrameBytes {
+		return 0, nil, 0, fmt.Errorf("cluster: frame length %d exceeds limit %d", n, maxFrameBytes)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, 0, fmt.Errorf("cluster: truncated frame body: %w", err)
+	}
+	return hdr[4], body, frameHeaderBytes + int(n), nil
+}
+
+// rowReq encodes a msgRow body.
+func rowReq(space, kind uint8, v uint32) []byte {
+	b := make([]byte, 6)
+	b[0], b[1] = space, kind
+	binary.LittleEndian.PutUint32(b[2:], v)
+	return b
+}
+
+// decodeRowReq parses a msgRow body.
+func decodeRowReq(b []byte) (space, kind uint8, v uint32, err error) {
+	if len(b) != 6 {
+		return 0, 0, 0, fmt.Errorf("cluster: row request is %d bytes, want 6", len(b))
+	}
+	return b[0], b[1], binary.LittleEndian.Uint32(b[2:]), nil
+}
+
+// infoResp describes one shard: its identity within the cluster, the
+// served graph shape, and the serving epoch. The router validates every
+// shard's self-description against its configured position and requires
+// live shards to agree on the graph shape before merging partials.
+type infoResp struct {
+	Index       int      `json:"index"`
+	Shards      int      `json:"shards"`
+	Vertices    int      `json:"vertices"`
+	Edges       int      `json:"edges"`
+	Epoch       uint64   `json:"epoch"`
+	Kinds       []string `json:"kinds"`
+	DefaultKind string   `json:"default_kind"`
+}
+
+// partialReq names one block partial: which kernel, which wire protocol
+// (the dist.Mode vocabulary), which sketch kind (empty = the shard's
+// default), and — for sim — the similarity measure.
+type partialReq struct {
+	Kernel  string `json:"kernel"`            // "tc" | "sim"
+	Mode    string `json:"mode"`              // "neighborhoods" | "sketches"
+	Kind    string `json:"kind,omitempty"`    // sketch kind; sketches mode only
+	Measure string `json:"measure,omitempty"` // sim only; counting measures
+}
+
+// partialResp carries one block's partial sum plus the accounting the
+// partial generated. Exact partials ride in TriSum (an int64 survives
+// JSON without rounding concerns at these magnitudes and keeps the
+// router's merge in integer arithmetic, like the simulator's); sketched
+// partials ride in Sum.
+type partialResp struct {
+	Sum      float64 `json:"sum"`
+	TriSum   int64   `json:"tri_sum"`
+	Exact    bool    `json:"exact"`
+	Epoch    uint64  `json:"epoch"`
+	Vertices int     `json:"vertices"`
+	Edges    int     `json:"edges"`
+	// Fetches / RowBytes / RowMsgs measure the shard-interconnect
+	// traffic this partial generated: remote row round-trips and their
+	// framed wire bytes in both directions.
+	Fetches  int64 `json:"fetches"`
+	RowBytes int64 `json:"row_bytes"`
+	RowMsgs  int64 `json:"row_msgs"`
+	// LocalFallbacks counts rows served from the local replica because
+	// their owner was unreachable — the partial completed, but its
+	// traffic no longer proves the owner holds the same bits, so the
+	// router marks the gather degraded.
+	LocalFallbacks int64 `json:"local_fallbacks,omitempty"`
+}
+
+// swapReq asks a shard to reload from a new artifact file (rolling-swap
+// step); swapResp reports the epoch now being served. Epoch, when
+// non-zero, is the exact epoch the shard must serve the new artifact
+// under (it must exceed the current one); the router uses it to drive
+// every shard to the same number, re-synchronizing a fleet whose
+// shard-local counters diverged (halted swap, shard restart). Zero
+// keeps the legacy current+1 behavior.
+type swapReq struct {
+	Artifact string `json:"artifact"`
+	Epoch    uint64 `json:"epoch,omitempty"`
+}
+
+type swapResp struct {
+	Epoch uint64 `json:"epoch"`
+}

@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []struct {
+		typ  uint8
+		body []byte
+	}{
+		{msgInfo, nil},
+		{msgErr, []byte("boom")},
+		{msgRow, rowReq(rowSketch, 2, 12345)},
+		{msgPartial, bytes.Repeat([]byte{0xAB}, 1<<16)},
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		wn, err := writeFrame(&buf, tc.typ, tc.body)
+		if err != nil {
+			t.Fatalf("writeFrame(%d): %v", tc.typ, err)
+		}
+		if wn != frameHeaderBytes+len(tc.body) || wn != buf.Len() {
+			t.Fatalf("writeFrame reported %d bytes, buffer holds %d, want %d",
+				wn, buf.Len(), frameHeaderBytes+len(tc.body))
+		}
+		typ, body, rn, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("readFrame: %v", err)
+		}
+		if typ != tc.typ || !bytes.Equal(body, tc.body) || rn != wn {
+			t.Fatalf("round trip: got (%d, %d bytes, n=%d), want (%d, %d bytes, n=%d)",
+				typ, len(body), rn, tc.typ, len(tc.body), wn)
+		}
+	}
+}
+
+func TestFrameOversize(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := writeFrame(&buf, msgRow, make([]byte, maxFrameBytes+1)); err == nil {
+		t.Fatal("writeFrame accepted an oversized body")
+	}
+	// A hostile length prefix must be refused before allocation.
+	hdr := make([]byte, frameHeaderBytes)
+	binary.LittleEndian.PutUint32(hdr, uint32(maxFrameBytes+1))
+	if _, _, _, err := readFrame(bytes.NewReader(hdr)); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("readFrame on oversized prefix: %v", err)
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	writeFrame(&buf, msgPoint, []byte(`{"op":"tc"}`))
+	whole := buf.Bytes()
+	for _, cut := range []int{1, frameHeaderBytes - 1, frameHeaderBytes + 3} {
+		if _, _, _, err := readFrame(bytes.NewReader(whole[:cut])); err == nil {
+			t.Fatalf("readFrame accepted a frame truncated to %d bytes", cut)
+		}
+	}
+}
+
+func TestRowReqRoundTrip(t *testing.T) {
+	b := rowReq(rowSketchOriented, 3, 0xDEADBEEF)
+	space, kind, v, err := decodeRowReq(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if space != rowSketchOriented || kind != 3 || v != 0xDEADBEEF {
+		t.Fatalf("decodeRowReq = (%d, %d, %#x)", space, kind, v)
+	}
+	if _, _, _, err := decodeRowReq(b[:5]); err == nil {
+		t.Fatal("decodeRowReq accepted a short body")
+	}
+}

@@ -1,0 +1,619 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"probgraph/internal/dist"
+	"probgraph/internal/obs"
+	"probgraph/internal/serve"
+)
+
+// Error is a typed cluster failure carrying the HTTP status the router's
+// API surfaces it with — degraded and unavailable states map to 503 (a
+// retryable outage), never a bare 500. It implements serve.StatusCoder,
+// so serve.QueryHandler picks the status up through errors.As.
+type Error struct {
+	Status int
+	Msg    string
+}
+
+func (e *Error) Error() string   { return e.Msg }
+func (e *Error) HTTPStatus() int { return e.Status }
+
+// unavailable builds the typed 503.
+func unavailable(format string, args ...any) *Error {
+	return &Error{Status: http.StatusServiceUnavailable, Msg: fmt.Sprintf(format, args...)}
+}
+
+// RouterConfig parameterizes Dial.
+type RouterConfig struct {
+	// Addrs lists every shard's RPC address in shard-index order.
+	Addrs []string
+	// CacheSize bounds the router-side row cache in entries (0: 65536,
+	// negative: disabled).
+	CacheSize int
+	// Timeout bounds point/row RPCs (<= 0: 10s); PartialTimeout bounds
+	// one shard's block partial (<= 0: 2m).
+	Timeout        time.Duration
+	PartialTimeout time.Duration
+	// ConnectWait bounds how long Dial retries unreachable shards before
+	// failing (<= 0: 5s) — absorbs the boot race of starting shards and
+	// the router together.
+	ConnectWait time.Duration
+	// HealthInterval paces the background shard health probe (<= 0:
+	// 500ms).
+	HealthInterval time.Duration
+}
+
+func (cfg RouterConfig) withDefaults() RouterConfig {
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 1 << 16
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.PartialTimeout <= 0 {
+		cfg.PartialTimeout = 2 * time.Minute
+	}
+	if cfg.ConnectWait <= 0 {
+		cfg.ConnectWait = 5 * time.Second
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = 500 * time.Millisecond
+	}
+	return cfg
+}
+
+// shardRef is the router's view of one shard: its client, health, and
+// the per-shard accounting the metrics layer and /v1/stats expose.
+type shardRef struct {
+	index  int
+	client *Client
+
+	healthy atomic.Bool
+	epoch   atomic.Uint64
+	lastErr atomic.Pointer[string]
+
+	// hist records this shard's RPC latency as seen from the router.
+	hist *obs.Hist
+
+	// Interconnect accounting reported by this shard's partials: remote
+	// row fetches it performed against its peers.
+	icFetches, icBytes, icMsgs atomic.Int64
+}
+
+// markDown records a transport failure.
+func (ref *shardRef) markDown(err error) {
+	msg := err.Error()
+	ref.lastErr.Store(&msg)
+	ref.healthy.Store(false)
+}
+
+// Router fronts N shards with the pgserve HTTP API: point queries route
+// to the owning shard (failing over to any replica when the owner is
+// down — answers then carry Degraded), global kernels scatter to every
+// live shard and gather partials in shard order, and a rolling swap
+// walks the fleet one shard at a time. It implements serve.Querier, so
+// serve.QueryHandler serves it unchanged.
+type Router struct {
+	cfg  RouterConfig
+	refs []*shardRef
+	rows *rowCache
+
+	vertices atomic.Int64
+	edges    atomic.Int64
+	kinds    []string
+	defKind  string
+
+	gathers  atomic.Int64
+	degraded atomic.Int64 // responses answered degraded
+	swaps    atomic.Int64 // completed rolling swaps
+	start    time.Time
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// Dial connects to every shard, validates the cluster's self-description
+// (each shard must report the configured index and count, and all must
+// agree on the graph shape), and starts the background health probe.
+func Dial(cfg RouterConfig) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Addrs) == 0 {
+		return nil, fmt.Errorf("cluster: router needs at least one shard address")
+	}
+	r := &Router{
+		cfg:   cfg,
+		refs:  make([]*shardRef, len(cfg.Addrs)),
+		rows:  newRowCache(cfg.CacheSize),
+		start: time.Now(),
+		stop:  make(chan struct{}),
+	}
+	deadline := time.Now().Add(cfg.ConnectWait)
+	for i, addr := range cfg.Addrs {
+		ref := &shardRef{index: i, client: NewClient(addr, cfg.Timeout), hist: obs.NewHist()}
+		var info infoResp
+		var err error
+		for {
+			if info, err = ref.client.Info(); err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("cluster: shard %d (%s) unreachable: %w", i, addr, err)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		if info.Index != i || info.Shards != len(cfg.Addrs) {
+			return nil, fmt.Errorf("cluster: shard at %s identifies as %d/%d, configured as %d/%d",
+				addr, info.Index, info.Shards, i, len(cfg.Addrs))
+		}
+		if i == 0 {
+			r.vertices.Store(int64(info.Vertices))
+			r.edges.Store(int64(info.Edges))
+			r.kinds = info.Kinds
+			r.defKind = info.DefaultKind
+		} else if info.Vertices != int(r.vertices.Load()) || info.Edges != int(r.edges.Load()) {
+			return nil, fmt.Errorf("cluster: shard %d serves n=%d m=%d, shard 0 serves n=%d m=%d — mixed artifacts",
+				i, info.Vertices, info.Edges, r.vertices.Load(), r.edges.Load())
+		}
+		ref.healthy.Store(true)
+		ref.epoch.Store(info.Epoch)
+		r.refs[i] = ref
+	}
+	r.wg.Add(1)
+	go r.healthLoop()
+	return r, nil
+}
+
+// Close stops the health probe and drops every shard connection.
+func (r *Router) Close() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.wg.Wait()
+	for _, ref := range r.refs {
+		ref.client.Close()
+	}
+}
+
+// healthLoop probes every shard on a fixed cadence: a dead shard is
+// retried until it answers again (it rejoins with its current epoch),
+// and a live shard's epoch tracks its swaps so the row cache keys stay
+// current.
+func (r *Router) healthLoop() {
+	defer r.wg.Done()
+	tick := time.NewTicker(r.cfg.HealthInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-tick.C:
+		}
+		allAgree := true
+		n, m := -1, -1
+		for _, ref := range r.refs {
+			info, err := ref.client.Info()
+			if err != nil {
+				ref.markDown(err)
+				allAgree = false
+				continue
+			}
+			ref.healthy.Store(true)
+			ref.epoch.Store(info.Epoch)
+			if n == -1 {
+				n, m = info.Vertices, info.Edges
+			} else if info.Vertices != n || info.Edges != m {
+				allAgree = false
+			}
+		}
+		// The routing partition follows the graph shape only once every
+		// live shard serves it — mid rolling swap the shapes may differ,
+		// and moving the partition early would misroute against shards
+		// still on the old epoch.
+		if allAgree && n >= 0 {
+			r.vertices.Store(int64(n))
+			r.edges.Store(int64(m))
+		}
+	}
+}
+
+// Healthy returns how many shards currently answer.
+func (r *Router) Healthy() int {
+	n := 0
+	for _, ref := range r.refs {
+		if ref.healthy.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// Shards returns the configured shard count.
+func (r *Router) Shards() int { return len(r.refs) }
+
+// partition returns the routing partition over the current graph shape.
+func (r *Router) partition() dist.Partition {
+	return dist.BlockPartition(int(r.vertices.Load()), len(r.refs))
+}
+
+// observe times one RPC against a shard.
+func (ref *shardRef) observe(t0 time.Time) { ref.hist.Record(time.Since(t0)) }
+
+// candidates returns the failover order for a point op: the owner
+// first, then every other shard ascending — deterministic, so repeated
+// failovers land on the same replica and its caches.
+func (r *Router) candidates(owner int) []*shardRef {
+	out := make([]*shardRef, 0, len(r.refs))
+	if owner >= 0 && owner < len(r.refs) {
+		out = append(out, r.refs[owner])
+	}
+	for i, ref := range r.refs {
+		if i != owner {
+			out = append(out, ref)
+		}
+	}
+	return out
+}
+
+// QueryCtx implements serve.Querier over the cluster: the same /v1/query
+// semantics pgserve has, routed. Answers computed without full
+// redundancy — a failover, or any shard currently down — carry
+// Degraded.
+func (r *Router) QueryCtx(ctx context.Context, q serve.Query) (serve.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return serve.Result{}, err
+	}
+	owner := 0
+	if q.Op != serve.OpTC && int64(q.U) < r.vertices.Load() {
+		owner = r.partition().Owner(q.U)
+	}
+	if q.Op == serve.OpNeighbors && int64(q.U) < r.vertices.Load() {
+		return r.neighbors(owner, q)
+	}
+	// OpTC routes like a point op with owner 0: the designated shard's
+	// engine memoizes the whole-graph kernel per epoch, exactly as a
+	// single pgserve does. The scatter-gather form lives on Kernel.
+	res, ref, err := r.point(owner, q)
+	if err != nil {
+		return serve.Result{}, err
+	}
+	if ref.index != owner || r.Healthy() < len(r.refs) {
+		res.Degraded = true
+		r.degraded.Add(1)
+	}
+	return res, nil
+}
+
+// point sends one point query down the failover chain and returns the
+// answer plus the shard that produced it.
+func (r *Router) point(owner int, q serve.Query) (serve.Result, *shardRef, error) {
+	body, err := json.Marshal(serve.FromQuery(q))
+	if err != nil {
+		return serve.Result{}, nil, err
+	}
+	var lastErr error
+	for _, ref := range r.candidates(owner) {
+		if !ref.healthy.Load() {
+			continue
+		}
+		t0 := time.Now()
+		resp, err := ref.client.Call(msgPoint, body, r.cfg.Timeout)
+		ref.observe(t0)
+		if err != nil {
+			if _, remote := err.(*RemoteError); remote {
+				// A live shard refused the query (bad vertex, unknown
+				// kind…): authoritative, no point retrying elsewhere.
+				return serve.Result{}, nil, err
+			}
+			ref.markDown(err)
+			lastErr = err
+			continue
+		}
+		var res serve.Result
+		if err := json.Unmarshal(resp, &res); err != nil {
+			return serve.Result{}, nil, fmt.Errorf("cluster: shard %d: undecodable result: %w", ref.index, err)
+		}
+		return res, ref, nil
+	}
+	if lastErr != nil {
+		return serve.Result{}, nil, unavailable("cluster: no shard could answer (%d/%d healthy): %v",
+			r.Healthy(), len(r.refs), lastErr)
+	}
+	return serve.Result{}, nil, unavailable("cluster: no healthy shard (%d configured)", len(r.refs))
+}
+
+// neighbors answers OpNeighbors through the epoch-keyed row cache: a hit
+// costs no shard RPC at all, a miss fetches the owner's encoded row once
+// per epoch.
+func (r *Router) neighbors(owner int, q serve.Query) (serve.Result, error) {
+	row, served, err := r.fetchRow(owner, rowNeighborhood, 0, q.U)
+	if err != nil {
+		return serve.Result{}, err
+	}
+	list, derr := decodeNeighborRow(row)
+	if derr != nil {
+		return serve.Result{}, derr
+	}
+	res := serve.Result{Neighbors: list, Cached: served == nil}
+	if (served != nil && served.index != owner) || r.Healthy() < len(r.refs) {
+		res.Degraded = true
+		r.degraded.Add(1)
+	}
+	return res, nil
+}
+
+// FetchRow returns one row's pgio codec bytes through the router cache —
+// the neighbors path uses it for adjacency rows; sketch-row spaces are
+// exercised by the tests and available to future router-side estimation.
+// The returned slice is shared with the cache: treat it as read-only.
+func (r *Router) FetchRow(space, kind uint8, v uint32) ([]byte, error) {
+	if int64(v) >= r.vertices.Load() {
+		return nil, fmt.Errorf("cluster: vertex %d out of range [0,%d)", v, r.vertices.Load())
+	}
+	row, _, err := r.fetchRow(r.partition().Owner(v), space, kind, v)
+	return row, err
+}
+
+// fetchRow consults the cache under the owner's current epoch, then
+// walks the failover chain. served is nil on a cache hit.
+func (r *Router) fetchRow(owner int, space, kind uint8, v uint32) ([]byte, *shardRef, error) {
+	epoch := r.refs[owner].epoch.Load()
+	key := rowKey{epoch: epoch, space: space, kind: kind, vertex: v}
+	if row, ok := r.rows.get(key); ok {
+		return row, nil, nil
+	}
+	var lastErr error
+	for _, ref := range r.candidates(owner) {
+		if !ref.healthy.Load() {
+			continue
+		}
+		t0 := time.Now()
+		row, err := ref.client.Row(space, kind, v)
+		ref.observe(t0)
+		if err != nil {
+			if _, remote := err.(*RemoteError); remote {
+				return nil, nil, err
+			}
+			ref.markDown(err)
+			lastErr = err
+			continue
+		}
+		// Cache under the serving shard's epoch: on failover that is the
+		// replica that actually produced the bytes.
+		r.rows.put(rowKey{epoch: ref.epoch.Load(), space: space, kind: kind, vertex: v}, row)
+		return row, ref, nil
+	}
+	if lastErr != nil {
+		return nil, nil, unavailable("cluster: no shard could serve row %d (%d/%d healthy): %v",
+			v, r.Healthy(), len(r.refs), lastErr)
+	}
+	return nil, nil, unavailable("cluster: no healthy shard (%d configured)", len(r.refs))
+}
+
+// KernelRequest names one global kernel run: the /v1/cluster/kernel wire
+// form and the Kernel argument.
+type KernelRequest struct {
+	Kernel  string `json:"kernel"`            // "tc" | "sim"
+	Mode    string `json:"mode,omitempty"`    // "neighborhoods" | "sketches" (default)
+	Kind    string `json:"kind,omitempty"`    // sketch kind (default: shard default)
+	Measure string `json:"measure,omitempty"` // sim only
+}
+
+// KernelResult is a gathered global kernel answer plus the run's
+// distributed accounting.
+type KernelResult struct {
+	Kernel   string  `json:"kernel"`
+	Mode     string  `json:"mode"`
+	Kind     string  `json:"kind,omitempty"`
+	Measure  string  `json:"measure,omitempty"`
+	Value    float64 `json:"value"`
+	Exact    bool    `json:"exact"`
+	Shards   int     `json:"shards"`
+	Epoch    uint64  `json:"epoch"`
+	Degraded bool    `json:"degraded,omitempty"`
+	Missing  []int   `json:"missing_shards,omitempty"`
+	// Fetches/WireBytes/WireMsgs aggregate the shard-interconnect row
+	// traffic this run generated — the cluster's measured counterpart of
+	// the simulator's NetStats.
+	Fetches        int64 `json:"fetches"`
+	WireBytes      int64 `json:"wire_bytes"`
+	WireMsgs       int64 `json:"wire_msgs"`
+	LocalFallbacks int64 `json:"local_fallbacks,omitempty"`
+}
+
+// Kernel scatters one global kernel to every live shard and gathers the
+// block partials in shard order — the simulator's node-order reduction,
+// which keeps the float merge bit-identical to dist.TC / dist.Sim. A
+// dead shard degrades the answer (its block is missing from the sum)
+// rather than failing it; shards disagreeing on shape or epoch (mid
+// rolling swap) fail typed, since such a sum would be meaningless.
+func (r *Router) Kernel(ctx context.Context, req KernelRequest) (KernelResult, error) {
+	mode, err := ParseMode(req.Mode)
+	if err != nil {
+		return KernelResult{}, err
+	}
+	if req.Kernel != "tc" && req.Kernel != "sim" {
+		return KernelResult{}, fmt.Errorf("cluster: unknown kernel %q", req.Kernel)
+	}
+	r.gathers.Add(1)
+	ctx, sp := obs.StartSpan(ctx, "cluster/"+req.Kernel)
+	defer sp.End()
+
+	preq := partialReq{Kernel: req.Kernel, Mode: ModeName(mode), Kind: req.Kind, Measure: req.Measure}
+	if req.Kernel == "sim" && preq.Measure == "" {
+		preq.Measure = "jaccard"
+	}
+	resps := make([]*partialResp, len(r.refs))
+	var firstRemote atomic.Pointer[RemoteError]
+	var wg sync.WaitGroup
+	for _, ref := range r.refs {
+		if !ref.healthy.Load() {
+			continue
+		}
+		wg.Add(1)
+		go func(ref *shardRef) {
+			defer wg.Done()
+			var resp partialResp
+			t0 := time.Now()
+			err := ref.client.callJSON(msgPartial, preq, &resp, r.cfg.PartialTimeout)
+			ref.observe(t0)
+			if err != nil {
+				if remote, ok := err.(*RemoteError); ok {
+					firstRemote.CompareAndSwap(nil, remote)
+				} else {
+					ref.markDown(err)
+				}
+				return
+			}
+			ref.icFetches.Add(resp.Fetches)
+			ref.icBytes.Add(resp.RowBytes)
+			ref.icMsgs.Add(resp.RowMsgs)
+			resps[ref.index] = &resp
+		}(ref)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return KernelResult{}, err
+	}
+	if remote := firstRemote.Load(); remote != nil {
+		// A live shard could not compute its partial (replica
+		// divergence, bad request): the gather is invalid, not merely
+		// incomplete.
+		return KernelResult{}, unavailable("cluster: partial failed: %v", remote)
+	}
+
+	res := KernelResult{
+		Kernel: req.Kernel, Mode: ModeName(mode), Kind: req.Kind, Measure: preq.Measure,
+		Shards: len(r.refs),
+	}
+	if req.Kernel == "tc" {
+		res.Measure = ""
+	}
+	// Merge in shard-index order — the oracle's node-order reduction.
+	var total float64
+	var triTotal int64
+	var live []*partialResp
+	for i, resp := range resps {
+		if resp == nil {
+			res.Missing = append(res.Missing, i)
+			continue
+		}
+		live = append(live, resp)
+		total += resp.Sum
+		triTotal += resp.TriSum
+		res.Fetches += resp.Fetches
+		res.WireBytes += resp.RowBytes
+		res.WireMsgs += resp.RowMsgs
+		res.LocalFallbacks += resp.LocalFallbacks
+	}
+	if len(live) == 0 {
+		return KernelResult{}, unavailable("cluster: no healthy shard answered the gather (%d configured)", len(r.refs))
+	}
+	first := live[0]
+	for _, resp := range live[1:] {
+		if resp.Epoch != first.Epoch || resp.Vertices != first.Vertices || resp.Edges != first.Edges {
+			return KernelResult{}, unavailable(
+				"cluster: shards disagree on serving state (epoch %d n=%d vs epoch %d n=%d) — rolling swap in progress, retry",
+				first.Epoch, first.Vertices, resp.Epoch, resp.Vertices)
+		}
+	}
+	res.Epoch = first.Epoch
+	res.Exact = first.Exact
+	switch {
+	case req.Kernel == "tc" && res.Exact:
+		res.Value = float64(triTotal)
+	case req.Kernel == "sim":
+		if first.Edges > 0 {
+			res.Value = total / float64(first.Edges)
+		}
+	default:
+		res.Value = total
+	}
+	if len(res.Missing) > 0 || res.LocalFallbacks > 0 || r.Healthy() < len(r.refs) {
+		res.Degraded = true
+		r.degraded.Add(1)
+	}
+	sp.Attr("value", fmt.Sprintf("%g", res.Value))
+	return res, nil
+}
+
+// SwapStep reports one shard's rolling-swap outcome.
+type SwapStep struct {
+	Index int    `json:"index"`
+	Epoch uint64 `json:"epoch"`
+}
+
+// RollingSwap walks the fleet shard by shard, swapping each onto the
+// artifact at path and confirming its new epoch before moving on — at
+// most one shard is mid-swap at any time, so point queries always have
+// N-1 settled replicas to fail over to. Global gathers briefly observe
+// mixed epochs and fail typed (retryable) until the roll completes. The
+// artifact path is resolved by each shard process, so it must be
+// reachable on every shard's filesystem.
+func (r *Router) RollingSwap(ctx context.Context, artifact string) ([]SwapStep, error) {
+	if artifact == "" {
+		return nil, fmt.Errorf("cluster: rolling swap needs an artifact path")
+	}
+	// Drive every shard to one explicit target epoch rather than letting
+	// each bump its own counter: shard-local epochs diverge after a
+	// halted swap or a shard restart, and +1 steps can never re-converge
+	// them — which would leave every gather failing the equal-epoch
+	// check. max+1 makes any completed rolling swap re-synchronize the
+	// fleet. Epochs are probed fresh (not read from the health cache):
+	// a stale view would pick a target a shard has already passed, and
+	// that shard would reject the step.
+	var target uint64
+	for _, ref := range r.refs {
+		e := ref.epoch.Load()
+		if ref.healthy.Load() {
+			if info, err := ref.client.Info(); err == nil {
+				e = info.Epoch
+				ref.epoch.Store(e)
+			}
+		}
+		if e > target {
+			target = e
+		}
+	}
+	target++
+	var steps []SwapStep
+	for _, ref := range r.refs {
+		if err := ctx.Err(); err != nil {
+			return steps, err
+		}
+		if !ref.healthy.Load() {
+			return steps, unavailable("cluster: rolling swap halted: shard %d is down", ref.index)
+		}
+		var resp swapResp
+		t0 := time.Now()
+		err := ref.client.callJSON(msgSwap, swapReq{Artifact: artifact, Epoch: target}, &resp, r.cfg.PartialTimeout)
+		ref.observe(t0)
+		if err != nil {
+			if _, remote := err.(*RemoteError); !remote {
+				ref.markDown(err)
+			}
+			return steps, fmt.Errorf("cluster: rolling swap halted at shard %d: %w", ref.index, err)
+		}
+		ref.epoch.Store(resp.Epoch)
+		steps = append(steps, SwapStep{Index: ref.index, Epoch: resp.Epoch})
+	}
+	r.swaps.Add(1)
+	// Refresh the routing shape immediately: the new artifact may have a
+	// different graph.
+	for _, ref := range r.refs {
+		if info, err := ref.client.Info(); err == nil {
+			r.vertices.Store(int64(info.Vertices))
+			r.edges.Store(int64(info.Edges))
+			break
+		}
+	}
+	sort.Slice(steps, func(i, j int) bool { return steps[i].Index < steps[j].Index })
+	return steps, nil
+}

@@ -1,0 +1,599 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"probgraph/internal/core"
+	"probgraph/internal/dist"
+	"probgraph/internal/pgio"
+	"probgraph/internal/serve"
+)
+
+// ShardConfig identifies one shard within its cluster and tunes its
+// serving engine. Peers lists every shard's RPC address in index order
+// (Peers[Index] is this shard; it never dials itself).
+type ShardConfig struct {
+	Index  int
+	Shards int
+	Peers  []string
+
+	// Workers / Kinds / Est / CacheSize parameterize the artifact boot
+	// and the embedded serve.Engine, as pgserve's flags do. Workers == 1
+	// makes every engine answer bit-deterministic across processes.
+	Workers   int
+	Kinds     []core.Kind
+	Est       core.Estimator
+	CacheSize int
+
+	// QueryTimeout bounds one point query's evaluation (<= 0: 30s).
+	QueryTimeout time.Duration
+}
+
+// shardState is one epoch's complete serving state: the full-replica
+// snapshot, the engine answering point queries over it, the block
+// partition this shard is responsible for, and the lazily-built oriented
+// sketch replicas TC partials estimate from. Immutable once published;
+// swap replaces the whole value.
+type shardState struct {
+	epoch uint64
+	snap  *serve.Snapshot
+	eng   *serve.Engine
+	part  dist.Partition
+	lo    uint32
+	hi    uint32
+
+	mu       sync.Mutex
+	oriented map[core.Kind]*core.PG
+}
+
+// owns reports whether v is in this shard's responsibility block.
+func (st *shardState) owns(v uint32) bool { return v >= st.lo && v < st.hi }
+
+// orientedPG returns (building on first use) the oriented sketch replica
+// of one kind: core.BuildOriented over the artifact's orientation with
+// the resident full sketch's exact build configuration. The build is
+// deterministic, so every shard's replica — and the oracle test's local
+// build from the same artifact — is bit-identical.
+func (st *shardState) orientedPG(kind core.Kind) (*core.PG, error) {
+	full := st.snap.PG(kind)
+	if full == nil {
+		return nil, fmt.Errorf("cluster: sketch kind %v not resident", kind)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if pg := st.oriented[kind]; pg != nil {
+		return pg, nil
+	}
+	pg, err := core.BuildOriented(st.snap.O, st.snap.G.SizeBits(), full.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	st.oriented[kind] = pg
+	return pg, nil
+}
+
+// Shard is one pgshard worker: a full replica of the serving artifact,
+// responsible for one block of the vertex partition, speaking the framed
+// TCP protocol of proto.go. Point queries evaluate on the embedded
+// serve.Engine; partial requests run the shared dist plan over the owned
+// block, fetching remote rows from peer shards over the real network.
+type Shard struct {
+	cfg ShardConfig
+	cur atomic.Pointer[shardState]
+
+	swapMu sync.Mutex // serializes msgSwap state rebuilds
+
+	peerMu sync.Mutex
+	peers  []*Client // lazily dialled; nil at own index
+
+	ln      net.Listener
+	connMu  sync.Mutex
+	conns   map[net.Conn]struct{}
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+	done    chan struct{}
+	rows    atomic.Int64 // rows served to peers/router
+	queries atomic.Int64 // point queries evaluated
+	parts   atomic.Int64 // partials computed
+}
+
+// NewShard boots a shard from an artifact file.
+func NewShard(cfg ShardConfig, artifact string) (*Shard, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("cluster: shard count %d < 1", cfg.Shards)
+	}
+	if cfg.Index < 0 || cfg.Index >= cfg.Shards {
+		return nil, fmt.Errorf("cluster: shard index %d out of [0, %d)", cfg.Index, cfg.Shards)
+	}
+	if len(cfg.Peers) != cfg.Shards {
+		return nil, fmt.Errorf("cluster: %d peer addresses for %d shards", len(cfg.Peers), cfg.Shards)
+	}
+	if cfg.QueryTimeout <= 0 {
+		cfg.QueryTimeout = 30 * time.Second
+	}
+	s := &Shard{
+		cfg:   cfg,
+		peers: make([]*Client, cfg.Shards),
+		conns: make(map[net.Conn]struct{}),
+		done:  make(chan struct{}),
+	}
+	st, err := s.load(artifact, 1)
+	if err != nil {
+		return nil, err
+	}
+	s.cur.Store(st)
+	return s, nil
+}
+
+// load builds one epoch's state from an artifact file.
+func (s *Shard) load(artifact string, epoch uint64) (*shardState, error) {
+	f, err := os.Open(artifact)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	snap, err := serve.OpenArtifact(f, serve.SnapshotConfig{
+		Kinds: s.cfg.Kinds, Est: s.cfg.Est, Workers: s.cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	part := dist.BlockPartition(snap.G.NumVertices(), s.cfg.Shards)
+	lo, hi := part.Block(s.cfg.Index)
+	return &shardState{
+		epoch: epoch,
+		snap:  snap,
+		eng: serve.New(snap, serve.Options{
+			Workers: s.cfg.Workers, CacheSize: s.cfg.CacheSize,
+		}),
+		part:     part,
+		lo:       lo,
+		hi:       hi,
+		oriented: make(map[core.Kind]*core.PG),
+	}, nil
+}
+
+// peer returns (dialling lazily) the client for peer shard i, nil for
+// this shard's own index.
+func (s *Shard) peer(i int) *Client {
+	if i < 0 || i >= s.cfg.Shards || i == s.cfg.Index {
+		return nil
+	}
+	s.peerMu.Lock()
+	defer s.peerMu.Unlock()
+	if s.peers[i] == nil {
+		s.peers[i] = NewClient(s.cfg.Peers[i], 0)
+	}
+	return s.peers[i]
+}
+
+// Epoch returns the serving epoch.
+func (s *Shard) Epoch() uint64 { return s.cur.Load().epoch }
+
+// Block returns the shard's owned vertex range [lo, hi).
+func (s *Shard) Block() (lo, hi uint32) {
+	st := s.cur.Load()
+	return st.lo, st.hi
+}
+
+// Serve accepts and serves protocol connections on ln until Close.
+func (s *Shard) Serve(ln net.Listener) error {
+	s.ln = ln
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		s.connMu.Lock()
+		if s.closed.Load() {
+			s.connMu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.connMu.Lock()
+			delete(s.conns, conn)
+			s.connMu.Unlock()
+		}()
+	}
+}
+
+// Close stops the listener, severs every connection (in-flight partials
+// observe the done channel and wind down), and releases the engine and
+// peer clients.
+func (s *Shard) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(s.done)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.connMu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+	s.peerMu.Lock()
+	for _, cl := range s.peers {
+		if cl != nil {
+			cl.Close()
+		}
+	}
+	s.peerMu.Unlock()
+	s.cur.Load().eng.Close()
+}
+
+// serveConn runs the request loop of one connection: framed requests in,
+// framed responses out, in order. A handler error becomes a msgErr frame
+// and the connection stays usable; a transport error ends the loop.
+func (s *Shard) serveConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		typ, body, _, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		rtyp, resp := s.dispatch(typ, body)
+		if _, err := writeFrame(bw, rtyp, resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch routes one request frame to its handler.
+func (s *Shard) dispatch(typ uint8, body []byte) (uint8, []byte) {
+	var resp []byte
+	var err error
+	switch typ {
+	case msgRow:
+		resp, err = s.handleRow(body)
+	case msgPoint:
+		resp, err = s.handlePoint(body)
+	case msgPartial:
+		resp, err = s.handlePartial(body)
+	case msgInfo:
+		resp, err = s.handleInfo()
+	case msgSwap:
+		resp, err = s.handleSwap(body)
+	default:
+		err = fmt.Errorf("cluster: unknown message type %d", typ)
+	}
+	if err != nil {
+		return msgErr, []byte(err.Error())
+	}
+	return typ, resp
+}
+
+// handleRow serves one row payload through the pgio codec — the byte
+// stream the wire-byte accounting measures.
+func (s *Shard) handleRow(body []byte) ([]byte, error) {
+	space, kindByte, v, err := decodeRowReq(body)
+	if err != nil {
+		return nil, err
+	}
+	st := s.cur.Load()
+	if int(v) >= st.snap.G.NumVertices() {
+		return nil, fmt.Errorf("cluster: vertex %d out of range [0,%d)", v, st.snap.G.NumVertices())
+	}
+	s.rows.Add(1)
+	switch space {
+	case rowNeighborhood:
+		return pgio.AppendNeighborhood(nil, st.snap.G.Neighbors(v)), nil
+	case rowSketch:
+		pg := st.snap.PG(core.Kind(kindByte))
+		if pg == nil {
+			return nil, fmt.Errorf("cluster: sketch kind %v not resident", core.Kind(kindByte))
+		}
+		return pgio.AppendSketchRow(nil, pg, v), nil
+	case rowSketchOriented:
+		pg, err := st.orientedPG(core.Kind(kindByte))
+		if err != nil {
+			return nil, err
+		}
+		return pgio.AppendSketchRow(nil, pg, v), nil
+	}
+	return nil, fmt.Errorf("cluster: unknown row space %d", space)
+}
+
+// handlePoint evaluates one point query on the shard's engine — the
+// same evaluation path, and with Workers == 1 the same bits, a
+// single-process pgserve produces.
+func (s *Shard) handlePoint(body []byte) ([]byte, error) {
+	var wq serve.WireQuery
+	if err := json.Unmarshal(body, &wq); err != nil {
+		return nil, fmt.Errorf("cluster: decoding query: %w", err)
+	}
+	q, err := wq.ToQuery()
+	if err != nil {
+		return nil, err
+	}
+	s.queries.Add(1)
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.QueryTimeout)
+	defer cancel()
+	res, err := s.cur.Load().eng.QueryCtx(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(res)
+}
+
+// handleInfo describes the shard.
+func (s *Shard) handleInfo() ([]byte, error) {
+	st := s.cur.Load()
+	info := infoResp{
+		Index:       s.cfg.Index,
+		Shards:      s.cfg.Shards,
+		Vertices:    st.snap.G.NumVertices(),
+		Edges:       st.snap.G.NumEdges(),
+		Epoch:       st.epoch,
+		DefaultKind: st.snap.DefaultKind().String(),
+	}
+	for _, k := range st.snap.Kinds() {
+		info.Kinds = append(info.Kinds, k.String())
+	}
+	return json.Marshal(info)
+}
+
+// handleSwap reloads the shard from a new artifact and swaps it in:
+// one step of the router's rolling swap. In-flight queries finish on
+// the epoch they captured; the displaced engine is then released.
+func (s *Shard) handleSwap(body []byte) ([]byte, error) {
+	var req swapReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("cluster: decoding swap: %w", err)
+	}
+	if req.Artifact == "" {
+		return nil, fmt.Errorf("cluster: swap needs an artifact path")
+	}
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	next := s.cur.Load().epoch + 1
+	if req.Epoch != 0 {
+		if req.Epoch < next {
+			return nil, fmt.Errorf("cluster: swap target epoch %d not beyond current %d", req.Epoch, next-1)
+		}
+		next = req.Epoch
+	}
+	st, err := s.load(req.Artifact, next)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: swap: %w", err)
+	}
+	old := s.cur.Swap(st)
+	old.eng.Close()
+	return json.Marshal(swapResp{Epoch: st.epoch})
+}
+
+// rowFetcher is the per-partial transport: it pulls remote rows from
+// their owning peers with full byte accounting, falls back to the local
+// replica when an owner is unreachable (counted, so the router can mark
+// the gather degraded), and surfaces replica divergence — a live peer
+// whose bytes disagree with the local replica, e.g. mid rolling swap —
+// as a hard error rather than a silently meaningless sum.
+type rowFetcher struct {
+	s     *Shard
+	st    *shardState
+	space uint8
+	kind  uint8
+
+	fetches, bytes, msgs, fallbacks int64
+	err                             error
+}
+
+// fetch pulls vertex v's row from its owner; nil means "use the local
+// replica" (owner unreachable — recorded as a fallback).
+func (f *rowFetcher) fetch(v uint32) []byte {
+	if f.err != nil {
+		return nil
+	}
+	cl := f.s.peer(f.st.part.Owner(v))
+	if cl != nil {
+		payload, err := cl.Row(f.space, f.kind, v)
+		if err == nil {
+			f.fetches++
+			f.msgs += 2
+			f.bytes += int64(frameHeaderBytes+6) + int64(frameHeaderBytes+len(payload))
+			return payload
+		}
+		if remote, ok := err.(*RemoteError); ok {
+			// The owner is alive and refused: configuration or epoch
+			// disagreement, not an outage. Fail the partial.
+			f.err = remote
+			return nil
+		}
+	}
+	f.fallbacks++
+	return nil
+}
+
+// verify checks a fetched row against the local replica's encoding of
+// the same row; disagreement fails the partial.
+func (f *rowFetcher) verify(v uint32, fetched, local []byte) {
+	if f.err == nil && fetched != nil && !bytes.Equal(fetched, local) {
+		f.err = fmt.Errorf("cluster: replica divergence at vertex %d: owner shipped %d bytes that differ from the local replica (mixed epochs?)", v, len(fetched))
+	}
+}
+
+// handlePartial runs one block partial of a global kernel over the
+// shard's owned vertex range, through the shared dist plan functions —
+// the same code the simulator's workers run, which is what makes the
+// router's gathered answer bit-identical to the oracle's.
+func (s *Shard) handlePartial(body []byte) ([]byte, error) {
+	var req partialReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("cluster: decoding partial: %w", err)
+	}
+	mode, err := ParseMode(req.Mode)
+	if err != nil {
+		return nil, err
+	}
+	st := s.cur.Load()
+	kind := st.snap.DefaultKind()
+	if req.Kind != "" {
+		if kind, err = core.ParseKind(req.Kind); err != nil {
+			return nil, err
+		}
+	}
+	s.parts.Add(1)
+
+	resp := partialResp{
+		Epoch:    st.epoch,
+		Vertices: st.snap.G.NumVertices(),
+		Edges:    st.snap.G.NumEdges(),
+	}
+	var f *rowFetcher
+	var completed bool
+
+	switch {
+	case req.Kernel == "tc" && mode == dist.ShipNeighborhoods:
+		f = &rowFetcher{s: s, st: st, space: rowNeighborhood}
+		o, rank := st.snap.O, st.snap.O.Rank
+		lists := make(map[uint32][]uint32)
+		rows := func(u uint32) []uint32 {
+			if st.owns(u) {
+				return o.NPlus(u)
+			}
+			if nu, ok := lists[u]; ok {
+				return nu
+			}
+			full := st.snap.G.Neighbors(u) // local replica; overridden by the wire copy below
+			if raw := f.fetch(u); raw != nil {
+				decoded, err := pgio.DecodeNeighborhood(raw)
+				if err != nil {
+					f.err = fmt.Errorf("cluster: undecodable neighborhood row for vertex %d: %w", u, err)
+				} else {
+					full = decoded
+				}
+			}
+			nu := dist.OrientFilter(full, rank, rank[u])
+			lists[u] = nu
+			return nu
+		}
+		resp.TriSum, completed = dist.TCPartialExact(o, st.lo, st.hi, rows, s.done)
+		resp.Exact = true
+
+	case req.Kernel == "tc" && mode == dist.ShipSketches:
+		opg, err := st.orientedPG(kind)
+		if err != nil {
+			return nil, err
+		}
+		f = &rowFetcher{s: s, st: st, space: rowSketchOriented, kind: uint8(kind)}
+		seen := make(map[uint32]bool)
+		need := func(u uint32) {
+			if st.owns(u) || seen[u] {
+				return
+			}
+			seen[u] = true
+			if raw := f.fetch(u); raw != nil {
+				f.verify(u, raw, pgio.AppendSketchRow(nil, opg, u))
+			}
+		}
+		resp.Sum, completed = dist.TCPartialSketch(st.snap.O, opg, st.lo, st.hi, need, s.done)
+
+	case req.Kernel == "sim":
+		m, err := serve.ParseMeasure(req.Measure)
+		if err != nil {
+			return nil, err
+		}
+		if !m.Counting() {
+			return nil, fmt.Errorf("cluster: measure %v needs witness identities; only counting measures are distributable", m)
+		}
+		g := st.snap.G
+		if mode == dist.ShipNeighborhoods {
+			f = &rowFetcher{s: s, st: st, space: rowNeighborhood}
+			lists := make(map[uint32][]uint32)
+			rows := func(v uint32) []uint32 {
+				if st.owns(v) {
+					return g.Neighbors(v)
+				}
+				if nv, ok := lists[v]; ok {
+					return nv
+				}
+				nv := g.Neighbors(v)
+				if raw := f.fetch(v); raw != nil {
+					decoded, err := pgio.DecodeNeighborhood(raw)
+					if err != nil {
+						f.err = fmt.Errorf("cluster: undecodable neighborhood row for vertex %d: %w", v, err)
+					} else {
+						nv = decoded
+					}
+				}
+				lists[v] = nv
+				return nv
+			}
+			resp.Sum, completed = dist.SimPartialExact(g, st.lo, st.hi, m, rows, s.done)
+			resp.Exact = true
+		} else {
+			pg := st.snap.PG(kind)
+			if pg == nil {
+				return nil, fmt.Errorf("cluster: sketch kind %v not resident", kind)
+			}
+			f = &rowFetcher{s: s, st: st, space: rowSketch, kind: uint8(kind)}
+			seen := make(map[uint32]bool)
+			need := func(v uint32) {
+				if st.owns(v) || seen[v] {
+					return
+				}
+				seen[v] = true
+				if raw := f.fetch(v); raw != nil {
+					f.verify(v, raw, pgio.AppendSketchRow(nil, pg, v))
+				}
+			}
+			resp.Sum, completed = dist.SimPartialSketch(g, pg, st.lo, st.hi, m, need, s.done)
+		}
+
+	default:
+		return nil, fmt.Errorf("cluster: unknown kernel %q", req.Kernel)
+	}
+
+	if f.err != nil {
+		return nil, f.err
+	}
+	if !completed {
+		return nil, fmt.Errorf("cluster: partial cancelled: shard shutting down")
+	}
+	resp.Fetches, resp.RowBytes, resp.RowMsgs, resp.LocalFallbacks = f.fetches, f.bytes, f.msgs, f.fallbacks
+	return json.Marshal(resp)
+}
+
+// ParseMode parses the wire protocol name of a partial request.
+func ParseMode(s string) (dist.Mode, error) {
+	switch s {
+	case "neighborhoods", "ship-neighborhoods", "exact":
+		return dist.ShipNeighborhoods, nil
+	case "", "sketches", "ship-sketches":
+		return dist.ShipSketches, nil
+	}
+	return 0, fmt.Errorf("cluster: unknown mode %q", s)
+}
+
+// ModeName is ParseMode's inverse for the partial wire form.
+func ModeName(m dist.Mode) string {
+	if m == dist.ShipNeighborhoods {
+		return "neighborhoods"
+	}
+	return "sketches"
+}

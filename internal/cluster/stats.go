@@ -1,0 +1,229 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"probgraph/internal/pgio"
+	"probgraph/internal/serve"
+)
+
+// ShardStats is one shard's router-side view: health, serving epoch, the
+// RPC traffic the router exchanged with it, and the shard-interconnect
+// row traffic its partials reported.
+type ShardStats struct {
+	Index   int    `json:"index"`
+	Addr    string `json:"addr"`
+	Healthy bool   `json:"healthy"`
+	Epoch   uint64 `json:"epoch"`
+	// RPCs/Errors/BytesTo/BytesFrom measure router↔shard traffic: framed
+	// wire bytes as the socket carried them.
+	RPCs      int64 `json:"rpcs"`
+	Errors    int64 `json:"errors"`
+	BytesTo   int64 `json:"bytes_to"`
+	BytesFrom int64 `json:"bytes_from"`
+	// Fetches/FetchBytes/FetchMsgs aggregate the shard→shard row traffic
+	// this shard's kernel partials generated.
+	Fetches    int64 `json:"fetches"`
+	FetchBytes int64 `json:"fetch_bytes"`
+	FetchMsgs  int64 `json:"fetch_msgs"`
+	// RPC latency quantiles as the router observed them, microseconds.
+	P50US     float64 `json:"p50_us,omitempty"`
+	P99US     float64 `json:"p99_us,omitempty"`
+	LastError string  `json:"last_error,omitempty"`
+}
+
+// ClusterStats is the cluster section of the router's /v1/stats.
+type ClusterStats struct {
+	Shards   int          `json:"shards"`
+	Healthy  int          `json:"healthy"`
+	Gathers  int64        `json:"gathers"`
+	Degraded int64        `json:"degraded_responses"`
+	Shard    []ShardStats `json:"shard"`
+}
+
+// Stats is the router's /v1/stats payload. The top-level fields mirror
+// serve.Stats field-for-field (epoch, vertices, kinds, cache, batch,
+// swaps, uptime), so pgserve clients — pgload among them — decode it
+// unchanged; Cluster carries what only a router has: per-shard health
+// and traffic.
+type Stats struct {
+	Epoch       uint64           `json:"epoch"`
+	Swaps       int64            `json:"swaps"`
+	Vertices    int              `json:"vertices"`
+	Edges       int              `json:"edges"`
+	Kinds       []string         `json:"kinds"`
+	DefaultKind string           `json:"default_kind"`
+	Cache       serve.CacheStats `json:"cache"`
+	Batch       serve.BatchStats `json:"batch"` // always zero: the router does not batch
+	UptimeSec   float64          `json:"uptime_sec"`
+	Cluster     ClusterStats     `json:"cluster"`
+}
+
+// Stats snapshots the router's counters.
+func (r *Router) Stats() Stats {
+	s := Stats{
+		Swaps:       r.swaps.Load(),
+		Vertices:    int(r.vertices.Load()),
+		Edges:       int(r.edges.Load()),
+		Kinds:       r.kinds,
+		DefaultKind: r.defKind,
+		Cache: serve.CacheStats{
+			Hits:   r.rows.hits.Load(),
+			Misses: r.rows.misses.Load(),
+			Len:    r.rows.len(),
+			Cap:    r.rows.cap,
+		},
+		UptimeSec: time.Since(r.start).Seconds(),
+		Cluster: ClusterStats{
+			Shards:   len(r.refs),
+			Gathers:  r.gathers.Load(),
+			Degraded: r.degraded.Load(),
+		},
+	}
+	for _, ref := range r.refs {
+		calls, errs := ref.client.Calls()
+		out, in := ref.client.WireBytes()
+		ss := ShardStats{
+			Index:      ref.index,
+			Addr:       ref.client.Addr(),
+			Healthy:    ref.healthy.Load(),
+			Epoch:      ref.epoch.Load(),
+			RPCs:       calls,
+			Errors:     errs,
+			BytesTo:    out,
+			BytesFrom:  in,
+			Fetches:    ref.icFetches.Load(),
+			FetchBytes: ref.icBytes.Load(),
+			FetchMsgs:  ref.icMsgs.Load(),
+		}
+		if ref.hist.Count() > 0 {
+			const us = float64(time.Microsecond)
+			ss.P50US = float64(ref.hist.Quantile(0.50)) / us
+			ss.P99US = float64(ref.hist.Quantile(0.99)) / us
+		}
+		if msg := ref.lastErr.Load(); msg != nil {
+			ss.LastError = *msg
+		}
+		if ss.Healthy {
+			// Epoch reports the oldest epoch a live shard serves: during a
+			// rolling swap it trails until the fleet converges.
+			if s.Cluster.Healthy == 0 || ss.Epoch < s.Epoch {
+				s.Epoch = ss.Epoch
+			}
+			s.Cluster.Healthy++
+		}
+		s.Cluster.Shard = append(s.Cluster.Shard, ss)
+	}
+	return s
+}
+
+// decodeNeighborRow turns a cached/fetched adjacency row back into a
+// vertex list.
+func decodeNeighborRow(row []byte) ([]uint32, error) {
+	list, err := pgio.DecodeNeighborhood(row)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: bad neighborhood row: %w", err)
+	}
+	return list, nil
+}
+
+// jsonError writes the same JSON error envelope pgserve uses.
+func jsonError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{Error: err.Error()})
+}
+
+// healthz is the router's health document.
+type healthz struct {
+	Status string `json:"status"` // "ok" | "degraded" | "down"
+	Shards int    `json:"shards"`
+	Up     int    `json:"up"`
+}
+
+// Handler exposes the cluster over HTTP. The /v1/query and /v1/stats
+// surfaces are pgserve's — existing clients work against a router
+// unchanged — plus the cluster-only endpoints:
+//
+//	POST /v1/query          point queries, routed to the owning shard
+//	GET  /v1/stats          serve.Stats-shaped + "cluster" section
+//	POST /v1/cluster/kernel {"kernel":"tc","mode":"sketches"} → KernelResult
+//	POST /v1/cluster/swap   {"artifact":"path.pg"} → rolling swap steps
+//	GET  /healthz           {"status","shards","up"}; 503 unless all up
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", serve.QueryHandler(r))
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(r.Stats())
+	})
+	mux.HandleFunc("POST /v1/cluster/kernel", func(w http.ResponseWriter, req *http.Request) {
+		var kr KernelRequest
+		if err := json.NewDecoder(io.LimitReader(req.Body, 1<<16)).Decode(&kr); err != nil {
+			jsonError(w, http.StatusBadRequest, fmt.Errorf("decoding kernel request: %w", err))
+			return
+		}
+		res, err := r.Kernel(req.Context(), kr)
+		if err != nil {
+			if ce, ok := err.(*Error); ok {
+				jsonError(w, ce.HTTPStatus(), err)
+			} else {
+				jsonError(w, http.StatusBadRequest, err)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(res)
+	})
+	mux.HandleFunc("POST /v1/cluster/swap", func(w http.ResponseWriter, req *http.Request) {
+		var sr swapReq
+		if err := json.NewDecoder(io.LimitReader(req.Body, 1<<16)).Decode(&sr); err != nil {
+			jsonError(w, http.StatusBadRequest, fmt.Errorf("decoding swap request: %w", err))
+			return
+		}
+		steps, err := r.RollingSwap(req.Context(), sr.Artifact)
+		if err != nil {
+			code := http.StatusBadRequest
+			if ce, ok := err.(*Error); ok {
+				code = ce.HTTPStatus()
+			}
+			jsonError(w, code, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Steps []SwapStep `json:"steps"`
+		}{Steps: steps})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+		h := healthz{Shards: len(r.refs), Up: r.Healthy()}
+		code := http.StatusOK
+		switch {
+		case h.Up == h.Shards:
+			h.Status = "ok"
+		case h.Up > 0:
+			// Point queries fail over, gathers miss blocks: degraded, and
+			// a 503 so naive probes pull the router from rotation while
+			// clients that read the body can keep using it.
+			h.Status = "degraded"
+			code = http.StatusServiceUnavailable
+		default:
+			h.Status = "down"
+			code = http.StatusServiceUnavailable
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(h)
+	})
+	mux.HandleFunc("POST /v1/ingest", func(w http.ResponseWriter, req *http.Request) {
+		jsonError(w, http.StatusNotImplemented,
+			fmt.Errorf("cluster: ingest is not served by the router; stream into the artifact pipeline and roll the fleet with /v1/cluster/swap"))
+	})
+	return mux
+}

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"probgraph/internal/obs"
@@ -43,6 +44,14 @@ type network struct {
 	inboxes []chan request
 	cells   []traffic
 	fetches atomic.Int64
+
+	// freeze makes stats idempotent: the accounting is snapshotted (and
+	// folded into the process-wide obs counters) exactly once per run,
+	// so a second call — or two concurrent callers racing at the end of
+	// a run — can neither double-count the observability totals nor
+	// observe a half-frozen snapshot.
+	freeze sync.Once
+	frozen NetStats
 }
 
 func newNetwork(part Partition) *network {
@@ -79,31 +88,35 @@ func (nw *network) fetch(from int, v uint32, reply chan payload) payload {
 	return p
 }
 
-// stats freezes the accounting into a NetStats value. Call only after
-// every worker has finished.
+// stats freezes the accounting into a NetStats value. Call after every
+// worker has finished; repeated calls return the same frozen snapshot
+// without re-folding the observability counters.
 func (nw *network) stats() NetStats {
-	s := NetStats{PerNode: make([]NodeTraffic, len(nw.cells)), Fetches: nw.fetches.Load()}
-	for i := range nw.cells {
-		c := &nw.cells[i]
-		t := NodeTraffic{
-			BytesOut: c.bytesOut.Load(), BytesIn: c.bytesIn.Load(),
-			MsgsOut: c.msgsOut.Load(), MsgsIn: c.msgsIn.Load(),
+	nw.freeze.Do(func() {
+		s := NetStats{PerNode: make([]NodeTraffic, len(nw.cells)), Fetches: nw.fetches.Load()}
+		for i := range nw.cells {
+			c := &nw.cells[i]
+			t := NodeTraffic{
+				BytesOut: c.bytesOut.Load(), BytesIn: c.bytesIn.Load(),
+				MsgsOut: c.msgsOut.Load(), MsgsIn: c.msgsIn.Load(),
+			}
+			s.PerNode[i] = t
+			s.Bytes += t.BytesOut
+			s.Messages += t.MsgsOut
 		}
-		s.PerNode[i] = t
-		s.Bytes += t.BytesOut
-		s.Messages += t.MsgsOut
-	}
-	// Fold this run into the process-wide observability counters — once
-	// per run, at the single point every distributed kernel funnels
-	// through. NetStats itself stays deterministic per run.
-	r := obs.Default()
-	r.Counter("probgraph_dist_bytes_shipped_total",
-		"Wire bytes shipped across all simulated distributed runs.").Add(s.Bytes)
-	r.Counter("probgraph_dist_messages_total",
-		"Messages exchanged across all simulated distributed runs.").Add(s.Messages)
-	r.Counter("probgraph_dist_fetches_total",
-		"Remote row fetch round-trips across all simulated distributed runs.").Add(s.Fetches)
-	r.Counter("probgraph_dist_runs_total",
-		"Completed simulated distributed runs.").Inc()
-	return s
+		// Fold this run into the process-wide observability counters —
+		// once per run, at the single point every distributed kernel
+		// funnels through. NetStats itself stays deterministic per run.
+		r := obs.Default()
+		r.Counter("probgraph_dist_bytes_shipped_total",
+			"Wire bytes shipped across all simulated distributed runs.").Add(s.Bytes)
+		r.Counter("probgraph_dist_messages_total",
+			"Messages exchanged across all simulated distributed runs.").Add(s.Messages)
+		r.Counter("probgraph_dist_fetches_total",
+			"Remote row fetch round-trips across all simulated distributed runs.").Add(s.Fetches)
+		r.Counter("probgraph_dist_runs_total",
+			"Completed simulated distributed runs.").Inc()
+		nw.frozen = s
+	})
+	return nw.frozen
 }

@@ -1,0 +1,80 @@
+package dist
+
+import "testing"
+
+// TestBlockPartitionEdgeCases table-drives the block decomposition over
+// the shapes a real deployment hits: more nodes than vertices (surplus
+// blocks must be empty), non-divisible sizes (block sizes differ by at
+// most one), the single-node degenerate case, and the empty graph.
+func TestBlockPartitionEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		n, p int
+	}{
+		{"empty graph", 0, 1},
+		{"empty graph, many nodes", 0, 4},
+		{"single vertex", 1, 1},
+		{"single node", 17, 1},
+		{"fewer vertices than nodes", 3, 5},
+		{"one vertex per node", 5, 5},
+		{"non-divisible", 10, 3},
+		{"non-divisible, remainder 1", 7, 2},
+		{"non-divisible, large remainder", 100, 7},
+		{"divisible", 64, 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			part := BlockPartition(tc.n, tc.p)
+			if part.N != tc.n || part.P != tc.p {
+				t.Fatalf("partition echoes N=%d P=%d, want %d/%d", part.N, part.P, tc.n, tc.p)
+			}
+			// Blocks must tile [0, n) contiguously in node order, and the
+			// balanced decomposition bounds every size gap by one.
+			next := uint32(0)
+			minSz, maxSz := tc.n, 0
+			for i := 0; i < tc.p; i++ {
+				lo, hi := part.Block(i)
+				if lo != next {
+					t.Fatalf("block %d starts at %d, want %d (blocks must tile)", i, lo, next)
+				}
+				if hi < lo {
+					t.Fatalf("block %d is inverted: [%d, %d)", i, lo, hi)
+				}
+				sz := int(hi - lo)
+				if sz < minSz {
+					minSz = sz
+				}
+				if sz > maxSz {
+					maxSz = sz
+				}
+				next = hi
+			}
+			if int(next) != tc.n {
+				t.Fatalf("blocks cover [0, %d), graph has %d vertices", next, tc.n)
+			}
+			if tc.n > 0 && maxSz-minSz > 1 {
+				t.Fatalf("block sizes range [%d, %d]; balanced blocks differ by at most one", minSz, maxSz)
+			}
+			if tc.p > tc.n {
+				// Surplus blocks are empty, never out of range.
+				for i := tc.n; i < tc.p; i++ {
+					if lo, hi := part.Block(i); lo != hi {
+						t.Fatalf("surplus block %d is non-empty: [%d, %d)", i, lo, hi)
+					}
+				}
+			}
+			// Ownership round-trip: every vertex's owner's block contains
+			// it — Owner and Block are inverse views of one decomposition.
+			for v := uint32(0); int(v) < tc.n; v++ {
+				owner := part.Owner(v)
+				if owner < 0 || owner >= tc.p {
+					t.Fatalf("Owner(%d) = %d, out of [0, %d)", v, owner, tc.p)
+				}
+				lo, hi := part.Block(owner)
+				if v < lo || v >= hi {
+					t.Fatalf("Owner(%d) = %d but Block(%d) = [%d, %d) does not contain it", v, owner, owner, lo, hi)
+				}
+			}
+		})
+	}
+}

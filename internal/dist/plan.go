@@ -1,0 +1,126 @@
+package dist
+
+import (
+	"probgraph/internal/core"
+	"probgraph/internal/graph"
+	"probgraph/internal/mining"
+	"probgraph/internal/par"
+)
+
+// This file is the communication plan shared by the in-process simulator
+// (tc.go, sim.go) and the real multi-process cluster (internal/cluster):
+// the per-block partial-kernel bodies, factored out of the simulator's
+// worker goroutines. Both substrates run the same partial over the same
+// block partition and reduce the per-block sums in block order, so a
+// cluster answer is bit-identical to the simulator's by construction —
+// which is what lets internal/cluster use dist as its oracle.
+//
+// Row transport is abstracted behind two closure shapes:
+//
+//   - rows func(u) []uint32 returns the (post-processed) adjacency rows
+//     the exact kernels intersect — local rows directly, remote rows
+//     fetched/decoded/cached however the substrate likes;
+//   - need func(u) announces that vertex u's sketch row is about to be
+//     consumed, so the substrate can ship it (once) for byte accounting.
+//     The estimate itself always reads the local sketch replica, exactly
+//     as the simulator does (see the payload doc in net.go).
+//
+// Every partial checks done once per owned vertex — the simulator's
+// cooperative-cancellation granularity — and reports whether it ran to
+// completion. A partial cut short returns its partial sum and false.
+
+// TCPartialExact computes one block's oriented triangle-count partial,
+// tc = Σ_{v∈[lo,hi)} Σ_{u∈N+_v} |N+_v ∩ N+_u|, with rows(u) supplying
+// N+_u for every endpoint u (local or remote).
+func TCPartialExact(o *graph.Oriented, lo, hi uint32, rows func(uint32) []uint32, done <-chan struct{}) (int64, bool) {
+	var tc int64
+	for v := lo; v < hi; v++ {
+		if par.Cancelled(done) {
+			return tc, false
+		}
+		nv := o.NPlus(v)
+		for _, u := range nv {
+			tc += int64(graph.IntersectCount(nv, rows(u)))
+		}
+	}
+	return tc, true
+}
+
+// TCPartialSketch computes one block's sketched triangle-count partial
+// over oriented sketches (core.BuildOriented): each |N+_v ∩ N+_u| is
+// estimated from the local sketch replica and clamped to its cardinality
+// bound; need(u) is called before every endpoint's estimate so the
+// substrate can transfer the row once per block.
+func TCPartialSketch(o *graph.Oriented, pg *core.PG, lo, hi uint32, need func(uint32), done <-chan struct{}) (float64, bool) {
+	var s float64
+	for v := lo; v < hi; v++ {
+		if par.Cancelled(done) {
+			return s, false
+		}
+		for _, u := range o.NPlus(v) {
+			need(u)
+			s += clampInter(pg.IntCard(v, u), pg.SetSize(v), pg.SetSize(u))
+		}
+	}
+	return s, true
+}
+
+// SimPartialExact computes one block's exact edge-similarity partial:
+// every undirected edge (u, v) with u < v and u in [lo, hi) is scored
+// from the exact intersection, with rows(v) supplying N_v for the far
+// endpoint. The caller divides the reduced total by the edge count.
+func SimPartialExact(g *graph.Graph, lo, hi uint32, m mining.Measure, rows func(uint32) []uint32, done <-chan struct{}) (float64, bool) {
+	var s float64
+	for u := lo; u < hi; u++ {
+		if par.Cancelled(done) {
+			return s, false
+		}
+		nu := g.Neighbors(u)
+		for _, v := range nu {
+			if v <= u {
+				continue // each undirected edge once, at the owner of min(u,v)
+			}
+			nv := rows(v)
+			inter := float64(graph.IntersectCount(nu, nv))
+			s += mining.SimFromInter(m, inter, len(nu), len(nv))
+		}
+	}
+	return s, true
+}
+
+// SimPartialSketch computes one block's sketched edge-similarity partial
+// over full-neighborhood sketches (core.Build), estimating from the
+// local replica with the cardinality clamp; need(v) announces the far
+// endpoint before each estimate.
+func SimPartialSketch(g *graph.Graph, pg *core.PG, lo, hi uint32, m mining.Measure, need func(uint32), done <-chan struct{}) (float64, bool) {
+	var s float64
+	for u := lo; u < hi; u++ {
+		if par.Cancelled(done) {
+			return s, false
+		}
+		for _, v := range g.Neighbors(u) {
+			if v <= u {
+				continue
+			}
+			need(v)
+			inter := clampInter(pg.IntCard(u, v), pg.SetSize(u), pg.SetSize(v))
+			s += mining.SimFromInter(m, inter, pg.SetSize(u), pg.SetSize(v))
+		}
+	}
+	return s, true
+}
+
+// OrientFilter derives N+_u from a full, ID-sorted neighborhood N_u: the
+// neighbors ranked above u, in the same ID order the orientation stores
+// them. It is how a requester reconstructs the oriented row from a raw
+// CSR neighborhood fetched off the wire, in both the simulator and the
+// real cluster.
+func OrientFilter(full []uint32, rank []int32, ru int32) []uint32 {
+	out := make([]uint32, 0, len(full)/2)
+	for _, w := range full {
+		if rank[w] > ru {
+			out = append(out, w)
+		}
+	}
+	return out
+}

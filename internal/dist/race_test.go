@@ -1,0 +1,114 @@
+package dist
+
+import (
+	"sync"
+	"testing"
+
+	"probgraph/internal/core"
+	"probgraph/internal/graph"
+	"probgraph/internal/obs"
+)
+
+// TestStatsFreezeIdempotent pins the NetStats snapshotting contract:
+// freezing is once-per-run. A second stats() call (or two callers racing
+// at the end of a run) returns the same snapshot and must not fold the
+// run into the process-wide observability counters twice.
+func TestStatsFreezeIdempotent(t *testing.T) {
+	nw := newNetwork(BlockPartition(10, 2))
+	nw.account(0, 1, 100)
+	nw.account(1, 0, 250)
+	nw.fetches.Add(1)
+
+	runs := obs.Default().Counter("probgraph_dist_runs_total",
+		"Completed simulated distributed runs.")
+	bytes := obs.Default().Counter("probgraph_dist_bytes_shipped_total",
+		"Wire bytes shipped across all simulated distributed runs.")
+	runs0, bytes0 := runs.Value(), bytes.Value()
+
+	var wg sync.WaitGroup
+	snaps := make([]NetStats, 4)
+	for i := range snaps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			snaps[i] = nw.stats()
+		}(i)
+	}
+	wg.Wait()
+
+	for i, s := range snaps {
+		if s.Bytes != 350 || s.Messages != 2 || s.Fetches != 1 {
+			t.Fatalf("snapshot %d: got bytes=%d msgs=%d fetches=%d, want 350/2/1", i, s.Bytes, s.Messages, s.Fetches)
+		}
+	}
+	if d := runs.Value() - runs0; d != 1 {
+		t.Fatalf("run counter advanced by %d across repeated stats() calls, want exactly 1", d)
+	}
+	if d := bytes.Value() - bytes0; d != 350 {
+		t.Fatalf("byte counter advanced by %d, want exactly 350 (no double fold)", d)
+	}
+}
+
+// TestConcurrentKernels runs several distributed kernels at once (the
+// serving layer's reality: global queries land concurrently) and checks
+// every run's count and accounting against a sequential reference.
+// Under -race this also proves the per-run accounting cells and the
+// process-wide fold are data-race free across overlapping runs.
+func TestConcurrentKernels(t *testing.T) {
+	g := graph.Kronecker(9, 8, 7)
+	o := g.Orient(1)
+	cfg := core.Config{Kind: core.BF, Budget: 0.25, Seed: 7}
+	opg, err := core.BuildOriented(o, g.SizeBits(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpg, err := core.Build(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nodes = 4
+
+	wantTC, err := TC(g, o, opg, nodes, ShipSketches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSim, err := Sim(g, fpg, nodes, ShipSketches, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				res, err := TC(g, o, opg, nodes, ShipSketches)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Count != wantTC.Count || res.Net.Bytes != wantTC.Net.Bytes || res.Net.Fetches != wantTC.Net.Fetches {
+					t.Errorf("concurrent TC run diverged: count %v bytes %d, want %v / %d",
+						res.Count, res.Net.Bytes, wantTC.Count, wantTC.Net.Bytes)
+				}
+			} else {
+				res, err := Sim(g, fpg, nodes, ShipSketches, 0)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Count != wantSim.Count || res.Net.Bytes != wantSim.Net.Bytes {
+					t.Errorf("concurrent Sim run diverged: count %v bytes %d, want %v / %d",
+						res.Count, res.Net.Bytes, wantSim.Count, wantSim.Net.Bytes)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

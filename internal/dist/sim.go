@@ -7,7 +7,6 @@ import (
 	"probgraph/internal/core"
 	"probgraph/internal/graph"
 	"probgraph/internal/mining"
-	"probgraph/internal/par"
 	"probgraph/internal/pgio"
 )
 
@@ -65,62 +64,39 @@ func SimCtx(ctx context.Context, g *graph.Graph, pg *core.PG, nodes int, mode Mo
 	sums := make([]float64, nodes)
 	done := ctx.Done()
 
+	// The worker bodies are the shared plan partials of plan.go (see the
+	// note in tc.go), wrapped around this substrate's transport.
 	switch mode {
 	case ShipNeighborhoods:
 		serve := func(v uint32) payload {
 			return payload{data: pgio.AppendNeighborhood(nil, g.Neighbors(v))}
 		}
 		res.Net = c.run(serve, func(nd *node) {
-			var s float64
-			for u := nd.lo; u < nd.hi; u++ {
-				if par.Cancelled(done) {
-					return
+			rows := func(v uint32) []uint32 {
+				if nd.owns(v) {
+					return g.Neighbors(v)
 				}
-				nu := g.Neighbors(u)
-				for _, v := range nu {
-					if v <= u {
-						continue // each undirected edge once, at the owner of min(u,v)
-					}
-					var nv []uint32
-					switch {
-					case nd.owns(v):
-						nv = g.Neighbors(v)
-					default:
-						var ok bool
-						if nv, ok = nd.lists[v]; !ok {
-							nv = decodeList(nd.fetch(v))
-							nd.lists[v] = nv
-						}
-					}
-					inter := float64(graph.IntersectCount(nu, nv))
-					s += mining.SimFromInter(m, inter, len(nu), len(nv))
+				if nv, ok := nd.lists[v]; ok {
+					return nv
 				}
+				nv := decodeList(nd.fetch(v))
+				nd.lists[v] = nv
+				return nv
 			}
-			sums[nd.id] = s
+			sums[nd.id], _ = SimPartialExact(g, nd.lo, nd.hi, m, rows, done)
 		})
 	case ShipSketches:
 		serve := func(v uint32) payload {
 			return payload{data: pgio.AppendSketchRow(nil, pg, v)}
 		}
 		res.Net = c.run(serve, func(nd *node) {
-			var s float64
-			for u := nd.lo; u < nd.hi; u++ {
-				if par.Cancelled(done) {
-					return
-				}
-				for _, v := range g.Neighbors(u) {
-					if v <= u {
-						continue
-					}
-					if !nd.owns(v) && !nd.seen[v] {
-						nd.fetch(v)
-						nd.seen[v] = true
-					}
-					inter := clampInter(pg.IntCard(u, v), pg.SetSize(u), pg.SetSize(v))
-					s += mining.SimFromInter(m, inter, pg.SetSize(u), pg.SetSize(v))
+			need := func(v uint32) {
+				if !nd.owns(v) && !nd.seen[v] {
+					nd.fetch(v)
+					nd.seen[v] = true
 				}
 			}
-			sums[nd.id] = s
+			sums[nd.id], _ = SimPartialSketch(g, pg, nd.lo, nd.hi, m, need, done)
 		})
 	}
 

@@ -6,7 +6,6 @@ import (
 
 	"probgraph/internal/core"
 	"probgraph/internal/graph"
-	"probgraph/internal/par"
 	"probgraph/internal/pgio"
 )
 
@@ -57,6 +56,9 @@ func TCCtx(ctx context.Context, g *graph.Graph, o *graph.Oriented, pg *core.PG, 
 	res := &Result{Nodes: nodes, Mode: mode}
 	done := ctx.Done()
 
+	// The worker bodies are the shared plan partials of plan.go — the
+	// same code the real cluster's shards run — wrapped around this
+	// substrate's transport: the node's fetch channel and row caches.
 	switch mode {
 	case ShipNeighborhoods:
 		counts := make([]int64, nodes)
@@ -65,28 +67,18 @@ func TCCtx(ctx context.Context, g *graph.Graph, o *graph.Oriented, pg *core.PG, 
 		}
 		res.Net = c.run(serve, func(nd *node) {
 			rank := o.Rank
-			var tc int64
-			for v := nd.lo; v < nd.hi; v++ {
-				if par.Cancelled(done) {
-					return
+			rows := func(u uint32) []uint32 {
+				if nd.owns(u) {
+					return o.NPlus(u)
 				}
-				nv := o.NPlus(v)
-				for _, u := range nv {
-					var nu []uint32
-					switch {
-					case nd.owns(u):
-						nu = o.NPlus(u)
-					default:
-						var ok bool
-						if nu, ok = nd.lists[u]; !ok {
-							nu = orientFilter(decodeList(nd.fetch(u)), rank, rank[u])
-							nd.lists[u] = nu
-						}
-					}
-					tc += int64(graph.IntersectCount(nv, nu))
+				if nu, ok := nd.lists[u]; ok {
+					return nu
 				}
+				nu := OrientFilter(decodeList(nd.fetch(u)), rank, rank[u])
+				nd.lists[u] = nu
+				return nu
 			}
-			counts[nd.id] = tc
+			counts[nd.id], _ = TCPartialExact(o, nd.lo, nd.hi, rows, done)
 		})
 		var total int64
 		for _, tc := range counts {
@@ -99,20 +91,13 @@ func TCCtx(ctx context.Context, g *graph.Graph, o *graph.Oriented, pg *core.PG, 
 			return payload{data: pgio.AppendSketchRow(nil, pg, u)}
 		}
 		res.Net = c.run(serve, func(nd *node) {
-			var s float64
-			for v := nd.lo; v < nd.hi; v++ {
-				if par.Cancelled(done) {
-					return
-				}
-				for _, u := range o.NPlus(v) {
-					if !nd.owns(u) && !nd.seen[u] {
-						nd.fetch(u)
-						nd.seen[u] = true
-					}
-					s += clampInter(pg.IntCard(v, u), pg.SetSize(v), pg.SetSize(u))
+			need := func(u uint32) {
+				if !nd.owns(u) && !nd.seen[u] {
+					nd.fetch(u)
+					nd.seen[u] = true
 				}
 			}
-			sums[nd.id] = s
+			sums[nd.id], _ = TCPartialSketch(o, pg, nd.lo, nd.hi, need, done)
 		})
 		var total float64
 		for _, s := range sums {
@@ -154,17 +139,4 @@ func decodeList(p payload) []uint32 {
 		panic(fmt.Sprintf("dist: undecodable neighborhood payload: %v", err))
 	}
 	return l
-}
-
-// orientFilter derives N+_u from a full, ID-sorted neighborhood N_u:
-// the neighbors ranked above u, in the same ID order the orientation
-// stores them.
-func orientFilter(full []uint32, rank []int32, ru int32) []uint32 {
-	out := make([]uint32, 0, len(full)/2)
-	for _, w := range full {
-		if rank[w] > ru {
-			out = append(out, w)
-		}
-	}
-	return out
 }

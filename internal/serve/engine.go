@@ -120,7 +120,11 @@ type Result struct {
 	TopK      []Scored `json:"topk,omitempty"`
 	Neighbors []uint32 `json:"neighbors,omitempty"`
 	Cached    bool     `json:"cached"`
-	Err       string   `json:"-"`
+	// Degraded marks an answer computed under reduced redundancy — a
+	// cluster router that failed over a dead shard or merged a gather
+	// with shards missing sets it; a single-process engine never does.
+	Degraded bool   `json:"degraded,omitempty"`
+	Err      string `json:"-"`
 }
 
 // Options tunes an Engine. Zero values: GOMAXPROCS workers, batches of

@@ -46,16 +46,27 @@ type wireError struct {
 	Error string `json:"error"`
 }
 
-// Handler exposes the engine over HTTP JSON:
-//
-//	POST /v1/query   {"op":"similarity","u":3,"v":9,"measure":"jaccard"} → Result
-//	POST /v1/ingest  {"add":[[1,2],[2,3]],"del":[[0,7]]} → IngestResult (needs EnableIngest)
-//	GET  /v1/stats   → Stats
-//	GET  /healthz    → "ok"
-func Handler(e *Engine) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/ingest", e.handleIngest)
-	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
+// Querier answers one typed query — the serving surface behind POST
+// /v1/query. Engine implements it in-process; cluster.Router implements
+// it by routing to shards, which is how pgrouter serves the same /v1/*
+// API pgserve does.
+type Querier interface {
+	QueryCtx(ctx context.Context, q Query) (Result, error)
+}
+
+// StatusCoder lets an error pick its own HTTP status — the hook typed
+// transport errors (e.g. a cluster with no live shards) use to surface
+// as 503 instead of the default 400. Checked via errors.As, so wrapped
+// errors carry their status through.
+type StatusCoder interface {
+	error
+	HTTPStatus() int
+}
+
+// QueryHandler serves POST /v1/query against any Querier: decode, query
+// under the request context, map the error taxonomy onto HTTP statuses.
+func QueryHandler(qr Querier) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
 		var wq WireQuery
 		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&wq); err != nil {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding query: %w", err))
@@ -69,14 +80,17 @@ func Handler(e *Engine) http.Handler {
 		// The request context carries the client's disconnect and any
 		// server write deadline: a gone client stops paying for its
 		// evaluation at the next chunk boundary.
-		res, err := e.QueryCtx(r.Context(), q)
+		res, err := qr.QueryCtx(r.Context(), q)
 		if err != nil {
+			var sc StatusCoder
 			switch {
 			case errors.Is(err, context.DeadlineExceeded):
 				httpError(w, http.StatusGatewayTimeout, err)
 			case errors.Is(err, context.Canceled):
 				// The client is gone; the status is for the access log.
 				httpError(w, http.StatusServiceUnavailable, err)
+			case errors.As(err, &sc):
+				httpError(w, sc.HTTPStatus(), err)
 			default:
 				httpError(w, http.StatusBadRequest, err)
 			}
@@ -84,7 +98,19 @@ func Handler(e *Engine) http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(res)
-	})
+	}
+}
+
+// Handler exposes the engine over HTTP JSON:
+//
+//	POST /v1/query   {"op":"similarity","u":3,"v":9,"measure":"jaccard"} → Result
+//	POST /v1/ingest  {"add":[[1,2],[2,3]],"del":[[0,7]]} → IngestResult (needs EnableIngest)
+//	GET  /v1/stats   → Stats
+//	GET  /healthz    → "ok"
+func Handler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/ingest", e.handleIngest)
+	mux.HandleFunc("POST /v1/query", QueryHandler(e))
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(e.Stats())
