@@ -41,6 +41,7 @@ var experiments = map[string]func(bench.Opts) error{
 	"sim":        func(o bench.Opts) error { _, err := bench.VertexSim(o); return err },
 	"serve":      func(o bench.Opts) error { _, err := bench.ServeExperiment(o); return err },
 	"session":    func(o bench.Opts) error { _, err := bench.SessionBench(o); return err },
+	"pattern":    func(o bench.Opts) error { _, err := bench.PatternBench(o); return err },
 	"stream":     func(o bench.Opts) error { _, err := bench.StreamBench(o); return err },
 	"persist":    func(o bench.Opts) error { _, err := bench.PersistBench(o); return err },
 }
@@ -49,7 +50,7 @@ var experiments = map[string]func(bench.Opts) error{
 var order = []string{
 	"fig3", "fig4", "fig5", "fig6", "fig7", "fig8strong", "fig8weak", "fig9",
 	"table4", "table5", "table6", "table7", "theory", "dist", "distsim",
-	"sim", "linkpred", "ablation", "serve", "session", "stream", "persist",
+	"sim", "linkpred", "ablation", "serve", "session", "pattern", "stream", "persist",
 }
 
 func main() {

@@ -9,7 +9,8 @@
 //	pgload -qps 5000 -workers 16 -mix similarity:8,topk:1       # open loop
 //	pgload -duration 5s -ingest-qps 4 -ingest-batch 256         # mixed churn
 //	pgload -targets http://r1:8080,http://r2:8080 -duration 10s # fleet round-robin
-//
+//	pgload -pattern-weight 1 -pattern diamond -duration 5s      # add pattern queries
+
 // With -targets the query stream round-robins across several servers or
 // pgrouters; the final summary breaks requests and errors down per
 // target (stats and ingest go to the first target).
@@ -54,6 +55,8 @@ func main() {
 		mixFlag  = flag.String("mix", "", "op weights, e.g. similarity:6,localtc:2,neighbors:1,topk:1")
 		measure  = flag.String("measure", "jaccard", "similarity measure for similarity/topk")
 		topk     = flag.Int("topk", 10, "k for generated topk queries")
+		patternW = flag.Float64("pattern-weight", 0, "extra mix weight for whole-graph pattern queries (added on top of -mix)")
+		patternP = flag.String("pattern", "triangle", "pattern spec for generated pattern queries (builtin name or edge list)")
 		zipf     = flag.Float64("zipf", 1.2, "vertex skew exponent (<=1 = uniform picks)")
 		seed     = flag.Uint64("seed", 42, "query-stream seed")
 		check    = flag.Bool("check", false, "exit non-zero on errors or zero throughput")
@@ -108,6 +111,11 @@ func main() {
 	mix, err := serve.ParseMix(*mixFlag)
 	if err != nil {
 		log.Fatalf("pgload: %v", err)
+	}
+	if *patternW > 0 {
+		// -pattern-weight rides on top of whatever -mix says, so the
+		// default mix gains pattern traffic without being retyped.
+		mix[serve.OpPattern] += *patternW
 	}
 	m, err := serve.ParseMeasure(*measure)
 	if err != nil {
@@ -185,6 +193,7 @@ func main() {
 		Mix:      mix,
 		Measure:  m,
 		TopK:     *topk,
+		Pattern:  *patternP,
 		Vertices: before.Vertices,
 		Zipf:     *zipf,
 		Seed:     *seed,

@@ -329,3 +329,51 @@ func TestLinkPredAndSimQuick(t *testing.T) {
 		t.Fatalf("sim rows = %d", len(sim))
 	}
 }
+
+// TestPatternBenchQuick pins the pattern experiment's contract: six
+// records in experiment order, the sketch-pruned count bit-identical to
+// exact, and — the acceptance criterion the pgci gate tracks — pruned
+// enumeration faster than exact-only across the pattern set. The
+// speedup is asserted on the summed medians, not per pattern: the
+// per-pattern margins (1.1–1.3x at the bench scale, see
+// BENCH_baseline.json) are real but individually within shared-runner
+// noise on a bad day, while the aggregate stays robustly ahead.
+func TestPatternBenchQuick(t *testing.T) {
+	var buf bytes.Buffer
+	opts := quickOpts(&buf)
+	opts.Runs = 3 // median-of-3: the speedup assertion needs a stable NsPerOp
+	rows, err := PatternBench(opts)
+	if err != nil {
+		t.Fatalf("PatternBench: %v", err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d records, want 6: %+v", len(rows), rows)
+	}
+	byKey := make(map[string]BenchRecord, len(rows))
+	for _, r := range rows {
+		byKey[r.Experiment+"/"+r.Config] = r
+	}
+	var exactTotal, prunedTotal int64
+	for _, pat := range []string{"diamond", "4cycle"} {
+		exact := byKey["pattern/"+pat+"/exact"]
+		pruned := byKey["pattern/"+pat+"/BF-pruned"]
+		est := byKey["pattern/"+pat+"/BF-est"]
+		if exact.NsPerOp <= 0 || pruned.NsPerOp <= 0 || est.NsPerOp <= 0 {
+			t.Fatalf("%s: missing configs: %+v", pat, rows)
+		}
+		if pruned.Value != exact.Value {
+			t.Errorf("%s: pruned count %v != exact %v", pat, pruned.Value, exact.Value)
+		}
+		if est.Value == exact.Value {
+			t.Errorf("%s: estimate %v suspiciously exact", pat, est.Value)
+		}
+		exactTotal += exact.NsPerOp
+		prunedTotal += pruned.NsPerOp
+	}
+	if prunedTotal >= exactTotal {
+		t.Errorf("sketch-pruned total %dns not faster than exact total %dns", prunedTotal, exactTotal)
+	}
+	if !strings.Contains(buf.String(), "Pattern mining benchmark") {
+		t.Error("missing table banner")
+	}
+}

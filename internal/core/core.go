@@ -433,6 +433,119 @@ func (pg *PG) Contains(v, x uint32) bool {
 	return false
 }
 
+// CertainAbsent reports whether the sketch PROVES x ∉ N_v: a true
+// return is always correct, a false return means "maybe present" and
+// needs exact verification. This is the sound pruning oracle of the
+// pattern-mining plans — because it never produces a false dismissal,
+// sketch-pruned exact enumeration stays bit-identical to exact-only.
+//
+//   - BF: Bloom filters have no false negatives, so a failed membership
+//     probe is a proof of absence.
+//   - 1H/KMV: a bottom-k row with SetSize(v) ≤ K retains every
+//     neighbor's hash, so a missing hash is a proof; truncated rows
+//     prove nothing (return false).
+//   - kH/HLL: per-function minima / registers cannot prove absence.
+func (pg *PG) CertainAbsent(v, x uint32) bool {
+	switch pg.Cfg.Kind {
+	case BF:
+		return !sketch.BitsContain(pg.BloomRow(v), x, pg.fam)
+	case OneHash, KMV:
+		if pg.SetSize(v) > pg.Cfg.K {
+			return false
+		}
+		h := pg.fam.Hash(0, x)
+		row := pg.BottomKRow(v).Hashes
+		// Rows are kept sorted ascending (§IX construction), so the
+		// membership probe is a binary search.
+		lo, hi := 0, len(row)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if row[mid] < h {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo == len(row) || row[lo] != h
+	}
+	return false
+}
+
+// Prober is the hot-loop form of CertainAbsent for Bloom rows: the kind
+// dispatch, row slicing, and hash-family indirection are hoisted to
+// construction, and the per-seed Murmur premix is cached, so one probe
+// is b splitmix rounds plus b bit tests. Obtained via PG.Prober.
+type Prober struct {
+	bits  []uint64 // aliases the PG's row storage
+	words int      // uint64 words per vertex row
+	nbits int      // bits per row
+	mixed []uint64 // premixed per-function seeds (Murmur64(seed_i))
+}
+
+// Prober returns a sound-absence prober over the Bloom rows, or nil
+// when the representation has no constant-time absence proof (every
+// kind but BF). The nil return is the signal to fall back to
+// CertainAbsent — or to skip sketch pruning entirely.
+func (pg *PG) Prober() *Prober {
+	if pg.Cfg.Kind != BF || pg.words == 0 {
+		return nil
+	}
+	mixed := make([]uint64, pg.Cfg.NumHashes)
+	for i := range mixed {
+		mixed[i] = hash.Murmur64(pg.fam.Seed(i))
+	}
+	return &Prober{bits: pg.bits, words: pg.words, nbits: pg.words * bitset.WordBits, mixed: mixed}
+}
+
+// Absent reports a PROOF that x ∉ N_v — the CertainAbsent contract:
+// true is always correct, false means "maybe present".
+func (p *Prober) Absent(v, x uint32) bool {
+	base := int(v) * p.words
+	for _, m := range p.mixed {
+		i := hash.Range(hash.Mix64(uint64(x)^m), p.nbits)
+		if p.bits[base+(i>>6)]&(1<<(uint(i)&63)) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ProbePos is one precomputed probe position: the in-row word offset
+// and bit mask of one hash function evaluated at a fixed vertex. Rows
+// are uniform width, so the same positions test that vertex against
+// ANY row.
+type ProbePos struct {
+	Word int32
+	Mask uint64
+}
+
+// B returns the number of hash functions (positions per signature).
+func (p *Prober) B() int { return len(p.mixed) }
+
+// SigInto writes x's probe positions into buf (len ≥ B()) and returns
+// the filled prefix. Hoisting the signature turns a membership probe
+// into one load per hash function (AbsentAt) — the edge relation is
+// symmetric, so probing x against N_c's row answers the same question
+// as probing c against N_x's.
+func (p *Prober) SigInto(x uint32, buf []ProbePos) []ProbePos {
+	for i, m := range p.mixed {
+		pos := hash.Range(hash.Mix64(uint64(x)^m), p.nbits)
+		buf[i] = ProbePos{Word: int32(pos >> 6), Mask: 1 << (uint(pos) & 63)}
+	}
+	return buf[:len(p.mixed)]
+}
+
+// AbsentAt reports a PROOF that the signature's vertex ∉ N_v.
+func (p *Prober) AbsentAt(sig []ProbePos, v uint32) bool {
+	base := int(v) * p.words
+	for _, s := range sig {
+		if p.bits[base+int(s.Word)]&s.Mask == 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Jaccard estimates the Jaccard similarity J(N_u, N_v) from the sketch,
 // using exact degrees for the denominator where the representation
 // estimates the intersection (Listing 6's pattern).

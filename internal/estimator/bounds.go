@@ -170,6 +170,47 @@ func TCDeviationBF(gm GraphMoments, sizeBits, b int, conf float64) (t float64, v
 	return m * math.Sqrt(2*mse/(9*(1-conf))), valid
 }
 
+// --- Pattern-count bounds (Thm. VII.1 generalized) --------------------------
+//
+// A compiled pattern plan (internal/pattern) estimates its count as
+// (1/F)·Σ_{i=1..P} Î_i, where each Î_i is one closing-level pairwise
+// intersection estimate and F is the symmetry relaxation factor. The
+// bounds below generalize the TC statements (P = m, F = 3 recovers the
+// triangle shapes) to arbitrary P and F.
+
+// PatternDeviationBF bounds the BF-backed pattern estimate at
+// confidence conf. Each term's MSE is bounded by BFMSEBound at the
+// maximum degree (Prop. IV.1), so by Cauchy–Schwarz
+// E[(Σδ_i)²] ≤ P²·MSE(Δ) and Chebyshev gives
+//
+//	t = (P/F)·√(MSE(Δ)/(1−conf))
+//
+// valid mirrors the Prop. IV.1 precondition b·Δ ≤ 0.499·B·ln B.
+func PatternDeviationBF(terms, relax int64, maxDeg, sizeBits, b int, conf float64) (t float64, valid bool) {
+	mse, valid := BFMSEBound(maxDeg, sizeBits, b)
+	if !valid || conf >= 1 || terms <= 0 || relax <= 0 {
+		return 0, valid
+	}
+	return float64(terms) / float64(relax) * math.Sqrt(mse/(1-conf)), valid
+}
+
+// PatternDeviationMinHash bounds the MinHash-backed (kH or 1H: Props.
+// IV.2 and IV.3 give the same Hoeffding shape) pattern estimate:
+// each term deviates by ε·(|N_u|+|N_v|) with probability ≤ 2e^(−2kε²),
+// so a union bound at per-term failure (1−conf)/P gives
+//
+//	t = (sumSizes/F)·√(ln(2P/(1−conf))/(2k))
+//
+// with sumSizes = Σ_i (|N_uᵢ|+|N_vᵢ|), collected during the run. More
+// conservative than the McDiarmid argument behind TCDeviationMinHash
+// (union bound vs joint concentration), but valid for any plan.
+func PatternDeviationMinHash(sumSizes float64, terms, relax int64, k int, conf float64) float64 {
+	if terms <= 0 || relax <= 0 || sumSizes <= 0 || k <= 0 || conf >= 1 {
+		return 0
+	}
+	return sumSizes / float64(relax) * math.Sqrt(math.Log(2*float64(terms)/(1-conf))/(2*float64(k)))
+}
+
 // --- KMV bounds (Props. A.7–A.9) -------------------------------------------
 
 // KMVCardInterval evaluates Prop. A.7: the probability that the KMV size

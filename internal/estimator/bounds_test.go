@@ -278,3 +278,55 @@ func TestANDApproximationInflatesError(t *testing.T) {
 		t.Fatalf("practical AND estimator mean relative error %.3f", m)
 	}
 }
+
+func TestPatternDeviationBF(t *testing.T) {
+	d, valid := PatternDeviationBF(1000, 3, 50, 1<<16, 2, 0.95)
+	if !valid || d <= 0 {
+		t.Fatalf("d=%v valid=%v", d, valid)
+	}
+	// Triangle shape: P = m terms, F = 3. More terms → looser bound;
+	// higher confidence → looser bound; smaller filter → invalid.
+	if d2, _ := PatternDeviationBF(2000, 3, 50, 1<<16, 2, 0.95); d2 <= d {
+		t.Fatal("bound must grow with the number of terms")
+	}
+	if d2, _ := PatternDeviationBF(1000, 3, 50, 1<<16, 2, 0.99); d2 <= d {
+		t.Fatal("bound must grow with confidence")
+	}
+	if d2, _ := PatternDeviationBF(1000, 6, 50, 1<<16, 2, 0.95); d2 >= d {
+		t.Fatal("bound must shrink with the relaxation factor")
+	}
+	if _, valid := PatternDeviationBF(1000, 3, 1<<20, 256, 2, 0.95); valid {
+		t.Fatal("overloaded filter must be invalid (Prop. IV.1 precondition)")
+	}
+	if d, _ := PatternDeviationBF(0, 3, 50, 1<<16, 2, 0.95); d != 0 {
+		t.Fatal("no terms, no bound")
+	}
+}
+
+func TestPatternDeviationMinHash(t *testing.T) {
+	d := PatternDeviationMinHash(4e4, 1000, 3, 64, 0.95)
+	if d <= 0 {
+		t.Fatalf("d=%v", d)
+	}
+	if d2 := PatternDeviationMinHash(4e4, 1000, 3, 256, 0.95); d2 >= d {
+		t.Fatal("bound must shrink with k")
+	}
+	if d2 := PatternDeviationMinHash(4e4, 2000, 3, 64, 0.95); d2 <= d {
+		t.Fatal("bound must grow with the union-bound term count")
+	}
+	if d2 := PatternDeviationMinHash(4e4, 1000, 6, 64, 0.95); d2 >= d {
+		t.Fatal("bound must shrink with the relaxation factor")
+	}
+	if PatternDeviationMinHash(0, 1000, 3, 64, 0.95) != 0 ||
+		PatternDeviationMinHash(4e4, 0, 3, 64, 0.95) != 0 {
+		t.Fatal("degenerate inputs must give no bound")
+	}
+	// The union-bound shape is strictly looser than the joint
+	// McDiarmid TC bound at the same inputs (same sumSizes = SumDeg2,
+	// terms = m, relax = 3): ln(2P/δ)/2 ≥ ln(2/δ)/18 for any P ≥ 1.
+	gm := GraphMoments{M: 1000, SumDeg2: 4e4}
+	joint := TCDeviationMinHash(gm, 64, 0.95)
+	if union := PatternDeviationMinHash(gm.SumDeg2, int64(gm.M), 3, 64, 0.95); union < joint {
+		t.Fatalf("union bound %v tighter than joint bound %v", union, joint)
+	}
+}

@@ -1,0 +1,359 @@
+package pattern
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"probgraph/internal/core"
+	"probgraph/internal/graph"
+)
+
+// bruteCount is the oracle: all injective monomorphisms divided by
+// |Aut(P)| — one count per subgraph image, matching the plan's
+// symmetry-broken semantics. O(n^k); keep n tiny.
+func bruteCount(g *graph.Graph, p *Pattern) int64 {
+	n := uint32(g.NumVertices())
+	k := p.K()
+	used := make([]bool, n)
+	mapped := make([]uint32, k)
+	var ordered int64
+	var rec func(i int)
+	rec = func(i int) {
+		if i == k {
+			ordered++
+			return
+		}
+		for v := uint32(0); v < n; v++ {
+			if used[v] {
+				continue
+			}
+			ok := true
+			for j := 0; j < i; j++ {
+				if p.HasEdge(j, i) && !g.HasEdge(mapped[j], v) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			mapped[i] = v
+			used[v] = true
+			rec(i + 1)
+			used[v] = false
+		}
+	}
+	rec(0)
+	return ordered / int64(len(p.automorphisms()))
+}
+
+var testSpecs = []string{"triangle", "diamond", "4path", "4cycle", "star3", "star4", "clique4", "0-1,1-2,2-3,3-4,4-0", "0-1,1-2,0-2,2-3,3-4"}
+
+func TestExactMatchesBruteForce(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"er14":    graph.ErdosRenyi(14, 30, 7),
+		"er12":    graph.ErdosRenyi(12, 40, 3),
+		"k7":      graph.Complete(7),
+		"cycle9":  graph.Cycle(9),
+		"star1+9": graph.Star(10),
+		"grid3x4": graph.Grid(3, 4),
+	}
+	for gname, g := range graphs {
+		for _, spec := range testSpecs {
+			pl := compile(t, spec)
+			got, st, err := CountExact(context.Background(), g, pl, nil, 1)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", gname, spec, err)
+			}
+			want := bruteCount(g, pl.P)
+			if got != want {
+				t.Errorf("%s/%s: CountExact = %d, brute force = %d", gname, spec, got, want)
+			}
+			if st.Embeddings != got {
+				t.Errorf("%s/%s: stats.Embeddings = %d != count %d", gname, spec, st.Embeddings, got)
+			}
+		}
+	}
+}
+
+func buildPG(t *testing.T, g *graph.Graph, kind core.Kind) *core.PG {
+	t.Helper()
+	pg, err := core.Build(g, core.Config{Kind: kind, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pg
+}
+
+var allKinds = []core.Kind{core.BF, core.KHash, core.OneHash, core.KMV, core.HLL}
+
+// TestPrunedBitIdentity is the acceptance-criteria test: with sketch
+// pruning on, exact-verify counts are bit-identical to exact-only for
+// every built-in pattern and every sketch kind — CertainAbsent never
+// falsely dismisses.
+func TestPrunedBitIdentity(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Kronecker(8, 8, 1),
+		graph.ErdosRenyi(300, 2400, 5),
+	}
+	for _, g := range graphs {
+		baseline := map[string]int64{}
+		for _, spec := range testSpecs {
+			pl := compile(t, spec)
+			n, _, err := CountExact(context.Background(), g, pl, nil, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseline[spec] = n
+		}
+		for _, kind := range allKinds {
+			pg := buildPG(t, g, kind)
+			for _, spec := range testSpecs {
+				pl := compile(t, spec)
+				n, st, err := CountExact(context.Background(), g, pl, pg, 2)
+				if err != nil {
+					t.Fatalf("%v/%s: %v", kind, spec, err)
+				}
+				if n != baseline[spec] {
+					t.Errorf("%v/%s: pruned count %d != exact %d (pruned %d of %d candidates)",
+						kind, spec, n, baseline[spec], st.SketchPruned, st.Candidates)
+				}
+			}
+		}
+		// The BF oracle must actually fire on chord-closing patterns,
+		// otherwise "pruned" silently degenerates to exact-only.
+		pg := buildPG(t, g, core.BF)
+		pl := compile(t, "diamond")
+		_, st, err := CountExact(context.Background(), g, pl, pg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.SketchPruned == 0 {
+			t.Error("BF diamond: no candidates sketch-pruned")
+		}
+	}
+}
+
+// TestDeterministicAcrossWorkers pins the serving contract: counts,
+// estimates, and stats are bit-identical for any worker count (fixed
+// chunk size, chunk-ordered merge).
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	g := graph.Kronecker(9, 8, 3)
+	pg := buildPG(t, g, core.BF)
+	for _, spec := range []string{"diamond", "4cycle", "triangle", "star4"} {
+		pl := compile(t, spec)
+		refN, refSt, err := CountExact(context.Background(), g, pl, pg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refE, refESt, err := CountEstimate(context.Background(), g, pl, pg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 3, 7, 16} {
+			n, st, err := CountExact(context.Background(), g, pl, pg, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != refN || st != refSt {
+				t.Errorf("%s workers=%d: exact %d/%+v != %d/%+v", spec, w, n, st, refN, refSt)
+			}
+			e, est, err := CountEstimate(context.Background(), g, pl, pg, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(e) != math.Float64bits(refE) || est != refESt {
+				t.Errorf("%s workers=%d: estimate %v != %v", spec, w, e, refE)
+			}
+		}
+	}
+}
+
+// TestRelaxationMultiplicity pins the estimate-mode theory with no
+// sketch noise: enumerating under the relaxed constraint subset and
+// closing each partial with the EXACT extension count must equal
+// exact_count × RelaxF — i.e. the compile-time uniformity check
+// really does make the overcount image-independent on real graphs.
+func TestRelaxationMultiplicity(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.ErdosRenyi(14, 30, 7),
+		graph.Complete(7),
+		graph.Grid(3, 4),
+		graph.Cycle(9),
+		graph.ErdosRenyi(16, 60, 11),
+	}
+	for _, g := range graphs {
+		n := uint32(g.NumVertices())
+		for _, spec := range testSpecs {
+			pl := compile(t, spec)
+			k := pl.P.K()
+			exact, _, err := CountExact(context.Background(), g, pl, nil, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var total int64
+			var mapped [MaxVertices]uint32
+			var rec func(i int)
+			rec = func(i int) {
+				if i == k-1 {
+					backs := pl.Back[k-1]
+				closing:
+					for w := uint32(0); w < n; w++ {
+						for j := 0; j < k-1; j++ {
+							if mapped[j] == w {
+								continue closing
+							}
+						}
+						for _, b := range backs {
+							if !g.HasEdge(mapped[b], w) {
+								continue closing
+							}
+						}
+						total++
+					}
+					return
+				}
+			cand:
+				for v := uint32(0); v < n; v++ {
+					for j := 0; j < i; j++ {
+						if mapped[j] == v {
+							continue cand
+						}
+					}
+					for _, b := range pl.Back[i] {
+						if !g.HasEdge(mapped[b], v) {
+							continue cand
+						}
+					}
+					for _, j := range pl.EstGt[i] {
+						if v <= mapped[j] {
+							continue cand
+						}
+					}
+					for _, j := range pl.EstLt[i] {
+						if v >= mapped[j] {
+							continue cand
+						}
+					}
+					mapped[i] = v
+					rec(i + 1)
+				}
+			}
+			rec(0)
+			if total != exact*int64(pl.RelaxF) {
+				t.Errorf("%s: relaxed total %d != exact %d × F %d", spec, total, exact, pl.RelaxF)
+			}
+		}
+	}
+}
+
+// TestEstimateTreePatternsExact: patterns whose closing level has one
+// back-edge (paths, stars) estimate from exact degrees, so the
+// "estimate" equals the exact count.
+func TestEstimateTreePatternsExact(t *testing.T) {
+	g := graph.Kronecker(8, 8, 2)
+	pg := buildPG(t, g, core.BF)
+	for _, spec := range []string{"4path", "star3", "star4", "0-1,1-2"} {
+		pl := compile(t, spec)
+		exact, _, err := CountExact(context.Background(), g, pl, nil, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, st, err := CountEstimate(context.Background(), g, pl, pg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.EstPairs != 0 || st.EstTriples != 0 {
+			t.Errorf("%s: tree pattern made estimator calls: %+v", spec, st)
+		}
+		if math.Abs(est-float64(exact)) > 1e-6*math.Max(1, float64(exact)) {
+			t.Errorf("%s: estimate %v, exact %d", spec, est, exact)
+		}
+	}
+}
+
+// TestEstimateAccuracy: sketch estimates land in a generous band
+// around the truth for chord-closing patterns (tight accuracy is the
+// estimator package's business; this pins the plumbing — relaxation
+// factor, corrections, signs).
+func TestEstimateAccuracy(t *testing.T) {
+	g := graph.Kronecker(9, 12, 4)
+	for _, kind := range allKinds {
+		pg := buildPG(t, g, kind)
+		for _, spec := range []string{"triangle", "diamond", "4cycle"} {
+			pl := compile(t, spec)
+			exact, _, err := CountExact(context.Background(), g, pl, nil, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			est, st, err := CountEstimate(context.Background(), g, pl, pg, 2)
+			if err != nil {
+				t.Fatalf("%v/%s: %v", kind, spec, err)
+			}
+			if st.EstPairs == 0 {
+				t.Errorf("%v/%s: no pairwise estimator calls", kind, spec)
+			}
+			lo, hi := 0.3*float64(exact), 3.0*float64(exact)
+			if kind == core.HLL {
+				// Inclusion–exclusion on register sketches: by far the
+				// noisiest intersection (§IX); only pin the order of
+				// magnitude.
+				lo, hi = 0.05*float64(exact), 20.0*float64(exact)
+			}
+			if est < lo || est > hi {
+				t.Errorf("%v/%s: estimate %.1f outside [%.1f, %.1f] (exact %d)", kind, spec, est, lo, hi, exact)
+			}
+		}
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	g := graph.ErdosRenyi(20, 60, 1)
+	pg := buildPG(t, g, core.BF)
+	// clique5's closing vertex has 4 back-edges: beyond IntCard3.
+	p, err := Clique(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := CountEstimate(context.Background(), g, pl, pg, 1); err == nil {
+		t.Error("clique5 estimate must fail (4 closing back-edges)")
+	}
+	if _, _, err := CountEstimate(context.Background(), g, compile(t, "triangle"), nil, 1); err == nil {
+		t.Error("estimate without a sketch must fail")
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	g := graph.Kronecker(10, 16, 6)
+	pg := buildPG(t, g, core.BF)
+	pl := compile(t, "diamond")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := CountExact(ctx, g, pl, pg, 2); err == nil {
+		t.Error("pre-cancelled exact run must error")
+	}
+	if _, _, err := CountEstimate(ctx, g, pl, pg, 2); err == nil {
+		t.Error("pre-cancelled estimate run must error")
+	}
+
+	// Cancel mid-plan: the run must return promptly with ctx.Err().
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+		start := time.Now()
+		_, _, err := CountExact(ctx, g, pl, pg, workers)
+		cancel()
+		if err == nil {
+			t.Skip("graph too small to outlast the timeout") // count finished first; fine
+		}
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Errorf("workers=%d: cancellation took %v", workers, elapsed)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package pattern
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Typed parse/validation errors. Malformed user input maps to exactly
+// one of these (wrapped with detail, test with errors.Is) and never
+// panics — the pgio corruption-error contract applied to query specs.
+var (
+	// ErrEmpty is returned for an empty or all-whitespace spec.
+	ErrEmpty = errors.New("pattern: empty spec")
+	// ErrSyntax is returned for token-level noise: a token that is
+	// neither a known builtin name nor a "u-v" edge.
+	ErrSyntax = errors.New("pattern: malformed spec")
+	// ErrSelfLoop is returned for an edge "v-v".
+	ErrSelfLoop = errors.New("pattern: self-loop")
+	// ErrDuplicateEdge is returned when an edge appears twice (in
+	// either orientation).
+	ErrDuplicateEdge = errors.New("pattern: duplicate edge")
+	// ErrVertexRange is returned for labels outside 0..MaxVertices-1
+	// or builtin parameters outside their range.
+	ErrVertexRange = errors.New("pattern: vertex label out of range")
+	// ErrVertexGap is returned when the labels used do not cover
+	// 0..k-1 contiguously.
+	ErrVertexGap = errors.New("pattern: vertex labels not contiguous")
+	// ErrDisconnected is returned for patterns whose edges do not form
+	// a single connected component.
+	ErrDisconnected = errors.New("pattern: disconnected")
+)
+
+// Parse resolves a pattern spec: a builtin name ("triangle", "diamond"
+// aka "triangle-with-chord", "4path", "4cycle", "star<k>", "clique<k>",
+// case-insensitive) or a user-supplied edge list like "0-1,1-2,2-0"
+// with contiguous labels 0..k-1, k ≤ MaxVertices. Errors are typed
+// (ErrSyntax, ErrSelfLoop, ErrDuplicateEdge, ErrVertexRange,
+// ErrVertexGap, ErrDisconnected, ErrEmpty).
+func Parse(spec string) (*Pattern, error) {
+	s := strings.TrimSpace(spec)
+	if s == "" {
+		return nil, ErrEmpty
+	}
+	if p, ok, err := builtin(strings.ToLower(s)); ok {
+		return p, err
+	}
+	var edges []Edge
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			return nil, fmt.Errorf("%w: empty edge token in %q", ErrSyntax, spec)
+		}
+		u, v, ok := splitEdge(tok)
+		if !ok {
+			return nil, fmt.Errorf("%w: token %q (want \"u-v\" with u,v in 0..%d, or a builtin name)", ErrSyntax, tok, MaxVertices-1)
+		}
+		edges = append(edges, Edge{U: u, V: v})
+	}
+	return New(edges)
+}
+
+// splitEdge parses "u-v". Labels are checked for numeric syntax only;
+// range, loops, and duplicates are New's job so that every edge-shaped
+// token funnels into the same typed errors.
+func splitEdge(tok string) (u, v int, ok bool) {
+	i := strings.IndexByte(tok, '-')
+	if i <= 0 || i == len(tok)-1 {
+		return 0, 0, false
+	}
+	a, err1 := strconv.Atoi(strings.TrimSpace(tok[:i]))
+	b, err2 := strconv.Atoi(strings.TrimSpace(tok[i+1:]))
+	if err1 != nil || err2 != nil || a < 0 || b < 0 {
+		return 0, 0, false
+	}
+	// Cap before New so absurd labels ("0-999999999") stay a range
+	// error rather than allocating anything.
+	if a >= 1<<16 || b >= 1<<16 {
+		return 0, 0, false
+	}
+	return a, b, true
+}
+
+func builtin(name string) (*Pattern, bool, error) {
+	switch name {
+	case "triangle", "tri", "k3", "clique3":
+		return Triangle(), true, nil
+	case "diamond", "triangle-with-chord", "trichord":
+		return Diamond(), true, nil
+	case "4path", "path4", "p4", "4-path":
+		return FourPath(), true, nil
+	case "4cycle", "cycle4", "c4", "4-cycle", "square":
+		return FourCycle(), true, nil
+	}
+	for _, prefix := range []string{"star", "clique"} {
+		if strings.HasPrefix(name, prefix) {
+			k, err := strconv.Atoi(name[len(prefix):])
+			if err != nil || k < 0 || k > 1<<16 {
+				continue // not a parameterized builtin; try the edge-list path
+			}
+			var p *Pattern
+			if prefix == "star" {
+				p, err = Star(k)
+			} else {
+				p, err = Clique(k)
+			}
+			return p, true, err // out-of-range k is a typed ErrVertexRange
+		}
+	}
+	return nil, false, nil
+}

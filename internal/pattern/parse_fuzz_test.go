@@ -1,0 +1,54 @@
+package pattern
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParse is the parser's corruption contract (the pgio style, for
+// query specs): arbitrary input never panics; failures are one of the
+// typed errors; accepted patterns compile and round-trip through their
+// canonical String.
+func FuzzParse(f *testing.F) {
+	for _, s := range []string{
+		"triangle", "diamond", "4path", "4cycle", "star4", "clique4",
+		"0-1,1-2,2-0", "0-1", "0-1,1-2,2-3,3-0", "star999", "clique0",
+		"", " ", ",", "-", "0--1", "1-1", "0-1,0-1", "0-2", "0-1,2-3",
+		"a-b", "0-1,", "7-6,5-4", "0-99999999999999999999", "star-1",
+		"0-1,1-2,2-0,0-3,1-3,2-3", "tri\x00angle", "０-１",
+	} {
+		f.Add(s)
+	}
+	typed := []error{ErrEmpty, ErrSyntax, ErrSelfLoop, ErrDuplicateEdge,
+		ErrVertexRange, ErrVertexGap, ErrDisconnected}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			if p != nil {
+				t.Fatalf("Parse(%q): pattern and error both non-nil", s)
+			}
+			for _, e := range typed {
+				if errors.Is(err, e) {
+					return
+				}
+			}
+			t.Fatalf("Parse(%q): untyped error %v", s, err)
+		}
+		// Accepted input: canonical form must round-trip to the same
+		// pattern, and the pattern must compile to a usable plan.
+		q, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("Parse(%q) ok but canonical %q rejected: %v", s, p.String(), err)
+		}
+		if q.String() != p.String() || q.K() != p.K() || q.NumEdges() != p.NumEdges() {
+			t.Fatalf("Parse(%q): round trip %q != %q", s, q, p)
+		}
+		pl, err := Compile(p)
+		if err != nil {
+			t.Fatalf("Parse(%q) ok but Compile failed: %v", s, err)
+		}
+		if len(pl.Order) != p.K() || pl.RelaxF < 1 {
+			t.Fatalf("Parse(%q): degenerate plan %+v", s, pl)
+		}
+	})
+}

@@ -1,0 +1,252 @@
+// Package pattern implements sketch-accelerated small-pattern mining:
+// the generalization of ProbGraph's triangle machinery (§V, Thm VII.1)
+// to arbitrary connected query patterns on up to MaxVertices vertices.
+//
+// A Pattern (built-in or user-supplied edge list, see Parse) is compiled
+// by Compile into a Plan: a degree-ordered, symmetry-broken exploration
+// plan in the Peregrine tradition. The plan is executed by CountExact
+// (exact enumeration, optionally pre-filtering candidate extensions with
+// sound sketch membership rejects so the count stays bit-identical) or
+// CountEstimate (the closing level of every partial embedding is
+// estimated from sketch intersections à la Listing 1/2, with per-pattern
+// deviation bounds from internal/estimator).
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MaxVertices bounds pattern size. Plans brute-force the automorphism
+// group over all k! labelings, so k is kept small; 8 vertices already
+// covers every pattern the mining literature calls "small".
+const MaxVertices = 8
+
+// Edge is an undirected pattern edge between vertex labels U < V.
+type Edge struct {
+	U, V int
+}
+
+// Pattern is a small connected undirected query graph on vertex labels
+// 0..K()-1. Construct with a builtin (Triangle, Diamond, FourPath,
+// FourCycle, Star, Clique), with Parse, or with New. Patterns are
+// immutable after construction.
+type Pattern struct {
+	name  string // builtin name; "" for user-supplied patterns
+	k     int
+	edges []Edge              // normalized: U < V, sorted lexicographically
+	adj   [MaxVertices]uint16 // adjacency bitmask per vertex
+}
+
+// New builds a pattern from an explicit edge list. Vertex labels must
+// cover 0..k-1 contiguously for some k ≤ MaxVertices; self-loops,
+// duplicate edges, and disconnected patterns are rejected with typed
+// errors (the same ones Parse returns).
+func New(edges []Edge) (*Pattern, error) {
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("%w: no edges", ErrEmpty)
+	}
+	p := &Pattern{}
+	maxLabel := -1
+	var seen uint16
+	for _, e := range edges {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		if u < 0 || v >= MaxVertices {
+			return nil, fmt.Errorf("%w: edge %d-%d (labels must be in 0..%d)", ErrVertexRange, e.U, e.V, MaxVertices-1)
+		}
+		if u == v {
+			return nil, fmt.Errorf("%w: %d-%d", ErrSelfLoop, e.U, e.V)
+		}
+		if p.adj[u]&(1<<uint(v)) != 0 {
+			return nil, fmt.Errorf("%w: %d-%d", ErrDuplicateEdge, u, v)
+		}
+		p.adj[u] |= 1 << uint(v)
+		p.adj[v] |= 1 << uint(u)
+		seen |= 1<<uint(u) | 1<<uint(v)
+		if v > maxLabel {
+			maxLabel = v
+		}
+		p.edges = append(p.edges, Edge{U: u, V: v})
+	}
+	p.k = maxLabel + 1
+	if seen != uint16(1<<uint(p.k))-1 {
+		return nil, fmt.Errorf("%w: labels must cover 0..%d contiguously", ErrVertexGap, maxLabel)
+	}
+	if !connected(p) {
+		return nil, fmt.Errorf("%w: %d vertices, %d edges", ErrDisconnected, p.k, len(p.edges))
+	}
+	sort.Slice(p.edges, func(i, j int) bool {
+		if p.edges[i].U != p.edges[j].U {
+			return p.edges[i].U < p.edges[j].U
+		}
+		return p.edges[i].V < p.edges[j].V
+	})
+	return p, nil
+}
+
+func connected(p *Pattern) bool {
+	var reach uint16 = 1 // BFS over bitmasks from vertex 0
+	for {
+		next := reach
+		for v := 0; v < p.k; v++ {
+			if reach&(1<<uint(v)) != 0 {
+				next |= p.adj[v]
+			}
+		}
+		if next == reach {
+			break
+		}
+		reach = next
+	}
+	return reach == uint16(1<<uint(p.k))-1
+}
+
+func mustNew(name string, edges []Edge) *Pattern {
+	p, err := New(edges)
+	if err != nil {
+		panic("pattern: bad builtin " + name + ": " + err.Error())
+	}
+	p.name = name
+	return p
+}
+
+// Triangle is K3: the pattern behind the TC kernel, here as a plan.
+func Triangle() *Pattern {
+	return mustNew("triangle", []Edge{{0, 1}, {0, 2}, {1, 2}})
+}
+
+// Diamond is the triangle-with-chord (two triangles sharing an edge;
+// equivalently a 4-cycle plus one chord). Vertices 0 and 2 are the
+// chord endpoints.
+func Diamond() *Pattern {
+	return mustNew("diamond", []Edge{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {2, 3}})
+}
+
+// FourPath is the simple path on 4 vertices (3 edges).
+func FourPath() *Pattern {
+	return mustNew("4path", []Edge{{0, 1}, {1, 2}, {2, 3}})
+}
+
+// FourCycle is the chordless cycle on 4 vertices.
+func FourCycle() *Pattern {
+	return mustNew("4cycle", []Edge{{0, 1}, {0, 3}, {1, 2}, {2, 3}})
+}
+
+// Star returns the k-star: one center adjacent to k leaves
+// (k+1 vertices total), for 2 ≤ k ≤ MaxVertices-1.
+func Star(k int) (*Pattern, error) {
+	if k < 2 || k > MaxVertices-1 {
+		return nil, fmt.Errorf("%w: star%d (k must be in 2..%d)", ErrVertexRange, k, MaxVertices-1)
+	}
+	edges := make([]Edge, k)
+	for i := range edges {
+		edges[i] = Edge{0, i + 1}
+	}
+	return mustNew(fmt.Sprintf("star%d", k), edges), nil
+}
+
+// Clique returns K_k for 3 ≤ k ≤ MaxVertices.
+func Clique(k int) (*Pattern, error) {
+	if k < 3 || k > MaxVertices {
+		return nil, fmt.Errorf("%w: clique%d (k must be in 3..%d)", ErrVertexRange, k, MaxVertices)
+	}
+	var edges []Edge
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			edges = append(edges, Edge{u, v})
+		}
+	}
+	return mustNew(fmt.Sprintf("clique%d", k), edges), nil
+}
+
+// K returns the number of pattern vertices.
+func (p *Pattern) K() int { return p.k }
+
+// NumEdges returns the number of pattern edges.
+func (p *Pattern) NumEdges() int { return len(p.edges) }
+
+// Edges returns a copy of the normalized edge list (U < V, sorted).
+func (p *Pattern) Edges() []Edge {
+	out := make([]Edge, len(p.edges))
+	copy(out, p.edges)
+	return out
+}
+
+// HasEdge reports whether pattern vertices a and b are adjacent.
+func (p *Pattern) HasEdge(a, b int) bool {
+	if a < 0 || b < 0 || a >= p.k || b >= p.k {
+		return false
+	}
+	return p.adj[a]&(1<<uint(b)) != 0
+}
+
+// Degree returns the pattern degree of vertex a.
+func (p *Pattern) Degree(a int) int {
+	return popcount16(p.adj[a])
+}
+
+// Name returns the builtin name, or "" for user-supplied patterns.
+func (p *Pattern) Name() string { return p.name }
+
+// String returns the canonical spec: the builtin name when there is
+// one, otherwise the normalized edge list ("0-1,0-2,1-2"). The result
+// always round-trips through Parse to an identical pattern.
+func (p *Pattern) String() string {
+	if p.name != "" {
+		return p.name
+	}
+	parts := make([]string, len(p.edges))
+	for i, e := range p.edges {
+		parts[i] = fmt.Sprintf("%d-%d", e.U, e.V)
+	}
+	return strings.Join(parts, ",")
+}
+
+// automorphisms enumerates Aut(P) by brute force over all k!
+// permutations (k ≤ MaxVertices, so at most 40320). Each returned
+// permutation σ satisfies adj(a,b) ⇔ adj(σa,σb).
+func (p *Pattern) automorphisms() [][]int {
+	perm := make([]int, p.k)
+	for i := range perm {
+		perm[i] = i
+	}
+	var out [][]int
+	permute(perm, 0, func(σ []int) {
+		for a := 0; a < p.k; a++ {
+			for b := a + 1; b < p.k; b++ {
+				if p.HasEdge(a, b) != p.HasEdge(σ[a], σ[b]) {
+					return
+				}
+			}
+		}
+		cp := make([]int, p.k)
+		copy(cp, σ)
+		out = append(out, cp)
+	})
+	return out
+}
+
+// permute visits all permutations of s[i:] via Heap-style swaps.
+func permute(s []int, i int, visit func([]int)) {
+	if i == len(s) {
+		visit(s)
+		return
+	}
+	for j := i; j < len(s); j++ {
+		s[i], s[j] = s[j], s[i]
+		permute(s, i+1, visit)
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+func popcount16(x uint16) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

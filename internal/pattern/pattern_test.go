@@ -1,0 +1,133 @@
+package pattern
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestBuiltins(t *testing.T) {
+	star4, err := Star(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clique4, err := Clique(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		p          *Pattern
+		k, m, auts int
+	}{
+		{Triangle(), 3, 3, 6},
+		{Diamond(), 4, 5, 4},
+		{FourPath(), 4, 3, 2},
+		{FourCycle(), 4, 4, 8},
+		{star4, 5, 4, 24}, // 4! leaf permutations
+		{clique4, 4, 6, 24},
+	}
+	for _, c := range cases {
+		if c.p.K() != c.k || c.p.NumEdges() != c.m {
+			t.Errorf("%s: got k=%d m=%d, want k=%d m=%d", c.p, c.p.K(), c.p.NumEdges(), c.k, c.m)
+		}
+		if got := len(c.p.automorphisms()); got != c.auts {
+			t.Errorf("%s: |Aut| = %d, want %d", c.p, got, c.auts)
+		}
+	}
+}
+
+func TestParseBuiltinAliases(t *testing.T) {
+	for spec, want := range map[string]string{
+		"triangle":            "triangle",
+		"Triangle":            "triangle",
+		"k3":                  "triangle",
+		"diamond":             "diamond",
+		"triangle-with-chord": "diamond",
+		"4path":               "4path",
+		"p4":                  "4path",
+		"4cycle":              "4cycle",
+		"square":              "4cycle",
+		"star3":               "star3",
+		"clique4":             "clique4",
+		" triangle ":          "triangle",
+	} {
+		p, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if p.String() != want {
+			t.Errorf("Parse(%q) = %s, want %s", spec, p, want)
+		}
+	}
+}
+
+func TestParseEdgeList(t *testing.T) {
+	p, err := Parse("1-2, 2-0,0-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != "0-1,0-2,1-2" {
+		t.Errorf("canonical form = %q", p.String())
+	}
+	if p.K() != 3 || p.NumEdges() != 3 {
+		t.Errorf("k=%d m=%d", p.K(), p.NumEdges())
+	}
+	// Canonical form round-trips.
+	q, err := Parse(p.String())
+	if err != nil || q.String() != p.String() {
+		t.Errorf("round trip: %v %v", q, err)
+	}
+}
+
+func TestParseTypedErrors(t *testing.T) {
+	cases := []struct {
+		spec string
+		want error
+	}{
+		{"", ErrEmpty},
+		{"   ", ErrEmpty},
+		{"bogus", ErrSyntax},
+		{"0-1,,1-2", ErrSyntax},
+		{"0--1", ErrSyntax},
+		{"0-", ErrSyntax},
+		{"-1", ErrSyntax},
+		{"a-b", ErrSyntax},
+		{"0-999999999", ErrSyntax},
+		{"1-1", ErrSelfLoop},
+		{"0-1,1-0", ErrDuplicateEdge},
+		{"0-1,0-1", ErrDuplicateEdge},
+		{"0-9", ErrVertexRange},
+		{"star1", ErrVertexRange},
+		{"star99", ErrVertexRange},
+		{"clique9", ErrVertexRange},
+		{"0-2", ErrVertexGap},
+		{"0-1,3-4", ErrVertexGap},
+		{"0-1,2-3", ErrDisconnected},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.spec)
+		if !errors.Is(err, c.want) {
+			t.Errorf("Parse(%q): err = %v, want %v", c.spec, err, c.want)
+		}
+		if err != nil && p != nil {
+			t.Errorf("Parse(%q): non-nil pattern with error", c.spec)
+		}
+	}
+}
+
+func TestPatternAccessors(t *testing.T) {
+	d := Diamond()
+	if !d.HasEdge(0, 2) || d.HasEdge(1, 3) {
+		t.Error("diamond adjacency wrong")
+	}
+	if d.Degree(0) != 3 || d.Degree(1) != 2 {
+		t.Error("diamond degrees wrong")
+	}
+	if d.HasEdge(-1, 0) || d.HasEdge(0, 99) {
+		t.Error("out-of-range HasEdge must be false")
+	}
+	edges := d.Edges()
+	edges[0] = Edge{7, 7} // callers get a copy
+	if d.Edges()[0] == (Edge{7, 7}) {
+		t.Error("Edges leaked internal slice")
+	}
+}

@@ -1,0 +1,262 @@
+package pattern
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Plan is a compiled exploration plan: a matching order over the
+// pattern vertices, per-level back-edge sets, and symmetry-breaking
+// ordering constraints so that each embedding (vertex-induced match up
+// to automorphism) is discovered exactly once.
+type Plan struct {
+	P *Pattern
+
+	// Order[i] is the pattern vertex matched at DFS level i: the
+	// highest-degree vertex first, then greedily the vertex with the
+	// most already-ordered neighbors (ties to higher pattern degree,
+	// then lower label). Connectivity guarantees every level > 0 has
+	// at least one back-edge.
+	Order []int
+
+	// Back[i] lists the earlier levels j < i whose mapped data vertex
+	// must be adjacent to the candidate at level i.
+	Back [][]int
+
+	// Gt[i] / Lt[i] list earlier levels j whose mapped vertex must be
+	// < (resp. >) the candidate at level i — the symmetry-breaking
+	// constraints, attached to the later endpoint of each constrained
+	// pair.
+	Gt, Lt [][]int
+
+	// Constraints holds the raw symmetry constraints as pattern-vertex
+	// pairs (a, b) meaning image(a) < image(b); exposed for tests and
+	// docs.
+	Constraints [][2]int
+
+	// Aut is |Aut(P)|, the automorphism count the constraints break.
+	Aut int
+
+	// EstConstraints is the symmetry-constraint subset estimate mode
+	// enumerates under: constraints never touching the last-ordered
+	// vertex, further restricted so that each pattern image is
+	// discovered the SAME number of times (RelaxF) regardless of how
+	// its data-vertex order interleaves — verified exhaustively at
+	// compile time. (E.g. triangle keeps {0<1} with RelaxF = 3, the
+	// /3 of Listing 2; the 4-cycle must drop 0<2 and keeps {0<1} with
+	// RelaxF = 4, because under the dihedral group the full relaxed
+	// set has image-dependent multiplicity.) The fallback — no
+	// constraints, RelaxF = |Aut| — is always uniform, so estimate
+	// mode is well-defined for every pattern.
+	EstConstraints [][2]int
+
+	// EstGt / EstLt are EstConstraints mapped to levels, as Gt/Lt.
+	EstGt, EstLt [][]int
+
+	// RelaxF is the estimate-mode overcount: relaxed totals are
+	// divided by it. Always ≥ 1.
+	RelaxF int
+}
+
+// Compile builds the exploration plan for p.
+func Compile(p *Pattern) (*Plan, error) {
+	if p == nil || p.k < 2 {
+		return nil, fmt.Errorf("%w: nil or trivial pattern", ErrEmpty)
+	}
+	pl := &Plan{P: p}
+	pl.Order = matchingOrder(p)
+
+	level := make([]int, p.k) // pattern vertex -> level
+	for i, v := range pl.Order {
+		level[v] = i
+	}
+	pl.Back = make([][]int, p.k)
+	for i, v := range pl.Order {
+		for j := 0; j < i; j++ {
+			if p.HasEdge(v, pl.Order[j]) {
+				pl.Back[i] = append(pl.Back[i], j)
+			}
+		}
+	}
+
+	auts := p.automorphisms()
+	pl.Aut = len(auts)
+	pl.Constraints = symmetryConstraints(p, pl.Order, auts)
+
+	pl.Gt = make([][]int, p.k)
+	pl.Lt = make([][]int, p.k)
+	for _, c := range pl.Constraints {
+		a, b := c[0], c[1] // image(a) < image(b)
+		if level[a] < level[b] {
+			pl.Gt[level[b]] = append(pl.Gt[level[b]], level[a])
+		} else {
+			pl.Lt[level[a]] = append(pl.Lt[level[a]], level[b])
+		}
+	}
+
+	pl.EstConstraints, pl.RelaxF = relaxConstraints(p, auts, pl.Constraints, pl.Order[p.k-1])
+	pl.EstGt = make([][]int, p.k)
+	pl.EstLt = make([][]int, p.k)
+	for _, c := range pl.EstConstraints {
+		a, b := c[0], c[1]
+		if level[a] < level[b] {
+			pl.EstGt[level[b]] = append(pl.EstGt[level[b]], level[a])
+		} else {
+			pl.EstLt[level[a]] = append(pl.EstLt[level[a]], level[b])
+		}
+	}
+	return pl, nil
+}
+
+// relaxConstraints picks the estimate-mode constraint set and its
+// overcount F. Enumerating under a constraint subset D discovers each
+// pattern image |{σ ∈ Aut : τ∘σ satisfies D}| times, where τ ranks
+// the pattern vertices by their data IDs in the canonical (fully
+// constrained) labeling — so dividing by a constant F is only sound
+// when that multiplicity is the same for EVERY total order τ
+// consistent with the full constraints. Candidate constraints are
+// those not touching the last-ordered vertex (the closing level is
+// estimated, never enumerated); uniformity is checked exhaustively
+// (exactly one τ per Aut-orbit is consistent, so the check costs ≤ k!
+// constraint evaluations per subset). The empty set is always uniform
+// with F = |Aut|, so a valid plan always exists.
+func relaxConstraints(p *Pattern, auts [][]int, cons [][2]int, last int) ([][2]int, int) {
+	var rel [][2]int
+	for _, c := range cons {
+		if c[0] != last && c[1] != last {
+			rel = append(rel, c)
+		}
+	}
+	// Collect the consistent total orders once (τ[v] = rank of v).
+	var taus [][]int
+	τ := make([]int, p.k)
+	for i := range τ {
+		τ[i] = i
+	}
+	permute(τ, 0, func(τ []int) {
+		for _, c := range cons {
+			if τ[c[0]] >= τ[c[1]] {
+				return
+			}
+		}
+		cp := make([]int, p.k)
+		copy(cp, τ)
+		taus = append(taus, cp)
+	})
+	uniform := func(set [][2]int) (int, bool) {
+		f := -1
+		for _, τ := range taus {
+			n := 0
+			for _, σ := range auts {
+				sat := true
+				for _, c := range set {
+					if τ[σ[c[0]]] >= τ[σ[c[1]]] {
+						sat = false
+						break
+					}
+				}
+				if sat {
+					n++
+				}
+			}
+			if f < 0 {
+				f = n
+			} else if f != n {
+				return 0, false
+			}
+		}
+		return f, f >= 1
+	}
+	if f, ok := uniform(rel); ok {
+		return rel, f
+	}
+	// Greedy: grow a uniform subset one constraint at a time. Each
+	// kept constraint shrinks the relaxed search space; anything
+	// non-uniform is dropped and divided out via a larger F instead.
+	var kept [][2]int
+	f := len(auts)
+	for _, c := range rel {
+		trial := append(kept[:len(kept):len(kept)], c)
+		if tf, ok := uniform(trial); ok {
+			kept, f = trial, tf
+		}
+	}
+	return kept, f
+}
+
+// matchingOrder picks the exploration order: start at a
+// maximum-degree vertex, then repeatedly take the unordered vertex
+// with the most back-edges into the prefix (ties: higher degree, then
+// lower label). Dense vertices early keeps candidate frontiers small.
+func matchingOrder(p *Pattern) []int {
+	order := make([]int, 0, p.k)
+	used := make([]bool, p.k)
+	best := 0
+	for v := 1; v < p.k; v++ {
+		if p.Degree(v) > p.Degree(best) {
+			best = v
+		}
+	}
+	order = append(order, best)
+	used[best] = true
+	for len(order) < p.k {
+		cand, candBack := -1, -1
+		for v := 0; v < p.k; v++ {
+			if used[v] {
+				continue
+			}
+			back := 0
+			for _, u := range order {
+				if p.HasEdge(v, u) {
+					back++
+				}
+			}
+			if back > candBack ||
+				(back == candBack && p.Degree(v) > p.Degree(cand)) {
+				cand, candBack = v, back
+			}
+		}
+		order = append(order, cand)
+		used[cand] = true
+	}
+	return order
+}
+
+// symmetryConstraints derives a complete set of ordering constraints
+// via the orbit–stabilizer construction (GraphZero/Peregrine): walk
+// the matching order; at each vertex v, every u ≠ v in v's orbit under
+// the remaining automorphism group gets a constraint image(v) <
+// image(u), then the group is restricted to the stabilizer of v.
+// Exactly one labeling per automorphism class satisfies all
+// constraints.
+func symmetryConstraints(p *Pattern, order []int, auts [][]int) [][2]int {
+	var cons [][2]int
+	group := auts
+	for _, v := range order {
+		orbit := map[int]bool{}
+		for _, σ := range group {
+			orbit[σ[v]] = true
+		}
+		us := make([]int, 0, len(orbit))
+		for u := range orbit {
+			if u != v {
+				us = append(us, u)
+			}
+		}
+		sort.Ints(us)
+		for _, u := range us {
+			cons = append(cons, [2]int{v, u})
+		}
+		var stab [][]int
+		for _, σ := range group {
+			if σ[v] == v {
+				stab = append(stab, σ)
+			}
+		}
+		group = stab
+		if len(group) == 1 {
+			break // only identity left; no further constraints arise
+		}
+	}
+	return cons
+}

@@ -1,0 +1,140 @@
+package pattern
+
+import (
+	"testing"
+)
+
+func compile(t *testing.T, spec string) *Plan {
+	t.Helper()
+	p, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func TestCompileTriangle(t *testing.T) {
+	pl := compile(t, "triangle")
+	if len(pl.Constraints) != 3 {
+		t.Errorf("constraints = %v, want the 3 pairwise orderings", pl.Constraints)
+	}
+	if pl.RelaxF != 3 {
+		t.Errorf("RelaxF = %d, want 3 — the /3 of Listing 2", pl.RelaxF)
+	}
+	if pl.Aut != 6 {
+		t.Errorf("Aut = %d, want 6", pl.Aut)
+	}
+}
+
+func TestCompileStructure(t *testing.T) {
+	for _, spec := range []string{"triangle", "diamond", "4path", "4cycle", "star3", "star5", "clique4", "0-1", "0-1,1-2"} {
+		pl := compile(t, spec)
+		k := pl.P.K()
+		if len(pl.Order) != k {
+			t.Fatalf("%s: order %v", spec, pl.Order)
+		}
+		seen := map[int]bool{}
+		for _, v := range pl.Order {
+			seen[v] = true
+		}
+		if len(seen) != k {
+			t.Fatalf("%s: order %v is not a permutation", spec, pl.Order)
+		}
+		// Connectivity ⇒ every level past the root has a back-edge.
+		for i := 1; i < k; i++ {
+			if len(pl.Back[i]) == 0 {
+				t.Errorf("%s: level %d has no back-edges", spec, i)
+			}
+			for _, j := range pl.Back[i] {
+				if j >= i || !pl.P.HasEdge(pl.Order[i], pl.Order[j]) {
+					t.Errorf("%s: bad back-edge %d->%d", spec, i, j)
+				}
+			}
+		}
+		// Constraint references only point to earlier levels.
+		for i := 0; i < k; i++ {
+			for _, j := range append(append([]int{}, pl.Gt[i]...), pl.Lt[i]...) {
+				if j >= i {
+					t.Errorf("%s: constraint at level %d references level %d", spec, i, j)
+				}
+			}
+		}
+		if pl.RelaxF < 1 {
+			t.Errorf("%s: RelaxF=%d", spec, pl.RelaxF)
+		}
+		// Estimate-mode constraints never touch the closing level.
+		if len(pl.EstGt[k-1]) != 0 || len(pl.EstLt[k-1]) != 0 {
+			t.Errorf("%s: estimate constraints reach the closing level", spec)
+		}
+		// The root is a maximum-degree pattern vertex.
+		for v := 0; v < k; v++ {
+			if pl.P.Degree(v) > pl.P.Degree(pl.Order[0]) {
+				t.Errorf("%s: root %d is not max degree", spec, pl.Order[0])
+			}
+		}
+	}
+}
+
+// TestConstraintsBreakAllSymmetry checks the orbit–stabilizer
+// guarantee directly: for every total order of the pattern vertices,
+// exactly one automorphism image satisfies the full constraint set —
+// so plan enumeration discovers each subgraph image exactly once.
+func TestConstraintsBreakAllSymmetry(t *testing.T) {
+	for _, spec := range []string{"triangle", "diamond", "4path", "4cycle", "star4", "clique4", "0-1,1-2,2-3,3-4,4-0", "0-1,1-2,2-3,0-3,0-2,2-4"} {
+		pl := compile(t, spec)
+		auts := pl.P.automorphisms()
+		τ := make([]int, pl.P.K())
+		for i := range τ {
+			τ[i] = i
+		}
+		orders, hits := 0, 0
+		permute(τ, 0, func(τ []int) {
+			orders++
+			n := 0
+			for _, σ := range auts {
+				ok := true
+				for _, c := range pl.Constraints {
+					if τ[σ[c[0]]] >= τ[σ[c[1]]] {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					n++
+				}
+			}
+			if n != 1 {
+				t.Fatalf("%s: order %v satisfied by %d automorphism images, want exactly 1", spec, τ, n)
+			}
+			hits++
+		})
+		if orders == 0 || hits != orders {
+			t.Fatalf("%s: checked %d/%d orders", spec, hits, orders)
+		}
+	}
+}
+
+func TestRelaxFactorValues(t *testing.T) {
+	for spec, want := range map[string]int{
+		"triangle": 3, // Listing 2's /3
+		"0-1":      2, // single edge: both endpoints relax
+		"0-1,1-2":  2, // wedge from the center: both leaves relax
+		"diamond":  2, // chord fixed, tips relax
+		"4cycle":   4, // keeps one uniform constraint of the dihedral 8
+	} {
+		pl := compile(t, spec)
+		if pl.RelaxF != want {
+			t.Errorf("%s: RelaxF = %d, want %d", spec, pl.RelaxF, want)
+		}
+	}
+}
+
+func TestCompileRejectsTrivial(t *testing.T) {
+	if _, err := Compile(nil); err == nil {
+		t.Error("Compile(nil) must error")
+	}
+}

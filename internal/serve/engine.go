@@ -14,6 +14,7 @@ import (
 	"probgraph/internal/mining"
 	"probgraph/internal/obs"
 	"probgraph/internal/par"
+	"probgraph/internal/pattern"
 	"probgraph/internal/session"
 )
 
@@ -32,6 +33,11 @@ const (
 	OpTopK
 	// OpNeighbors returns the exact adjacency list of U.
 	OpNeighbors
+	// OpPattern is the snapshot-wide pattern-count estimate: Pattern
+	// names a builtin or edge-list spec (internal/pattern), evaluated
+	// through the compiled exploration plan with sketch-closed
+	// estimation and the generalized Thm VII.1 bound in Result.Bound.
+	OpPattern
 
 	opMax
 )
@@ -49,6 +55,8 @@ func (op Op) String() string {
 		return "topk"
 	case OpNeighbors:
 		return "neighbors"
+	case OpPattern:
+		return "pattern"
 	}
 	return fmt.Sprintf("Op(%d)", int(op))
 }
@@ -66,6 +74,8 @@ func ParseOp(s string) (Op, error) {
 		return OpTopK, nil
 	case "neighbors", "neigh":
 		return OpNeighbors, nil
+	case "pattern", "pat":
+		return OpPattern, nil
 	}
 	return 0, fmt.Errorf("serve: unknown op %q", s)
 }
@@ -105,6 +115,9 @@ type Query struct {
 	K       int
 	Measure mining.Measure
 	Kind    string
+	// Pattern is the OpPattern spec (builtin name or edge list);
+	// normalized to the canonical pattern string.
+	Pattern string
 }
 
 // Scored is a ranked candidate vertex.
@@ -116,7 +129,11 @@ type Scored struct {
 // Result is a query answer. Slices it carries alias engine-owned or
 // cached storage and must be treated as read-only.
 type Result struct {
-	Value     float64  `json:"value"`
+	Value float64 `json:"value"`
+	// Bound is the deviation guarantee carried by estimates that have
+	// one (currently OpPattern): |value − truth| ≤ bound with 95%
+	// probability. Zero when no theory applies.
+	Bound     float64  `json:"bound,omitempty"`
 	TopK      []Scored `json:"topk,omitempty"`
 	Neighbors []uint32 `json:"neighbors,omitempty"`
 	Cached    bool     `json:"cached"`
@@ -166,16 +183,36 @@ type tcCell struct {
 	building chan struct{} // non-nil while a leader computes; closed when it finishes
 }
 
+// patCell memoizes one (kind, pattern) whole-graph estimate per epoch,
+// with the same leader/follower protocol as tcCell but carrying the
+// full Result (value plus deviation bound).
+type patCell struct {
+	mu       sync.Mutex
+	ready    bool
+	val      Result
+	building chan struct{} // non-nil while a leader computes; closed when it finishes
+}
+
+// patCellCap bounds the per-epoch pattern memo: beyond this many
+// distinct (kind, pattern) keys, new patterns still compute — they just
+// get an unshared cell and stop growing the epoch's map. Serving mixes
+// use a handful of named patterns, so the cap exists only to keep an
+// adversarial spec stream from holding the epoch's memory hostage.
+const patCellCap = 256
+
 // serving is one epoch's complete evaluation state: the snapshot plus
-// the per-kind memoized TC cells and Session views derived from it.
-// Queries capture one serving pointer at entry and use it end to end, so
-// an Engine.Swap mid-query is invisible: in-flight work finishes on the
-// epoch it started on.
+// the per-kind memoized TC cells, the (kind, pattern) memo, and Session
+// views derived from it. Queries capture one serving pointer at entry
+// and use it end to end, so an Engine.Swap mid-query is invisible:
+// in-flight work finishes on the epoch it started on.
 type serving struct {
 	snap    *Snapshot
 	workers int
 	tc      map[core.Kind]*tcCell
 	sess    map[core.Kind]*session.Session // per-kind Session views, engine workers
+
+	patMu sync.Mutex
+	pat   map[string]*patCell // "kind|canonical-pattern" → memo cell
 }
 
 // newServing derives the evaluation state of one snapshot.
@@ -185,6 +222,7 @@ func newServing(s *Snapshot, workers int) *serving {
 		workers: workers,
 		tc:      make(map[core.Kind]*tcCell, len(s.kinds)),
 		sess:    make(map[core.Kind]*session.Session, len(s.kinds)),
+		pat:     make(map[string]*patCell),
 	}
 	for _, k := range s.kinds {
 		sv.tc[k] = &tcCell{}
@@ -193,6 +231,23 @@ func newServing(s *Snapshot, workers int) *serving {
 		}
 	}
 	return sv
+}
+
+// patCellFor returns the memo cell for (kind, canonical spec), creating
+// it on demand. Past patCellCap distinct keys the cell is returned
+// unregistered — correct, just not shared.
+func (sv *serving) patCellFor(kind core.Kind, spec string) *patCell {
+	key := kind.String() + "|" + spec
+	sv.patMu.Lock()
+	defer sv.patMu.Unlock()
+	if c, ok := sv.pat[key]; ok {
+		return c
+	}
+	c := &patCell{}
+	if len(sv.pat) < patCellCap {
+		sv.pat[key] = c
+	}
+	return c
 }
 
 // Engine serves queries against an immutable snapshot: cache in front,
@@ -319,6 +374,8 @@ func (e *Engine) QueryCtx(ctx context.Context, q Query) (Result, error) {
 	defer func() { e.opHists[q.Op].Record(time.Since(t0)) }()
 	ctx, sp := obs.StartSpan(ctx, "query/"+q.Op.String())
 	defer sp.End()
+	// Whole-graph kernels bypass the point-query batcher: memoized per
+	// epoch, leader/follower under the requesters' own deadlines.
 	if q.Op == OpTC {
 		v, err := snapshotTC(ctx, sv, kind)
 		if err != nil {
@@ -328,6 +385,16 @@ func (e *Engine) QueryCtx(ctx context.Context, q Query) (Result, error) {
 		}
 		e.count(q.Op, nil)
 		return Result{Value: v}, nil
+	}
+	if q.Op == OpPattern {
+		r, err := snapshotPattern(ctx, sv, kind, q.Pattern)
+		if err != nil {
+			sp.Attr("error", err.Error())
+			e.count(q.Op, err)
+			return Result{}, err
+		}
+		e.count(q.Op, nil)
+		return r, nil
 	}
 	key := cacheKey{epoch: sv.snap.Epoch, q: q}
 	if r, ok := e.cache.get(key); ok {
@@ -426,6 +493,70 @@ func leadTC(ctx context.Context, sv *serving, kind core.Kind) (float64, error) {
 	return res.Value, nil
 }
 
+// snapshotPattern memoizes the whole-graph pattern estimate per (kind,
+// canonical pattern spec) with the same leader/follower protocol as
+// snapshotTC. spec is already canonical (normalize parsed it).
+func snapshotPattern(ctx context.Context, sv *serving, kind core.Kind, spec string) (Result, error) {
+	cell := sv.patCellFor(kind, spec)
+	for {
+		cell.mu.Lock()
+		if cell.ready {
+			r := cell.val
+			cell.mu.Unlock()
+			return r, nil
+		}
+		if cell.building == nil {
+			finished := make(chan struct{})
+			cell.building = finished
+			cell.mu.Unlock()
+
+			var r Result
+			var err error
+			completed := false
+			func() {
+				defer func() {
+					cell.mu.Lock()
+					cell.building = nil
+					if completed && err == nil {
+						cell.ready, cell.val = true, r
+					}
+					cell.mu.Unlock()
+					close(finished)
+				}()
+				r, err = leadPattern(ctx, sv, kind, spec)
+				completed = true
+			}()
+			return r, err
+		}
+		finished := cell.building
+		cell.mu.Unlock()
+		select {
+		case <-finished:
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		}
+	}
+}
+
+// leadPattern runs the pattern kernel as the cell leader. Serving always
+// answers in estimated mode — the whole point of the sketch layer — so
+// the result carries the generalized Thm VII.1 bound when one applies.
+func leadPattern(ctx context.Context, sv *serving, kind core.Kind, spec string) (Result, error) {
+	p, err := pattern.Parse(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	sess, err := sv.sessionFor(kind)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := sess.Run(ctx, session.PatternCount{P: p, Mode: session.Sketched})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Value: res.Value, Bound: res.Bound}, nil
+}
+
 // sessionFor returns the serving's Session view for a resident kind; a
 // kind missing from the construction-time map (its build errored) is
 // retried here so the caller sees the real error, not a misleading
@@ -473,8 +604,20 @@ func normalize(sv *serving, q Query) (Query, core.Kind, error) {
 		}
 		return nil
 	}
+	if q.Op != OpPattern {
+		q.Pattern = ""
+	}
 	switch q.Op {
 	case OpTC:
+		q.U, q.V, q.K, q.Measure = 0, 0, 0, 0
+	case OpPattern:
+		p, err := pattern.Parse(q.Pattern)
+		if err != nil {
+			return q, 0, err
+		}
+		// Canonical spec: aliases and edge-list orderings of the same
+		// pattern share one memo cell (and router answer).
+		q.Pattern = p.String()
 		q.U, q.V, q.K, q.Measure = 0, 0, 0, 0
 	case OpLocalTC, OpNeighbors:
 		if err := checkV(q.U); err != nil {

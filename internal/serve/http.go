@@ -18,6 +18,7 @@ type WireQuery struct {
 	K       int    `json:"k,omitempty"`
 	Measure string `json:"measure,omitempty"`
 	Kind    string `json:"kind,omitempty"`
+	Pattern string `json:"pattern,omitempty"`
 }
 
 // ToQuery converts the wire form to a typed Query.
@@ -30,14 +31,14 @@ func (w WireQuery) ToQuery() (Query, error) {
 	if err != nil {
 		return Query{}, err
 	}
-	return Query{Op: op, U: w.U, V: w.V, K: w.K, Measure: m, Kind: w.Kind}, nil
+	return Query{Op: op, U: w.U, V: w.V, K: w.K, Measure: m, Kind: w.Kind, Pattern: w.Pattern}, nil
 }
 
 // FromQuery converts a typed Query to its wire form.
 func FromQuery(q Query) WireQuery {
 	return WireQuery{
 		Op: q.Op.String(), U: q.U, V: q.V, K: q.K,
-		Measure: q.Measure.String(), Kind: q.Kind,
+		Measure: q.Measure.String(), Kind: q.Kind, Pattern: q.Pattern,
 	}
 }
 

@@ -31,6 +31,9 @@ type LoadOpts struct {
 	Measure mining.Measure
 	// TopK is the k of generated topk queries (default 10).
 	TopK int
+	// Pattern is the spec of generated pattern queries (default
+	// "triangle"); only fires when the mix gives OpPattern weight.
+	Pattern string
 	// Vertices is the id universe queries draw from (required > 0).
 	Vertices int
 	// Zipf > 1 skews vertex picks with a Zipf(s) law — hot vertices get
@@ -185,6 +188,9 @@ func RunLoad(opts LoadOpts, do func(Query) (Result, error)) (*LoadReport, error)
 	if opts.TopK <= 0 {
 		opts.TopK = 10
 	}
+	if opts.Pattern == "" {
+		opts.Pattern = "triangle"
+	}
 	mix := opts.Mix
 	if mix == nil {
 		mix = DefaultMix()
@@ -283,6 +289,8 @@ func RunLoad(opts LoadOpts, do func(Query) (Result, error)) (*LoadReport, error)
 					q.U, q.V = vertex(), vertex()
 				case OpTopK:
 					q.U, q.K = vertex(), opts.TopK
+				case OpPattern:
+					q.Pattern = opts.Pattern
 				default:
 					q.U = vertex()
 				}

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"probgraph/internal/core"
+	"probgraph/internal/pattern"
+	"probgraph/internal/session"
+)
+
+func mustPattern(t *testing.T, spec string) *pattern.Pattern {
+	t.Helper()
+	p, err := pattern.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestPatternQuery pins the serving contract: a pattern query answers
+// with the Sketched PatternCount kernel's estimate and bound, evaluated
+// with the engine's worker count (parallel reduction order is part of
+// the exact value).
+func TestPatternQuery(t *testing.T) {
+	s := testSnapshot(t, core.BF, core.KHash)
+	e := newTestEngine(t, s)
+	for _, kind := range []core.Kind{core.BF, core.KHash} {
+		sess, err := s.Session(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err = sess.With(session.WithWorkers(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, spec := range []string{"triangle", "diamond", "4cycle"} {
+			res, err := e.Query(Query{Op: OpPattern, Pattern: spec, Kind: kind.String()})
+			if err != nil {
+				t.Fatalf("%v/%s: %v", kind, spec, err)
+			}
+			want, err := sess.Run(context.Background(), session.PatternCount{Mode: session.Sketched, P: mustPattern(t, spec)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(res.Value) != math.Float64bits(want.Value) {
+				t.Errorf("%v/%s: served %v, kernel %v", kind, spec, res.Value, want.Value)
+			}
+			if res.Bound != want.Bound || res.Bound <= 0 {
+				t.Errorf("%v/%s: served bound %v, kernel %v", kind, spec, res.Bound, want.Bound)
+			}
+		}
+	}
+}
+
+// TestPatternMemoization: equivalent specs share one per-epoch cell, so
+// repeats and aliases answer identically (and the canonical form is
+// what normalize computed, not the alias).
+func TestPatternMemoization(t *testing.T) {
+	s := testSnapshot(t, core.BF)
+	e := newTestEngine(t, s)
+	first, err := e.Query(Query{Op: OpPattern, Pattern: "diamond"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alias := range []string{"diamond", "triangle-with-chord", "0-1,0-2,0-3,1-2,2-3", "2-0, 1-0,0-3,2-1,3-2"} {
+		res, err := e.Query(Query{Op: OpPattern, Pattern: alias})
+		if err != nil {
+			t.Fatalf("%q: %v", alias, err)
+		}
+		if math.Float64bits(res.Value) != math.Float64bits(first.Value) || res.Bound != first.Bound {
+			t.Errorf("%q: %v@%v, first answer %v@%v", alias, res.Value, res.Bound, first.Value, first.Bound)
+		}
+	}
+	// A swap starts a fresh epoch with an empty memo — same snapshot
+	// content, so the recomputed answer must still agree.
+	if _, err := e.Swap(testSnapshot(t, core.BF)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query(Query{Op: OpPattern, Pattern: "diamond"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(res.Value) != math.Float64bits(first.Value) {
+		t.Errorf("post-swap answer %v, want %v", res.Value, first.Value)
+	}
+}
+
+// TestPatternNormalize: the spec canonicalizes, irrelevant fields zero,
+// and non-pattern ops drop a stray Pattern field so it cannot split
+// their cache lines.
+func TestPatternNormalize(t *testing.T) {
+	s := testSnapshot(t, core.BF)
+	sv := newServing(s, 1)
+	q, _, err := normalize(sv, Query{Op: OpPattern, Pattern: "tri", U: 9, V: 3, K: 5, Measure: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Pattern != "triangle" || q.U != 0 || q.V != 0 || q.K != 0 || q.Measure != 0 {
+		t.Errorf("normalized pattern query: %+v", q)
+	}
+	q, _, err = normalize(sv, Query{Op: OpSimilarity, U: 1, V: 2, Pattern: "triangle"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Pattern != "" {
+		t.Errorf("similarity kept pattern %q", q.Pattern)
+	}
+	for _, bad := range []string{"", "0-0", "nosuch", "0-1,2-3"} {
+		if _, _, err := normalize(sv, Query{Op: OpPattern, Pattern: bad}); err == nil {
+			t.Errorf("pattern %q: want error", bad)
+		}
+	}
+}
+
+// TestPatternHTTP round-trips a pattern query through the real HTTP
+// surface, the same path pgload and the cluster smoke test use.
+func TestPatternHTTP(t *testing.T) {
+	s := testSnapshot(t, core.BF)
+	e := newTestEngine(t, s)
+	srv := httptest.NewServer(Handler(e))
+	defer srv.Close()
+	do := HTTPDoer(nil, srv.URL)
+
+	direct, err := e.Query(Query{Op: OpPattern, Pattern: "4cycle"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := do(Query{Op: OpPattern, Pattern: "4cycle"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != direct.Value || res.Bound != direct.Bound {
+		t.Errorf("HTTP answer %v@%v, direct %v@%v", res.Value, res.Bound, direct.Value, direct.Bound)
+	}
+	if _, err := do(Query{Op: OpPattern, Pattern: "0-0"}); err == nil {
+		t.Error("malformed pattern must surface as an HTTP error")
+	}
+	// Wire form carries the spec both ways.
+	wq := FromQuery(Query{Op: OpPattern, Pattern: "diamond"})
+	if wq.Pattern != "diamond" || wq.Op != "pattern" {
+		t.Errorf("wire form %+v", wq)
+	}
+	back, err := wq.ToQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Op != OpPattern || back.Pattern != "diamond" {
+		t.Errorf("round-trip %+v", back)
+	}
+}
+
+// TestPatternInLoadMix: RunLoad generates pattern queries when the mix
+// weights them, and they serve without errors.
+func TestPatternInLoadMix(t *testing.T) {
+	s := testSnapshot(t, core.BF)
+	e := newTestEngine(t, s)
+	mix, err := ParseMix("similarity:2,pattern:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix[OpPattern] != 1 {
+		t.Fatalf("mix = %v", mix)
+	}
+	rep, err := RunLoad(LoadOpts{
+		Workers: 2, Duration: 150 * time.Millisecond, Mix: mix,
+		Pattern: "diamond", Vertices: s.G.NumVertices(), Seed: 1,
+	}, func(q Query) (Result, error) { return e.Query(q) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.Queries == 0 {
+		t.Fatalf("load report: %+v", rep)
+	}
+	st := e.Stats()
+	if st.Ops["pattern"].OK == 0 {
+		t.Error("no pattern queries reached the engine")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"probgraph/internal/graph"
 	"probgraph/internal/mining"
 	"probgraph/internal/obs"
+	"probgraph/internal/pattern"
 )
 
 // Mode selects between the exact CSR baseline and the ProbGraph sketch
@@ -68,6 +69,9 @@ type Result struct {
 	LinkPred *mining.LinkPredResult
 	Locals   []float64
 	Net      *dist.NetStats
+	// PatternStats carries the pattern kernel's execution counters
+	// (candidates, sketch prunes, estimator calls).
+	PatternStats *pattern.Stats
 }
 
 // Count rounds the non-negative Value to the nearest integer count.
@@ -198,6 +202,94 @@ func (k TC) run(ctx context.Context, s *Session) (Result, error) {
 		return res, nil
 	}
 	return Result{}, errMode("tc", k.Mode)
+}
+
+// PatternCount is the pattern-mining kernel: embeddings of a small
+// query pattern (internal/pattern builtins or pattern.Parse edge
+// lists) counted via a compiled symmetry-broken exploration plan.
+// Exact mode enumerates; with Prune set, candidate extensions are
+// pre-filtered by sound sketch membership rejects first, keeping the
+// count bit-identical while skipping exact adjacency work. Sketched
+// mode closes every partial embedding with a sketch intersection
+// estimate (Listings 1/2 generalized) and reports the generalized
+// Thm VII.1 bound where the theory provides one (pairwise-closing
+// plans on BF/kH/1H; tree-closing plans are exact by construction).
+type PatternCount struct {
+	P     *pattern.Pattern
+	Mode  Mode
+	Prune bool
+}
+
+// Name implements Kernel.
+func (PatternCount) Name() string { return "pattern" }
+
+func (k PatternCount) run(ctx context.Context, s *Session) (Result, error) {
+	if k.P == nil {
+		return Result{}, fmt.Errorf("session: pattern kernel needs a pattern (see pattern.Parse)")
+	}
+	if !k.Mode.valid() {
+		return Result{}, errMode("pattern", k.Mode)
+	}
+	pl, err := pattern.Compile(k.P)
+	if err != nil {
+		return Result{}, err
+	}
+	switch k.Mode {
+	case Exact:
+		var pg *core.PG
+		if k.Prune {
+			if pg, err = s.PG(ctx); err != nil {
+				return Result{}, err
+			}
+		}
+		n, st, err := pattern.CountExact(ctx, s.st.g, pl, pg, s.cfg.workers)
+		if err != nil {
+			return Result{}, err
+		}
+		res := Result{Mode: Exact, Value: float64(n), PatternStats: &st}
+		if pg != nil {
+			res.Kind = pg.Cfg.Kind
+		}
+		return res, nil
+	case Sketched:
+		pg, err := s.PG(ctx)
+		if err != nil {
+			return Result{}, err
+		}
+		est, st, err := pattern.CountEstimate(ctx, s.st.g, pl, pg, s.cfg.workers)
+		if err != nil {
+			return Result{}, err
+		}
+		res := Result{Mode: Sketched, Kind: pg.Cfg.Kind, Value: est, PatternStats: &st}
+		_, bsp := obs.StartSpan(ctx, "bound/pattern")
+		res.Bound, res.Confidence = s.patternBound(pl, st, pg)
+		bsp.End()
+		return res, nil
+	}
+	return Result{}, errMode("pattern", k.Mode)
+}
+
+// patternBound evaluates the generalized Thm VII.1 deviation for one
+// estimate run. Only pairwise closing estimators carry the theory:
+// plans that closed through IntCard3 (triple back-edges) or made no
+// estimator calls at all report no bound.
+func (s *Session) patternBound(pl *pattern.Plan, st pattern.Stats, pg *core.PG) (bound, conf float64) {
+	const confidence = 0.95
+	if st.EstPairs == 0 || st.EstTriples > 0 {
+		return 0, 0
+	}
+	switch pg.Cfg.Kind {
+	case core.BF:
+		gm := s.Moments()
+		if t, valid := estimator.PatternDeviationBF(st.EstPairs, int64(pl.RelaxF),
+			gm.MaxDegree, pg.Cfg.BloomBits, pg.Cfg.NumHashes, confidence); valid {
+			return t, confidence
+		}
+	case core.KHash, core.OneHash:
+		return estimator.PatternDeviationMinHash(st.SumSizes, st.EstPairs,
+			int64(pl.RelaxF), pg.Cfg.K, confidence), confidence
+	}
+	return 0, 0
 }
 
 // KClique is the k-clique counting kernel (Listing 2 and its

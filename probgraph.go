@@ -395,6 +395,9 @@ const (
 	OpTopK = serve.OpTopK
 	// OpNeighbors returns an exact adjacency list.
 	OpNeighbors = serve.OpNeighbors
+	// OpPattern is the snapshot-wide pattern-count estimate; the query's
+	// Pattern field names a builtin or edge-list spec.
+	OpPattern = serve.OpPattern
 )
 
 // OpenSnapshot builds a serving snapshot: orientation plus one PG per
@@ -473,4 +476,9 @@ var (
 	TCDeviationMinHash = estimator.TCDeviationMinHash
 	// KMVCardInterval is Prop. A.7 (regularized incomplete beta).
 	KMVCardInterval = estimator.KMVCardInterval
+	// PatternDeviationBF generalizes the Theorem VII.1 Bloom statement to
+	// arbitrary pattern plans (union over estimator calls).
+	PatternDeviationBF = estimator.PatternDeviationBF
+	// PatternDeviationMinHash is the MinHash counterpart.
+	PatternDeviationMinHash = estimator.PatternDeviationMinHash
 )

@@ -3,6 +3,7 @@ package probgraph
 import (
 	"context"
 
+	"probgraph/internal/pattern"
 	"probgraph/internal/session"
 )
 
@@ -79,6 +80,52 @@ type (
 	DistTC = session.DistTC
 	// DistSim is distributed mean edge similarity (§VIII-F).
 	DistSim = session.DistSim
+	// PatternCount enumerates a PatternSpec through its compiled,
+	// symmetry-broken exploration plan — exact, sketch-pruned exact
+	// (Prune), or sketch-estimated with a generalized Thm VII.1 bound.
+	PatternCount = session.PatternCount
+)
+
+// PatternSpec is a small connected pattern graph (≤ 8 vertices): the
+// builtins below, or any connected edge list via ParsePattern.
+type PatternSpec = pattern.Pattern
+
+// PatternStats is the enumeration telemetry a PatternCount result
+// carries: embeddings, candidates, sketch prunes, exact edge checks and
+// estimator-call counts.
+type PatternStats = pattern.Stats
+
+// ParsePattern parses a pattern spec: a builtin name ("triangle",
+// "diamond", "4path", "4cycle", "star4", "clique4", aliases included)
+// or an edge list like "0-1,1-2,2-0". Malformed specs return typed
+// errors (pattern.ErrSyntax et al.), never panics.
+func ParsePattern(spec string) (*PatternSpec, error) { return pattern.Parse(spec) }
+
+// Pattern is the one-line way to run pattern mining through a Session:
+//
+//	res, err := sess.Run(ctx, probgraph.Pattern(p))
+//
+// It estimates with the sketch layer and reports res.Bound where the
+// theory provides one; use PatternCount directly for exact or
+// sketch-pruned exact enumeration.
+func Pattern(p *PatternSpec) PatternCount {
+	return PatternCount{P: p, Mode: Sketched}
+}
+
+// The builtin patterns.
+var (
+	// TrianglePattern is the 3-cycle.
+	TrianglePattern = pattern.Triangle
+	// DiamondPattern is the triangle-with-chord (4 vertices, 5 edges).
+	DiamondPattern = pattern.Diamond
+	// FourPathPattern is the simple path on 4 vertices.
+	FourPathPattern = pattern.FourPath
+	// FourCyclePattern is the 4-cycle.
+	FourCyclePattern = pattern.FourCycle
+	// StarPattern builds the k-star (k leaves, 2 ≤ k ≤ 7).
+	StarPattern = pattern.Star
+	// CliquePattern builds the k-clique (3 ≤ k ≤ 8).
+	CliquePattern = pattern.Clique
 )
 
 // NewSession binds a Session to a graph. The zero configuration matches
