@@ -44,6 +44,7 @@ var experiments = map[string]func(bench.Opts) error{
 	"pattern":    func(o bench.Opts) error { _, err := bench.PatternBench(o); return err },
 	"stream":     func(o bench.Opts) error { _, err := bench.StreamBench(o); return err },
 	"persist":    func(o bench.Opts) error { _, err := bench.PersistBench(o); return err },
+	"intersect":  func(o bench.Opts) error { _, err := bench.IntersectBench(o); return err },
 }
 
 // order fixes the presentation order for -exp all.
@@ -51,6 +52,7 @@ var order = []string{
 	"fig3", "fig4", "fig5", "fig6", "fig7", "fig8strong", "fig8weak", "fig9",
 	"table4", "table5", "table6", "table7", "theory", "dist", "distsim",
 	"sim", "linkpred", "ablation", "serve", "session", "pattern", "stream", "persist",
+	"intersect",
 }
 
 func main() {

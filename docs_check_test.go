@@ -1,0 +1,100 @@
+package probgraph
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links [text](target); reference-style
+// links are not used in this repo.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// docFiles returns every tracked markdown file at the repo root and
+// under docs/ (the documentation the README index promises).
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	var files []string
+	for _, glob := range []string{"*.md", "docs/*.md"} {
+		m, err := filepath.Glob(glob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, m...)
+	}
+	if len(files) == 0 {
+		t.Fatal("no markdown files found; test must run from the repo root")
+	}
+	return files
+}
+
+// TestDocsRelativeLinks fails on any relative markdown link whose
+// target does not exist, so renames and deletions cannot silently
+// strand the documentation graph.
+func TestDocsRelativeLinks(t *testing.T) {
+	for _, f := range docFiles(t) {
+		body, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(body), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external; availability is not this test's job
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue // pure intra-document anchor
+			}
+			resolved := filepath.Join(filepath.Dir(f), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken relative link %q (resolved %s)", f, m[1], resolved)
+			}
+		}
+	}
+}
+
+// TestReadmeIndexesDocs pins the README "Documentation" index: every
+// file in docs/ must be linked from the README, so new documents
+// cannot land unindexed.
+func TestReadmeIndexesDocs(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) == 0 {
+		t.Fatal("docs/ holds no markdown files")
+	}
+	for _, d := range docs {
+		if !strings.Contains(string(readme), "("+d+")") {
+			t.Errorf("README.md does not link %s", d)
+		}
+	}
+}
+
+// TestReadmeMentionsCommands pins that every cmd/* binary is at least
+// mentioned in the README, so new tools cannot ship undocumented.
+func TestReadmeMentionsCommands(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir("cmd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if !strings.Contains(string(readme), e.Name()) {
+			t.Errorf("README.md does not mention cmd/%s", e.Name())
+		}
+	}
+}

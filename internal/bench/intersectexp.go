@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"probgraph/internal/core"
+	"probgraph/internal/graph"
+	"probgraph/internal/kernels"
+)
+
+// IntersectBench micro-benchmarks the internal/kernels set-algebra
+// layer in isolation — the hot path every mining kernel rides on:
+//
+//   - bf-pair: the BF intersect-popcount estimator, scalar one-call-
+//     per-pair (pre-kernel shape) vs the batched row-resident sweep
+//     (core.IntCardMany/IntCardSum) the mining kernels now use;
+//   - bf-and3: the three-row variant behind IntCard3 (4-clique closing
+//     level), scalar vs batched;
+//   - exact: the sorted-adjacency intersection over oriented edges,
+//     merge-only vs gallop-only vs the adaptive dispatch of
+//     kernels.IntersectCount.
+//
+// Each scalar/batched (and merge/gallop/adaptive) pairing computes the
+// same workload; the experiment errors out if the results are not
+// bit-identical, so the perf rows double as an identity check.
+func IntersectBench(opts Opts) ([]BenchRecord, error) {
+	opts = opts.withDefaults()
+	scale := 11
+	if opts.Quick {
+		scale = 10
+	}
+	g := graph.Kronecker(scale, 16, opts.Seed)
+	pg, err := core.Build(g, core.Config{Kind: core.BF, Seed: opts.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("intersect bench: %w", err)
+	}
+	o := g.Orient(opts.Workers)
+	n := g.NumVertices()
+
+	var rows []BenchRecord
+	record := func(name, config string, f func() float64) float64 {
+		var got float64
+		timing := Measure(opts.Runs, func() { got = f() })
+		rows = append(rows, BenchRecord{
+			Experiment: "intersect/" + name,
+			Config:     config,
+			Value:      got,
+			NsPerOp:    int64(timing.Median),
+		})
+		return got
+	}
+
+	// bf-pair: Σ_u Σ_{v∈N_u, v>u} |N_u ∩ N_v|̂ — the TC numerator.
+	suffix := func(u int) []uint32 {
+		nv := g.Neighbors(uint32(u))
+		lo := 0
+		for lo < len(nv) && nv[lo] <= uint32(u) {
+			lo++
+		}
+		return nv[lo:]
+	}
+	// The scalar references keep the batched paths' per-row subtotal
+	// grouping, so float association is identical and the scalar/batched
+	// values compare bit-for-bit; only the call granularity differs.
+	scalarPair := record("bf-pair", "scalar", func() float64 {
+		var s float64
+		for u := 0; u < n; u++ {
+			var t float64
+			for _, v := range suffix(u) {
+				t += pg.IntCard(uint32(u), v)
+			}
+			s += t
+		}
+		return s
+	})
+	var bufs struct {
+		cnt []int32
+		tmp []uint64
+	}
+	bufs.tmp = make([]uint64, pg.RowWords())
+	grow := func(k int) []int32 {
+		if k > cap(bufs.cnt) {
+			bufs.cnt = make([]int32, k)
+		}
+		return bufs.cnt[:k]
+	}
+	batchedPair := record("bf-pair", "batched", func() float64 {
+		var s float64
+		for u := 0; u < n; u++ {
+			cands := suffix(u)
+			if len(cands) == 0 {
+				continue
+			}
+			s += pg.IntCardSum(uint32(u), cands, grow(len(cands)))
+		}
+		return s
+	})
+	if math.Float64bits(scalarPair) != math.Float64bits(batchedPair) {
+		return nil, fmt.Errorf("intersect bench: bf-pair batched diverges: %v vs %v", batchedPair, scalarPair)
+	}
+
+	// bf-and3: per vertex, close the wedge (u, nv[0]) against the rest of
+	// N_u — the 4-clique closing shape.
+	scalar3 := record("bf-and3", "scalar", func() float64 {
+		var s float64
+		for u := 0; u < n; u++ {
+			nv := g.Neighbors(uint32(u))
+			if len(nv) < 2 {
+				continue
+			}
+			var t float64
+			for _, w := range nv[1:] {
+				t += pg.IntCard3(w, uint32(u), nv[0])
+			}
+			s += t
+		}
+		return s
+	})
+	batched3 := record("bf-and3", "batched", func() float64 {
+		var s float64
+		for u := 0; u < n; u++ {
+			nv := g.Neighbors(uint32(u))
+			if len(nv) < 2 {
+				continue
+			}
+			ws := nv[1:]
+			s += pg.IntCard3Sum(uint32(u), nv[0], ws, bufs.tmp, grow(len(ws)))
+		}
+		return s
+	})
+	if math.Float64bits(scalar3) != math.Float64bits(batched3) {
+		return nil, fmt.Errorf("intersect bench: bf-and3 batched diverges: %v vs %v", batched3, scalar3)
+	}
+
+	// exact: Σ over oriented edges of |N+_v ∩ N+_u| — the ExactTC inner
+	// loop — under each fixed strategy and the adaptive dispatch.
+	exactSweep := func(count func(a, b []uint32) int) float64 {
+		var s int64
+		for v := 0; v < n; v++ {
+			nv := o.NPlus(uint32(v))
+			for _, u := range nv {
+				s += int64(count(nv, o.NPlus(u)))
+			}
+		}
+		return float64(s)
+	}
+	ordered := func(count func(a, b []uint32) int) func(a, b []uint32) int {
+		return func(a, b []uint32) int {
+			if len(a) > len(b) {
+				a, b = b, a
+			}
+			if len(a) == 0 {
+				return 0
+			}
+			return count(a, b)
+		}
+	}
+	merge := record("exact", "merge", func() float64 { return exactSweep(kernels.MergeCount) })
+	gallop := record("exact", "gallop", func() float64 { return exactSweep(ordered(kernels.GallopCount)) })
+	adaptive := record("exact", "adaptive", func() float64 { return exactSweep(kernels.IntersectCount) })
+	if merge != gallop || merge != adaptive {
+		return nil, fmt.Errorf("intersect bench: exact strategies disagree: merge=%v gallop=%v adaptive=%v", merge, gallop, adaptive)
+	}
+
+	if opts.JSON != nil {
+		enc := json.NewEncoder(opts.JSON)
+		for _, r := range rows {
+			if err := enc.Encode(r); err != nil {
+				return nil, fmt.Errorf("intersect bench: writing JSON record: %w", err)
+			}
+		}
+	}
+
+	section(opts.Out, "Set-algebra kernel microbench (graph: kron scale %d)", scale)
+	t := NewTable(opts.Out, "experiment", "config", "value", "ns/op")
+	for _, r := range rows {
+		t.Row(r.Experiment, r.Config, r.Value, r.NsPerOp)
+	}
+	t.Flush()
+	return rows, nil
+}

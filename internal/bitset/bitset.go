@@ -4,9 +4,19 @@
 // vector. On amd64, math/bits.OnesCount64 compiles to the POPCNT
 // instruction, so AndCount is the scalar equivalent of the paper's
 // SIMD AND + popcnt pipeline (§VI).
+//
+// Contract: a Bits is a plain []uint64 with bit i at word i/64, position
+// i%64; binary operations require equal lengths and never allocate. The
+// fused counting kernels delegate to internal/kernels — the set-algebra
+// engine of docs/KERNELS.md — so their results are bit-identical to the
+// batched multi-row variants used by the mining hot paths.
 package bitset
 
-import "math/bits"
+import (
+	"math/bits"
+
+	"probgraph/internal/kernels"
+)
 
 // WordBits is the number of bits per storage word (the paper's W).
 const WordBits = 64
@@ -57,78 +67,36 @@ func (b Bits) Clone() Bits {
 
 // Count returns the number of set bits (population count) in b.
 func (b Bits) Count() int {
-	n := 0
-	i := 0
-	// 4-way unrolled main loop; the tail is handled below.
-	for ; i+4 <= len(b); i += 4 {
-		n += bits.OnesCount64(b[i]) +
-			bits.OnesCount64(b[i+1]) +
-			bits.OnesCount64(b[i+2]) +
-			bits.OnesCount64(b[i+3])
-	}
-	for ; i < len(b); i++ {
-		n += bits.OnesCount64(b[i])
-	}
-	return n
+	return kernels.PopCount(b)
 }
 
 // AndCount returns the population count of a AND b without materializing
 // the intersection vector. This is the hot kernel behind the BF estimator
 // |X∩Y|_AND (Eq. 2): O(B/W) work, one pass, no allocation.
 func AndCount(a, b Bits) int {
-	n := 0
-	i := 0
-	for ; i+4 <= len(a); i += 4 {
-		n += bits.OnesCount64(a[i]&b[i]) +
-			bits.OnesCount64(a[i+1]&b[i+1]) +
-			bits.OnesCount64(a[i+2]&b[i+2]) +
-			bits.OnesCount64(a[i+3]&b[i+3])
-	}
-	for ; i < len(a); i++ {
-		n += bits.OnesCount64(a[i] & b[i])
-	}
-	return n
+	return kernels.AndCount(a, b)
 }
 
 // OrCount returns the population count of a OR b without materializing the
 // union vector; used by the OR estimator (Eq. 29).
 func OrCount(a, b Bits) int {
-	n := 0
-	i := 0
-	for ; i+4 <= len(a); i += 4 {
-		n += bits.OnesCount64(a[i]|b[i]) +
-			bits.OnesCount64(a[i+1]|b[i+1]) +
-			bits.OnesCount64(a[i+2]|b[i+2]) +
-			bits.OnesCount64(a[i+3]|b[i+3])
-	}
-	for ; i < len(a); i++ {
-		n += bits.OnesCount64(a[i] | b[i])
-	}
-	return n
+	return kernels.OrCount(a, b)
 }
 
 // And3Count returns popcount(a AND b AND c); the 4-clique inner kernel,
 // where B_{C3} = B_u AND B_v is combined with B_w on the fly.
 func And3Count(a, b, c Bits) int {
-	n := 0
-	for i := range a {
-		n += bits.OnesCount64(a[i] & b[i] & c[i])
-	}
-	return n
+	return kernels.AndCount3(a, b, c)
 }
 
 // And stores a AND b into dst. dst may alias a or b.
 func And(dst, a, b Bits) {
-	for i := range a {
-		dst[i] = a[i] & b[i]
-	}
+	kernels.And(dst, a, b)
 }
 
 // Or stores a OR b into dst. dst may alias a or b.
 func Or(dst, a, b Bits) {
-	for i := range a {
-		dst[i] = a[i] | b[i]
-	}
+	kernels.Or(dst, a, b)
 }
 
 // Equal reports whether a and b have identical length and contents.

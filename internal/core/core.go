@@ -15,6 +15,7 @@ import (
 	"probgraph/internal/bitset"
 	"probgraph/internal/graph"
 	"probgraph/internal/hash"
+	"probgraph/internal/kernels"
 	"probgraph/internal/par"
 	"probgraph/internal/sketch"
 )
@@ -228,28 +229,77 @@ type PG struct {
 	// HLL storage: n rows of 2^hllP single-byte registers.
 	hllReg []uint8
 	hllP   uint8
+
+	// BF estimator lookup tables, indexed by popcount(AND): lut holds
+	// the Swamidass estimate (Eq. 1), lutL the limiting estimate
+	// (Eq. 4). Pure functions of the immutable filter geometry
+	// (BloomBits, NumHashes), so they are built once per PG, shared by
+	// clones, and keep the hot loops free of math.Log while staying
+	// bit-identical to the sketch package's formulas. nil when the
+	// geometry is degenerate or too large to tabulate.
+	lut  []float64
+	lutL []float64
 }
 
 // Build constructs the ProbGraph representation of every full
 // neighborhood N_v, in parallel (Table V costs).
 func Build(g *graph.Graph, cfg Config) (*PG, error) {
-	n := g.NumVertices()
-	return build(n, g.SizeBits(), cfg, func(v uint32) []uint32 { return g.Neighbors(v) })
+	return BuildArena(g, cfg, nil)
 }
 
 // BuildOriented constructs sketches of the oriented neighborhoods N+_v.
 func BuildOriented(o *graph.Oriented, csrBits int64, cfg Config) (*PG, error) {
-	n := o.NumVertices()
-	return build(n, csrBits, cfg, func(v uint32) []uint32 { return o.NPlus(v) })
+	return BuildOrientedArena(o, csrBits, cfg, nil)
 }
 
-func build(n int, csrBits int64, cfg Config, neigh func(uint32) []uint32) (*PG, error) {
+// BuildArena is Build with an optional arena: when ar is non-nil, every
+// storage array of the PG is carved from it, so an epoch's rows are
+// physically contiguous (one slab per epoch — the layout the batched
+// tile kernels and the future mmap path want). The PG result is
+// identical either way; nil falls back to individual heap allocations.
+func BuildArena(g *graph.Graph, cfg Config, ar *kernels.Arena) (*PG, error) {
+	n := g.NumVertices()
+	return build(n, g.SizeBits(), cfg, func(v uint32) []uint32 { return g.Neighbors(v) }, ar)
+}
+
+// BuildOrientedArena is BuildOriented with an optional arena; see
+// BuildArena.
+func BuildOrientedArena(o *graph.Oriented, csrBits int64, cfg Config, ar *kernels.Arena) (*PG, error) {
+	n := o.NumVertices()
+	return build(n, csrBits, cfg, func(v uint32) []uint32 { return o.NPlus(v) }, ar)
+}
+
+func build(n int, csrBits int64, cfg Config, neigh func(uint32) []uint32, ar *kernels.Arena) (*PG, error) {
 	cfg, err := cfg.withDefaults(n, csrBits)
 	if err != nil {
 		return nil, err
 	}
+	alloc64 := func(n int) []uint64 {
+		if ar != nil {
+			return ar.Uint64s(n)
+		}
+		return make([]uint64, n)
+	}
+	alloc32 := func(n int) []uint32 {
+		if ar != nil {
+			return ar.Uint32s(n)
+		}
+		return make([]uint32, n)
+	}
+	allocI32 := func(n int) []int32 {
+		if ar != nil {
+			return ar.Int32s(n)
+		}
+		return make([]int32, n)
+	}
+	alloc8 := func(n int) []uint8 {
+		if ar != nil {
+			return ar.Uint8s(n)
+		}
+		return make([]uint8, n)
+	}
 	pg := &PG{Cfg: cfg, n: n, csrBits: csrBits}
-	pg.sizes = make([]int32, n)
+	pg.sizes = allocI32(n)
 	par.For(n, cfg.Workers, func(v int) {
 		pg.sizes[v] = int32(len(neigh(uint32(v))))
 	})
@@ -257,7 +307,7 @@ func build(n int, csrBits int64, cfg Config, neigh func(uint32) []uint32) (*PG, 
 	case BF:
 		pg.fam = hash.NewFamily(cfg.Seed, cfg.NumHashes)
 		pg.words = cfg.BloomBits / bitset.WordBits
-		pg.bits = make([]uint64, n*pg.words)
+		pg.bits = alloc64(n * pg.words)
 		par.For(n, cfg.Workers, func(v int) {
 			row := pg.BloomRow(uint32(v))
 			for _, x := range neigh(uint32(v)) {
@@ -266,16 +316,16 @@ func build(n int, csrBits int64, cfg Config, neigh func(uint32) []uint32) (*PG, 
 		})
 	case KHash:
 		pg.fam = hash.NewFamily(cfg.Seed, cfg.K)
-		pg.sigs = make([]uint64, n*cfg.K)
+		pg.sigs = alloc64(n * cfg.K)
 		par.For(n, cfg.Workers, func(v int) {
 			sketch.KHashSignature(neigh(uint32(v)), pg.fam, pg.KHashRow(uint32(v)))
 		})
 	case OneHash, KMV:
 		pg.fam = hash.NewFamily(cfg.Seed, 1)
-		pg.hashes = make([]uint64, n*cfg.K)
-		pg.lens = make([]int32, n)
+		pg.hashes = alloc64(n * cfg.K)
+		pg.lens = allocI32(n)
 		if cfg.StoreElems && cfg.Kind == OneHash {
-			pg.elems = make([]uint32, n*cfg.K)
+			pg.elems = alloc32(n * cfg.K)
 		}
 		fn := func(x uint32) uint64 { return pg.fam.Hash(0, x) }
 		par.For(n, cfg.Workers, func(v int) {
@@ -299,7 +349,7 @@ func build(n int, csrBits int64, cfg Config, neigh func(uint32) []uint32) (*PG, 
 			p++
 		}
 		pg.hllP = p
-		pg.hllReg = make([]uint8, n*(1<<p))
+		pg.hllReg = alloc8(n * (1 << p))
 		par.For(n, cfg.Workers, func(v int) {
 			row := sketch.HLL{Reg: pg.HLLRow(uint32(v)), P: p}
 			for _, x := range neigh(uint32(v)) {
@@ -309,6 +359,7 @@ func build(n int, csrBits int64, cfg Config, neigh func(uint32) []uint32) (*PG, 
 	default:
 		return nil, fmt.Errorf("core: unknown representation kind %d", cfg.Kind)
 	}
+	pg.initBFLUT()
 	return pg, nil
 }
 
@@ -356,10 +407,16 @@ func (pg *PG) IntCard(u, v uint32) float64 {
 		a, b := pg.BloomRow(u), pg.BloomRow(v)
 		switch pg.Cfg.Est {
 		case EstBFL:
+			if pg.lutL != nil {
+				return pg.lutL[kernels.AndCount(a, b)]
+			}
 			return sketch.InterL(a, b, pg.Cfg.NumHashes)
 		case EstBFOr:
 			return sketch.InterOR(a, b, pg.Cfg.BloomBits, pg.Cfg.NumHashes, pg.SetSize(u), pg.SetSize(v))
 		default:
+			if pg.lut != nil {
+				return pg.lut[kernels.AndCount(a, b)]
+			}
 			return sketch.InterAND(a, b, pg.Cfg.BloomBits, pg.Cfg.NumHashes)
 		}
 	case KHash:
@@ -388,8 +445,10 @@ func (pg *PG) IntCard(u, v uint32) float64 {
 // minimum of pairwise estimates, a documented upper-bound heuristic.
 func (pg *PG) IntCard3(w, u, v uint32) float64 {
 	if pg.Cfg.Kind == BF {
-		est := sketch.InterAND3(pg.BloomRow(w), pg.BloomRow(u), pg.BloomRow(v), pg.Cfg.BloomBits, pg.Cfg.NumHashes)
-		return est
+		if pg.lut != nil {
+			return pg.lut[kernels.AndCount3(pg.BloomRow(w), pg.BloomRow(u), pg.BloomRow(v))]
+		}
+		return sketch.InterAND3(pg.BloomRow(w), pg.BloomRow(u), pg.BloomRow(v), pg.Cfg.BloomBits, pg.Cfg.NumHashes)
 	}
 	m := pg.IntCard(w, u)
 	if e := pg.IntCard(w, v); e < m {

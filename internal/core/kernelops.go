@@ -1,0 +1,197 @@
+package core
+
+import (
+	"probgraph/internal/kernels"
+	"probgraph/internal/sketch"
+)
+
+// This file is the batched face of the PG: multi-candidate variants of
+// IntCard/IntCard3 and the Prober that route through internal/kernels'
+// tiled row kernels (docs/KERNELS.md). Every batched call is
+// bit-identical to the scalar loop it replaces — same popcounts, same
+// estimator arithmetic via the precomputed lookup tables, same output
+// order — so consumers can switch freely between the two forms.
+
+// maxLUTEntries bounds the estimator tables: a row of more than ~64K
+// bits (8 KiB per vertex) is outside every evaluated configuration, and
+// there the per-call math.Log is noise anyway.
+const maxLUTEntries = 1 << 16
+
+// initBFLUT tabulates the BF estimators over every possible AND
+// popcount [0, BloomBits]. Called once from build and FromRaw; the
+// tables are pure functions of the immutable geometry, so Clone/Grow
+// share them untouched.
+func (pg *PG) initBFLUT() {
+	if pg.Cfg.Kind != BF {
+		return
+	}
+	bbits := pg.Cfg.BloomBits
+	if bbits <= 0 || bbits+1 > maxLUTEntries || pg.Cfg.NumHashes <= 0 {
+		return
+	}
+	lut := make([]float64, bbits+1)
+	lutL := make([]float64, bbits+1)
+	for ones := range lut {
+		lut[ones] = sketch.CardSwamidass(ones, bbits, pg.Cfg.NumHashes)
+		lutL[ones] = sketch.CardLinear(ones, pg.Cfg.NumHashes)
+	}
+	pg.lut, pg.lutL = lut, lutL
+}
+
+// RowWords returns the number of uint64 words per BF row (0 for other
+// kinds) — the scratch-row size IntCard3Many callers allocate.
+func (pg *PG) RowWords() int { return pg.words }
+
+// IntCardMany is the batched IntCard: out[i] = IntCard(u, cands[i]) for
+// every candidate, bit-identical to the scalar loop. For BF with the
+// AND/L estimators it keeps u's row resident and streams candidate rows
+// through kernels.AndCountMany in cache-blocked tiles, mapping counts
+// through the estimator tables; every other configuration falls back to
+// per-candidate IntCard, so callers need no kind dispatch.
+//
+// cnt is caller scratch with len >= len(cands) (may be nil for the
+// fallback kinds); out must have len >= len(cands).
+func (pg *PG) IntCardMany(u uint32, cands []uint32, cnt []int32, out []float64) {
+	if pg.Cfg.Kind == BF && pg.Cfg.Est != EstBFOr && pg.lut != nil {
+		src := pg.bits[int(u)*pg.words : int(u)*pg.words+pg.words]
+		kernels.AndCountMany(src, pg.bits, pg.words, cands, cnt)
+		lut := pg.lut
+		if pg.Cfg.Est == EstBFL {
+			lut = pg.lutL
+		}
+		for i := range cands {
+			out[i] = lut[cnt[i]]
+		}
+		return
+	}
+	for i, v := range cands {
+		out[i] = pg.IntCard(u, v)
+	}
+}
+
+// IntCardSum is IntCardMany fused with the ordered reduction the
+// counting kernels perform: it returns Σ_i IntCard(u, cands[i]) with
+// the additions in candidate order, so the sum is bit-identical to
+// accumulating the scalar calls — without materializing the per-pair
+// estimates. cnt is caller scratch with len >= len(cands) (nil ok for
+// the fallback kinds).
+func (pg *PG) IntCardSum(u uint32, cands []uint32, cnt []int32) float64 {
+	if pg.Cfg.Kind == BF && pg.Cfg.Est != EstBFOr && pg.lut != nil {
+		src := pg.bits[int(u)*pg.words : int(u)*pg.words+pg.words]
+		kernels.AndCountMany(src, pg.bits, pg.words, cands, cnt)
+		lut := pg.lut
+		if pg.Cfg.Est == EstBFL {
+			lut = pg.lutL
+		}
+		var s float64
+		for _, c := range cnt[:len(cands)] {
+			s += lut[c]
+		}
+		return s
+	}
+	var s float64
+	for _, v := range cands {
+		s += pg.IntCard(u, v)
+	}
+	return s
+}
+
+// IntCard3Many is the batched IntCard3 with the pair fixed: out[i] =
+// IntCard3(ws[i], u, v). For BF the pair row B_u AND B_v is
+// materialized once into tmp (caller scratch, len >= RowWords()) and
+// the triple reduces to a batched pairwise AND-count — identical bits,
+// identical estimate, one pass per tile instead of three row loads per
+// candidate. Other kinds fall back to per-candidate IntCard3.
+//
+// cnt is caller scratch with len >= len(ws) (nil ok for fallback
+// kinds); out must have len >= len(ws).
+func (pg *PG) IntCard3Many(u, v uint32, ws []uint32, tmp []uint64, cnt []int32, out []float64) {
+	if pg.Cfg.Kind == BF && pg.lut != nil {
+		kernels.And(tmp[:pg.words], pg.bits[int(u)*pg.words:int(u+1)*pg.words], pg.bits[int(v)*pg.words:])
+		kernels.AndCountMany(tmp[:pg.words], pg.bits, pg.words, ws, cnt)
+		for i := range ws {
+			out[i] = pg.lut[cnt[i]]
+		}
+		return
+	}
+	for i, w := range ws {
+		out[i] = pg.IntCard3(w, u, v)
+	}
+}
+
+// IntCard3Sum is IntCard3Many fused with the ordered reduction:
+// Σ_i IntCard3(ws[i], u, v), additions in candidate order.
+func (pg *PG) IntCard3Sum(u, v uint32, ws []uint32, tmp []uint64, cnt []int32) float64 {
+	if pg.Cfg.Kind == BF && pg.lut != nil {
+		kernels.And(tmp[:pg.words], pg.bits[int(u)*pg.words:int(u+1)*pg.words], pg.bits[int(v)*pg.words:])
+		kernels.AndCountMany(tmp[:pg.words], pg.bits, pg.words, ws, cnt)
+		var s float64
+		for _, c := range cnt[:len(ws)] {
+			s += pg.lut[c]
+		}
+		return s
+	}
+	var s float64
+	for _, w := range ws {
+		s += pg.IntCard3(w, u, v)
+	}
+	return s
+}
+
+// AndCardSum is AndCardMany fused with the ordered reduction:
+// Σ_i Swamidass(popcount(acc AND row(cands[i]))), additions in
+// candidate order. BF only.
+func (pg *PG) AndCardSum(acc []uint64, cands []uint32, cnt []int32) float64 {
+	if pg.lut != nil {
+		kernels.AndCountMany(acc[:pg.words], pg.bits, pg.words, cands, cnt)
+		var s float64
+		for _, c := range cnt[:len(cands)] {
+			s += pg.lut[c]
+		}
+		return s
+	}
+	var s float64
+	for _, v := range cands {
+		ones := kernels.AndCount(acc[:pg.words], pg.bits[int(v)*pg.words:])
+		s += sketch.CardSwamidass(ones, pg.Cfg.BloomBits, pg.Cfg.NumHashes)
+	}
+	return s
+}
+
+// AndCardMany is the accumulator form of the batched BF kernel used by
+// deep clique recursion: out[i] = Swamidass(popcount(acc AND
+// row(cands[i]))) where acc is an already-ANDed prefix row (B_{v1} AND
+// ... AND B_{vk}). BF only; len(acc) must be RowWords().
+func (pg *PG) AndCardMany(acc []uint64, cands []uint32, cnt []int32, out []float64) {
+	if pg.lut != nil {
+		kernels.AndCountMany(acc[:pg.words], pg.bits, pg.words, cands, cnt)
+		for i := range cands {
+			out[i] = pg.lut[cnt[i]]
+		}
+		return
+	}
+	for i, v := range cands {
+		ones := kernels.AndCount(acc[:pg.words], pg.bits[int(v)*pg.words:])
+		out[i] = sketch.CardSwamidass(ones, pg.Cfg.BloomBits, pg.Cfg.NumHashes)
+	}
+}
+
+// AbsentAtMany is the batched AbsentAt: absent[i] = AbsentAt(sig,
+// vs[i]), bit-identical, with the signature's word/mask pairs held in
+// registers while candidate rows stream by — the pattern DFS probes one
+// hoisted signature against a whole candidate window this way. The
+// b==2 case (the evaluation's hash count) is specialized.
+func (p *Prober) AbsentAtMany(sig []ProbePos, vs []uint32, absent []bool) {
+	if len(sig) == 2 {
+		w0, m0 := int(sig[0].Word), sig[0].Mask
+		w1, m1 := int(sig[1].Word), sig[1].Mask
+		for i, v := range vs {
+			base := int(v) * p.words
+			absent[i] = p.bits[base+w0]&m0 == 0 || p.bits[base+w1]&m1 == 0
+		}
+		return
+	}
+	for i, v := range vs {
+		absent[i] = p.AbsentAt(sig, v)
+	}
+}

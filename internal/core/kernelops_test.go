@@ -1,0 +1,237 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"probgraph/internal/graph"
+	"probgraph/internal/kernels"
+	"probgraph/internal/sketch"
+)
+
+// scalarIntCardBF recomputes the pre-kernel BF path exactly as shipped
+// before the LUT: sketch estimator formulas over bitset AND counts.
+func scalarIntCardBF(pg *PG, u, v uint32) float64 {
+	a, b := pg.BloomRow(u), pg.BloomRow(v)
+	switch pg.Cfg.Est {
+	case EstBFL:
+		return sketch.InterL(a, b, pg.Cfg.NumHashes)
+	case EstBFOr:
+		return sketch.InterOR(a, b, pg.Cfg.BloomBits, pg.Cfg.NumHashes, pg.SetSize(u), pg.SetSize(v))
+	default:
+		return sketch.InterAND(a, b, pg.Cfg.BloomBits, pg.Cfg.NumHashes)
+	}
+}
+
+// TestLUTBitIdentity pins the lookup-table IntCard/IntCard3 against the
+// original sketch-package formulas: math.Float64bits equality on every
+// pair, for every BF estimator.
+func TestLUTBitIdentity(t *testing.T) {
+	g := graph.Kronecker(8, 8, 42)
+	for _, est := range []Estimator{EstAuto, EstBFAnd, EstBFL, EstBFOr} {
+		pg := buildOrFail(t, g, Config{Kind: BF, Est: est, Seed: 7})
+		if est != EstBFOr && (pg.lut == nil || pg.lutL == nil) {
+			t.Fatalf("est=%v: LUT not built for BloomBits=%d", est, pg.Cfg.BloomBits)
+		}
+		rng := rand.New(rand.NewSource(1))
+		n := uint32(g.NumVertices())
+		for trial := 0; trial < 2000; trial++ {
+			u, v := rng.Uint32()%n, rng.Uint32()%n
+			got, want := pg.IntCard(u, v), scalarIntCardBF(pg, u, v)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("est=%v IntCard(%d,%d): got %v want %v", est, u, v, got, want)
+			}
+			w := rng.Uint32() % n
+			got3 := pg.IntCard3(w, u, v)
+			want3 := sketch.InterAND3(pg.BloomRow(w), pg.BloomRow(u), pg.BloomRow(v), pg.Cfg.BloomBits, pg.Cfg.NumHashes)
+			if math.Float64bits(got3) != math.Float64bits(want3) {
+				t.Fatalf("est=%v IntCard3(%d,%d,%d): got %v want %v", est, w, u, v, got3, want3)
+			}
+		}
+	}
+}
+
+// TestIntCardManyBitIdentity pins the batched kernels against scalar
+// IntCard/IntCard3 for every kind and estimator, including candidate
+// windows spanning tile boundaries.
+func TestIntCardManyBitIdentity(t *testing.T) {
+	g := graph.Kronecker(8, 8, 43)
+	n := uint32(g.NumVertices())
+	cfgs := []Config{
+		{Kind: BF},
+		{Kind: BF, Est: EstBFL},
+		{Kind: BF, Est: EstBFOr},
+		{Kind: KHash},
+		{Kind: OneHash},
+		{Kind: KMV},
+		{Kind: HLL},
+	}
+	for _, cfg := range cfgs {
+		cfg.Seed = 11
+		pg := buildOrFail(t, g, cfg)
+		rng := rand.New(rand.NewSource(2))
+		for _, nc := range []int{0, 1, 63, 64, 65, 200} {
+			cands := make([]uint32, nc)
+			for i := range cands {
+				cands[i] = rng.Uint32() % n
+			}
+			cnt := make([]int32, nc)
+			out := make([]float64, nc)
+			u, v := rng.Uint32()%n, rng.Uint32()%n
+
+			pg.IntCardMany(u, cands, cnt, out)
+			for i, c := range cands {
+				want := pg.IntCard(u, c)
+				if math.Float64bits(out[i]) != math.Float64bits(want) {
+					t.Fatalf("%v/%v IntCardMany[%d]: got %v want %v", cfg.Kind, cfg.Est, i, out[i], want)
+				}
+			}
+
+			tmp := make([]uint64, pg.RowWords())
+			pg.IntCard3Many(u, v, cands, tmp, cnt, out)
+			for i, w := range cands {
+				want := pg.IntCard3(w, u, v)
+				if math.Float64bits(out[i]) != math.Float64bits(want) {
+					t.Fatalf("%v/%v IntCard3Many[%d]: got %v want %v", cfg.Kind, cfg.Est, i, out[i], want)
+				}
+			}
+
+			// The fused Sum forms must reproduce the ordered scalar
+			// accumulation exactly.
+			var want float64
+			for _, c := range cands {
+				want += pg.IntCard(u, c)
+			}
+			if got := pg.IntCardSum(u, cands, cnt); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("%v/%v IntCardSum: got %v want %v", cfg.Kind, cfg.Est, got, want)
+			}
+			want = 0
+			for _, w := range cands {
+				want += pg.IntCard3(w, u, v)
+			}
+			if got := pg.IntCard3Sum(u, v, cands, tmp, cnt); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("%v/%v IntCard3Sum: got %v want %v", cfg.Kind, cfg.Est, got, want)
+			}
+		}
+	}
+}
+
+// TestAndCardManyBitIdentity pins the accumulator kernel against the
+// scalar AndCount+Swamidass composition the clique recursion used.
+func TestAndCardManyBitIdentity(t *testing.T) {
+	g := graph.Kronecker(8, 8, 44)
+	n := uint32(g.NumVertices())
+	pg := buildOrFail(t, g, Config{Kind: BF, Seed: 3})
+	rng := rand.New(rand.NewSource(3))
+	acc := make([]uint64, pg.RowWords())
+	kernels.And(acc, pg.BloomRow(rng.Uint32()%n), pg.BloomRow(rng.Uint32()%n))
+	cands := make([]uint32, 150)
+	for i := range cands {
+		cands[i] = rng.Uint32() % n
+	}
+	cnt := make([]int32, len(cands))
+	out := make([]float64, len(cands))
+	pg.AndCardMany(acc, cands, cnt, out)
+	var wantSum float64
+	for i, v := range cands {
+		ones := kernels.AndCount(acc, pg.BloomRow(v))
+		want := sketch.CardSwamidass(ones, pg.Cfg.BloomBits, pg.Cfg.NumHashes)
+		wantSum += want
+		if math.Float64bits(out[i]) != math.Float64bits(want) {
+			t.Fatalf("AndCardMany[%d]: got %v want %v", i, out[i], want)
+		}
+	}
+	if got := pg.AndCardSum(acc, cands, cnt); math.Float64bits(got) != math.Float64bits(wantSum) {
+		t.Fatalf("AndCardSum: got %v want %v", got, wantSum)
+	}
+}
+
+// TestAbsentAtManyBitIdentity pins the batched prober against AbsentAt
+// for b=2 (specialized) and b=3 (generic) hash counts.
+func TestAbsentAtManyBitIdentity(t *testing.T) {
+	g := graph.Kronecker(8, 8, 45)
+	n := uint32(g.NumVertices())
+	for _, b := range []int{2, 3} {
+		pg := buildOrFail(t, g, Config{Kind: BF, NumHashes: b, Seed: 5})
+		p := pg.Prober()
+		if p == nil {
+			t.Fatal("nil prober for BF")
+		}
+		rng := rand.New(rand.NewSource(4))
+		buf := make([]ProbePos, p.B())
+		vs := make([]uint32, 130)
+		for i := range vs {
+			vs[i] = rng.Uint32() % n
+		}
+		absent := make([]bool, len(vs))
+		for trial := 0; trial < 50; trial++ {
+			sig := p.SigInto(rng.Uint32()%n, buf)
+			p.AbsentAtMany(sig, vs, absent)
+			for i, v := range vs {
+				if absent[i] != p.AbsentAt(sig, v) {
+					t.Fatalf("b=%d AbsentAtMany[%d] disagrees with AbsentAt", b, i)
+				}
+			}
+		}
+	}
+}
+
+// TestBuildArena pins that arena-backed builds produce PGs identical to
+// heap builds for every kind, and that the arena actually carried the
+// storage.
+func TestBuildArena(t *testing.T) {
+	g := graph.Kronecker(7, 8, 46)
+	for _, kind := range []Kind{BF, KHash, OneHash, KMV, HLL} {
+		cfg := Config{Kind: kind, Seed: 9, StoreElems: kind == OneHash}
+		heap := buildOrFail(t, g, cfg)
+		var ar kernels.Arena
+		pg, err := BuildArena(g, cfg, &ar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ar.Bytes() == 0 {
+			t.Fatalf("%v: arena unused", kind)
+		}
+		hr, ar2 := heap.Raw(), pg.Raw()
+		if len(hr.Bits) != len(ar2.Bits) || len(hr.Sigs) != len(ar2.Sigs) || len(hr.Hashes) != len(ar2.Hashes) {
+			t.Fatalf("%v: geometry mismatch", kind)
+		}
+		for i := range hr.Bits {
+			if hr.Bits[i] != ar2.Bits[i] {
+				t.Fatalf("%v: bits diverge at %d", kind, i)
+			}
+		}
+		for i := range hr.Hashes {
+			if hr.Hashes[i] != ar2.Hashes[i] {
+				t.Fatalf("%v: hashes diverge at %d", kind, i)
+			}
+		}
+		rng := rand.New(rand.NewSource(6))
+		nv := uint32(g.NumVertices())
+		for trial := 0; trial < 500; trial++ {
+			u, v := rng.Uint32()%nv, rng.Uint32()%nv
+			a, b := heap.IntCard(u, v), pg.IntCard(u, v)
+			if math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("%v: IntCard(%d,%d) %v vs %v", kind, u, v, a, b)
+			}
+		}
+	}
+}
+
+// TestFromRawHasLUT guards the decode path: a PG reconstituted from its
+// raw view must keep the LUT fast path (and its bit-identity).
+func TestFromRawHasLUT(t *testing.T) {
+	g := graph.Kronecker(7, 8, 47)
+	pg := buildOrFail(t, g, Config{Kind: BF, Seed: 13})
+	dec, err := FromRaw(pg.Raw())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.lut == nil {
+		t.Fatal("FromRaw did not rebuild the estimator LUT")
+	}
+	if math.Float64bits(dec.IntCard(1, 2)) != math.Float64bits(pg.IntCard(1, 2)) {
+		t.Fatal("decoded PG IntCard diverges")
+	}
+}

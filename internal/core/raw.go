@@ -151,5 +151,6 @@ func FromRaw(r Raw) (*PG, error) {
 		pg.hllReg = r.HLLReg
 		pg.fam = hash.NewFamily(cfg.Seed, 1)
 	}
+	pg.initBFLUT()
 	return pg, nil
 }

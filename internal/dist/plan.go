@@ -1,11 +1,30 @@
 package dist
 
 import (
+	"sort"
+
 	"probgraph/internal/core"
 	"probgraph/internal/graph"
 	"probgraph/internal/mining"
 	"probgraph/internal/par"
 )
+
+// planBufs is the per-partial scratch of the batched sketch kernels;
+// estimates are still clamped and summed in neighbor order, so batched
+// partials stay bit-identical to the scalar loops (and therefore the
+// cluster stays bit-identical to the simulator).
+type planBufs struct {
+	cnt []int32
+	out []float64
+}
+
+func (b *planBufs) size(n int) ([]int32, []float64) {
+	if n > cap(b.cnt) {
+		b.cnt = make([]int32, n)
+		b.out = make([]float64, n)
+	}
+	return b.cnt[:n], b.out[:n]
+}
 
 // This file is the communication plan shared by the in-process simulator
 // (tc.go, sim.go) and the real multi-process cluster (internal/cluster):
@@ -53,13 +72,26 @@ func TCPartialExact(o *graph.Oriented, lo, hi uint32, rows func(uint32) []uint32
 // substrate can transfer the row once per block.
 func TCPartialSketch(o *graph.Oriented, pg *core.PG, lo, hi uint32, need func(uint32), done <-chan struct{}) (float64, bool) {
 	var s float64
+	var bufs planBufs
 	for v := lo; v < hi; v++ {
 		if par.Cancelled(done) {
 			return s, false
 		}
-		for _, u := range o.NPlus(v) {
+		nv := o.NPlus(v)
+		if len(nv) == 0 {
+			continue
+		}
+		// Announce every endpoint first, then estimate the whole row in
+		// one batched pass; each need(u) still precedes u's estimate,
+		// and the clamped sum keeps the scalar loop's neighbor order.
+		for _, u := range nv {
 			need(u)
-			s += clampInter(pg.IntCard(v, u), pg.SetSize(v), pg.SetSize(u))
+		}
+		cnt, out := bufs.size(len(nv))
+		pg.IntCardMany(v, nv, cnt, out)
+		sv := pg.SetSize(v)
+		for i, u := range nv {
+			s += clampInter(out[i], sv, pg.SetSize(u))
 		}
 	}
 	return s, true
@@ -94,17 +126,28 @@ func SimPartialExact(g *graph.Graph, lo, hi uint32, m mining.Measure, rows func(
 // endpoint before each estimate.
 func SimPartialSketch(g *graph.Graph, pg *core.PG, lo, hi uint32, m mining.Measure, need func(uint32), done <-chan struct{}) (float64, bool) {
 	var s float64
+	var bufs planBufs
 	for u := lo; u < hi; u++ {
 		if par.Cancelled(done) {
 			return s, false
 		}
-		for _, v := range g.Neighbors(u) {
-			if v <= u {
-				continue
-			}
+		nu := g.Neighbors(u)
+		// Each undirected edge once, at the owner of min(u,v): the v > u
+		// half is the suffix of the sorted neighbor list.
+		k := sort.Search(len(nu), func(i int) bool { return nu[i] > u })
+		cands := nu[k:]
+		if len(cands) == 0 {
+			continue
+		}
+		for _, v := range cands {
 			need(v)
-			inter := clampInter(pg.IntCard(u, v), pg.SetSize(u), pg.SetSize(v))
-			s += mining.SimFromInter(m, inter, pg.SetSize(u), pg.SetSize(v))
+		}
+		cnt, out := bufs.size(len(cands))
+		pg.IntCardMany(u, cands, cnt, out)
+		su := pg.SetSize(u)
+		for i, v := range cands {
+			inter := clampInter(out[i], su, pg.SetSize(v))
+			s += mining.SimFromInter(m, inter, su, pg.SetSize(v))
 		}
 	}
 	return s, true

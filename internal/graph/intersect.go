@@ -1,101 +1,43 @@
 package graph
 
-import "sort"
+import "probgraph/internal/kernels"
 
-// gallopThreshold selects galloping when the size ratio between the two
-// sorted sets exceeds this factor; below it, the linear merge wins
-// (Fig. 1, panel 2: merge for similar sizes, galloping for skewed pairs).
-const gallopThreshold = 32
+// The exact CSR intersection kernels live in internal/kernels (the
+// set-algebra engine, docs/KERNELS.md); these wrappers keep graph the
+// API surface the baselines and the ablation study call. The adaptive
+// dispatch gallops when len(small)*kernels.GallopFactor < len(big)
+// (Fig. 1, panel 2: merge for similar sizes, galloping for skewed
+// pairs), and the count is exact either way.
 
 // IntersectCount returns |a ∩ b| for two strictly sorted slices, choosing
 // adaptively between merge and galloping. This is the tuned exact kernel
 // the CSR baselines use everywhere.
 func IntersectCount(a, b []uint32) int {
-	if len(a) > len(b) {
-		a, b = b, a
-	}
-	if len(a) == 0 {
-		return 0
-	}
-	if len(b) >= gallopThreshold*len(a) {
-		return GallopCount(a, b)
-	}
-	return MergeCount(a, b)
+	return kernels.IntersectCount(a, b)
 }
 
 // MergeCount is the two-pointer linear merge: O(|a|+|b|). Exposed for
 // the ablation study of the adaptive strategy.
 func MergeCount(a, b []uint32) int {
-	i, j, c := 0, 0, 0
-	for i < len(a) && j < len(b) {
-		ai, bj := a[i], b[j]
-		if ai == bj {
-			c++
-			i++
-			j++
-		} else if ai < bj {
-			i++
-		} else {
-			j++
-		}
-	}
-	return c
+	return kernels.MergeCount(a, b)
 }
 
 // GallopCount looks each element of the smaller set up in the larger one
 // by exponential-then-binary search: O(|a|·log|b|). The smaller set must
 // be passed first. Exposed for the ablation study.
 func GallopCount(a, b []uint32) int {
-	c := 0
-	lo := 0
-	for _, x := range a {
-		// Exponential probe from the previous position.
-		step := 1
-		hi := lo
-		for hi < len(b) && b[hi] < x {
-			lo = hi
-			hi += step
-			step *= 2
-		}
-		if hi > len(b) {
-			hi = len(b)
-		}
-		// Binary search in (lo, hi].
-		sub := b[lo:hi]
-		k := sort.Search(len(sub), func(i int) bool { return sub[i] >= x })
-		lo += k
-		if lo < len(b) && b[lo] == x {
-			c++
-			lo++
-		}
-		if lo >= len(b) {
-			break
-		}
-	}
-	return c
+	return kernels.GallopCount(a, b)
 }
 
 // Intersect appends a ∩ b (sorted) to out and returns it; used where the
 // elements themselves are needed (the C3 list in 4-clique counting).
+// In-place use is supported: out may be a[:0] or b[:0].
 func Intersect(a, b []uint32, out []uint32) []uint32 {
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		ai, bj := a[i], b[j]
-		if ai == bj {
-			out = append(out, ai)
-			i++
-			j++
-		} else if ai < bj {
-			i++
-		} else {
-			j++
-		}
-	}
-	return out
+	return kernels.Intersect(a, b, out)
 }
 
 // UnionCount returns |a ∪ b| for sorted slices via the identity
 // |a|+|b|-|a∩b|.
 func UnionCount(a, b []uint32) int {
-	return len(a) + len(b) - IntersectCount(a, b)
+	return kernels.UnionCount(a, b)
 }

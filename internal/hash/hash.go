@@ -3,6 +3,15 @@
 // Bloom-filter functions and the k MinHash functions of §II-D), unbiased
 // range mapping, and a full MurmurHash3 x64-128 implementation (the hash
 // the paper uses, §VI-C) for arbitrary byte data.
+//
+// Contract: every function here is a pure function of its arguments —
+// no package state, no allocation — and its values are frozen. Sketch
+// rows built from these hashes are persisted (docs/FORMAT.md) and
+// compared bit-for-bit across processes and machines (the cluster's
+// decode-don't-rehash design), so changing any constant or rounding
+// path is a breaking format change, not a tuning knob. The seeded
+// families are deterministic in (seed, index): two builds with the same
+// Config produce identical rows on any platform.
 package hash
 
 import (

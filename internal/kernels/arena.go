@@ -1,0 +1,126 @@
+package kernels
+
+// Arena is a bump allocator for epoch-lifetime kernel data: CSR arrays
+// and fixed-stride sketch rows carved out of a few large slabs so the
+// rows a tile streams over are physically adjacent, and so a whole
+// epoch's layout can later be dropped (or mmapped) wholesale.
+//
+// Invariants:
+//   - every returned slice is contiguous, zeroed, and has cap == len
+//     (full slice expressions), so an append can never bleed into a
+//     neighboring allocation;
+//   - two allocations of the same element type made back-to-back are
+//     adjacent in memory whenever they fit the current slab — Reserve*
+//     first with the epoch's exact totals and adjacency is guaranteed;
+//   - arena memory is never recycled: there is no free and no reset.
+//     Drop the Arena (and everything carved from it) to release the
+//     epoch.
+//
+// The zero value is ready to use. An Arena is not safe for concurrent
+// allocation; builds allocate single-threaded.
+type Arena struct {
+	u64 []uint64
+	u32 []uint32
+	i32 []int32
+	u8  []uint8
+
+	bytes int64
+}
+
+// arenaMin is the minimum slab size in elements for unreserved growth.
+const arenaMin = 1 << 14
+
+// Reserve64 ensures the next n uint64 elements come from one slab.
+func (a *Arena) Reserve64(n int) {
+	if n > len(a.u64) {
+		a.u64 = make([]uint64, n)
+		a.bytes += int64(n) * 8
+	}
+}
+
+// Reserve32 ensures the next n uint32 elements come from one slab.
+func (a *Arena) Reserve32(n int) {
+	if n > len(a.u32) {
+		a.u32 = make([]uint32, n)
+		a.bytes += int64(n) * 4
+	}
+}
+
+// ReserveI32 ensures the next n int32 elements come from one slab.
+func (a *Arena) ReserveI32(n int) {
+	if n > len(a.i32) {
+		a.i32 = make([]int32, n)
+		a.bytes += int64(n) * 4
+	}
+}
+
+// Reserve8 ensures the next n uint8 elements come from one slab.
+func (a *Arena) Reserve8(n int) {
+	if n > len(a.u8) {
+		a.u8 = make([]uint8, n)
+		a.bytes += int64(n)
+	}
+}
+
+// Uint64s returns a zeroed contiguous []uint64 of length n.
+func (a *Arena) Uint64s(n int) []uint64 {
+	if n > len(a.u64) {
+		c := n
+		if c < arenaMin {
+			c = arenaMin
+		}
+		a.u64 = make([]uint64, c)
+		a.bytes += int64(c) * 8
+	}
+	s := a.u64[:n:n]
+	a.u64 = a.u64[n:]
+	return s
+}
+
+// Uint32s returns a zeroed contiguous []uint32 of length n.
+func (a *Arena) Uint32s(n int) []uint32 {
+	if n > len(a.u32) {
+		c := n
+		if c < arenaMin {
+			c = arenaMin
+		}
+		a.u32 = make([]uint32, c)
+		a.bytes += int64(c) * 4
+	}
+	s := a.u32[:n:n]
+	a.u32 = a.u32[n:]
+	return s
+}
+
+// Int32s returns a zeroed contiguous []int32 of length n.
+func (a *Arena) Int32s(n int) []int32 {
+	if n > len(a.i32) {
+		c := n
+		if c < arenaMin {
+			c = arenaMin
+		}
+		a.i32 = make([]int32, c)
+		a.bytes += int64(c) * 4
+	}
+	s := a.i32[:n:n]
+	a.i32 = a.i32[n:]
+	return s
+}
+
+// Uint8s returns a zeroed contiguous []uint8 of length n.
+func (a *Arena) Uint8s(n int) []uint8 {
+	if n > len(a.u8) {
+		c := n
+		if c < arenaMin {
+			c = arenaMin
+		}
+		a.u8 = make([]uint8, c)
+		a.bytes += int64(c)
+	}
+	s := a.u8[:n:n]
+	a.u8 = a.u8[n:]
+	return s
+}
+
+// Bytes returns the total bytes reserved by this arena so far.
+func (a *Arena) Bytes() int64 { return a.bytes }

@@ -1,0 +1,169 @@
+package kernels
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func sortedSet(rng *rand.Rand, n, universe int) []uint32 {
+	seen := map[uint32]bool{}
+	for len(seen) < n {
+		seen[uint32(rng.Intn(universe))] = true
+	}
+	out := make([]uint32, 0, n)
+	for x := range seen {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func refIntersect(a, b []uint32) []uint32 {
+	in := map[uint32]bool{}
+	for _, x := range a {
+		in[x] = true
+	}
+	var out []uint32
+	for _, x := range b {
+		if in[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// TestExactStrategiesAgree randomizes set sizes across the adaptive
+// threshold and pins merge, gallop, and the adaptive dispatch to the
+// same exact count.
+func TestExactStrategiesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		na, nb := rng.Intn(60), rng.Intn(600)
+		a := sortedSet(rng, na, 1000)
+		b := sortedSet(rng, nb, 1000)
+		want := len(refIntersect(a, b))
+		if got := MergeCount(a, b); got != want {
+			t.Fatalf("MergeCount: got %d want %d", got, want)
+		}
+		small, big := a, b
+		if len(small) > len(big) {
+			small, big = big, small
+		}
+		if got := GallopCount(small, big); got != want {
+			t.Fatalf("GallopCount: got %d want %d", got, want)
+		}
+		if got := IntersectCount(a, b); got != want {
+			t.Fatalf("IntersectCount: got %d want %d", got, want)
+		}
+		if got := IntersectCount(b, a); got != want {
+			t.Fatalf("IntersectCount swapped: got %d want %d", got, want)
+		}
+		if got, wantU := UnionCount(a, b), len(a)+len(b)-want; got != wantU {
+			t.Fatalf("UnionCount: got %d want %d", got, wantU)
+		}
+	}
+}
+
+func TestExactEmpty(t *testing.T) {
+	b := []uint32{1, 2, 3}
+	if IntersectCount(nil, b) != 0 || IntersectCount(b, nil) != 0 || IntersectCount(nil, nil) != 0 {
+		t.Fatal("empty intersection must be 0")
+	}
+	if got := Intersect(nil, b, nil); len(got) != 0 {
+		t.Fatalf("Intersect(nil, b): got %v", got)
+	}
+	if UnionCount(nil, b) != 3 {
+		t.Fatal("UnionCount(nil, b) != 3")
+	}
+}
+
+func TestIntersectElements(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		a := sortedSet(rng, rng.Intn(50), 200)
+		b := sortedSet(rng, rng.Intn(50), 200)
+		want := refIntersect(a, b)
+		got := Intersect(a, b, nil)
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Intersect: got %v want %v", got, want)
+		}
+	}
+}
+
+// TestIntersectInPlace pins the documented aliasing contract: out may
+// be a[:0] or b[:0] and the result is still exact.
+func TestIntersectInPlace(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		a := sortedSet(rng, 1+rng.Intn(50), 200)
+		b := sortedSet(rng, 1+rng.Intn(50), 200)
+		want := refIntersect(a, b)
+
+		aCopy := append([]uint32(nil), a...)
+		got := Intersect(aCopy, b, aCopy[:0])
+		if len(got) != len(want) {
+			t.Fatalf("in-place into a: got %v want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("in-place into a: got %v want %v", got, want)
+			}
+		}
+
+		bCopy := append([]uint32(nil), b...)
+		got = Intersect(a, bCopy, bCopy[:0])
+		if len(got) != len(want) {
+			t.Fatalf("in-place into b: got %v want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("in-place into b: got %v want %v", got, want)
+			}
+		}
+	}
+}
+
+func TestArena(t *testing.T) {
+	var a Arena
+	a.Reserve64(10)
+	x := a.Uint64s(4)
+	y := a.Uint64s(6)
+	if len(x) != 4 || cap(x) != 4 || len(y) != 6 || cap(y) != 6 {
+		t.Fatalf("bad lens/caps: %d/%d %d/%d", len(x), cap(x), len(y), cap(y))
+	}
+	for _, v := range append(append([]uint64{}, x...), y...) {
+		if v != 0 {
+			t.Fatal("arena memory not zeroed")
+		}
+	}
+	// One reservation, two carves: accounting must show a single slab.
+	if a.Bytes() != 80 {
+		t.Fatalf("Bytes: got %d want 80", a.Bytes())
+	}
+	// Writes must not bleed across allocations.
+	for i := range x {
+		x[i] = ^uint64(0)
+	}
+	for _, v := range y {
+		if v != 0 {
+			t.Fatal("write to x bled into y")
+		}
+	}
+	// Other element types.
+	u := a.Uint32s(3)
+	i3 := a.Int32s(3)
+	b8 := a.Uint8s(3)
+	if len(u) != 3 || len(i3) != 3 || len(b8) != 3 {
+		t.Fatal("bad typed alloc lengths")
+	}
+	// Unreserved growth still serves requests larger than the slab.
+	big := a.Uint64s(arenaMin + 5)
+	if len(big) != arenaMin+5 {
+		t.Fatal("large alloc failed")
+	}
+}

@@ -1,0 +1,217 @@
+// Package kernels is the set-algebra engine at the bottom of the
+// ProbGraph stack: a small, SISA-style instruction set of intersection
+// primitives that every representation (Bloom bit vectors, sorted CSR
+// adjacency lists, fixed-stride sketch rows) routes through. The
+// contract is strict: every function here is pure data-plane code — no
+// allocation on any hot path, no dependency beyond math/bits, and
+// results that are bit-identical to the naive scalar formulation
+// (word-level AND+popcount kernels count exactly the same bits; the
+// adaptive exact kernels return exactly the same counts and elements
+// regardless of which strategy fires). Callers own all buffers; batched
+// variants write into caller-provided out slices so a tile's worth of
+// results costs zero allocations. See docs/KERNELS.md for the full ISA
+// mapping and the per-representation dispatch table.
+package kernels
+
+import "math/bits"
+
+// TileRows is the number of candidate rows processed per cache block by
+// the batched kernels. 64 rows of a typical 256-bit sketch row is 16 KiB
+// — within L1 on every target — so the source row and one tile stay
+// resident while streaming the slab.
+const TileRows = 64
+
+// PopCount returns the population count of a (4x-unrolled).
+func PopCount(a []uint64) int {
+	n := 0
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		n += bits.OnesCount64(a[i]) +
+			bits.OnesCount64(a[i+1]) +
+			bits.OnesCount64(a[i+2]) +
+			bits.OnesCount64(a[i+3])
+	}
+	for ; i < len(a); i++ {
+		n += bits.OnesCount64(a[i])
+	}
+	return n
+}
+
+// AndCount returns popcount(a AND b) without materializing the
+// intersection vector: the fused AND+POPCNT pipeline of the paper's BF
+// estimator, 4x unrolled. len(b) must be >= len(a); only the first
+// len(a) words participate.
+func AndCount(a, b []uint64) int {
+	n := 0
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		n += bits.OnesCount64(a[i]&b[i]) +
+			bits.OnesCount64(a[i+1]&b[i+1]) +
+			bits.OnesCount64(a[i+2]&b[i+2]) +
+			bits.OnesCount64(a[i+3]&b[i+3])
+	}
+	for ; i < len(a); i++ {
+		n += bits.OnesCount64(a[i] & b[i])
+	}
+	return n
+}
+
+// OrCount returns popcount(a OR b), 4x unrolled; the union-side kernel
+// behind the OR estimator.
+func OrCount(a, b []uint64) int {
+	n := 0
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		n += bits.OnesCount64(a[i]|b[i]) +
+			bits.OnesCount64(a[i+1]|b[i+1]) +
+			bits.OnesCount64(a[i+2]|b[i+2]) +
+			bits.OnesCount64(a[i+3]|b[i+3])
+	}
+	for ; i < len(a); i++ {
+		n += bits.OnesCount64(a[i] | b[i])
+	}
+	return n
+}
+
+// AndCount3 returns popcount(a AND b AND c) in one fused 4x-unrolled
+// pass — the three-row kernel behind IntCard3 (4-clique inner loop),
+// replacing three pairwise calls with a single sweep.
+func AndCount3(a, b, c []uint64) int {
+	n := 0
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		n += bits.OnesCount64(a[i]&b[i]&c[i]) +
+			bits.OnesCount64(a[i+1]&b[i+1]&c[i+1]) +
+			bits.OnesCount64(a[i+2]&b[i+2]&c[i+2]) +
+			bits.OnesCount64(a[i+3]&b[i+3]&c[i+3])
+	}
+	for ; i < len(a); i++ {
+		n += bits.OnesCount64(a[i] & b[i] & c[i])
+	}
+	return n
+}
+
+// And stores a AND b into dst. dst may alias a or b.
+func And(dst, a, b []uint64) {
+	for i := range a {
+		dst[i] = a[i] & b[i]
+	}
+}
+
+// Or stores a OR b into dst. dst may alias a or b.
+func Or(dst, a, b []uint64) {
+	for i := range a {
+		dst[i] = a[i] | b[i]
+	}
+}
+
+// AndCountMany is the batched multi-row intersect: it ANDs one source
+// row against many candidate rows drawn from a fixed-stride slab and
+// writes popcount(src AND row(id)) to out[i] for each ids[i]. The
+// source row is loaded once per batch instead of once per edge — for
+// strides up to 8 words (64–512-bit rows: every evaluated sketch
+// geometry) it is held in registers while candidate rows stream by;
+// wider strides walk candidates in TileRows cache blocks.
+//
+// slab holds rows at uniform stride words (row v = slab[v*words:]);
+// len(src) must be >= words and len(out) >= len(ids). Results are
+// bit-identical to calling AndCount(src[:words], row) per candidate.
+func AndCountMany(src []uint64, slab []uint64, words int, ids []uint32, out []int32) {
+	out = out[:len(ids)]
+	switch words {
+	case 1:
+		s0 := src[0]
+		for i, id := range ids {
+			out[i] = int32(bits.OnesCount64(s0 & slab[id]))
+		}
+	case 2:
+		s0, s1 := src[0], src[1]
+		for i, id := range ids {
+			base := int(id) * 2
+			r := slab[base : base+2]
+			out[i] = int32(bits.OnesCount64(s0&r[0]) + bits.OnesCount64(s1&r[1]))
+		}
+	case 3:
+		s0, s1, s2 := src[0], src[1], src[2]
+		for i, id := range ids {
+			base := int(id) * 3
+			r := slab[base : base+3]
+			out[i] = int32(bits.OnesCount64(s0&r[0]) +
+				bits.OnesCount64(s1&r[1]) +
+				bits.OnesCount64(s2&r[2]))
+		}
+	case 4:
+		s0, s1, s2, s3 := src[0], src[1], src[2], src[3]
+		for i, id := range ids {
+			base := int(id) * 4
+			r := slab[base : base+4]
+			out[i] = int32(bits.OnesCount64(s0&r[0]) +
+				bits.OnesCount64(s1&r[1]) +
+				bits.OnesCount64(s2&r[2]) +
+				bits.OnesCount64(s3&r[3]))
+		}
+	case 5:
+		s0, s1, s2, s3, s4 := src[0], src[1], src[2], src[3], src[4]
+		for i, id := range ids {
+			base := int(id) * 5
+			r := slab[base : base+5]
+			out[i] = int32(bits.OnesCount64(s0&r[0]) +
+				bits.OnesCount64(s1&r[1]) +
+				bits.OnesCount64(s2&r[2]) +
+				bits.OnesCount64(s3&r[3]) +
+				bits.OnesCount64(s4&r[4]))
+		}
+	case 6:
+		s0, s1, s2, s3, s4, s5 := src[0], src[1], src[2], src[3], src[4], src[5]
+		for i, id := range ids {
+			base := int(id) * 6
+			r := slab[base : base+6]
+			out[i] = int32(bits.OnesCount64(s0&r[0]) +
+				bits.OnesCount64(s1&r[1]) +
+				bits.OnesCount64(s2&r[2]) +
+				bits.OnesCount64(s3&r[3]) +
+				bits.OnesCount64(s4&r[4]) +
+				bits.OnesCount64(s5&r[5]))
+		}
+	case 7:
+		s0, s1, s2, s3 := src[0], src[1], src[2], src[3]
+		s4, s5, s6 := src[4], src[5], src[6]
+		for i, id := range ids {
+			base := int(id) * 7
+			r := slab[base : base+7]
+			out[i] = int32(bits.OnesCount64(s0&r[0]) +
+				bits.OnesCount64(s1&r[1]) +
+				bits.OnesCount64(s2&r[2]) +
+				bits.OnesCount64(s3&r[3]) +
+				bits.OnesCount64(s4&r[4]) +
+				bits.OnesCount64(s5&r[5]) +
+				bits.OnesCount64(s6&r[6]))
+		}
+	case 8:
+		s0, s1, s2, s3 := src[0], src[1], src[2], src[3]
+		s4, s5, s6, s7 := src[4], src[5], src[6], src[7]
+		for i, id := range ids {
+			base := int(id) * 8
+			r := slab[base : base+8]
+			out[i] = int32(bits.OnesCount64(s0&r[0]) +
+				bits.OnesCount64(s1&r[1]) +
+				bits.OnesCount64(s2&r[2]) +
+				bits.OnesCount64(s3&r[3]) +
+				bits.OnesCount64(s4&r[4]) +
+				bits.OnesCount64(s5&r[5]) +
+				bits.OnesCount64(s6&r[6]) +
+				bits.OnesCount64(s7&r[7]))
+		}
+	default:
+		s := src[:words]
+		for t := 0; t < len(ids); t += TileRows {
+			end := t + TileRows
+			if end > len(ids) {
+				end = len(ids)
+			}
+			for i := t; i < end; i++ {
+				out[i] = int32(AndCount(s, slab[int(ids[i])*words:]))
+			}
+		}
+	}
+}

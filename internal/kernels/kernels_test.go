@@ -1,0 +1,134 @@
+package kernels
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// Scalar references: the naive one-word-at-a-time formulations the
+// unrolled kernels must match bit for bit.
+
+func refPop(a []uint64) int {
+	n := 0
+	for _, w := range a {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+func refAnd(a, b []uint64) int {
+	n := 0
+	for i := range a {
+		n += bits.OnesCount64(a[i] & b[i])
+	}
+	return n
+}
+
+func refOr(a, b []uint64) int {
+	n := 0
+	for i := range a {
+		n += bits.OnesCount64(a[i] | b[i])
+	}
+	return n
+}
+
+func refAnd3(a, b, c []uint64) int {
+	n := 0
+	for i := range a {
+		n += bits.OnesCount64(a[i] & b[i] & c[i])
+	}
+	return n
+}
+
+func randWords(rng *rand.Rand, n int) []uint64 {
+	w := make([]uint64, n)
+	for i := range w {
+		w[i] = rng.Uint64() & rng.Uint64() // ~25% density, like sketch rows
+	}
+	return w
+}
+
+// TestUnrolledTails pins the 4x-unrolled loops against the scalar
+// reference at every word-tail length class len%4 in {0,1,2,3},
+// including the empty row.
+func TestUnrolledTails(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 64, 65} {
+		a, b, c := randWords(rng, n), randWords(rng, n), randWords(rng, n)
+		if got, want := PopCount(a), refPop(a); got != want {
+			t.Errorf("PopCount n=%d: got %d want %d", n, got, want)
+		}
+		if got, want := AndCount(a, b), refAnd(a, b); got != want {
+			t.Errorf("AndCount n=%d: got %d want %d", n, got, want)
+		}
+		if got, want := OrCount(a, b), refOr(a, b); got != want {
+			t.Errorf("OrCount n=%d: got %d want %d", n, got, want)
+		}
+		if got, want := AndCount3(a, b, c), refAnd3(a, b, c); got != want {
+			t.Errorf("AndCount3 n=%d: got %d want %d", n, got, want)
+		}
+	}
+}
+
+// TestAndCountShorterFirst pins the documented contract that only the
+// first len(a) words participate when b is longer.
+func TestAndCountShorterFirst(t *testing.T) {
+	a := []uint64{^uint64(0), ^uint64(0)}
+	b := []uint64{1, 2, ^uint64(0), ^uint64(0)}
+	if got := AndCount(a, b); got != 2 {
+		t.Fatalf("AndCount short a: got %d want 2", got)
+	}
+}
+
+func TestAndOr(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a, b := randWords(rng, 7), randWords(rng, 7)
+	dst := make([]uint64, 7)
+	And(dst, a, b)
+	for i := range a {
+		if dst[i] != a[i]&b[i] {
+			t.Fatalf("And word %d mismatch", i)
+		}
+	}
+	Or(dst, a, b)
+	for i := range a {
+		if dst[i] != a[i]|b[i] {
+			t.Fatalf("Or word %d mismatch", i)
+		}
+	}
+	// Aliasing: dst == a.
+	acopy := append([]uint64(nil), a...)
+	And(a, a, b)
+	for i := range a {
+		if a[i] != acopy[i]&b[i] {
+			t.Fatalf("And aliased word %d mismatch", i)
+		}
+	}
+}
+
+// TestAndCountMany pins the batched kernel against per-candidate
+// AndCount across every stride specialization (2 and 4 words) and the
+// generic path, including empty candidate lists and tile boundaries.
+func TestAndCountMany(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, words := range []int{1, 2, 3, 4, 5, 8} {
+		const rows = 300 // > 4 tiles of 64
+		slab := randWords(rng, rows*words)
+		src := randWords(rng, words)
+		for _, nc := range []int{0, 1, TileRows - 1, TileRows, TileRows + 1, rows} {
+			ids := make([]uint32, nc)
+			for i := range ids {
+				ids[i] = uint32(rng.Intn(rows))
+			}
+			out := make([]int32, nc)
+			AndCountMany(src, slab, words, ids, out)
+			for i, id := range ids {
+				want := int32(refAnd(src, slab[int(id)*words:int(id)*words+words]))
+				if out[i] != want {
+					t.Fatalf("words=%d nc=%d cand %d: got %d want %d", words, nc, i, out[i], want)
+				}
+			}
+		}
+	}
+}

@@ -72,12 +72,23 @@ func PG4CliqueCtx(ctx context.Context, o *graph.Oriented, pg *core.PG, workers i
 	return par.ReduceFloat64Ctx(ctx, n, workers, func(lo, hi int) float64 {
 		var ck float64
 		var c3 []uint32
+		var bufs batchBufs
+		tmp := make([]uint64, pg.RowWords())
 		for u := lo; u < hi; u++ {
 			nu := o.NPlus(uint32(u))
 			for _, v := range nu {
 				c3 = graph.Intersect(nu, o.NPlus(v), c3[:0])
-				for _, w := range c3 {
-					ck += pg.IntCard3(w, uint32(u), v)
+				if len(c3) == 0 {
+					continue
+				}
+				// The pair (u,v) is fixed across the w loop: batch the
+				// triple as one materialized pair-AND streamed over C3.
+				// Flat accumulation into ck keeps the original scalar
+				// loop's addition order bit-for-bit.
+				cnt, out := bufs.size(len(c3))
+				pg.IntCard3Many(uint32(u), v, c3, tmp, cnt, out)
+				for _, est := range out {
+					ck += est
 				}
 			}
 		}
@@ -218,6 +229,7 @@ func PGKCliqueCtx(ctx context.Context, o *graph.Oriented, pg *core.PG, k, worker
 		for i := range acc {
 			acc[i] = make(bitset.Bits, words)
 		}
+		var bufs batchBufs
 		var s float64
 		for v := lo; v < hi; v++ {
 			nv := o.NPlus(uint32(v))
@@ -225,7 +237,7 @@ func PGKCliqueCtx(ctx context.Context, o *graph.Oriented, pg *core.PG, k, worker
 				continue
 			}
 			copy(acc[0], pg.BloomRow(uint32(v)))
-			s += pgKCliqueRec(o, pg, nv, k-1, scratch, acc, 1)
+			s += pgKCliqueRec(o, pg, nv, k-1, scratch, acc, 1, &bufs)
 		}
 		return s
 	})
@@ -237,18 +249,16 @@ func PGKCliqueCtx(ctx context.Context, o *graph.Oriented, pg *core.PG, k, worker
 
 // pgKCliqueRec extends the clique prefix: cand holds the exact common
 // out-neighborhood, acc[level-1] the AND of the prefix's Bloom filters.
-func pgKCliqueRec(o *graph.Oriented, pg *core.PG, cand []uint32, depth int, scratch [][]uint32, acc []bitset.Bits, level int) float64 {
+func pgKCliqueRec(o *graph.Oriented, pg *core.PG, cand []uint32, depth int, scratch [][]uint32, acc []bitset.Bits, level int, bufs *batchBufs) float64 {
 	if depth == 1 {
 		return float64(len(cand))
 	}
 	prev := acc[level-1]
 	if depth == 2 {
-		var s float64
-		for _, w := range cand {
-			ones := bitset.AndCount(prev, pg.BloomRow(w))
-			s += sketch.CardSwamidass(ones, pg.Cfg.BloomBits, pg.Cfg.NumHashes)
-		}
-		return s
+		// Closing level: the accumulated prefix AND streams over the
+		// whole candidate window in one batched pass.
+		cnt, _ := bufs.size(len(cand))
+		return pg.AndCardSum(prev, cand, cnt)
 	}
 	var s float64
 	for _, w := range cand {
@@ -257,7 +267,7 @@ func pgKCliqueRec(o *graph.Oriented, pg *core.PG, cand []uint32, depth int, scra
 			continue
 		}
 		bitset.And(acc[level], prev, pg.BloomRow(w))
-		s += pgKCliqueRec(o, pg, scratch[level], depth-1, scratch, acc, level+1)
+		s += pgKCliqueRec(o, pg, scratch[level], depth-1, scratch, acc, level+1, bufs)
 	}
 	return s
 }

@@ -1,0 +1,23 @@
+package mining
+
+import (
+	"testing"
+
+	"probgraph/internal/core"
+	"probgraph/internal/graph"
+)
+
+// BenchmarkPGTC tracks the batched BF triangle kernel in isolation —
+// the pgbench "intersect"/"session" experiments are the gated numbers;
+// this is the quick inner-loop view for profiling.
+func BenchmarkPGTC(b *testing.B) {
+	g := graph.Kronecker(10, 16, 1)
+	pg, err := core.Build(g, core.Config{Kind: core.BF, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PGTC(g, pg, 4)
+	}
+}

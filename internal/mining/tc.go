@@ -13,11 +13,29 @@ package mining
 import (
 	"context"
 	"math"
+	"sort"
 
 	"probgraph/internal/core"
 	"probgraph/internal/graph"
 	"probgraph/internal/par"
 )
+
+// batchBufs is the per-chunk scratch of the batched IntCard kernels:
+// one popcount buffer and one estimate buffer, grown to the largest
+// candidate window the chunk sees. Summation stays in candidate order,
+// so batched kernels remain bit-identical to the scalar loops.
+type batchBufs struct {
+	cnt []int32
+	out []float64
+}
+
+func (b *batchBufs) size(n int) ([]int32, []float64) {
+	if n > cap(b.cnt) {
+		b.cnt = make([]int32, n)
+		b.out = make([]float64, n)
+	}
+	return b.cnt[:n], b.out[:n]
+}
 
 // ExactTC counts triangles with the node-iterator algorithm of Listing 1:
 // vertices are ranked by degree, every edge is oriented toward the
@@ -56,12 +74,24 @@ func PGTC(g *graph.Graph, pg *core.PG, workers int) float64 {
 func PGTCCtx(ctx context.Context, g *graph.Graph, pg *core.PG, workers int) (float64, error) {
 	n := g.NumVertices()
 	sum, err := par.ReduceFloat64Ctx(ctx, n, workers, func(lo, hi int) float64 {
+		var bufs batchBufs
 		var s float64
 		for u := lo; u < hi; u++ {
-			for _, v := range g.Neighbors(uint32(u)) {
-				if uint32(u) < v { // each undirected edge once
-					s += pg.IntCard(uint32(u), v)
-				}
+			nv := g.Neighbors(uint32(u))
+			// Each undirected edge once: neighbor lists are sorted
+			// ascending, so the v > u half is the suffix.
+			k := sort.Search(len(nv), func(i int) bool { return nv[i] > uint32(u) })
+			cands := nv[k:]
+			if len(cands) == 0 {
+				continue
+			}
+			// Flat accumulation into s, matching the original scalar
+			// loop's addition order bit-for-bit (the fused Sum form
+			// would regroup per row).
+			cnt, out := bufs.size(len(cands))
+			pg.IntCardMany(uint32(u), cands, cnt, out)
+			for _, est := range out {
+				s += est
 			}
 		}
 		return s
@@ -133,6 +163,7 @@ func PGLocalClusteringCoefficientCtx(ctx context.Context, g *graph.Graph, pg *co
 		return 0, nil
 	}
 	sum, err := par.ReduceFloat64Ctx(ctx, n, workers, func(lo, hi int) float64 {
+		var bufs batchBufs
 		var s float64
 		for v := lo; v < hi; v++ {
 			nv := g.Neighbors(uint32(v))
@@ -140,11 +171,8 @@ func PGLocalClusteringCoefficientCtx(ctx context.Context, g *graph.Graph, pg *co
 			if d < 2 {
 				continue
 			}
-			var tri float64
-			for _, u := range nv {
-				tri += pg.IntCard(uint32(v), u)
-			}
-			s += tri / float64(d*(d-1))
+			cnt, _ := bufs.size(d)
+			s += pg.IntCardSum(uint32(v), nv, cnt) / float64(d*(d-1))
 		}
 		return s
 	})
@@ -204,12 +232,17 @@ func PGLocalTC(g *graph.Graph, pg *core.PG, workers int) []float64 {
 func PGLocalTCCtx(ctx context.Context, g *graph.Graph, pg *core.PG, workers int) ([]float64, error) {
 	n := g.NumVertices()
 	counts := make([]float64, n)
-	err := par.ForCtx(ctx, n, workers, func(v int) {
-		var c float64
-		for _, u := range g.Neighbors(uint32(v)) {
-			c += pg.IntCard(uint32(v), u)
+	err := par.ForChunkedCtx(ctx, n, workers, 0, func(lo, hi int) {
+		var bufs batchBufs
+		for v := lo; v < hi; v++ {
+			nv := g.Neighbors(uint32(v))
+			if len(nv) == 0 {
+				counts[v] = 0
+				continue
+			}
+			cnt, _ := bufs.size(len(nv))
+			counts[v] = pg.IntCardSum(uint32(v), nv, cnt) / 2
 		}
-		counts[v] = c / 2
 	})
 	if err != nil {
 		return nil, err

@@ -16,6 +16,15 @@
 // chunks already in flight run to completion, and the first observed
 // ctx.Err() is returned. A context whose Done channel is nil (such as
 // context.Background()) adds no overhead to the hot path.
+//
+// Contract: scheduling is nondeterministic but chunk boundaries are
+// not — a chunked loop partitions [0, n) identically for every worker
+// count, which is what lets callers build bit-identical float results
+// on top of dynamic scheduling: compute per-chunk partials, merge them
+// in chunk order (see internal/pattern's chunkSize contract). Callers
+// passing an explicit chunk size must pass a positive one or use
+// chunk <= 0 to select the automatic size; workers <= 0 means
+// DefaultWorkers().
 package par
 
 import (

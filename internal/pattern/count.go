@@ -172,6 +172,9 @@ type exec struct {
 	// current extension level; sigMem is its backing storage.
 	sigs   [MaxVertices][]core.ProbePos
 	sigMem []core.ProbePos
+	// absent[i] is level i's batched first-back-edge probe result,
+	// aligned with the level's candidate window (see extend).
+	absent [MaxVertices][]bool
 	// levels is the number of DFS levels to enumerate (k, or k-1 in
 	// estimate mode where the last level is closed by an estimator).
 	levels    int
@@ -217,28 +220,51 @@ func (e *exec) extend(i int) {
 			high = m
 		}
 	}
+	// Both window bounds resolve by binary search (lists are sorted), so
+	// the loop's exact candidate window is known up front — which is what
+	// lets the first back edge's probe run batched over it.
 	lo := 0
 	if low > 0 {
 		lo = sort.Search(len(cands), func(t int) bool { return cands[t] >= low })
 	}
+	win := cands[lo:]
+	if hi := sort.Search(len(win), func(t int) bool { return win[t] >= high }); hi < len(win) {
+		win = win[:hi]
+	}
 
 	// Hoist the back vertices' probe signatures: the candidate loop then
 	// tests each back against the CANDIDATE's row — edge symmetry — at
-	// one load per hash function, with no per-candidate hashing.
+	// one load per hash function, with no per-candidate hashing. The
+	// FIRST non-src back edge goes further: its probe is evaluated for
+	// the whole window in one batched kernel pass (core.AbsentAtMany),
+	// and the per-candidate loop just consumes the precomputed bit. Only
+	// the first back is batched — later backs run rarely (they execute
+	// only for candidates the earlier filters admitted), so probing them
+	// for every window member would be wasted work. Stats are untouched:
+	// SketchPruned/EdgeChecks increments still happen exactly where the
+	// scalar probes did.
+	first := -1
 	if e.probe != nil {
 		b := e.probe.B()
 		for _, j := range backs {
 			if j != src {
+				if first < 0 {
+					first = j
+				}
 				e.sigs[j] = e.probe.SigInto(e.mapped[j], e.sigMem[j*b:(j+1)*b])
 			}
+		}
+		if first >= 0 && len(win) > 0 {
+			if cap(e.absent[i]) < len(win) {
+				e.absent[i] = make([]bool, len(win))
+			}
+			e.absent[i] = e.absent[i][:len(win)]
+			e.probe.AbsentAtMany(e.sigs[first], win, e.absent[i])
 		}
 	}
 
 	checkCancel := i == 1 // bound staleness by one root's level-1 frontier
-	for _, c := range cands[lo:] {
-		if c >= high {
-			break
-		}
+	for ci, c := range win {
 		if checkCancel && par.Cancelled(e.done) {
 			return
 		}
@@ -260,9 +286,12 @@ func (e *exec) extend(i int) {
 			u := e.mapped[j]
 			if e.pruneOn {
 				absent := false
-				if e.probe != nil {
+				switch {
+				case j == first:
+					absent = e.absent[i][ci]
+				case e.probe != nil:
 					absent = e.probe.AbsentAt(e.sigs[j], c)
-				} else {
+				default:
 					absent = e.pg.CertainAbsent(u, c)
 				}
 				if absent {

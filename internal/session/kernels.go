@@ -491,8 +491,8 @@ func (k LocalTC) run(ctx context.Context, s *Session) (Result, error) {
 			return Result{}, err
 		}
 		var c float64
-		for _, u := range nv {
-			c += pg.IntCard(k.U, u)
+		if len(nv) > 0 {
+			c = pg.IntCardSum(k.U, nv, make([]int32, len(nv)))
 		}
 		return Result{Mode: Sketched, Kind: pg.Cfg.Kind, Value: c / 2}, nil
 	}

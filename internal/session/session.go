@@ -27,6 +27,7 @@ import (
 	"probgraph/internal/core"
 	"probgraph/internal/estimator"
 	"probgraph/internal/graph"
+	"probgraph/internal/kernels"
 	"probgraph/internal/obs"
 )
 
@@ -310,7 +311,9 @@ func (s *Session) PG(ctx context.Context) (*core.PG, error) {
 		_, sp := obs.StartSpan(ctx, "build/pg")
 		defer sp.End()
 		sp.Attr("kind", s.cfg.kind.String())
-		return core.Build(s.st.g, s.coreConfig())
+		// One arena per build: the sketch rows land in a single
+		// contiguous slab, which the batched kernels stream in order.
+		return core.BuildArena(s.st.g, s.coreConfig(), new(kernels.Arena))
 	})
 }
 
@@ -326,7 +329,7 @@ func (s *Session) OrientedPG(ctx context.Context) (*core.PG, error) {
 		_, sp := obs.StartSpan(ctx, "build/pg-oriented")
 		defer sp.End()
 		sp.Attr("kind", s.cfg.kind.String())
-		return core.BuildOriented(o, s.st.g.SizeBits(), s.coreConfig())
+		return core.BuildOrientedArena(o, s.st.g.SizeBits(), s.coreConfig(), new(kernels.Arena))
 	})
 }
 
