@@ -9,10 +9,24 @@
 //
 //	pgpack -graph web.el -kinds BF,1H -budget 0.25 -o web.pg
 //	pggen -model kron -scale 14 | pgpack -graph - -o kron14.pg
-//	pgpack -info web.pg          # decode, verify CRCs, print sections
+//	pgpack -info web.pg          # header-only: layout, offsets, padding
+//	pgpack -info web.pg -verify  # full decode: payload CRCs + content summary
+//	pgpack -upgrade old.pg       # rewrite v1 as v2 in place (temp+rename)
 //
 // After packing (and in -info mode) pgpack prints the section table:
-// per-section payload bytes and CRC32-C, pginfo-style.
+// per-section payload bytes, CRC32-C, file offset, and alignment
+// padding, pginfo-style. -info reads only the header, the section
+// table, and two name bytes per sketch section — a few hundred bytes of
+// IO however large the artifact — so it is safe to point at a
+// multi-gigabyte file on cold storage; add -verify to stream the whole
+// file through the checksummed decoder.
+//
+// -upgrade rewrites a v1 artifact in the 64-byte-aligned v2 layout that
+// zero-copy serving (pgserve -mmap) requires, atomically: the new file
+// is written beside the target and renamed over it, so a crash mid-
+// upgrade never leaves a torn artifact. The payload bits are unchanged
+// — only alignment padding is inserted — and -o selects a different
+// output path when the original should be kept.
 package main
 
 import (
@@ -20,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"probgraph/internal/core"
@@ -38,8 +53,10 @@ func main() {
 		budget    = flag.Float64("budget", 0.25, "storage budget s")
 		seed      = flag.Uint64("seed", 42, "sketch seed")
 		workers   = flag.Int("workers", 0, "build workers (0 = all cores)")
-		out       = flag.String("o", "", "output artifact file (required unless -info)")
-		info      = flag.String("info", "", "decode an existing artifact and print its section table instead of packing")
+		out       = flag.String("o", "", "output artifact file (required unless -info/-upgrade)")
+		info      = flag.String("info", "", "print an artifact's section layout (header-only IO) instead of packing")
+		verify    = flag.Bool("verify", false, "with -info: fully decode, verifying every payload CRC")
+		upgrade   = flag.String("upgrade", "", "rewrite an artifact in the aligned v2 format (in place, or to -o)")
 	)
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -49,14 +66,25 @@ func main() {
 	}
 
 	if *info != "" {
-		if err := printInfo(*info); err != nil {
+		if err := printInfo(*info, *verify); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *upgrade != "" {
+		target := *out
+		if target == "" {
+			target = *upgrade
+		}
+		if err := upgradeArtifact(*upgrade, target); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	if *graphFile == "" || *out == "" {
 		fmt.Fprintln(os.Stderr, "usage: pgpack -graph <file|-> -o <out.pg> [-kinds BF,1H] [-budget 0.25] [-seed 42]")
-		fmt.Fprintln(os.Stderr, "       pgpack -info <file.pg>")
+		fmt.Fprintln(os.Stderr, "       pgpack -info <file.pg> [-verify]")
+		fmt.Fprintln(os.Stderr, "       pgpack -upgrade <file.pg> [-o <out.pg>]")
 		os.Exit(2)
 	}
 
@@ -100,19 +128,31 @@ func main() {
 	printSections(fi)
 }
 
-// printInfo decodes (and thereby CRC-verifies) an artifact and prints
-// its structure.
-func printInfo(path string) error {
+// printInfo prints an artifact's structure. The default path is
+// header-only (pgio.ReadInfo): the section table comes from a few
+// hundred bytes of IO and no payload is read or CRC-checked. With
+// verify the whole file streams through the checksummed decoder and the
+// content summary (graph shape, resident sketch configs) is printed
+// too.
+func printInfo(path string, verify bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
+	fmt.Printf("artifact        %s\n", path)
+	if !verify {
+		fi, err := pgio.ReadInfo(f)
+		if err != nil {
+			return err
+		}
+		printSections(fi)
+		return nil
+	}
 	a, fi, err := pgio.DecodeWithInfo(f)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("artifact        %s\n", path)
 	fmt.Printf("graph           n=%d m=%d\n", a.G.NumVertices(), a.G.NumEdges())
 	if a.O != nil {
 		fmt.Printf("oriented        yes\n")
@@ -125,14 +165,64 @@ func printInfo(path string) error {
 	return nil
 }
 
-// printSections renders the section table pginfo-style.
+// printSections renders the section table pginfo-style, including each
+// payload's file offset and the alignment padding that precedes it (v2
+// offsets are PayloadAlign-multiples; v1 reports offset 0 and no
+// padding when the summary comes from the encoder, which predates the
+// aligned layout).
 func printSections(fi *pgio.FileInfo) {
 	fmt.Printf("format version  %d\n", fi.Version)
 	fmt.Printf("file size       %d bytes\n", fi.Bytes)
 	fmt.Println("sections:")
 	for _, s := range fi.Sections {
-		fmt.Printf("  %-10s %12d bytes  crc32c %08x\n", s.Name, s.Bytes, s.CRC)
+		align := "-"
+		if s.Offset%pgio.PayloadAlign == 0 && s.Offset > 0 {
+			align = fmt.Sprintf("%d-aligned", pgio.PayloadAlign)
+		}
+		fmt.Printf("  %-10s %12d bytes  crc32c %08x  offset %10d  pad %4d  %s\n",
+			s.Name, s.Bytes, s.CRC, s.Offset, s.Padding, align)
 	}
+}
+
+// upgradeArtifact rewrites src in the current (v2, aligned) format at
+// dst — atomically, via a temp file in dst's directory renamed over the
+// target, so an interrupted upgrade never leaves a torn file. The
+// sketch and graph payload bits are preserved exactly; only the layout
+// (alignment padding, version stamp) changes.
+func upgradeArtifact(src, dst string) error {
+	f, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	a, old, err := pgio.DecodeWithInfo(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), ".pgpack-upgrade-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	fi, err := pgio.Encode(tmp, a)
+	if err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		return err
+	}
+	fmt.Printf("upgraded        %s (v%d, %d bytes) -> %s (v%d, %d bytes)\n",
+		src, old.Version, old.Bytes, dst, fi.Version, fi.Bytes)
+	printSections(fi)
+	return nil
 }
 
 func loadGraph(file string, binary bool) (*graph.Graph, error) {

@@ -15,6 +15,7 @@
 //	pgserve -graph web.el -kinds BF,1H -budget 0.25
 //	pgserve -gen kron -scale 12 -stream          # accept live edge batches
 //	pgserve -artifact web.pg                     # warm start from pgpack output
+//	pgserve -artifact web.pg -mmap               # zero-copy: serve rows from the page cache
 //	pgserve -stream -artifact web.pg -save web.pg  # durable epochs + resume
 //
 // With -stream the server owns a stream.DynamicGraph: each /v1/ingest
@@ -24,7 +25,15 @@
 //
 // With -artifact the snapshot is booted from a binary artifact written
 // by pgpack or -save: no edge-list parsing, no re-orientation, no
-// sketch builds — the cold-start path is pure IO. Sketch geometry and
+// sketch builds — the cold-start path is pure IO. Adding -mmap removes
+// even that IO: the v2 artifact is mapped read-only and the CSR rows
+// and sketch arrays are served straight from the mapping, so cold start
+// is page-table setup plus one CRC sweep, restarts against a warm page
+// cache fault almost nothing, graphs larger than RAM serve out-of-core,
+// and every process serving the same file shares its pages. /v1/stats
+// reports decode_mode, mapped_bytes, and major_faults. v1 artifacts and
+// non-linux platforms fall back to the heap decode transparently (run
+// pgpack -upgrade to rewrite v1 as v2). Sketch geometry and
 // seed come from the artifact; -kinds may select a resident subset and
 // -est may override the estimator, other sketch flags are ignored. With
 // -save every served epoch is written back (atomically, temp+rename),
@@ -79,6 +88,7 @@ func main() {
 		batchDelay = flag.Duration("batchdelay", 200*time.Microsecond, "max wait to fill a batch (0 = no wait)")
 		streaming  = flag.Bool("stream", false, "enable /v1/ingest: maintain sketches incrementally and hot-swap epochs")
 		artifact   = flag.String("artifact", "", "warm-start from a binary artifact (.pg) written by pgpack or -save")
+		useMmap    = flag.Bool("mmap", false, "open -artifact zero-copy: serve CSR rows and sketches straight from a read-only mmap (v2 artifacts on linux; falls back to heap decode otherwise)")
 		save       = flag.String("save", "", "persist the snapshot to this artifact file; with -stream, every frozen epoch is written")
 		slow       = flag.Duration("slow", 100*time.Millisecond, "journal requests slower than this in GET /v1/trace (0 journals everything)")
 		version    = flag.Bool("version", false, "print version and exit")
@@ -101,24 +111,49 @@ func main() {
 		Kinds: kindList, Est: estimator, Budget: *budget, Seed: *seed, Workers: *workers,
 	}
 
+	if *useMmap && *artifact == "" {
+		log.Fatalf("pgserve: -mmap requires -artifact (there is no file to map)")
+	}
+
 	// Resolve the graph source: a decoded artifact (warm start) or an
-	// edge list / generator (cold build).
+	// edge list / generator (cold build). With -mmap the artifact is not
+	// heap-decoded here: the non-streaming path maps it below
+	// (OpenArtifactMmap) and serves straight from the mapping; the
+	// streaming path maps it transiently — NewWith deep-copies the
+	// adjacency and clones the sketches into mutable form, so the mapping
+	// is closed as soon as the DynamicGraph is built.
 	var (
 		art     *pgio.Artifact
 		artInfo *pgio.FileInfo
 		g       *graph.Graph
+		mapped  *pgio.Mapped // streaming -mmap only; closed after NewWith
 	)
-	if *artifact != "" {
-		if art, artInfo, err = loadArtifact(*artifact); err != nil {
-			log.Fatalf("pgserve: %v", err)
+	switch {
+	case *artifact != "" && *useMmap && !*streaming:
+		// Mapped below, where the snapshot is built to own the mapping.
+	case *artifact != "":
+		if *useMmap {
+			if mapped, err = pgio.Mmap(*artifact); err != nil {
+				log.Fatalf("pgserve: %v", err)
+			}
+			art, artInfo = mapped.A, mapped.Info
+			log.Printf("artifact: %s, %d bytes, kinds %v (decode %s)", *artifact, artInfo.Bytes, art.Kinds, mapped.Mode())
+		} else {
+			if art, artInfo, err = loadArtifact(*artifact); err != nil {
+				log.Fatalf("pgserve: %v", err)
+			}
+			log.Printf("artifact: %s, %d bytes, kinds %v", *artifact, artInfo.Bytes, art.Kinds)
 		}
 		g = art.G
-		log.Printf("artifact: %s, %d bytes, kinds %v", *artifact, artInfo.Bytes, art.Kinds)
-	} else if g, err = loadGraph(*graphFile, *binary, *gen, *scale, *deg, *seed); err != nil {
-		log.Fatalf("pgserve: %v", err)
+	default:
+		if g, err = loadGraph(*graphFile, *binary, *gen, *scale, *deg, *seed); err != nil {
+			log.Fatalf("pgserve: %v", err)
+		}
 	}
 
-	log.Printf("graph: n=%d m=%d", g.NumVertices(), g.NumEdges())
+	if g != nil {
+		log.Printf("graph: n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
 	t0 := time.Now()
 	var (
 		snap *serve.Snapshot
@@ -148,6 +183,15 @@ func main() {
 			dyn.SetPersist(stream.PersistFile(*save))
 			log.Printf("pgserve: persisting every frozen epoch to %s", *save)
 		}
+		if mapped != nil {
+			// The DynamicGraph copied everything it needs; the mapping's
+			// only remaining referents are art's borrowed arrays, which
+			// are not used past this point.
+			art, g = nil, nil
+			if cerr := mapped.Close(); cerr != nil {
+				log.Printf("pgserve: closing boot mapping: %v", cerr)
+			}
+		}
 		var ps stream.PersistStatus
 		if snap, ps, err = dyn.FreezePersist(); err == nil && ps.Err != nil {
 			// Later epochs tolerate persist failures (they surface in
@@ -155,6 +199,12 @@ func main() {
 			// path is a misconfiguration: fail fast while the operator
 			// is still watching.
 			log.Fatalf("pgserve: persisting boot epoch to %s: %v", *save, ps.Err)
+		}
+	case *useMmap && *artifact != "":
+		if snap, err = serve.OpenArtifactMmap(*artifact, snapCfg); err == nil {
+			log.Printf("artifact: %s, %d bytes, kinds %v (decode %s, %d bytes mapped)",
+				*artifact, snap.Artifact.Bytes, snap.Kinds(), snap.Mode, snap.MappedBytes)
+			log.Printf("graph: n=%d m=%d", snap.G.NumVertices(), snap.G.NumEdges())
 		}
 	case art != nil:
 		snap, err = serve.OpenDecoded(art, artInfo, snapCfg)

@@ -43,6 +43,7 @@ func main() {
 		kinds     = flag.String("kinds", "", "comma-separated sketch kinds to load (default: every resident kind)")
 		est       = flag.String("est", "auto", "|X∩Y| estimator within the representation: auto | and | l | or | 1hsimple")
 		cacheSize = flag.Int("cache", 1<<16, "engine result cache entries (0 = disabled)")
+		useMmap   = flag.Bool("mmap", false, "open artifacts zero-copy via mmap; replicas of the same file share page-cache pages")
 		timeout   = flag.Duration("query-timeout", 30*time.Second, "per point query evaluation budget")
 		version   = flag.Bool("version", false, "print version and exit")
 	)
@@ -83,7 +84,7 @@ func main() {
 	s, err := cluster.NewShard(cluster.ShardConfig{
 		Index: index, Shards: count, Peers: peerList,
 		Workers: *workers, Kinds: kindList, Est: estimator,
-		CacheSize: cache, QueryTimeout: *timeout,
+		CacheSize: cache, QueryTimeout: *timeout, Mmap: *useMmap,
 	}, *artifact)
 	if err != nil {
 		log.Fatalf("pgshard: %v", err)

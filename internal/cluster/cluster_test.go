@@ -47,6 +47,10 @@ func packArtifact(t *testing.T, g *graph.Graph, dir, name string) string {
 // process boundary is elided (the binaries add nothing but flag
 // parsing). Workers == 1 keeps every float bit-deterministic.
 func bootCluster(t *testing.T, artifact string, n int) (*Router, []*Shard) {
+	return bootClusterMode(t, artifact, n, false)
+}
+
+func bootClusterMode(t *testing.T, artifact string, n int, mmap bool) (*Router, []*Shard) {
 	t.Helper()
 	lns := make([]net.Listener, n)
 	addrs := make([]string, n)
@@ -60,7 +64,7 @@ func bootCluster(t *testing.T, artifact string, n int) (*Router, []*Shard) {
 	}
 	shards := make([]*Shard, n)
 	for i := range shards {
-		s, err := NewShard(ShardConfig{Index: i, Shards: n, Peers: addrs, Workers: 1}, artifact)
+		s, err := NewShard(ShardConfig{Index: i, Shards: n, Peers: addrs, Workers: 1, Mmap: mmap}, artifact)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -516,5 +520,82 @@ func TestClusterSwapResync(t *testing.T) {
 	}
 	if _, err := shards[0].handleSwap(body); err == nil {
 		t.Fatal("backwards swap target accepted, want refusal")
+	}
+}
+
+// TestClusterMmap runs the oracle comparison over zero-copy shards:
+// every shard serves rows and sketches straight out of a shared
+// read-only mapping of the artifact, answers must stay bit-identical to
+// the heap-decoded oracle, and a rolling swap onto a second artifact —
+// which retires the first epoch while its mapping is deliberately held
+// until shard shutdown — must leave gathers bit-consistent on the new
+// file.
+func TestClusterMmap(t *testing.T) {
+	dir := t.TempDir()
+	g := graph.Kronecker(8, 8, 7)
+	artifact := packArtifact(t, g, dir, "g1.pg")
+	g2 := graph.Kronecker(8, 8, 9)
+	artifact2 := packArtifact(t, g2, dir, "g2.pg")
+	r, shards := bootClusterMode(t, artifact, 3, true)
+	snap, opg := openOracle(t, artifact)
+	ctx := context.Background()
+
+	want, err := dist.TC(snap.G, snap.O, opg, 3, dist.ShipSketches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Kernel(ctx, KernelRequest{Kernel: "tc", Mode: "sketches"})
+	if err != nil {
+		t.Fatalf("mmap cluster gather: %v", err)
+	}
+	if math.Float64bits(got.Value) != math.Float64bits(want.Count) {
+		t.Fatalf("mmap gather %v != oracle %v", got.Value, want.Count)
+	}
+	eng := serve.New(snap, serve.Options{Workers: 1})
+	defer eng.Close()
+	n := uint32(g.NumVertices())
+	for i := uint32(0); i < 24; i++ {
+		q := serve.Query{Op: serve.OpSimilarity, U: (i * 37) % n, V: (i*101 + 13) % n}
+		wr, err := eng.QueryCtx(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gr, err := r.QueryCtx(ctx, q)
+		if err != nil {
+			t.Fatalf("mmap point query: %v", err)
+		}
+		if math.Float64bits(gr.Value) != math.Float64bits(wr.Value) {
+			t.Fatalf("%v: mmap cluster %v != oracle %v", q, gr.Value, wr.Value)
+		}
+	}
+
+	// Rolling swap: the new epoch maps g2.pg while the old mapping stays
+	// open (peers may still be reading rows); answers follow the new file.
+	if _, err := r.RollingSwap(ctx, artifact2); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(artifact2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := serve.OpenArtifact(f, serve.SnapshotConfig{Workers: 1})
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2, err := dist.TC(snap2.G, snap2.O, nil, 3, dist.ShipNeighborhoods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := r.Kernel(ctx, KernelRequest{Kernel: "tc", Mode: "neighborhoods"})
+	if err != nil {
+		t.Fatalf("post-swap mmap gather: %v", err)
+	}
+	if got2.Epoch != 2 || math.Float64bits(got2.Value) != math.Float64bits(want2.Count) {
+		t.Fatalf("post-swap mmap gather = epoch %d value %v, want epoch 2 value %v", got2.Epoch, got2.Value, want2.Count)
+	}
+	// Shutdown releases every accumulated mapping (both epochs').
+	for _, s := range shards {
+		s.Close()
 	}
 }

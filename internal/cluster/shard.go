@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"sync"
@@ -36,6 +37,15 @@ type ShardConfig struct {
 
 	// QueryTimeout bounds one point query's evaluation (<= 0: 30s).
 	QueryTimeout time.Duration
+
+	// Mmap opens artifacts zero-copy (serve.OpenArtifactMmap): rows and
+	// sketches are served straight from a read-only mapping of the file.
+	// Because a shard serves raw rows to peers outside any engine query
+	// bracket, mappings are NOT retired per epoch — each stays open until
+	// Shard.Close, so a rolling swap holds two mappings' address space
+	// (cheap: the pages are shared and reclaimable) rather than risking a
+	// peer's partial reading unmapped rows.
+	Mmap bool
 }
 
 // shardState is one epoch's complete serving state: the full-replica
@@ -95,15 +105,18 @@ type Shard struct {
 	peerMu sync.Mutex
 	peers  []*Client // lazily dialled; nil at own index
 
-	ln      net.Listener
-	connMu  sync.Mutex
-	conns   map[net.Conn]struct{}
-	wg      sync.WaitGroup
-	closed  atomic.Bool
-	done    chan struct{}
-	rows    atomic.Int64 // rows served to peers/router
-	queries atomic.Int64 // point queries evaluated
-	parts   atomic.Int64 // partials computed
+	ln     net.Listener
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+	done   chan struct{}
+
+	closerMu sync.Mutex
+	closers  []io.Closer  // detached artifact mappings, released at Close
+	rows     atomic.Int64 // rows served to peers/router
+	queries  atomic.Int64 // point queries evaluated
+	parts    atomic.Int64 // partials computed
 }
 
 // NewShard boots a shard from an artifact file.
@@ -136,16 +149,33 @@ func NewShard(cfg ShardConfig, artifact string) (*Shard, error) {
 
 // load builds one epoch's state from an artifact file.
 func (s *Shard) load(artifact string, epoch uint64) (*shardState, error) {
-	f, err := os.Open(artifact)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	snap, err := serve.OpenArtifact(f, serve.SnapshotConfig{
+	cfg := serve.SnapshotConfig{
 		Kinds: s.cfg.Kinds, Est: s.cfg.Est, Workers: s.cfg.Workers,
-	})
-	if err != nil {
-		return nil, err
+	}
+	var snap *serve.Snapshot
+	if s.cfg.Mmap {
+		m, err := serve.OpenArtifactMmap(artifact, cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Detach the mapping from the snapshot: the engine's per-epoch
+		// retirement must not unmap rows this shard still serves to peers
+		// outside query brackets. The shard owns it until Close.
+		if c := m.DetachCloser(); c != nil {
+			s.closerMu.Lock()
+			s.closers = append(s.closers, c)
+			s.closerMu.Unlock()
+		}
+		snap = m
+	} else {
+		f, err := os.Open(artifact)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if snap, err = serve.OpenArtifact(f, cfg); err != nil {
+			return nil, err
+		}
 	}
 	part := dist.BlockPartition(snap.G.NumVertices(), s.cfg.Shards)
 	lo, hi := part.Block(s.cfg.Index)
@@ -240,6 +270,14 @@ func (s *Shard) Close() {
 	}
 	s.peerMu.Unlock()
 	s.cur.Load().eng.Close()
+	// Every connection is severed and the engine drained: the artifact
+	// mappings accumulated across swaps can finally be released.
+	s.closerMu.Lock()
+	for _, c := range s.closers {
+		c.Close()
+	}
+	s.closers = nil
+	s.closerMu.Unlock()
 }
 
 // serveConn runs the request loop of one connection: framed requests in,

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"probgraph/internal/graph"
+)
+
+// borrowKinds is every representation the borrow mode must protect.
+var borrowKinds = []Kind{BF, KHash, OneHash, KMV, HLL}
+
+// borrowedCopy adopts a deep copy of pg's raw arrays via FromRawBorrowed,
+// standing in for a read-only mapping: the test can safely detect writes
+// by comparing against a second snapshot.
+func borrowedCopy(t *testing.T, pg *PG) (*PG, Raw) {
+	t.Helper()
+	r := pg.Raw()
+	cp := Raw{
+		Cfg: r.Cfg, N: r.N, CSRBits: r.CSRBits, HLLP: r.HLLP,
+		Sizes:  cloneSlice(r.Sizes),
+		Bits:   cloneSlice(r.Bits),
+		Sigs:   cloneSlice(r.Sigs),
+		Hashes: cloneSlice(r.Hashes),
+		Lens:   cloneSlice(r.Lens),
+		Elems:  cloneSlice(r.Elems),
+		HLLReg: cloneSlice(r.HLLReg),
+	}
+	b, err := FromRawBorrowed(cp)
+	if err != nil {
+		t.Fatalf("FromRawBorrowed: %v", err)
+	}
+	return b, cp
+}
+
+// snapshotRaw deep-copies a Raw for before/after comparison.
+func snapshotRaw(r Raw) Raw {
+	return Raw{
+		Cfg: r.Cfg, N: r.N, CSRBits: r.CSRBits, HLLP: r.HLLP,
+		Sizes:  cloneSlice(r.Sizes),
+		Bits:   cloneSlice(r.Bits),
+		Sigs:   cloneSlice(r.Sigs),
+		Hashes: cloneSlice(r.Hashes),
+		Lens:   cloneSlice(r.Lens),
+		Elems:  cloneSlice(r.Elems),
+		HLLReg: cloneSlice(r.HLLReg),
+	}
+}
+
+// TestBorrowedImmutability is the satellite contract: every mutation
+// entry point on a FromRawBorrowed PG returns ErrBorrowed and leaves the
+// adopted arrays byte-identical, while reads keep working.
+func TestBorrowedImmutability(t *testing.T) {
+	g := graph.Kronecker(8, 7, 3)
+	for _, k := range borrowKinds {
+		t.Run(k.String(), func(t *testing.T) {
+			cfg := Config{Kind: k, Budget: 0.25, Seed: 7}
+			if k == OneHash {
+				cfg.StoreElems = true
+			}
+			own, err := Build(g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bor, backing := borrowedCopy(t, own)
+			if !bor.Borrowed() {
+				t.Fatal("FromRawBorrowed PG does not report Borrowed()")
+			}
+			if own.Borrowed() {
+				t.Fatal("owned PG reports Borrowed()")
+			}
+			before := snapshotRaw(backing)
+
+			if err := bor.Grow(bor.NumVertices() + 8); !errors.Is(err, ErrBorrowed) {
+				t.Fatalf("Grow on borrowed PG: got %v, want ErrBorrowed", err)
+			}
+			if err := bor.AddNeighbor(0, uint32(g.NumVertices()-1)); !errors.Is(err, ErrBorrowed) {
+				t.Fatalf("AddNeighbor on borrowed PG: got %v, want ErrBorrowed", err)
+			}
+			if err := bor.ResketchRow(1, []uint32{0, 2, 3}); !errors.Is(err, ErrBorrowed) {
+				t.Fatalf("ResketchRow on borrowed PG: got %v, want ErrBorrowed", err)
+			}
+
+			if !reflect.DeepEqual(before, snapshotRaw(backing)) {
+				t.Fatal("rejected mutations still altered the backing arrays")
+			}
+
+			// Reads are unaffected: the borrowed PG answers exactly like
+			// the owned one it was copied from.
+			n := uint32(g.NumVertices())
+			for i := uint32(0); i < 64; i++ {
+				u, v := (i*37)%n, (i*101+13)%n
+				if own.IntCard(u, v) != bor.IntCard(u, v) {
+					t.Fatalf("IntCard(%d,%d) differs between owned and borrowed", u, v)
+				}
+			}
+
+			// Clone escapes the borrow: it owns fresh arrays, mutates
+			// cleanly, and the backing stays untouched.
+			cl := bor.Clone()
+			if cl.Borrowed() {
+				t.Fatal("Clone of a borrowed PG still reports Borrowed()")
+			}
+			if err := cl.ResketchRow(1, []uint32{0, 2, 3}); err != nil {
+				t.Fatalf("ResketchRow on clone: %v", err)
+			}
+			if err := cl.Grow(cl.NumVertices() + 4); err != nil {
+				t.Fatalf("Grow on clone: %v", err)
+			}
+			if err := cl.AddNeighbor(uint32(cl.NumVertices()-1), 0); err != nil {
+				t.Fatalf("AddNeighbor on clone: %v", err)
+			}
+			if !reflect.DeepEqual(before, snapshotRaw(backing)) {
+				t.Fatal("mutating the clone altered the borrowed backing arrays")
+			}
+		})
+	}
+}

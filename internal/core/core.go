@@ -213,6 +213,11 @@ type PG struct {
 	fam     *hash.Family
 	csrBits int64
 
+	// borrowed marks a PG whose arrays alias a read-only mapping
+	// (FromRawBorrowed): reads are ordinary, mutation returns
+	// ErrBorrowed, Clone clears it by copying onto the heap.
+	borrowed bool
+
 	// BF storage: n rows of `words` uint64s.
 	words int
 	bits  []uint64

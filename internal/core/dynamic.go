@@ -29,7 +29,8 @@ func cloneSlice[T any](s []T) []T {
 // Clone returns a deep copy sharing no mutable storage with pg; the hash
 // family is shared (it is immutable after construction). Freeze paths
 // clone so an immutable snapshot can be served while the original keeps
-// ingesting.
+// ingesting. Cloning a borrowed PG copies every array out of the mapping
+// onto the heap, so the clone is ordinary mutable state.
 func (pg *PG) Clone() *PG {
 	cp := *pg
 	cp.sizes = cloneSlice(pg.sizes)
@@ -39,6 +40,7 @@ func (pg *PG) Clone() *PG {
 	cp.lens = cloneSlice(pg.lens)
 	cp.elems = cloneSlice(pg.elems)
 	cp.hllReg = cloneSlice(pg.hllReg)
+	cp.borrowed = false
 	return &cp
 }
 
@@ -51,9 +53,13 @@ func (pg *PG) SetCSRBits(bits int64) { pg.csrBits = bits }
 // the PG already covers n. New rows sketch the empty set (all-zero Bloom
 // bits and HLL registers, EmptySlot MinHash signatures, zero-length
 // bottom-k prefixes), exactly what Build produces for isolated vertices.
-func (pg *PG) Grow(n int) {
+// Returns ErrBorrowed for a PG adopted from a read-only mapping.
+func (pg *PG) Grow(n int) error {
+	if pg.borrowed {
+		return ErrBorrowed
+	}
 	if n <= pg.n {
-		return
+		return nil
 	}
 	old := pg.n
 	pg.sizes = append(pg.sizes, make([]int32, n-old)...)
@@ -78,6 +84,7 @@ func (pg *PG) Grow(n int) {
 		pg.hllReg = append(pg.hllReg, make([]uint8, (n-old)*m)...)
 	}
 	pg.n = n
+	return nil
 }
 
 // AddNeighbor incrementally inserts x into vertex v's neighborhood
@@ -88,7 +95,11 @@ func (pg *PG) Grow(n int) {
 // holds unless distinct neighbors collide under the 64-bit hash, where
 // the from-scratch build's truncate-then-dedup can retain one fewer
 // slot. The caller must ensure x is not already a neighbor of v.
-func (pg *PG) AddNeighbor(v, x uint32) {
+// Returns ErrBorrowed for a PG adopted from a read-only mapping.
+func (pg *PG) AddNeighbor(v, x uint32) error {
+	if pg.borrowed {
+		return ErrBorrowed
+	}
 	pg.sizes[v]++
 	switch pg.Cfg.Kind {
 	case BF:
@@ -106,6 +117,7 @@ func (pg *PG) AddNeighbor(v, x uint32) {
 		s := sketch.HLL{Reg: pg.HLLRow(v), P: pg.hllP}
 		s.Add(pg.fam.Hash(0, x))
 	}
+	return nil
 }
 
 // insertBottomK inserts x's hash into v's sorted bottom-k prefix,
@@ -154,8 +166,12 @@ func (pg *PG) insertBottomK(v, x uint32) {
 // the deletion path (no probabilistic set here supports element-wise
 // removal) and the general repair primitive. It runs the exact
 // per-vertex construction Build runs, so the row is bit-identical to a
-// from-scratch build of neigh.
-func (pg *PG) ResketchRow(v uint32, neigh []uint32) {
+// from-scratch build of neigh. Returns ErrBorrowed for a PG adopted
+// from a read-only mapping.
+func (pg *PG) ResketchRow(v uint32, neigh []uint32) error {
+	if pg.borrowed {
+		return ErrBorrowed
+	}
 	pg.sizes[v] = int32(len(neigh))
 	k := pg.Cfg.K
 	switch pg.Cfg.Kind {
@@ -190,4 +206,5 @@ func (pg *PG) ResketchRow(v uint32, neigh []uint32) {
 			s.Add(pg.fam.Hash(0, x))
 		}
 	}
+	return nil
 }

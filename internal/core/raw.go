@@ -1,11 +1,19 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"probgraph/internal/bitset"
 	"probgraph/internal/hash"
 )
+
+// ErrBorrowed is returned by every mutation entry point of a PG adopted
+// with FromRawBorrowed: its arrays alias a read-only mapping, so an
+// in-place write would fault (PROT_READ) or, worse, corrupt a file
+// shared by every process serving it. Callers that need to mutate must
+// Clone first — the clone owns fresh heap copies.
+var ErrBorrowed = errors.New("core: PG borrows a read-only mapping and cannot be mutated (Clone it first)")
 
 // This file is the serialization bridge of a PG: an exported flat-array
 // view (Raw) and its validated inverse (FromRaw). The binary artifact
@@ -38,6 +46,10 @@ type Raw struct {
 	HLLP   uint8
 }
 
+// Borrowed reports whether the PG's arrays alias a read-only mapping
+// (FromRawBorrowed) — i.e. whether mutation would return ErrBorrowed.
+func (pg *PG) Borrowed() bool { return pg.borrowed }
+
 // Raw returns the PG's flat-array view. The slices alias the PG's
 // storage; callers must not mutate them.
 func (pg *PG) Raw() Raw {
@@ -62,6 +74,20 @@ func (pg *PG) Raw() Raw {
 // no neighborhood is ever re-sketched, which is what makes decoding an
 // artifact a memory-bandwidth operation instead of a build.
 func FromRaw(r Raw) (*PG, error) {
+	return fromRaw(r, false)
+}
+
+// FromRawBorrowed is FromRaw for arrays that alias a read-only memory
+// mapping (the zero-copy decode path). The resulting PG answers every
+// query normally — the BF estimator LUTs are derived state, rebuilt on
+// the heap, never read from the mapping — but its mutation surface
+// (Grow, AddNeighbor, ResketchRow) returns ErrBorrowed, and Clone
+// produces an ordinary mutable PG by deep-copying out of the mapping.
+func FromRawBorrowed(r Raw) (*PG, error) {
+	return fromRaw(r, true)
+}
+
+func fromRaw(r Raw, borrowed bool) (*PG, error) {
 	cfg := r.Cfg
 	switch cfg.Kind {
 	case BF, KHash, OneHash, KMV, HLL:
@@ -75,11 +101,12 @@ func FromRaw(r Raw) (*PG, error) {
 		return nil, fmt.Errorf("core: raw PG sizes array covers %d vertices, want %d", len(r.Sizes), r.N)
 	}
 	pg := &PG{
-		Cfg:     cfg,
-		n:       r.N,
-		csrBits: r.CSRBits,
-		sizes:   r.Sizes,
-		hllP:    r.HLLP,
+		Cfg:      cfg,
+		n:        r.N,
+		csrBits:  r.CSRBits,
+		sizes:    r.Sizes,
+		hllP:     r.HLLP,
+		borrowed: borrowed,
 	}
 	// Per-kind geometry checks mirror what build allocates; a mismatch
 	// means the raw view (e.g. a decoded artifact section) drifted from

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Process storage counters for the zero-copy serving path: a mapped
+// artifact's pages are faulted in on first touch, so major faults and
+// resident set are the observable cost (and benefit) of mmap serving —
+// a cold mmap start trades the heap decode's upfront copy for faults
+// amortized over query traffic, and warm restarts against a page-cached
+// file fault almost nothing.
+
+// MajorFaults reports the process's cumulative major page fault count
+// (faults that required IO), from /proc/self/stat. Returns 0 on
+// platforms without procfs — a missing counter, not an error, since
+// callers are metrics gauges.
+func MajorFaults() int64 {
+	return procSelfStatField(11)
+}
+
+// ResidentBytes reports the process's resident set size in bytes, from
+// /proc/self/stat. Returns 0 on platforms without procfs.
+func ResidentBytes() int64 {
+	return procSelfStatField(23) * int64(os.Getpagesize())
+}
+
+// procSelfStatField returns the 0-based idx'th field of /proc/self/stat,
+// counting from pid as field 0. The comm field (1) may itself contain
+// spaces and parentheses, so parsing restarts after the LAST ')'.
+func procSelfStatField(idx int) int64 {
+	b, err := os.ReadFile("/proc/self/stat")
+	if err != nil {
+		return 0
+	}
+	s := string(b)
+	close := strings.LastIndexByte(s, ')')
+	if close < 0 {
+		return 0
+	}
+	// Fields after comm: state is field 2, so the split index shifts by 2.
+	fields := strings.Fields(s[close+1:])
+	i := idx - 2
+	if i < 0 || i >= len(fields) {
+		return 0
+	}
+	v, err := strconv.ParseInt(fields[i], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}

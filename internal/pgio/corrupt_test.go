@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"testing"
 
 	"probgraph/internal/core"
@@ -97,11 +98,32 @@ func TestDecodeCorruptions(t *testing.T) {
 		{"table bit flip", func(b []byte) []byte { b[headerBytes+2] ^= 0x40; return b }, ErrChecksum},
 		{"payload bit flip", func(b []byte) []byte { b[len(b)-3] ^= 0x01; return b }, ErrChecksum},
 		{"first payload bit flip", func(b []byte) []byte {
-			// Damage the first byte past the table (the graph section).
+			// Damage the first payload byte (the graph section), located
+			// via its table offset — alignment fill sits before it.
+			off := binary.LittleEndian.Uint64(b[headerBytes+8:])
+			b[off] ^= 0x80
+			return b
+		}, ErrChecksum},
+		{"nonzero alignment fill", func(b []byte) []byte {
+			// The v2 gap between table end and the first 64-byte-aligned
+			// payload must be all zeros; a stray byte there is corruption
+			// the payload CRCs cannot see.
 			nSec := binary.LittleEndian.Uint32(b[8:])
 			b[headerBytes+tableEntryBytes*int(nSec)] ^= 0x80
 			return b
-		}, ErrChecksum},
+		}, ErrCorrupt},
+		{"misaligned v2 payload", func(b []byte) []byte {
+			off := binary.LittleEndian.Uint64(b[headerBytes+8:])
+			binary.LittleEndian.PutUint64(b[headerBytes+8:], off+4)
+			return fixTableCRC(b)
+		}, ErrCorrupt},
+		{"overlapping v2 payloads", func(b []byte) []byte {
+			// Point section 1 at section 0's extent: aligned, zero-filled
+			// gap, but overlapping — only the layout invariant catches it.
+			off0 := binary.LittleEndian.Uint64(b[headerBytes+8:])
+			binary.LittleEndian.PutUint64(b[headerBytes+tableEntryBytes+8:], off0)
+			return fixTableCRC(b)
+		}, ErrCorrupt},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -125,11 +147,20 @@ func craft(secs ...section) []byte {
 	return data
 }
 
+// fixTableCRC recomputes the header's table CRC after a test mutated a
+// table entry, so the mutation reaches the layout checks behind it.
+func fixTableCRC(b []byte) []byte {
+	nSec := binary.LittleEndian.Uint32(b[8:])
+	table := b[headerBytes : headerBytes+tableEntryBytes*int(nSec)]
+	binary.LittleEndian.PutUint32(b[12:], crc32.Checksum(table, castagnoli))
+	return b
+}
+
 // TestDecodeStructuralDrift exercises drift that checksums cannot catch:
 // internally consistent bytes whose content contradicts itself.
 func TestDecodeStructuralDrift(t *testing.T) {
 	g := graph.Kronecker(7, 6, 5)
-	var ge enc
+	ge := enc{pad: true}
 	ge.u64(uint64(g.NumVertices()))
 	ge.i64s(g.Offsets)
 	ge.u32s(g.Neigh)
@@ -150,33 +181,39 @@ func TestDecodeStructuralDrift(t *testing.T) {
 		name string
 		file []byte
 	}{
-		{"no graph section", craft(section{secPG, "pg", encodePG(pg, roleFull)})},
+		{"no graph section", craft(section{secPG, "pg", encodePG(pg, roleFull, true)})},
 		{"duplicate graph", craft(graphSec, graphSec)},
 		{"duplicate sketch kind", craft(graphSec,
-			section{secPG, "pg", encodePG(pg, roleFull)},
-			section{secPG, "pg", encodePG(pg, roleFull)})},
+			section{secPG, "pg", encodePG(pg, roleFull, true)},
+			section{secPG, "pg", encodePG(pg, roleFull, true)})},
 		{"sketches over a different graph", craft(graphSec,
-			section{secPG, "pg", encodePG(smallPG, roleFull)})},
+			section{secPG, "pg", encodePG(smallPG, roleFull, true)})},
 		{"unknown PG role", craft(graphSec,
-			section{secPG, "pg", mutatePG(encodePG(pg, roleFull), func(b []byte) { b[0] = 9 })})},
+			section{secPG, "pg", mutatePG(encodePG(pg, roleFull, true), func(b []byte) { b[0] = 9 })})},
 		{"unknown sketch kind", craft(graphSec,
-			section{secPG, "pg", mutatePG(encodePG(pg, roleFull), func(b []byte) { b[1] = 200 })})},
+			section{secPG, "pg", mutatePG(encodePG(pg, roleFull, true), func(b []byte) { b[1] = 200 })})},
 		{"unknown estimator", craft(graphSec,
-			section{secPG, "pg", mutatePG(encodePG(pg, roleFull), func(b []byte) { b[2] = 200 })})},
+			section{secPG, "pg", mutatePG(encodePG(pg, roleFull, true), func(b []byte) { b[2] = 200 })})},
 		{"prefix length beyond k", craft(graphSec,
 			section{secPG, "pg", breakLens(t, pg)})},
 		// Allocation-driving scalars a hostile file can inflate without
 		// growing the payload: both must die as ErrCorrupt, not OOM.
 		{"absurd Bloom hash count", craft(graphSec,
-			section{secPG, "pg", mutatePG(encodePG(smallBF(t, g), roleFull), func(b []byte) {
+			section{secPG, "pg", mutatePG(encodePG(smallBF(t, g), roleFull, true), func(b []byte) {
 				b[8], b[9], b[10], b[11] = 0xff, 0xff, 0xff, 0xff // numHashes u32
 			})})},
 		{"absurd sketch k on an empty universe", craft(emptyGraphSection(),
-			section{secPG, "pg", mutatePG(encodePG(emptyKHash(t), roleFull), func(b []byte) {
+			section{secPG, "pg", mutatePG(encodePG(emptyKHash(t), roleFull, true), func(b []byte) {
 				b[16], b[17], b[18], b[19] = 0xff, 0xff, 0xff, 0xff // k u32
 			})})},
 		{"graph with broken CSR", craft(brokenGraphSection(g))},
 		{"oriented without matching n", craft(graphSec, orientedSection(graph.Complete(3).Orient(0)))},
+		// K5's sizes array is 5 i32s = 20 bytes, so the v2 layout inserts
+		// 4 zero bytes after it (payload bytes 84..87); a nonzero byte
+		// there passes the CRC (it is covered and recomputed by craft)
+		// and must die on the padding check instead.
+		{"nonzero intra-payload padding", craft(completeGraphSection(5),
+			section{secPG, "pg", mutatePG(encodePG(completeBF(t, 5), roleFull, true), func(b []byte) { b[84] = 1 })})},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -214,7 +251,7 @@ func breakLens(t *testing.T, pg *core.PG) []byte {
 	t.Helper()
 	clone := pg.Clone()
 	clone.Raw().Lens[0] = int32(clone.Cfg.K + 1) // Raw aliases the clone's storage
-	return encodePG(clone, roleFull)
+	return encodePG(clone, roleFull, true)
 }
 
 // smallBF builds BF sketches over g for the scalar-cap cases.
@@ -243,8 +280,28 @@ func emptyKHash(t *testing.T) *core.PG {
 	return pg
 }
 
+// completeGraphSection encodes K_n as a padded v2 graph section.
+func completeGraphSection(n int) section {
+	g := graph.Complete(n)
+	e := enc{pad: true}
+	e.u64(uint64(g.NumVertices()))
+	e.i64s(g.Offsets)
+	e.u32s(g.Neigh)
+	return section{secGraph, "graph", e.b}
+}
+
+// completeBF builds BF sketches over K_n.
+func completeBF(t *testing.T, n int) *core.PG {
+	t.Helper()
+	pg, err := core.Build(graph.Complete(n), core.Config{Kind: core.BF, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pg
+}
+
 func emptyGraphSection() section {
-	var e enc
+	e := enc{pad: true}
 	e.u64(0)
 	e.i64s([]int64{0})
 	e.u32s(nil)
@@ -256,7 +313,7 @@ func emptyGraphSection() section {
 func brokenGraphSection(*graph.Graph) section {
 	g := graph.Complete(4)
 	g.Neigh[0] = 3
-	var e enc
+	e := enc{pad: true}
 	e.u64(uint64(g.NumVertices()))
 	e.i64s(g.Offsets)
 	e.u32s(g.Neigh)
@@ -264,7 +321,7 @@ func brokenGraphSection(*graph.Graph) section {
 }
 
 func orientedSection(o *graph.Oriented) section {
-	var e enc
+	e := enc{pad: true}
 	e.u64(uint64(o.NumVertices()))
 	e.i64s(o.Offsets)
 	e.u32s(o.Neigh)

@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"unsafe"
 
 	"probgraph/internal/core"
 	"probgraph/internal/graph"
@@ -13,11 +14,17 @@ import (
 
 // dec is a bounds-checked little-endian reader over one section payload.
 // Every read reports underflow instead of panicking, so hostile input
-// degrades to a typed error.
+// degrades to a typed error. With pad set (format v2) each array is
+// followed by zero fill to the next 8-byte boundary, which the reader
+// consumes and verifies. With borrow set the multi-byte array readers
+// alias the payload instead of copying — legal only on a little-endian
+// host over an aligned v2 payload, which the mmap open path guarantees.
 type dec struct {
-	b   []byte
-	off int
-	err error
+	b      []byte
+	off    int
+	err    error
+	pad    bool
+	borrow bool
 }
 
 func (d *dec) fail() {
@@ -37,6 +44,35 @@ func (d *dec) take(n int) []byte {
 	out := d.b[d.off : d.off+n]
 	d.off += n
 	return out
+}
+
+// align8 consumes the zero fill that v2 layouts insert after every
+// array; a nonzero padding byte means the writer and the table disagree
+// about the layout, which is corruption, not slack.
+func (d *dec) align8() {
+	if !d.pad || d.err != nil {
+		return
+	}
+	rem := d.off % arrayAlign
+	if rem == 0 {
+		return
+	}
+	pad := d.take(arrayAlign - rem)
+	for i, b := range pad {
+		if b != 0 {
+			d.err = fmt.Errorf("nonzero padding byte %#02x at payload byte %d: %w", b, d.off-len(pad)+i, ErrCorrupt)
+			return
+		}
+	}
+}
+
+// misaligned flags an array whose element data does not sit on its
+// natural boundary — a v2 file with a table offset the encoder would
+// never produce.
+func (d *dec) misaligned(align int) {
+	if d.err == nil {
+		d.err = fmt.Errorf("array at payload byte %d is not %d-byte aligned for in-place use: %w", d.off, align, ErrCorrupt)
+	}
 }
 
 func (d *dec) u8() uint8 {
@@ -84,19 +120,40 @@ func (d *dec) count(elemBytes int) int {
 func (d *dec) u8s() []uint8 {
 	n := d.count(1)
 	if d.err != nil || n == 0 {
+		d.align8()
 		return nil
 	}
+	raw := d.take(n)
+	d.align8()
+	if d.err != nil {
+		return nil
+	}
+	if d.borrow {
+		return raw
+	}
 	out := make([]uint8, n)
-	copy(out, d.take(n))
+	copy(out, raw)
 	return out
 }
 func (d *dec) u32s() []uint32 {
 	n := d.count(4)
 	if d.err != nil || n == 0 {
+		d.align8()
 		return nil
 	}
-	out := make([]uint32, n)
 	raw := d.take(4 * n)
+	d.align8()
+	if d.err != nil {
+		return nil
+	}
+	if d.borrow {
+		if uintptr(unsafe.Pointer(&raw[0]))%4 != 0 {
+			d.misaligned(4)
+			return nil
+		}
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&raw[0])), n)
+	}
+	out := make([]uint32, n)
 	for i := range out {
 		out[i] = binary.LittleEndian.Uint32(raw[4*i:])
 	}
@@ -105,10 +162,22 @@ func (d *dec) u32s() []uint32 {
 func (d *dec) i32s() []int32 {
 	n := d.count(4)
 	if d.err != nil || n == 0 {
+		d.align8()
 		return nil
 	}
-	out := make([]int32, n)
 	raw := d.take(4 * n)
+	d.align8()
+	if d.err != nil {
+		return nil
+	}
+	if d.borrow {
+		if uintptr(unsafe.Pointer(&raw[0]))%4 != 0 {
+			d.misaligned(4)
+			return nil
+		}
+		return unsafe.Slice((*int32)(unsafe.Pointer(&raw[0])), n)
+	}
+	out := make([]int32, n)
 	for i := range out {
 		out[i] = int32(binary.LittleEndian.Uint32(raw[4*i:]))
 	}
@@ -117,10 +186,22 @@ func (d *dec) i32s() []int32 {
 func (d *dec) u64s() []uint64 {
 	n := d.count(8)
 	if d.err != nil || n == 0 {
+		d.align8()
 		return nil
 	}
-	out := make([]uint64, n)
 	raw := d.take(8 * n)
+	d.align8()
+	if d.err != nil {
+		return nil
+	}
+	if d.borrow {
+		if uintptr(unsafe.Pointer(&raw[0]))%8 != 0 {
+			d.misaligned(8)
+			return nil
+		}
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&raw[0])), n)
+	}
+	out := make([]uint64, n)
 	for i := range out {
 		out[i] = binary.LittleEndian.Uint64(raw[8*i:])
 	}
@@ -129,10 +210,22 @@ func (d *dec) u64s() []uint64 {
 func (d *dec) i64s() []int64 {
 	n := d.count(8)
 	if d.err != nil || n == 0 {
+		d.align8()
 		return nil
 	}
-	out := make([]int64, n)
 	raw := d.take(8 * n)
+	d.align8()
+	if d.err != nil {
+		return nil
+	}
+	if d.borrow {
+		if uintptr(unsafe.Pointer(&raw[0]))%8 != 0 {
+			d.misaligned(8)
+			return nil
+		}
+		return unsafe.Slice((*int64)(unsafe.Pointer(&raw[0])), n)
+	}
+	out := make([]int64, n)
 	for i := range out {
 		out[i] = int64(binary.LittleEndian.Uint64(raw[8*i:]))
 	}
@@ -148,14 +241,23 @@ func Decode(r io.Reader) (*Artifact, error) {
 
 // DecodeWithInfo reads and validates an artifact: header and table
 // checks, per-section CRC verification, then section decoding with full
-// geometry validation (the graph's CSR invariants included). The
-// returned FileInfo mirrors what Encode reported when the file was
-// written.
+// geometry validation (the graph's CSR invariants included). Both format
+// versions are accepted; every section is copied into fresh heap slices
+// (the zero-copy alternative is Mmap). The returned FileInfo mirrors
+// what Encode reported when the file was written.
 func DecodeWithInfo(r io.Reader) (*Artifact, *FileInfo, error) {
 	buf, err := io.ReadAll(r)
 	if err != nil {
 		return nil, nil, fmt.Errorf("pgio: reading artifact: %w", err)
 	}
+	return decodeBytes(buf, false)
+}
+
+// decodeBytes validates and decodes one complete in-memory artifact
+// image. With borrow set (the mmap path) the decoded structures alias
+// buf instead of copying, which requires a v2 image — v1 payloads carry
+// no alignment guarantee and are refused with ErrVersion.
+func decodeBytes(buf []byte, borrow bool) (*Artifact, *FileInfo, error) {
 	if len(buf) < headerBytes {
 		return nil, nil, fmt.Errorf("pgio: %d-byte input is shorter than the %d-byte header: %w", len(buf), headerBytes, ErrTruncated)
 	}
@@ -164,8 +266,11 @@ func DecodeWithInfo(r io.Reader) (*Artifact, *FileInfo, error) {
 		return nil, nil, fmt.Errorf("pgio: magic %#08x, want %#08x: %w", magic, Magic, ErrBadMagic)
 	}
 	version := binary.LittleEndian.Uint32(buf[4:])
-	if version != Version {
-		return nil, nil, fmt.Errorf("pgio: artifact version %d, this build reads %d: %w", version, Version, ErrVersion)
+	if version != Version2 && version != VersionV1 {
+		return nil, nil, fmt.Errorf("pgio: artifact version %d, this build reads %d and %d: %w", version, VersionV1, Version2, ErrVersion)
+	}
+	if borrow && version != Version2 {
+		return nil, nil, fmt.Errorf("pgio: zero-copy decode needs an aligned v%d artifact, file is v%d (run pgpack -upgrade): %w", Version2, version, ErrVersion)
 	}
 	nSections := binary.LittleEndian.Uint32(buf[8:])
 	if nSections > maxSections {
@@ -185,6 +290,7 @@ func DecodeWithInfo(r io.Reader) (*Artifact, *FileInfo, error) {
 		OrientedPGs: make(map[core.Kind]*core.PG),
 	}
 	info := &FileInfo{Version: version, Bytes: int64(len(buf))}
+	prevEnd := uint64(tableEnd)
 	for i := 0; i < int(nSections); i++ {
 		ent := table[i*tableEntryBytes:]
 		typ := binary.LittleEndian.Uint32(ent[0:])
@@ -195,15 +301,40 @@ func DecodeWithInfo(r io.Reader) (*Artifact, *FileInfo, error) {
 			return nil, nil, fmt.Errorf("pgio: section %d spans [%d, %d) beyond the %d-byte file: %w",
 				i, offset, offset+length, len(buf), ErrTruncated)
 		}
+		padding := int64(0)
+		if version >= Version2 {
+			// v2 layout invariants: payloads sit in table order on
+			// 64-byte boundaries, separated only by zero fill. A file
+			// violating them was not produced by any encoder.
+			if offset%PayloadAlign != 0 {
+				return nil, nil, fmt.Errorf("pgio: v2 section %d payload at offset %d is not %d-byte aligned: %w",
+					i, offset, PayloadAlign, ErrCorrupt)
+			}
+			if offset < prevEnd {
+				return nil, nil, fmt.Errorf("pgio: v2 section %d at offset %d overlaps the previous extent ending at %d: %w",
+					i, offset, prevEnd, ErrCorrupt)
+			}
+			padding = int64(offset - prevEnd)
+			for j := prevEnd; j < offset; j++ {
+				if buf[j] != 0 {
+					return nil, nil, fmt.Errorf("pgio: nonzero alignment fill byte %#02x at file offset %d: %w",
+						buf[j], j, ErrCorrupt)
+				}
+			}
+			prevEnd = offset + length
+		}
 		payload := buf[offset : offset+length]
 		if got := crc32.Checksum(payload, castagnoli); got != wantCRC {
 			return nil, nil, fmt.Errorf("pgio: section %d payload CRC %#08x, recorded %#08x: %w", i, got, wantCRC, ErrChecksum)
 		}
-		name, err := decodeSection(a, typ, payload)
+		name, err := decodeSection(a, typ, payload, version, borrow)
 		if err != nil {
 			return nil, nil, err
 		}
-		info.Sections = append(info.Sections, SectionInfo{Name: name, Bytes: int64(length), CRC: wantCRC})
+		info.Sections = append(info.Sections, SectionInfo{
+			Name: name, Bytes: int64(length), CRC: wantCRC,
+			Offset: int64(offset), Padding: padding,
+		})
 	}
 	if a.G == nil {
 		return nil, nil, fmt.Errorf("pgio: artifact carries no graph section: %w", ErrCorrupt)
@@ -225,13 +356,14 @@ func DecodeWithInfo(r io.Reader) (*Artifact, *FileInfo, error) {
 
 // decodeSection dispatches one verified payload; unknown types are
 // skipped for forward compatibility.
-func decodeSection(a *Artifact, typ uint32, payload []byte) (string, error) {
+func decodeSection(a *Artifact, typ uint32, payload []byte, version uint32, borrow bool) (string, error) {
+	pad := version >= Version2
 	switch typ {
 	case secGraph:
 		if a.G != nil {
 			return "", fmt.Errorf("pgio: duplicate graph section: %w", ErrCorrupt)
 		}
-		g, err := decodeGraph(payload)
+		g, err := decodeGraph(payload, pad, borrow)
 		if err != nil {
 			return "", err
 		}
@@ -241,20 +373,20 @@ func decodeSection(a *Artifact, typ uint32, payload []byte) (string, error) {
 		if a.O != nil {
 			return "", fmt.Errorf("pgio: duplicate oriented section: %w", ErrCorrupt)
 		}
-		o, err := decodeOriented(payload)
+		o, err := decodeOriented(payload, pad, borrow)
 		if err != nil {
 			return "", err
 		}
 		a.O = o
 		return "oriented", nil
 	case secPG:
-		return decodePGSection(a, payload)
+		return decodePGSection(a, payload, pad, borrow)
 	}
 	return "unknown", nil
 }
 
-func decodeGraph(payload []byte) (*graph.Graph, error) {
-	d := &dec{b: payload}
+func decodeGraph(payload []byte, pad, borrow bool) (*graph.Graph, error) {
+	d := &dec{b: payload, pad: pad, borrow: borrow}
 	n := d.u64()
 	offsets := d.i64s()
 	neigh := d.u32s()
@@ -271,8 +403,8 @@ func decodeGraph(payload []byte) (*graph.Graph, error) {
 	return g, nil
 }
 
-func decodeOriented(payload []byte) (*graph.Oriented, error) {
-	d := &dec{b: payload}
+func decodeOriented(payload []byte, pad, borrow bool) (*graph.Oriented, error) {
+	d := &dec{b: payload, pad: pad, borrow: borrow}
 	n := d.u64()
 	offsets := d.i64s()
 	neigh := d.u32s()
@@ -299,8 +431,8 @@ func decodeOriented(payload []byte) (*graph.Oriented, error) {
 	return &graph.Oriented{Offsets: offsets, Neigh: neigh, Rank: rank}, nil
 }
 
-func decodePGSection(a *Artifact, payload []byte) (string, error) {
-	d := &dec{b: payload}
+func decodePGSection(a *Artifact, payload []byte, pad, borrow bool) (string, error) {
+	d := &dec{b: payload, pad: pad, borrow: borrow}
 	role := d.u8()
 	var r core.Raw
 	r.Cfg.Kind = core.Kind(d.u8())
@@ -343,7 +475,13 @@ func decodePGSection(a *Artifact, payload []byte) (string, error) {
 	if r.Cfg.K > maxSketchK {
 		return "", fmt.Errorf("pgio: PG section claims %d sketch slots per vertex (cap %d): %w", r.Cfg.K, maxSketchK, ErrCorrupt)
 	}
-	pg, err := core.FromRaw(r)
+	var pg *core.PG
+	var err error
+	if borrow {
+		pg, err = core.FromRawBorrowed(r)
+	} else {
+		pg, err = core.FromRaw(r)
+	}
 	if err != nil {
 		return "", fmt.Errorf("pgio: PG section: %v: %w", err, ErrCorrupt)
 	}

@@ -12,8 +12,14 @@ import (
 )
 
 // enc is a growing little-endian byte encoder. Arrays are written with a
-// u64 element-count prefix, so every payload is self-describing.
-type enc struct{ b []byte }
+// u64 element-count prefix, so every payload is self-describing. With
+// pad set (format v2), every array is followed by zero fill up to the
+// next 8-byte boundary, so each count prefix — and therefore each
+// array's element data — sits 8-byte aligned within the payload.
+type enc struct {
+	b   []byte
+	pad bool
+}
 
 func (e *enc) u8(v uint8) { e.b = append(e.b, v) }
 func (e *enc) u32(v uint32) {
@@ -25,9 +31,21 @@ func (e *enc) u64(v uint64) {
 func (e *enc) i64(v int64)   { e.u64(uint64(v)) }
 func (e *enc) f64(v float64) { e.u64(math.Float64bits(v)) }
 
+// align8 pads the buffer with zeros to the next 8-byte boundary (v2
+// layouts only) — called after every array body.
+func (e *enc) align8() {
+	if !e.pad {
+		return
+	}
+	for len(e.b)%arrayAlign != 0 {
+		e.b = append(e.b, 0)
+	}
+}
+
 func (e *enc) u8s(v []uint8) {
 	e.u64(uint64(len(v)))
 	e.b = append(e.b, v...)
+	e.align8()
 }
 func (e *enc) u32s(v []uint32) {
 	e.u64(uint64(len(v)))
@@ -35,6 +53,7 @@ func (e *enc) u32s(v []uint32) {
 	for _, x := range v {
 		e.b = binary.LittleEndian.AppendUint32(e.b, x)
 	}
+	e.align8()
 }
 func (e *enc) i32s(v []int32) {
 	e.u64(uint64(len(v)))
@@ -42,6 +61,7 @@ func (e *enc) i32s(v []int32) {
 	for _, x := range v {
 		e.b = binary.LittleEndian.AppendUint32(e.b, uint32(x))
 	}
+	e.align8()
 }
 func (e *enc) u64s(v []uint64) {
 	e.u64(uint64(len(v)))
@@ -76,18 +96,31 @@ type section struct {
 	payload []byte
 }
 
-// Encode writes the artifact and returns its structural summary. The
-// graph section is mandatory; the orientation and any sketch sections
-// are written when present. Sketch kind order follows a.Kinds (resp.
-// a.OrientedKinds) when set, otherwise ascending kind value.
+// Encode writes the artifact in the current format version (v2: every
+// section payload starts 64-byte aligned, every array within a payload
+// 8-byte aligned) and returns its structural summary. The graph section
+// is mandatory; the orientation and any sketch sections are written
+// when present. Sketch kind order follows a.Kinds (resp. a.OrientedKinds)
+// when set, otherwise ascending kind value.
 func Encode(w io.Writer, a *Artifact) (*FileInfo, error) {
+	return encodeVersion(w, a, Version)
+}
+
+// encodeVersion is Encode parameterized by format version. Version 1
+// (unaligned, no padding) remains writable so the upgrade tool and the
+// compatibility tests can produce legacy files.
+func encodeVersion(w io.Writer, a *Artifact, version uint32) (*FileInfo, error) {
+	if version != Version && version != VersionV1 {
+		return nil, fmt.Errorf("pgio: cannot encode format version %d: %w", version, ErrVersion)
+	}
 	if a == nil || a.G == nil {
 		return nil, fmt.Errorf("pgio: encode needs an artifact with a graph")
 	}
+	pad := version >= Version2
 	n := a.G.NumVertices()
 	var sections []section
 
-	var ge enc
+	ge := enc{pad: pad}
 	ge.u64(uint64(n))
 	ge.i64s(a.G.Offsets)
 	ge.u32s(a.G.Neigh)
@@ -97,7 +130,7 @@ func Encode(w io.Writer, a *Artifact) (*FileInfo, error) {
 		if a.O.NumVertices() != n {
 			return nil, fmt.Errorf("pgio: orientation covers %d vertices, graph has %d", a.O.NumVertices(), n)
 		}
-		var oe enc
+		oe := enc{pad: pad}
 		oe.u64(uint64(n))
 		oe.i64s(a.O.Offsets)
 		oe.u32s(a.O.Neigh)
@@ -123,43 +156,64 @@ func Encode(w io.Writer, a *Artifact) (*FileInfo, error) {
 				return nil, fmt.Errorf("pgio: %v sketches cover %d vertices, graph has %d", k, pg.NumVertices(), n)
 			}
 			sections = append(sections, section{
-				secPG, sectionName(secPG, pgs.role, k), encodePG(pg, pgs.role),
+				secPG, sectionName(secPG, pgs.role, k), encodePG(pg, pgs.role, pad),
 			})
 		}
 	}
 
-	data, info := assemble(sections)
+	data, info := assembleVersion(sections, version)
 	if _, err := w.Write(data); err != nil {
 		return nil, fmt.Errorf("pgio: writing artifact: %w", err)
 	}
 	return info, nil
 }
 
-// assemble lays out header, section table and payloads into one buffer.
-// Offsets are from file start; CRCs cover each payload, and the header
-// CRC covers the table.
+// assemble lays out header, section table and payloads into one buffer
+// in the current format version — the corruption tests' entry point for
+// crafting structurally valid files from arbitrary payloads.
 func assemble(sections []section) ([]byte, *FileInfo) {
-	info := &FileInfo{Version: Version}
+	return assembleVersion(sections, Version)
+}
+
+// assembleVersion lays out header, section table and payloads into one
+// buffer. Offsets are from file start; CRCs cover each payload (its
+// internal padding included), and the header CRC covers the table. In
+// v2, each payload's file offset is rounded up to PayloadAlign with
+// zero fill; v1 concatenates payloads back to back.
+func assembleVersion(sections []section, version uint32) ([]byte, *FileInfo) {
+	info := &FileInfo{Version: version}
 	offset := uint64(headerBytes + tableEntryBytes*len(sections))
 	var table enc
 	for _, s := range sections {
+		pad := uint64(0)
+		if version >= Version2 {
+			aligned := (offset + PayloadAlign - 1) / PayloadAlign * PayloadAlign
+			pad = aligned - offset
+			offset = aligned
+		}
 		crc := crc32.Checksum(s.payload, castagnoli)
 		table.u32(s.typ)
 		table.u32(crc)
 		table.u64(offset)
 		table.u64(uint64(len(s.payload)))
 		table.u64(0) // reserved
-		info.Sections = append(info.Sections, SectionInfo{Name: s.name, Bytes: int64(len(s.payload)), CRC: crc})
+		info.Sections = append(info.Sections, SectionInfo{
+			Name: s.name, Bytes: int64(len(s.payload)), CRC: crc,
+			Offset: int64(offset), Padding: int64(pad),
+		})
 		offset += uint64(len(s.payload))
 	}
 	var out enc
 	out.u32(Magic)
-	out.u32(Version)
+	out.u32(version)
 	out.u32(uint32(len(sections)))
 	out.u32(crc32.Checksum(table.b, castagnoli))
 	out.u64(0) // reserved
 	out.b = append(out.b, table.b...)
-	for _, s := range sections {
+	for i, s := range sections {
+		for n := info.Sections[i].Padding; n > 0; n-- {
+			out.b = append(out.b, 0)
+		}
 		out.b = append(out.b, s.payload...)
 	}
 	info.Bytes = int64(offset)
@@ -197,12 +251,14 @@ func kindOrder(kinds []core.Kind, m map[core.Kind]*core.PG) ([]core.Kind, error)
 }
 
 // encodePG serializes one sketch set as a PG section payload: the fixed
-// configuration block, then every flat array with a count prefix. The
-// arrays are written exactly as core.Build laid them out, so decoding
-// reconstitutes a bit-identical PG without re-hashing anything.
-func encodePG(pg *core.PG, role uint8) []byte {
+// 56-byte configuration block, then every flat array with a count
+// prefix. The arrays are written exactly as core.Build laid them out,
+// so decoding reconstitutes a bit-identical PG without re-hashing
+// anything — and, in v2, each array's element data lands 8-byte aligned
+// so a mapped payload can be used in place.
+func encodePG(pg *core.PG, role uint8, pad bool) []byte {
 	r := pg.Raw()
-	var e enc
+	e := enc{pad: pad}
 	e.u8(role)
 	e.u8(uint8(r.Cfg.Kind))
 	e.u8(uint8(r.Cfg.Est))

@@ -1,0 +1,90 @@
+package pgio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"probgraph/internal/core"
+)
+
+// ReadInfo is the header-only fast path: it reads the 24-byte header,
+// the section table, and — to render sketch section names — the 2-byte
+// role/kind prefix of each PG payload, never the payload bodies. For a
+// multi-gigabyte artifact that is a few hundred bytes of IO instead of
+// the whole file, which is what pgpack -info wants when it lists section
+// layout. The table CRC is verified; payload CRCs are not (use Decode or
+// Mmap for content verification). Offsets and padding are validated the
+// same way the full decoder validates them, minus the zero-fill sweep.
+func ReadInfo(r io.ReaderAt) (*FileInfo, error) {
+	var hdr [headerBytes]byte
+	if _, err := r.ReadAt(hdr[:], 0); err != nil {
+		return nil, fmt.Errorf("pgio: reading artifact header: %w", ErrTruncated)
+	}
+	if magic := binary.LittleEndian.Uint32(hdr[0:]); magic != Magic {
+		return nil, fmt.Errorf("pgio: magic %#08x, want %#08x: %w", magic, Magic, ErrBadMagic)
+	}
+	version := binary.LittleEndian.Uint32(hdr[4:])
+	if version != Version2 && version != VersionV1 {
+		return nil, fmt.Errorf("pgio: artifact version %d, this build reads %d and %d: %w", version, VersionV1, Version2, ErrVersion)
+	}
+	nSections := binary.LittleEndian.Uint32(hdr[8:])
+	if nSections > maxSections {
+		return nil, fmt.Errorf("pgio: header claims %d sections (cap %d): %w", nSections, maxSections, ErrCorrupt)
+	}
+	table := make([]byte, tableEntryBytes*int(nSections))
+	if _, err := r.ReadAt(table, headerBytes); err != nil {
+		return nil, fmt.Errorf("pgio: input ends inside the section table: %w", ErrTruncated)
+	}
+	if got, want := crc32.Checksum(table, castagnoli), binary.LittleEndian.Uint32(hdr[12:]); got != want {
+		return nil, fmt.Errorf("pgio: section table CRC %#08x, recorded %#08x: %w", got, want, ErrChecksum)
+	}
+
+	info := &FileInfo{Version: version}
+	prevEnd := uint64(headerBytes + tableEntryBytes*int(nSections))
+	info.Bytes = int64(prevEnd)
+	for i := 0; i < int(nSections); i++ {
+		ent := table[i*tableEntryBytes:]
+		typ := binary.LittleEndian.Uint32(ent[0:])
+		crc := binary.LittleEndian.Uint32(ent[4:])
+		offset := binary.LittleEndian.Uint64(ent[8:])
+		length := binary.LittleEndian.Uint64(ent[16:])
+		if length > maxSectionPayload || offset+length < offset {
+			return nil, fmt.Errorf("pgio: section %d claims an absurd extent [%d, %d): %w", i, offset, offset+length, ErrCorrupt)
+		}
+		padding := int64(0)
+		if version >= Version2 {
+			if offset%PayloadAlign != 0 {
+				return nil, fmt.Errorf("pgio: v2 section %d payload at offset %d is not %d-byte aligned: %w",
+					i, offset, PayloadAlign, ErrCorrupt)
+			}
+			if offset < prevEnd {
+				return nil, fmt.Errorf("pgio: v2 section %d at offset %d overlaps the previous extent ending at %d: %w",
+					i, offset, prevEnd, ErrCorrupt)
+			}
+			padding = int64(offset - prevEnd)
+			prevEnd = offset + length
+		}
+		name := sectionName(typ, 0, 0)
+		if typ == secPG {
+			// Only the 2-byte role/kind prefix is needed for the name.
+			var pre [2]byte
+			if length < 2 {
+				return nil, fmt.Errorf("pgio: PG section %d is %d bytes, shorter than its role/kind prefix: %w", i, length, ErrCorrupt)
+			}
+			if _, err := r.ReadAt(pre[:], int64(offset)); err != nil {
+				return nil, fmt.Errorf("pgio: section %d payload is unreadable at offset %d: %w", i, offset, ErrTruncated)
+			}
+			name = sectionName(secPG, pre[0], core.Kind(pre[1]))
+		}
+		info.Sections = append(info.Sections, SectionInfo{
+			Name: name, Bytes: int64(length), CRC: crc,
+			Offset: int64(offset), Padding: padding,
+		})
+		if end := int64(offset + length); end > info.Bytes {
+			info.Bytes = end
+		}
+	}
+	return info, nil
+}

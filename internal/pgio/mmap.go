@@ -1,0 +1,154 @@
+package pgio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"strings"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Decode mode strings reported by Mapped.Mode, /v1/stats, and the obs
+// gauges.
+const (
+	// ModeMmap: sections are used in place from a read-only mapping.
+	ModeMmap = "mmap"
+	// ModeCopy: sections were copied onto the heap (v1 file, non-linux
+	// platform, or big-endian host).
+	ModeCopy = "copy"
+)
+
+// Mapped is an artifact opened by Mmap: the decoded Artifact plus the
+// mapping backing it. On the zero-copy path every CSR array and sketch
+// row aliases the mapping, so the Artifact must not outlive Close — the
+// serving layer ties Close to serve-epoch retirement for exactly this
+// reason. On the fallback path (v1 file, unsupported platform) the
+// Artifact owns ordinary heap copies and Close is a no-op.
+type Mapped struct {
+	A    *Artifact
+	Info *FileInfo
+
+	data   []byte // the raw mapping; nil on the copying fallback
+	closed atomic.Bool
+	mode   string
+}
+
+// Mode reports how the artifact was decoded: ModeMmap or ModeCopy.
+func (m *Mapped) Mode() string { return m.mode }
+
+// MappedBytes reports the size of the live mapping (0 on the copying
+// fallback or after Close).
+func (m *Mapped) MappedBytes() int64 {
+	if m.mode != ModeMmap || m.closed.Load() {
+		return 0
+	}
+	return int64(len(m.data))
+}
+
+// Close releases the mapping. Idempotent. After Close every slice of a
+// zero-copy Artifact is invalid — callers (the serving layer's epoch
+// retirement) must guarantee no reader is left. A copying Mapped closes
+// trivially.
+func (m *Mapped) Close() error {
+	if m.closed.Swap(true) || m.data == nil {
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	if err := unmapFile(data); err != nil {
+		return fmt.Errorf("pgio: unmapping artifact: %w", err)
+	}
+	return nil
+}
+
+// hostLittleEndian reports whether this machine stores integers the way
+// the format does; a big-endian host must fall back to the converting
+// copy decoder.
+func hostLittleEndian() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}
+
+// Mmap opens a .pg artifact for zero-copy serving: the file is mapped
+// read-only, every CRC is verified once against the mapping, and the
+// decoded sections alias it — cold start costs page table setup plus one
+// checksum sweep instead of a full heap copy, resident pages are shared
+// through the page cache by every process mapping the same file, and a
+// graph larger than RAM pages in on demand. Sketch sections are advised
+// MADV_RANDOM (point probes touch scattered rows), CSR sections
+// MADV_SEQUENTIAL (kernel sweeps walk them in order).
+//
+// Falls back to the copying decoder — same Artifact, Mode() == ModeCopy,
+// no mapping to manage — when the platform has no mmap, the host is
+// big-endian, or the file is an unaligned v1 artifact.
+func Mmap(path string) (*Mapped, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("pgio: opening artifact: %w", err)
+	}
+	defer f.Close()
+
+	zeroCopy := mmapSupported && hostLittleEndian()
+	if zeroCopy {
+		// Peek the header: a v1 file carries no alignment guarantee and
+		// must take the copying path (pgpack -upgrade converts it).
+		var hdr [8]byte
+		if _, err := f.ReadAt(hdr[:], 0); err == nil &&
+			binary.LittleEndian.Uint32(hdr[0:]) == Magic &&
+			binary.LittleEndian.Uint32(hdr[4:]) != Version2 {
+			zeroCopy = false
+		}
+	}
+	if !zeroCopy {
+		a, info, err := DecodeWithInfo(f)
+		if err != nil {
+			return nil, err
+		}
+		return &Mapped{A: a, Info: info, mode: ModeCopy}, nil
+	}
+
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("pgio: stat artifact: %w", err)
+	}
+	if st.Size() == 0 {
+		return nil, fmt.Errorf("pgio: empty artifact file: %w", ErrTruncated)
+	}
+	data, err := mapFile(f, st.Size())
+	if err != nil {
+		return nil, fmt.Errorf("pgio: mapping artifact: %w", err)
+	}
+	a, info, err := decodeBytes(data, true)
+	if err != nil {
+		_ = unmapFile(data)
+		return nil, err
+	}
+	adviseSections(data, info)
+	return &Mapped{A: a, Info: info, data: data, mode: ModeMmap}, nil
+}
+
+// adviseSections hands the kernel per-section access-pattern hints.
+// Ranges are widened to page boundaries (madvise requires page-aligned
+// addresses); where a sketch section and a CSR section share a page the
+// later hint wins for that page, which is harmless.
+func adviseSections(data []byte, info *FileInfo) {
+	for _, s := range info.Sections {
+		if s.Bytes == 0 {
+			continue
+		}
+		start := s.Offset &^ (pageSize - 1)
+		end := s.Offset + s.Bytes
+		if end > int64(len(data)) {
+			end = int64(len(data))
+		}
+		seg := data[start:end]
+		if strings.HasPrefix(s.Name, "pg:") || strings.HasPrefix(s.Name, "opg:") {
+			adviseRandom(seg)
+		} else {
+			adviseSequential(seg)
+		}
+	}
+}
+
+var pageSize = int64(os.Getpagesize())

@@ -1,0 +1,38 @@
+//go:build linux
+
+package pgio
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy path: true where the stdlib exposes
+// the mmap family.
+const mmapSupported = true
+
+// mapFile maps the whole file read-only and shared, so resident pages
+// are the page cache's — every process mapping the same artifact shares
+// them, and RSS charges only the pages a process actually touches.
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func unmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}
+
+// adviseRandom hints scattered point access (sketch rows): no readahead.
+func adviseRandom(seg []byte) {
+	if len(seg) > 0 {
+		_ = syscall.Madvise(seg, syscall.MADV_RANDOM)
+	}
+}
+
+// adviseSequential hints in-order sweeps (CSR arrays): aggressive
+// readahead.
+func adviseSequential(seg []byte) {
+	if len(seg) > 0 {
+		_ = syscall.Madvise(seg, syscall.MADV_SEQUENTIAL)
+	}
+}

@@ -1,0 +1,19 @@
+//go:build !linux
+
+package pgio
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported gates the zero-copy path; on platforms without a ported
+// mmap shim, Mmap silently degrades to the copying decoder.
+const mmapSupported = false
+
+var errNoMmap = errors.New("pgio: memory mapping is not supported on this platform")
+
+func mapFile(*os.File, int64) ([]byte, error) { return nil, errNoMmap }
+func unmapFile([]byte) error                  { return nil }
+func adviseRandom([]byte)                     {}
+func adviseSequential([]byte)                 {}

@@ -1,0 +1,226 @@
+package pgio
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// writeArtifactFile encodes a (version-parameterized) artifact to a temp
+// file and returns its path.
+func writeArtifactFile(t *testing.T, a *Artifact, version uint32) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.pg")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := encodeVersion(f, a, version); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestMmapBitIdentity is the zero-copy contract: a mapped artifact holds
+// the same graph, orientation, and sketch arrays as a heap decode, every
+// estimator answer is Float64bits-identical, and the PGs report borrowed.
+func TestMmapBitIdentity(t *testing.T) {
+	a := buildArtifact(t)
+	path := writeArtifactFile(t, a, Version)
+
+	m, err := Mmap(path)
+	if err != nil {
+		t.Fatalf("Mmap: %v", err)
+	}
+	defer m.Close()
+	if runtime.GOOS == "linux" {
+		if m.Mode() != ModeMmap {
+			t.Fatalf("Mode() = %q on linux, want %q", m.Mode(), ModeMmap)
+		}
+		if m.MappedBytes() != m.Info.Bytes {
+			t.Fatalf("MappedBytes() = %d, file is %d", m.MappedBytes(), m.Info.Bytes)
+		}
+		for _, k := range m.A.Kinds {
+			if !m.A.PGs[k].Borrowed() {
+				t.Fatalf("%v: mapped PG does not report Borrowed()", k)
+			}
+		}
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap, heapInfo, err := DecodeWithInfo(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Info, heapInfo) {
+		t.Fatalf("mapped FileInfo %+v differs from heap decode %+v", m.Info, heapInfo)
+	}
+	if !reflect.DeepEqual(m.A.G.Offsets, heap.G.Offsets) || !reflect.DeepEqual(m.A.G.Neigh, heap.G.Neigh) {
+		t.Fatal("mapped CSR differs from heap decode")
+	}
+	if !reflect.DeepEqual(m.A.O, heap.O) {
+		t.Fatal("mapped orientation differs from heap decode")
+	}
+	if !reflect.DeepEqual(m.A.Kinds, heap.Kinds) {
+		t.Fatalf("mapped kind order %v, want %v", m.A.Kinds, heap.Kinds)
+	}
+	n := uint32(heap.G.NumVertices())
+	for _, k := range heap.Kinds {
+		mr, hr := m.A.PGs[k].Raw(), heap.PGs[k].Raw()
+		if !reflect.DeepEqual(mr, hr) {
+			t.Fatalf("%v: mapped raw arrays differ from heap decode", k)
+		}
+		// The acceptance criterion verbatim: Float64bits identity between
+		// heap-decoded and mmap-decoded estimates, for every sketch kind.
+		for i := uint32(0); i < 128; i++ {
+			u, v := (i*37)%n, (i*101+13)%n
+			hb := math.Float64bits(heap.PGs[k].IntCard(u, v))
+			mb := math.Float64bits(m.A.PGs[k].IntCard(u, v))
+			if hb != mb {
+				t.Fatalf("%v: IntCard(%d,%d) bits %x (mmap) != %x (heap)", k, u, v, mb, hb)
+			}
+		}
+	}
+	if !reflect.DeepEqual(m.A.OrientedPGs[a.OrientedKinds[0]].Raw(), heap.OrientedPGs[a.OrientedKinds[0]].Raw()) {
+		t.Fatal("mapped oriented sketches differ from heap decode")
+	}
+}
+
+// TestMmapV1Fallback: a v1 file opens through Mmap but on the copying
+// path — same content, no mapping to manage.
+func TestMmapV1Fallback(t *testing.T) {
+	a := buildArtifact(t)
+	path := writeArtifactFile(t, a, VersionV1)
+	m, err := Mmap(path)
+	if err != nil {
+		t.Fatalf("Mmap(v1): %v", err)
+	}
+	if m.Mode() != ModeCopy {
+		t.Fatalf("Mode() = %q for a v1 file, want %q", m.Mode(), ModeCopy)
+	}
+	if m.MappedBytes() != 0 {
+		t.Fatalf("MappedBytes() = %d on the copying path", m.MappedBytes())
+	}
+	for _, k := range m.A.Kinds {
+		if m.A.PGs[k].Borrowed() {
+			t.Fatalf("%v: copy-decoded PG reports Borrowed()", k)
+		}
+	}
+	if m.A.G.NumVertices() != a.G.NumVertices() || m.A.G.NumEdges() != a.G.NumEdges() {
+		t.Fatal("v1 fallback lost the graph")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close on copying path: %v", err)
+	}
+}
+
+// TestMmapCloseIdempotent: Close twice is safe, and MappedBytes drops to
+// zero after the first.
+func TestMmapCloseIdempotent(t *testing.T) {
+	a := buildArtifact(t)
+	m, err := Mmap(writeArtifactFile(t, a, Version))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if m.MappedBytes() != 0 {
+		t.Fatalf("MappedBytes() = %d after Close", m.MappedBytes())
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestMmapCorrupt: corruption surfaces as the same typed errors the
+// copying decoder returns, with the transient mapping torn down.
+func TestMmapCorrupt(t *testing.T) {
+	a := buildArtifact(t)
+	path := writeArtifactFile(t, a, Version)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-3] ^= 0x01 // payload damage
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Mmap(path); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("Mmap of a damaged file: got %v, want ErrChecksum", err)
+	}
+	if _, err := Mmap(filepath.Join(t.TempDir(), "missing.pg")); err == nil {
+		t.Fatal("Mmap of a missing file succeeded")
+	}
+}
+
+// countingReaderAt counts the bytes served, so TestReadInfoHeaderOnly
+// can prove the fast path never touches payload bodies.
+type countingReaderAt struct {
+	r    *bytes.Reader
+	read int64
+}
+
+func (c *countingReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	n, err := c.r.ReadAt(p, off)
+	c.read += int64(n)
+	return n, err
+}
+
+// TestReadInfoHeaderOnly: ReadInfo reproduces Encode's structural
+// summary from the header, table, and 2-byte PG name prefixes alone.
+func TestReadInfoHeaderOnly(t *testing.T) {
+	a := buildArtifact(t)
+	for _, version := range []uint32{VersionV1, Version2} {
+		var buf bytes.Buffer
+		wantInfo, err := encodeVersion(&buf, a, version)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr := &countingReaderAt{r: bytes.NewReader(buf.Bytes())}
+		info, err := ReadInfo(cr)
+		if err != nil {
+			t.Fatalf("ReadInfo(v%d): %v", version, err)
+		}
+		if !reflect.DeepEqual(info, wantInfo) {
+			t.Fatalf("v%d: ReadInfo %+v differs from encode-side %+v", version, info, wantInfo)
+		}
+		budget := int64(headerBytes + tableEntryBytes*len(info.Sections) + 2*len(info.Sections))
+		if cr.read > budget {
+			t.Fatalf("v%d: ReadInfo read %d bytes of a %d-byte file (budget %d) — it is touching payloads",
+				version, cr.read, buf.Len(), budget)
+		}
+	}
+
+	// Damage that ReadInfo must still catch without payload access.
+	var buf bytes.Buffer
+	if _, err := Encode(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xff
+	if _, err := ReadInfo(bytes.NewReader(bad)); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: got %v", err)
+	}
+	bad = append([]byte(nil), good...)
+	bad[headerBytes+2] ^= 0x40
+	if _, err := ReadInfo(bytes.NewReader(bad)); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("table damage: got %v", err)
+	}
+	if _, err := ReadInfo(bytes.NewReader(good[:headerBytes-1])); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("header cut: got %v", err)
+	}
+}

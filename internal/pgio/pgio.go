@@ -18,13 +18,16 @@
 //	              table CRC32-C u32 | reserved u64
 //	section table per section: type u32 | payload CRC32-C u32 |
 //	              offset u64 | length u64 | reserved u64
-//	payloads      concatenated section bodies
+//	payloads      concatenated section bodies (v2: each payload starts
+//	              64-byte aligned, zero fill between payloads)
 //
 // Sections carry their own CRC32-C, so corruption is detected per
 // section before any content is interpreted. Unknown section types are
-// skipped (forward compatibility); version bumps are breaking and
-// refused. Every failure mode maps to one of the typed sentinel errors
-// below — decode never panics on hostile input.
+// skipped (forward compatibility); versions other than 1 and 2 are
+// refused. Version 2 adds alignment padding so payloads can be used in
+// place from a memory mapping (see Mmap); version 1 files still decode
+// on the copying path. Every failure mode maps to one of the typed
+// sentinel errors below — decode never panics on hostile input.
 package pgio
 
 import (
@@ -38,8 +41,29 @@ import (
 const (
 	// Magic identifies a ProbGraph artifact file: the bytes "PGAF".
 	Magic uint32 = 0x46414750
-	// Version is the current (and only) artifact format version.
-	Version uint32 = 1
+	// Version is the current artifact format version. Version 2 adds
+	// alignment: every section payload starts on a PayloadAlign (64-byte)
+	// file offset and every array inside a payload is padded with zeros
+	// to an 8-byte boundary, so a mapped file can be used in place
+	// without copying. Both versions decode; only v2 is written.
+	Version uint32 = Version2
+	// VersionV1 is the original unaligned format (PR 5). It still
+	// decodes on the copying path and can still be written (see
+	// pgpack -upgrade's compatibility tests), but mmap serving refuses
+	// it: its payloads carry no alignment guarantee.
+	VersionV1 uint32 = 1
+	// Version2 is the aligned format this build writes.
+	Version2 uint32 = 2
+
+	// PayloadAlign is the file-offset alignment of every v2 section
+	// payload: one cache line, so the first sketch row of a mapped
+	// section never straddles a line and u64 arrays can be reinterpreted
+	// in place on any architecture Go supports.
+	PayloadAlign = 64
+	// arrayAlign is the intra-payload alignment of every v2 array: the
+	// widest element (u64/i64/f64) must land on a natural boundary for
+	// the zero-copy cast to be legal.
+	arrayAlign = 8
 
 	headerBytes       = 24
 	tableEntryBytes   = 32
@@ -112,11 +136,15 @@ type Artifact struct {
 }
 
 // SectionInfo describes one encoded section: its human-readable name
-// ("graph", "oriented", "pg:BF", "opg:BF"), payload size, and CRC.
+// ("graph", "oriented", "pg:BF", "opg:BF"), payload size, CRC, file
+// offset, and the zero-fill inserted before the payload to align it
+// (always 0 for v1 artifacts).
 type SectionInfo struct {
-	Name  string `json:"name"`
-	Bytes int64  `json:"bytes"`
-	CRC   uint32 `json:"crc"`
+	Name    string `json:"name"`
+	Bytes   int64  `json:"bytes"`
+	CRC     uint32 `json:"crc"`
+	Offset  int64  `json:"offset"`
+	Padding int64  `json:"padding"`
 }
 
 // FileInfo is the artifact's structural summary: what pgpack prints and

@@ -2,6 +2,7 @@ package pgio
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"testing"
 
@@ -133,7 +134,7 @@ func TestInfoSections(t *testing.T) {
 	if len(info.Sections) != len(wantNames) {
 		t.Fatalf("%d sections, want %d", len(info.Sections), len(wantNames))
 	}
-	var payload int64
+	var payload, padding int64
 	for i, s := range info.Sections {
 		if s.Name != wantNames[i] {
 			t.Fatalf("section %d is %q, want %q", i, s.Name, wantNames[i])
@@ -141,14 +142,70 @@ func TestInfoSections(t *testing.T) {
 		if s.Bytes <= 0 {
 			t.Fatalf("section %q has non-positive size %d", s.Name, s.Bytes)
 		}
+		if s.Offset%PayloadAlign != 0 {
+			t.Fatalf("section %q payload at offset %d is not %d-byte aligned", s.Name, s.Offset, PayloadAlign)
+		}
+		if s.Padding < 0 || s.Padding >= PayloadAlign {
+			t.Fatalf("section %q has alignment fill %d outside [0,%d)", s.Name, s.Padding, PayloadAlign)
+		}
 		payload += s.Bytes
+		padding += s.Padding
 	}
 	overhead := int64(headerBytes + tableEntryBytes*len(info.Sections))
-	if payload+overhead != info.Bytes {
-		t.Fatalf("payload %d + overhead %d != file size %d", payload, overhead, info.Bytes)
+	if payload+padding+overhead != info.Bytes {
+		t.Fatalf("payload %d + padding %d + overhead %d != file size %d", payload, padding, overhead, info.Bytes)
 	}
 	if got := info.SectionBytes()["pg:BF"]; got != info.Sections[2].Bytes {
 		t.Fatalf("SectionBytes[pg:BF] = %d, want %d", got, info.Sections[2].Bytes)
+	}
+}
+
+// TestV1Compat pins backward compatibility: a version-1 (unaligned)
+// artifact still decodes on the copying path, bit-identically to the v2
+// decode of the same content, with the summary reporting version 1 and
+// zero alignment fill everywhere.
+func TestV1Compat(t *testing.T) {
+	a := buildArtifact(t)
+	var v1, v2 bytes.Buffer
+	info1, err := encodeVersion(&v1, a, VersionV1)
+	if err != nil {
+		t.Fatalf("encode v1: %v", err)
+	}
+	if _, err := Encode(&v2, a); err != nil {
+		t.Fatalf("encode v2: %v", err)
+	}
+	if info1.Version != VersionV1 {
+		t.Fatalf("v1 summary reports version %d", info1.Version)
+	}
+	if v1.Len() >= v2.Len() {
+		t.Fatalf("v1 file (%d bytes) is not smaller than padded v2 (%d bytes)", v1.Len(), v2.Len())
+	}
+	got1, gotInfo1, err := DecodeWithInfo(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatalf("decode v1: %v", err)
+	}
+	got2, _, err := DecodeWithInfo(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatalf("decode v2: %v", err)
+	}
+	if gotInfo1.Version != VersionV1 {
+		t.Fatalf("decoded v1 summary reports version %d", gotInfo1.Version)
+	}
+	for _, s := range gotInfo1.Sections {
+		if s.Padding != 0 {
+			t.Fatalf("v1 section %q reports %d bytes of alignment fill", s.Name, s.Padding)
+		}
+	}
+	if !reflect.DeepEqual(got1, got2) {
+		t.Fatal("v1 decode differs from v2 decode of the same artifact")
+	}
+	// A v1 image must be refused by the zero-copy path (no alignment
+	// guarantee) with a version error pointing at pgpack -upgrade.
+	if _, _, err := decodeBytes(v1.Bytes(), true); !errors.Is(err, ErrVersion) {
+		t.Fatalf("borrowed decode of a v1 image: got %v, want ErrVersion", err)
+	}
+	if _, _, err := decodeBytes(v2.Bytes(), true); err != nil {
+		t.Fatalf("borrowed decode of a v2 image: %v", err)
 	}
 }
 

@@ -64,6 +64,39 @@ func OpenDecoded(a *pgio.Artifact, info *pgio.FileInfo, cfg SnapshotConfig) (*Sn
 		return nil, err
 	}
 	snap.Artifact = info
+	snap.Mode = pgio.ModeCopy
+	return snap, nil
+}
+
+// OpenArtifactMmap boots a snapshot zero-copy: the artifact file is
+// mapped read-only (pgio.Mmap) and the snapshot's CSR arrays and sketch
+// rows alias the mapping — cold start pays page-table setup plus one CRC
+// sweep instead of a heap copy, and every process serving the same file
+// shares its resident pages through the page cache. The snapshot owns
+// the mapping: the engine unmaps it at epoch retirement, after the last
+// in-flight query on the epoch drains (Snapshot.Close). Falls back
+// transparently to the copying decoder (Mode == pgio.ModeCopy, nothing
+// to unmap) for v1 files and platforms without mmap.
+//
+// One behavioral caveat a caller must respect: the resident PGs of a
+// mapped snapshot are borrowed (core.PG.Borrowed) and refuse mutation
+// with core.ErrBorrowed — a streaming restart that wants to keep
+// ingesting must Clone them (stream.NewWith already does).
+func OpenArtifactMmap(path string, cfg SnapshotConfig) (*Snapshot, error) {
+	m, err := pgio.Mmap(path)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := OpenDecoded(m.A, m.Info, cfg)
+	if err != nil {
+		_ = m.Close()
+		return nil, err
+	}
+	snap.Mode = m.Mode()
+	snap.MappedBytes = m.MappedBytes()
+	if m.Mode() == pgio.ModeMmap {
+		snap.closer = m
+	}
 	return snap, nil
 }
 

@@ -213,6 +213,15 @@ type serving struct {
 
 	patMu sync.Mutex
 	pat   map[string]*patCell // "kind|canonical-pattern" → memo cell
+
+	// refs counts reasons the epoch's storage must stay readable: 1 for
+	// the engine while this is (or was) its current serving, plus one
+	// per in-flight query that captured it. When the count drains to
+	// zero — the epoch was swapped out AND the last query on it finished
+	// — the snapshot's backing resource is released (for a zero-copy
+	// snapshot, the munmap). This is what makes a hot-swap safe over
+	// mmap: rows are never unmapped while any query can still read them.
+	refs atomic.Int64
 }
 
 // newServing derives the evaluation state of one snapshot.
@@ -224,6 +233,7 @@ func newServing(s *Snapshot, workers int) *serving {
 		sess:    make(map[core.Kind]*session.Session, len(s.kinds)),
 		pat:     make(map[string]*patCell),
 	}
+	sv.refs.Store(1) // the engine's reference, dropped at swap-out or Close
 	for _, k := range s.kinds {
 		sv.tc[k] = &tcCell{}
 		if sess, err := buildEngineSession(s, k, workers); err == nil {
@@ -231,6 +241,49 @@ func newServing(s *Snapshot, workers int) *serving {
 		}
 	}
 	return sv
+}
+
+// acquire takes a query-lifetime reference. It fails only when the
+// serving has fully drained (swapped out, last query done, storage
+// possibly already released) — the caller must re-load Engine.cur and
+// retry on the fresh epoch.
+func (sv *serving) acquire() bool {
+	for {
+		r := sv.refs.Load()
+		if r <= 0 {
+			return false
+		}
+		if sv.refs.CompareAndSwap(r, r+1) {
+			return true
+		}
+	}
+}
+
+// release drops one reference; the last one out closes the snapshot's
+// backing resource.
+func (sv *serving) release() {
+	if sv.refs.Add(-1) == 0 {
+		_ = sv.snap.Close()
+	}
+}
+
+// acquireServing loads the current epoch and takes a query reference on
+// it, retrying when a concurrent Swap drains the loaded epoch between
+// Load and acquire. An acquire can only fail if the epoch was swapped
+// out after the Load, so each retry observes a strictly newer epoch and
+// the loop terminates; the bound is pure paranoia. Persistent failure
+// means the engine is closed.
+func (e *Engine) acquireServing() (*serving, error) {
+	for i := 0; i < 64; i++ {
+		sv := e.cur.Load()
+		if sv.acquire() {
+			return sv, nil
+		}
+		if e.closed.Load() {
+			break
+		}
+	}
+	return nil, ErrClosed
 }
 
 // patCellFor returns the memo cell for (kind, canonical spec), creating
@@ -270,6 +323,7 @@ type Engine struct {
 	opCounts              [opMax]countErr
 	opHists               [opMax]*Hist // slot 0 unused (malformed ops carry no latency)
 	start                 time.Time
+	closed                atomic.Bool
 }
 
 // countErr pairs per-op served/error counters.
@@ -312,6 +366,11 @@ func (e *Engine) Swap(s *Snapshot) (*Snapshot, error) {
 	}
 	old := e.cur.Swap(newServing(s, e.opts.Workers))
 	e.swaps.Add(1)
+	// Drop the engine's reference on the displaced epoch. Its backing
+	// storage (an mmap, for zero-copy snapshots) is released the moment
+	// the last in-flight query on it finishes — possibly right here, if
+	// none are running.
+	old.release()
 	return old.snap, nil
 }
 
@@ -336,8 +395,20 @@ func (e *Engine) ingestor() Ingestor {
 	return nil
 }
 
-// Close stops the batcher workers. In-flight Query calls complete.
-func (e *Engine) Close() { e.b.close() }
+// ErrClosed is returned by queries submitted after Close.
+var ErrClosed = errors.New("serve: engine closed")
+
+// Close stops the batcher workers and releases the engine's reference
+// on the current serving epoch — for a zero-copy snapshot, that unmaps
+// the artifact once the last in-flight query drains. In-flight Query
+// calls complete; queries submitted afterwards fail with ErrClosed.
+// Idempotent. Close must not race Swap.
+func (e *Engine) Close() {
+	e.b.close()
+	if e.closed.CompareAndSwap(false, true) {
+		e.cur.Load().release()
+	}
+}
 
 // Query answers one request without a deadline: normalize, consult the
 // cache, then batch. See QueryCtx for the cancellable form.
@@ -361,7 +432,12 @@ func (e *Engine) QueryCtx(ctx context.Context, q Query) (Result, error) {
 	}
 	// Capture one epoch's serving state for the query's whole lifetime:
 	// a concurrent Swap must never mix epochs within one evaluation.
-	sv := e.cur.Load()
+	sv, err := e.acquireServing()
+	if err != nil {
+		e.count(q.Op, err)
+		return Result{}, err
+	}
+	defer sv.release()
 	q, kind, err := normalize(sv, q)
 	if err != nil {
 		e.count(q.Op, err)

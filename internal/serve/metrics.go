@@ -37,6 +37,16 @@ func (e *Engine) RegisterMetrics(r *obs.Registry) {
 	r.GaugeFunc("probgraph_serve_csr_bytes",
 		"Resident bytes of the exact CSR adjacency.",
 		func() float64 { return float64((e.cur.Load().snap.G.SizeBits() + 7) / 8) })
+	r.GaugeFunc("probgraph_serve_mapped_bytes",
+		"Bytes of the read-only artifact mapping backing the served snapshot; 0 for heap snapshots.",
+		func() float64 { return float64(e.cur.Load().snap.MappedBytes) })
+	r.GaugeFunc("probgraph_serve_decode_mode",
+		"How the served snapshot's state was loaded; constant 1, mode in the label.",
+		func() float64 { return 1 },
+		obs.L("mode", e.cur.Load().snap.Mode))
+	r.CounterFunc("probgraph_process_major_faults_total",
+		"Cumulative major page faults of the serving process — the paging cost of out-of-core (mmap) graphs.",
+		func() float64 { return float64(obs.MajorFaults()) })
 	for _, k := range e.cur.Load().snap.kinds {
 		kind := k.String()
 		r.GaugeFunc("probgraph_serve_sketch_bytes",

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"probgraph/internal/core"
+	"probgraph/internal/pgio"
+)
+
+// saveArtifactFile writes the snapshot to a .pg file and returns its
+// path — the fixture for every mmap-serving test.
+func saveArtifactFile(t *testing.T, s *Snapshot) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "snap.pg")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestMmapServingIdentity: an engine over a zero-copy snapshot answers
+// Float64bits-identically to one over the heap decode of the same file,
+// and reports its mode in /v1/stats.
+func TestMmapServingIdentity(t *testing.T) {
+	path := saveArtifactFile(t, testSnapshot(t, core.BF, core.KMV))
+
+	mm, err := OpenArtifactMmap(path, SnapshotConfig{Workers: 4})
+	if err != nil {
+		t.Fatalf("OpenArtifactMmap: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap, err := OpenArtifact(f, SnapshotConfig{Workers: 4})
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	em := newTestEngine(t, mm)
+	eh := newTestEngine(t, heap)
+	st := em.Stats()
+	if st.DecodeMode != mm.Mode {
+		t.Fatalf("stats decode_mode %q, snapshot mode %q", st.DecodeMode, mm.Mode)
+	}
+	if mm.Mode == pgio.ModeMmap && st.MappedBytes <= 0 {
+		t.Fatalf("mmap snapshot reports mapped_bytes %d", st.MappedBytes)
+	}
+	n := uint32(heap.G.NumVertices())
+	for i := uint32(0); i < 64; i++ {
+		q := Query{Op: OpSimilarity, U: (i * 37) % n, V: (i*101 + 13) % n}
+		rm, err := em.Query(q)
+		if err != nil {
+			t.Fatalf("mmap %v: %v", q, err)
+		}
+		rh, err := eh.Query(q)
+		if err != nil {
+			t.Fatalf("heap %v: %v", q, err)
+		}
+		if math.Float64bits(rm.Value) != math.Float64bits(rh.Value) {
+			t.Fatalf("%v: mmap answer %v differs from heap %v", q, rm.Value, rh.Value)
+		}
+	}
+}
+
+// TestMmapSwapUnderLoad is the epoch-retirement contract, run under the
+// race detector in CI: queries hammer the engine while mmap-backed
+// snapshots are hot-swapped in, so retiring epochs unmap concurrently
+// with evaluation. Every answer must stay bit-correct (a query that read
+// unmapped rows would fault or corrupt), and each retired snapshot's
+// mapping must actually be released once its last query drains — the
+// leak check for the refcount plumbing.
+func TestMmapSwapUnderLoad(t *testing.T) {
+	path := saveArtifactFile(t, testSnapshot(t, core.BF))
+
+	first, err := OpenArtifactMmap(path, SnapshotConfig{Workers: 4})
+	if err != nil {
+		t.Fatalf("OpenArtifactMmap: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap, err := OpenArtifact(f, SnapshotConfig{Workers: 4})
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eh := newTestEngine(t, heap)
+
+	n := uint32(heap.G.NumVertices())
+	const probes = 32
+	want := make([]uint64, probes)
+	for i := uint32(0); i < probes; i++ {
+		r, err := eh.Query(Query{Op: OpSimilarity, U: (i * 37) % n, V: (i*101 + 13) % n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = math.Float64bits(r.Value)
+	}
+
+	e := New(first, Options{Workers: 4, CacheSize: -1}) // no cache: every query walks the rows
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed uint32) {
+			defer wg.Done()
+			for i := seed; !stop.Load(); i++ {
+				p := i % probes
+				r, err := e.Query(Query{Op: OpSimilarity, U: (p * 37) % n, V: (p*101 + 13) % n})
+				if err != nil {
+					errc <- err
+					return
+				}
+				if math.Float64bits(r.Value) != want[p] {
+					t.Errorf("probe %d: got bits %x, want %x", p, math.Float64bits(r.Value), want[p])
+					return
+				}
+			}
+		}(uint32(w))
+	}
+
+	retired := make([]*Snapshot, 0, 8)
+	for s := 0; s < 8; s++ {
+		next, err := OpenArtifactMmap(path, SnapshotConfig{Workers: 4})
+		if err != nil {
+			t.Fatalf("swap %d: %v", s, err)
+		}
+		old, err := e.Swap(next)
+		if err != nil {
+			t.Fatalf("swap %d: %v", s, err)
+		}
+		retired = append(retired, old)
+	}
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatalf("query under swap: %v", err)
+	default:
+	}
+
+	// Every retired epoch has drained: its mapping must be gone.
+	for i, s := range retired {
+		if s.closer != nil {
+			t.Fatalf("retired snapshot %d (epoch %d) still holds its mapping", i, s.Epoch)
+		}
+	}
+	last := e.Snapshot()
+	e.Close()
+	e.Close() // idempotent, and the second must not double-release
+	if last.closer != nil {
+		t.Fatal("Close did not release the final epoch's mapping")
+	}
+	if _, err := e.Query(Query{Op: OpSimilarity, U: 1, V: 2}); err != ErrClosed {
+		t.Fatalf("query after Close: got %v, want ErrClosed", err)
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"io"
 	"sync/atomic"
 
 	"probgraph/internal/core"
@@ -53,9 +54,54 @@ type Snapshot struct {
 	// can see what the warm start cost on disk and on the wire.
 	Artifact *pgio.FileInfo
 
+	// Mode reports how the snapshot's state came to be: ModeBuild
+	// (sketched from the graph), pgio.ModeCopy (heap-decoded artifact),
+	// or pgio.ModeMmap (zero-copy over a read-only mapping). Surfaced in
+	// /v1/stats as decode_mode.
+	Mode string
+
+	// MappedBytes is the size of the read-only mapping backing a
+	// zero-copy snapshot; 0 otherwise.
+	MappedBytes int64
+
 	sess  *session.Session // base Session, configured for kinds[0]
 	kinds []core.Kind      // deduplicated build order; kinds[0] = default
 	pgs   map[core.Kind]*core.PG
+
+	// closer releases the resource backing the snapshot's borrowed
+	// arrays (the mmap). The engine's epoch retirement calls Close when
+	// the last in-flight query drains; nil for heap snapshots.
+	closer io.Closer
+}
+
+// ModeBuild marks a snapshot whose sketches were built from the graph
+// (no artifact involved); pgio.ModeCopy and pgio.ModeMmap cover the
+// artifact paths.
+const ModeBuild = "build"
+
+// Close releases the resource backing the snapshot (the mmap of a
+// zero-copy open); afterwards every borrowed CSR array and sketch row is
+// invalid. Idempotent, nil-safe for heap snapshots. Callers almost never
+// invoke this directly — the engine does, when the retiring epoch's last
+// in-flight query drains.
+func (s *Snapshot) Close() error {
+	c := s.closer
+	s.closer = nil
+	if c == nil {
+		return nil
+	}
+	return c.Close()
+}
+
+// DetachCloser removes and returns the snapshot's backing closer, or
+// nil. After a detach, Close is a no-op and the caller owns the
+// mapping's lifetime — the cluster shard path uses this, because it
+// serves raw rows outside engine query brackets and must hold the
+// mapping until the whole shard shuts down.
+func (s *Snapshot) DetachCloser() io.Closer {
+	c := s.closer
+	s.closer = nil
+	return c
 }
 
 // Open builds a snapshot: a Session plus the eagerly-built orientation
@@ -95,6 +141,7 @@ func OpenWith(g *graph.Graph, cfg SnapshotConfig, o *graph.Oriented, prebuilt ma
 		Epoch: epochCounter.Add(1),
 		G:     g,
 		Cfg:   cfg,
+		Mode:  ModeBuild,
 		sess:  base,
 		pgs:   make(map[core.Kind]*core.PG, len(cfg.Kinds)),
 	}

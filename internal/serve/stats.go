@@ -1,6 +1,10 @@
 package serve
 
-import "time"
+import (
+	"time"
+
+	"probgraph/internal/obs"
+)
 
 // CacheStats is the result cache's observable state.
 type CacheStats struct {
@@ -70,6 +74,9 @@ type Stats struct {
 	DefaultKind      string             `json:"default_kind"`
 	CSRBytes         int64              `json:"csr_bytes"`
 	SketchBytes      map[string]int64   `json:"sketch_bytes"`
+	DecodeMode       string             `json:"decode_mode"`
+	MappedBytes      int64              `json:"mapped_bytes,omitempty"`
+	MajorFaults      int64              `json:"major_faults,omitempty"`
 	Artifact         *ArtifactStats     `json:"artifact,omitempty"`
 	Cache            CacheStats         `json:"cache"`
 	Batch            BatchStats         `json:"batch"`
@@ -90,6 +97,9 @@ func (e *Engine) Stats() Stats {
 		DefaultKind: sv.snap.DefaultKind().String(),
 		CSRBytes:    (sv.snap.G.SizeBits() + 7) / 8,
 		SketchBytes: sv.snap.SketchBytes(),
+		DecodeMode:  sv.snap.Mode,
+		MappedBytes: sv.snap.MappedBytes,
+		MajorFaults: obs.MajorFaults(),
 		Cache: CacheStats{
 			Hits:   e.cache.hits.Load(),
 			Misses: e.cache.misses.Load(),

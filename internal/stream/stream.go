@@ -263,7 +263,11 @@ func (d *DynamicGraph) ApplyBatch(add, del []graph.Edge) (BatchStats, error) {
 		st.Grown = maxV - len(d.adj)
 		d.adj = append(d.adj, make([][]uint32, maxV-len(d.adj))...)
 		for _, pg := range d.pgs {
-			pg.Grow(maxV)
+			// NewWith clones every prebuilt PG, so d.pgs are always owned
+			// and growable; a borrowed PG here is an invariant violation.
+			if err := pg.Grow(maxV); err != nil {
+				return BatchStats{}, fmt.Errorf("stream: growing %v sketches: %w", pg.Cfg.Kind, err)
+			}
 		}
 	}
 
@@ -306,14 +310,20 @@ func (d *DynamicGraph) ApplyBatch(add, del []graph.Edge) (BatchStats, error) {
 		pg := d.pgs[k]
 		for _, e := range newEdges {
 			if _, bad := dirty[e.U]; !bad {
-				pg.AddNeighbor(e.U, e.V)
+				if err := pg.AddNeighbor(e.U, e.V); err != nil {
+					return BatchStats{}, fmt.Errorf("stream: inserting into %v sketches: %w", k, err)
+				}
 			}
 			if _, bad := dirty[e.V]; !bad {
-				pg.AddNeighbor(e.V, e.U)
+				if err := pg.AddNeighbor(e.V, e.U); err != nil {
+					return BatchStats{}, fmt.Errorf("stream: inserting into %v sketches: %w", k, err)
+				}
 			}
 		}
 		for v := range dirty {
-			pg.ResketchRow(v, d.adj[v])
+			if err := pg.ResketchRow(v, d.adj[v]); err != nil {
+				return BatchStats{}, fmt.Errorf("stream: re-sketching row %d of %v sketches: %w", v, k, err)
+			}
 		}
 	}
 	st.Resketched = len(dirty)
